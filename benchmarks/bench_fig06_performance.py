@@ -1,0 +1,60 @@
+"""Figure 6: performance of Model Parallelism, Data Parallelism and HyPar.
+
+Every value is the simulated training-step speedup normalised to the
+default Data Parallelism on the sixteen-accelerator H-tree array.  The
+paper reports a geometric-mean gain of 3.39x for HyPar and shows Model
+Parallelism losing to Data Parallelism on every network except SFC.
+"""
+
+from conftest import emit
+
+from repro.analysis.experiments import (
+    DATA_PARALLELISM,
+    HYPAR,
+    MODEL_PARALLELISM,
+    ExperimentRunner,
+)
+from repro.analysis.report import format_table
+from repro.nn.model_zoo import all_models
+
+PAPER_VALUES = {
+    "SFC": {"Model Parallelism": 22.19, "HyPar": 23.48},
+    "SCONV": {"Model Parallelism": 0.0374, "HyPar": 1.00},
+    "Lenet-c": {"Model Parallelism": 0.469, "HyPar": 3.05},
+    "Cifar-c": {"Model Parallelism": 0.100, "HyPar": 1.23},
+    "AlexNet": {"Model Parallelism": 0.183, "HyPar": 3.27},
+    "VGG-A": {"Model Parallelism": 0.346, "HyPar": 4.97},
+    "VGG-B": {"Model Parallelism": 0.130, "HyPar": 3.21},
+    "VGG-C": {"Model Parallelism": 0.140, "HyPar": 4.06},
+    "VGG-D": {"Model Parallelism": 0.123, "HyPar": 2.73},
+    "VGG-E": {"Model Parallelism": 0.121, "HyPar": 3.92},
+    "Gmean": {"Model Parallelism": 0.241, "HyPar": 3.39},
+}
+
+
+def test_fig06_normalized_performance(benchmark, paper_runner: ExperimentRunner):
+    models = all_models()
+
+    def run():
+        table = paper_runner.run(models)
+        return table
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    perf = table.performance()
+
+    strategies = [MODEL_PARALLELISM, DATA_PARALLELISM, HYPAR]
+    emit(
+        "Figure 6: performance normalized to Data Parallelism "
+        "(paper gmeans: MP 0.241x, DP 1.00x, HyPar 3.39x)",
+        format_table("measured", perf, strategies),
+    )
+
+    gmean_hypar = table.gmean(perf, HYPAR)
+    gmean_mp = table.gmean(perf, MODEL_PARALLELISM)
+    benchmark.extra_info["gmean_hypar"] = gmean_hypar
+    benchmark.extra_info["gmean_model_parallelism"] = gmean_mp
+    benchmark.extra_info["paper_gmean_hypar"] = PAPER_VALUES["Gmean"]["HyPar"]
+
+    # Shape assertions: HyPar wins on average, MP loses on average.
+    assert gmean_hypar > 2.0
+    assert gmean_mp < 1.0

@@ -1,0 +1,47 @@
+"""Figure 7: energy efficiency of Model Parallelism, Data Parallelism and HyPar.
+
+Energy efficiency is the energy saving normalised to the default Data
+Parallelism.  The paper reports a geometric-mean gain of 1.51x for HyPar --
+smaller than the 3.39x performance gain because only the communication
+share of the energy is affected by the partition.
+"""
+
+from conftest import emit
+
+from repro.analysis.experiments import (
+    DATA_PARALLELISM,
+    HYPAR,
+    MODEL_PARALLELISM,
+    ExperimentRunner,
+)
+from repro.analysis.report import format_table
+from repro.nn.model_zoo import all_models
+
+PAPER_GMEANS = {"Model Parallelism": 0.474, "Data Parallelism": 1.00, "HyPar": 1.51}
+
+
+def test_fig07_normalized_energy_efficiency(benchmark, paper_runner: ExperimentRunner):
+    models = all_models()
+
+    def run():
+        return paper_runner.run(models)
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    energy = table.energy_efficiency()
+    perf = table.performance()
+
+    strategies = [MODEL_PARALLELISM, DATA_PARALLELISM, HYPAR]
+    emit(
+        "Figure 7: energy efficiency normalized to Data Parallelism "
+        "(paper gmeans: MP 0.474x, DP 1.00x, HyPar 1.51x)",
+        format_table("measured", energy, strategies),
+    )
+
+    gmean_energy = table.gmean(energy, HYPAR)
+    gmean_perf = table.gmean(perf, HYPAR)
+    benchmark.extra_info["gmean_hypar_energy"] = gmean_energy
+    benchmark.extra_info["paper_gmean_hypar_energy"] = PAPER_GMEANS["HyPar"]
+
+    # Shape assertions: a real but modest gain, smaller than the speed gain.
+    assert 1.0 < gmean_energy < gmean_perf
+    assert table.gmean(energy, MODEL_PARALLELISM) < 1.0

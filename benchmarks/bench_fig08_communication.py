@@ -1,0 +1,67 @@
+"""Figure 8: total communication per training step (GB).
+
+The paper reports per-network absolute traffic and geometric means of
+8.88 GB (Model Parallelism), 1.83 GB (Data Parallelism) and 0.318 GB
+(HyPar) per step on the sixteen-accelerator array at batch 256.
+"""
+
+from conftest import emit
+
+from repro.analysis.experiments import (
+    DATA_PARALLELISM,
+    HYPAR,
+    MODEL_PARALLELISM,
+    ExperimentRunner,
+)
+from repro.analysis.report import format_table
+from repro.nn.model_zoo import all_models
+
+PAPER_GB = {
+    "SFC": {"Model Parallelism": 0.723, "Data Parallelism": 16.9, "HyPar": 0.681},
+    "SCONV": {"Model Parallelism": 0.480, "Data Parallelism": 0.0121, "HyPar": 0.0121},
+    "Lenet-c": {"Model Parallelism": 0.112, "Data Parallelism": 0.0517, "HyPar": 0.0161},
+    "Cifar-c": {"Model Parallelism": 0.206, "Data Parallelism": 0.0174, "HyPar": 0.0135},
+    "AlexNet": {"Model Parallelism": 13.0, "Data Parallelism": 2.00, "HyPar": 0.289},
+    "VGG-A": {"Model Parallelism": 50.1, "Data Parallelism": 15.9, "HyPar": 1.47},
+    "VGG-B": {"Model Parallelism": 134.0, "Data Parallelism": 16.0, "HyPar": 1.47},
+    "VGG-C": {"Model Parallelism": 157.0, "Data Parallelism": 16.6, "HyPar": 2.13},
+    "VGG-D": {"Model Parallelism": 180.0, "Data Parallelism": 17.2, "HyPar": 2.76},
+    "VGG-E": {"Model Parallelism": 157.0, "Data Parallelism": 16.0, "HyPar": 1.58},
+    "Gmean": {"Model Parallelism": 8.88, "Data Parallelism": 1.83, "HyPar": 0.318},
+}
+
+
+def test_fig08_total_communication(benchmark, paper_runner: ExperimentRunner):
+    models = all_models()
+
+    def run():
+        return paper_runner.run(models)
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    comm = table.communication()
+
+    strategies = [MODEL_PARALLELISM, DATA_PARALLELISM, HYPAR]
+    emit(
+        "Figure 8: total communication per step in GB "
+        "(paper gmeans: MP 8.88, DP 1.83, HyPar 0.318)",
+        format_table("measured (GB)", comm, strategies),
+    )
+
+    gmean_mp = table.gmean(comm, MODEL_PARALLELISM)
+    gmean_dp = table.gmean(comm, DATA_PARALLELISM)
+    gmean_hypar = table.gmean(comm, HYPAR)
+    benchmark.extra_info.update(
+        {
+            "gmean_mp_gb": gmean_mp,
+            "gmean_dp_gb": gmean_dp,
+            "gmean_hypar_gb": gmean_hypar,
+            "paper_gmean_mp_gb": PAPER_GB["Gmean"]["Model Parallelism"],
+            "paper_gmean_dp_gb": PAPER_GB["Gmean"]["Data Parallelism"],
+            "paper_gmean_hypar_gb": PAPER_GB["Gmean"]["HyPar"],
+        }
+    )
+
+    # Shape assertions: the ordering and rough magnitudes of the paper hold.
+    assert gmean_mp > gmean_dp > gmean_hypar
+    assert 0.9 < gmean_dp < 4.0
+    assert gmean_hypar < 0.7

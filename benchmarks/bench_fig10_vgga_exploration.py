@@ -1,0 +1,56 @@
+"""Figure 10: parallelism-space exploration for VGG-A.
+
+Every layer keeps HyPar's choice except ``conv5_2`` and ``fc1``, whose
+parallelism sweeps across all four hierarchy levels (256 points).  In the
+paper the sweep's peak is 5.05x over Data Parallelism while HyPar's own
+point reaches 4.97x: HyPar optimises total communication as a *proxy* for
+performance, so it can land marginally off the true peak but stays within a
+few percent of it.
+"""
+
+from conftest import emit
+
+from repro.analysis.exploration import ParallelismExplorer, bit_string
+
+
+def test_fig10_vgga_parallelism_space(benchmark):
+    explorer = ParallelismExplorer()
+
+    result = benchmark.pedantic(explorer.explore_vgg_a, rounds=1, iterations=1)
+
+    peak = result.peak
+    num_positions = len(result.free_positions)
+    top = sorted(
+        result.points, key=lambda point: point.normalized_performance, reverse=True
+    )[:5]
+    lines = [
+        f"swept positions: {num_positions} (conv5_2 and fc1 across H1-H4), "
+        f"{len(result.points)} points",
+        f"HyPar normalized performance: {result.hypar_performance:.2f}x (paper: 4.97x)",
+        f"peak normalized performance:  {peak.normalized_performance:.2f}x "
+        f"at bits {bit_string(peak, num_positions)} "
+        "(paper: 5.05x at conv5_2=1000, fc1=1111)",
+        f"HyPar-to-peak gap: {result.hypar_gap * 100:.2f}% (paper: ~1.6%)",
+        "top-5 points:",
+    ]
+    for point in top:
+        lines.append(
+            f"  bits {bit_string(point, num_positions)}  "
+            f"{point.normalized_performance:.3f}x"
+        )
+    emit("Figure 10: parallelism space exploration for VGG-A", "\n".join(lines))
+
+    benchmark.extra_info.update(
+        {
+            "hypar_performance": result.hypar_performance,
+            "peak_performance": peak.normalized_performance,
+            "gap_fraction": result.hypar_gap,
+            "paper_hypar": 4.97,
+            "paper_peak": 5.05,
+        }
+    )
+
+    # Shape assertions: HyPar is within a few percent of the sweep's peak and
+    # far above the Data Parallelism baseline.
+    assert result.hypar_gap <= 0.05
+    assert result.hypar_performance > 1.5

@@ -1,0 +1,44 @@
+"""Figure 12: H-tree versus torus interconnect.
+
+The per-layer parallelism is HyPar's searched choice in both columns; only
+the physical topology of the sixteen-accelerator array changes.  The paper
+reports geometric means of 3.39x (H tree) versus 2.23x (torus), both
+normalised to Data Parallelism, because the binary-tree traffic pattern of
+the hierarchical partition maps naturally onto the fat tree but zig-zags
+across the mesh.
+"""
+
+from conftest import emit
+
+from repro.analysis.report import format_table
+from repro.analysis.topology_study import run_topology_study
+
+PAPER_GMEANS = {"Torus": 2.23, "H Tree": 3.39}
+
+
+def test_fig12_htree_vs_torus(benchmark):
+    study = benchmark.pedantic(run_topology_study, rounds=1, iterations=1)
+
+    rows = {
+        row["model"]: {"Torus": row["torus"], "H Tree": row["h_tree"]}
+        for row in study.as_rows()
+    }
+    emit(
+        "Figure 12: normalized performance (to Data Parallelism) of torus and "
+        "H-tree topology (paper gmeans: torus 2.23x, H tree 3.39x)",
+        format_table("measured", rows, ["Torus", "H Tree"]),
+    )
+
+    benchmark.extra_info.update(
+        {
+            "gmean_torus": study.gmean_torus(),
+            "gmean_htree": study.gmean_htree(),
+            "paper_gmean_torus": PAPER_GMEANS["Torus"],
+            "paper_gmean_htree": PAPER_GMEANS["H Tree"],
+        }
+    )
+
+    # Shape assertions: the H tree wins overall and never loses per network.
+    assert study.gmean_htree() > study.gmean_torus()
+    for comparison in study.comparisons:
+        assert comparison.htree_performance >= comparison.torus_performance - 1e-9

@@ -1,0 +1,54 @@
+"""Figure 13: HyPar versus "one weird trick" (Krizhevsky, 2014).
+
+Six configurations built around two VGG-E layers that the trick's
+conv→dp / fc→mp rule gets wrong once batch size and hierarchy depth vary:
+``conv5`` at batch 32 (should flip to mp as the per-group batch shrinks)
+and ``fc3`` at batch 4096 (should stay dp because dp-dp boundaries are
+free).  The paper reports HyPar 1.62x faster and 1.22x more energy
+efficient than the trick on average, and up to 2.40x faster.
+"""
+
+from conftest import emit
+
+from repro.analysis.report import format_table
+from repro.analysis.trick_study import run_trick_study
+
+PAPER_GMEANS = {"performance": 1.62, "energy_efficiency": 1.22, "max_performance": 2.40}
+
+
+def test_fig13_hypar_vs_trick(benchmark):
+    study = benchmark.pedantic(run_trick_study, rounds=1, iterations=1)
+
+    rows = {
+        row["config"]: {
+            "Performance": row["performance"],
+            "Energy Efficiency": row["energy_efficiency"],
+        }
+        for row in study.as_rows()
+    }
+    emit(
+        'Figure 13: HyPar versus "one weird trick" '
+        "(paper gmeans: performance 1.62x, energy 1.22x; max 2.40x)",
+        format_table("measured", rows, ["Performance", "Energy Efficiency"]),
+    )
+
+    benchmark.extra_info.update(
+        {
+            "gmean_performance": study.gmean_performance(),
+            "gmean_energy": study.gmean_energy(),
+            "max_performance": study.max_performance(),
+            "paper_gmean_performance": PAPER_GMEANS["performance"],
+            "paper_gmean_energy": PAPER_GMEANS["energy_efficiency"],
+        }
+    )
+
+    # Shape assertions: HyPar never loses to the trick, wins on average, and
+    # the conv5 advantage grows with hierarchy depth.
+    for comparison in study.comparisons:
+        assert comparison.performance_ratio >= 1.0 - 1e-9
+    assert study.gmean_performance() > 1.05
+    conv5 = sorted(
+        (c for c in study.comparisons if c.label.startswith("conv5")),
+        key=lambda c: c.num_levels,
+    )
+    assert conv5[-1].performance_ratio > conv5[0].performance_ratio

@@ -1,0 +1,56 @@
+"""Micro-benchmarks of the partition search itself.
+
+Section 4 claims the search is practical because its time complexity is
+linear in the number of weighted layers.  These benches measure the search
+latency on the smallest and largest evaluation networks and on synthetic
+networks of growing depth, so the linearity is visible in the benchmark
+table itself.
+"""
+
+import pytest
+
+from repro.core.hierarchical import HierarchicalPartitioner
+from repro.core.partitioner import TwoWayPartitioner
+from repro.core.tensors import model_tensors
+from repro.nn.layers import ConvLayer
+from repro.nn.model import build_model
+from repro.nn.model_zoo import lenet_c, vgg_e
+
+
+def _synthetic_network(depth: int):
+    specs = [
+        ConvLayer(name=f"conv{i}", out_channels=16, kernel_size=3, padding=1)
+        for i in range(depth)
+    ]
+    return build_model(f"synthetic-{depth}", (32, 32, 16), specs)
+
+
+def test_two_way_search_lenet(benchmark):
+    tensors = model_tensors(lenet_c(), 256)
+    partitioner = TwoWayPartitioner()
+    result = benchmark(partitioner.partition_tensors, tensors)
+    benchmark.extra_info["layers"] = result.num_layers
+
+
+def test_two_way_search_vgg_e(benchmark):
+    tensors = model_tensors(vgg_e(), 256)
+    partitioner = TwoWayPartitioner()
+    result = benchmark(partitioner.partition_tensors, tensors)
+    benchmark.extra_info["layers"] = result.num_layers
+
+
+def test_hierarchical_search_vgg_e_four_levels(benchmark):
+    partitioner = HierarchicalPartitioner(num_levels=4)
+    model = vgg_e()
+    result = benchmark(partitioner.partition, model, 256)
+    benchmark.extra_info["layers"] = result.assignment.num_layers
+    benchmark.extra_info["levels"] = result.num_levels
+
+
+@pytest.mark.parametrize("depth", [32, 128, 512])
+def test_two_way_search_scales_linearly(benchmark, depth):
+    """Search latency should grow roughly linearly with network depth."""
+    tensors = model_tensors(_synthetic_network(depth), 32)
+    partitioner = TwoWayPartitioner()
+    benchmark(partitioner.partition_tensors, tensors)
+    benchmark.extra_info["layers"] = depth

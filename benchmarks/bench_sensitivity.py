@@ -1,0 +1,78 @@
+"""Sensitivity sweeps beyond the paper's figures (batch size, link bandwidth).
+
+These are extension experiments: they answer the "what if" questions the
+paper's fixed configuration (batch 256, 1600 Mb/s links) leaves open, using
+the same partition search and simulator as the headline figures.
+"""
+
+from conftest import emit
+
+from repro.analysis.report import format_series
+from repro.analysis.sensitivity import (
+    batch_size_sensitivity,
+    link_bandwidth_sensitivity,
+    precision_sensitivity,
+)
+from repro.nn.model_zoo import vgg_a
+
+
+def test_sensitivity_batch_size(benchmark):
+    study = benchmark.pedantic(
+        batch_size_sensitivity, kwargs={"model": vgg_a()}, rounds=1, iterations=1
+    )
+    rows = study.as_rows()
+    emit(
+        "Sensitivity: HyPar speedup over Data Parallelism vs batch size (VGG-A)",
+        format_series(
+            "speedup", [int(r["parameter"]) for r in rows], [r["speedup"] for r in rows]
+        )
+        + "\n"
+        + format_series(
+            "communication reduction",
+            [int(r["parameter"]) for r in rows],
+            [r["comm_reduction"] for r in rows],
+        ),
+    )
+    benchmark.extra_info["speedups"] = {
+        int(r["parameter"]): round(r["speedup"], 3) for r in rows
+    }
+    for row in rows:
+        assert row["speedup"] >= 1.0 - 1e-9
+
+
+def test_sensitivity_link_bandwidth(benchmark):
+    study = benchmark.pedantic(
+        link_bandwidth_sensitivity, kwargs={"model": vgg_a()}, rounds=1, iterations=1
+    )
+    rows = study.as_rows()
+    emit(
+        "Sensitivity: HyPar speedup over Data Parallelism vs link bandwidth (VGG-A)",
+        format_series(
+            "speedup",
+            [f"{r['parameter'] / 1e6:.0f}Mb/s" for r in rows],
+            [r["speedup"] for r in rows],
+        ),
+    )
+    speedups = [r["speedup"] for r in rows]
+    benchmark.extra_info["speedup_slowest_link"] = speedups[0]
+    benchmark.extra_info["speedup_fastest_link"] = speedups[-1]
+    # Faster links shrink the advantage but never flip the ordering.
+    assert speedups == sorted(speedups, reverse=True)
+    assert speedups[-1] >= 1.0 - 1e-9
+
+
+def test_sensitivity_precision(benchmark):
+    study = benchmark.pedantic(
+        precision_sensitivity, kwargs={"model": vgg_a()}, rounds=1, iterations=1
+    )
+    rows = study.as_rows()
+    emit(
+        "Sensitivity: HyPar speedup over Data Parallelism vs tensor precision (VGG-A)",
+        format_series(
+            "speedup",
+            [f"{int(r['parameter'])}B/elem" for r in rows],
+            [r["speedup"] for r in rows],
+        ),
+    )
+    for row in rows:
+        assert row["speedup"] >= 1.0 - 1e-9

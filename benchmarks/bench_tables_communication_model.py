@@ -1,0 +1,85 @@
+"""Tables 1 and 2: the communication model itself.
+
+These benches time the primitive cost-model evaluations (they are the inner
+loop of the partition search) and print the worked examples of Section 3.4,
+which instantiate Table 1 and Table 2 for a fully-connected and a
+convolutional layer.
+"""
+
+from conftest import emit
+
+from repro.core.communication import CommunicationModel
+from repro.core.parallelism import DATA, MODEL
+from repro.core.tensors import layer_tensors, model_tensors
+from repro.nn.layers import ConvLayer, FCLayer
+from repro.nn.model import build_model
+from repro.nn.model_zoo import vgg_e
+
+
+def _fc_example():
+    model = build_model("fc", (1, 1, 70), [FCLayer(name="fc", out_features=100)])
+    return layer_tensors(model[0], batch_size=32)
+
+
+def _conv_example():
+    model = build_model(
+        "conv", (12, 12, 20), [ConvLayer(name="conv", out_channels=50, kernel_size=5)]
+    )
+    return layer_tensors(model[0], batch_size=32)
+
+
+def test_table1_intra_layer_amounts(benchmark):
+    """Table 1 + the Section 3.4 worked examples."""
+    comm = CommunicationModel()
+    fc = _fc_example()
+    conv = _conv_example()
+
+    def evaluate():
+        return {
+            "fc_dp_bytes": comm.intra_layer_bytes(fc, DATA),
+            "fc_mp_bytes": comm.intra_layer_bytes(fc, MODEL),
+            "conv_dp_bytes": comm.intra_layer_bytes(conv, DATA),
+            "conv_mp_bytes": comm.intra_layer_bytes(conv, MODEL),
+        }
+
+    result = benchmark(evaluate)
+    benchmark.extra_info.update(result)
+    emit(
+        "Table 1 / Section 3.4 intra-layer communication (paper: fc dp=56KB, "
+        "fc mp=25.6KB, conv dp=200KB, conv mp=819KB)",
+        "\n".join(f"  {key:<14s} {value / 1e3:8.1f} KB" for key, value in result.items()),
+    )
+
+
+def test_table2_inter_layer_amounts(benchmark):
+    """Table 2: the four transition costs, on the fc example's boundary tensor."""
+    comm = CommunicationModel()
+    boundary = _fc_example()
+
+    def evaluate():
+        return {
+            "dp-dp": comm.inter_layer_bytes(DATA, DATA, boundary),
+            "dp-mp": comm.inter_layer_bytes(DATA, MODEL, boundary),
+            "mp-mp": comm.inter_layer_bytes(MODEL, MODEL, boundary),
+            "mp-dp": comm.inter_layer_bytes(MODEL, DATA, boundary),
+        }
+
+    result = benchmark(evaluate)
+    benchmark.extra_info.update(result)
+    emit(
+        "Table 2 inter-layer communication for the fc boundary "
+        "(paper formulas: 0, 0.25A(F)+0.25A(E), 0.5A(E), 0.5A(E))",
+        "\n".join(f"  {key:<6s} {value / 1e3:8.1f} KB" for key, value in result.items()),
+    )
+
+
+def test_whole_network_cost_evaluation(benchmark):
+    """Throughput of evaluating one full assignment on the largest network."""
+    comm = CommunicationModel()
+    model = vgg_e()
+    tensors = model_tensors(model, 256)
+    from repro.core.parallelism import LayerAssignment
+
+    assignment = LayerAssignment.uniform(DATA, len(model))
+    total = benchmark(comm.total_bytes, tensors, assignment)
+    benchmark.extra_info["vgg_e_dp_bytes_per_pair"] = total

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Quickstart: partition one network and compare against the default strategies.
+
+This is the five-minute tour of the library:
+
+1. pick a network from the model zoo (AlexNet here);
+2. run HyPar's hierarchical partition search for the paper's
+   sixteen-accelerator array;
+3. simulate one training step under HyPar, default Data Parallelism and
+   default Model Parallelism;
+4. print the per-layer parallelism choices and the resulting speedups.
+
+Run with::
+
+    python examples/quickstart.py [model-name]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import ArrayConfig, HierarchicalPartitioner, TrainingSimulator, get_model
+from repro.core.baselines import data_parallelism, model_parallelism
+
+BATCH_SIZE = 256
+
+
+def main() -> int:
+    model_name = sys.argv[1] if len(sys.argv) > 1 else "AlexNet"
+    model = get_model(model_name)
+    print(model.summary())
+    print()
+
+    # Step 1: search the hybrid parallelism for a 16-accelerator array.
+    array = ArrayConfig()  # 16 HMC-based accelerators, H-tree, 1600 Mb/s links
+    partitioner = HierarchicalPartitioner(num_levels=array.num_levels)
+    result = partitioner.partition(model, batch_size=BATCH_SIZE)
+    print("HyPar's optimized parallelism (Figure 5 style):")
+    print(result.describe())
+    print()
+
+    # Step 2: simulate one training step under the three strategies.
+    simulator = TrainingSimulator(array)
+    reports = {
+        "Model Parallelism": simulator.simulate(
+            model, model_parallelism(model, array.num_levels), BATCH_SIZE, "Model Parallelism"
+        ),
+        "Data Parallelism": simulator.simulate(
+            model, data_parallelism(model, array.num_levels), BATCH_SIZE, "Data Parallelism"
+        ),
+        "HyPar": simulator.simulate(model, result.assignment, BATCH_SIZE, "HyPar"),
+    }
+
+    baseline = reports["Data Parallelism"]
+    print(f"{'strategy':<20s} {'ms/step':>10s} {'J/step':>10s} {'GB comm':>10s} "
+          f"{'speedup':>9s} {'energy eff':>11s}")
+    for name, report in reports.items():
+        print(
+            f"{name:<20s} {report.step_seconds * 1e3:>10.2f} "
+            f"{report.energy_joules:>10.2f} {report.communication_gb:>10.3f} "
+            f"{report.speedup_over(baseline):>8.2f}x "
+            f"{report.energy_efficiency_over(baseline):>10.2f}x"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Scalability study: how far does each strategy scale before communication wins?
+
+Reproduces the Figure 11 experiment: VGG-A trained on arrays of 1 to 64
+accelerators, under HyPar and under the default Data Parallelism.  The
+interesting output is the *shape* of the two curves -- Data Parallelism's
+speedup saturates once gradient exchanges dominate the step time, while
+HyPar keeps scaling because its hybrid assignment moves roughly an order of
+magnitude less data.
+
+The example also breaks one configuration down by phase so you can see
+where the time goes.
+
+Run with::
+
+    python examples/scalability_study.py [model-name]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import ArrayConfig, HierarchicalPartitioner, TrainingSimulator, get_model
+from repro.analysis.scalability import run_scalability_study
+from repro.core.baselines import data_parallelism
+
+ARRAY_SIZES = (1, 2, 4, 8, 16, 32, 64)
+BATCH_SIZE = 256
+
+
+def print_curves(model_name: str) -> None:
+    study = run_scalability_study(model=get_model(model_name), array_sizes=ARRAY_SIZES)
+    print(f"Scalability of {model_name} (batch {BATCH_SIZE}, H-tree array)")
+    print(
+        f"{'accelerators':>13s} {'HyPar gain':>11s} {'DP gain':>9s} "
+        f"{'HyPar GB':>10s} {'DP GB':>8s}"
+    )
+    for row in study.as_rows():
+        print(
+            f"{row['num_accelerators']:>13d} {row['hypar_gain']:>10.2f}x "
+            f"{row['dp_gain']:>8.2f}x {row['hypar_comm_gb']:>10.3f} "
+            f"{row['dp_comm_gb']:>8.2f}"
+        )
+    rows = {row["num_accelerators"]: row for row in study.as_rows()}
+    if 16 in rows and 64 in rows:
+        dp_growth = rows[64]["dp_gain"] / rows[16]["dp_gain"] - 1.0
+        hypar_growth = rows[64]["hypar_gain"] / rows[16]["hypar_gain"] - 1.0
+        print(
+            f"\nGoing from 16 to 64 accelerators, Data Parallelism improves by only "
+            f"{dp_growth * 100:.0f}% (its gradient exchanges saturate the array) "
+            f"while HyPar still improves by {hypar_growth * 100:.0f}%."
+        )
+
+
+def print_phase_breakdown(model_name: str, num_accelerators: int = 16) -> None:
+    model = get_model(model_name)
+    array = ArrayConfig(num_accelerators=num_accelerators)
+    simulator = TrainingSimulator(array)
+    partitioner = HierarchicalPartitioner(num_levels=array.num_levels)
+    hypar = simulator.simulate(
+        model, partitioner.partition(model, BATCH_SIZE).assignment, BATCH_SIZE, "HyPar"
+    )
+    dp = simulator.simulate(
+        model, data_parallelism(model, array.num_levels), BATCH_SIZE, "Data Parallelism"
+    )
+
+    print(f"\nPhase breakdown at {num_accelerators} accelerators (ms):")
+    print(f"{'phase':<10s} {'HyPar compute':>14s} {'HyPar comm':>11s} "
+          f"{'DP compute':>11s} {'DP comm':>9s}")
+    for phase in ("forward", "backward", "gradient"):
+        h = hypar.phase_seconds[phase]
+        d = dp.phase_seconds[phase]
+        print(
+            f"{phase:<10s} {h.compute_seconds * 1e3:>14.2f} "
+            f"{h.communication_seconds * 1e3:>11.2f} "
+            f"{d.compute_seconds * 1e3:>11.2f} {d.communication_seconds * 1e3:>9.2f}"
+        )
+
+
+def main() -> int:
+    model_name = sys.argv[1] if len(sys.argv) > 1 else "VGG-A"
+    print_curves(model_name)
+    print_phase_breakdown(model_name)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

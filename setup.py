@@ -1,0 +1,55 @@
+"""Setup script for the HyPar reproduction.
+
+A classic setuptools script (rather than a PEP 517 pyproject build) is used
+deliberately so that ``pip install -e .`` works in fully offline
+environments that lack the ``wheel`` package and cannot reach PyPI for
+build isolation.
+"""
+
+from setuptools import find_packages, setup
+
+
+def _read_readme() -> str:
+    try:
+        with open("README.md", encoding="utf-8") as handle:
+            return handle.read()
+    except OSError:
+        return ""
+
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of HyPar: Towards Hybrid Parallelism for Deep Learning "
+        "Accelerator Array (HPCA 2019)"
+    ),
+    long_description=_read_readme(),
+    long_description_content_type="text/markdown",
+    author="HyPar Reproduction Authors",
+    license="MIT",
+    python_requires=">=3.9",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    install_requires=[
+        "numpy",
+        "networkx",
+    ],
+    extras_require={
+        "test": ["pytest", "pytest-benchmark", "hypothesis", "scipy"],
+    },
+    entry_points={
+        "console_scripts": [
+            "hypar = repro.cli:main",
+        ],
+    },
+    classifiers=[
+        "Programming Language :: Python :: 3",
+        "Topic :: Scientific/Engineering",
+        "Intended Audience :: Science/Research",
+    ],
+    keywords=(
+        "deep-learning accelerator parallelism hybrid-parallelism dnn-training "
+        "architecture-simulation"
+    ),
+)

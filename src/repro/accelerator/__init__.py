@@ -1,0 +1,64 @@
+"""HMC-based accelerator substrate: compute, memory and energy models.
+
+The paper's evaluation platform is an array of sixteen accelerators, each
+built on a Hybrid Memory Cube with an Eyeriss-like row-stationary
+processing unit on the logic die.  This package models the pieces the
+event-driven simulation needs:
+
+* :class:`~repro.accelerator.hmc.HMCConfig` -- stacked-DRAM bandwidth and capacity,
+* :class:`~repro.accelerator.pe_array.RowStationaryPU` -- PE-array throughput,
+* :class:`~repro.accelerator.energy.EnergyModel` -- per-operation energy costs,
+* :class:`~repro.accelerator.accelerator.Accelerator` -- one cube + PU,
+* :class:`~repro.accelerator.array.ArrayConfig` -- the whole array.
+"""
+
+from repro.accelerator.accelerator import Accelerator, LayerExecution
+from repro.accelerator.array import (
+    DEFAULT_NUM_ACCELERATORS,
+    LINK_BANDWIDTH_BITS,
+    PAPER_ARRAY,
+    TOTAL_NETWORK_BANDWIDTH_BITS,
+    ArrayConfig,
+)
+from repro.accelerator.energy import (
+    ADD_ENERGY_PJ,
+    DRAM_ACCESS_PJ,
+    MULT_ENERGY_PJ,
+    PAPER_ENERGY_MODEL,
+    SRAM_ACCESS_PJ,
+    EnergyModel,
+)
+from repro.accelerator.hmc import HMC_CAPACITY, HMC_INTERNAL_BANDWIDTH, HMCConfig
+from repro.accelerator.pe_array import (
+    PE_COLS,
+    PE_ROWS,
+    PU_BUFFER_BYTES,
+    PU_CLOCK_HZ,
+    PU_GOPS,
+    RowStationaryPU,
+)
+
+__all__ = [
+    "Accelerator",
+    "LayerExecution",
+    "ArrayConfig",
+    "PAPER_ARRAY",
+    "DEFAULT_NUM_ACCELERATORS",
+    "LINK_BANDWIDTH_BITS",
+    "TOTAL_NETWORK_BANDWIDTH_BITS",
+    "EnergyModel",
+    "PAPER_ENERGY_MODEL",
+    "ADD_ENERGY_PJ",
+    "MULT_ENERGY_PJ",
+    "SRAM_ACCESS_PJ",
+    "DRAM_ACCESS_PJ",
+    "HMCConfig",
+    "HMC_CAPACITY",
+    "HMC_INTERNAL_BANDWIDTH",
+    "RowStationaryPU",
+    "PU_GOPS",
+    "PU_BUFFER_BYTES",
+    "PU_CLOCK_HZ",
+    "PE_ROWS",
+    "PE_COLS",
+]

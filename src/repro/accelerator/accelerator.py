@@ -1,0 +1,109 @@
+"""A single HMC-based DNN training accelerator.
+
+One accelerator = one HMC cube (local DRAM) + one row-stationary processing
+unit on its logic die + a share of the array's interconnect.  The class
+exposes the per-layer compute time, local memory traffic and energy that
+the training-step simulator composes into whole-network numbers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.accelerator.energy import EnergyModel
+from repro.accelerator.hmc import HMCConfig
+from repro.accelerator.pe_array import RowStationaryPU
+from repro.nn.model import WeightedLayer
+
+
+@dataclasses.dataclass(frozen=True)
+class LayerExecution:
+    """Cost of running one layer pass (forward, backward or gradient) locally."""
+
+    layer_name: str
+    macs: float
+    compute_seconds: float
+    dram_seconds: float
+    dram_words: float
+    compute_energy: float
+    sram_energy: float
+    dram_energy: float
+
+    @property
+    def seconds(self) -> float:
+        """Local execution time: compute and DRAM streaming overlap imperfectly,
+        so the slower of the two bounds the pass (double-buffered dataflow)."""
+        return max(self.compute_seconds, self.dram_seconds)
+
+    @property
+    def energy(self) -> float:
+        return self.compute_energy + self.sram_energy + self.dram_energy
+
+
+@dataclasses.dataclass(frozen=True)
+class Accelerator:
+    """One HMC-based accelerator with an Eyeriss-like processing unit.
+
+    Attributes
+    ----------
+    index:
+        Position of this accelerator in the array (0-based).
+    hmc:
+        Local-memory configuration.
+    pu:
+        Processing-unit throughput model.
+    num_pus:
+        Number of processing units on the cube's logic die.  Neurocube-style
+        HMC accelerators place one PU per vault group; the paper does not
+        state the count, so it is a calibration knob (see DESIGN.md) --
+        energy is unaffected, only the compute-bound latency scales.
+    energy_model:
+        Per-operation energy costs.
+    """
+
+    index: int = 0
+    hmc: HMCConfig = dataclasses.field(default_factory=HMCConfig)
+    pu: RowStationaryPU = dataclasses.field(default_factory=RowStationaryPU)
+    num_pus: int = 4
+    energy_model: EnergyModel = dataclasses.field(default_factory=EnergyModel)
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ValueError(f"accelerator index must be non-negative, got {self.index}")
+        if self.num_pus <= 0:
+            raise ValueError(f"num_pus must be positive, got {self.num_pus}")
+
+    def execute_layer_pass(
+        self,
+        layer: WeightedLayer,
+        macs: float,
+        dram_words: float,
+    ) -> LayerExecution:
+        """Cost of one pass of one layer on this accelerator.
+
+        Parameters
+        ----------
+        layer:
+            The weighted layer being executed (used for the row-stationary
+            utilisation estimate).
+        macs:
+            Multiply-accumulates this accelerator performs for the pass
+            (its share of the partitioned work).
+        dram_words:
+            32-bit words streamed between the local HMC and the processing
+            unit for the pass (inputs read + outputs written).
+        """
+        if macs < 0 or dram_words < 0:
+            raise ValueError("macs and dram_words must be non-negative")
+        compute_seconds = self.pu.compute_time(macs, layer) / self.num_pus
+        dram_seconds = self.hmc.access_time(dram_words * 4.0)
+        return LayerExecution(
+            layer_name=layer.name,
+            macs=macs,
+            compute_seconds=compute_seconds,
+            dram_seconds=dram_seconds,
+            dram_words=dram_words,
+            compute_energy=self.energy_model.compute_energy(macs),
+            sram_energy=self.energy_model.sram_energy(macs),
+            dram_energy=self.energy_model.dram_energy(dram_words),
+        )

@@ -1,0 +1,129 @@
+"""Energy model with the per-operation costs used in the paper (Section 6.1).
+
+The constants come from Horowitz, ISSCC 2014 (the paper's reference [116]):
+
+* 32-bit floating-point ADD: 0.9 pJ
+* 32-bit floating-point MULT: 3.7 pJ
+* 32-bit SRAM access: 5.0 pJ
+* 32-bit DRAM access: 640 pJ
+
+All public methods return energy in **joules**.  The energy of one training
+step decomposes into a *parallelism-independent* part (the arithmetic, the
+on-chip buffer traffic and the local DRAM traffic, which are the same no
+matter how tensors are partitioned because the total work is constant) and
+a *communication* part (remote accesses between accelerators) that the
+partition directly controls.  This is why the paper's energy-efficiency
+gains (1.51x gmean) are smaller than its performance gains (3.39x gmean):
+only the communication slice of the energy shrinks.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+PICOJOULE = 1e-12
+
+#: 32-bit float addition (pJ).
+ADD_ENERGY_PJ = 0.9
+#: 32-bit float multiplication (pJ).
+MULT_ENERGY_PJ = 3.7
+#: 32-bit SRAM (on-chip buffer) access (pJ).
+SRAM_ACCESS_PJ = 5.0
+#: 32-bit DRAM access (pJ).
+DRAM_ACCESS_PJ = 640.0
+#: Per-hop link traversal for one 32-bit word (pJ).  Board-level SerDes
+#: links cost tens of picojoules per bit once both PHYs and the trace are
+#: counted; 30 pJ/bit (960 pJ per 32-bit word) per hop is used here.
+LINK_HOP_PJ = 960.0
+
+
+@dataclasses.dataclass(frozen=True)
+class EnergyModel:
+    """Per-operation energy costs, in picojoules per 32-bit word/operation.
+
+    Attributes
+    ----------
+    add_pj, mult_pj:
+        Floating-point ALU costs.
+    sram_pj, dram_pj:
+        Local memory-hierarchy access costs.
+    link_hop_pj:
+        Cost for one word to traverse one interconnect hop.
+    sram_accesses_per_mac:
+        Average number of on-chip buffer accesses per multiply-accumulate.
+        The row-stationary dataflow (Eyeriss) reuses weights and feature
+        rows inside the PE array, so this is far below the naive three
+        reads + one write; one buffer access per MAC reflects the high
+        reuse the dataflow achieves on the layer shapes used here.
+    """
+
+    add_pj: float = ADD_ENERGY_PJ
+    mult_pj: float = MULT_ENERGY_PJ
+    sram_pj: float = SRAM_ACCESS_PJ
+    dram_pj: float = DRAM_ACCESS_PJ
+    link_hop_pj: float = LINK_HOP_PJ
+    sram_accesses_per_mac: float = 1.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "add_pj",
+            "mult_pj",
+            "sram_pj",
+            "dram_pj",
+            "link_hop_pj",
+            "sram_accesses_per_mac",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"EnergyModel.{name} must be non-negative")
+
+    # ------------------------------------------------------------------
+    # Arithmetic.
+    # ------------------------------------------------------------------
+
+    @property
+    def mac_pj(self) -> float:
+        """One multiply-accumulate = one multiplication + one addition."""
+        return self.mult_pj + self.add_pj
+
+    def compute_energy(self, macs: float) -> float:
+        """Arithmetic energy (J) for ``macs`` multiply-accumulates."""
+        if macs < 0:
+            raise ValueError(f"macs must be non-negative, got {macs}")
+        return macs * self.mac_pj * PICOJOULE
+
+    def sram_energy(self, macs: float) -> float:
+        """On-chip buffer energy (J) for the buffer traffic of ``macs`` MACs."""
+        if macs < 0:
+            raise ValueError(f"macs must be non-negative, got {macs}")
+        return macs * self.sram_accesses_per_mac * self.sram_pj * PICOJOULE
+
+    # ------------------------------------------------------------------
+    # Memory and interconnect.
+    # ------------------------------------------------------------------
+
+    def dram_energy(self, words: float) -> float:
+        """Local DRAM energy (J) for ``words`` 32-bit accesses."""
+        if words < 0:
+            raise ValueError(f"words must be non-negative, got {words}")
+        return words * self.dram_pj * PICOJOULE
+
+    def communication_energy(self, words: float, hops: float = 1.0) -> float:
+        """Energy (J) to move ``words`` 32-bit words to another accelerator.
+
+        One remote word costs a DRAM read at the source, ``hops`` link
+        traversals and a DRAM write at the destination.
+        """
+        if words < 0:
+            raise ValueError(f"words must be non-negative, got {words}")
+        if hops < 0:
+            raise ValueError(f"hops must be non-negative, got {hops}")
+        per_word = 2 * self.dram_pj + hops * self.link_hop_pj
+        return words * per_word * PICOJOULE
+
+    def communication_energy_bytes(self, num_bytes: float, hops: float = 1.0) -> float:
+        """Same as :meth:`communication_energy` but taking bytes of traffic."""
+        return self.communication_energy(num_bytes / 4.0, hops)
+
+
+#: The default model with the paper's published constants.
+PAPER_ENERGY_MODEL = EnergyModel()

@@ -1,0 +1,70 @@
+"""Hybrid Memory Cube (HMC) configuration.
+
+Each accelerator of the HyPar architecture is built on one HMC cube
+(Section 5): stacked DRAM dies over a logic die, connected by TSVs, with
+the processing units integrated on the logic die.  The simulator only needs
+the cube's aggregate characteristics, which the paper takes from the HMC
+2.1 specification:
+
+* 320 GB/s of internal (vault) DRAM bandwidth,
+* 8 GB of stacked DRAM capacity.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+GIGA = 1e9
+GIBI = float(1 << 30)
+
+#: Internal DRAM bandwidth of one HMC cube (bytes/second).
+HMC_INTERNAL_BANDWIDTH = 320 * GIGA
+#: Stacked DRAM capacity of one HMC cube (bytes).
+HMC_CAPACITY = 8 * GIBI
+#: Number of vaults in an HMC 2.1 cube.
+HMC_NUM_VAULTS = 32
+
+
+@dataclasses.dataclass(frozen=True)
+class HMCConfig:
+    """Aggregate characteristics of one HMC cube.
+
+    Attributes
+    ----------
+    internal_bandwidth:
+        Peak bandwidth between the logic die and the stacked DRAM (B/s).
+    capacity:
+        Stacked DRAM capacity (bytes).
+    num_vaults:
+        Number of independent vaults; per-vault bandwidth is
+        ``internal_bandwidth / num_vaults``.
+    """
+
+    internal_bandwidth: float = HMC_INTERNAL_BANDWIDTH
+    capacity: float = HMC_CAPACITY
+    num_vaults: int = HMC_NUM_VAULTS
+
+    def __post_init__(self) -> None:
+        if self.internal_bandwidth <= 0:
+            raise ValueError("internal_bandwidth must be positive")
+        if self.capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if self.num_vaults <= 0:
+            raise ValueError("num_vaults must be positive")
+
+    @property
+    def vault_bandwidth(self) -> float:
+        """Bandwidth of one vault (B/s)."""
+        return self.internal_bandwidth / self.num_vaults
+
+    def access_time(self, num_bytes: float) -> float:
+        """Time (s) to stream ``num_bytes`` through the cube's internal bandwidth."""
+        if num_bytes < 0:
+            raise ValueError(f"num_bytes must be non-negative, got {num_bytes}")
+        return num_bytes / self.internal_bandwidth
+
+    def fits(self, num_bytes: float) -> bool:
+        """Whether a working set of ``num_bytes`` fits in the cube's DRAM."""
+        if num_bytes < 0:
+            raise ValueError(f"num_bytes must be non-negative, got {num_bytes}")
+        return num_bytes <= self.capacity

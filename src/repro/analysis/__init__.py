@@ -1,0 +1,98 @@
+"""Experiment drivers that regenerate every table and figure of the paper.
+
+* :mod:`repro.analysis.experiments` -- Figures 5-8 (optimised parallelism,
+  performance, energy efficiency, communication).
+* :mod:`repro.analysis.exploration` -- Figures 9-10 (parallelism-space
+  exploration for Lenet-c and VGG-A).
+* :mod:`repro.analysis.scalability` -- Figure 11 (1-64 accelerators).
+* :mod:`repro.analysis.topology_study` -- Figure 12 (H tree vs torus).
+* :mod:`repro.analysis.trick_study` -- Figure 13 ("one weird trick").
+* :mod:`repro.analysis.report` -- table/series formatting helpers.
+"""
+
+from repro.analysis.experiments import (
+    DATA_PARALLELISM,
+    HYPAR,
+    MODEL_PARALLELISM,
+    ONE_WEIRD_TRICK,
+    EvaluationTable,
+    ExperimentRunner,
+    ModelComparison,
+)
+from repro.analysis.exploration import (
+    ExplorationPoint,
+    ExplorationResult,
+    ParallelismExplorer,
+    bit_string,
+    describe_point,
+)
+from repro.analysis.report import format_series, format_table, format_value, geometric_mean
+from repro.analysis.sensitivity import (
+    DEFAULT_BATCH_SIZES,
+    DEFAULT_LINK_BANDWIDTHS,
+    SensitivityPoint,
+    SensitivityStudy,
+    batch_size_sensitivity,
+    link_bandwidth_sensitivity,
+    precision_sensitivity,
+)
+from repro.analysis.scalability import (
+    DEFAULT_ARRAY_SIZES,
+    ScalabilityCurve,
+    ScalabilityPoint,
+    ScalabilityStudy,
+    run_scalability_study,
+)
+from repro.analysis.topology_study import (
+    TopologyComparison,
+    TopologyStudy,
+    run_topology_study,
+)
+from repro.analysis.trick_study import (
+    DEFAULT_CONFIGS,
+    FOCUS_LAYERS,
+    TrickComparison,
+    TrickStudy,
+    focus_subnetwork,
+    run_trick_study,
+)
+
+__all__ = [
+    "ExperimentRunner",
+    "EvaluationTable",
+    "ModelComparison",
+    "MODEL_PARALLELISM",
+    "DATA_PARALLELISM",
+    "HYPAR",
+    "ONE_WEIRD_TRICK",
+    "ParallelismExplorer",
+    "ExplorationResult",
+    "ExplorationPoint",
+    "describe_point",
+    "bit_string",
+    "run_scalability_study",
+    "ScalabilityStudy",
+    "ScalabilityCurve",
+    "ScalabilityPoint",
+    "DEFAULT_ARRAY_SIZES",
+    "run_topology_study",
+    "TopologyStudy",
+    "TopologyComparison",
+    "run_trick_study",
+    "TrickStudy",
+    "TrickComparison",
+    "DEFAULT_CONFIGS",
+    "FOCUS_LAYERS",
+    "focus_subnetwork",
+    "geometric_mean",
+    "format_table",
+    "format_series",
+    "format_value",
+    "batch_size_sensitivity",
+    "link_bandwidth_sensitivity",
+    "precision_sensitivity",
+    "SensitivityStudy",
+    "SensitivityPoint",
+    "DEFAULT_BATCH_SIZES",
+    "DEFAULT_LINK_BANDWIDTHS",
+]

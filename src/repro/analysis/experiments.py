@@ -1,0 +1,182 @@
+"""Drivers for the paper's headline experiments (Figures 5, 6, 7 and 8).
+
+For every evaluation network the paper compares three strategies on the
+sixteen-accelerator H-tree array:
+
+* the default **Model Parallelism** (mp everywhere),
+* the default **Data Parallelism** (dp everywhere, the normalisation
+  baseline),
+* **HyPar**, the hierarchical communication-minimising search.
+
+Figure 5 reports the parallelism HyPar picks per layer per hierarchy level;
+Figure 6 the performance normalised to Data Parallelism; Figure 7 the
+energy efficiency normalised to Data Parallelism; Figure 8 the absolute
+communication per training step.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Mapping, Sequence
+
+from repro.accelerator.array import ArrayConfig
+from repro.analysis.report import format_table, geometric_mean
+from repro.core.baselines import data_parallelism, model_parallelism, one_weird_trick
+from repro.core.hierarchical import DEFAULT_BATCH_SIZE, HierarchicalPartitioner
+from repro.core.parallelism import HierarchicalAssignment
+from repro.core.result import HierarchicalResult
+from repro.core.tensors import ScalingMode
+from repro.interconnect import Topology
+from repro.nn.model import DNNModel
+from repro.nn.model_zoo import all_models
+from repro.sim.metrics import TrainingStepReport
+from repro.sim.training import TrainingSimulator
+
+#: Strategy names as they appear in the paper's figures.
+MODEL_PARALLELISM = "Model Parallelism"
+DATA_PARALLELISM = "Data Parallelism"
+HYPAR = "HyPar"
+ONE_WEIRD_TRICK = "One Weird Trick"
+
+
+@dataclasses.dataclass(frozen=True)
+class ModelComparison:
+    """Simulated reports for one network under every strategy."""
+
+    model_name: str
+    reports: Mapping[str, TrainingStepReport]
+    hypar_result: HierarchicalResult
+
+    @property
+    def baseline(self) -> TrainingStepReport:
+        return self.reports[DATA_PARALLELISM]
+
+    def normalized_performance(self) -> dict[str, float]:
+        """Speedup of every strategy over Data Parallelism (Figure 6)."""
+        return {
+            name: report.speedup_over(self.baseline)
+            for name, report in self.reports.items()
+        }
+
+    def normalized_energy_efficiency(self) -> dict[str, float]:
+        """Energy saving of every strategy over Data Parallelism (Figure 7)."""
+        return {
+            name: report.energy_efficiency_over(self.baseline)
+            for name, report in self.reports.items()
+        }
+
+    def communication_gb(self) -> dict[str, float]:
+        """Absolute communication per step in GB (Figure 8)."""
+        return {name: report.communication_gb for name, report in self.reports.items()}
+
+
+@dataclasses.dataclass(frozen=True)
+class EvaluationTable:
+    """Comparisons for a set of networks plus geometric means."""
+
+    comparisons: Sequence[ModelComparison]
+
+    def models(self) -> list[str]:
+        return [comparison.model_name for comparison in self.comparisons]
+
+    def _collect(self, extractor) -> dict[str, dict[str, float]]:
+        return {
+            comparison.model_name: extractor(comparison)
+            for comparison in self.comparisons
+        }
+
+    def performance(self) -> dict[str, dict[str, float]]:
+        return self._collect(ModelComparison.normalized_performance)
+
+    def energy_efficiency(self) -> dict[str, dict[str, float]]:
+        return self._collect(ModelComparison.normalized_energy_efficiency)
+
+    def communication(self) -> dict[str, dict[str, float]]:
+        return self._collect(ModelComparison.communication_gb)
+
+    def gmean(self, table: Mapping[str, Mapping[str, float]], strategy: str) -> float:
+        return geometric_mean(
+            row[strategy] for row in table.values() if row.get(strategy, 0) > 0
+        )
+
+    def format(self) -> str:
+        """All three tables rendered the way the paper's figures label them."""
+        strategies = [MODEL_PARALLELISM, DATA_PARALLELISM, HYPAR]
+        sections = [
+            format_table("Figure 6: performance normalized to Data Parallelism",
+                         self.performance(), strategies),
+            format_table("Figure 7: energy efficiency normalized to Data Parallelism",
+                         self.energy_efficiency(), strategies),
+            format_table("Figure 8: total communication per step (GB)",
+                         self.communication(), strategies),
+        ]
+        return "\n\n".join(sections)
+
+
+class ExperimentRunner:
+    """Runs the partition search and the simulator for a set of strategies.
+
+    Parameters mirror the paper's setup: a sixteen-accelerator H-tree array
+    and a batch size of 256, all overridable for the sensitivity studies.
+    """
+
+    def __init__(
+        self,
+        array: ArrayConfig | None = None,
+        topology: Topology | None = None,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        scaling_mode: ScalingMode | str = ScalingMode.PARALLELISM_AWARE,
+        include_trick: bool = False,
+    ) -> None:
+        self.array = array or ArrayConfig()
+        self.batch_size = batch_size
+        self.scaling_mode = ScalingMode.parse(scaling_mode)
+        self.include_trick = include_trick
+        self.simulator = TrainingSimulator(
+            self.array, topology, scaling_mode=self.scaling_mode
+        )
+        self.partitioner = HierarchicalPartitioner(
+            num_levels=self.array.num_levels, scaling_mode=self.scaling_mode
+        )
+
+    # ------------------------------------------------------------------
+    # Figure 5: the optimised parallelism lists.
+    # ------------------------------------------------------------------
+
+    def optimized_parallelism(self, model: DNNModel) -> HierarchicalResult:
+        """HyPar's searched assignment for ``model`` (one list per level)."""
+        return self.partitioner.partition(model, self.batch_size)
+
+    # ------------------------------------------------------------------
+    # Figures 6-8: simulate every strategy.
+    # ------------------------------------------------------------------
+
+    def strategy_assignments(self, model: DNNModel) -> dict[str, HierarchicalAssignment]:
+        """The assignments simulated for one network."""
+        num_levels = self.array.num_levels
+        hypar = self.optimized_parallelism(model)
+        assignments = {
+            MODEL_PARALLELISM: model_parallelism(model, num_levels),
+            DATA_PARALLELISM: data_parallelism(model, num_levels),
+            HYPAR: hypar.assignment,
+        }
+        if self.include_trick:
+            assignments[ONE_WEIRD_TRICK] = one_weird_trick(model, num_levels)
+        return assignments
+
+    def compare(self, model: DNNModel) -> ModelComparison:
+        """Simulate every strategy for one network."""
+        hypar_result = self.optimized_parallelism(model)
+        assignments = self.strategy_assignments(model)
+        reports = {
+            name: self.simulator.simulate(model, assignment, self.batch_size, name)
+            for name, assignment in assignments.items()
+        }
+        return ModelComparison(
+            model_name=model.name, reports=reports, hypar_result=hypar_result
+        )
+
+    def run(self, models: Sequence[DNNModel] | None = None) -> EvaluationTable:
+        """Run the comparison for every network (defaults to the paper's ten)."""
+        models = list(models) if models is not None else all_models()
+        return EvaluationTable(tuple(self.compare(model) for model in models))

@@ -1,0 +1,158 @@
+"""Scalability study (Figure 11).
+
+The paper scales the accelerator array from one to sixty-four accelerators
+(hierarchy depth zero to six) on VGG-A and compares HyPar with the default
+Data Parallelism on two axes: performance gain normalised to a single
+accelerator, and total communication per step.  Data Parallelism's gain
+saturates (and then degrades) once communication dominates, while HyPar
+keeps scaling further -- the headline scalability claim of Section 6.4.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+from repro.accelerator.array import ArrayConfig
+from repro.core.baselines import data_parallelism
+from repro.core.hierarchical import DEFAULT_BATCH_SIZE, HierarchicalPartitioner
+from repro.core.tensors import ScalingMode
+from repro.interconnect import HTreeTopology
+from repro.nn.model import DNNModel
+from repro.nn.model_zoo import vgg_a
+from repro.sim.metrics import TrainingStepReport
+from repro.sim.training import TrainingSimulator
+
+#: The paper sweeps 1, 2, 4, ..., 64 accelerators.
+DEFAULT_ARRAY_SIZES = (1, 2, 4, 8, 16, 32, 64)
+
+
+@dataclasses.dataclass(frozen=True)
+class ScalabilityPoint:
+    """Simulated behaviour of one strategy at one array size."""
+
+    num_accelerators: int
+    strategy_name: str
+    report: TrainingStepReport
+
+    @property
+    def step_seconds(self) -> float:
+        return self.report.step_seconds
+
+    @property
+    def communication_gb(self) -> float:
+        return self.report.communication_gb
+
+
+@dataclasses.dataclass(frozen=True)
+class ScalabilityCurve:
+    """One strategy's curve across array sizes."""
+
+    strategy_name: str
+    points: tuple[ScalabilityPoint, ...]
+
+    def performance_gains(self, single_accelerator_seconds: float) -> list[float]:
+        """Speedups over the single-accelerator latency (the left axis of Figure 11)."""
+        return [single_accelerator_seconds / point.step_seconds for point in self.points]
+
+    def communication_gb(self) -> list[float]:
+        """Per-step traffic at every array size (the right axis of Figure 11)."""
+        return [point.communication_gb for point in self.points]
+
+    def saturation_size(self, single_accelerator_seconds: float) -> int:
+        """Array size after which adding accelerators stops helping.
+
+        Returns the number of accelerators at which the performance gain
+        peaks; if the gain is still rising at the largest size swept, that
+        size is returned.
+        """
+        gains = self.performance_gains(single_accelerator_seconds)
+        best_index = max(range(len(gains)), key=lambda i: gains[i])
+        return self.points[best_index].num_accelerators
+
+
+@dataclasses.dataclass(frozen=True)
+class ScalabilityStudy:
+    """Complete Figure 11 data: both strategies over every array size."""
+
+    model_name: str
+    array_sizes: tuple[int, ...]
+    single_accelerator_seconds: float
+    hypar: ScalabilityCurve
+    data_parallelism: ScalabilityCurve
+
+    def as_rows(self) -> list[dict]:
+        """Flat rows (one per array size) convenient for printing/CSV."""
+        hypar_gains = self.hypar.performance_gains(self.single_accelerator_seconds)
+        dp_gains = self.data_parallelism.performance_gains(self.single_accelerator_seconds)
+        rows = []
+        for index, size in enumerate(self.array_sizes):
+            rows.append(
+                {
+                    "num_accelerators": size,
+                    "hypar_gain": hypar_gains[index],
+                    "dp_gain": dp_gains[index],
+                    "hypar_comm_gb": self.hypar.points[index].communication_gb,
+                    "dp_comm_gb": self.data_parallelism.points[index].communication_gb,
+                }
+            )
+        return rows
+
+
+def run_scalability_study(
+    model: DNNModel | None = None,
+    array_sizes: Sequence[int] = DEFAULT_ARRAY_SIZES,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+    base_array: ArrayConfig | None = None,
+    scaling_mode: ScalingMode | str = ScalingMode.PARALLELISM_AWARE,
+) -> ScalabilityStudy:
+    """Sweep the array size for HyPar and Data Parallelism (Figure 11).
+
+    ``model`` defaults to VGG-A, the network the paper uses for this study.
+    """
+    model = model or vgg_a()
+    base_array = base_array or ArrayConfig()
+    sizes = tuple(sorted(set(array_sizes)))
+    if sizes[0] < 1:
+        raise ValueError("array sizes must be at least 1")
+
+    hypar_points: list[ScalabilityPoint] = []
+    dp_points: list[ScalabilityPoint] = []
+    single_seconds: float | None = None
+
+    for size in sizes:
+        array = base_array.with_num_accelerators(size)
+        topology = (
+            HTreeTopology(size, array.link_bandwidth_bytes) if size > 1 else None
+        )
+        simulator = TrainingSimulator(array, topology, scaling_mode=scaling_mode)
+        if size == 1:
+            report = simulator.simulate(model, None, batch_size, strategy_name="single")
+            single_seconds = report.step_seconds
+            hypar_points.append(ScalabilityPoint(size, "HyPar", report))
+            dp_points.append(ScalabilityPoint(size, "Data Parallelism", report))
+            continue
+
+        partitioner = HierarchicalPartitioner(
+            num_levels=array.num_levels, scaling_mode=scaling_mode
+        )
+        hypar_assignment = partitioner.partition(model, batch_size).assignment
+        dp_assignment = data_parallelism(model, array.num_levels)
+
+        hypar_report = simulator.simulate(model, hypar_assignment, batch_size, "HyPar")
+        dp_report = simulator.simulate(model, dp_assignment, batch_size, "Data Parallelism")
+        hypar_points.append(ScalabilityPoint(size, "HyPar", hypar_report))
+        dp_points.append(ScalabilityPoint(size, "Data Parallelism", dp_report))
+
+    if single_seconds is None:
+        # The sweep did not include a single-accelerator point; normalise to
+        # the smallest size instead.
+        single_seconds = hypar_points[0].step_seconds
+
+    return ScalabilityStudy(
+        model_name=model.name,
+        array_sizes=sizes,
+        single_accelerator_seconds=single_seconds,
+        hypar=ScalabilityCurve("HyPar", tuple(hypar_points)),
+        data_parallelism=ScalabilityCurve("Data Parallelism", tuple(dp_points)),
+    )

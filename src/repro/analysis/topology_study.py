@@ -1,0 +1,102 @@
+"""Topology comparison (Figure 12): H tree versus torus.
+
+The parallelism per layer is HyPar's searched choice in both cases; only
+the physical interconnect differs.  Performance is normalised to the
+default Data Parallelism on the H tree (the baseline shared with Figure 6),
+so the H-tree bars of this study coincide with HyPar's bars in Figure 6 and
+the torus bars show what the mismatch between the binary-tree partition
+pattern and a mesh costs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+from repro.accelerator.array import ArrayConfig
+from repro.analysis.report import geometric_mean
+from repro.core.baselines import data_parallelism
+from repro.core.hierarchical import DEFAULT_BATCH_SIZE, HierarchicalPartitioner
+from repro.core.tensors import ScalingMode
+from repro.interconnect import HTreeTopology, TorusTopology
+from repro.nn.model import DNNModel
+from repro.nn.model_zoo import all_models
+from repro.sim.training import TrainingSimulator
+
+
+@dataclasses.dataclass(frozen=True)
+class TopologyComparison:
+    """Normalised performance of HyPar on both topologies for one network."""
+
+    model_name: str
+    htree_performance: float
+    torus_performance: float
+
+    @property
+    def htree_advantage(self) -> float:
+        """How much faster the H tree is than the torus for this network."""
+        if self.torus_performance <= 0:
+            return float("inf")
+        return self.htree_performance / self.torus_performance
+
+
+@dataclasses.dataclass(frozen=True)
+class TopologyStudy:
+    """Figure 12 data for a set of networks."""
+
+    comparisons: tuple[TopologyComparison, ...]
+
+    def gmean_htree(self) -> float:
+        return geometric_mean(c.htree_performance for c in self.comparisons)
+
+    def gmean_torus(self) -> float:
+        return geometric_mean(c.torus_performance for c in self.comparisons)
+
+    def as_rows(self) -> list[dict]:
+        return [
+            {
+                "model": c.model_name,
+                "torus": c.torus_performance,
+                "h_tree": c.htree_performance,
+            }
+            for c in self.comparisons
+        ]
+
+
+def run_topology_study(
+    models: Sequence[DNNModel] | None = None,
+    array: ArrayConfig | None = None,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+    scaling_mode: ScalingMode | str = ScalingMode.PARALLELISM_AWARE,
+) -> TopologyStudy:
+    """Compare HyPar on the H tree and on the torus (Figure 12)."""
+    models = list(models) if models is not None else all_models()
+    array = array or ArrayConfig()
+    htree = HTreeTopology(array.num_accelerators, array.link_bandwidth_bytes)
+    torus = TorusTopology(array.num_accelerators, array.link_bandwidth_bytes)
+
+    htree_simulator = TrainingSimulator(array, htree, scaling_mode=scaling_mode)
+    torus_simulator = TrainingSimulator(array, torus, scaling_mode=scaling_mode)
+    partitioner = HierarchicalPartitioner(
+        num_levels=array.num_levels, scaling_mode=scaling_mode
+    )
+
+    comparisons = []
+    for model in models:
+        hypar_assignment = partitioner.partition(model, batch_size).assignment
+        dp_assignment = data_parallelism(model, array.num_levels)
+
+        baseline = htree_simulator.simulate(
+            model, dp_assignment, batch_size, "Data Parallelism"
+        )
+        on_htree = htree_simulator.simulate(model, hypar_assignment, batch_size, "HyPar")
+        on_torus = torus_simulator.simulate(model, hypar_assignment, batch_size, "HyPar")
+
+        comparisons.append(
+            TopologyComparison(
+                model_name=model.name,
+                htree_performance=on_htree.speedup_over(baseline),
+                torus_performance=on_torus.speedup_over(baseline),
+            )
+        )
+    return TopologyStudy(tuple(comparisons))

@@ -1,0 +1,313 @@
+"""Command-line interface for the HyPar reproduction.
+
+Installed as the ``hypar`` console script (also runnable with
+``python -m repro``).  Sub-commands:
+
+``hypar partition <model>``
+    Run the hierarchical partition search for one network and print the
+    per-level parallelism lists (the content of Figure 5).
+
+``hypar compare [<model> ...]``
+    Simulate Model Parallelism, Data Parallelism and HyPar and print the
+    normalised performance / energy-efficiency / communication tables
+    (Figures 6-8).
+
+``hypar scalability``
+    Sweep the array size (Figure 11).
+
+``hypar topology``
+    Compare the H-tree and torus interconnects (Figure 12).
+
+``hypar trick``
+    Compare HyPar with "one weird trick" (Figure 13).
+
+``hypar placement <model>``
+    Show which slice of every tensor each accelerator holds under HyPar's
+    searched assignment, plus per-accelerator memory footprints.
+
+``hypar trace <model>``
+    Summarise the point-to-point communication trace of one training step
+    (per phase, per hierarchy level, per layer).
+
+``hypar models``
+    List the available networks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.accelerator.array import ArrayConfig
+from repro.analysis.experiments import ExperimentRunner
+from repro.analysis.report import format_series, format_table
+from repro.analysis.scalability import run_scalability_study
+from repro.analysis.topology_study import run_topology_study
+from repro.analysis.trick_study import run_trick_study
+from repro.core.hierarchical import DEFAULT_BATCH_SIZE
+from repro.core.tensors import ScalingMode
+from repro.nn.model_zoo import MODEL_BUILDERS, get_model
+
+
+def _add_common_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=DEFAULT_BATCH_SIZE,
+        help="training batch size (default: %(default)s, the paper's setting)",
+    )
+    parser.add_argument(
+        "--accelerators",
+        type=int,
+        default=16,
+        help="number of accelerators in the array; must be a power of two "
+        "(default: %(default)s)",
+    )
+    parser.add_argument(
+        "--scaling-mode",
+        choices=[mode.value for mode in ScalingMode],
+        default=ScalingMode.PARALLELISM_AWARE.value,
+        help="how tensor amounts shrink at deeper hierarchy levels "
+        "(default: %(default)s)",
+    )
+
+
+def _build_runner(args: argparse.Namespace, include_trick: bool = False) -> ExperimentRunner:
+    array = ArrayConfig(num_accelerators=args.accelerators)
+    return ExperimentRunner(
+        array=array,
+        batch_size=args.batch_size,
+        scaling_mode=args.scaling_mode,
+        include_trick=include_trick,
+    )
+
+
+def _cmd_models(_: argparse.Namespace) -> int:
+    for name, builder in MODEL_BUILDERS.items():
+        model = builder()
+        print(
+            f"{name:<10s} {model.num_weighted_layers:>3d} weighted layers "
+            f"({model.num_conv_layers} conv, {model.num_fc_layers} fc), "
+            f"{model.total_weights:,d} weights"
+        )
+    return 0
+
+
+def _cmd_partition(args: argparse.Namespace) -> int:
+    model = get_model(args.model)
+    runner = _build_runner(args)
+    result = runner.optimized_parallelism(model)
+    print(result.describe())
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    runner = _build_runner(args, include_trick=args.include_trick)
+    models = [get_model(name) for name in args.models] if args.models else None
+    table = runner.run(models)
+    print(table.format())
+    return 0
+
+
+def _cmd_scalability(args: argparse.Namespace) -> int:
+    model = get_model(args.model)
+    sizes = [int(size) for size in args.sizes.split(",")]
+    study = run_scalability_study(
+        model=model,
+        array_sizes=sizes,
+        batch_size=args.batch_size,
+        scaling_mode=args.scaling_mode,
+    )
+    rows = study.as_rows()
+    print(
+        format_series(
+            f"Figure 11: performance gain of HyPar on {model.name} (vs 1 accelerator)",
+            [row["num_accelerators"] for row in rows],
+            [row["hypar_gain"] for row in rows],
+        )
+    )
+    print(
+        format_series(
+            "Figure 11: performance gain of Data Parallelism (vs 1 accelerator)",
+            [row["num_accelerators"] for row in rows],
+            [row["dp_gain"] for row in rows],
+        )
+    )
+    print(
+        format_series(
+            "Figure 11: total communication of HyPar (GB/step)",
+            [row["num_accelerators"] for row in rows],
+            [row["hypar_comm_gb"] for row in rows],
+        )
+    )
+    print(
+        format_series(
+            "Figure 11: total communication of Data Parallelism (GB/step)",
+            [row["num_accelerators"] for row in rows],
+            [row["dp_comm_gb"] for row in rows],
+        )
+    )
+    return 0
+
+
+def _cmd_topology(args: argparse.Namespace) -> int:
+    models = [get_model(name) for name in args.models] if args.models else None
+    study = run_topology_study(
+        models=models,
+        array=ArrayConfig(num_accelerators=args.accelerators),
+        batch_size=args.batch_size,
+        scaling_mode=args.scaling_mode,
+    )
+    rows = {
+        row["model"]: {"Torus": row["torus"], "H Tree": row["h_tree"]}
+        for row in study.as_rows()
+    }
+    print(
+        format_table(
+            "Figure 12: normalized performance of torus and H-tree topology",
+            rows,
+            ["Torus", "H Tree"],
+        )
+    )
+    return 0
+
+
+def _cmd_trick(args: argparse.Namespace) -> int:
+    study = run_trick_study(scaling_mode=args.scaling_mode)
+    rows = {
+        row["config"]: {
+            "Performance": row["performance"],
+            "Energy Efficiency": row["energy_efficiency"],
+        }
+        for row in study.as_rows()
+    }
+    print(
+        format_table(
+            'Figure 13: HyPar versus "one weird trick"',
+            rows,
+            ["Performance", "Energy Efficiency"],
+        )
+    )
+    return 0
+
+
+def _cmd_placement(args: argparse.Namespace) -> int:
+    from repro.core.placement import TensorPlacement, placement_summary
+
+    model = get_model(args.model)
+    runner = _build_runner(args)
+    result = runner.optimized_parallelism(model)
+    placement = TensorPlacement(model, result.assignment)
+    placement.validate()
+    print(placement_summary(placement, args.batch_size))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.sim.trace import TraceBuilder
+
+    model = get_model(args.model)
+    runner = _build_runner(args)
+    result = runner.optimized_parallelism(model)
+    trace = TraceBuilder(scaling_mode=ScalingMode.parse(args.scaling_mode)).build(
+        model, result.assignment, args.batch_size
+    )
+    print(
+        f"{model.name}: {len(trace.transfers)} transfers, "
+        f"{trace.total_bytes / 1e9:.3f} GB per training step"
+    )
+    print("by phase:")
+    for phase, volume in trace.bytes_by_phase().items():
+        print(f"  {phase:<10s} {volume / 1e9:10.3f} GB")
+    print("by hierarchy level:")
+    for level, volume in sorted(trace.bytes_by_level().items()):
+        print(f"  H{level + 1:<9d} {volume / 1e9:10.3f} GB")
+    print("by layer:")
+    for layer, volume in trace.bytes_by_layer().items():
+        print(f"  {layer:<10s} {volume / 1e9:10.3f} GB")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="hypar",
+        description="HyPar: hybrid parallelism for a DNN accelerator array "
+        "(HPCA 2019 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    models_parser = subparsers.add_parser("models", help="list the evaluation networks")
+    models_parser.set_defaults(handler=_cmd_models)
+
+    partition_parser = subparsers.add_parser(
+        "partition", help="search the hybrid parallelism for one network (Figure 5)"
+    )
+    partition_parser.add_argument("model", help="network name, e.g. AlexNet or VGG-A")
+    _add_common_options(partition_parser)
+    partition_parser.set_defaults(handler=_cmd_partition)
+
+    compare_parser = subparsers.add_parser(
+        "compare", help="simulate MP / DP / HyPar for a set of networks (Figures 6-8)"
+    )
+    compare_parser.add_argument(
+        "models", nargs="*", help="network names (default: all ten evaluation networks)"
+    )
+    compare_parser.add_argument(
+        "--include-trick",
+        action="store_true",
+        help='also simulate "one weird trick"',
+    )
+    _add_common_options(compare_parser)
+    compare_parser.set_defaults(handler=_cmd_compare)
+
+    scalability_parser = subparsers.add_parser(
+        "scalability", help="sweep the array size (Figure 11)"
+    )
+    scalability_parser.add_argument("--model", default="VGG-A")
+    scalability_parser.add_argument(
+        "--sizes", default="1,2,4,8,16,32,64", help="comma-separated accelerator counts"
+    )
+    _add_common_options(scalability_parser)
+    scalability_parser.set_defaults(handler=_cmd_scalability)
+
+    topology_parser = subparsers.add_parser(
+        "topology", help="compare H-tree and torus interconnects (Figure 12)"
+    )
+    topology_parser.add_argument("models", nargs="*")
+    _add_common_options(topology_parser)
+    topology_parser.set_defaults(handler=_cmd_topology)
+
+    trick_parser = subparsers.add_parser(
+        "trick", help='compare HyPar with "one weird trick" (Figure 13)'
+    )
+    _add_common_options(trick_parser)
+    trick_parser.set_defaults(handler=_cmd_trick)
+
+    placement_parser = subparsers.add_parser(
+        "placement", help="show per-accelerator tensor shards and memory footprints"
+    )
+    placement_parser.add_argument("model", help="network name, e.g. AlexNet or VGG-A")
+    _add_common_options(placement_parser)
+    placement_parser.set_defaults(handler=_cmd_placement)
+
+    trace_parser = subparsers.add_parser(
+        "trace", help="summarise the communication trace of one training step"
+    )
+    trace_parser.add_argument("model", help="network name, e.g. AlexNet or VGG-A")
+    _add_common_options(trace_parser)
+    trace_parser.set_defaults(handler=_cmd_trace)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point for the ``hypar`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

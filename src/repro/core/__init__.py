@@ -1,0 +1,121 @@
+"""HyPar's core contribution: the communication model and the partition search.
+
+The package is organised around three ideas from the paper:
+
+1. **Communication model** (:mod:`repro.core.communication`): for a layer
+   assigned data or model parallelism, where communication comes from and
+   how much of it there is (Tables 1 and 2).
+2. **Partition between two accelerator groups**
+   (:mod:`repro.core.partitioner`): Algorithm 1, a linear-time dynamic
+   program minimising total communication.
+3. **Hierarchical partition** (:mod:`repro.core.hierarchical`): Algorithm 2,
+   which applies the two-way partition recursively to an array of ``2**H``
+   accelerators.
+
+Baselines (default Data/Model Parallelism and "one weird trick"), an
+exhaustive-search validator and the result records round out the package.
+"""
+
+from repro.core.baselines import (
+    STRATEGIES,
+    data_parallelism,
+    get_strategy,
+    model_parallelism,
+    one_weird_trick,
+    random_assignment,
+)
+from repro.core.communication import (
+    PAIR_FACTOR,
+    CommunicationModel,
+    LayerCommunication,
+)
+from repro.core.execution import (
+    CommunicationEvent,
+    PartitionedStepResult,
+    TwoGroupExecutor,
+)
+from repro.core.exhaustive import (
+    SearchSpaceTooLarge,
+    all_layer_assignments,
+    enumerate_restricted,
+    exhaustive_hierarchical,
+    exhaustive_two_way,
+)
+from repro.core.hierarchical import (
+    DEFAULT_BATCH_SIZE,
+    DEFAULT_NUM_LEVELS,
+    HierarchicalPartitioner,
+)
+from repro.core.parallelism import (
+    DATA,
+    MODEL,
+    HierarchicalAssignment,
+    LayerAssignment,
+    Parallelism,
+)
+from repro.core.partitioner import TwoWayPartitioner
+from repro.core.placement import (
+    AcceleratorFootprint,
+    Interval,
+    LayerShard,
+    TensorPlacement,
+    placement_summary,
+)
+from repro.core.result import HierarchicalResult, LevelResult, PartitionResult
+from repro.core.tensors import (
+    BYTES_PER_ELEMENT,
+    LayerTensors,
+    ScalingMode,
+    TensorScale,
+    descend_scales,
+    elements_to_bytes,
+    initial_scales,
+    layer_tensors,
+    model_tensors,
+)
+
+__all__ = [
+    "Parallelism",
+    "DATA",
+    "MODEL",
+    "LayerAssignment",
+    "HierarchicalAssignment",
+    "CommunicationModel",
+    "LayerCommunication",
+    "PAIR_FACTOR",
+    "BYTES_PER_ELEMENT",
+    "LayerTensors",
+    "TensorScale",
+    "ScalingMode",
+    "layer_tensors",
+    "model_tensors",
+    "descend_scales",
+    "initial_scales",
+    "elements_to_bytes",
+    "TwoWayPartitioner",
+    "HierarchicalPartitioner",
+    "DEFAULT_NUM_LEVELS",
+    "DEFAULT_BATCH_SIZE",
+    "PartitionResult",
+    "LevelResult",
+    "HierarchicalResult",
+    "data_parallelism",
+    "model_parallelism",
+    "one_weird_trick",
+    "random_assignment",
+    "get_strategy",
+    "STRATEGIES",
+    "all_layer_assignments",
+    "exhaustive_two_way",
+    "exhaustive_hierarchical",
+    "enumerate_restricted",
+    "SearchSpaceTooLarge",
+    "TensorPlacement",
+    "LayerShard",
+    "Interval",
+    "AcceleratorFootprint",
+    "placement_summary",
+    "TwoGroupExecutor",
+    "PartitionedStepResult",
+    "CommunicationEvent",
+]

@@ -1,0 +1,98 @@
+"""Baseline parallelism strategies the paper compares against.
+
+* **Data Parallelism** -- every layer at every level uses data parallelism
+  (the de-facto default for training frameworks).
+* **Model Parallelism** -- every layer at every level uses model parallelism.
+* **"One weird trick"** (Krizhevsky, 2014) -- convolutional layers use data
+  parallelism, fully-connected layers use model parallelism, at every level.
+* **Random assignments** -- used by tests and ablations as a sanity floor.
+
+Every strategy produces a :class:`~repro.core.parallelism.HierarchicalAssignment`
+for a given model and number of hierarchy levels, so all of them can be fed
+to :class:`~repro.core.hierarchical.HierarchicalPartitioner.evaluate` and to
+the simulator on an equal footing with HyPar's searched assignment.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict
+
+from repro.core.parallelism import (
+    HierarchicalAssignment,
+    LayerAssignment,
+    Parallelism,
+)
+from repro.nn.model import DNNModel
+
+
+def data_parallelism(model: DNNModel, num_levels: int) -> HierarchicalAssignment:
+    """The default Data Parallelism: dp for every layer at every level."""
+    return HierarchicalAssignment.uniform(Parallelism.DATA, num_levels, len(model))
+
+
+def model_parallelism(model: DNNModel, num_levels: int) -> HierarchicalAssignment:
+    """The default Model Parallelism: mp for every layer at every level."""
+    return HierarchicalAssignment.uniform(Parallelism.MODEL, num_levels, len(model))
+
+
+def one_weird_trick(model: DNNModel, num_levels: int) -> HierarchicalAssignment:
+    """Krizhevsky's "one weird trick": conv layers → dp, fc layers → mp.
+
+    The trick only looks at the layer type, so the same list is repeated at
+    every hierarchy level.
+    """
+    level = LayerAssignment(
+        tuple(
+            Parallelism.DATA if layer.is_conv else Parallelism.MODEL
+            for layer in model
+        )
+    )
+    return HierarchicalAssignment(tuple([level] * num_levels))
+
+
+def random_assignment(
+    model: DNNModel,
+    num_levels: int,
+    seed: int | None = None,
+) -> HierarchicalAssignment:
+    """A uniformly random assignment (useful as a statistical baseline)."""
+    rng = random.Random(seed)
+    levels = []
+    for _ in range(num_levels):
+        levels.append(
+            LayerAssignment(
+                tuple(
+                    Parallelism.DATA if rng.random() < 0.5 else Parallelism.MODEL
+                    for _ in range(len(model))
+                )
+            )
+        )
+    return HierarchicalAssignment(tuple(levels))
+
+
+#: Named strategies usable from the CLI and the experiment drivers.  The
+#: callables take ``(model, num_levels)`` and return an assignment.
+STRATEGIES: Dict[str, Callable[[DNNModel, int], HierarchicalAssignment]] = {
+    "data-parallelism": data_parallelism,
+    "model-parallelism": model_parallelism,
+    "one-weird-trick": one_weird_trick,
+}
+
+
+def get_strategy(name: str) -> Callable[[DNNModel, int], HierarchicalAssignment]:
+    """Look up a baseline strategy by name (case-insensitive, '-'/'_' agnostic)."""
+    normalized = name.strip().lower().replace("_", "-")
+    aliases = {
+        "dp": "data-parallelism",
+        "data": "data-parallelism",
+        "mp": "model-parallelism",
+        "model": "model-parallelism",
+        "trick": "one-weird-trick",
+        "owt": "one-weird-trick",
+    }
+    normalized = aliases.get(normalized, normalized)
+    if normalized not in STRATEGIES:
+        known = ", ".join(sorted(STRATEGIES))
+        raise KeyError(f"unknown strategy {name!r}; known strategies: {known}")
+    return STRATEGIES[normalized]

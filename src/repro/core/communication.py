@@ -1,0 +1,237 @@
+"""The HyPar communication model (Section 3, Tables 1 and 2).
+
+For a layer configured with a given parallelism the model distinguishes two
+sources of communication between the two accelerator groups of one
+hierarchy level:
+
+* **Intra-layer communication** (Table 1) -- the partial-sum exchange
+  marked with a circled plus in Figure 1:
+
+  ============  =============================
+  parallelism    amount
+  ============  =============================
+  dp             ``A(dW_l)`` (gradient reduction during the weight update)
+  mp             ``A(F_{l+1})`` (output-feature partial-sum reduction in forward)
+  ============  =============================
+
+* **Inter-layer communication** (Table 2) -- the tensor re-layout needed
+  between a layer's *R* tensors (its outputs ``F_{l+1}``/``E_{l+1}``) and
+  the next layer's *L* tensors:
+
+  ============  ==========================================
+  transition     amount
+  ============  ==========================================
+  dp → dp        0
+  dp → mp        ``0.25 A(F_{l+1}) + 0.25 A(E_{l+1})``
+  mp → mp        ``0.5 A(E_{l+1})``
+  mp → dp        ``0.5 A(E_{l+1})``
+  ============  ==========================================
+
+Amounts are element counts.  When converting to bytes the model multiplies
+by the precision (4 bytes) and by a *pair factor* of two because both
+groups perform the remote access (the paper's worked example in Section
+3.4 counts ``56 KB = 2 x 70 x 100 x 4 B`` for the dp gradient exchange of a
+70x100 fully-connected layer).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+from repro.core.parallelism import LayerAssignment, Parallelism
+from repro.core.tensors import BYTES_PER_ELEMENT, LayerTensors
+
+#: Both groups of a pair remotely read the other group's partial sums, so
+#: the traffic crossing the link is twice the tensor amount involved.
+PAIR_FACTOR = 2
+
+
+class CommunicationModel:
+    """Evaluates intra-layer and inter-layer communication amounts.
+
+    Parameters
+    ----------
+    bytes_per_element:
+        Storage size of one tensor element (4 for the paper's fp32).
+    pair_factor:
+        Multiplier accounting for both directions of the exchange between
+        the two groups of a hierarchy level (2 in the paper's examples).
+    """
+
+    def __init__(
+        self,
+        bytes_per_element: int = BYTES_PER_ELEMENT,
+        pair_factor: int = PAIR_FACTOR,
+    ) -> None:
+        if bytes_per_element <= 0:
+            raise ValueError(f"bytes_per_element must be positive, got {bytes_per_element}")
+        if pair_factor <= 0:
+            raise ValueError(f"pair_factor must be positive, got {pair_factor}")
+        self.bytes_per_element = bytes_per_element
+        self.pair_factor = pair_factor
+
+    # ------------------------------------------------------------------
+    # Element-count primitives (Table 1 and Table 2).
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def intra_layer_elements(tensors: LayerTensors, parallelism: Parallelism) -> float:
+        """Table 1: intra-layer communication amount, in elements."""
+        if parallelism is Parallelism.DATA:
+            return tensors.gradient
+        return tensors.feature_out
+
+    @staticmethod
+    def inter_layer_forward_elements(
+        previous: Parallelism,
+        current: Parallelism,
+        boundary: LayerTensors,
+    ) -> float:
+        """Feature-map share of the inter-layer amount (exchanged during forward).
+
+        Only the dp→mp transition re-lays-out the boundary feature map
+        ``F_{l+1}`` (Figure 2 (b)); every other transition either needs no
+        feature-map exchange or already holds the required slice.
+        """
+        if previous is Parallelism.DATA and current is Parallelism.MODEL:
+            return 0.25 * boundary.feature_out
+        return 0.0
+
+    @staticmethod
+    def inter_layer_backward_elements(
+        previous: Parallelism,
+        current: Parallelism,
+        boundary: LayerTensors,
+    ) -> float:
+        """Error share of the inter-layer amount (exchanged during error backward)."""
+        if previous is Parallelism.DATA and current is Parallelism.DATA:
+            return 0.0
+        if previous is Parallelism.DATA and current is Parallelism.MODEL:
+            return 0.25 * boundary.error_out
+        # mp -> mp and mp -> dp both cost half the boundary error tensor.
+        return 0.5 * boundary.error_out
+
+    @classmethod
+    def inter_layer_elements(
+        cls,
+        previous: Parallelism,
+        current: Parallelism,
+        boundary: LayerTensors,
+    ) -> float:
+        """Table 2: inter-layer communication amount, in elements.
+
+        ``boundary`` is the tensor record of the *previous* layer: the
+        boundary feature map is that layer's ``F_{l+1}`` and the boundary
+        error is its ``E_{l+1}``.
+        """
+        return cls.inter_layer_forward_elements(
+            previous, current, boundary
+        ) + cls.inter_layer_backward_elements(previous, current, boundary)
+
+    # ------------------------------------------------------------------
+    # Byte-level helpers.
+    # ------------------------------------------------------------------
+
+    def _to_bytes(self, elements: float) -> float:
+        return elements * self.bytes_per_element * self.pair_factor
+
+    def intra_layer_bytes(self, tensors: LayerTensors, parallelism: Parallelism) -> float:
+        """Intra-layer traffic crossing the link between the two groups, in bytes."""
+        return self._to_bytes(self.intra_layer_elements(tensors, parallelism))
+
+    def inter_layer_bytes(
+        self,
+        previous: Parallelism,
+        current: Parallelism,
+        boundary: LayerTensors,
+    ) -> float:
+        """Inter-layer traffic crossing the link between the two groups, in bytes."""
+        return self._to_bytes(self.inter_layer_elements(previous, current, boundary))
+
+    def inter_layer_forward_bytes(
+        self,
+        previous: Parallelism,
+        current: Parallelism,
+        boundary: LayerTensors,
+    ) -> float:
+        """Forward-pass (feature-map) share of the inter-layer traffic, in bytes."""
+        return self._to_bytes(
+            self.inter_layer_forward_elements(previous, current, boundary)
+        )
+
+    def inter_layer_backward_bytes(
+        self,
+        previous: Parallelism,
+        current: Parallelism,
+        boundary: LayerTensors,
+    ) -> float:
+        """Backward-pass (error) share of the inter-layer traffic, in bytes."""
+        return self._to_bytes(
+            self.inter_layer_backward_elements(previous, current, boundary)
+        )
+
+    # ------------------------------------------------------------------
+    # Whole-assignment evaluation.
+    # ------------------------------------------------------------------
+
+    def layer_breakdown(
+        self,
+        tensors: Sequence[LayerTensors],
+        assignment: LayerAssignment,
+    ) -> list["LayerCommunication"]:
+        """Per-layer communication for one assignment at one hierarchy level.
+
+        The inter-layer contribution of layer ``l`` covers the transition
+        from layer ``l-1`` to layer ``l`` (the first layer has none: its
+        input comes from the training data, which every group already
+        holds under either parallelism).
+        """
+        if len(tensors) != assignment.num_layers:
+            raise ValueError(
+                f"expected {assignment.num_layers} tensor records, got {len(tensors)}"
+            )
+        breakdown: list[LayerCommunication] = []
+        for index, (layer, choice) in enumerate(zip(tensors, assignment)):
+            intra = self.intra_layer_bytes(layer, choice)
+            if index == 0:
+                inter = 0.0
+            else:
+                inter = self.inter_layer_bytes(
+                    assignment[index - 1], choice, tensors[index - 1]
+                )
+            breakdown.append(
+                LayerCommunication(
+                    layer_index=layer.layer_index,
+                    layer_name=layer.layer_name,
+                    parallelism=choice,
+                    intra_bytes=intra,
+                    inter_bytes=inter,
+                )
+            )
+        return breakdown
+
+    def total_bytes(
+        self,
+        tensors: Sequence[LayerTensors],
+        assignment: LayerAssignment,
+    ) -> float:
+        """Total traffic (bytes) between the two groups for one training step."""
+        return sum(
+            record.total_bytes for record in self.layer_breakdown(tensors, assignment)
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class LayerCommunication:
+    """Communication attributed to one weighted layer at one hierarchy level."""
+
+    layer_index: int
+    layer_name: str
+    parallelism: Parallelism
+    intra_bytes: float
+    inter_bytes: float
+
+    @property
+    def total_bytes(self) -> float:
+        return self.intra_bytes + self.inter_bytes

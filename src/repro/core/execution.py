@@ -1,0 +1,371 @@
+"""Numerically-validated partitioned execution of one training step.
+
+This module executes one training step of a network that has been split
+across **two accelerator groups** (one hierarchy level -- the setting of
+Figure 1 and Section 3.1 of the paper), using the numpy reference kernels
+of :mod:`repro.nn.reference`.  Each group only ever computes with the
+tensor slices it would physically hold:
+
+* a **data-parallel** layer processes its half of the batch with a full
+  kernel copy and contributes a gradient partial sum that must be reduced
+  with the other group's (the dp intra-layer communication);
+* a **model-parallel** layer processes the full batch with its half of the
+  kernel rows (input features), producing output-feature-map partial sums
+  that must be reduced in the forward pass (the mp intra-layer
+  communication);
+* between layers, whatever slice of the boundary feature map / error a
+  group needs but did not produce itself is fetched from the other group
+  (the inter-layer communication of Table 2).
+
+The executor records every such exchange with its element count, and its
+stitched results are compared against the monolithic
+:class:`~repro.nn.reference.ReferenceNetwork` step by the test suite.  This
+is the strongest form of validation of the communication model: the
+amounts in Tables 1 and 2 are not just formulas we copied, they are what an
+actual partitioned computation must move to stay numerically identical to
+the unpartitioned one.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.core.parallelism import LayerAssignment, Parallelism
+from repro.core.placement import Interval
+from repro.nn.layers import FCLayer
+from repro.nn.model import DNNModel
+from repro.nn.reference import (
+    ReferenceNetwork,
+    activation_backward,
+    activation_forward,
+)
+
+FULL = Interval(0.0, 1.0)
+HALVES = (Interval(0.0, 0.5), Interval(0.5, 1.0))
+
+
+@dataclasses.dataclass(frozen=True)
+class Rectangle:
+    """A (batch x feature) region of a boundary tensor, in fraction space."""
+
+    batch: Interval
+    feature: Interval
+
+    @property
+    def area(self) -> float:
+        return self.batch.length * self.feature.length
+
+    def intersection_area(self, other: "Rectangle") -> float:
+        batch_overlap = max(
+            0.0, min(self.batch.stop, other.batch.stop) - max(self.batch.start, other.batch.start)
+        )
+        feature_overlap = max(
+            0.0,
+            min(self.feature.stop, other.feature.stop)
+            - max(self.feature.start, other.feature.start),
+        )
+        return batch_overlap * feature_overlap
+
+
+@dataclasses.dataclass(frozen=True)
+class CommunicationEvent:
+    """One recorded exchange between the two groups."""
+
+    layer_name: str
+    kind: str  # "intra-dp", "intra-mp", "inter-forward", "inter-backward"
+    elements: float
+
+    def __post_init__(self) -> None:
+        if self.elements < 0:
+            raise ValueError("communication elements must be non-negative")
+
+
+@dataclasses.dataclass
+class PartitionedStepResult:
+    """Outputs of a partitioned training step plus its communication log."""
+
+    output: np.ndarray
+    gradients: List[np.ndarray]
+    input_error: np.ndarray
+    events: List[CommunicationEvent]
+
+    def total_elements(self) -> float:
+        return sum(event.elements for event in self.events)
+
+    def elements_by_kind(self) -> Dict[str, float]:
+        totals: Dict[str, float] = {}
+        for event in self.events:
+            totals[event.kind] = totals.get(event.kind, 0.0) + event.elements
+        return totals
+
+    def elements_by_layer(self) -> Dict[str, float]:
+        totals: Dict[str, float] = {}
+        for event in self.events:
+            totals[event.layer_name] = totals.get(event.layer_name, 0.0) + event.elements
+        return totals
+
+
+class TwoGroupExecutor:
+    """Executes one training step split across two accelerator groups.
+
+    Parameters
+    ----------
+    network:
+        The :class:`ReferenceNetwork` whose weights are being trained; its
+        model must avoid pooling (see the reference module).
+    assignment:
+        The per-layer dp/mp choices for the single hierarchy level being
+        modelled (two groups).
+    """
+
+    def __init__(self, network: ReferenceNetwork, assignment: LayerAssignment) -> None:
+        if assignment.num_layers != len(network.model):
+            raise ValueError(
+                f"assignment covers {assignment.num_layers} layers, "
+                f"model has {len(network.model)}"
+            )
+        self.network = network
+        self.model: DNNModel = network.model
+        self.assignment = assignment
+
+    # ------------------------------------------------------------------
+    # Layout helpers.
+    # ------------------------------------------------------------------
+
+    def _needed_input_rectangle(self, layer_index: int, group: int) -> Rectangle:
+        """The slice of the boundary tensor layer ``layer_index`` reads in forward."""
+        if self.assignment[layer_index] is Parallelism.DATA:
+            return Rectangle(HALVES[group], FULL)
+        return Rectangle(FULL, HALVES[group])
+
+    def _needed_error_rectangle(self, layer_index: int, group: int) -> Rectangle:
+        """The slice of the output error layer ``layer_index`` reads in backward."""
+        if self.assignment[layer_index] is Parallelism.DATA:
+            return Rectangle(HALVES[group], FULL)
+        return Rectangle(FULL, FULL)
+
+    def _produced_output_rectangle(self, layer_index: int, group: int) -> Rectangle:
+        """The slice of its output feature map a group holds after forward."""
+        if self.assignment[layer_index] is Parallelism.DATA:
+            return Rectangle(HALVES[group], FULL)
+        # Model parallelism: after the partial-sum reduction every group holds
+        # the full output for the full batch.
+        return Rectangle(FULL, FULL)
+
+    def _produced_error_rectangle(self, layer_index: int, group: int) -> Rectangle:
+        """The slice of its *input* error a group produces in backward."""
+        if self.assignment[layer_index] is Parallelism.DATA:
+            return Rectangle(HALVES[group], FULL)
+        return Rectangle(FULL, HALVES[group])
+
+    @staticmethod
+    def _missing_elements(needed: Rectangle, produced: Rectangle, total_elements: int) -> float:
+        """Elements of ``needed`` that are not already inside ``produced``."""
+        return (needed.area - needed.intersection_area(produced)) * total_elements
+
+    # ------------------------------------------------------------------
+    # Tensor slicing helpers (operating on full logical arrays).
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _batch_slice(tensor: np.ndarray, interval: Interval) -> np.ndarray:
+        return tensor[interval.slice_of(tensor.shape[0])]
+
+    def _feature_slice(self, layer_index: int, tensor: np.ndarray, interval: Interval) -> np.ndarray:
+        """Slice the input-feature dimension of layer ``layer_index``'s input."""
+        spec = self.model[layer_index].spec
+        if isinstance(spec, FCLayer):
+            flat = tensor.reshape(tensor.shape[0], -1)
+            return flat[:, interval.slice_of(flat.shape[1])]
+        return tensor[..., interval.slice_of(tensor.shape[-1])]
+
+    def _weight_slice(self, layer_index: int, interval: Interval) -> np.ndarray:
+        """Slice the kernel's input dimension (rows / input channels)."""
+        weight = self.network.weights[layer_index]
+        spec = self.model[layer_index].spec
+        if isinstance(spec, FCLayer):
+            return weight[interval.slice_of(weight.shape[0]), :]
+        return weight[:, :, interval.slice_of(weight.shape[2]), :]
+
+    # ------------------------------------------------------------------
+    # The partitioned training step.
+    # ------------------------------------------------------------------
+
+    def run_step(self, x: np.ndarray, grad_output: np.ndarray) -> PartitionedStepResult:
+        """Execute forward, error backward and gradient computation.
+
+        ``x`` is the full input batch and ``grad_output`` the full loss
+        gradient at the network output; both are logically available to the
+        groups according to the first/last layers' layouts (reading training
+        data and computing the loss are local operations, as in the paper).
+        """
+        events: List[CommunicationEvent] = []
+        model = self.model
+        num_layers = len(model)
+
+        # --------------------------- forward ---------------------------
+        # full_inputs[l] is the full logical input of layer l; full_pre[l]
+        # the full pre-activation; full_outputs[l] the full activation.
+        full_inputs: List[np.ndarray] = []
+        full_pre: List[np.ndarray] = []
+        full_outputs: List[np.ndarray] = []
+        current = x
+        for index, layer in enumerate(model):
+            choice = self.assignment[index]
+            full_inputs.append(current)
+            total_boundary = current.size
+
+            # Inter-layer (forward) communication: what each group must fetch
+            # to assemble the input slice it needs.  Layer 0 reads the
+            # training data, which is local by definition.
+            if index > 0:
+                for group in range(2):
+                    needed = self._needed_input_rectangle(index, group)
+                    produced = self._produced_output_rectangle(index - 1, group)
+                    missing = self._missing_elements(needed, produced, total_boundary)
+                    if missing:
+                        events.append(
+                            CommunicationEvent(layer.name, "inter-forward", missing)
+                        )
+
+            if choice is Parallelism.DATA:
+                parts = []
+                for group in range(2):
+                    local_input = self._batch_slice(current, HALVES[group])
+                    parts.append(
+                        self.network.layer_forward(
+                            index, local_input, self.network.weights[index]
+                        )
+                    )
+                pre_activation = np.concatenate(parts, axis=0)
+            else:
+                partials = []
+                for group in range(2):
+                    local_input = self._feature_slice(index, current, HALVES[group])
+                    local_weight = self._weight_slice(index, HALVES[group])
+                    partials.append(
+                        self.network.layer_forward(index, local_input, local_weight)
+                    )
+                # The partial-sum exchange: each group sends its full-size
+                # partial output to the other (Table 1's mp entry).
+                events.append(
+                    CommunicationEvent(layer.name, "intra-mp", 2.0 * partials[0].size)
+                )
+                pre_activation = partials[0] + partials[1]
+
+            output = activation_forward(pre_activation, layer.spec.activation)
+            full_pre.append(pre_activation)
+            full_outputs.append(output)
+            current = output
+
+        # --------------------------- backward --------------------------
+        gradients: List[np.ndarray | None] = [None] * num_layers
+        # current_error is the full logical error at the output of the layer
+        # being processed; its produced layout is that of the layer above
+        # (or of the loss, which matches the last layer's own layout).
+        current_error = grad_output
+        input_error: np.ndarray | None = None
+        for index in reversed(range(num_layers)):
+            layer = model[index]
+            choice = self.assignment[index]
+            total_boundary = current_error.size
+
+            # Inter-layer (backward) communication: the error produced by the
+            # layer above arrives in that layer's layout; this layer needs it
+            # in its own layout.  Like the communication model, the exchange
+            # is attributed to the upper layer of the boundary (the transition
+            # "layer index -> layer index+1").
+            if index + 1 < num_layers:
+                for group in range(2):
+                    needed = self._needed_error_rectangle(index, group)
+                    produced = self._produced_error_rectangle(index + 1, group)
+                    missing = self._missing_elements(needed, produced, total_boundary)
+                    if missing:
+                        events.append(
+                            CommunicationEvent(
+                                model[index + 1].name, "inter-backward", missing
+                            )
+                        )
+
+            if choice is Parallelism.DATA:
+                grad_parts = []
+                error_parts = []
+                weight_partials = []
+                for group in range(2):
+                    local_error = self._batch_slice(current_error, HALVES[group])
+                    local_pre = self._batch_slice(full_pre[index], HALVES[group])
+                    local_input = self._batch_slice(full_inputs[index], HALVES[group])
+                    local_grad = activation_backward(
+                        local_pre, local_error, layer.spec.activation
+                    )
+                    weight_partials.append(
+                        self.network.layer_backward_weight(index, local_input, local_grad)
+                    )
+                    error_parts.append(
+                        self.network.layer_backward_input(
+                            index, local_grad, self.network.weights[index], local_input
+                        )
+                    )
+                    grad_parts.append(local_grad)
+                # Gradient partial-sum exchange (Table 1's dp entry).
+                events.append(
+                    CommunicationEvent(
+                        layer.name, "intra-dp", 2.0 * weight_partials[0].size
+                    )
+                )
+                gradients[index] = weight_partials[0] + weight_partials[1]
+                current_error = np.concatenate(error_parts, axis=0)
+            else:
+                local_grad = activation_backward(
+                    full_pre[index], current_error, layer.spec.activation
+                )
+                weight_slices = []
+                error_slices = []
+                for group in range(2):
+                    local_input = self._feature_slice(
+                        index, full_inputs[index], HALVES[group]
+                    )
+                    local_weight = self._weight_slice(index, HALVES[group])
+                    weight_slices.append(
+                        self.network.layer_backward_weight(index, local_input, local_grad)
+                    )
+                    error_slices.append(
+                        self.network.layer_backward_input(
+                            index, local_grad, local_weight, local_input
+                        )
+                    )
+                # Stitch the kernel-row slices and input-feature slices back
+                # into full tensors (no communication: each group keeps its
+                # own slice, exactly as in Figure 1 (b)).
+                gradients[index] = self._stitch_weight(index, weight_slices)
+                current_error = self._stitch_features(index, error_slices, full_inputs[index])
+
+            input_error = current_error
+
+        return PartitionedStepResult(
+            output=full_outputs[-1],
+            gradients=[grad for grad in gradients if grad is not None],
+            input_error=input_error,
+            events=events,
+        )
+
+    # ------------------------------------------------------------------
+    # Stitching helpers for model-parallel slices.
+    # ------------------------------------------------------------------
+
+    def _stitch_weight(self, layer_index: int, slices: Sequence[np.ndarray]) -> np.ndarray:
+        spec = self.model[layer_index].spec
+        axis = 0 if isinstance(spec, FCLayer) else 2
+        return np.concatenate(slices, axis=axis)
+
+    def _stitch_features(
+        self, layer_index: int, slices: Sequence[np.ndarray], reference: np.ndarray
+    ) -> np.ndarray:
+        spec = self.model[layer_index].spec
+        if isinstance(spec, FCLayer):
+            stitched = np.concatenate(slices, axis=1)
+            return stitched.reshape(reference.shape)
+        return np.concatenate(slices, axis=-1)

@@ -1,0 +1,151 @@
+"""Exhaustive and restricted enumeration of the parallelism space.
+
+Section 3.4 of the paper notes that brute-force enumeration over a whole
+network costs ``O(2^N)`` per hierarchy level and is infeasible in general;
+HyPar's dynamic program exists precisely to avoid it.  We still implement
+the enumeration because
+
+* on small networks it *is* feasible, and it certifies that the dynamic
+  program returns a true optimum (used heavily by the test suite);
+* the paper's Figures 9 and 10 are restricted enumerations (some layers or
+  levels held fixed while others sweep), which
+  :func:`enumerate_restricted` reproduces.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Iterable, Iterator, Sequence
+
+from repro.core.communication import CommunicationModel
+from repro.core.hierarchical import HierarchicalPartitioner
+from repro.core.parallelism import (
+    HierarchicalAssignment,
+    LayerAssignment,
+    Parallelism,
+)
+from repro.core.partitioner import TwoWayPartitioner
+from repro.core.result import HierarchicalResult, PartitionResult
+from repro.core.tensors import LayerTensors
+from repro.nn.model import DNNModel
+
+#: Enumerating more than this many assignments is almost certainly a bug in
+#: the caller (the full space for VGG-E at four levels is 2**76).
+DEFAULT_MAX_CANDIDATES = 1 << 22
+
+
+class SearchSpaceTooLarge(ValueError):
+    """Raised when an enumeration would exceed the configured candidate limit."""
+
+
+def all_layer_assignments(num_layers: int) -> Iterator[LayerAssignment]:
+    """Yield every per-layer assignment for one hierarchy level (2^L of them)."""
+    if num_layers <= 0:
+        raise ValueError(f"num_layers must be positive, got {num_layers}")
+    for bits in range(1 << num_layers):
+        yield LayerAssignment.from_bits(bits, num_layers)
+
+
+def exhaustive_two_way(
+    tensors: Sequence[LayerTensors],
+    communication_model: CommunicationModel | None = None,
+    max_candidates: int = DEFAULT_MAX_CANDIDATES,
+) -> PartitionResult:
+    """Brute-force optimum for a single hierarchy level.
+
+    Returns the same kind of :class:`PartitionResult` as the dynamic
+    program, so the two can be compared directly.
+    """
+    num_layers = len(tensors)
+    if (1 << num_layers) > max_candidates:
+        raise SearchSpaceTooLarge(
+            f"2^{num_layers} assignments exceed the limit of {max_candidates}"
+        )
+    partitioner = TwoWayPartitioner(communication_model)
+    best: PartitionResult | None = None
+    for assignment in all_layer_assignments(num_layers):
+        candidate = partitioner.evaluate(tensors, assignment)
+        if best is None or candidate.communication_bytes < best.communication_bytes:
+            best = candidate
+    assert best is not None  # num_layers >= 1 guarantees at least one candidate
+    return best
+
+
+def exhaustive_hierarchical(
+    model: DNNModel,
+    batch_size: int,
+    num_levels: int,
+    partitioner: HierarchicalPartitioner | None = None,
+    max_candidates: int = DEFAULT_MAX_CANDIDATES,
+) -> HierarchicalResult:
+    """Brute-force optimum over the full ``2^(H*L)`` hierarchical space.
+
+    Only feasible for small models / few levels; used to validate the
+    greedy-per-level structure of Algorithm 2 on toy cases.
+    """
+    partitioner = partitioner or HierarchicalPartitioner(num_levels=num_levels)
+    if partitioner.num_levels != num_levels:
+        raise ValueError("partitioner and num_levels disagree")
+    num_layers = len(model)
+    total_bits = num_levels * num_layers
+    if (1 << total_bits) > max_candidates:
+        raise SearchSpaceTooLarge(
+            f"2^{total_bits} hierarchical assignments exceed the limit of {max_candidates}"
+        )
+
+    best: HierarchicalResult | None = None
+    level_space = list(all_layer_assignments(num_layers))
+    for combo in itertools.product(level_space, repeat=num_levels):
+        assignment = HierarchicalAssignment(tuple(combo))
+        candidate = partitioner.evaluate(model, assignment, batch_size)
+        if (
+            best is None
+            or candidate.total_communication_bytes < best.total_communication_bytes
+        ):
+            best = candidate
+    assert best is not None
+    return best
+
+
+def enumerate_restricted(
+    model: DNNModel,
+    batch_size: int,
+    base_assignment: HierarchicalAssignment,
+    free_positions: Iterable[tuple[int, int]],
+    evaluator: Callable[[HierarchicalAssignment], float],
+    max_candidates: int = DEFAULT_MAX_CANDIDATES,
+) -> list[tuple[HierarchicalAssignment, float]]:
+    """Sweep a restricted subset of (level, layer) positions.
+
+    This is the machinery behind the paper's Figures 9 and 10: all positions
+    of ``base_assignment`` stay fixed except the ``free_positions``, which
+    enumerate every dp/mp combination.  ``evaluator`` maps an assignment to
+    the objective being plotted (communication, simulated time, ...); the
+    returned list preserves enumeration order (bit patterns over the free
+    positions, least-significant position first).
+    """
+    free = list(free_positions)
+    if not free:
+        raise ValueError("free_positions must contain at least one position")
+    if (1 << len(free)) > max_candidates:
+        raise SearchSpaceTooLarge(
+            f"2^{len(free)} candidates exceed the limit of {max_candidates}"
+        )
+    for level, layer in free:
+        if not 0 <= level < base_assignment.num_levels:
+            raise ValueError(f"level {level} out of range")
+        if not 0 <= layer < len(model):
+            raise ValueError(f"layer {layer} out of range")
+
+    results: list[tuple[HierarchicalAssignment, float]] = []
+    for bits in range(1 << len(free)):
+        assignment = base_assignment
+        for position, (level, layer) in enumerate(free):
+            choice = Parallelism.from_bit((bits >> position) & 1)
+            level_assignment = list(assignment[level].choices)
+            level_assignment[layer] = choice
+            assignment = assignment.replace_level(
+                level, LayerAssignment(tuple(level_assignment))
+            )
+        results.append((assignment, evaluator(assignment)))
+    return results

@@ -1,0 +1,187 @@
+"""Algorithm 2: hierarchical partition of an accelerator array.
+
+The whole array of ``2**H`` accelerators is split recursively: Algorithm 1
+partitions the array into two halves (hierarchy level ``H1``), then each
+half is partitioned again (``H2``), and so on for ``H`` levels until single
+accelerators remain.  One parallelism list is produced per level, exactly
+as in Figure 5 of the paper, and the total communication is
+
+.. code-block:: text
+
+   com(H) = com_level + 2 * com(H - 1)
+
+because the two sibling sub-arrays each repeat the lower-level pattern.
+
+The tensor amounts seen by deeper levels shrink according to the
+:class:`~repro.core.tensors.ScalingMode`; see that module's docstring and
+the ablation discussion in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.communication import CommunicationModel
+from repro.core.parallelism import (
+    HierarchicalAssignment,
+    LayerAssignment,
+    Parallelism,
+)
+from repro.core.partitioner import TwoWayPartitioner
+from repro.core.result import HierarchicalResult, LevelResult
+from repro.core.tensors import (
+    ScalingMode,
+    TensorScale,
+    descend_scales,
+    initial_scales,
+    model_tensors,
+)
+from repro.nn.model import DNNModel
+
+#: The paper's array of sixteen accelerators organised in four levels.
+DEFAULT_NUM_LEVELS = 4
+#: The paper's training batch size.
+DEFAULT_BATCH_SIZE = 256
+
+
+class HierarchicalPartitioner:
+    """HyPar's hierarchical, communication-minimising partition search.
+
+    Parameters
+    ----------
+    num_levels:
+        Number of hierarchy levels ``H``; the array holds ``2**H``
+        accelerators (the paper uses ``H = 4`` → 16 accelerators).
+    communication_model:
+        Cost model shared by every level (fp32 by default).
+    scaling_mode:
+        How tensor amounts shrink for deeper levels (see
+        :class:`~repro.core.tensors.ScalingMode`).
+    """
+
+    def __init__(
+        self,
+        num_levels: int = DEFAULT_NUM_LEVELS,
+        communication_model: CommunicationModel | None = None,
+        scaling_mode: ScalingMode | str = ScalingMode.PARALLELISM_AWARE,
+    ) -> None:
+        if num_levels <= 0:
+            raise ValueError(f"num_levels must be positive, got {num_levels}")
+        self.num_levels = num_levels
+        self.communication_model = communication_model or CommunicationModel()
+        self.scaling_mode = ScalingMode.parse(scaling_mode)
+        self._two_way = TwoWayPartitioner(self.communication_model)
+
+    @property
+    def num_accelerators(self) -> int:
+        return 1 << self.num_levels
+
+    # ------------------------------------------------------------------
+    # Search.
+    # ------------------------------------------------------------------
+
+    def partition(
+        self,
+        model: DNNModel,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+    ) -> HierarchicalResult:
+        """Search the parallelism list for every hierarchy level of ``model``."""
+        levels: list[LevelResult] = []
+        scales = initial_scales(len(model))
+        for level in range(self.num_levels):
+            tensors = model_tensors(model, batch_size, scales)
+            result = self._two_way.partition_tensors(tensors)
+            levels.append(
+                LevelResult(
+                    level=level,
+                    assignment=result.assignment,
+                    communication_bytes=result.communication_bytes,
+                    num_pairs=1 << level,
+                    breakdown=result.breakdown,
+                )
+            )
+            scales = descend_scales(scales, result.assignment, self.scaling_mode)
+
+        assignment = HierarchicalAssignment(tuple(lvl.assignment for lvl in levels))
+        return HierarchicalResult(
+            model_name=model.name,
+            batch_size=batch_size,
+            assignment=assignment,
+            levels=tuple(levels),
+        )
+
+    # ------------------------------------------------------------------
+    # Evaluation of arbitrary hierarchical assignments (baselines, sweeps).
+    # ------------------------------------------------------------------
+
+    def evaluate(
+        self,
+        model: DNNModel,
+        assignment: HierarchicalAssignment,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+    ) -> HierarchicalResult:
+        """Total communication of a given (possibly sub-optimal) assignment.
+
+        The same scale-descent rules used by the search are applied, so the
+        costs of searched and hand-specified assignments are directly
+        comparable.
+        """
+        if assignment.num_levels != self.num_levels:
+            raise ValueError(
+                f"assignment has {assignment.num_levels} levels, "
+                f"partitioner expects {self.num_levels}"
+            )
+        if assignment.num_layers != len(model):
+            raise ValueError(
+                f"assignment covers {assignment.num_layers} layers, "
+                f"model {model.name!r} has {len(model)}"
+            )
+        levels: list[LevelResult] = []
+        scales: Sequence[TensorScale] = initial_scales(len(model))
+        for level in range(self.num_levels):
+            tensors = model_tensors(model, batch_size, scales)
+            level_assignment = assignment[level]
+            result = self._two_way.evaluate(tensors, level_assignment)
+            levels.append(
+                LevelResult(
+                    level=level,
+                    assignment=level_assignment,
+                    communication_bytes=result.communication_bytes,
+                    num_pairs=1 << level,
+                    breakdown=result.breakdown,
+                )
+            )
+            scales = descend_scales(scales, level_assignment, self.scaling_mode)
+
+        return HierarchicalResult(
+            model_name=model.name,
+            batch_size=batch_size,
+            assignment=assignment,
+            levels=tuple(levels),
+        )
+
+    # ------------------------------------------------------------------
+    # Convenience evaluations of the canonical baselines.
+    # ------------------------------------------------------------------
+
+    def evaluate_uniform(
+        self,
+        model: DNNModel,
+        parallelism: Parallelism,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+    ) -> HierarchicalResult:
+        """Cost of the default Data Parallelism or Model Parallelism."""
+        assignment = HierarchicalAssignment.uniform(
+            parallelism, self.num_levels, len(model)
+        )
+        return self.evaluate(model, assignment, batch_size)
+
+    def evaluate_per_level(
+        self,
+        model: DNNModel,
+        level_assignment: LayerAssignment,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+    ) -> HierarchicalResult:
+        """Cost of repeating the same per-layer list at every hierarchy level."""
+        assignment = HierarchicalAssignment(tuple([level_assignment] * self.num_levels))
+        return self.evaluate(model, assignment, batch_size)

@@ -1,0 +1,253 @@
+"""Parallelism types and per-layer assignments.
+
+Terminology follows Section 3 of the paper:
+
+* lowercase *data parallelism* (``dp``) / *model parallelism* (``mp``) refer
+  to the choice for one specific layer at one hierarchy level;
+* uppercase *Data Parallelism* / *Model Parallelism* refer to the degenerate
+  whole-network assignments where every layer at every level uses the same
+  choice.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Iterable, Iterator, Sequence
+
+
+class Parallelism(enum.Enum):
+    """Per-layer parallelism choice.
+
+    ``DATA``
+        The layer's feature maps and errors are partitioned along the batch
+        dimension; every accelerator (group) holds a full copy of the
+        layer's kernel.  Intra-layer communication happens when gradients
+        are reduced for the weight update.
+
+    ``MODEL``
+        The layer's kernel is partitioned along the output-channel (or
+        output-neuron) dimension; every accelerator sees the full batch.
+        Intra-layer communication happens when output-feature-map partial
+        sums are reduced in the forward pass.
+    """
+
+    DATA = "dp"
+    MODEL = "mp"
+
+    @property
+    def short(self) -> str:
+        """Two-letter abbreviation used in the paper's figures (``dp``/``mp``)."""
+        return self.value
+
+    @property
+    def bit(self) -> int:
+        """Bit encoding used by the exploration figures: 0 = dp, 1 = mp."""
+        return 0 if self is Parallelism.DATA else 1
+
+    @classmethod
+    def from_bit(cls, bit: int) -> "Parallelism":
+        """Inverse of :attr:`bit` (0 → dp, 1 → mp)."""
+        if bit not in (0, 1):
+            raise ValueError(f"parallelism bit must be 0 or 1, got {bit!r}")
+        return cls.DATA if bit == 0 else cls.MODEL
+
+    @classmethod
+    def parse(cls, text: str) -> "Parallelism":
+        """Parse ``"dp"``/``"mp"`` (or ``"data"``/``"model"``, any case)."""
+        normalized = text.strip().lower()
+        if normalized in ("dp", "data", "data_parallelism", "0"):
+            return cls.DATA
+        if normalized in ("mp", "model", "model_parallelism", "1"):
+            return cls.MODEL
+        raise ValueError(f"cannot parse parallelism from {text!r}")
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+DATA = Parallelism.DATA
+MODEL = Parallelism.MODEL
+
+
+@dataclasses.dataclass(frozen=True)
+class LayerAssignment:
+    """Parallelism choices for every weighted layer at one hierarchy level."""
+
+    choices: tuple[Parallelism, ...]
+
+    def __post_init__(self) -> None:
+        if not self.choices:
+            raise ValueError("LayerAssignment requires at least one layer")
+
+    @classmethod
+    def of(cls, choices: Iterable[Parallelism | str | int]) -> "LayerAssignment":
+        """Build an assignment from parallelism values, strings or bits."""
+        parsed: list[Parallelism] = []
+        for choice in choices:
+            if isinstance(choice, Parallelism):
+                parsed.append(choice)
+            elif isinstance(choice, str):
+                parsed.append(Parallelism.parse(choice))
+            elif isinstance(choice, int):
+                parsed.append(Parallelism.from_bit(choice))
+            else:
+                raise TypeError(f"cannot interpret {choice!r} as a parallelism choice")
+        return cls(tuple(parsed))
+
+    @classmethod
+    def uniform(cls, parallelism: Parallelism, num_layers: int) -> "LayerAssignment":
+        """All ``num_layers`` layers assigned the same parallelism."""
+        if num_layers <= 0:
+            raise ValueError(f"num_layers must be positive, got {num_layers}")
+        return cls(tuple([parallelism] * num_layers))
+
+    @classmethod
+    def from_bits(cls, bits: int, num_layers: int) -> "LayerAssignment":
+        """Decode an integer bit-pattern (LSB = layer 0) into an assignment.
+
+        This is the encoding used by the parallelism-space exploration of
+        Figures 9 and 10 (``0`` = dp, ``1`` = mp).
+        """
+        if num_layers <= 0:
+            raise ValueError(f"num_layers must be positive, got {num_layers}")
+        if bits < 0 or bits >= (1 << num_layers):
+            raise ValueError(
+                f"bit pattern {bits} out of range for {num_layers} layers"
+            )
+        return cls(
+            tuple(Parallelism.from_bit((bits >> layer) & 1) for layer in range(num_layers))
+        )
+
+    def to_bits(self) -> int:
+        """Inverse of :meth:`from_bits`."""
+        value = 0
+        for layer, choice in enumerate(self.choices):
+            value |= choice.bit << layer
+        return value
+
+    def __iter__(self) -> Iterator[Parallelism]:
+        return iter(self.choices)
+
+    def __len__(self) -> int:
+        return len(self.choices)
+
+    def __getitem__(self, index: int) -> Parallelism:
+        return self.choices[index]
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.choices)
+
+    def count(self, parallelism: Parallelism) -> int:
+        """Number of layers assigned ``parallelism``."""
+        return sum(1 for choice in self.choices if choice is parallelism)
+
+    def is_uniform(self, parallelism: Parallelism) -> bool:
+        """True when every layer uses ``parallelism``."""
+        return all(choice is parallelism for choice in self.choices)
+
+    def as_strings(self) -> list[str]:
+        return [choice.short for choice in self.choices]
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return "-".join(self.as_strings())
+
+
+@dataclasses.dataclass(frozen=True)
+class HierarchicalAssignment:
+    """Parallelism choices for every layer at every hierarchy level.
+
+    ``levels[0]`` corresponds to the topmost partition (``H1`` in the paper,
+    splitting the whole array into two halves) and ``levels[-1]`` to the
+    deepest partition between individual accelerators.
+    """
+
+    levels: tuple[LayerAssignment, ...]
+
+    def __post_init__(self) -> None:
+        if not self.levels:
+            raise ValueError("HierarchicalAssignment requires at least one level")
+        num_layers = self.levels[0].num_layers
+        for level in self.levels:
+            if level.num_layers != num_layers:
+                raise ValueError(
+                    "all hierarchy levels must cover the same number of layers"
+                )
+
+    @classmethod
+    def of(cls, levels: Sequence[LayerAssignment | Sequence]) -> "HierarchicalAssignment":
+        parsed = tuple(
+            level if isinstance(level, LayerAssignment) else LayerAssignment.of(level)
+            for level in levels
+        )
+        return cls(parsed)
+
+    @classmethod
+    def uniform(
+        cls, parallelism: Parallelism, num_levels: int, num_layers: int
+    ) -> "HierarchicalAssignment":
+        """Every layer at every level uses ``parallelism`` (the paper's defaults)."""
+        if num_levels <= 0:
+            raise ValueError(f"num_levels must be positive, got {num_levels}")
+        level = LayerAssignment.uniform(parallelism, num_layers)
+        return cls(tuple([level] * num_levels))
+
+    @property
+    def num_levels(self) -> int:
+        return len(self.levels)
+
+    @property
+    def num_layers(self) -> int:
+        return self.levels[0].num_layers
+
+    @property
+    def num_accelerators(self) -> int:
+        """Number of accelerators implied by the number of levels (2^H)."""
+        return 1 << self.num_levels
+
+    def __iter__(self) -> Iterator[LayerAssignment]:
+        return iter(self.levels)
+
+    def __len__(self) -> int:
+        return len(self.levels)
+
+    def __getitem__(self, level: int) -> LayerAssignment:
+        return self.levels[level]
+
+    def choice(self, level: int, layer: int) -> Parallelism:
+        """Parallelism of ``layer`` at hierarchy ``level`` (both 0-based)."""
+        return self.levels[level][layer]
+
+    def layer_choices(self, layer: int) -> tuple[Parallelism, ...]:
+        """The per-level choices for one layer, from H1 down to the deepest level."""
+        return tuple(level[layer] for level in self.levels)
+
+    def is_uniform(self, parallelism: Parallelism) -> bool:
+        return all(level.is_uniform(parallelism) for level in self.levels)
+
+    def replace_level(self, level: int, assignment: LayerAssignment) -> "HierarchicalAssignment":
+        """Return a copy with one hierarchy level replaced."""
+        if assignment.num_layers != self.num_layers:
+            raise ValueError("replacement level has a different number of layers")
+        levels = list(self.levels)
+        levels[level] = assignment
+        return HierarchicalAssignment(tuple(levels))
+
+    def replace_layer(
+        self, layer: int, choices: Sequence[Parallelism]
+    ) -> "HierarchicalAssignment":
+        """Return a copy with one layer's per-level choices replaced."""
+        if len(choices) != self.num_levels:
+            raise ValueError(
+                f"expected {self.num_levels} per-level choices, got {len(choices)}"
+            )
+        levels = []
+        for level_index, level in enumerate(self.levels):
+            new_choices = list(level.choices)
+            new_choices[layer] = choices[level_index]
+            levels.append(LayerAssignment(tuple(new_choices)))
+        return HierarchicalAssignment(tuple(levels))
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return " | ".join(f"H{i + 1}:{level}" for i, level in enumerate(self.levels))

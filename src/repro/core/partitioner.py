@@ -1,0 +1,139 @@
+"""Algorithm 1: partition between two accelerator (groups).
+
+Given the tensor amounts of every weighted layer, the partitioner chooses
+data or model parallelism per layer so that the total communication between
+the two groups -- intra-layer (Table 1) plus inter-layer (Table 2) -- is
+minimised.  Because the inter-layer cost only couples adjacent layers, the
+optimum is found by a layer-wise dynamic program in ``O(L)`` time, exactly
+as in the paper's Algorithm 1:
+
+.. code-block:: text
+
+   com_dp[l] = min(com_dp[l-1] + inter_dp_dp, com_mp[l-1] + inter_mp_dp) + intra_dp
+   com_mp[l] = min(com_dp[l-1] + inter_dp_mp, com_mp[l-1] + inter_mp_mp) + intra_mp
+
+The answer is ``min(com_dp[L-1], com_mp[L-1])`` with the argmin chain giving
+the parallelism list.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.communication import CommunicationModel
+from repro.core.parallelism import LayerAssignment, Parallelism
+from repro.core.result import PartitionResult
+from repro.core.tensors import LayerTensors, TensorScale, model_tensors
+from repro.nn.model import DNNModel
+
+
+class TwoWayPartitioner:
+    """Dynamic-programming search for the best per-layer parallelism list.
+
+    Parameters
+    ----------
+    communication_model:
+        The cost model used to evaluate intra-/inter-layer traffic; a default
+        fp32 model is created when omitted.
+    """
+
+    def __init__(self, communication_model: CommunicationModel | None = None) -> None:
+        self.communication_model = communication_model or CommunicationModel()
+
+    # ------------------------------------------------------------------
+    # Core dynamic program over pre-computed tensor amounts.
+    # ------------------------------------------------------------------
+
+    def partition_tensors(self, tensors: Sequence[LayerTensors]) -> PartitionResult:
+        """Run the dynamic program over per-layer tensor amounts."""
+        if not tensors:
+            raise ValueError("cannot partition a model with no weighted layers")
+        model = self.communication_model
+        num_layers = len(tensors)
+
+        # com[p] holds the minimal accumulated communication with layer l
+        # assigned parallelism p; parent[l][p] records the argmin choice of
+        # layer l-1 used to reach that state.
+        com_dp = model.intra_layer_bytes(tensors[0], Parallelism.DATA)
+        com_mp = model.intra_layer_bytes(tensors[0], Parallelism.MODEL)
+        parents: list[dict[Parallelism, Parallelism]] = []
+
+        for layer in range(1, num_layers):
+            boundary = tensors[layer - 1]
+            intra_dp = model.intra_layer_bytes(tensors[layer], Parallelism.DATA)
+            intra_mp = model.intra_layer_bytes(tensors[layer], Parallelism.MODEL)
+
+            from_dp_to_dp = com_dp + model.inter_layer_bytes(
+                Parallelism.DATA, Parallelism.DATA, boundary
+            )
+            from_mp_to_dp = com_mp + model.inter_layer_bytes(
+                Parallelism.MODEL, Parallelism.DATA, boundary
+            )
+            from_dp_to_mp = com_dp + model.inter_layer_bytes(
+                Parallelism.DATA, Parallelism.MODEL, boundary
+            )
+            from_mp_to_mp = com_mp + model.inter_layer_bytes(
+                Parallelism.MODEL, Parallelism.MODEL, boundary
+            )
+
+            parent: dict[Parallelism, Parallelism] = {}
+            if from_dp_to_dp <= from_mp_to_dp:
+                next_dp = from_dp_to_dp + intra_dp
+                parent[Parallelism.DATA] = Parallelism.DATA
+            else:
+                next_dp = from_mp_to_dp + intra_dp
+                parent[Parallelism.DATA] = Parallelism.MODEL
+            if from_dp_to_mp <= from_mp_to_mp:
+                next_mp = from_dp_to_mp + intra_mp
+                parent[Parallelism.MODEL] = Parallelism.DATA
+            else:
+                next_mp = from_mp_to_mp + intra_mp
+                parent[Parallelism.MODEL] = Parallelism.MODEL
+
+            parents.append(parent)
+            com_dp, com_mp = next_dp, next_mp
+
+        # Back-track the argmin chain.  Ties favour data parallelism, the
+        # paper's (and practice's) default.
+        last = Parallelism.DATA if com_dp <= com_mp else Parallelism.MODEL
+        total = min(com_dp, com_mp)
+        choices = [last]
+        for parent in reversed(parents):
+            choices.append(parent[choices[-1]])
+        choices.reverse()
+
+        assignment = LayerAssignment(tuple(choices))
+        breakdown = tuple(model.layer_breakdown(tensors, assignment))
+        return PartitionResult(
+            assignment=assignment,
+            communication_bytes=total,
+            breakdown=breakdown,
+        )
+
+    # ------------------------------------------------------------------
+    # Convenience wrappers.
+    # ------------------------------------------------------------------
+
+    def partition(
+        self,
+        model: DNNModel,
+        batch_size: int,
+        scales: Sequence[TensorScale] | None = None,
+    ) -> PartitionResult:
+        """Partition ``model`` between two groups at the given batch size."""
+        tensors = model_tensors(model, batch_size, scales)
+        return self.partition_tensors(tensors)
+
+    def evaluate(
+        self,
+        tensors: Sequence[LayerTensors],
+        assignment: LayerAssignment,
+    ) -> PartitionResult:
+        """Cost of an arbitrary (not necessarily optimal) assignment."""
+        breakdown = self.communication_model.layer_breakdown(tensors, assignment)
+        total = sum(record.total_bytes for record in breakdown)
+        return PartitionResult(
+            assignment=assignment,
+            communication_bytes=total,
+            breakdown=tuple(breakdown),
+        )

@@ -1,0 +1,119 @@
+"""Result records returned by the partition algorithms."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+from repro.core.communication import LayerCommunication
+from repro.core.parallelism import HierarchicalAssignment, LayerAssignment
+
+
+@dataclasses.dataclass(frozen=True)
+class PartitionResult:
+    """Outcome of Algorithm 1 (partition between two accelerator groups).
+
+    Attributes
+    ----------
+    assignment:
+        The per-layer parallelism list minimising communication between the
+        two groups.
+    communication_bytes:
+        Total traffic (bytes) between the two groups for one training step
+        under ``assignment``.
+    breakdown:
+        Per-layer intra-/inter-layer traffic under ``assignment``.
+    """
+
+    assignment: LayerAssignment
+    communication_bytes: float
+    breakdown: tuple[LayerCommunication, ...]
+
+    @property
+    def num_layers(self) -> int:
+        return self.assignment.num_layers
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PartitionResult({self.assignment}, "
+            f"{self.communication_bytes / 1e9:.3f} GB)"
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class LevelResult:
+    """One hierarchy level of a hierarchical partition.
+
+    ``communication_bytes`` is the traffic crossing *one* pair boundary at
+    this level; ``num_pairs`` is how many such pair boundaries exist
+    (``2**level``), so the level's total contribution is their product.
+    """
+
+    level: int
+    assignment: LayerAssignment
+    communication_bytes: float
+    num_pairs: int
+    breakdown: tuple[LayerCommunication, ...]
+
+    @property
+    def total_bytes(self) -> float:
+        """Traffic summed over all pair boundaries at this level."""
+        return self.communication_bytes * self.num_pairs
+
+
+@dataclasses.dataclass(frozen=True)
+class HierarchicalResult:
+    """Outcome of Algorithm 2 (hierarchical partition of the whole array)."""
+
+    model_name: str
+    batch_size: int
+    assignment: HierarchicalAssignment
+    levels: tuple[LevelResult, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.levels) != self.assignment.num_levels:
+            raise ValueError("levels and assignment disagree on the number of levels")
+
+    @property
+    def num_levels(self) -> int:
+        return len(self.levels)
+
+    @property
+    def num_accelerators(self) -> int:
+        return 1 << self.num_levels
+
+    @property
+    def total_communication_bytes(self) -> float:
+        """Total traffic across every pair boundary of every level, per step."""
+        return sum(level.total_bytes for level in self.levels)
+
+    def level_bytes(self) -> list[float]:
+        """Per-level total traffic (index 0 = topmost level H1)."""
+        return [level.total_bytes for level in self.levels]
+
+    def describe(self) -> str:
+        """Multi-line human-readable description (mirrors Figure 5's content)."""
+        lines = [
+            f"{self.model_name}: {self.num_accelerators} accelerators, "
+            f"batch {self.batch_size}, "
+            f"total communication {self.total_communication_bytes / 1e9:.3f} GB/step"
+        ]
+        layer_names = [record.layer_name for record in self.levels[0].breakdown]
+        header = "  layer        " + "  ".join(
+            f"H{level.level + 1}" for level in self.levels
+        )
+        lines.append(header)
+        for layer_index, name in enumerate(layer_names):
+            choices = "  ".join(
+                level.assignment[layer_index].short for level in self.levels
+            )
+            lines.append(f"  {name:<12s} {choices}")
+        return "\n".join(lines)
+
+
+def summarize_levels(levels: Sequence[LevelResult]) -> dict:
+    """Small helper used by reports: per-level and total traffic in GB."""
+    return {
+        "per_level_gb": [level.total_bytes / 1e9 for level in levels],
+        "total_gb": sum(level.total_bytes for level in levels) / 1e9,
+    }

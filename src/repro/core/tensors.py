@@ -1,0 +1,208 @@
+"""Per-layer tensor accounting.
+
+The communication model operates on the *amounts* (element counts) of the
+tensors involved in one training step of one weighted layer:
+
+* ``A(F_l)``   -- the layer's input feature map (batch x input slice),
+* ``A(F_{l+1})`` -- the layer's output feature map (batch x output slice),
+* ``A(W_l)``   -- the kernel,
+* ``A(dW_l)``  -- the gradient (same amount as the kernel),
+* ``A(E_l)``, ``A(E_{l+1})`` -- the errors (same amounts as the feature maps).
+
+:class:`LayerTensors` captures these amounts for one layer of one model at
+one hierarchy level, and :class:`TensorScale` captures how the amounts
+shrink as the accelerator array is recursively halved by the hierarchical
+partition (Section 4.2).
+
+Scaling rules
+-------------
+When a parent hierarchy level assigns a layer
+
+* *data parallelism*, each child group receives half the batch for that
+  layer, so the feature-map and error amounts halve while the kernel and
+  gradient amounts are unchanged (every group keeps a full kernel copy);
+* *model parallelism*, each child group receives half the kernel (split
+  along the output-channel dimension), so the kernel, gradient and
+  *output*-side feature/error amounts halve while the input-side amounts
+  are unchanged.
+
+These rules mirror exactly which tensors each accelerator holds in
+Figure 1 of the paper.  A ``uniform`` mode (everything halves each level)
+and a ``none`` mode (the paper's literal pseudocode, amounts identical at
+every level) are provided for the ablation study described in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Sequence
+
+from repro.core.parallelism import LayerAssignment, Parallelism
+from repro.nn.model import DNNModel, WeightedLayer
+
+#: Bytes per scalar for the 32-bit floating-point precision used in the paper.
+BYTES_PER_ELEMENT = 4
+
+
+class ScalingMode(enum.Enum):
+    """How tensor amounts shrink when descending one hierarchy level."""
+
+    #: dp halves feature/error amounts, mp halves kernel/gradient and
+    #: output-side amounts (default; matches the tensor holdings of Fig. 1).
+    PARALLELISM_AWARE = "parallelism-aware"
+    #: Every amount halves at every level regardless of the choice made.
+    UNIFORM = "uniform"
+    #: Amounts are identical at every level (the literal Algorithm 2 pseudocode).
+    NONE = "none"
+
+    @classmethod
+    def parse(cls, value: "ScalingMode | str") -> "ScalingMode":
+        if isinstance(value, ScalingMode):
+            return value
+        normalized = value.strip().lower().replace("_", "-")
+        for mode in cls:
+            if mode.value == normalized:
+                return mode
+        raise ValueError(f"unknown scaling mode {value!r}")
+
+
+@dataclasses.dataclass(frozen=True)
+class TensorScale:
+    """Fractions of a layer's tensors held by one accelerator group.
+
+    ``batch_fraction`` scales everything proportional to the batch (feature
+    maps and errors); ``weight_fraction`` scales everything proportional to
+    the layer's output channels (kernel, gradient, and the output-side
+    feature/error tensors).
+    """
+
+    batch_fraction: float = 1.0
+    weight_fraction: float = 1.0
+
+    def __post_init__(self) -> None:
+        for name in ("batch_fraction", "weight_fraction"):
+            value = getattr(self, name)
+            if not 0.0 < value <= 1.0:
+                raise ValueError(f"TensorScale.{name} must be in (0, 1], got {value}")
+
+    def descend(self, choice: Parallelism, mode: ScalingMode) -> "TensorScale":
+        """Scale for a child group after the parent chose ``choice`` for this layer."""
+        if mode is ScalingMode.NONE:
+            return self
+        if mode is ScalingMode.UNIFORM:
+            # Halve whichever dimension the choice partitions -- but in
+            # uniform mode both fractions are halved together so that the
+            # total amount per layer halves regardless of the choice.
+            return TensorScale(self.batch_fraction * 0.5, self.weight_fraction)
+        if choice is Parallelism.DATA:
+            return TensorScale(self.batch_fraction * 0.5, self.weight_fraction)
+        return TensorScale(self.batch_fraction, self.weight_fraction * 0.5)
+
+
+@dataclasses.dataclass(frozen=True)
+class LayerTensors:
+    """Element counts of the tensors of one weighted layer for one group.
+
+    All amounts are *element* counts; multiply by
+    :data:`BYTES_PER_ELEMENT` to get bytes.
+    """
+
+    layer_index: int
+    layer_name: str
+    is_conv: bool
+    #: A(F_l): input feature map for the whole (scaled) batch.
+    feature_in: float
+    #: A(F_{l+1}): output feature map (before pooling) for the whole batch.
+    feature_out: float
+    #: A(W_l) == A(dW_l): kernel / gradient element count.
+    weight: float
+    #: Forward-pass MACs for the group's share of the batch.
+    macs: float
+
+    @property
+    def error_in(self) -> float:
+        """A(E_l): errors have the same amount as the input feature map."""
+        return self.feature_in
+
+    @property
+    def error_out(self) -> float:
+        """A(E_{l+1}): errors have the same amount as the output feature map."""
+        return self.feature_out
+
+    @property
+    def gradient(self) -> float:
+        """A(dW_l): the gradient has the same amount as the kernel."""
+        return self.weight
+
+
+def layer_tensors(
+    layer: WeightedLayer,
+    batch_size: int,
+    scale: TensorScale | None = None,
+) -> LayerTensors:
+    """Tensor amounts for one weighted layer at a given (scaled) batch size."""
+    if batch_size <= 0:
+        raise ValueError(f"batch_size must be positive, got {batch_size}")
+    scale = scale or TensorScale()
+    effective_batch = batch_size * scale.batch_fraction
+    return LayerTensors(
+        layer_index=layer.index,
+        layer_name=layer.name,
+        is_conv=layer.is_conv,
+        feature_in=effective_batch * layer.input_shape.elements,
+        feature_out=effective_batch * layer.output_shape.elements * scale.weight_fraction,
+        weight=layer.weight_count * scale.weight_fraction,
+        macs=effective_batch * layer.macs_per_sample * scale.weight_fraction,
+    )
+
+
+def model_tensors(
+    model: DNNModel,
+    batch_size: int,
+    scales: Sequence[TensorScale] | None = None,
+) -> list[LayerTensors]:
+    """Tensor amounts for every weighted layer of ``model``.
+
+    ``scales`` optionally provides one :class:`TensorScale` per layer (for
+    hierarchical partitioning); by default every layer is unscaled.
+    """
+    if scales is None:
+        scales = [TensorScale()] * len(model)
+    if len(scales) != len(model):
+        raise ValueError(
+            f"expected {len(model)} scales, got {len(scales)}"
+        )
+    return [
+        layer_tensors(layer, batch_size, scale)
+        for layer, scale in zip(model, scales)
+    ]
+
+
+def descend_scales(
+    scales: Sequence[TensorScale],
+    assignment: LayerAssignment,
+    mode: ScalingMode = ScalingMode.PARALLELISM_AWARE,
+) -> list[TensorScale]:
+    """Per-layer scales for a child group given the parent level's assignment."""
+    if len(scales) != assignment.num_layers:
+        raise ValueError(
+            f"expected {assignment.num_layers} scales, got {len(scales)}"
+        )
+    return [
+        scale.descend(choice, mode) for scale, choice in zip(scales, assignment)
+    ]
+
+
+def initial_scales(num_layers: int) -> list[TensorScale]:
+    """Unscaled (whole-array) tensor scales for ``num_layers`` layers."""
+    if num_layers <= 0:
+        raise ValueError(f"num_layers must be positive, got {num_layers}")
+    return [TensorScale()] * num_layers
+
+
+def elements_to_bytes(elements: float, bytes_per_element: int = BYTES_PER_ELEMENT) -> float:
+    """Convert an element count to bytes at the given precision."""
+    if bytes_per_element <= 0:
+        raise ValueError(f"bytes_per_element must be positive, got {bytes_per_element}")
+    return elements * bytes_per_element

@@ -1,0 +1,49 @@
+"""Interconnect topologies for the accelerator array.
+
+The paper connects its sixteen accelerators either with an H tree (a fat
+tree whose per-level bandwidth matches the hierarchical partition's traffic
+pattern) or with a 2-D torus; Section 6.5.1 compares the two.  This package
+provides both, plus routing utilities, on top of networkx graphs.
+"""
+
+from repro.interconnect.htree import HTreeTopology
+from repro.interconnect.routing import (
+    bisection_bandwidth,
+    link_loads,
+    max_link_load,
+    pairwise_hop_matrix,
+    shortest_path_hops,
+)
+from repro.interconnect.topology import Topology, hierarchical_groups
+from repro.interconnect.torus import TorusTopology
+
+#: Topologies addressable by name from the CLI / experiment drivers.
+TOPOLOGIES = {
+    "h-tree": HTreeTopology,
+    "htree": HTreeTopology,
+    "torus": TorusTopology,
+}
+
+
+def build_topology(name: str, num_accelerators: int, link_bandwidth_bytes: float) -> Topology:
+    """Instantiate a topology by name (``"h-tree"`` or ``"torus"``)."""
+    normalized = name.strip().lower().replace("_", "-")
+    if normalized not in TOPOLOGIES:
+        known = ", ".join(sorted(set(TOPOLOGIES)))
+        raise KeyError(f"unknown topology {name!r}; known topologies: {known}")
+    return TOPOLOGIES[normalized](num_accelerators, link_bandwidth_bytes)
+
+
+__all__ = [
+    "Topology",
+    "HTreeTopology",
+    "TorusTopology",
+    "TOPOLOGIES",
+    "build_topology",
+    "hierarchical_groups",
+    "bisection_bandwidth",
+    "pairwise_hop_matrix",
+    "shortest_path_hops",
+    "link_loads",
+    "max_link_load",
+]

@@ -1,0 +1,73 @@
+"""H-tree (fat-tree) interconnect.
+
+Figure 4(c) of the paper connects the sixteen accelerators with an H tree.
+Physically it is a fat tree: switches sit at the parent nodes, and the
+bandwidth between groups at a higher hierarchy level is doubled compared to
+the level below (while the number of links is halved), so every level of
+the tree has the same aggregate bisection bandwidth.  This matches the
+communication pattern produced by the hierarchical partition exactly, which
+is why the paper prefers it over the torus.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.interconnect.topology import Topology, hierarchical_groups
+
+
+class HTreeTopology(Topology):
+    """Fat-tree / H-tree interconnect matched to the hierarchical partition.
+
+    Level ``num_levels - 1`` (the deepest level, pairs of individual
+    accelerators) uses single links of the base bandwidth; each level above
+    doubles the per-boundary bandwidth.
+    """
+
+    name = "h-tree"
+
+    def _build_graph(self) -> nx.Graph:
+        graph = nx.Graph()
+        num_leaves = self.num_accelerators
+        graph.add_nodes_from(range(num_leaves), kind="accelerator")
+
+        # Build the binary tree bottom-up.  Leaf links carry the base
+        # bandwidth; every level up doubles the link bandwidth.
+        current_level_nodes: list = list(range(num_leaves))
+        bandwidth = self.link_bandwidth_bytes
+        depth = 0
+        while len(current_level_nodes) > 1:
+            next_level_nodes = []
+            for pair_index in range(0, len(current_level_nodes), 2):
+                switch = f"switch_d{depth}_{pair_index // 2}"
+                graph.add_node(switch, kind="switch")
+                graph.add_edge(
+                    current_level_nodes[pair_index], switch, bandwidth=bandwidth
+                )
+                graph.add_edge(
+                    current_level_nodes[pair_index + 1], switch, bandwidth=bandwidth
+                )
+                next_level_nodes.append(switch)
+            current_level_nodes = next_level_nodes
+            bandwidth *= 2
+            depth += 1
+        return graph
+
+    def effective_pair_bandwidth(self, level: int) -> float:
+        """Per-boundary bandwidth: doubles for every level above the deepest.
+
+        With ``H`` levels, the deepest level (``H-1``) gets the base link
+        bandwidth and level ``h`` gets ``2**(H-1-h)`` times that, exactly the
+        "doubled bandwidth, halved link count" fat-tree rule of Section
+        6.5.1.  Because the tree dedicates those links to that boundary,
+        no contention discount is applied.
+        """
+        self._check_level(level)
+        return self.link_bandwidth_bytes * (2 ** (self.num_levels - 1 - level))
+
+    def average_hops(self, level: int) -> float:
+        """Average hops: up to the common ancestor at depth ``level`` and back down."""
+        self._check_level(level)
+        pairs = hierarchical_groups(self.num_accelerators, level)
+        left, right = pairs[0]
+        return self._mean_pair_distance(left, right)

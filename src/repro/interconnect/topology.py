@@ -1,0 +1,192 @@
+"""Interconnect topology abstraction.
+
+The hierarchical partition produces, per hierarchy level, a set of *pair
+boundaries*: at level ``h`` the array is divided into ``2**h`` sub-arrays,
+and each sub-array is split into two halves that exchange the tensors
+dictated by the communication model.  A topology's job is to say
+
+* how much bandwidth one such pair boundary can use
+  (:meth:`Topology.effective_pair_bandwidth`), and
+* how many physical link hops an average word of that traffic traverses
+  (:meth:`Topology.average_hops`), which feeds the energy model.
+
+Concrete topologies (:class:`~repro.interconnect.htree.HTreeTopology` and
+:class:`~repro.interconnect.torus.TorusTopology`) build a networkx graph of
+accelerators, switches and links and derive these quantities from it.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+import networkx as nx
+
+
+def hierarchical_groups(num_accelerators: int, level: int) -> list[tuple[list[int], list[int]]]:
+    """The pair boundaries of hierarchy ``level`` for an array of ``num_accelerators``.
+
+    The array is indexed 0..N-1 and recursively halved by index ranges (the
+    binary-tree pattern of Figure 3): at level 0 the single pair is
+    ``([0..N/2-1], [N/2..N-1])``; at level 1 there are two pairs, one inside
+    each half; and so on.
+
+    Returns a list of ``(left_group, right_group)`` tuples, one per pair
+    boundary at that level.
+    """
+    if num_accelerators <= 1 or num_accelerators & (num_accelerators - 1):
+        raise ValueError(
+            f"num_accelerators must be a power of two >= 2, got {num_accelerators}"
+        )
+    num_groups = 1 << level
+    group_size = num_accelerators // num_groups
+    if group_size < 2:
+        raise ValueError(
+            f"level {level} is too deep for {num_accelerators} accelerators"
+        )
+    pairs = []
+    for group in range(num_groups):
+        start = group * group_size
+        half = group_size // 2
+        left = list(range(start, start + half))
+        right = list(range(start + half, start + group_size))
+        pairs.append((left, right))
+    return pairs
+
+
+class Topology(abc.ABC):
+    """Base class for accelerator-array interconnect topologies.
+
+    Parameters
+    ----------
+    num_accelerators:
+        Number of accelerators (a power of two).
+    link_bandwidth_bytes:
+        Bandwidth of one physical link in bytes per second.
+    """
+
+    #: Human-readable topology name used in reports.
+    name: str = "abstract"
+
+    def __init__(self, num_accelerators: int, link_bandwidth_bytes: float) -> None:
+        if num_accelerators <= 1 or num_accelerators & (num_accelerators - 1):
+            raise ValueError(
+                f"num_accelerators must be a power of two >= 2, got {num_accelerators}"
+            )
+        if link_bandwidth_bytes <= 0:
+            raise ValueError("link_bandwidth_bytes must be positive")
+        self.num_accelerators = num_accelerators
+        self.link_bandwidth_bytes = link_bandwidth_bytes
+        self._graph: nx.Graph | None = None
+
+    # ------------------------------------------------------------------
+    # Structure.
+    # ------------------------------------------------------------------
+
+    @property
+    def num_levels(self) -> int:
+        """Number of hierarchy levels supported by this array size."""
+        return self.num_accelerators.bit_length() - 1
+
+    @property
+    def graph(self) -> nx.Graph:
+        """The networkx graph of accelerators (and switches) and links.
+
+        Accelerator nodes are the integers ``0..N-1``; topology-specific
+        switch nodes may be added with other labels.  Edge attribute
+        ``bandwidth`` holds the link bandwidth in bytes per second.
+        """
+        if self._graph is None:
+            self._graph = self._build_graph()
+        return self._graph
+
+    @abc.abstractmethod
+    def _build_graph(self) -> nx.Graph:
+        """Construct the physical graph."""
+
+    # ------------------------------------------------------------------
+    # Quantities consumed by the simulator.
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def effective_pair_bandwidth(self, level: int) -> float:
+        """Bandwidth (bytes/s) usable by one pair boundary at ``level``."""
+
+    @abc.abstractmethod
+    def average_hops(self, level: int) -> float:
+        """Average physical link hops for one word exchanged at ``level``."""
+
+    # ------------------------------------------------------------------
+    # Shared helpers for graph-derived metrics.
+    # ------------------------------------------------------------------
+
+    def _check_level(self, level: int) -> None:
+        if not 0 <= level < self.num_levels:
+            raise ValueError(
+                f"level {level} out of range for {self.num_accelerators} accelerators"
+            )
+
+    def _cut_bandwidth(self, left: Sequence[int], right: Sequence[int]) -> float:
+        """Aggregate bandwidth of the graph edges crossing a node bipartition.
+
+        Switch nodes (non-accelerator nodes) are assigned to the side whose
+        accelerators they are closer to; edges between two switch nodes on
+        different sides also count.
+        """
+        graph = self.graph
+        side: dict = {}
+        left_set, right_set = set(left), set(right)
+        for node in graph.nodes:
+            if node in left_set:
+                side[node] = "left"
+            elif node in right_set:
+                side[node] = "right"
+        # Assign remaining (switch) nodes by shortest-path distance to the
+        # two accelerator groups.
+        lengths = dict(nx.all_pairs_shortest_path_length(graph))
+        for node in graph.nodes:
+            if node in side:
+                continue
+            to_left = min(lengths[node][acc] for acc in left_set)
+            to_right = min(lengths[node][acc] for acc in right_set)
+            side[node] = "left" if to_left <= to_right else "right"
+        capacity = 0.0
+        for u, v, data in graph.edges(data=True):
+            if side[u] != side[v]:
+                capacity += data.get("bandwidth", self.link_bandwidth_bytes)
+        return capacity
+
+    def _direct_cut_bandwidth(self, left: Sequence[int], right: Sequence[int]) -> float:
+        """Aggregate bandwidth of links whose endpoints lie in the two groups.
+
+        Unlike :meth:`_cut_bandwidth` this ignores every link touching a node
+        outside the two groups, so it measures the capacity *directly*
+        joining the groups rather than the capacity of a whole-array
+        bisection.  This is the quantity that bounds a pair exchange when
+        the rest of the array is busy with its own (same-level) exchanges.
+        """
+        left_set, right_set = set(left), set(right)
+        capacity = 0.0
+        for u, v, data in self.graph.edges(data=True):
+            if (u in left_set and v in right_set) or (u in right_set and v in left_set):
+                capacity += data.get("bandwidth", self.link_bandwidth_bytes)
+        return capacity
+
+    def _mean_pair_distance(self, left: Sequence[int], right: Sequence[int]) -> float:
+        """Mean shortest-path hop count between accelerators of the two groups."""
+        graph = self.graph
+        total = 0.0
+        count = 0
+        lengths = dict(nx.all_pairs_shortest_path_length(graph))
+        for a in left:
+            for b in right:
+                total += lengths[a][b]
+                count += 1
+        return total / count if count else 0.0
+
+    def describe(self) -> str:
+        """One-line description used in reports."""
+        return (
+            f"{self.name}: {self.num_accelerators} accelerators, "
+            f"{self.link_bandwidth_bytes * 8 / 1e6:.0f} Mb/s links"
+        )

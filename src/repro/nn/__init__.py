@@ -1,0 +1,82 @@
+"""DNN model-description substrate.
+
+HyPar's partition search and evaluation only need the *shapes* of the
+tensors flowing through a network, never the tensor values.  This package
+provides the layer specifications, shape-inference machinery and model
+builder used to describe the ten evaluation networks of the paper, plus the
+model zoo itself (:mod:`repro.nn.model_zoo`).
+
+Public API
+----------
+
+``LayerSpec`` hierarchy
+    :class:`~repro.nn.layers.ConvLayer`, :class:`~repro.nn.layers.FCLayer`,
+    together with the auxiliary :class:`~repro.nn.layers.PoolSpec` and
+    :class:`~repro.nn.layers.Activation` descriptors.
+
+:class:`~repro.nn.model.DNNModel`
+    An ordered collection of weighted layers with resolved shapes.
+
+:func:`~repro.nn.model.build_model`
+    Build a :class:`DNNModel` from an input shape and a list of layer
+    specifications, running shape inference.
+
+:mod:`repro.nn.model_zoo`
+    ``sfc()``, ``sconv()``, ``lenet_c()``, ``cifar_c()``, ``alexnet()``,
+    ``vgg_a()`` ... ``vgg_e()`` and the :func:`~repro.nn.model_zoo.get_model`
+    / :func:`~repro.nn.model_zoo.all_models` helpers.
+"""
+
+from repro.nn.layers import (
+    Activation,
+    ConvLayer,
+    FCLayer,
+    LayerSpec,
+    LayerType,
+    PoolSpec,
+)
+from repro.nn.model import DNNModel, WeightedLayer, build_model
+from repro.nn.model_zoo import (
+    MODEL_BUILDERS,
+    alexnet,
+    all_models,
+    cifar_c,
+    get_model,
+    lenet_c,
+    sconv,
+    sfc,
+    vgg_a,
+    vgg_b,
+    vgg_c,
+    vgg_d,
+    vgg_e,
+)
+from repro.nn.shapes import FeatureMapShape, conv_output_shape, pool_output_shape
+
+__all__ = [
+    "Activation",
+    "ConvLayer",
+    "FCLayer",
+    "LayerSpec",
+    "LayerType",
+    "PoolSpec",
+    "DNNModel",
+    "WeightedLayer",
+    "build_model",
+    "FeatureMapShape",
+    "conv_output_shape",
+    "pool_output_shape",
+    "MODEL_BUILDERS",
+    "get_model",
+    "all_models",
+    "sfc",
+    "sconv",
+    "lenet_c",
+    "cifar_c",
+    "alexnet",
+    "vgg_a",
+    "vgg_b",
+    "vgg_c",
+    "vgg_d",
+    "vgg_e",
+]

@@ -1,0 +1,205 @@
+"""Layer specifications for the networks used in the HyPar evaluation.
+
+A *layer specification* is a declarative description of one weighted layer:
+its type (convolutional or fully-connected), kernel hyper-parameters, the
+activation function applied to its output and an optional pooling stage that
+follows it.  HyPar's Algorithm 1 takes exactly this information as input
+("layer type: conv or fc, kernel sizes, parameter for pooling, activation
+function" -- Algorithm 1, Input 3).
+
+Pooling and activation are folded into the weighted layer that precedes them
+because they carry no weights (HyPar only assigns parallelism to *weighted*
+layers) and because element-wise activations never generate communication.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+from repro.nn.shapes import FeatureMapShape, ShapeError, conv_output_shape, pool_output_shape
+
+
+class LayerType(enum.Enum):
+    """Kind of weighted layer recognised by the partitioner."""
+
+    CONV = "conv"
+    FC = "fc"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class Activation(enum.Enum):
+    """Element-wise activation applied after a weighted layer.
+
+    Activations are element-wise, so they never change tensor shapes and
+    never generate inter-accelerator communication; they only matter for the
+    compute/energy model (each activation is counted as one ALU operation
+    per output element).
+    """
+
+    NONE = "none"
+    RELU = "relu"
+    SIGMOID = "sigmoid"
+    TANH = "tanh"
+    SOFTMAX = "softmax"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclasses.dataclass(frozen=True)
+class PoolSpec:
+    """Non-weighted pooling stage that follows a weighted layer.
+
+    Attributes
+    ----------
+    size:
+        Pooling window (square).
+    stride:
+        Pooling stride; ``None`` means non-overlapping (stride == size).
+    kind:
+        ``"max"`` or ``"avg"``; only affects the compute model.
+    ceil_mode:
+        Round output dimensions up (Caffe-style) instead of down.
+    """
+
+    size: int
+    stride: int | None = None
+    kind: str = "max"
+    ceil_mode: bool = False
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ShapeError(f"pool size must be positive, got {self.size}")
+        if self.stride is not None and self.stride <= 0:
+            raise ShapeError(f"pool stride must be positive, got {self.stride}")
+        if self.kind not in ("max", "avg"):
+            raise ValueError(f"pool kind must be 'max' or 'avg', got {self.kind!r}")
+
+    def apply(self, shape: FeatureMapShape) -> FeatureMapShape:
+        """Shape of the feature map after this pooling stage."""
+        return pool_output_shape(shape, self.size, self.stride, self.ceil_mode)
+
+
+@dataclasses.dataclass(frozen=True)
+class LayerSpec:
+    """Base class for weighted-layer specifications.
+
+    Sub-classes implement :meth:`output_shape`, :meth:`weight_elements` and
+    :meth:`macs_per_sample`, which is everything the communication and
+    compute models need.
+    """
+
+    name: str
+    activation: Activation = Activation.RELU
+    pool: PoolSpec | None = None
+
+    @property
+    def layer_type(self) -> LayerType:
+        raise NotImplementedError
+
+    def output_shape(self, in_shape: FeatureMapShape) -> FeatureMapShape:
+        """Shape of ``F_{l+1}`` (before pooling) given the input shape ``F_l``."""
+        raise NotImplementedError
+
+    def post_pool_shape(self, in_shape: FeatureMapShape) -> FeatureMapShape:
+        """Shape handed to the next layer (output shape after optional pooling)."""
+        shape = self.output_shape(in_shape)
+        if self.pool is not None:
+            shape = self.pool.apply(shape)
+        return shape
+
+    def weight_elements(self, in_shape: FeatureMapShape) -> int:
+        """Number of scalar elements in ``W_l`` (biases are ignored, as in the paper)."""
+        raise NotImplementedError
+
+    def macs_per_sample(self, in_shape: FeatureMapShape) -> int:
+        """Multiply-accumulate operations in the forward pass for one sample."""
+        raise NotImplementedError
+
+
+@dataclasses.dataclass(frozen=True)
+class ConvLayer(LayerSpec):
+    """Convolutional layer ``[K x K x C_l] x C_{l+1}``.
+
+    Attributes
+    ----------
+    out_channels:
+        ``C_{l+1}``, the number of output channels (filters).
+    kernel_size:
+        ``K``, the height/width of the (square) kernel.
+    stride, padding:
+        Usual convolution hyper-parameters.
+    """
+
+    out_channels: int = 0
+    kernel_size: int = 3
+    stride: int = 1
+    padding: int = 0
+
+    def __post_init__(self) -> None:
+        if self.out_channels <= 0:
+            raise ShapeError(
+                f"conv layer {self.name!r}: out_channels must be positive, "
+                f"got {self.out_channels}"
+            )
+        if self.kernel_size <= 0 or self.stride <= 0 or self.padding < 0:
+            raise ShapeError(
+                f"conv layer {self.name!r}: invalid hyper-parameters "
+                f"(kernel={self.kernel_size}, stride={self.stride}, padding={self.padding})"
+            )
+
+    @property
+    def layer_type(self) -> LayerType:
+        return LayerType.CONV
+
+    def output_shape(self, in_shape: FeatureMapShape) -> FeatureMapShape:
+        return conv_output_shape(
+            in_shape,
+            kernel_size=self.kernel_size,
+            out_channels=self.out_channels,
+            stride=self.stride,
+            padding=self.padding,
+        )
+
+    def weight_elements(self, in_shape: FeatureMapShape) -> int:
+        return self.kernel_size * self.kernel_size * in_shape.channels * self.out_channels
+
+    def macs_per_sample(self, in_shape: FeatureMapShape) -> int:
+        out = self.output_shape(in_shape)
+        per_output_element = self.kernel_size * self.kernel_size * in_shape.channels
+        return out.elements * per_output_element
+
+
+@dataclasses.dataclass(frozen=True)
+class FCLayer(LayerSpec):
+    """Fully-connected layer with ``out_features`` output neurons.
+
+    The input is implicitly flattened: an FC layer fed a ``[H x W x C]``
+    feature map sees ``H*W*C`` input neurons, which is how AlexNet/VGG
+    transition from their convolutional stacks to their classifiers.
+    """
+
+    out_features: int = 0
+
+    def __post_init__(self) -> None:
+        if self.out_features <= 0:
+            raise ShapeError(
+                f"fc layer {self.name!r}: out_features must be positive, "
+                f"got {self.out_features}"
+            )
+
+    @property
+    def layer_type(self) -> LayerType:
+        return LayerType.FC
+
+    def output_shape(self, in_shape: FeatureMapShape) -> FeatureMapShape:
+        return FeatureMapShape(1, 1, self.out_features)
+
+    def weight_elements(self, in_shape: FeatureMapShape) -> int:
+        return in_shape.elements * self.out_features
+
+    def macs_per_sample(self, in_shape: FeatureMapShape) -> int:
+        return in_shape.elements * self.out_features

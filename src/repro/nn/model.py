@@ -1,0 +1,208 @@
+"""Network container with resolved shapes.
+
+:class:`DNNModel` is the object the rest of the library operates on.  It is
+built from an input shape plus a list of :class:`~repro.nn.layers.LayerSpec`
+instances by :func:`build_model`, which runs shape inference once so that
+every weighted layer carries its concrete input/output feature-map shapes
+and weight count.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, Iterator, Sequence
+
+from repro.nn.layers import LayerSpec, LayerType
+from repro.nn.shapes import FeatureMapShape, ShapeError
+
+
+@dataclasses.dataclass(frozen=True)
+class WeightedLayer:
+    """One weighted layer with its shapes resolved.
+
+    Attributes
+    ----------
+    index:
+        Position of this layer among the *weighted* layers (0-based).
+    spec:
+        The original layer specification.
+    input_shape:
+        Shape of one slice of ``F_l`` (the layer's input feature map).
+    output_shape:
+        Shape of one slice of ``F_{l+1}`` *before* any pooling; this is the
+        tensor that appears in the communication model (model parallelism
+        communicates partial sums of ``F_{l+1}``).
+    post_pool_shape:
+        Shape handed to the next layer after the optional pooling stage.
+    weight_count:
+        Number of scalar weights in ``W_l`` (== number of elements of
+        ``dW_l``).
+    macs_per_sample:
+        Forward-pass multiply-accumulates for one input sample.
+    """
+
+    index: int
+    spec: LayerSpec
+    input_shape: FeatureMapShape
+    output_shape: FeatureMapShape
+    post_pool_shape: FeatureMapShape
+    weight_count: int
+    macs_per_sample: int
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def layer_type(self) -> LayerType:
+        return self.spec.layer_type
+
+    @property
+    def is_conv(self) -> bool:
+        return self.spec.layer_type is LayerType.CONV
+
+    @property
+    def is_fc(self) -> bool:
+        return self.spec.layer_type is LayerType.FC
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.name}({self.layer_type}): {self.input_shape} -> "
+            f"{self.output_shape}, weights={self.weight_count}"
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class DNNModel:
+    """A deep neural network described by its weighted layers.
+
+    Instances are immutable; iterate over them to get
+    :class:`WeightedLayer` objects in forward order.
+    """
+
+    name: str
+    input_shape: FeatureMapShape
+    layers: tuple[WeightedLayer, ...]
+
+    def __post_init__(self) -> None:
+        if not self.layers:
+            raise ShapeError(f"model {self.name!r} has no weighted layers")
+
+    def __iter__(self) -> Iterator[WeightedLayer]:
+        return iter(self.layers)
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __getitem__(self, index: int) -> WeightedLayer:
+        return self.layers[index]
+
+    @property
+    def num_weighted_layers(self) -> int:
+        return len(self.layers)
+
+    @property
+    def num_conv_layers(self) -> int:
+        return sum(1 for layer in self.layers if layer.is_conv)
+
+    @property
+    def num_fc_layers(self) -> int:
+        return sum(1 for layer in self.layers if layer.is_fc)
+
+    @property
+    def total_weights(self) -> int:
+        """Total number of scalar weights in the model."""
+        return sum(layer.weight_count for layer in self.layers)
+
+    def total_macs(self, batch_size: int) -> int:
+        """Forward-pass multiply-accumulates for a whole batch."""
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        return batch_size * sum(layer.macs_per_sample for layer in self.layers)
+
+    def layer_by_name(self, name: str) -> WeightedLayer:
+        """Look a weighted layer up by its name.
+
+        Raises
+        ------
+        KeyError
+            If no layer with that name exists.
+        """
+        for layer in self.layers:
+            if layer.name == name:
+                return layer
+        raise KeyError(f"model {self.name!r} has no layer named {name!r}")
+
+    def layer_names(self) -> list[str]:
+        return [layer.name for layer in self.layers]
+
+    def summary(self) -> str:
+        """Human-readable per-layer summary table."""
+        lines = [f"Model {self.name!r}: input {self.input_shape}"]
+        for layer in self.layers:
+            lines.append(
+                f"  [{layer.index:2d}] {layer.name:<10s} {str(layer.layer_type):<4s} "
+                f"{str(layer.input_shape):>16s} -> {str(layer.output_shape):>16s} "
+                f"weights={layer.weight_count:>12,d} macs/sample={layer.macs_per_sample:>14,d}"
+            )
+        lines.append(
+            f"  total: {self.num_weighted_layers} weighted layers "
+            f"({self.num_conv_layers} conv, {self.num_fc_layers} fc), "
+            f"{self.total_weights:,d} weights"
+        )
+        return "\n".join(lines)
+
+
+def build_model(
+    name: str,
+    input_shape: FeatureMapShape | Sequence[int],
+    specs: Iterable[LayerSpec],
+) -> DNNModel:
+    """Run shape inference over ``specs`` and return a :class:`DNNModel`.
+
+    Parameters
+    ----------
+    name:
+        Model name (used in reports and error messages).
+    input_shape:
+        Shape of one input sample, either a :class:`FeatureMapShape` or an
+        ``(H, W, C)`` triple.
+    specs:
+        Weighted-layer specifications in forward order.  Layer names must be
+        unique.
+    """
+    if not isinstance(input_shape, FeatureMapShape):
+        height, width, channels = input_shape
+        input_shape = FeatureMapShape(int(height), int(width), int(channels))
+
+    resolved: list[WeightedLayer] = []
+    seen_names: set[str] = set()
+    current = input_shape
+    for index, spec in enumerate(specs):
+        if spec.name in seen_names:
+            raise ValueError(f"duplicate layer name {spec.name!r} in model {name!r}")
+        seen_names.add(spec.name)
+
+        if spec.layer_type is LayerType.FC and not current.is_vector:
+            # Implicit flatten when transitioning from a conv stack to the
+            # fully-connected classifier.
+            layer_input = current.flattened()
+        else:
+            layer_input = current
+
+        output_shape = spec.output_shape(layer_input)
+        post_pool = spec.post_pool_shape(layer_input)
+        resolved.append(
+            WeightedLayer(
+                index=index,
+                spec=spec,
+                input_shape=layer_input,
+                output_shape=output_shape,
+                post_pool_shape=post_pool,
+                weight_count=spec.weight_elements(layer_input),
+                macs_per_sample=spec.macs_per_sample(layer_input),
+            )
+        )
+        current = post_pool
+
+    return DNNModel(name=name, input_shape=input_shape, layers=tuple(resolved))

@@ -1,0 +1,365 @@
+"""The ten evaluation networks of the HyPar paper.
+
+Section 6.1 of the paper evaluates HyPar on ten models spanning three
+datasets:
+
+* ``SFC`` and ``SCONV`` -- two purpose-built extreme cases for MNIST
+  (Table 3): ``SFC`` is purely fully-connected (784-8192-8192-8192-10) and
+  ``SCONV`` is purely convolutional.
+* ``Lenet-c`` (MNIST) and ``Cifar-c`` (CIFAR-10) -- the classic Caffe
+  reference networks.
+* ``AlexNet`` and ``VGG-A`` ... ``VGG-E`` (ImageNet) -- with the
+  hyper-parameters from Krizhevsky et al. (2012) and Simonyan & Zisserman
+  (2015) respectively.
+
+The number of weighted layers ranges from four (``SFC``, ``SCONV``,
+``Lenet-c``) to nineteen (``VGG-E``), matching the paper's description.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.nn.layers import Activation, ConvLayer, FCLayer, LayerSpec, PoolSpec
+from repro.nn.model import DNNModel, build_model
+
+MNIST_INPUT = (28, 28, 1)
+CIFAR_INPUT = (32, 32, 3)
+IMAGENET_INPUT = (224, 224, 3)
+ALEXNET_INPUT = (227, 227, 3)
+
+
+def sfc() -> DNNModel:
+    """``SFC``: the all-fully-connected extreme case (Table 3).
+
+    Architecture 784-8192-8192-8192-10; four weighted layers, no
+    convolutions.  The paper reports 98.28% MNIST accuracy for this network
+    and uses it to show that Model Parallelism can beat Data Parallelism
+    when every layer is fully connected.
+    """
+    return build_model(
+        "SFC",
+        MNIST_INPUT,
+        [
+            FCLayer(name="fc1", out_features=8192),
+            FCLayer(name="fc2", out_features=8192),
+            FCLayer(name="fc3", out_features=8192),
+            FCLayer(name="fc4", out_features=10, activation=Activation.SOFTMAX),
+        ],
+    )
+
+
+def sconv() -> DNNModel:
+    """``SCONV``: the all-convolutional extreme case (Table 3).
+
+    ``20@5x5, 50@5x5 (2x2 max pool), 50@5x5, 10@5x5 (2x2 max pool)``; four
+    weighted layers, no fully-connected layers.  The paper reports 98.71%
+    MNIST accuracy and uses it to show that pure Data Parallelism is optimal
+    when every layer is convolutional.
+    """
+    return build_model(
+        "SCONV",
+        MNIST_INPUT,
+        [
+            ConvLayer(name="conv1", out_channels=20, kernel_size=5),
+            ConvLayer(name="conv2", out_channels=50, kernel_size=5, pool=PoolSpec(2)),
+            ConvLayer(name="conv3", out_channels=50, kernel_size=5),
+            ConvLayer(
+                name="conv4",
+                out_channels=10,
+                kernel_size=5,
+                pool=PoolSpec(2),
+                activation=Activation.SOFTMAX,
+            ),
+        ],
+    )
+
+
+def lenet_c() -> DNNModel:
+    """``Lenet-c``: the Caffe LeNet reference network for MNIST.
+
+    Two convolutional layers followed by two fully-connected layers (four
+    weighted layers), as in Figure 5 (c) of the paper.
+    """
+    return build_model(
+        "Lenet-c",
+        MNIST_INPUT,
+        [
+            ConvLayer(name="conv1", out_channels=20, kernel_size=5, pool=PoolSpec(2)),
+            ConvLayer(name="conv2", out_channels=50, kernel_size=5, pool=PoolSpec(2)),
+            FCLayer(name="fc1", out_features=500),
+            FCLayer(name="fc2", out_features=10, activation=Activation.SOFTMAX),
+        ],
+    )
+
+
+def cifar_c() -> DNNModel:
+    """``Cifar-c``: the Caffe CIFAR-10 "quick" reference network.
+
+    Three convolutional layers and two fully-connected layers (five weighted
+    layers), as in Figure 5 (d).
+    """
+    return build_model(
+        "Cifar-c",
+        CIFAR_INPUT,
+        [
+            ConvLayer(
+                name="conv1",
+                out_channels=32,
+                kernel_size=5,
+                padding=2,
+                pool=PoolSpec(3, stride=2, ceil_mode=True),
+            ),
+            ConvLayer(
+                name="conv2",
+                out_channels=32,
+                kernel_size=5,
+                padding=2,
+                pool=PoolSpec(3, stride=2, kind="avg", ceil_mode=True),
+            ),
+            ConvLayer(
+                name="conv3",
+                out_channels=64,
+                kernel_size=5,
+                padding=2,
+                pool=PoolSpec(3, stride=2, kind="avg", ceil_mode=True),
+            ),
+            FCLayer(name="fc1", out_features=64),
+            FCLayer(name="fc2", out_features=10, activation=Activation.SOFTMAX),
+        ],
+    )
+
+
+def alexnet() -> DNNModel:
+    """``AlexNet`` (Krizhevsky et al., 2012): five conv + three fc layers."""
+    return build_model(
+        "AlexNet",
+        ALEXNET_INPUT,
+        [
+            ConvLayer(
+                name="conv1",
+                out_channels=96,
+                kernel_size=11,
+                stride=4,
+                pool=PoolSpec(3, stride=2),
+            ),
+            ConvLayer(
+                name="conv2",
+                out_channels=256,
+                kernel_size=5,
+                padding=2,
+                pool=PoolSpec(3, stride=2),
+            ),
+            ConvLayer(name="conv3", out_channels=384, kernel_size=3, padding=1),
+            ConvLayer(name="conv4", out_channels=384, kernel_size=3, padding=1),
+            ConvLayer(
+                name="conv5",
+                out_channels=256,
+                kernel_size=3,
+                padding=1,
+                pool=PoolSpec(3, stride=2),
+            ),
+            FCLayer(name="fc1", out_features=4096),
+            FCLayer(name="fc2", out_features=4096),
+            FCLayer(name="fc3", out_features=1000, activation=Activation.SOFTMAX),
+        ],
+    )
+
+
+def _vgg_classifier() -> List[LayerSpec]:
+    """The three fully-connected layers shared by all VGG variants."""
+    return [
+        FCLayer(name="fc1", out_features=4096),
+        FCLayer(name="fc2", out_features=4096),
+        FCLayer(name="fc3", out_features=1000, activation=Activation.SOFTMAX),
+    ]
+
+
+def _vgg_conv(name: str, channels: int, kernel_size: int = 3, pool: bool = False) -> ConvLayer:
+    """One VGG convolution: 3x3 pad 1 by default, optional trailing 2x2 max pool."""
+    padding = 1 if kernel_size == 3 else 0
+    return ConvLayer(
+        name=name,
+        out_channels=channels,
+        kernel_size=kernel_size,
+        padding=padding,
+        pool=PoolSpec(2) if pool else None,
+    )
+
+
+def vgg_a() -> DNNModel:
+    """``VGG-A`` (configuration A, 11 weighted layers)."""
+    return build_model(
+        "VGG-A",
+        IMAGENET_INPUT,
+        [
+            _vgg_conv("conv1_1", 64, pool=True),
+            _vgg_conv("conv2_1", 128, pool=True),
+            _vgg_conv("conv3_1", 256),
+            _vgg_conv("conv3_2", 256, pool=True),
+            _vgg_conv("conv4_1", 512),
+            _vgg_conv("conv4_2", 512, pool=True),
+            _vgg_conv("conv5_1", 512),
+            _vgg_conv("conv5_2", 512, pool=True),
+            *_vgg_classifier(),
+        ],
+    )
+
+
+def vgg_b() -> DNNModel:
+    """``VGG-B`` (configuration B, 13 weighted layers)."""
+    return build_model(
+        "VGG-B",
+        IMAGENET_INPUT,
+        [
+            _vgg_conv("conv1_1", 64),
+            _vgg_conv("conv1_2", 64, pool=True),
+            _vgg_conv("conv2_1", 128),
+            _vgg_conv("conv2_2", 128, pool=True),
+            _vgg_conv("conv3_1", 256),
+            _vgg_conv("conv3_2", 256, pool=True),
+            _vgg_conv("conv4_1", 512),
+            _vgg_conv("conv4_2", 512, pool=True),
+            _vgg_conv("conv5_1", 512),
+            _vgg_conv("conv5_2", 512, pool=True),
+            *_vgg_classifier(),
+        ],
+    )
+
+
+def vgg_c() -> DNNModel:
+    """``VGG-C`` (configuration C, 16 weighted layers; the extra per-block convs are 1x1)."""
+    return build_model(
+        "VGG-C",
+        IMAGENET_INPUT,
+        [
+            _vgg_conv("conv1_1", 64),
+            _vgg_conv("conv1_2", 64, pool=True),
+            _vgg_conv("conv2_1", 128),
+            _vgg_conv("conv2_2", 128, pool=True),
+            _vgg_conv("conv3_1", 256),
+            _vgg_conv("conv3_2", 256),
+            _vgg_conv("conv3_3", 256, kernel_size=1, pool=True),
+            _vgg_conv("conv4_1", 512),
+            _vgg_conv("conv4_2", 512),
+            _vgg_conv("conv4_3", 512, kernel_size=1, pool=True),
+            _vgg_conv("conv5_1", 512),
+            _vgg_conv("conv5_2", 512),
+            _vgg_conv("conv5_3", 512, kernel_size=1, pool=True),
+            *_vgg_classifier(),
+        ],
+    )
+
+
+def vgg_d() -> DNNModel:
+    """``VGG-D`` (configuration D, 16 weighted layers, all 3x3 -- the common "VGG-16")."""
+    return build_model(
+        "VGG-D",
+        IMAGENET_INPUT,
+        [
+            _vgg_conv("conv1_1", 64),
+            _vgg_conv("conv1_2", 64, pool=True),
+            _vgg_conv("conv2_1", 128),
+            _vgg_conv("conv2_2", 128, pool=True),
+            _vgg_conv("conv3_1", 256),
+            _vgg_conv("conv3_2", 256),
+            _vgg_conv("conv3_3", 256, pool=True),
+            _vgg_conv("conv4_1", 512),
+            _vgg_conv("conv4_2", 512),
+            _vgg_conv("conv4_3", 512, pool=True),
+            _vgg_conv("conv5_1", 512),
+            _vgg_conv("conv5_2", 512),
+            _vgg_conv("conv5_3", 512, pool=True),
+            *_vgg_classifier(),
+        ],
+    )
+
+
+def vgg_e() -> DNNModel:
+    """``VGG-E`` (configuration E, 19 weighted layers -- the common "VGG-19")."""
+    return build_model(
+        "VGG-E",
+        IMAGENET_INPUT,
+        [
+            _vgg_conv("conv1_1", 64),
+            _vgg_conv("conv1_2", 64, pool=True),
+            _vgg_conv("conv2_1", 128),
+            _vgg_conv("conv2_2", 128, pool=True),
+            _vgg_conv("conv3_1", 256),
+            _vgg_conv("conv3_2", 256),
+            _vgg_conv("conv3_3", 256),
+            _vgg_conv("conv3_4", 256, pool=True),
+            _vgg_conv("conv4_1", 512),
+            _vgg_conv("conv4_2", 512),
+            _vgg_conv("conv4_3", 512),
+            _vgg_conv("conv4_4", 512, pool=True),
+            _vgg_conv("conv5_1", 512),
+            _vgg_conv("conv5_2", 512),
+            _vgg_conv("conv5_3", 512),
+            _vgg_conv("conv5_4", 512, pool=True),
+            *_vgg_classifier(),
+        ],
+    )
+
+
+#: Ordered mapping from canonical model name to its builder.  The order
+#: matches the x-axis of Figures 6-8 and 12 of the paper.
+MODEL_BUILDERS: Dict[str, Callable[[], DNNModel]] = {
+    "SFC": sfc,
+    "SCONV": sconv,
+    "Lenet-c": lenet_c,
+    "Cifar-c": cifar_c,
+    "AlexNet": alexnet,
+    "VGG-A": vgg_a,
+    "VGG-B": vgg_b,
+    "VGG-C": vgg_c,
+    "VGG-D": vgg_d,
+    "VGG-E": vgg_e,
+}
+
+#: Aliases accepted by :func:`get_model` in addition to the canonical names.
+_ALIASES: Dict[str, str] = {
+    "sfc": "SFC",
+    "sconv": "SCONV",
+    "lenet": "Lenet-c",
+    "lenet-c": "Lenet-c",
+    "lenet_c": "Lenet-c",
+    "cifar": "Cifar-c",
+    "cifar-c": "Cifar-c",
+    "cifar_c": "Cifar-c",
+    "alexnet": "AlexNet",
+    "vgg-a": "VGG-A",
+    "vgg_a": "VGG-A",
+    "vgg11": "VGG-A",
+    "vgg-b": "VGG-B",
+    "vgg_b": "VGG-B",
+    "vgg13": "VGG-B",
+    "vgg-c": "VGG-C",
+    "vgg_c": "VGG-C",
+    "vgg-d": "VGG-D",
+    "vgg_d": "VGG-D",
+    "vgg16": "VGG-D",
+    "vgg-e": "VGG-E",
+    "vgg_e": "VGG-E",
+    "vgg19": "VGG-E",
+}
+
+
+def get_model(name: str) -> DNNModel:
+    """Return one of the ten evaluation networks by (case-insensitive) name.
+
+    Raises
+    ------
+    KeyError
+        If the name is not one of the known models or aliases.
+    """
+    canonical = name if name in MODEL_BUILDERS else _ALIASES.get(name.lower())
+    if canonical is None or canonical not in MODEL_BUILDERS:
+        known = ", ".join(MODEL_BUILDERS)
+        raise KeyError(f"unknown model {name!r}; known models: {known}")
+    return MODEL_BUILDERS[canonical]()
+
+
+def all_models() -> List[DNNModel]:
+    """Build all ten evaluation networks, in the paper's reporting order."""
+    return [builder() for builder in MODEL_BUILDERS.values()]

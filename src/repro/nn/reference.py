@@ -1,0 +1,347 @@
+"""Numerical reference implementation of forward / backward / gradient.
+
+The HyPar cost model never touches tensor *values* -- but the paper's whole
+communication model rests on claims about where partial sums and tensor
+re-layouts appear when a layer is partitioned (Figure 1, Equations 1-3).
+This module provides a small, dependency-free (numpy-only) implementation
+of the three training computations
+
+* forward:   ``F_{l+1} = f(F_l (*) W_l)``            (Equation 1)
+* backward:  ``E_l = (E_{l+1} (*) W_l^*) . f'(F_l)``  (Equation 2)
+* gradient:  ``dW_l = F_l^* (*) E_{l+1}``             (Equation 3)
+
+for fully-connected and convolutional layers, so that
+:mod:`repro.core.execution` can execute a *partitioned* training step and
+verify numerically that it produces exactly the same activations, errors
+and gradients as the monolithic computation -- with communication happening
+exactly where (and in exactly the amounts) the communication model says.
+
+Layout conventions
+------------------
+* Fully-connected activations: ``(batch, features)``.
+* Convolutional activations: ``(batch, height, width, channels)``.
+* Convolution kernels: ``(k, k, in_channels, out_channels)``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.nn.layers import Activation, ConvLayer, FCLayer
+from repro.nn.model import DNNModel, WeightedLayer
+
+
+class UnsupportedLayerError(ValueError):
+    """Raised when a layer uses features the reference executor does not model."""
+
+
+# ----------------------------------------------------------------------
+# Activations.
+# ----------------------------------------------------------------------
+
+
+def activation_forward(z: np.ndarray, activation: Activation) -> np.ndarray:
+    """Apply the element-wise activation ``f``."""
+    if activation is Activation.NONE:
+        return z
+    if activation is Activation.RELU:
+        return np.maximum(z, 0.0)
+    raise UnsupportedLayerError(
+        f"reference execution supports NONE and RELU activations, got {activation}"
+    )
+
+
+def activation_backward(z: np.ndarray, grad_output: np.ndarray, activation: Activation) -> np.ndarray:
+    """Multiply by ``f'`` evaluated at the pre-activation ``z``."""
+    if activation is Activation.NONE:
+        return grad_output
+    if activation is Activation.RELU:
+        return grad_output * (z > 0.0)
+    raise UnsupportedLayerError(
+        f"reference execution supports NONE and RELU activations, got {activation}"
+    )
+
+
+# ----------------------------------------------------------------------
+# Fully-connected layers.
+# ----------------------------------------------------------------------
+
+
+def fc_forward(x: np.ndarray, weight: np.ndarray) -> np.ndarray:
+    """``F_l -> W_l => F_{l+1}``: a plain matrix multiplication."""
+    return x @ weight
+
+
+def fc_backward_input(grad_output: np.ndarray, weight: np.ndarray) -> np.ndarray:
+    """``E_{l+1} -> W_l^T => E_l``."""
+    return grad_output @ weight.T
+
+
+def fc_backward_weight(x: np.ndarray, grad_output: np.ndarray) -> np.ndarray:
+    """``F_l^T -> E_{l+1} => dW_l``."""
+    return x.T @ grad_output
+
+
+# ----------------------------------------------------------------------
+# Convolutional layers (im2col based).
+# ----------------------------------------------------------------------
+
+
+def _output_dim(in_dim: int, kernel: int, stride: int, padding: int) -> int:
+    return (in_dim + 2 * padding - kernel) // stride + 1
+
+
+def im2col(x: np.ndarray, kernel: int, stride: int, padding: int) -> np.ndarray:
+    """Unfold image patches into rows.
+
+    ``x`` has shape ``(B, H, W, C)``; the result has shape
+    ``(B, OH, OW, k*k*C)`` where each row is the flattened receptive field
+    of one output position.
+    """
+    batch, height, width, channels = x.shape
+    out_h = _output_dim(height, kernel, stride, padding)
+    out_w = _output_dim(width, kernel, stride, padding)
+    padded = np.pad(
+        x, ((0, 0), (padding, padding), (padding, padding), (0, 0)), mode="constant"
+    )
+    columns = np.empty((batch, out_h, out_w, kernel * kernel * channels), dtype=x.dtype)
+    for row in range(out_h):
+        for col in range(out_w):
+            patch = padded[
+                :,
+                row * stride : row * stride + kernel,
+                col * stride : col * stride + kernel,
+                :,
+            ]
+            columns[:, row, col, :] = patch.reshape(batch, -1)
+    return columns
+
+
+def col2im(
+    columns: np.ndarray,
+    input_shape: tuple[int, int, int, int],
+    kernel: int,
+    stride: int,
+    padding: int,
+) -> np.ndarray:
+    """Fold patch-gradients back onto the (padded) image, summing overlaps."""
+    batch, height, width, channels = input_shape
+    out_h = _output_dim(height, kernel, stride, padding)
+    out_w = _output_dim(width, kernel, stride, padding)
+    padded = np.zeros(
+        (batch, height + 2 * padding, width + 2 * padding, channels), dtype=columns.dtype
+    )
+    for row in range(out_h):
+        for col in range(out_w):
+            patch = columns[:, row, col, :].reshape(batch, kernel, kernel, channels)
+            padded[
+                :,
+                row * stride : row * stride + kernel,
+                col * stride : col * stride + kernel,
+                :,
+            ] += patch
+    if padding:
+        return padded[:, padding:-padding, padding:-padding, :]
+    return padded
+
+
+def conv2d_forward(
+    x: np.ndarray, weight: np.ndarray, stride: int = 1, padding: int = 0
+) -> np.ndarray:
+    """Convolution forward pass via im2col + matrix multiplication."""
+    kernel = weight.shape[0]
+    out_channels = weight.shape[3]
+    columns = im2col(x, kernel, stride, padding)
+    batch, out_h, out_w, _ = columns.shape
+    flat = columns.reshape(batch * out_h * out_w, -1)
+    result = flat @ weight.reshape(-1, out_channels)
+    return result.reshape(batch, out_h, out_w, out_channels)
+
+
+def conv2d_backward_input(
+    grad_output: np.ndarray,
+    weight: np.ndarray,
+    input_shape: tuple[int, int, int, int],
+    stride: int = 1,
+    padding: int = 0,
+) -> np.ndarray:
+    """Gradient of the convolution with respect to its input."""
+    kernel = weight.shape[0]
+    out_channels = weight.shape[3]
+    batch, out_h, out_w, _ = grad_output.shape
+    flat = grad_output.reshape(batch * out_h * out_w, out_channels)
+    columns = (flat @ weight.reshape(-1, out_channels).T).reshape(
+        batch, out_h, out_w, -1
+    )
+    return col2im(columns, input_shape, kernel, stride, padding)
+
+
+def conv2d_backward_weight(
+    x: np.ndarray, grad_output: np.ndarray, kernel: int, stride: int = 1, padding: int = 0
+) -> np.ndarray:
+    """Gradient of the convolution with respect to its kernel."""
+    in_channels = x.shape[3]
+    out_channels = grad_output.shape[3]
+    columns = im2col(x, kernel, stride, padding)
+    batch, out_h, out_w, _ = columns.shape
+    flat_columns = columns.reshape(batch * out_h * out_w, -1)
+    flat_grad = grad_output.reshape(batch * out_h * out_w, out_channels)
+    grad_weight = flat_columns.T @ flat_grad
+    return grad_weight.reshape(kernel, kernel, in_channels, out_channels)
+
+
+# ----------------------------------------------------------------------
+# Whole-network reference execution.
+# ----------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class LayerState:
+    """Cached tensors for one layer of one training step."""
+
+    layer: WeightedLayer
+    input: np.ndarray
+    pre_activation: np.ndarray
+    output: np.ndarray
+    grad_weight: np.ndarray | None = None
+    grad_input: np.ndarray | None = None
+
+
+class ReferenceNetwork:
+    """A numpy network mirroring a :class:`~repro.nn.model.DNNModel`.
+
+    Only the features needed for the partitioned-execution validation are
+    supported: convolutional layers without pooling, fully-connected layers,
+    and NONE / RELU activations.  Weights are initialised from a seeded RNG
+    so runs are reproducible.
+    """
+
+    def __init__(self, model: DNNModel, seed: int = 0, dtype=np.float64) -> None:
+        self.model = model
+        self.dtype = dtype
+        rng = np.random.default_rng(seed)
+        self.weights: List[np.ndarray] = []
+        for layer in model:
+            spec = layer.spec
+            if spec.pool is not None:
+                raise UnsupportedLayerError(
+                    f"layer {layer.name!r}: pooling is not supported by the reference executor"
+                )
+            if isinstance(spec, ConvLayer):
+                shape = (
+                    spec.kernel_size,
+                    spec.kernel_size,
+                    layer.input_shape.channels,
+                    spec.out_channels,
+                )
+            elif isinstance(spec, FCLayer):
+                shape = (layer.input_shape.elements, spec.out_features)
+            else:  # pragma: no cover - defensive
+                raise UnsupportedLayerError(f"unsupported layer spec {type(spec).__name__}")
+            scale = 1.0 / np.sqrt(np.prod(shape[:-1]))
+            self.weights.append(rng.standard_normal(shape).astype(dtype) * scale)
+
+    # ------------------------------------------------------------------
+    # Inputs.
+    # ------------------------------------------------------------------
+
+    def random_batch(self, batch_size: int, seed: int = 1) -> np.ndarray:
+        """A reproducible random input batch with the model's input shape."""
+        rng = np.random.default_rng(seed)
+        shape = self.model.input_shape
+        if shape.is_vector:
+            return rng.standard_normal((batch_size, shape.channels)).astype(self.dtype)
+        return rng.standard_normal(
+            (batch_size, shape.height, shape.width, shape.channels)
+        ).astype(self.dtype)
+
+    # ------------------------------------------------------------------
+    # Single-layer primitives shared with the partitioned executor.
+    # ------------------------------------------------------------------
+
+    def layer_forward(self, index: int, x: np.ndarray, weight: np.ndarray) -> np.ndarray:
+        """The linear part of layer ``index``'s forward pass (no activation)."""
+        layer = self.model[index]
+        spec = layer.spec
+        if isinstance(spec, FCLayer):
+            flat = x.reshape(x.shape[0], -1)
+            return fc_forward(flat, weight)
+        return conv2d_forward(x, weight, spec.stride, spec.padding)
+
+    def layer_backward_input(
+        self, index: int, grad_output: np.ndarray, weight: np.ndarray, x: np.ndarray
+    ) -> np.ndarray:
+        """Gradient with respect to layer ``index``'s input."""
+        layer = self.model[index]
+        spec = layer.spec
+        if isinstance(spec, FCLayer):
+            grad = fc_backward_input(grad_output, weight)
+            return grad.reshape(x.shape)
+        return conv2d_backward_input(
+            grad_output, weight, x.shape, spec.stride, spec.padding
+        )
+
+    def layer_backward_weight(
+        self, index: int, x: np.ndarray, grad_output: np.ndarray
+    ) -> np.ndarray:
+        """Gradient with respect to layer ``index``'s weights."""
+        layer = self.model[index]
+        spec = layer.spec
+        if isinstance(spec, FCLayer):
+            flat = x.reshape(x.shape[0], -1)
+            return fc_backward_weight(flat, grad_output)
+        return conv2d_backward_weight(
+            x, grad_output, spec.kernel_size, spec.stride, spec.padding
+        )
+
+    # ------------------------------------------------------------------
+    # Whole-step execution.
+    # ------------------------------------------------------------------
+
+    def forward(self, x: np.ndarray) -> List[LayerState]:
+        """Run the forward pass, returning the cached per-layer state."""
+        states: List[LayerState] = []
+        current = x
+        for index, layer in enumerate(self.model):
+            pre_activation = self.layer_forward(index, current, self.weights[index])
+            output = activation_forward(pre_activation, layer.spec.activation)
+            states.append(
+                LayerState(
+                    layer=layer,
+                    input=current,
+                    pre_activation=pre_activation,
+                    output=output,
+                )
+            )
+            current = output
+        return states
+
+    def backward(self, states: Sequence[LayerState], grad_output: np.ndarray) -> None:
+        """Run error backward and gradient computation, filling the states in place."""
+        grad = grad_output
+        for index in reversed(range(len(states))):
+            state = states[index]
+            grad = activation_backward(
+                state.pre_activation, grad, state.layer.spec.activation
+            )
+            state.grad_weight = self.layer_backward_weight(index, state.input, grad)
+            state.grad_input = self.layer_backward_input(
+                index, grad, self.weights[index], state.input
+            )
+            grad = state.grad_input
+
+    def training_step(
+        self, x: np.ndarray, grad_output: np.ndarray
+    ) -> List[LayerState]:
+        """Forward + backward + gradient for one step (weights are not updated)."""
+        states = self.forward(x)
+        if grad_output.shape != states[-1].output.shape:
+            raise ValueError(
+                f"grad_output shape {grad_output.shape} does not match the network "
+                f"output shape {states[-1].output.shape}"
+            )
+        self.backward(states, grad_output)
+        return states

@@ -1,0 +1,131 @@
+"""Feature-map shape arithmetic.
+
+The communication model of HyPar (Section 3 of the paper) is driven purely
+by tensor sizes: the feature maps ``F_l`` of size ``B x [H_l x W_l x C_l]``,
+the kernels ``W_l`` of size ``[K x K x C_l] x C_{l+1}`` (or ``[N_in x
+N_out]`` for fully-connected layers), the errors ``E_l`` (same shape as
+``F_l``) and the gradients ``dW_l`` (same shape as ``W_l``).  This module
+provides the small amount of shape arithmetic needed to derive those sizes
+layer by layer.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+
+class ShapeError(ValueError):
+    """Raised when a layer specification produces an invalid shape."""
+
+
+@dataclasses.dataclass(frozen=True)
+class FeatureMapShape:
+    """Spatial shape of one feature-map slice (one sample), ``H x W x C``.
+
+    The batch dimension is tracked separately (it is a property of the
+    training configuration, not of the network topology), so a
+    ``FeatureMapShape`` describes a single sample.
+
+    For fully-connected layers the convention used throughout the library
+    is ``height = width = 1`` and ``channels = number of neurons``, which
+    makes the conv and fc tensor-size formulas coincide.
+    """
+
+    height: int
+    width: int
+    channels: int
+
+    def __post_init__(self) -> None:
+        for name in ("height", "width", "channels"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or value <= 0:
+                raise ShapeError(
+                    f"FeatureMapShape.{name} must be a positive integer, got {value!r}"
+                )
+
+    @property
+    def elements(self) -> int:
+        """Number of scalar elements in one feature-map slice."""
+        return self.height * self.width * self.channels
+
+    @property
+    def is_vector(self) -> bool:
+        """True when the shape is a flat vector (fully-connected style)."""
+        return self.height == 1 and self.width == 1
+
+    def flattened(self) -> "FeatureMapShape":
+        """Return the shape flattened into a vector of the same size."""
+        return FeatureMapShape(1, 1, self.elements)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        if self.is_vector:
+            return f"[{self.channels}]"
+        return f"[{self.height}x{self.width}x{self.channels}]"
+
+
+def _conv_dim(in_dim: int, kernel: int, stride: int, padding: int) -> int:
+    """Output size of one spatial dimension of a convolution."""
+    out = (in_dim + 2 * padding - kernel) // stride + 1
+    if out <= 0:
+        raise ShapeError(
+            f"convolution produces non-positive output dimension: "
+            f"in={in_dim}, kernel={kernel}, stride={stride}, padding={padding}"
+        )
+    return out
+
+
+def conv_output_shape(
+    in_shape: FeatureMapShape,
+    kernel_size: int,
+    out_channels: int,
+    stride: int = 1,
+    padding: int = 0,
+) -> FeatureMapShape:
+    """Shape of the output feature map of a convolutional layer.
+
+    Parameters mirror the usual convolution hyper-parameters.  Square
+    kernels and symmetric padding are assumed, matching every network used
+    in the paper's evaluation.
+    """
+    if kernel_size <= 0 or stride <= 0 or padding < 0 or out_channels <= 0:
+        raise ShapeError(
+            "conv hyper-parameters must be positive (padding may be zero): "
+            f"kernel={kernel_size}, stride={stride}, padding={padding}, "
+            f"out_channels={out_channels}"
+        )
+    out_h = _conv_dim(in_shape.height, kernel_size, stride, padding)
+    out_w = _conv_dim(in_shape.width, kernel_size, stride, padding)
+    return FeatureMapShape(out_h, out_w, out_channels)
+
+
+def pool_output_shape(
+    in_shape: FeatureMapShape,
+    pool_size: int,
+    stride: int | None = None,
+    ceil_mode: bool = False,
+) -> FeatureMapShape:
+    """Shape after a (max or average) pooling operation.
+
+    ``stride`` defaults to ``pool_size`` (non-overlapping pooling), which is
+    what Lenet, AlexNet and the VGG family use.  ``ceil_mode`` rounds the
+    output size up instead of down, matching Caffe-style pooling used by the
+    original AlexNet/Lenet prototxt definitions.
+    """
+    if pool_size <= 0:
+        raise ShapeError(f"pool_size must be positive, got {pool_size}")
+    stride = pool_size if stride is None else stride
+    if stride <= 0:
+        raise ShapeError(f"pool stride must be positive, got {stride}")
+
+    def _dim(in_dim: int) -> int:
+        raw = (in_dim - pool_size) / stride + 1
+        out = math.ceil(raw) if ceil_mode else math.floor(raw)
+        if out <= 0:
+            raise ShapeError(
+                f"pooling produces non-positive output dimension: "
+                f"in={in_dim}, pool={pool_size}, stride={stride}"
+            )
+        return int(out)
+
+    return FeatureMapShape(_dim(in_shape.height), _dim(in_shape.width), in_shape.channels)

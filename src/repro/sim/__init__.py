@@ -1,0 +1,41 @@
+"""Event-driven simulation of DNN training steps on the accelerator array.
+
+* :mod:`repro.sim.engine` -- a generic discrete-event scheduling engine
+  (resources, dependent tasks, event queue).
+* :mod:`repro.sim.training` -- builds the task graph of one training step
+  (forward, error backward, gradient computation, weight update, and every
+  tensor exchange dictated by the communication model) and runs it.
+* :mod:`repro.sim.metrics` -- the report records (time, energy, traffic).
+* :mod:`repro.sim.trace` -- explicit point-to-point transfer lists derived
+  from a partitioned network (for link-load studies and export).
+"""
+
+from repro.sim.engine import (
+    EventDrivenEngine,
+    Resource,
+    Schedule,
+    ScheduledTask,
+    SimulationError,
+    Task,
+)
+from repro.sim.metrics import EnergyBreakdown, PhaseBreakdown, TrainingStepReport
+from repro.sim.trace import CommunicationTrace, TraceBuilder, Transfer
+from repro.sim.training import PHASES, TrainingSimulator, simulate_partitioned
+
+__all__ = [
+    "TraceBuilder",
+    "CommunicationTrace",
+    "Transfer",
+    "EventDrivenEngine",
+    "Resource",
+    "Task",
+    "Schedule",
+    "ScheduledTask",
+    "SimulationError",
+    "TrainingSimulator",
+    "simulate_partitioned",
+    "PHASES",
+    "TrainingStepReport",
+    "PhaseBreakdown",
+    "EnergyBreakdown",
+]

@@ -1,0 +1,235 @@
+"""A small discrete-event scheduling engine.
+
+The HyPar evaluation is an event-driven simulation (Section 6.1): the
+execution of one training step is a directed acyclic graph of tasks
+(compute passes, local-memory streaming, tensor exchanges) competing for
+resources (the accelerators' processing units and the interconnect links at
+each hierarchy level).  This module provides the generic machinery --
+resources, tasks with dependencies, and an event queue that advances
+simulated time -- and :mod:`repro.sim.training` builds the training-step
+task graph on top of it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+import itertools
+from typing import Dict, Iterable, List
+
+
+class SimulationError(RuntimeError):
+    """Raised when the task graph cannot be scheduled (cycles, missing deps)."""
+
+
+@dataclasses.dataclass
+class Resource:
+    """A serially reusable resource (a PU, a link, a DRAM channel).
+
+    ``available_at`` tracks the simulated time at which the resource becomes
+    free; tasks claiming the resource execute back to back in the order the
+    engine starts them.
+    """
+
+    name: str
+    available_at: float = 0.0
+
+    def __hash__(self) -> int:  # resources are identity-hashable registry entries
+        return id(self)
+
+
+@dataclasses.dataclass
+class Task:
+    """One unit of simulated work.
+
+    Attributes
+    ----------
+    name:
+        Unique task name (used in schedules and error messages).
+    duration:
+        Simulated execution time in seconds.
+    resources:
+        Resources the task occupies for its whole duration.
+    deps:
+        Tasks that must complete before this one may start.
+    tags:
+        Free-form key/value metadata (layer, phase, level, energy, ...)
+        carried through to the schedule for reporting.
+    """
+
+    name: str
+    duration: float
+    resources: tuple[Resource, ...] = ()
+    deps: tuple["Task", ...] = ()
+    tags: dict = dataclasses.field(default_factory=dict)
+    start: float | None = None
+    end: float | None = None
+
+    def __hash__(self) -> int:
+        return id(self)
+
+
+@dataclasses.dataclass(frozen=True)
+class ScheduledTask:
+    """Immutable record of one task's placement in the final schedule."""
+
+    name: str
+    start: float
+    end: float
+    tags: dict
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclasses.dataclass(frozen=True)
+class Schedule:
+    """Result of running the engine: per-task timings and the makespan."""
+
+    tasks: tuple[ScheduledTask, ...]
+
+    @property
+    def makespan(self) -> float:
+        """Completion time of the last task (the simulated step latency)."""
+        return max((task.end for task in self.tasks), default=0.0)
+
+    def by_tag(self, key: str, value) -> list[ScheduledTask]:
+        """All scheduled tasks whose ``tags[key]`` equals ``value``."""
+        return [task for task in self.tasks if task.tags.get(key) == value]
+
+    def total_duration_by_tag(self, key: str, value) -> float:
+        """Summed durations of the tasks selected by :meth:`by_tag`."""
+        return sum(task.duration for task in self.by_tag(key, value))
+
+    def task(self, name: str) -> ScheduledTask:
+        for task in self.tasks:
+            if task.name == name:
+                return task
+        raise KeyError(f"no task named {name!r} in schedule")
+
+
+class EventDrivenEngine:
+    """Event-driven scheduler for a static task graph.
+
+    Tasks are added with :meth:`add_task`; :meth:`run` then advances
+    simulated time with an event queue: a task becomes *ready* when all its
+    dependencies have completed, starts as soon as all its resources are
+    free, and occupies those resources until it finishes.  Ready tasks
+    contend for resources in the order they became ready (FIFO), which makes
+    the schedule deterministic.
+    """
+
+    def __init__(self) -> None:
+        self._tasks: List[Task] = []
+        self._names: set[str] = set()
+        self._resources: Dict[str, Resource] = {}
+        self._counter = itertools.count()
+
+    # ------------------------------------------------------------------
+    # Graph construction.
+    # ------------------------------------------------------------------
+
+    def resource(self, name: str) -> Resource:
+        """Get or create the named resource."""
+        if name not in self._resources:
+            self._resources[name] = Resource(name)
+        return self._resources[name]
+
+    def add_task(
+        self,
+        name: str,
+        duration: float,
+        resources: Iterable[Resource] = (),
+        deps: Iterable[Task] = (),
+        tags: dict | None = None,
+    ) -> Task:
+        """Add one task to the graph and return its handle."""
+        if duration < 0:
+            raise ValueError(f"task {name!r}: duration must be non-negative")
+        if name in self._names:
+            raise ValueError(f"duplicate task name {name!r}")
+        task = Task(
+            name=name,
+            duration=float(duration),
+            resources=tuple(resources),
+            deps=tuple(deps),
+            tags=dict(tags or {}),
+        )
+        for dep in task.deps:
+            if dep not in self._tasks_set():
+                raise SimulationError(
+                    f"task {name!r} depends on unknown task {dep.name!r}"
+                )
+        self._tasks.append(task)
+        self._names.add(name)
+        return task
+
+    def _tasks_set(self) -> set:
+        return set(self._tasks)
+
+    # ------------------------------------------------------------------
+    # Execution.
+    # ------------------------------------------------------------------
+
+    def run(self) -> Schedule:
+        """Schedule every task and return the resulting :class:`Schedule`."""
+        remaining_deps: Dict[Task, int] = {
+            task: len(task.deps) for task in self._tasks
+        }
+        dependants: Dict[Task, List[Task]] = {task: [] for task in self._tasks}
+        for task in self._tasks:
+            for dep in task.deps:
+                dependants[dep].append(task)
+
+        # ready_at[task] = simulated time at which all deps were satisfied.
+        ready_queue: List[tuple[float, int, Task]] = []
+        for task in self._tasks:
+            if remaining_deps[task] == 0:
+                heapq.heappush(ready_queue, (0.0, next(self._counter), task))
+
+        completion_events: List[tuple[float, int, Task]] = []
+        completed = 0
+
+        while ready_queue or completion_events:
+            # Start every ready task whose resources allow it; because
+            # resources serialise work by bumping ``available_at`` we can
+            # start tasks eagerly in ready order.
+            while ready_queue:
+                ready_time, _, task = heapq.heappop(ready_queue)
+                start = ready_time
+                for resource in task.resources:
+                    start = max(start, resource.available_at)
+                task.start = start
+                task.end = start + task.duration
+                for resource in task.resources:
+                    resource.available_at = task.end
+                heapq.heappush(
+                    completion_events, (task.end, next(self._counter), task)
+                )
+
+            if not completion_events:
+                break
+            end_time, _, finished = heapq.heappop(completion_events)
+            completed += 1
+            for dependant in dependants[finished]:
+                remaining_deps[dependant] -= 1
+                if remaining_deps[dependant] == 0:
+                    ready_at = max(
+                        dep.end for dep in dependant.deps if dep.end is not None
+                    )
+                    heapq.heappush(
+                        ready_queue, (ready_at, next(self._counter), dependant)
+                    )
+
+        if completed != len(self._tasks):
+            unscheduled = [t.name for t in self._tasks if t.end is None]
+            raise SimulationError(
+                f"task graph contains a dependency cycle; unscheduled tasks: {unscheduled}"
+            )
+
+        scheduled = tuple(
+            ScheduledTask(name=t.name, start=t.start, end=t.end, tags=t.tags)
+            for t in self._tasks
+        )
+        return Schedule(tasks=scheduled)

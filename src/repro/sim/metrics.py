@@ -1,0 +1,125 @@
+"""Result records produced by the training-step simulator."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Mapping, Sequence
+
+
+@dataclasses.dataclass(frozen=True)
+class PhaseBreakdown:
+    """Time spent in one phase of the training step (seconds)."""
+
+    compute_seconds: float
+    communication_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        return self.compute_seconds + self.communication_seconds
+
+
+@dataclasses.dataclass(frozen=True)
+class EnergyBreakdown:
+    """Energy of one training step split by source (joules)."""
+
+    compute_joules: float
+    sram_joules: float
+    dram_joules: float
+    communication_joules: float
+
+    @property
+    def total_joules(self) -> float:
+        return (
+            self.compute_joules
+            + self.sram_joules
+            + self.dram_joules
+            + self.communication_joules
+        )
+
+    @property
+    def parallelism_independent_joules(self) -> float:
+        """The share of the energy that no partition choice can change."""
+        return self.compute_joules + self.sram_joules + self.dram_joules
+
+
+@dataclasses.dataclass(frozen=True)
+class TrainingStepReport:
+    """Simulated cost of one training step of one model under one strategy.
+
+    Attributes
+    ----------
+    model_name, strategy_name, topology_name:
+        Identification of the configuration simulated.
+    num_accelerators, batch_size:
+        Array size and training batch size.
+    step_seconds:
+        End-to-end latency of the step (the schedule's makespan).
+    energy:
+        Energy breakdown for the step.
+    communication_bytes:
+        Total bytes crossing pair boundaries during the step (all levels).
+    phase_seconds:
+        Per-phase timing breakdown, keyed by ``"forward"``, ``"backward"``,
+        ``"gradient"``.
+    level_communication_bytes:
+        Traffic per hierarchy level (index 0 = topmost level H1).
+    """
+
+    model_name: str
+    strategy_name: str
+    topology_name: str
+    num_accelerators: int
+    batch_size: int
+    step_seconds: float
+    energy: EnergyBreakdown
+    communication_bytes: float
+    phase_seconds: Mapping[str, PhaseBreakdown]
+    level_communication_bytes: Sequence[float]
+
+    @property
+    def energy_joules(self) -> float:
+        return self.energy.total_joules
+
+    @property
+    def throughput_samples_per_second(self) -> float:
+        """Training throughput implied by the step latency."""
+        if self.step_seconds <= 0:
+            return float("inf")
+        return self.batch_size / self.step_seconds
+
+    @property
+    def communication_gb(self) -> float:
+        """Total communication per step in gigabytes (the unit of Figure 8)."""
+        return self.communication_bytes / 1e9
+
+    @property
+    def compute_seconds(self) -> float:
+        return sum(phase.compute_seconds for phase in self.phase_seconds.values())
+
+    @property
+    def communication_seconds(self) -> float:
+        return sum(
+            phase.communication_seconds for phase in self.phase_seconds.values()
+        )
+
+    def speedup_over(self, baseline: "TrainingStepReport") -> float:
+        """Performance normalised to ``baseline`` (the paper's Figures 6, 9-13)."""
+        if self.step_seconds <= 0:
+            return float("inf")
+        return baseline.step_seconds / self.step_seconds
+
+    def energy_efficiency_over(self, baseline: "TrainingStepReport") -> float:
+        """Energy saving normalised to ``baseline`` (the paper's Figure 7)."""
+        if self.energy_joules <= 0:
+            return float("inf")
+        return baseline.energy_joules / self.energy_joules
+
+    def summary(self) -> str:
+        """One-paragraph human-readable summary."""
+        return (
+            f"{self.model_name} / {self.strategy_name} on {self.topology_name} "
+            f"({self.num_accelerators} accelerators, batch {self.batch_size}): "
+            f"{self.step_seconds * 1e3:.2f} ms/step, "
+            f"{self.energy_joules:.2f} J/step, "
+            f"{self.communication_gb:.3f} GB communicated"
+        )

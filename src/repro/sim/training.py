@@ -1,0 +1,422 @@
+"""Event-driven simulation of one DNN training step on the accelerator array.
+
+The simulator builds a task graph for one mini-batch step -- forward pass,
+error backward pass, gradient computation and weight update for every
+weighted layer -- and schedules it with the discrete-event engine:
+
+* every layer pass runs as a *compute* task on the array's processing units
+  (all accelerators execute their share in lock-step, so the pass occupies
+  one aggregate PU resource for the per-accelerator duration, bounded below
+  by local HMC streaming);
+* the tensor exchanges dictated by the HyPar communication model run as
+  *communication* tasks on the hierarchy-level link resources: model-parallel
+  layers exchange output-feature partial sums during forward, data-parallel
+  layers exchange gradients during the weight update, and inter-layer
+  re-layouts are charged at the layer boundaries they belong to
+  (feature-map share in forward, error share in backward);
+* communication of the different hierarchy levels of one logical exchange is
+  chained (a hierarchical reduction proceeds level by level), with each level
+  running at the effective bandwidth its topology gives to a pair boundary.
+
+Energy is accumulated analytically from the same quantities: arithmetic,
+on-chip buffer and local DRAM energy are identical under every strategy
+(the work is merely partitioned differently), while communication energy
+scales with the bytes and hop counts of the exchanges.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.accelerator.array import ArrayConfig
+from repro.core.communication import CommunicationModel
+from repro.core.hierarchical import HierarchicalPartitioner
+from repro.core.parallelism import HierarchicalAssignment, Parallelism
+from repro.core.tensors import ScalingMode, descend_scales, initial_scales, model_tensors
+from repro.interconnect import HTreeTopology, Topology
+from repro.nn.model import DNNModel
+from repro.sim.engine import EventDrivenEngine, Task
+from repro.sim.metrics import EnergyBreakdown, PhaseBreakdown, TrainingStepReport
+
+#: The three layer passes of training (Equations 1-3 of the paper).
+PHASES = ("forward", "backward", "gradient")
+
+
+class TrainingSimulator:
+    """Simulates one training step of a partitioned DNN on an accelerator array.
+
+    Parameters
+    ----------
+    array:
+        The accelerator-array configuration (size, per-accelerator models).
+    topology:
+        Interconnect topology; defaults to the H tree the paper prefers.
+    communication_model:
+        Byte-level communication cost model shared with the partitioner.
+    scaling_mode:
+        How tensor amounts shrink at deeper hierarchy levels; must match the
+        mode used when the assignment was searched for the costs to be
+        consistent.
+    """
+
+    def __init__(
+        self,
+        array: ArrayConfig | None = None,
+        topology: Topology | None = None,
+        communication_model: CommunicationModel | None = None,
+        scaling_mode: ScalingMode | str = ScalingMode.PARALLELISM_AWARE,
+    ) -> None:
+        self.array = array or ArrayConfig()
+        if self.array.num_accelerators == 1:
+            # A single accelerator has no interconnect at all.
+            if topology is not None:
+                raise ValueError("a single-accelerator array takes no topology")
+            self.topology = None
+        else:
+            self.topology = topology or HTreeTopology(
+                self.array.num_accelerators, self.array.link_bandwidth_bytes
+            )
+            if self.topology.num_accelerators != self.array.num_accelerators:
+                raise ValueError(
+                    "topology and array configuration disagree on the number of accelerators"
+                )
+        self.communication_model = communication_model or CommunicationModel()
+        self.scaling_mode = ScalingMode.parse(scaling_mode)
+
+    # ------------------------------------------------------------------
+    # Public entry point.
+    # ------------------------------------------------------------------
+
+    def simulate(
+        self,
+        model: DNNModel,
+        assignment: HierarchicalAssignment | None,
+        batch_size: int,
+        strategy_name: str = "custom",
+    ) -> TrainingStepReport:
+        """Simulate one training step and return its report.
+
+        ``assignment`` may be ``None`` only for a single-accelerator array,
+        in which case there is no inter-accelerator communication at all.
+        """
+        num_levels = self.array.num_levels
+        if num_levels == 0:
+            if assignment is not None:
+                raise ValueError("a single-accelerator array takes no assignment")
+            level_comm: list[list] = []
+        else:
+            if assignment is None:
+                raise ValueError("an assignment is required for a multi-accelerator array")
+            if assignment.num_levels != num_levels:
+                raise ValueError(
+                    f"assignment has {assignment.num_levels} levels, "
+                    f"array expects {num_levels}"
+                )
+            if assignment.num_layers != len(model):
+                raise ValueError(
+                    f"assignment covers {assignment.num_layers} layers, "
+                    f"model has {len(model)}"
+                )
+            level_comm = self._per_level_communication(model, assignment, batch_size)
+
+        engine = EventDrivenEngine()
+        pu = engine.resource("array-pu")
+        link_resources = [
+            engine.resource(f"link-level-{level}") for level in range(num_levels)
+        ]
+
+        accelerators = self.array.accelerators()
+        reference_accelerator = accelerators[0]
+        num_accelerators = self.array.num_accelerators
+
+        compute_energy = 0.0
+        sram_energy = 0.0
+        dram_energy = 0.0
+        comm_energy = 0.0
+        level_comm_bytes = [0.0] * num_levels
+
+        # ------------------------------------------------------------------
+        # Helper closures.
+        # ------------------------------------------------------------------
+
+        def add_compute(
+            name: str, layer, macs_total: float, dram_words_total: float, phase: str, deps
+        ) -> Task:
+            nonlocal compute_energy, sram_energy, dram_energy
+            execution = reference_accelerator.execute_layer_pass(
+                layer,
+                macs_total / num_accelerators,
+                dram_words_total / num_accelerators,
+            )
+            # Energy is accumulated for the *whole* array: every accelerator
+            # performs 1/N of the work, so the total equals the unpartitioned
+            # amounts.
+            compute_energy += execution.compute_energy * num_accelerators
+            sram_energy += execution.sram_energy * num_accelerators
+            dram_energy += execution.dram_energy * num_accelerators
+            return engine.add_task(
+                name,
+                execution.seconds,
+                resources=(pu,),
+                deps=deps,
+                tags={"phase": phase, "kind": "compute", "layer": layer.name},
+            )
+
+        def add_communication(
+            name: str, bytes_per_level: Sequence[float], phase: str, layer_name: str, deps
+        ) -> Task:
+            """Chain one logical exchange across the hierarchy levels (deepest first)."""
+            nonlocal comm_energy
+            last: Task | None = None
+            chain_deps = tuple(deps)
+            added_any = False
+            for level in reversed(range(num_levels)):
+                per_pair = bytes_per_level[level]
+                if per_pair <= 0:
+                    continue
+                added_any = True
+                num_pairs = 1 << level
+                level_comm_bytes[level] += per_pair * num_pairs
+                duration = per_pair / self.topology.effective_pair_bandwidth(level)
+                hops = self.topology.average_hops(level)
+                comm_energy += self.array.energy_model.communication_energy_bytes(
+                    per_pair * num_pairs, hops
+                )
+                task = engine.add_task(
+                    f"{name}/L{level}",
+                    duration,
+                    resources=(link_resources[level],),
+                    deps=chain_deps if last is None else (last,),
+                    tags={
+                        "phase": phase,
+                        "kind": "communication",
+                        "layer": layer_name,
+                        "level": level,
+                    },
+                )
+                last = task
+            if not added_any:
+                # Zero-byte exchange: emit a zero-duration marker so callers
+                # can still depend on "the exchange having happened".
+                last = engine.add_task(
+                    f"{name}/none",
+                    0.0,
+                    deps=chain_deps,
+                    tags={"phase": phase, "kind": "communication", "layer": layer_name},
+                )
+            return last
+
+        # ------------------------------------------------------------------
+        # Forward pass.
+        # ------------------------------------------------------------------
+
+        layers = list(model)
+        forward_tail: dict[int, Task] = {}
+        previous: Task | None = None
+        for layer in layers:
+            deps = () if previous is None else (previous,)
+            macs = batch_size * layer.macs_per_sample
+            words = batch_size * (
+                layer.input_shape.elements + layer.output_shape.elements
+            ) + layer.weight_count
+            compute = add_compute(
+                f"forward/{layer.name}", layer, macs, words, "forward", deps
+            )
+            tail: Task = compute
+            if num_levels:
+                # Model-parallel layers reduce output-feature partial sums now.
+                intra = [
+                    record.intra_bytes if record.parallelism is Parallelism.MODEL else 0.0
+                    for record in (level_comm[level][layer.index] for level in range(num_levels))
+                ]
+                tail = add_communication(
+                    f"forward-intra/{layer.name}", intra, "forward", layer.name, (compute,)
+                )
+                # Boundary re-layout of the feature map feeding the *next* layer.
+                if layer.index + 1 < len(layers):
+                    inter = [
+                        level_comm[level][layer.index + 1].inter_forward_bytes
+                        for level in range(num_levels)
+                    ]
+                    tail = add_communication(
+                        f"forward-inter/{layer.name}", inter, "forward", layer.name, (tail,)
+                    )
+            forward_tail[layer.index] = tail
+            previous = tail
+
+        # ------------------------------------------------------------------
+        # Backward pass (error backward + gradient computation + update),
+        # proceeding from the last layer towards the first.
+        # ------------------------------------------------------------------
+
+        previous_backward: Task | None = previous
+        for layer in reversed(layers):
+            deps = (previous_backward,) if previous_backward is not None else ()
+            macs = batch_size * layer.macs_per_sample
+            backward_words = batch_size * (
+                layer.input_shape.elements + layer.output_shape.elements
+            ) + layer.weight_count
+            backward = add_compute(
+                f"backward/{layer.name}", layer, macs, backward_words, "backward", deps
+            )
+            tail = backward
+            if num_levels:
+                # Error re-layout at the boundary between this layer and the next.
+                if layer.index + 1 < len(layers):
+                    inter = [
+                        level_comm[level][layer.index + 1].inter_backward_bytes
+                        for level in range(num_levels)
+                    ]
+                    tail = add_communication(
+                        f"backward-inter/{layer.name}", inter, "backward", layer.name, (backward,)
+                    )
+
+            gradient_words = batch_size * (
+                layer.input_shape.elements + layer.output_shape.elements
+            ) + 3 * layer.weight_count
+            gradient = add_compute(
+                f"gradient/{layer.name}",
+                layer,
+                macs,
+                gradient_words,
+                "gradient",
+                (tail,),
+            )
+            tail = gradient
+            if num_levels:
+                # Data-parallel layers reduce gradient partial sums before updating.
+                intra = [
+                    record.intra_bytes if record.parallelism is Parallelism.DATA else 0.0
+                    for record in (level_comm[level][layer.index] for level in range(num_levels))
+                ]
+                tail = add_communication(
+                    f"gradient-intra/{layer.name}", intra, "gradient", layer.name, (gradient,)
+                )
+            previous_backward = tail
+
+        schedule = engine.run()
+
+        phase_seconds = {
+            phase: PhaseBreakdown(
+                compute_seconds=sum(
+                    task.duration
+                    for task in schedule.tasks
+                    if task.tags.get("phase") == phase and task.tags.get("kind") == "compute"
+                ),
+                communication_seconds=sum(
+                    task.duration
+                    for task in schedule.tasks
+                    if task.tags.get("phase") == phase
+                    and task.tags.get("kind") == "communication"
+                ),
+            )
+            for phase in PHASES
+        }
+
+        return TrainingStepReport(
+            model_name=model.name,
+            strategy_name=strategy_name,
+            topology_name=self.topology.name if self.topology is not None else "none",
+            num_accelerators=num_accelerators,
+            batch_size=batch_size,
+            step_seconds=schedule.makespan,
+            energy=EnergyBreakdown(
+                compute_joules=compute_energy,
+                sram_joules=sram_energy,
+                dram_joules=dram_energy,
+                communication_joules=comm_energy,
+            ),
+            communication_bytes=sum(level_comm_bytes),
+            phase_seconds=phase_seconds,
+            level_communication_bytes=tuple(level_comm_bytes),
+        )
+
+    # ------------------------------------------------------------------
+    # Per-level communication pre-computation.
+    # ------------------------------------------------------------------
+
+    def _per_level_communication(
+        self,
+        model: DNNModel,
+        assignment: HierarchicalAssignment,
+        batch_size: int,
+    ) -> list[list["_LayerLevelComm"]]:
+        """Per-hierarchy-level, per-layer communication records (bytes per pair)."""
+        records: list[list[_LayerLevelComm]] = []
+        scales = initial_scales(len(model))
+        comm = self.communication_model
+        for level in range(assignment.num_levels):
+            tensors = model_tensors(model, batch_size, scales)
+            level_assignment = assignment[level]
+            level_records: list[_LayerLevelComm] = []
+            for index, (layer_tensor, choice) in enumerate(zip(tensors, level_assignment)):
+                intra = comm.intra_layer_bytes(layer_tensor, choice)
+                if index == 0:
+                    inter_fwd = inter_bwd = 0.0
+                else:
+                    previous_choice = level_assignment[index - 1]
+                    boundary = tensors[index - 1]
+                    inter_fwd = comm.inter_layer_forward_bytes(
+                        previous_choice, choice, boundary
+                    )
+                    inter_bwd = comm.inter_layer_backward_bytes(
+                        previous_choice, choice, boundary
+                    )
+                level_records.append(
+                    _LayerLevelComm(
+                        parallelism=choice,
+                        intra_bytes=intra,
+                        inter_forward_bytes=inter_fwd,
+                        inter_backward_bytes=inter_bwd,
+                    )
+                )
+            records.append(level_records)
+            scales = descend_scales(scales, level_assignment, self.scaling_mode)
+        return records
+
+
+class _LayerLevelComm:
+    """Communication of one layer at one hierarchy level (bytes per pair)."""
+
+    __slots__ = ("parallelism", "intra_bytes", "inter_forward_bytes", "inter_backward_bytes")
+
+    def __init__(
+        self,
+        parallelism: Parallelism,
+        intra_bytes: float,
+        inter_forward_bytes: float,
+        inter_backward_bytes: float,
+    ) -> None:
+        self.parallelism = parallelism
+        self.intra_bytes = intra_bytes
+        self.inter_forward_bytes = inter_forward_bytes
+        self.inter_backward_bytes = inter_backward_bytes
+
+    @property
+    def inter_bytes(self) -> float:
+        return self.inter_forward_bytes + self.inter_backward_bytes
+
+    @property
+    def total_bytes(self) -> float:
+        return self.intra_bytes + self.inter_bytes
+
+
+def simulate_partitioned(
+    model: DNNModel,
+    batch_size: int = 256,
+    array: ArrayConfig | None = None,
+    topology: Topology | None = None,
+    scaling_mode: ScalingMode | str = ScalingMode.PARALLELISM_AWARE,
+) -> tuple[TrainingStepReport, HierarchicalAssignment]:
+    """Convenience helper: run HyPar's search, then simulate the result.
+
+    Returns the training-step report together with the searched assignment.
+    """
+    array = array or ArrayConfig()
+    partitioner = HierarchicalPartitioner(
+        num_levels=array.num_levels, scaling_mode=scaling_mode
+    )
+    result = partitioner.partition(model, batch_size)
+    simulator = TrainingSimulator(array, topology, scaling_mode=scaling_mode)
+    report = simulator.simulate(model, result.assignment, batch_size, strategy_name="HyPar")
+    return report, result.assignment

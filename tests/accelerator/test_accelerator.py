@@ -1,0 +1,77 @@
+"""Tests for the single-accelerator execution model."""
+
+import pytest
+
+from repro.accelerator.accelerator import Accelerator
+from repro.accelerator.hmc import HMCConfig
+from repro.accelerator.pe_array import RowStationaryPU
+
+
+class TestLayerExecution:
+    def test_execution_fields(self, alexnet_model):
+        accelerator = Accelerator()
+        layer = alexnet_model.layer_by_name("conv3")
+        execution = accelerator.execute_layer_pass(layer, macs=1e9, dram_words=1e6)
+        assert execution.layer_name == "conv3"
+        assert execution.compute_seconds > 0
+        assert execution.dram_seconds > 0
+        assert execution.energy > 0
+
+    def test_pass_time_is_max_of_compute_and_dram(self, alexnet_model):
+        accelerator = Accelerator()
+        layer = alexnet_model.layer_by_name("conv3")
+        execution = accelerator.execute_layer_pass(layer, macs=1e9, dram_words=1e6)
+        assert execution.seconds == max(execution.compute_seconds, execution.dram_seconds)
+
+    def test_energy_components_sum(self, alexnet_model):
+        accelerator = Accelerator()
+        layer = alexnet_model.layer_by_name("fc1")
+        execution = accelerator.execute_layer_pass(layer, macs=1e8, dram_words=1e5)
+        assert execution.energy == pytest.approx(
+            execution.compute_energy + execution.sram_energy + execution.dram_energy
+        )
+
+    def test_more_pus_reduce_compute_time_but_not_energy(self, alexnet_model):
+        layer = alexnet_model.layer_by_name("conv3")
+        one_pu = Accelerator(num_pus=1).execute_layer_pass(layer, 1e9, 0)
+        four_pus = Accelerator(num_pus=4).execute_layer_pass(layer, 1e9, 0)
+        assert four_pus.compute_seconds == pytest.approx(one_pu.compute_seconds / 4)
+        assert four_pus.compute_energy == pytest.approx(one_pu.compute_energy)
+
+    def test_zero_work_costs_nothing(self, alexnet_model):
+        accelerator = Accelerator()
+        layer = alexnet_model.layer_by_name("conv1")
+        execution = accelerator.execute_layer_pass(layer, 0, 0)
+        assert execution.seconds == 0.0
+        assert execution.energy == 0.0
+
+    def test_negative_work_rejected(self, alexnet_model):
+        accelerator = Accelerator()
+        layer = alexnet_model.layer_by_name("conv1")
+        with pytest.raises(ValueError):
+            accelerator.execute_layer_pass(layer, -1, 0)
+        with pytest.raises(ValueError):
+            accelerator.execute_layer_pass(layer, 0, -1)
+
+    def test_memory_bound_pass_detected(self, alexnet_model):
+        """A pass streaming far more data than it computes is DRAM bound."""
+        accelerator = Accelerator(hmc=HMCConfig(internal_bandwidth=1e9))
+        layer = alexnet_model.layer_by_name("fc3")
+        execution = accelerator.execute_layer_pass(layer, macs=1e3, dram_words=1e9)
+        assert execution.dram_seconds > execution.compute_seconds
+        assert execution.seconds == execution.dram_seconds
+
+
+class TestValidation:
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            Accelerator(index=-1)
+
+    def test_non_positive_pu_count_rejected(self):
+        with pytest.raises(ValueError):
+            Accelerator(num_pus=0)
+
+    def test_custom_components_are_used(self):
+        pu = RowStationaryPU(gops=10e9)
+        accelerator = Accelerator(pu=pu)
+        assert accelerator.pu.gops == 10e9

@@ -1,0 +1,97 @@
+"""Tests for the energy model (Section 6.1 constants)."""
+
+import pytest
+
+from repro.accelerator.energy import (
+    ADD_ENERGY_PJ,
+    DRAM_ACCESS_PJ,
+    MULT_ENERGY_PJ,
+    PAPER_ENERGY_MODEL,
+    SRAM_ACCESS_PJ,
+    EnergyModel,
+)
+
+
+class TestPaperConstants:
+    def test_published_values(self):
+        """The per-operation energies quoted in Section 6.1."""
+        assert ADD_ENERGY_PJ == 0.9
+        assert MULT_ENERGY_PJ == 3.7
+        assert SRAM_ACCESS_PJ == 5.0
+        assert DRAM_ACCESS_PJ == 640.0
+
+    def test_paper_model_uses_them(self):
+        assert PAPER_ENERGY_MODEL.add_pj == ADD_ENERGY_PJ
+        assert PAPER_ENERGY_MODEL.dram_pj == DRAM_ACCESS_PJ
+
+    def test_mac_energy_is_add_plus_mult(self):
+        assert PAPER_ENERGY_MODEL.mac_pj == pytest.approx(4.6)
+
+
+class TestComputeAndMemoryEnergy:
+    def test_compute_energy_scaling(self):
+        model = EnergyModel()
+        assert model.compute_energy(1e12) == pytest.approx(4.6)
+
+    def test_sram_energy_uses_accesses_per_mac(self):
+        model = EnergyModel(sram_accesses_per_mac=2.0)
+        assert model.sram_energy(1e9) == pytest.approx(1e9 * 2 * 5.0 * 1e-12)
+
+    def test_dram_energy(self):
+        model = EnergyModel()
+        assert model.dram_energy(1e6) == pytest.approx(1e6 * 640e-12)
+
+    def test_zero_work_is_free(self):
+        model = EnergyModel()
+        assert model.compute_energy(0) == 0.0
+        assert model.sram_energy(0) == 0.0
+        assert model.dram_energy(0) == 0.0
+
+    @pytest.mark.parametrize("method", ["compute_energy", "sram_energy", "dram_energy"])
+    def test_negative_work_rejected(self, method):
+        model = EnergyModel()
+        with pytest.raises(ValueError):
+            getattr(model, method)(-1)
+
+
+class TestCommunicationEnergy:
+    def test_remote_word_costs_two_dram_accesses_plus_hops(self):
+        model = EnergyModel()
+        expected = (2 * model.dram_pj + 3 * model.link_hop_pj) * 1e-12
+        assert model.communication_energy(1, hops=3) == pytest.approx(expected)
+
+    def test_bytes_variant_divides_by_word_size(self):
+        model = EnergyModel()
+        assert model.communication_energy_bytes(400, hops=1) == pytest.approx(
+            model.communication_energy(100, hops=1)
+        )
+
+    def test_energy_grows_with_hop_count(self):
+        model = EnergyModel()
+        assert model.communication_energy(1e6, hops=4) > model.communication_energy(
+            1e6, hops=1
+        )
+
+    def test_remote_access_much_more_expensive_than_local_sram(self):
+        """The 200x DRAM-vs-SRAM gap the paper motivates with (Section 1)."""
+        model = EnergyModel()
+        remote_per_word = model.communication_energy(1, hops=1)
+        sram_per_word = model.sram_pj * 1e-12
+        assert remote_per_word > 100 * sram_per_word
+
+    def test_negative_inputs_rejected(self):
+        model = EnergyModel()
+        with pytest.raises(ValueError):
+            model.communication_energy(-1)
+        with pytest.raises(ValueError):
+            model.communication_energy(1, hops=-1)
+
+
+class TestValidation:
+    def test_negative_constant_rejected(self):
+        with pytest.raises(ValueError):
+            EnergyModel(add_pj=-0.1)
+
+    def test_model_is_frozen(self):
+        with pytest.raises(AttributeError):
+            EnergyModel().add_pj = 1.0

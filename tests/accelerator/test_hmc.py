@@ -1,0 +1,53 @@
+"""Tests for the HMC configuration."""
+
+import pytest
+
+from repro.accelerator.hmc import HMC_CAPACITY, HMC_INTERNAL_BANDWIDTH, HMCConfig
+
+
+class TestPaperParameters:
+    def test_bandwidth_is_320_gb_per_second(self):
+        assert HMC_INTERNAL_BANDWIDTH == pytest.approx(320e9)
+        assert HMCConfig().internal_bandwidth == pytest.approx(320e9)
+
+    def test_capacity_is_8_gb(self):
+        assert HMC_CAPACITY == pytest.approx(8 * 2**30)
+        assert HMCConfig().capacity == pytest.approx(8 * 2**30)
+
+
+class TestDerivedQuantities:
+    def test_vault_bandwidth(self):
+        config = HMCConfig(internal_bandwidth=320e9, num_vaults=32)
+        assert config.vault_bandwidth == pytest.approx(10e9)
+
+    def test_access_time(self):
+        config = HMCConfig(internal_bandwidth=320e9)
+        assert config.access_time(320e9) == pytest.approx(1.0)
+        assert config.access_time(0) == 0.0
+
+    def test_access_time_rejects_negative_bytes(self):
+        with pytest.raises(ValueError):
+            HMCConfig().access_time(-1)
+
+    def test_fits(self):
+        config = HMCConfig()
+        assert config.fits(1e9)
+        assert not config.fits(100e9)
+
+    def test_fits_rejects_negative(self):
+        with pytest.raises(ValueError):
+            HMCConfig().fits(-1)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"internal_bandwidth": 0},
+            {"capacity": -1},
+            {"num_vaults": 0},
+        ],
+    )
+    def test_invalid_configuration_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            HMCConfig(**kwargs)

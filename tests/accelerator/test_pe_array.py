@@ -1,0 +1,93 @@
+"""Tests for the row-stationary processing-unit model."""
+
+import pytest
+
+from repro.accelerator.pe_array import (
+    PE_COLS,
+    PE_ROWS,
+    PU_BUFFER_BYTES,
+    PU_CLOCK_HZ,
+    PU_GOPS,
+    RowStationaryPU,
+)
+
+
+class TestPaperParameters:
+    def test_pe_grid_is_12_by_14(self):
+        assert PE_ROWS == 12
+        assert PE_COLS == 14
+        assert RowStationaryPU().num_pes == 168
+
+    def test_buffer_is_108_kb(self):
+        assert PU_BUFFER_BYTES == 108 * 1024
+
+    def test_throughput_is_84_gops(self):
+        assert PU_GOPS == pytest.approx(84.0e9)
+        assert RowStationaryPU().peak_macs_per_second == pytest.approx(42.0e9)
+
+    def test_clock_is_250_mhz(self):
+        assert PU_CLOCK_HZ == pytest.approx(250e6)
+
+
+class TestComputeTime:
+    def test_time_scales_linearly_with_macs(self):
+        pu = RowStationaryPU()
+        assert pu.compute_time(2e9) == pytest.approx(2 * pu.compute_time(1e9))
+
+    def test_zero_macs_take_zero_time(self):
+        assert RowStationaryPU().compute_time(0) == 0.0
+
+    def test_negative_macs_rejected(self):
+        with pytest.raises(ValueError):
+            RowStationaryPU().compute_time(-1)
+
+    def test_peak_time_without_layer_context(self):
+        pu = RowStationaryPU()
+        assert pu.compute_time(42.0e9) == pytest.approx(1.0)
+
+    def test_layer_context_never_speeds_up_execution(self, alexnet_model):
+        pu = RowStationaryPU()
+        for layer in alexnet_model:
+            with_layer = pu.compute_time(1e9, layer)
+            without_layer = pu.compute_time(1e9)
+            assert with_layer >= without_layer
+
+    def test_compute_cycles_consistent_with_time(self):
+        pu = RowStationaryPU()
+        assert pu.compute_cycles(42.0e9) == pytest.approx(pu.clock_hz)
+
+
+class TestUtilization:
+    def test_utilization_bounded(self, alexnet_model, vgg_a_model):
+        pu = RowStationaryPU()
+        for model in (alexnet_model, vgg_a_model):
+            for layer in model:
+                utilization = pu.utilization(layer)
+                assert 0.0 < utilization <= 1.0
+
+    def test_large_conv_layers_achieve_high_utilization(self, vgg_a_model):
+        pu = RowStationaryPU()
+        conv = vgg_a_model.layer_by_name("conv3_1")
+        assert pu.utilization(conv) >= 0.9
+
+    def test_fc_layers_have_reduced_utilization(self, alexnet_model):
+        pu = RowStationaryPU()
+        fc = alexnet_model.layer_by_name("fc1")
+        conv = alexnet_model.layer_by_name("conv3")
+        assert pu.utilization(fc) < pu.utilization(conv)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"gops": 0},
+            {"pe_rows": 0},
+            {"pe_cols": -1},
+            {"buffer_bytes": 0},
+            {"clock_hz": 0},
+        ],
+    )
+    def test_invalid_configuration_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            RowStationaryPU(**kwargs)

@@ -1,0 +1,84 @@
+"""Tests for the reporting helpers."""
+
+import math
+
+import pytest
+
+from repro.analysis.report import format_series, format_table, format_value, geometric_mean
+
+
+class TestGeometricMean:
+    def test_identical_values(self):
+        assert geometric_mean([2.0, 2.0, 2.0]) == pytest.approx(2.0)
+
+    def test_known_value(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_single_value(self):
+        assert geometric_mean([3.39]) == pytest.approx(3.39)
+
+    def test_order_invariance(self):
+        values = [0.5, 1.5, 3.0, 7.0]
+        assert geometric_mean(values) == pytest.approx(geometric_mean(list(reversed(values))))
+
+    def test_matches_logarithmic_definition(self):
+        values = [0.3, 1.2, 9.7]
+        expected = math.exp(sum(math.log(v) for v in values) / 3)
+        assert geometric_mean(values) == pytest.approx(expected)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_non_positive_rejected(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, -2.0])
+
+
+class TestFormatValue:
+    def test_zero(self):
+        assert format_value(0) == "0"
+
+    def test_small_value_keeps_decimals(self):
+        assert format_value(3.392) == "3.39"
+
+    def test_medium_value(self):
+        assert format_value(23.48) == "23.5"
+
+    def test_large_value_has_no_decimals(self):
+        assert format_value(157.3) == "157"
+
+
+class TestFormatTable:
+    def test_contains_rows_columns_and_gmean(self):
+        rows = {
+            "AlexNet": {"DP": 1.0, "HyPar": 3.05},
+            "VGG-A": {"DP": 1.0, "HyPar": 4.97},
+        }
+        text = format_table("Figure 6", rows, ["DP", "HyPar"])
+        assert "Figure 6" in text
+        assert "AlexNet" in text and "VGG-A" in text
+        assert "Gmean" in text
+
+    def test_missing_cell_rendered_as_dash(self):
+        rows = {"AlexNet": {"DP": 1.0}}
+        text = format_table("t", rows, ["DP", "HyPar"])
+        assert "-" in text
+
+    def test_gmean_can_be_disabled(self):
+        rows = {"AlexNet": {"DP": 1.0}}
+        text = format_table("t", rows, ["DP"], add_gmean=False)
+        assert "Gmean" not in text
+
+
+class TestFormatSeries:
+    def test_contains_xs_and_ys(self):
+        text = format_series("Figure 11", [1, 2, 4], [1.0, 1.9, 3.5])
+        assert "Figure 11" in text
+        assert "1.90" in text or "1.9" in text
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_series("t", [1, 2], [1.0])

@@ -1,0 +1,93 @@
+"""Tests for the sensitivity studies (batch size, link bandwidth, precision)."""
+
+import pytest
+
+from repro.accelerator.array import ArrayConfig
+from repro.analysis.sensitivity import (
+    batch_size_sensitivity,
+    link_bandwidth_sensitivity,
+    precision_sensitivity,
+)
+from repro.nn.model_zoo import get_model
+
+
+@pytest.fixture(scope="module")
+def small_array():
+    return ArrayConfig(num_accelerators=4)
+
+
+class TestBatchSizeSensitivity:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return batch_size_sensitivity(
+            model=get_model("AlexNet"),
+            batch_sizes=(32, 256, 1024),
+            array=ArrayConfig(num_accelerators=4),
+        )
+
+    def test_one_point_per_batch_size(self, study):
+        assert study.parameters() == [32.0, 256.0, 1024.0]
+        assert study.name == "batch-size"
+        assert study.model_name == "AlexNet"
+
+    def test_hypar_never_loses(self, study):
+        for point in study.points:
+            assert point.hypar_speedup >= 1.0 - 1e-9
+            assert point.hypar_energy_efficiency >= 1.0 - 1e-9
+
+    def test_communication_reduction_positive(self, study):
+        for point in study.points:
+            assert point.communication_reduction >= 1.0
+
+    def test_rows_have_expected_keys(self, study):
+        for row in study.as_rows():
+            assert set(row) == {"parameter", "speedup", "energy_efficiency", "comm_reduction"}
+
+    def test_invalid_batch_size_rejected(self):
+        with pytest.raises(ValueError):
+            batch_size_sensitivity(get_model("Lenet-c"), batch_sizes=(0,))
+
+
+class TestLinkBandwidthSensitivity:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return link_bandwidth_sensitivity(
+            model=get_model("AlexNet"),
+            link_bandwidths_bits=(400e6, 1600e6, 12800e6),
+        )
+
+    def test_speedup_decreases_with_faster_links(self, study):
+        """The faster the interconnect, the less the communication savings matter."""
+        speedups = study.speedups()
+        assert speedups == sorted(speedups, reverse=True)
+
+    def test_slow_links_amplify_hypar(self, study):
+        by_bandwidth = {point.parameter: point for point in study.points}
+        assert by_bandwidth[400e6].hypar_speedup > by_bandwidth[12800e6].hypar_speedup
+
+    def test_hypar_never_loses(self, study):
+        for point in study.points:
+            assert point.hypar_speedup >= 1.0 - 1e-9
+
+    def test_invalid_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            link_bandwidth_sensitivity(get_model("Lenet-c"), link_bandwidths_bits=(0,))
+
+
+class TestPrecisionSensitivity:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return precision_sensitivity(
+            model=get_model("AlexNet"),
+            bytes_per_element=(2, 4),
+            array=ArrayConfig(num_accelerators=4),
+        )
+
+    def test_lower_precision_reduces_but_does_not_remove_the_gap(self, study):
+        by_precision = {point.parameter: point for point in study.points}
+        assert by_precision[2.0].hypar_speedup <= by_precision[4.0].hypar_speedup + 1e-9
+        assert by_precision[2.0].hypar_speedup >= 1.0 - 1e-9
+
+    def test_invalid_precision_rejected(self):
+        with pytest.raises(ValueError):
+            precision_sensitivity(get_model("Lenet-c"), bytes_per_element=(0,))

@@ -1,0 +1,49 @@
+"""Tests for the topology comparison (Figure 12)."""
+
+import pytest
+
+from repro.analysis.topology_study import run_topology_study
+from repro.nn.model_zoo import get_model
+
+
+@pytest.fixture(scope="module")
+def study():
+    models = [get_model(name) for name in ("SCONV", "Lenet-c", "AlexNet", "VGG-A")]
+    return run_topology_study(models=models)
+
+
+class TestStructure:
+    def test_one_comparison_per_model(self, study):
+        assert [c.model_name for c in study.comparisons] == [
+            "SCONV",
+            "Lenet-c",
+            "AlexNet",
+            "VGG-A",
+        ]
+
+    def test_rows_have_both_topologies(self, study):
+        for row in study.as_rows():
+            assert set(row) == {"model", "torus", "h_tree"}
+            assert row["torus"] > 0
+            assert row["h_tree"] > 0
+
+
+class TestFigure12Claims:
+    def test_htree_never_slower_than_torus(self, study):
+        for comparison in study.comparisons:
+            assert comparison.htree_performance >= comparison.torus_performance - 1e-9
+
+    def test_htree_strictly_better_for_communication_heavy_models(self, study):
+        by_name = {c.model_name: c for c in study.comparisons}
+        assert by_name["AlexNet"].htree_advantage > 1.0
+        assert by_name["VGG-A"].htree_advantage > 1.0
+
+    def test_gmeans_ordered(self, study):
+        assert study.gmean_htree() > study.gmean_torus()
+
+    def test_hypar_on_htree_still_beats_data_parallelism(self, study):
+        """Both topology columns are normalised to DP on the H tree, so values
+        above 1.0 mean HyPar wins even after the topology handicap."""
+        by_name = {c.model_name: c for c in study.comparisons}
+        assert by_name["AlexNet"].htree_performance > 1.0
+        assert by_name["Lenet-c"].htree_performance > 1.0

@@ -1,0 +1,92 @@
+"""Tests for the "one weird trick" comparison (Figure 13, Section 6.5.2)."""
+
+import pytest
+
+from repro.analysis.trick_study import (
+    DEFAULT_CONFIGS,
+    FOCUS_LAYERS,
+    focus_subnetwork,
+    run_trick_study,
+)
+from repro.nn.model_zoo import vgg_e
+
+
+@pytest.fixture(scope="module")
+def study():
+    return run_trick_study()
+
+
+class TestFocusSubnetwork:
+    def test_conv5_slice_has_two_layers(self):
+        sub = focus_subnetwork(vgg_e(), "conv5_4")
+        assert len(sub) == 2
+        assert sub.layer_names() == ["conv5_3", "conv5_4"]
+
+    def test_fc3_slice_has_two_layers(self):
+        sub = focus_subnetwork(vgg_e(), "fc3")
+        assert sub.layer_names() == ["fc2", "fc3"]
+        assert sub[1].output_shape.elements == 1000
+
+    def test_slice_preserves_shapes(self):
+        model = vgg_e()
+        sub = focus_subnetwork(model, "conv5_4")
+        original = model.layer_by_name("conv5_4")
+        assert sub[1].weight_count == original.weight_count
+        assert sub[1].output_shape == original.output_shape
+
+    def test_first_layer_cannot_be_focused(self):
+        with pytest.raises(ValueError):
+            focus_subnetwork(vgg_e(), "conv1_1")
+
+
+class TestConfigurations:
+    def test_default_configs_match_figure13(self):
+        labels = [f"{focus}-b{batch}-h{levels}" for focus, batch, levels in DEFAULT_CONFIGS]
+        assert labels == [
+            "conv5-b32-h2",
+            "conv5-b32-h3",
+            "conv5-b32-h4",
+            "fc3-b4096-h2",
+            "fc3-b4096-h3",
+            "fc3-b4096-h4",
+        ]
+
+    def test_focus_layer_mapping(self):
+        assert FOCUS_LAYERS == {"conv5": "conv5_4", "fc3": "fc3"}
+
+    def test_unknown_focus_rejected(self):
+        with pytest.raises(KeyError):
+            run_trick_study(configs=[("conv9", 32, 2)])
+
+
+class TestFigure13Claims:
+    def test_six_comparisons(self, study):
+        assert len(study.comparisons) == 6
+
+    def test_hypar_never_loses_to_the_trick(self, study):
+        for comparison in study.comparisons:
+            assert comparison.performance_ratio >= 1.0 - 1e-9
+            assert comparison.energy_ratio >= 1.0 - 1e-9
+
+    def test_gmean_performance_advantage(self, study):
+        """The paper reports a 1.62x gmean advantage; we require a material one."""
+        assert study.gmean_performance() > 1.05
+
+    def test_gmean_energy_advantage(self, study):
+        assert study.gmean_energy() >= 1.0
+
+    def test_max_at_least_gmean(self, study):
+        assert study.max_performance() >= study.gmean_performance()
+
+    def test_conv5_advantage_grows_with_hierarchy_depth(self, study):
+        """Deeper hierarchies shrink the per-group batch, so the trick's
+        always-dp choice for conv5 gets progressively worse."""
+        conv5 = [c for c in study.comparisons if c.label.startswith("conv5")]
+        ratios = [c.performance_ratio for c in sorted(conv5, key=lambda c: c.num_levels)]
+        assert ratios == sorted(ratios)
+        assert ratios[-1] > ratios[0]
+
+    def test_rows_expose_all_configs(self, study):
+        rows = study.as_rows()
+        assert len(rows) == 6
+        assert all({"config", "performance", "energy_efficiency"} == set(row) for row in rows)

@@ -1,0 +1,93 @@
+"""Shared pytest fixtures for the HyPar reproduction test suite."""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+# Allow the test suite to run from a source checkout even when the package
+# has not been installed (e.g. fully offline environments).
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if os.path.isdir(_SRC) and _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.accelerator.array import ArrayConfig  # noqa: E402
+from repro.core.communication import CommunicationModel  # noqa: E402
+from repro.core.hierarchical import HierarchicalPartitioner  # noqa: E402
+from repro.core.partitioner import TwoWayPartitioner  # noqa: E402
+from repro.nn.layers import ConvLayer, FCLayer, PoolSpec  # noqa: E402
+from repro.nn.model import build_model  # noqa: E402
+from repro.nn.model_zoo import alexnet, lenet_c, sconv, sfc, vgg_a  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def lenet_model():
+    """The four-layer Lenet-c network (small, cheap to partition and simulate)."""
+    return lenet_c()
+
+
+@pytest.fixture(scope="session")
+def alexnet_model():
+    """AlexNet: five conv + three fc layers."""
+    return alexnet()
+
+
+@pytest.fixture(scope="session")
+def vgg_a_model():
+    """VGG-A: the network used by the paper's scalability and sweep studies."""
+    return vgg_a()
+
+
+@pytest.fixture(scope="session")
+def sfc_model():
+    """The all-fully-connected extreme case."""
+    return sfc()
+
+
+@pytest.fixture(scope="session")
+def sconv_model():
+    """The all-convolutional extreme case."""
+    return sconv()
+
+
+@pytest.fixture(scope="session")
+def tiny_model():
+    """A tiny two-layer conv+fc model for exhaustive-search comparisons."""
+    return build_model(
+        "tiny",
+        (8, 8, 3),
+        [
+            ConvLayer(name="conv", out_channels=4, kernel_size=3, pool=PoolSpec(2)),
+            FCLayer(name="fc", out_features=10),
+        ],
+    )
+
+
+@pytest.fixture
+def communication_model():
+    return CommunicationModel()
+
+
+@pytest.fixture
+def two_way_partitioner():
+    return TwoWayPartitioner()
+
+
+@pytest.fixture
+def hierarchical_partitioner():
+    """The paper's default configuration: four levels (sixteen accelerators)."""
+    return HierarchicalPartitioner(num_levels=4)
+
+
+@pytest.fixture(scope="session")
+def paper_array():
+    """The paper's sixteen-accelerator array configuration."""
+    return ArrayConfig()
+
+
+@pytest.fixture(scope="session")
+def small_array():
+    """A four-accelerator array, cheap enough for sweeping in tests."""
+    return ArrayConfig(num_accelerators=4)

@@ -1,0 +1,90 @@
+"""Tests for the baseline strategies (defaults, the trick, random)."""
+
+import pytest
+
+from repro.core.baselines import (
+    STRATEGIES,
+    data_parallelism,
+    get_strategy,
+    model_parallelism,
+    one_weird_trick,
+    random_assignment,
+)
+from repro.core.parallelism import DATA, MODEL
+
+
+class TestUniformBaselines:
+    def test_data_parallelism_is_uniform_dp(self, alexnet_model):
+        assignment = data_parallelism(alexnet_model, 4)
+        assert assignment.is_uniform(DATA)
+        assert assignment.num_levels == 4
+        assert assignment.num_layers == len(alexnet_model)
+
+    def test_model_parallelism_is_uniform_mp(self, alexnet_model):
+        assignment = model_parallelism(alexnet_model, 3)
+        assert assignment.is_uniform(MODEL)
+        assert assignment.num_accelerators == 8
+
+
+class TestOneWeirdTrick:
+    def test_conv_layers_get_dp_and_fc_layers_get_mp(self, alexnet_model):
+        assignment = one_weird_trick(alexnet_model, 4)
+        for level in assignment:
+            for layer, choice in zip(alexnet_model, level):
+                expected = DATA if layer.is_conv else MODEL
+                assert choice is expected
+
+    def test_same_list_at_every_level(self, vgg_a_model):
+        assignment = one_weird_trick(vgg_a_model, 4)
+        assert all(level == assignment[0] for level in assignment)
+
+    def test_trick_on_all_conv_network_equals_data_parallelism(self, sconv_model):
+        assert one_weird_trick(sconv_model, 2) == data_parallelism(sconv_model, 2)
+
+    def test_trick_on_all_fc_network_equals_model_parallelism(self, sfc_model):
+        assert one_weird_trick(sfc_model, 2) == model_parallelism(sfc_model, 2)
+
+
+class TestRandomAssignment:
+    def test_shape(self, lenet_model):
+        assignment = random_assignment(lenet_model, 4, seed=7)
+        assert assignment.num_levels == 4
+        assert assignment.num_layers == len(lenet_model)
+
+    def test_seed_reproducibility(self, lenet_model):
+        first = random_assignment(lenet_model, 4, seed=123)
+        second = random_assignment(lenet_model, 4, seed=123)
+        assert first == second
+
+    def test_different_seeds_usually_differ(self, vgg_a_model):
+        assignments = {random_assignment(vgg_a_model, 4, seed=s) for s in range(5)}
+        assert len(assignments) > 1
+
+
+class TestGetStrategy:
+    def test_registry_contains_three_named_strategies(self):
+        assert set(STRATEGIES) == {
+            "data-parallelism",
+            "model-parallelism",
+            "one-weird-trick",
+        }
+
+    @pytest.mark.parametrize(
+        "name,function",
+        [
+            ("data-parallelism", data_parallelism),
+            ("dp", data_parallelism),
+            ("Data", data_parallelism),
+            ("model_parallelism", model_parallelism),
+            ("mp", model_parallelism),
+            ("one-weird-trick", one_weird_trick),
+            ("trick", one_weird_trick),
+            ("OWT", one_weird_trick),
+        ],
+    )
+    def test_lookup_by_name_and_alias(self, name, function):
+        assert get_strategy(name) is function
+
+    def test_unknown_strategy_raises(self):
+        with pytest.raises(KeyError):
+            get_strategy("pipeline-parallelism")

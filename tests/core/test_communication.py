@@ -1,0 +1,213 @@
+"""Tests for the communication model (Tables 1 and 2, Section 3)."""
+
+import pytest
+
+from repro.core.communication import PAIR_FACTOR, CommunicationModel
+from repro.core.parallelism import DATA, MODEL, LayerAssignment
+from repro.core.tensors import layer_tensors, model_tensors
+from repro.nn.layers import ConvLayer, FCLayer
+from repro.nn.model import build_model
+
+
+@pytest.fixture(scope="module")
+def fc_tensors():
+    """Section 3.1 example: B=32, fully-connected 70 -> 100."""
+    model = build_model("fc", (1, 1, 70), [FCLayer(name="fc", out_features=100)])
+    return layer_tensors(model[0], batch_size=32)
+
+
+@pytest.fixture(scope="module")
+def conv_tensors():
+    """Section 3.4 example: B=32, conv 12x12x20 -> 8x8x50 with 5x5 kernels."""
+    model = build_model(
+        "conv", (12, 12, 20), [ConvLayer(name="conv", out_channels=50, kernel_size=5)]
+    )
+    return layer_tensors(model[0], batch_size=32)
+
+
+class TestIntraLayerCommunication:
+    """Table 1: dp communicates A(dW_l), mp communicates A(F_{l+1})."""
+
+    def test_dp_amount_is_gradient(self, fc_tensors):
+        amount = CommunicationModel.intra_layer_elements(fc_tensors, DATA)
+        assert amount == fc_tensors.gradient == 70 * 100
+
+    def test_mp_amount_is_output_feature_map(self, fc_tensors):
+        amount = CommunicationModel.intra_layer_elements(fc_tensors, MODEL)
+        assert amount == fc_tensors.feature_out == 32 * 100
+
+    def test_paper_fc_example_bytes(self, fc_tensors):
+        """Section 3.4: dp = 56 KB (= 2 x 70 x 100 x 4 B), mp = 25.6 KB."""
+        model = CommunicationModel()
+        assert model.intra_layer_bytes(fc_tensors, DATA) == pytest.approx(56_000)
+        assert model.intra_layer_bytes(fc_tensors, MODEL) == pytest.approx(25_600)
+
+    def test_paper_conv_example_bytes(self, conv_tensors):
+        """Section 3.4: dp = 200 KB, mp = 819 KB for the convolutional example."""
+        model = CommunicationModel()
+        assert model.intra_layer_bytes(conv_tensors, DATA) == pytest.approx(200_000)
+        assert model.intra_layer_bytes(conv_tensors, MODEL) == pytest.approx(819_200)
+
+    def test_fc_layer_prefers_model_parallelism(self, fc_tensors):
+        """For the FC example model parallelism beats data parallelism (Section 3.4)."""
+        model = CommunicationModel()
+        assert model.intra_layer_bytes(fc_tensors, MODEL) < model.intra_layer_bytes(
+            fc_tensors, DATA
+        )
+
+    def test_conv_layer_prefers_data_parallelism(self, conv_tensors):
+        """For the conv example data parallelism beats model parallelism (Section 3.4)."""
+        model = CommunicationModel()
+        assert model.intra_layer_bytes(conv_tensors, DATA) < model.intra_layer_bytes(
+            conv_tensors, MODEL
+        )
+
+
+class TestInterLayerCommunication:
+    """Table 2: dp-dp 0, dp-mp 0.25A(F)+0.25A(E), mp-mp / mp-dp 0.5A(E)."""
+
+    def test_dp_dp_is_free(self, fc_tensors):
+        assert CommunicationModel.inter_layer_elements(DATA, DATA, fc_tensors) == 0.0
+
+    def test_dp_mp_is_quarter_of_feature_and_error(self, fc_tensors):
+        amount = CommunicationModel.inter_layer_elements(DATA, MODEL, fc_tensors)
+        expected = 0.25 * fc_tensors.feature_out + 0.25 * fc_tensors.error_out
+        assert amount == expected
+
+    def test_mp_mp_is_half_of_error(self, fc_tensors):
+        amount = CommunicationModel.inter_layer_elements(MODEL, MODEL, fc_tensors)
+        assert amount == 0.5 * fc_tensors.error_out
+
+    def test_mp_dp_is_half_of_error(self, fc_tensors):
+        amount = CommunicationModel.inter_layer_elements(MODEL, DATA, fc_tensors)
+        assert amount == 0.5 * fc_tensors.error_out
+
+    def test_mp_transitions_have_equal_cost(self, conv_tensors):
+        assert CommunicationModel.inter_layer_elements(
+            MODEL, MODEL, conv_tensors
+        ) == CommunicationModel.inter_layer_elements(MODEL, DATA, conv_tensors)
+
+    def test_forward_backward_split_sums_to_total(self, fc_tensors):
+        for previous in (DATA, MODEL):
+            for current in (DATA, MODEL):
+                forward = CommunicationModel.inter_layer_forward_elements(
+                    previous, current, fc_tensors
+                )
+                backward = CommunicationModel.inter_layer_backward_elements(
+                    previous, current, fc_tensors
+                )
+                total = CommunicationModel.inter_layer_elements(previous, current, fc_tensors)
+                assert forward + backward == pytest.approx(total)
+
+    def test_forward_share_only_for_dp_to_mp(self, fc_tensors):
+        assert CommunicationModel.inter_layer_forward_elements(DATA, MODEL, fc_tensors) > 0
+        assert CommunicationModel.inter_layer_forward_elements(DATA, DATA, fc_tensors) == 0
+        assert CommunicationModel.inter_layer_forward_elements(MODEL, MODEL, fc_tensors) == 0
+        assert CommunicationModel.inter_layer_forward_elements(MODEL, DATA, fc_tensors) == 0
+
+
+class TestCommunicationModelConfiguration:
+    def test_pair_factor_default(self):
+        assert CommunicationModel().pair_factor == PAIR_FACTOR == 2
+
+    def test_bytes_scale_with_pair_factor(self, fc_tensors):
+        single = CommunicationModel(pair_factor=1)
+        double = CommunicationModel(pair_factor=2)
+        assert double.intra_layer_bytes(fc_tensors, DATA) == 2 * single.intra_layer_bytes(
+            fc_tensors, DATA
+        )
+
+    def test_bytes_scale_with_precision(self, fc_tensors):
+        fp32 = CommunicationModel(bytes_per_element=4)
+        fp16 = CommunicationModel(bytes_per_element=2)
+        assert fp32.intra_layer_bytes(fc_tensors, MODEL) == 2 * fp16.intra_layer_bytes(
+            fc_tensors, MODEL
+        )
+
+    def test_rejects_invalid_configuration(self):
+        with pytest.raises(ValueError):
+            CommunicationModel(bytes_per_element=0)
+        with pytest.raises(ValueError):
+            CommunicationModel(pair_factor=0)
+
+
+class TestLayerBreakdown:
+    @pytest.fixture(scope="class")
+    def two_layer_tensors(self):
+        model = build_model(
+            "two",
+            (12, 12, 20),
+            [
+                ConvLayer(name="conv", out_channels=50, kernel_size=5),
+                FCLayer(name="fc", out_features=10),
+            ],
+        )
+        return model_tensors(model, 32)
+
+    def test_breakdown_covers_every_layer(self, two_layer_tensors):
+        model = CommunicationModel()
+        assignment = LayerAssignment.of(["dp", "mp"])
+        breakdown = model.layer_breakdown(two_layer_tensors, assignment)
+        assert [record.layer_name for record in breakdown] == ["conv", "fc"]
+        assert [record.parallelism for record in breakdown] == [DATA, MODEL]
+
+    def test_first_layer_has_no_inter_communication(self, two_layer_tensors):
+        model = CommunicationModel()
+        breakdown = model.layer_breakdown(
+            two_layer_tensors, LayerAssignment.of(["mp", "mp"])
+        )
+        assert breakdown[0].inter_bytes == 0.0
+        assert breakdown[1].inter_bytes > 0.0
+
+    def test_total_bytes_equals_breakdown_sum(self, two_layer_tensors):
+        model = CommunicationModel()
+        assignment = LayerAssignment.of(["dp", "mp"])
+        breakdown = model.layer_breakdown(two_layer_tensors, assignment)
+        assert model.total_bytes(two_layer_tensors, assignment) == pytest.approx(
+            sum(record.total_bytes for record in breakdown)
+        )
+
+    def test_all_dp_total_is_sum_of_gradients(self, two_layer_tensors):
+        model = CommunicationModel()
+        assignment = LayerAssignment.of(["dp", "dp"])
+        expected = sum(t.gradient for t in two_layer_tensors) * 4 * 2
+        assert model.total_bytes(two_layer_tensors, assignment) == pytest.approx(expected)
+
+    def test_layer_count_mismatch_rejected(self, two_layer_tensors):
+        model = CommunicationModel()
+        with pytest.raises(ValueError):
+            model.layer_breakdown(two_layer_tensors, LayerAssignment.of(["dp"]))
+
+    def test_record_total_is_intra_plus_inter(self, two_layer_tensors):
+        model = CommunicationModel()
+        breakdown = model.layer_breakdown(
+            two_layer_tensors, LayerAssignment.of(["dp", "mp"])
+        )
+        for record in breakdown:
+            assert record.total_bytes == pytest.approx(record.intra_bytes + record.inter_bytes)
+
+
+class TestTrickAnalysisAmounts:
+    """The Section 6.5.2 worked numbers for conv5 and fc3 of VGG-E."""
+
+    def test_conv5_amounts_at_batch_32(self, vgg_a_model):
+        from repro.nn.model_zoo import vgg_e
+
+        model = vgg_e()
+        conv5 = model.layer_by_name("conv5_4")
+        tensors = layer_tensors(conv5, batch_size=32)
+        assert tensors.gradient == 2_359_296  # 512 * 512 * 3^2
+        assert tensors.feature_out == 3_211_264  # 32 * 512 * 14 * 14
+        # The gradient is smaller, so conv5 should prefer model parallelism
+        # at this batch size -- the opposite of what the trick picks.
+        assert tensors.gradient < tensors.feature_out
+
+    def test_fc3_amounts_at_batch_4096(self):
+        from repro.nn.model_zoo import vgg_e
+
+        fc3 = vgg_e().layer_by_name("fc3")
+        tensors = layer_tensors(fc3, batch_size=4096)
+        assert tensors.gradient == 4096 * 1000
+        assert tensors.feature_out == 4096 * 1000
+        # Intra-layer amounts tie; the inter-layer term must break the tie.
+        assert tensors.gradient == tensors.feature_out

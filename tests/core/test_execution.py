@@ -1,0 +1,179 @@
+"""Tests for the numerically-validated partitioned execution.
+
+These are the strongest checks of the communication model: a training step
+executed on two accelerator groups, each touching only its own tensor
+slices, must (a) produce exactly the same numbers as the monolithic
+computation and (b) exchange exactly the element counts the analytical
+model predicts (Tables 1 and 2).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.communication import CommunicationModel
+from repro.core.execution import CommunicationEvent, TwoGroupExecutor
+from repro.core.parallelism import DATA, MODEL, LayerAssignment
+from repro.core.tensors import model_tensors
+from repro.nn.layers import Activation, ConvLayer, FCLayer
+from repro.nn.model import build_model
+from repro.nn.reference import ReferenceNetwork
+
+BATCH = 8
+
+
+def _fc_network():
+    model = build_model(
+        "fc-net",
+        (1, 1, 12),
+        [
+            FCLayer(name="fc1", out_features=20, activation=Activation.RELU),
+            FCLayer(name="fc2", out_features=16, activation=Activation.RELU),
+            FCLayer(name="fc3", out_features=6, activation=Activation.NONE),
+        ],
+    )
+    return ReferenceNetwork(model, seed=3)
+
+
+def _conv_fc_network():
+    model = build_model(
+        "conv-fc-net",
+        (10, 10, 4),
+        [
+            ConvLayer(name="conv1", out_channels=6, kernel_size=3, activation=Activation.RELU),
+            ConvLayer(
+                name="conv2",
+                out_channels=8,
+                kernel_size=3,
+                padding=1,
+                activation=Activation.RELU,
+            ),
+            FCLayer(name="fc1", out_features=10, activation=Activation.NONE),
+        ],
+    )
+    return ReferenceNetwork(model, seed=5)
+
+
+def _inputs(network, seed=11):
+    x = network.random_batch(BATCH, seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    out_features = network.model[-1].output_shape.elements
+    grad_output = rng.standard_normal((BATCH, out_features))
+    return x, grad_output
+
+
+def _assert_matches_reference(network, assignment, x, grad_output):
+    reference_states = network.training_step(x, grad_output)
+    result = TwoGroupExecutor(network, assignment).run_step(x, grad_output)
+    np.testing.assert_allclose(result.output, reference_states[-1].output, atol=1e-9)
+    np.testing.assert_allclose(
+        result.input_error, reference_states[0].grad_input, atol=1e-9
+    )
+    for index, state in enumerate(reference_states):
+        np.testing.assert_allclose(result.gradients[index], state.grad_weight, atol=1e-9)
+    return result
+
+
+class TestNumericalEquivalenceFC:
+    """Every dp/mp assignment of a small FC network reproduces the monolithic step."""
+
+    @pytest.mark.parametrize("bits", range(8))
+    def test_all_assignments(self, bits):
+        network = _fc_network()
+        x, grad_output = _inputs(network)
+        assignment = LayerAssignment.from_bits(bits, 3)
+        _assert_matches_reference(network, assignment, x, grad_output)
+
+
+class TestNumericalEquivalenceConv:
+    """Mixed conv + fc networks are reproduced too (channel-split model parallelism)."""
+
+    @pytest.mark.parametrize(
+        "choices",
+        [
+            ["dp", "dp", "dp"],
+            ["mp", "mp", "mp"],
+            ["dp", "dp", "mp"],
+            ["dp", "mp", "dp"],
+            ["mp", "dp", "mp"],
+        ],
+    )
+    def test_selected_assignments(self, choices):
+        network = _conv_fc_network()
+        x, grad_output = _inputs(network, seed=23)
+        assignment = LayerAssignment.of(choices)
+        _assert_matches_reference(network, assignment, x, grad_output)
+
+
+class TestCommunicationAccounting:
+    """Measured exchanges equal the analytical model for every assignment."""
+
+    @pytest.mark.parametrize("bits", range(8))
+    def test_fc_network_totals(self, bits):
+        network = _fc_network()
+        x, grad_output = _inputs(network)
+        assignment = LayerAssignment.from_bits(bits, 3)
+        result = TwoGroupExecutor(network, assignment).run_step(x, grad_output)
+
+        comm = CommunicationModel()
+        tensors = model_tensors(network.model, BATCH)
+        expected_bytes = comm.total_bytes(tensors, assignment)
+        measured_bytes = result.total_elements() * comm.bytes_per_element
+        assert measured_bytes == pytest.approx(expected_bytes)
+
+    @pytest.mark.parametrize("bits", [0, 3, 5, 7])
+    def test_per_layer_totals(self, bits):
+        network = _fc_network()
+        x, grad_output = _inputs(network)
+        assignment = LayerAssignment.from_bits(bits, 3)
+        result = TwoGroupExecutor(network, assignment).run_step(x, grad_output)
+
+        comm = CommunicationModel()
+        tensors = model_tensors(network.model, BATCH)
+        breakdown = comm.layer_breakdown(tensors, assignment)
+        measured = result.elements_by_layer()
+        for record in breakdown:
+            measured_bytes = measured.get(record.layer_name, 0.0) * comm.bytes_per_element
+            assert measured_bytes == pytest.approx(record.total_bytes)
+
+    def test_data_parallel_only_communicates_gradients(self):
+        network = _fc_network()
+        x, grad_output = _inputs(network)
+        result = TwoGroupExecutor(network, LayerAssignment.uniform(DATA, 3)).run_step(
+            x, grad_output
+        )
+        kinds = result.elements_by_kind()
+        assert set(kinds) == {"intra-dp"}
+        total_weights = network.model.total_weights
+        assert kinds["intra-dp"] == pytest.approx(2 * total_weights)
+
+    def test_model_parallel_only_communicates_forward_partial_sums_and_errors(self):
+        network = _fc_network()
+        x, grad_output = _inputs(network)
+        result = TwoGroupExecutor(network, LayerAssignment.uniform(MODEL, 3)).run_step(
+            x, grad_output
+        )
+        kinds = result.elements_by_kind()
+        assert "intra-dp" not in kinds
+        assert kinds["intra-mp"] > 0
+        assert kinds["inter-backward"] > 0
+        assert "inter-forward" not in kinds
+
+    def test_dp_to_mp_boundary_moves_features_and_errors(self):
+        network = _fc_network()
+        x, grad_output = _inputs(network)
+        assignment = LayerAssignment.of(["dp", "mp", "dp"])
+        result = TwoGroupExecutor(network, assignment).run_step(x, grad_output)
+        kinds = result.elements_by_kind()
+        assert kinds.get("inter-forward", 0) > 0
+        assert kinds.get("inter-backward", 0) > 0
+
+
+class TestValidation:
+    def test_layer_count_mismatch_rejected(self):
+        network = _fc_network()
+        with pytest.raises(ValueError):
+            TwoGroupExecutor(network, LayerAssignment.uniform(DATA, 2))
+
+    def test_negative_event_rejected(self):
+        with pytest.raises(ValueError):
+            CommunicationEvent("layer", "intra-dp", -1.0)

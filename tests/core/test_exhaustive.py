@@ -1,0 +1,144 @@
+"""Tests for the exhaustive / restricted enumeration machinery."""
+
+import pytest
+
+from repro.core.exhaustive import (
+    SearchSpaceTooLarge,
+    all_layer_assignments,
+    enumerate_restricted,
+    exhaustive_hierarchical,
+    exhaustive_two_way,
+)
+from repro.core.hierarchical import HierarchicalPartitioner
+from repro.core.parallelism import DATA, MODEL, HierarchicalAssignment
+from repro.core.tensors import model_tensors
+
+
+class TestAllLayerAssignments:
+    def test_count_is_two_to_the_layers(self):
+        assert len(list(all_layer_assignments(3))) == 8
+
+    def test_assignments_are_unique(self):
+        assignments = list(all_layer_assignments(4))
+        assert len({a.to_bits() for a in assignments}) == 16
+
+    def test_rejects_non_positive_layer_count(self):
+        with pytest.raises(ValueError):
+            list(all_layer_assignments(0))
+
+
+class TestExhaustiveTwoWay:
+    def test_matches_dynamic_program(self, two_way_partitioner, lenet_model):
+        tensors = model_tensors(lenet_model, 256)
+        brute = exhaustive_two_way(tensors)
+        searched = two_way_partitioner.partition_tensors(tensors)
+        assert brute.communication_bytes == pytest.approx(searched.communication_bytes)
+
+    def test_respects_candidate_limit(self, vgg_a_model):
+        tensors = model_tensors(vgg_a_model, 256)
+        with pytest.raises(SearchSpaceTooLarge):
+            exhaustive_two_way(tensors, max_candidates=16)
+
+    def test_single_layer_search(self, tiny_model):
+        tensors = model_tensors(tiny_model, 8)
+        result = exhaustive_two_way(tensors[:1])
+        assert result.num_layers == 1
+
+
+class TestExhaustiveHierarchical:
+    def test_greedy_hierarchical_matches_brute_force_on_tiny_model(self, tiny_model):
+        """With two layers and two levels the whole space has 16 assignments."""
+        partitioner = HierarchicalPartitioner(num_levels=2)
+        brute = exhaustive_hierarchical(tiny_model, 8, num_levels=2, partitioner=partitioner)
+        greedy = partitioner.partition(tiny_model, 8)
+        assert greedy.total_communication_bytes == pytest.approx(
+            brute.total_communication_bytes
+        )
+
+    def test_respects_candidate_limit(self, lenet_model):
+        with pytest.raises(SearchSpaceTooLarge):
+            exhaustive_hierarchical(lenet_model, 256, num_levels=4, max_candidates=64)
+
+    def test_rejects_mismatched_partitioner(self, tiny_model):
+        partitioner = HierarchicalPartitioner(num_levels=3)
+        with pytest.raises(ValueError):
+            exhaustive_hierarchical(tiny_model, 8, num_levels=2, partitioner=partitioner)
+
+
+class TestEnumerateRestricted:
+    def _evaluator(self, partitioner, model, batch):
+        def evaluate(assignment):
+            return partitioner.evaluate(model, assignment, batch).total_communication_bytes
+
+        return evaluate
+
+    def test_point_count_is_two_to_the_free_positions(self, lenet_model):
+        partitioner = HierarchicalPartitioner(num_levels=2)
+        base = HierarchicalAssignment.uniform(DATA, 2, len(lenet_model))
+        free = [(0, 0), (1, 3)]
+        points = enumerate_restricted(
+            lenet_model, 256, base, free, self._evaluator(partitioner, lenet_model, 256)
+        )
+        assert len(points) == 4
+
+    def test_fixed_positions_are_preserved(self, lenet_model):
+        partitioner = HierarchicalPartitioner(num_levels=2)
+        base = HierarchicalAssignment.uniform(DATA, 2, len(lenet_model))
+        free = [(0, 0)]
+        points = enumerate_restricted(
+            lenet_model, 256, base, free, self._evaluator(partitioner, lenet_model, 256)
+        )
+        for assignment, _ in points:
+            # Every position except (0, 0) keeps the base value (dp).
+            for level in range(2):
+                for layer in range(len(lenet_model)):
+                    if (level, layer) == (0, 0):
+                        continue
+                    assert assignment.choice(level, layer) is DATA
+
+    def test_bit_order_is_lsb_first(self, lenet_model):
+        partitioner = HierarchicalPartitioner(num_levels=2)
+        base = HierarchicalAssignment.uniform(DATA, 2, len(lenet_model))
+        free = [(0, 0), (0, 1)]
+        points = enumerate_restricted(
+            lenet_model, 256, base, free, self._evaluator(partitioner, lenet_model, 256)
+        )
+        # Candidate index 1 flips only the first free position.
+        assignment, _ = points[1]
+        assert assignment.choice(0, 0) is MODEL
+        assert assignment.choice(0, 1) is DATA
+
+    def test_sweep_covers_hypars_choice(self, lenet_model):
+        """The restricted sweep contains a point at least as good as HyPar's."""
+        partitioner = HierarchicalPartitioner(num_levels=2)
+        searched = partitioner.partition(lenet_model, 256)
+        free = [(level, layer) for level in range(2) for layer in range(len(lenet_model))]
+        points = enumerate_restricted(
+            lenet_model,
+            256,
+            searched.assignment,
+            free,
+            self._evaluator(partitioner, lenet_model, 256),
+        )
+        best = min(cost for _, cost in points)
+        assert best <= searched.total_communication_bytes + 1e-6
+
+    def test_rejects_empty_free_positions(self, lenet_model):
+        base = HierarchicalAssignment.uniform(DATA, 2, len(lenet_model))
+        with pytest.raises(ValueError):
+            enumerate_restricted(lenet_model, 256, base, [], lambda a: 0.0)
+
+    def test_rejects_out_of_range_positions(self, lenet_model):
+        base = HierarchicalAssignment.uniform(DATA, 2, len(lenet_model))
+        with pytest.raises(ValueError):
+            enumerate_restricted(lenet_model, 256, base, [(5, 0)], lambda a: 0.0)
+        with pytest.raises(ValueError):
+            enumerate_restricted(lenet_model, 256, base, [(0, 99)], lambda a: 0.0)
+
+    def test_respects_candidate_limit(self, lenet_model):
+        base = HierarchicalAssignment.uniform(DATA, 2, len(lenet_model))
+        free = [(0, layer) for layer in range(4)] + [(1, layer) for layer in range(4)]
+        with pytest.raises(SearchSpaceTooLarge):
+            enumerate_restricted(
+                lenet_model, 256, base, free, lambda a: 0.0, max_candidates=16
+            )

@@ -1,0 +1,215 @@
+"""Tests for Algorithm 2 (the hierarchical partitioner)."""
+
+import pytest
+
+from repro.core.hierarchical import (
+    DEFAULT_BATCH_SIZE,
+    DEFAULT_NUM_LEVELS,
+    HierarchicalPartitioner,
+)
+from repro.core.parallelism import DATA, MODEL, HierarchicalAssignment, LayerAssignment
+from repro.core.tensors import ScalingMode
+
+
+class TestConfiguration:
+    def test_paper_defaults(self):
+        partitioner = HierarchicalPartitioner()
+        assert partitioner.num_levels == DEFAULT_NUM_LEVELS == 4
+        assert partitioner.num_accelerators == 16
+        assert DEFAULT_BATCH_SIZE == 256
+
+    def test_rejects_non_positive_levels(self):
+        with pytest.raises(ValueError):
+            HierarchicalPartitioner(num_levels=0)
+
+    def test_scaling_mode_parsed_from_string(self):
+        partitioner = HierarchicalPartitioner(scaling_mode="none")
+        assert partitioner.scaling_mode is ScalingMode.NONE
+
+
+class TestPartitionStructure:
+    def test_result_shape(self, hierarchical_partitioner, lenet_model):
+        result = hierarchical_partitioner.partition(lenet_model, 256)
+        assert result.num_levels == 4
+        assert result.num_accelerators == 16
+        assert result.assignment.num_layers == len(lenet_model)
+        assert len(result.levels) == 4
+
+    def test_level_pair_counts_double(self, hierarchical_partitioner, lenet_model):
+        result = hierarchical_partitioner.partition(lenet_model, 256)
+        assert [level.num_pairs for level in result.levels] == [1, 2, 4, 8]
+
+    def test_total_is_sum_of_level_totals(self, hierarchical_partitioner, alexnet_model):
+        result = hierarchical_partitioner.partition(alexnet_model, 256)
+        assert result.total_communication_bytes == pytest.approx(
+            sum(level.total_bytes for level in result.levels)
+        )
+
+    def test_level_total_is_pairs_times_per_pair(self, hierarchical_partitioner, lenet_model):
+        result = hierarchical_partitioner.partition(lenet_model, 256)
+        for level in result.levels:
+            assert level.total_bytes == pytest.approx(
+                level.communication_bytes * level.num_pairs
+            )
+
+    def test_describe_mentions_every_layer_and_level(
+        self, hierarchical_partitioner, lenet_model
+    ):
+        text = hierarchical_partitioner.partition(lenet_model, 256).describe()
+        for layer in lenet_model.layer_names():
+            assert layer in text
+        for level in ("H1", "H2", "H3", "H4"):
+            assert level in text
+
+
+class TestSearchQuality:
+    def test_search_no_worse_than_uniform_baselines(
+        self, hierarchical_partitioner, alexnet_model
+    ):
+        searched = hierarchical_partitioner.partition(alexnet_model, 256)
+        for uniform in (DATA, MODEL):
+            baseline = hierarchical_partitioner.evaluate_uniform(alexnet_model, uniform, 256)
+            assert (
+                searched.total_communication_bytes
+                <= baseline.total_communication_bytes + 1e-6
+            )
+
+    def test_search_no_worse_than_repeating_level_zero(
+        self, hierarchical_partitioner, vgg_a_model
+    ):
+        searched = hierarchical_partitioner.partition(vgg_a_model, 256)
+        repeated = hierarchical_partitioner.evaluate_per_level(
+            vgg_a_model, searched.assignment[0], 256
+        )
+        assert (
+            searched.total_communication_bytes
+            <= repeated.total_communication_bytes + 1e-6
+        )
+
+    def test_sconv_optimises_to_pure_data_parallelism(
+        self, hierarchical_partitioner, sconv_model
+    ):
+        """Figure 5 (b): every layer of SCONV at every level is dp."""
+        result = hierarchical_partitioner.partition(sconv_model, 256)
+        assert result.assignment.is_uniform(DATA)
+
+    def test_sfc_optimises_to_mostly_model_parallelism(
+        self, hierarchical_partitioner, sfc_model
+    ):
+        """Figure 5 (a): SFC is dominated by mp at every level."""
+        result = hierarchical_partitioner.partition(sfc_model, 256)
+        mp_count = sum(level.count(MODEL) for level in result.assignment)
+        total = result.assignment.num_levels * result.assignment.num_layers
+        assert mp_count >= total - 1
+
+    def test_alexnet_matches_figure5_pattern(self, hierarchical_partitioner, alexnet_model):
+        """Figure 5 (e): conv layers dp, fc layers mp, at every level."""
+        result = hierarchical_partitioner.partition(alexnet_model, 256)
+        for level in result.assignment:
+            for layer, choice in zip(alexnet_model, level):
+                if layer.is_conv:
+                    assert choice is DATA
+
+    def test_lenet_fc_layers_become_model_parallel_at_deeper_levels(
+        self, hierarchical_partitioner, lenet_model
+    ):
+        """With parallelism-aware scaling, deeper levels see smaller batches and
+        flip the fully-connected layers of Lenet-c towards model parallelism."""
+        result = hierarchical_partitioner.partition(lenet_model, 256)
+        fc1 = lenet_model.layer_by_name("fc1").index
+        deepest = result.assignment[result.num_levels - 1]
+        assert deepest[fc1] is MODEL
+
+
+class TestEvaluate:
+    def test_evaluate_uniform_matches_manual_assignment(
+        self, hierarchical_partitioner, lenet_model
+    ):
+        manual = HierarchicalAssignment.uniform(DATA, 4, len(lenet_model))
+        by_helper = hierarchical_partitioner.evaluate_uniform(lenet_model, DATA, 256)
+        by_evaluate = hierarchical_partitioner.evaluate(lenet_model, manual, 256)
+        assert by_helper.total_communication_bytes == pytest.approx(
+            by_evaluate.total_communication_bytes
+        )
+
+    def test_evaluate_of_searched_assignment_reproduces_cost(
+        self, hierarchical_partitioner, alexnet_model
+    ):
+        searched = hierarchical_partitioner.partition(alexnet_model, 256)
+        evaluated = hierarchical_partitioner.evaluate(
+            alexnet_model, searched.assignment, 256
+        )
+        assert evaluated.total_communication_bytes == pytest.approx(
+            searched.total_communication_bytes
+        )
+
+    def test_evaluate_rejects_level_mismatch(self, hierarchical_partitioner, lenet_model):
+        wrong = HierarchicalAssignment.uniform(DATA, 3, len(lenet_model))
+        with pytest.raises(ValueError):
+            hierarchical_partitioner.evaluate(lenet_model, wrong, 256)
+
+    def test_evaluate_rejects_layer_mismatch(self, hierarchical_partitioner, lenet_model):
+        wrong = HierarchicalAssignment.uniform(DATA, 4, len(lenet_model) + 1)
+        with pytest.raises(ValueError):
+            hierarchical_partitioner.evaluate(lenet_model, wrong, 256)
+
+    def test_evaluate_per_level_repeats_one_list(self, hierarchical_partitioner, lenet_model):
+        level = LayerAssignment.of(["dp", "dp", "mp", "mp"])
+        result = hierarchical_partitioner.evaluate_per_level(lenet_model, level, 256)
+        for level_result in result.levels:
+            assert level_result.assignment == level
+
+
+class TestScalingModes:
+    def test_none_mode_repeats_the_same_list_at_every_level(self, lenet_model):
+        partitioner = HierarchicalPartitioner(num_levels=4, scaling_mode=ScalingMode.NONE)
+        result = partitioner.partition(lenet_model, 256)
+        first = result.assignment[0]
+        assert all(level == first for level in result.assignment)
+
+    def test_none_mode_levels_have_equal_per_pair_cost(self, lenet_model):
+        partitioner = HierarchicalPartitioner(num_levels=4, scaling_mode="none")
+        result = partitioner.partition(lenet_model, 256)
+        costs = [level.communication_bytes for level in result.levels]
+        assert all(cost == pytest.approx(costs[0]) for cost in costs)
+
+    def test_data_parallel_total_is_identical_across_scaling_modes(self, vgg_a_model):
+        """All-dp never partitions weights, so gradient traffic is scaling-mode
+        independent under parallelism-aware scaling versus none."""
+        aware = HierarchicalPartitioner(num_levels=4, scaling_mode="parallelism-aware")
+        literal = HierarchicalPartitioner(num_levels=4, scaling_mode="none")
+        cost_aware = aware.evaluate_uniform(vgg_a_model, DATA, 256).total_communication_bytes
+        cost_literal = literal.evaluate_uniform(
+            vgg_a_model, DATA, 256
+        ).total_communication_bytes
+        assert cost_aware == pytest.approx(cost_literal)
+
+    def test_uniform_mode_costs_less_than_none_mode(self, vgg_a_model):
+        uniform = HierarchicalPartitioner(num_levels=4, scaling_mode="uniform")
+        literal = HierarchicalPartitioner(num_levels=4, scaling_mode="none")
+        assert (
+            uniform.partition(vgg_a_model, 256).total_communication_bytes
+            < literal.partition(vgg_a_model, 256).total_communication_bytes
+        )
+
+
+class TestPaperCommunicationMagnitudes:
+    """Absolute totals that should land close to Figure 8's reported values."""
+
+    def test_vgg_a_data_parallelism_close_to_paper(self, hierarchical_partitioner, vgg_a_model):
+        """The paper reports 15.9 GB/step for VGG-A under Data Parallelism."""
+        result = hierarchical_partitioner.evaluate_uniform(vgg_a_model, DATA, 256)
+        assert 13e9 < result.total_communication_bytes < 19e9
+
+    def test_vgg_a_hypar_close_to_paper(self, hierarchical_partitioner, vgg_a_model):
+        """The paper reports 1.47 GB/step for VGG-A under HyPar."""
+        result = hierarchical_partitioner.partition(vgg_a_model, 256)
+        assert 0.7e9 < result.total_communication_bytes < 3e9
+
+    def test_hypar_beats_data_parallelism_by_about_an_order_of_magnitude(
+        self, hierarchical_partitioner, vgg_a_model
+    ):
+        dp = hierarchical_partitioner.evaluate_uniform(vgg_a_model, DATA, 256)
+        hypar = hierarchical_partitioner.partition(vgg_a_model, 256)
+        ratio = dp.total_communication_bytes / hypar.total_communication_bytes
+        assert ratio > 5

@@ -1,0 +1,162 @@
+"""Tests for parallelism types and assignments."""
+
+import pytest
+
+from repro.core.parallelism import (
+    DATA,
+    MODEL,
+    HierarchicalAssignment,
+    LayerAssignment,
+    Parallelism,
+)
+
+
+class TestParallelism:
+    def test_two_members(self):
+        assert set(Parallelism) == {Parallelism.DATA, Parallelism.MODEL}
+
+    def test_short_names(self):
+        assert Parallelism.DATA.short == "dp"
+        assert Parallelism.MODEL.short == "mp"
+
+    def test_bit_encoding_roundtrip(self):
+        for member in Parallelism:
+            assert Parallelism.from_bit(member.bit) is member
+
+    def test_from_bit_rejects_other_values(self):
+        with pytest.raises(ValueError):
+            Parallelism.from_bit(2)
+
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("dp", DATA),
+            ("DP", DATA),
+            ("data", DATA),
+            ("mp", MODEL),
+            ("model", MODEL),
+            (" Model_Parallelism ".strip(), MODEL),
+            ("0", DATA),
+            ("1", MODEL),
+        ],
+    )
+    def test_parse(self, text, expected):
+        assert Parallelism.parse(text) is expected
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            Parallelism.parse("pipeline")
+
+    def test_module_level_aliases(self):
+        assert DATA is Parallelism.DATA
+        assert MODEL is Parallelism.MODEL
+
+
+class TestLayerAssignment:
+    def test_of_accepts_mixed_inputs(self):
+        assignment = LayerAssignment.of([DATA, "mp", 0, 1])
+        assert assignment.choices == (DATA, MODEL, DATA, MODEL)
+
+    def test_of_rejects_unknown_types(self):
+        with pytest.raises(TypeError):
+            LayerAssignment.of([2.5])
+
+    def test_uniform(self):
+        assignment = LayerAssignment.uniform(DATA, 5)
+        assert assignment.is_uniform(DATA)
+        assert not assignment.is_uniform(MODEL)
+        assert len(assignment) == 5
+
+    def test_uniform_rejects_non_positive_length(self):
+        with pytest.raises(ValueError):
+            LayerAssignment.uniform(DATA, 0)
+
+    def test_empty_assignment_rejected(self):
+        with pytest.raises(ValueError):
+            LayerAssignment(())
+
+    def test_bits_roundtrip(self):
+        for bits in range(16):
+            assignment = LayerAssignment.from_bits(bits, 4)
+            assert assignment.to_bits() == bits
+
+    def test_from_bits_layout_is_lsb_first(self):
+        assignment = LayerAssignment.from_bits(0b0011, 4)
+        assert assignment.choices == (MODEL, MODEL, DATA, DATA)
+
+    def test_from_bits_range_check(self):
+        with pytest.raises(ValueError):
+            LayerAssignment.from_bits(16, 4)
+
+    def test_count(self):
+        assignment = LayerAssignment.of(["dp", "mp", "dp"])
+        assert assignment.count(DATA) == 2
+        assert assignment.count(MODEL) == 1
+
+    def test_indexing_and_iteration(self):
+        assignment = LayerAssignment.of(["dp", "mp"])
+        assert assignment[0] is DATA
+        assert list(assignment) == [DATA, MODEL]
+
+    def test_as_strings_and_str(self):
+        assignment = LayerAssignment.of(["dp", "mp"])
+        assert assignment.as_strings() == ["dp", "mp"]
+        assert str(assignment) == "dp-mp"
+
+
+class TestHierarchicalAssignment:
+    def _make(self):
+        return HierarchicalAssignment.of([["dp", "dp", "mp"], ["dp", "mp", "mp"]])
+
+    def test_shape_properties(self):
+        assignment = self._make()
+        assert assignment.num_levels == 2
+        assert assignment.num_layers == 3
+        assert assignment.num_accelerators == 4
+
+    def test_choice_lookup(self):
+        assignment = self._make()
+        assert assignment.choice(0, 2) is MODEL
+        assert assignment.choice(1, 0) is DATA
+
+    def test_layer_choices(self):
+        assignment = self._make()
+        assert assignment.layer_choices(1) == (DATA, MODEL)
+
+    def test_uniform_factory(self):
+        assignment = HierarchicalAssignment.uniform(MODEL, 4, 5)
+        assert assignment.is_uniform(MODEL)
+        assert assignment.num_accelerators == 16
+
+    def test_mismatched_level_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            HierarchicalAssignment.of([["dp", "dp"], ["dp"]])
+
+    def test_empty_levels_rejected(self):
+        with pytest.raises(ValueError):
+            HierarchicalAssignment(())
+
+    def test_replace_level(self):
+        assignment = self._make()
+        replaced = assignment.replace_level(1, LayerAssignment.uniform(DATA, 3))
+        assert replaced[1].is_uniform(DATA)
+        # The original is unchanged (immutability).
+        assert assignment.choice(1, 2) is MODEL
+
+    def test_replace_level_validates_layer_count(self):
+        with pytest.raises(ValueError):
+            self._make().replace_level(0, LayerAssignment.uniform(DATA, 2))
+
+    def test_replace_layer(self):
+        assignment = self._make()
+        replaced = assignment.replace_layer(0, (MODEL, MODEL))
+        assert replaced.layer_choices(0) == (MODEL, MODEL)
+        assert assignment.layer_choices(0) == (DATA, DATA)
+
+    def test_replace_layer_validates_level_count(self):
+        with pytest.raises(ValueError):
+            self._make().replace_layer(0, (MODEL,))
+
+    def test_str_mentions_every_level(self):
+        text = str(self._make())
+        assert "H1" in text and "H2" in text

@@ -1,0 +1,169 @@
+"""Tests for Algorithm 1 (the two-way dynamic-programming partitioner)."""
+
+import pytest
+
+from repro.core.communication import CommunicationModel
+from repro.core.exhaustive import exhaustive_two_way
+from repro.core.parallelism import DATA, MODEL, LayerAssignment
+from repro.core.partitioner import TwoWayPartitioner
+from repro.core.tensors import model_tensors
+from repro.nn.layers import ConvLayer, FCLayer, PoolSpec
+from repro.nn.model import build_model
+from repro.nn.model_zoo import alexnet, all_models, lenet_c, sconv, sfc
+
+
+class TestPartitionBasics:
+    def test_result_has_one_choice_per_layer(self, two_way_partitioner, lenet_model):
+        result = two_way_partitioner.partition(lenet_model, 256)
+        assert result.num_layers == len(lenet_model)
+
+    def test_total_matches_breakdown(self, two_way_partitioner, alexnet_model):
+        result = two_way_partitioner.partition(alexnet_model, 256)
+        assert result.communication_bytes == pytest.approx(
+            sum(record.total_bytes for record in result.breakdown)
+        )
+
+    def test_communication_is_non_negative(self, two_way_partitioner, lenet_model):
+        result = two_way_partitioner.partition(lenet_model, 256)
+        assert result.communication_bytes >= 0
+        assert all(record.total_bytes >= 0 for record in result.breakdown)
+
+    def test_empty_tensor_list_rejected(self, two_way_partitioner):
+        with pytest.raises(ValueError):
+            two_way_partitioner.partition_tensors([])
+
+    def test_single_layer_picks_cheaper_intra(self, two_way_partitioner):
+        fc = build_model("fc", (1, 1, 70), [FCLayer(name="fc", out_features=100)])
+        conv = build_model(
+            "conv", (12, 12, 20), [ConvLayer(name="conv", out_channels=50, kernel_size=5)]
+        )
+        assert two_way_partitioner.partition(fc, 32).assignment[0] is MODEL
+        assert two_way_partitioner.partition(conv, 32).assignment[0] is DATA
+
+    def test_default_communication_model_created(self):
+        partitioner = TwoWayPartitioner()
+        assert isinstance(partitioner.communication_model, CommunicationModel)
+
+
+class TestOptimalityAgainstExhaustiveSearch:
+    """The dynamic program must equal brute force on every feasible network."""
+
+    @pytest.mark.parametrize("model_builder", [sfc, sconv, lenet_c])
+    @pytest.mark.parametrize("batch_size", [16, 256])
+    def test_small_networks(self, model_builder, batch_size):
+        model = model_builder()
+        tensors = model_tensors(model, batch_size)
+        partitioner = TwoWayPartitioner()
+        dp_result = partitioner.partition_tensors(tensors)
+        brute = exhaustive_two_way(tensors)
+        assert dp_result.communication_bytes == pytest.approx(brute.communication_bytes)
+
+    def test_alexnet(self):
+        tensors = model_tensors(alexnet(), 256)
+        partitioner = TwoWayPartitioner()
+        assert partitioner.partition_tensors(tensors).communication_bytes == pytest.approx(
+            exhaustive_two_way(tensors).communication_bytes
+        )
+
+    @pytest.mark.parametrize("batch_size", [4, 64, 1024])
+    def test_every_evaluation_network_is_no_worse_than_defaults(self, batch_size):
+        partitioner = TwoWayPartitioner()
+        for model in all_models():
+            tensors = model_tensors(model, batch_size)
+            best = partitioner.partition_tensors(tensors).communication_bytes
+            for uniform in (DATA, MODEL):
+                assignment = LayerAssignment.uniform(uniform, len(model))
+                cost = partitioner.evaluate(tensors, assignment).communication_bytes
+                assert best <= cost + 1e-6
+
+
+class TestQualitativeChoices:
+    def test_sconv_is_pure_data_parallelism(self, two_way_partitioner, sconv_model):
+        result = two_way_partitioner.partition(sconv_model, 256)
+        assert result.assignment.is_uniform(DATA)
+
+    def test_sfc_is_mostly_model_parallelism(self, two_way_partitioner, sfc_model):
+        result = two_way_partitioner.partition(sfc_model, 256)
+        assert result.assignment.count(MODEL) >= 3
+
+    def test_alexnet_conv_layers_prefer_dp_and_fc_layers_prefer_mp(
+        self, two_way_partitioner, alexnet_model
+    ):
+        result = two_way_partitioner.partition(alexnet_model, 256)
+        for layer, choice in zip(alexnet_model, result.assignment):
+            if layer.is_conv:
+                assert choice is DATA, f"{layer.name} should be dp"
+        fc_choices = [
+            choice
+            for layer, choice in zip(alexnet_model, result.assignment)
+            if layer.is_fc
+        ]
+        assert fc_choices.count(MODEL) >= 2
+
+    def test_batch_size_can_flip_decisions(self, two_way_partitioner):
+        """A late conv layer flips from dp to mp when the effective batch shrinks.
+
+        Section 6.5.2: conv5 of VGG-E at batch 32 has A(dW) = 2,359,296 and
+        A(F_{l+1}) = 3,211,264, so at the whole batch dp still wins; but once
+        the batch is halved (as it is for the groups of deeper hierarchy
+        levels) the output feature map becomes the smaller tensor and the
+        layer prefers mp -- which is why the trick (always dp for conv)
+        loses more at deeper hierarchies.
+        """
+        from repro.core.tensors import TensorScale
+        from repro.nn.model_zoo import vgg_e
+
+        model = vgg_e()
+        conv5 = model.layer_by_name("conv5_4")
+        sub = build_model("conv5-only", conv5.input_shape, [conv5.spec])
+        whole_batch = two_way_partitioner.partition(sub, 32).assignment[0]
+        quarter_batch = two_way_partitioner.partition(
+            sub, 32, scales=[TensorScale(batch_fraction=0.25)]
+        ).assignment[0]
+        large_batch = two_way_partitioner.partition(sub, 4096).assignment[0]
+        assert whole_batch is DATA
+        assert quarter_batch is MODEL
+        assert large_batch is DATA
+
+
+class TestEvaluate:
+    def test_evaluate_uniform_data_parallelism_cost(self, two_way_partitioner, lenet_model):
+        tensors = model_tensors(lenet_model, 256)
+        assignment = LayerAssignment.uniform(DATA, len(lenet_model))
+        result = two_way_partitioner.evaluate(tensors, assignment)
+        expected = sum(t.gradient for t in tensors) * 4 * 2
+        assert result.communication_bytes == pytest.approx(expected)
+
+    def test_evaluate_preserves_assignment(self, two_way_partitioner, lenet_model):
+        tensors = model_tensors(lenet_model, 256)
+        assignment = LayerAssignment.of(["mp", "dp", "mp", "dp"])
+        result = two_way_partitioner.evaluate(tensors, assignment)
+        assert result.assignment is assignment
+
+    def test_searched_cost_never_exceeds_any_manual_assignment(
+        self, two_way_partitioner, lenet_model
+    ):
+        tensors = model_tensors(lenet_model, 256)
+        best = two_way_partitioner.partition_tensors(tensors).communication_bytes
+        for bits in range(1 << len(lenet_model)):
+            assignment = LayerAssignment.from_bits(bits, len(lenet_model))
+            assert best <= two_way_partitioner.evaluate(tensors, assignment).communication_bytes + 1e-9
+
+
+class TestLinearTimeScaling:
+    def test_partition_handles_deep_synthetic_networks(self, two_way_partitioner):
+        """A 200-layer synthetic network partitions without blowing up (O(L) search)."""
+        specs = []
+        for index in range(200):
+            specs.append(
+                ConvLayer(
+                    name=f"conv{index}",
+                    out_channels=8,
+                    kernel_size=3,
+                    padding=1,
+                    pool=PoolSpec(2) if index in (50, 100, 150) else None,
+                )
+            )
+        model = build_model("deep", (64, 64, 8), specs)
+        result = two_way_partitioner.partition(model, 8)
+        assert result.num_layers == 200

@@ -1,0 +1,204 @@
+"""Tests for tensor placement (shards, replication, memory footprints)."""
+
+import pytest
+
+from repro.core.baselines import data_parallelism, model_parallelism, one_weird_trick
+from repro.core.hierarchical import HierarchicalPartitioner
+from repro.core.placement import Interval, TensorPlacement, placement_summary
+from repro.nn.model_zoo import alexnet, lenet_c
+
+
+class TestInterval:
+    def test_defaults_to_unit_interval(self):
+        assert Interval().length == 1.0
+
+    def test_halve_lower_and_upper(self):
+        lower = Interval().halve(False)
+        upper = Interval().halve(True)
+        assert (lower.start, lower.stop) == (0.0, 0.5)
+        assert (upper.start, upper.stop) == (0.5, 1.0)
+        assert not lower.overlaps(upper)
+
+    def test_repeated_halving(self):
+        interval = Interval()
+        for _ in range(4):
+            interval = interval.halve(False)
+        assert interval.length == pytest.approx(1 / 16)
+
+    def test_slice_of(self):
+        assert Interval(0.25, 0.5).slice_of(16) == slice(4, 8)
+
+    def test_elements(self):
+        assert Interval(0.0, 0.5).elements(100) == 50
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(0.5, 0.5)
+        with pytest.raises(ValueError):
+            Interval(-0.1, 0.5)
+
+
+class TestPlacementStructure:
+    @pytest.fixture(scope="class")
+    def hypar_placement(self):
+        model = alexnet()
+        assignment = HierarchicalPartitioner(num_levels=4).partition(model, 256).assignment
+        return TensorPlacement(model, assignment)
+
+    def test_one_shard_per_accelerator_per_layer(self, hypar_placement):
+        assert len(hypar_placement.accelerator_shards(0)) == 8
+        assert len(hypar_placement.layer_shards("conv1")) == 16
+
+    def test_every_shard_holds_one_sixteenth_of_the_work(self, hypar_placement):
+        for layer in hypar_placement.model:
+            for shard in hypar_placement.layer_shards(layer.index):
+                fraction = shard.batch_interval.length * shard.weight_interval.length
+                assert fraction == pytest.approx(1 / 16)
+
+    def test_validation_passes(self, hypar_placement):
+        hypar_placement.validate()
+
+    def test_lookup_by_name_and_index_agree(self, hypar_placement):
+        assert hypar_placement.shard(3, "fc1") == hypar_placement.shard(
+            3, hypar_placement.model.layer_by_name("fc1").index
+        )
+
+    def test_out_of_range_accelerator_rejected(self, hypar_placement):
+        with pytest.raises(ValueError):
+            hypar_placement.shard(16, "conv1")
+
+    def test_layer_count_mismatch_rejected(self):
+        model = lenet_c()
+        assignment = data_parallelism(alexnet(), 2)
+        with pytest.raises(ValueError):
+            TensorPlacement(model, assignment)
+
+
+class TestDataParallelPlacement:
+    @pytest.fixture(scope="class")
+    def placement(self):
+        model = lenet_c()
+        return TensorPlacement(model, data_parallelism(model, 4))
+
+    def test_weights_fully_replicated(self, placement):
+        """Under pure dp every accelerator holds a full kernel copy."""
+        for layer in placement.model:
+            assert placement.weight_replication_factor(layer.index) == pytest.approx(16.0)
+            for shard in placement.layer_shards(layer.index):
+                assert shard.weight_fraction() == pytest.approx(1.0)
+
+    def test_features_partitioned_exactly_once(self, placement):
+        for layer in placement.model:
+            assert placement.feature_out_replication_factor(layer.index) == pytest.approx(1.0)
+
+    def test_batch_intervals_are_disjoint(self, placement):
+        shards = placement.layer_shards(0)
+        for a in shards:
+            for b in shards:
+                if a.accelerator != b.accelerator:
+                    assert not a.batch_interval.overlaps(b.batch_interval)
+
+    def test_validation_passes(self, placement):
+        placement.validate()
+
+
+class TestModelParallelPlacement:
+    @pytest.fixture(scope="class")
+    def placement(self):
+        model = lenet_c()
+        return TensorPlacement(model, model_parallelism(model, 4))
+
+    def test_weights_partitioned_exactly_once(self, placement):
+        for layer in placement.model:
+            assert placement.weight_replication_factor(layer.index) == pytest.approx(1.0)
+
+    def test_output_features_fully_replicated(self, placement):
+        """Under pure mp every accelerator ends up with the full reduced output."""
+        for layer in placement.model:
+            assert placement.feature_out_replication_factor(layer.index) == pytest.approx(16.0)
+
+    def test_weight_intervals_are_disjoint(self, placement):
+        shards = placement.layer_shards("fc1")
+        for a in shards:
+            for b in shards:
+                if a.accelerator != b.accelerator:
+                    assert not a.weight_interval.overlaps(b.weight_interval)
+
+
+class TestHybridPlacement:
+    def test_trick_places_conv_by_batch_and_fc_by_weights(self):
+        model = alexnet()
+        placement = TensorPlacement(model, one_weird_trick(model, 4))
+        conv_shard = placement.shard(5, "conv1")
+        fc_shard = placement.shard(5, "fc1")
+        assert conv_shard.weight_fraction() == pytest.approx(1.0)
+        assert conv_shard.batch_interval.length == pytest.approx(1 / 16)
+        assert fc_shard.weight_fraction() == pytest.approx(1 / 16)
+        assert fc_shard.batch_interval.length == pytest.approx(1.0)
+
+    def test_mixed_levels_split_both_dimensions(self):
+        model = lenet_c()
+        partitioner = HierarchicalPartitioner(num_levels=4)
+        assignment = partitioner.partition(model, 256).assignment
+        placement = TensorPlacement(model, assignment)
+        placement.validate()
+        fc1 = placement.shard(0, "fc1")
+        # Lenet-c's fc1 is dp at H1 and mp at H2-H4 under the default search,
+        # so both the batch and the weight dimensions end up partitioned.
+        assert fc1.batch_interval.length < 1.0
+        assert fc1.weight_interval.length < 1.0
+
+
+class TestMemoryFootprint:
+    def test_dp_replicates_weight_memory(self):
+        model = lenet_c()
+        dp = TensorPlacement(model, data_parallelism(model, 4))
+        mp = TensorPlacement(model, model_parallelism(model, 4))
+        dp_fp = dp.memory_footprint(256)[0]
+        mp_fp = mp.memory_footprint(256)[0]
+        assert dp_fp.weight_bytes == pytest.approx(model.total_weights * 4)
+        assert mp_fp.weight_bytes == pytest.approx(model.total_weights * 4 / 16)
+
+    def test_mp_replicates_activation_memory(self):
+        model = lenet_c()
+        dp = TensorPlacement(model, data_parallelism(model, 4))
+        mp = TensorPlacement(model, model_parallelism(model, 4))
+        assert mp.memory_footprint(256)[0].activation_bytes > dp.memory_footprint(256)[
+            0
+        ].activation_bytes
+
+    def test_footprints_are_balanced(self):
+        model = alexnet()
+        assignment = HierarchicalPartitioner(num_levels=4).partition(model, 256).assignment
+        placement = TensorPlacement(model, assignment)
+        footprints = placement.memory_footprint(256)
+        totals = [f.total_bytes for f in footprints]
+        assert max(totals) == pytest.approx(min(totals))
+
+    def test_vgg_hypar_placement_fits_in_hmc(self):
+        """Paper feasibility: the searched placement of VGG-E fits in 8 GB cubes."""
+        from repro.accelerator.hmc import HMCConfig
+        from repro.nn.model_zoo import vgg_e
+
+        model = vgg_e()
+        assignment = HierarchicalPartitioner(num_levels=4).partition(model, 256).assignment
+        placement = TensorPlacement(model, assignment)
+        assert placement.fits_in_memory(256, HMCConfig().capacity)
+
+    def test_invalid_arguments_rejected(self):
+        model = lenet_c()
+        placement = TensorPlacement(model, data_parallelism(model, 2))
+        with pytest.raises(ValueError):
+            placement.memory_footprint(0)
+        with pytest.raises(ValueError):
+            placement.fits_in_memory(256, 0)
+
+
+class TestSummary:
+    def test_summary_mentions_layers_and_footprint(self):
+        model = lenet_c()
+        placement = TensorPlacement(model, data_parallelism(model, 4))
+        text = placement_summary(placement, 256)
+        assert "Lenet-c" in text
+        assert "conv1" in text and "fc2" in text
+        assert "GiB" in text

@@ -1,0 +1,111 @@
+"""Tests for the result records of the partition algorithms."""
+
+import pytest
+
+from repro.core.communication import LayerCommunication
+from repro.core.parallelism import DATA, MODEL, HierarchicalAssignment, LayerAssignment
+from repro.core.result import (
+    HierarchicalResult,
+    LevelResult,
+    PartitionResult,
+    summarize_levels,
+)
+
+
+def _record(name, intra, inter, parallelism=DATA, index=0):
+    return LayerCommunication(
+        layer_index=index,
+        layer_name=name,
+        parallelism=parallelism,
+        intra_bytes=intra,
+        inter_bytes=inter,
+    )
+
+
+def _level(level, per_pair, num_layers=2):
+    assignment = LayerAssignment.uniform(DATA, num_layers)
+    breakdown = tuple(
+        _record(f"layer{i}", per_pair / num_layers, 0.0, index=i) for i in range(num_layers)
+    )
+    return LevelResult(
+        level=level,
+        assignment=assignment,
+        communication_bytes=per_pair,
+        num_pairs=1 << level,
+        breakdown=breakdown,
+    )
+
+
+class TestLayerCommunication:
+    def test_total_is_intra_plus_inter(self):
+        record = _record("conv", 100.0, 50.0)
+        assert record.total_bytes == 150.0
+
+
+class TestPartitionResult:
+    def test_num_layers(self):
+        assignment = LayerAssignment.of(["dp", "mp"])
+        result = PartitionResult(
+            assignment=assignment,
+            communication_bytes=10.0,
+            breakdown=(_record("a", 5, 0), _record("b", 5, 0, MODEL, 1)),
+        )
+        assert result.num_layers == 2
+
+    def test_str_mentions_gb(self):
+        result = PartitionResult(
+            assignment=LayerAssignment.of(["dp"]),
+            communication_bytes=2e9,
+            breakdown=(_record("a", 2e9, 0),),
+        )
+        assert "2.000 GB" in str(result)
+
+
+class TestLevelResult:
+    def test_total_scales_with_pairs(self):
+        level = _level(3, per_pair=100.0)
+        assert level.num_pairs == 8
+        assert level.total_bytes == 800.0
+
+
+class TestHierarchicalResult:
+    def _result(self):
+        levels = (_level(0, 100.0), _level(1, 50.0))
+        assignment = HierarchicalAssignment(tuple(level.assignment for level in levels))
+        return HierarchicalResult(
+            model_name="toy",
+            batch_size=32,
+            assignment=assignment,
+            levels=levels,
+        )
+
+    def test_counts(self):
+        result = self._result()
+        assert result.num_levels == 2
+        assert result.num_accelerators == 4
+
+    def test_total_communication(self):
+        # level 0: 100 * 1 pair, level 1: 50 * 2 pairs.
+        assert self._result().total_communication_bytes == 200.0
+
+    def test_level_bytes(self):
+        assert self._result().level_bytes() == [100.0, 100.0]
+
+    def test_mismatched_levels_rejected(self):
+        levels = (_level(0, 100.0),)
+        assignment = HierarchicalAssignment.uniform(DATA, 2, 2)
+        with pytest.raises(ValueError):
+            HierarchicalResult(
+                model_name="bad", batch_size=32, assignment=assignment, levels=levels
+            )
+
+    def test_describe_contains_model_name(self):
+        assert "toy" in self._result().describe()
+
+
+class TestSummarizeLevels:
+    def test_totals_in_gb(self):
+        levels = [_level(0, 1e9), _level(1, 1e9)]
+        summary = summarize_levels(levels)
+        assert summary["per_level_gb"] == pytest.approx([1.0, 2.0])
+        assert summary["total_gb"] == pytest.approx(3.0)

@@ -1,0 +1,181 @@
+"""Tests for per-layer tensor accounting and hierarchical scaling."""
+
+import pytest
+
+from repro.core.parallelism import DATA, MODEL, LayerAssignment
+from repro.core.tensors import (
+    BYTES_PER_ELEMENT,
+    ScalingMode,
+    TensorScale,
+    descend_scales,
+    elements_to_bytes,
+    initial_scales,
+    layer_tensors,
+    model_tensors,
+)
+from repro.nn.layers import ConvLayer, FCLayer
+from repro.nn.model import build_model
+
+
+@pytest.fixture(scope="module")
+def fc_model():
+    """The paper's Section 3.1 example: a 70 -> 100 fully-connected layer."""
+    return build_model("fc-example", (1, 1, 70), [FCLayer(name="fc", out_features=100)])
+
+
+@pytest.fixture(scope="module")
+def conv_model():
+    """The paper's Section 3.4 example: 12x12x20 -> conv 5x5x20x50 -> 8x8x50."""
+    return build_model(
+        "conv-example", (12, 12, 20), [ConvLayer(name="conv", out_channels=50, kernel_size=5)]
+    )
+
+
+class TestLayerTensors:
+    def test_fc_example_amounts(self, fc_model):
+        tensors = layer_tensors(fc_model[0], batch_size=32)
+        assert tensors.feature_in == 32 * 70
+        assert tensors.feature_out == 32 * 100
+        assert tensors.weight == 70 * 100
+
+    def test_conv_example_amounts(self, conv_model):
+        tensors = layer_tensors(conv_model[0], batch_size=32)
+        assert tensors.weight == 5 * 5 * 20 * 50
+        assert tensors.feature_out == 32 * 8 * 8 * 50
+
+    def test_error_amounts_mirror_features(self, fc_model):
+        tensors = layer_tensors(fc_model[0], batch_size=16)
+        assert tensors.error_in == tensors.feature_in
+        assert tensors.error_out == tensors.feature_out
+        assert tensors.gradient == tensors.weight
+
+    def test_macs_scale_with_batch(self, conv_model):
+        small = layer_tensors(conv_model[0], batch_size=8)
+        large = layer_tensors(conv_model[0], batch_size=32)
+        assert large.macs == pytest.approx(4 * small.macs)
+
+    def test_rejects_non_positive_batch(self, fc_model):
+        with pytest.raises(ValueError):
+            layer_tensors(fc_model[0], batch_size=0)
+
+    def test_layer_metadata_carried(self, conv_model):
+        tensors = layer_tensors(conv_model[0], batch_size=4)
+        assert tensors.layer_name == "conv"
+        assert tensors.layer_index == 0
+        assert tensors.is_conv
+
+
+class TestTensorScale:
+    def test_default_is_unscaled(self):
+        scale = TensorScale()
+        assert scale.batch_fraction == 1.0
+        assert scale.weight_fraction == 1.0
+
+    def test_rejects_out_of_range_fractions(self):
+        with pytest.raises(ValueError):
+            TensorScale(batch_fraction=0.0)
+        with pytest.raises(ValueError):
+            TensorScale(weight_fraction=1.5)
+
+    def test_descend_data_parallel_halves_batch(self):
+        child = TensorScale().descend(DATA, ScalingMode.PARALLELISM_AWARE)
+        assert child.batch_fraction == 0.5
+        assert child.weight_fraction == 1.0
+
+    def test_descend_model_parallel_halves_weights(self):
+        child = TensorScale().descend(MODEL, ScalingMode.PARALLELISM_AWARE)
+        assert child.batch_fraction == 1.0
+        assert child.weight_fraction == 0.5
+
+    def test_descend_none_mode_is_identity(self):
+        scale = TensorScale(0.5, 0.25)
+        assert scale.descend(DATA, ScalingMode.NONE) == scale
+        assert scale.descend(MODEL, ScalingMode.NONE) == scale
+
+    def test_descend_uniform_mode_halves_regardless_of_choice(self):
+        dp_child = TensorScale().descend(DATA, ScalingMode.UNIFORM)
+        mp_child = TensorScale().descend(MODEL, ScalingMode.UNIFORM)
+        assert dp_child == mp_child
+        assert dp_child.batch_fraction == 0.5
+
+    def test_scaled_amounts_affect_features_and_weights(self, fc_model):
+        full = layer_tensors(fc_model[0], 32)
+        dp_half = layer_tensors(fc_model[0], 32, TensorScale(batch_fraction=0.5))
+        mp_half = layer_tensors(fc_model[0], 32, TensorScale(weight_fraction=0.5))
+        assert dp_half.feature_in == full.feature_in / 2
+        assert dp_half.weight == full.weight
+        assert mp_half.weight == full.weight / 2
+        assert mp_half.feature_out == full.feature_out / 2
+        assert mp_half.feature_in == full.feature_in
+
+
+class TestScalingMode:
+    def test_parse_accepts_enum(self):
+        assert ScalingMode.parse(ScalingMode.NONE) is ScalingMode.NONE
+
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("parallelism-aware", ScalingMode.PARALLELISM_AWARE),
+            ("parallelism_aware", ScalingMode.PARALLELISM_AWARE),
+            ("UNIFORM", ScalingMode.UNIFORM),
+            ("none", ScalingMode.NONE),
+        ],
+    )
+    def test_parse_strings(self, text, expected):
+        assert ScalingMode.parse(text) is expected
+
+    def test_parse_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            ScalingMode.parse("quadratic")
+
+
+class TestModelTensorsAndScales:
+    def test_model_tensors_covers_every_layer(self, lenet_model):
+        tensors = model_tensors(lenet_model, 256)
+        assert len(tensors) == len(lenet_model)
+        assert [t.layer_index for t in tensors] == list(range(len(lenet_model)))
+
+    def test_model_tensors_with_scales_length_mismatch(self, lenet_model):
+        with pytest.raises(ValueError):
+            model_tensors(lenet_model, 256, [TensorScale()])
+
+    def test_initial_scales(self):
+        scales = initial_scales(3)
+        assert len(scales) == 3
+        assert all(scale == TensorScale() for scale in scales)
+
+    def test_initial_scales_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            initial_scales(0)
+
+    def test_descend_scales_applies_per_layer_choice(self):
+        scales = initial_scales(2)
+        assignment = LayerAssignment.of(["dp", "mp"])
+        children = descend_scales(scales, assignment)
+        assert children[0].batch_fraction == 0.5 and children[0].weight_fraction == 1.0
+        assert children[1].batch_fraction == 1.0 and children[1].weight_fraction == 0.5
+
+    def test_descend_scales_length_mismatch(self):
+        with pytest.raises(ValueError):
+            descend_scales(initial_scales(3), LayerAssignment.of(["dp", "mp"]))
+
+    def test_repeated_descent_compounds(self):
+        scales = initial_scales(1)
+        assignment = LayerAssignment.of(["dp"])
+        for _ in range(3):
+            scales = descend_scales(scales, assignment)
+        assert scales[0].batch_fraction == pytest.approx(0.125)
+
+
+class TestElementsToBytes:
+    def test_default_precision_is_fp32(self):
+        assert BYTES_PER_ELEMENT == 4
+        assert elements_to_bytes(10) == 40
+
+    def test_custom_precision(self):
+        assert elements_to_bytes(10, bytes_per_element=2) == 20
+
+    def test_rejects_non_positive_precision(self):
+        with pytest.raises(ValueError):
+            elements_to_bytes(10, bytes_per_element=0)

@@ -1,0 +1,83 @@
+"""Integration tests that run every example script end to end.
+
+The examples are part of the public deliverable, so the suite executes each
+one (with small arguments where the script accepts them) and checks it
+completes successfully and prints the key results it promises.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+
+def _load_example(name: str):
+    """Import an example script as a module without executing ``main``."""
+    path = EXAMPLES_DIR / name
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExampleScripts:
+    def test_examples_directory_contents(self):
+        scripts = sorted(path.name for path in EXAMPLES_DIR.glob("*.py"))
+        assert scripts == [
+            "partition_imagenet_models.py",
+            "quickstart.py",
+            "scalability_study.py",
+            "topology_and_trick.py",
+            "validate_communication_model.py",
+        ]
+
+    def test_quickstart(self, capsys, monkeypatch):
+        module = _load_example("quickstart.py")
+        monkeypatch.setattr(sys, "argv", ["quickstart.py", "Lenet-c"])
+        assert module.main() == 0
+        out = capsys.readouterr().out
+        assert "HyPar's optimized parallelism" in out
+        assert "Data Parallelism" in out
+        assert "speedup" in out
+
+    def test_quickstart_default_model_is_alexnet(self, capsys, monkeypatch):
+        module = _load_example("quickstart.py")
+        monkeypatch.setattr(sys, "argv", ["quickstart.py"])
+        assert module.main() == 0
+        assert "AlexNet" in capsys.readouterr().out
+
+    def test_scalability_study(self, capsys, monkeypatch):
+        module = _load_example("scalability_study.py")
+        monkeypatch.setattr(sys, "argv", ["scalability_study.py", "AlexNet"])
+        # Keep the example fast inside the test suite: sweep fewer sizes.
+        monkeypatch.setattr(module, "ARRAY_SIZES", (1, 4, 16))
+        assert module.main() == 0
+        out = capsys.readouterr().out
+        assert "Scalability of AlexNet" in out
+        assert "Phase breakdown" in out
+
+    def test_validate_communication_model(self, capsys):
+        module = _load_example("validate_communication_model.py")
+        assert module.main() == 0
+        out = capsys.readouterr().out
+        assert "every assignment matched the monolithic step" in out
+        assert "cheapest assignment" in out
+
+    @pytest.mark.slow
+    def test_partition_imagenet_models(self, capsys):
+        module = _load_example("partition_imagenet_models.py")
+        assert module.main() == 0
+        out = capsys.readouterr().out
+        assert "Optimized hybrid parallelism" in out
+        assert "geometric-mean speedup" in out
+
+    @pytest.mark.slow
+    def test_topology_and_trick(self, capsys):
+        module = _load_example("topology_and_trick.py")
+        assert module.main() == 0
+        out = capsys.readouterr().out
+        assert "H tree versus torus" in out
+        assert "one weird trick" in out

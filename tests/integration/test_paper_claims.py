@@ -1,0 +1,189 @@
+"""Qualitative reproduction of the paper's evaluation claims.
+
+Each test states one claim from the paper's Section 6 and verifies that the
+reproduction exhibits the same *shape* (who wins, in which direction, with
+a materially similar magnitude).  Exact values are not asserted because the
+authors' simulator is not public; EXPERIMENTS.md records the measured
+numbers next to the paper's.
+"""
+
+import pytest
+
+from repro.accelerator.array import ArrayConfig
+from repro.analysis.experiments import (
+    DATA_PARALLELISM,
+    HYPAR,
+    MODEL_PARALLELISM,
+    ExperimentRunner,
+)
+from repro.analysis.scalability import run_scalability_study
+from repro.analysis.topology_study import run_topology_study
+from repro.analysis.trick_study import run_trick_study
+from repro.core.parallelism import DATA, MODEL
+from repro.nn.model_zoo import get_model
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner()
+
+
+@pytest.fixture(scope="module")
+def evaluation(runner):
+    """The Figures 6-8 evaluation over all ten networks (shared by many tests)."""
+    return runner.run()
+
+
+class TestFigure5Claims:
+    def test_conv_layers_usually_dp_and_fc_layers_usually_mp(self, runner):
+        """'For most networks ... in the convolutional layers, the parallelisms
+        are usually data parallelism, and in fully-connected layers, the
+        parallelisms usually are model parallelism.'"""
+        conv_dp = conv_total = fc_mp = fc_total = 0
+        for name in ("AlexNet", "VGG-A", "VGG-B", "VGG-C", "VGG-D", "VGG-E"):
+            model = get_model(name)
+            result = runner.optimized_parallelism(model)
+            for level in result.assignment:
+                for layer, choice in zip(model, level):
+                    if layer.is_conv:
+                        conv_total += 1
+                        conv_dp += choice is DATA
+                    else:
+                        fc_total += 1
+                        fc_mp += choice is MODEL
+        assert conv_dp / conv_total > 0.9
+        assert fc_mp / fc_total > 0.7
+
+    def test_sconv_is_all_data_parallelism(self, runner):
+        result = runner.optimized_parallelism(get_model("SCONV"))
+        assert result.assignment.is_uniform(DATA)
+
+    def test_hybrid_parallelism_appears_in_most_networks(self, runner):
+        """'Except SCONV, the optimized parallelisms ... consist of both data
+        parallelism and model parallelism, leading to hybrid parallelism.'"""
+        hybrid = 0
+        for name in ("SFC", "Lenet-c", "AlexNet", "VGG-A", "VGG-E"):
+            result = runner.optimized_parallelism(get_model(name))
+            has_dp = any(level.count(DATA) for level in result.assignment)
+            has_mp = any(level.count(MODEL) for level in result.assignment)
+            hybrid += has_dp and has_mp
+        assert hybrid >= 3
+
+
+class TestFigure6Claims:
+    def test_hypar_gmean_gain_is_material(self, evaluation):
+        """Paper: 3.39x gmean over Data Parallelism.  We require > 2x."""
+        gmean = evaluation.gmean(evaluation.performance(), HYPAR)
+        assert gmean > 2.0
+
+    def test_model_parallelism_is_almost_always_worse_than_dp(self, evaluation):
+        perf = evaluation.performance()
+        worse = sum(
+            1 for row in perf.values() if row[MODEL_PARALLELISM] < row[DATA_PARALLELISM]
+        )
+        assert worse >= 8  # every network except SFC (and possibly one more)
+
+    def test_sfc_prefers_model_parallelism_but_hypar_at_least_matches(self, evaluation):
+        row = evaluation.performance()["SFC"]
+        assert row[MODEL_PARALLELISM] > row[DATA_PARALLELISM]
+        assert row[HYPAR] >= row[MODEL_PARALLELISM] * 0.999
+
+    def test_sconv_hypar_equals_data_parallelism(self, evaluation):
+        row = evaluation.performance()["SCONV"]
+        assert row[HYPAR] == pytest.approx(1.0, rel=1e-6)
+
+    def test_hypar_never_below_data_parallelism(self, evaluation):
+        for row in evaluation.performance().values():
+            assert row[HYPAR] >= 1.0 - 1e-9
+
+
+class TestFigure7Claims:
+    def test_hypar_energy_gmean_between_one_and_performance_gmean(self, evaluation):
+        """Energy gains (paper: 1.51x) are real but smaller than performance
+        gains (paper: 3.39x) because only the communication share shrinks."""
+        perf = evaluation.gmean(evaluation.performance(), HYPAR)
+        energy = evaluation.gmean(evaluation.energy_efficiency(), HYPAR)
+        assert 1.0 < energy < perf
+
+    def test_model_parallelism_less_energy_efficient_than_dp_on_conv_nets(self, evaluation):
+        energy = evaluation.energy_efficiency()
+        for name in ("SCONV", "AlexNet", "VGG-A", "VGG-E"):
+            assert energy[name][MODEL_PARALLELISM] < 1.0
+
+
+class TestFigure8Claims:
+    def test_communication_ordering_mp_dp_hypar(self, evaluation):
+        """Gmean communication: MP (8.88 GB) > DP (1.83 GB) > HyPar (0.318 GB)."""
+        comm = evaluation.communication()
+        gmean_mp = evaluation.gmean(comm, MODEL_PARALLELISM)
+        gmean_dp = evaluation.gmean(comm, DATA_PARALLELISM)
+        gmean_hypar = evaluation.gmean(comm, HYPAR)
+        assert gmean_mp > gmean_dp > gmean_hypar
+
+    def test_gmean_magnitudes_close_to_paper(self, evaluation):
+        """The absolute gmeans should land within ~2x of the paper's values."""
+        comm = evaluation.communication()
+        assert 4.0 < evaluation.gmean(comm, MODEL_PARALLELISM) < 20.0
+        assert 0.9 < evaluation.gmean(comm, DATA_PARALLELISM) < 4.0
+        assert 0.15 < evaluation.gmean(comm, HYPAR) < 0.7
+
+    def test_vgg_dp_communication_close_to_paper(self, evaluation):
+        """Paper: ~15.9-17.2 GB/step for the VGG family under Data Parallelism."""
+        comm = evaluation.communication()
+        for name in ("VGG-A", "VGG-B", "VGG-C", "VGG-D", "VGG-E"):
+            assert 13.0 < comm[name][DATA_PARALLELISM] < 20.0
+
+    def test_hypar_reduces_vgg_communication_by_an_order_of_magnitude(self, evaluation):
+        comm = evaluation.communication()
+        for name in ("VGG-A", "VGG-B", "VGG-C"):
+            assert comm[name][DATA_PARALLELISM] / comm[name][HYPAR] > 5.0
+
+
+class TestFigure11Claims:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return run_scalability_study(array_sizes=(1, 4, 8, 16, 32, 64))
+
+    def test_hypar_always_outperforms_dp(self, study):
+        for row in study.as_rows():
+            assert row["hypar_gain"] >= row["dp_gain"] - 1e-9
+
+    def test_hypar_always_has_lower_communication(self, study):
+        for row in study.as_rows():
+            assert row["hypar_comm_gb"] <= row["dp_comm_gb"] + 1e-12
+
+    def test_dp_gain_saturates_while_hypar_keeps_growing(self, study):
+        rows = {row["num_accelerators"]: row for row in study.as_rows()}
+        # From 16 to 64 accelerators DP improves by far less than 2x ...
+        assert rows[64]["dp_gain"] / rows[16]["dp_gain"] < 1.6
+        # ... while HyPar still improves substantially.
+        assert rows[64]["hypar_gain"] / rows[16]["hypar_gain"] > 1.6
+
+
+class TestFigure12Claims:
+    @pytest.fixture(scope="class")
+    def study(self):
+        models = [get_model(n) for n in ("SCONV", "Lenet-c", "AlexNet", "VGG-A", "VGG-E")]
+        return run_topology_study(models=models)
+
+    def test_htree_outperforms_torus_overall(self, study):
+        assert study.gmean_htree() > study.gmean_torus()
+
+    def test_hypar_still_profitable_on_torus(self, study):
+        """The partition also works for the torus even though HyPar prefers the
+        H tree (Section 6.5.1)."""
+        by_name = {c.model_name: c for c in study.comparisons}
+        assert by_name["AlexNet"].torus_performance > 1.0
+
+
+class TestFigure13Claims:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return run_trick_study()
+
+    def test_hypar_beats_the_trick_on_average(self, study):
+        assert study.gmean_performance() > 1.05
+        assert study.gmean_energy() >= 1.0
+
+    def test_best_case_advantage_is_substantially_larger_than_average(self, study):
+        assert study.max_performance() > study.gmean_performance() * 1.2

@@ -1,0 +1,88 @@
+"""Tests for the routing helpers."""
+
+import pytest
+
+from repro.interconnect.htree import HTreeTopology
+from repro.interconnect.routing import (
+    bisection_bandwidth,
+    link_loads,
+    max_link_load,
+    pairwise_hop_matrix,
+    shortest_path_hops,
+)
+from repro.interconnect.torus import TorusTopology
+
+LINK = 200e6
+
+
+class TestShortestPathHops:
+    def test_adjacent_torus_nodes(self):
+        topology = TorusTopology(16, LINK)
+        assert shortest_path_hops(topology, 0, 1) == 1
+
+    def test_torus_wraparound_shortens_paths(self):
+        topology = TorusTopology(16, LINK)
+        assert shortest_path_hops(topology, 0, 3) == 1
+
+    def test_htree_siblings_two_hops(self):
+        topology = HTreeTopology(16, LINK)
+        assert shortest_path_hops(topology, 0, 1) == 2
+
+    def test_htree_cross_array_path_length(self):
+        topology = HTreeTopology(16, LINK)
+        assert shortest_path_hops(topology, 0, 15) == 8
+
+
+class TestBisectionBandwidth:
+    def test_htree_bisection(self):
+        topology = HTreeTopology(16, LINK)
+        # Cutting at the root severs one of its two 8x child links (the root
+        # switch itself sits on one side of the bisection).
+        assert bisection_bandwidth(topology) == pytest.approx(8 * LINK)
+
+    def test_torus_bisection(self):
+        topology = TorusTopology(16, LINK)
+        # A 4x4 torus bisected between rows 1|2 (and the wrap rows 3|0) cuts 8 links.
+        assert bisection_bandwidth(topology) == pytest.approx(8 * LINK)
+
+
+class TestPairwiseHopMatrix:
+    def test_matrix_covers_all_ordered_pairs(self):
+        topology = TorusTopology(4, LINK)
+        matrix = pairwise_hop_matrix(topology)
+        assert len(matrix) == 4 * 3
+
+    def test_matrix_is_symmetric(self):
+        topology = TorusTopology(16, LINK)
+        matrix = pairwise_hop_matrix(topology)
+        for (a, b), hops in matrix.items():
+            assert matrix[(b, a)] == hops
+
+
+class TestLinkLoads:
+    def test_zero_traffic_means_zero_loads(self):
+        topology = TorusTopology(16, LINK)
+        loads = link_loads(topology, [0.0, 0.0, 0.0, 0.0])
+        assert all(value == 0.0 for value in loads.values())
+
+    def test_total_load_at_least_injected_traffic(self):
+        """Multi-hop routing carries each byte over at least one link."""
+        topology = TorusTopology(16, LINK)
+        traffic = [1e6, 0.0, 0.0, 0.0]
+        loads = link_loads(topology, traffic)
+        assert sum(loads.values()) >= 1e6
+
+    def test_htree_top_level_traffic_loads_root_links(self):
+        topology = HTreeTopology(4, LINK)
+        loads = link_loads(topology, [1e6, 0.0])
+        assert max(loads.values()) > 0
+
+    def test_max_link_load(self):
+        topology = TorusTopology(16, LINK)
+        assert max_link_load(topology, [1e6, 1e6, 1e6, 1e6]) > 0
+        assert max_link_load(topology, [0, 0, 0, 0]) == 0
+
+    def test_negative_traffic_rejected(self):
+        topology = TorusTopology(16, LINK)
+        with pytest.raises(ValueError):
+            link_loads(topology, [-1.0, 0, 0, 0])

@@ -1,0 +1,83 @@
+"""Tests for the 2-D torus topology."""
+
+import pytest
+
+from repro.interconnect.htree import HTreeTopology
+from repro.interconnect.torus import TorusTopology, _grid_dimensions
+
+LINK = 200e6
+
+
+class TestGridDimensions:
+    @pytest.mark.parametrize(
+        "count,expected",
+        [(4, (2, 2)), (8, (2, 4)), (16, (4, 4)), (64, (8, 8)), (32, (4, 8))],
+    )
+    def test_closest_to_square_factorisation(self, count, expected):
+        assert _grid_dimensions(count) == expected
+
+
+class TestStructure:
+    def test_4x4_torus_degree(self):
+        topology = TorusTopology(16, LINK)
+        for index in range(16):
+            assert topology.graph.degree[index] == 4
+
+    def test_4x4_torus_edge_count(self):
+        # 2 links per node in a 2-D torus (right + down), no duplicates.
+        topology = TorusTopology(16, LINK)
+        assert topology.graph.number_of_edges() == 32
+
+    def test_all_links_have_uniform_bandwidth(self):
+        topology = TorusTopology(16, LINK)
+        bandwidths = {data["bandwidth"] for _, _, data in topology.graph.edges(data=True)}
+        assert bandwidths == {LINK}
+
+    def test_wraparound_links_exist(self):
+        topology = TorusTopology(16, LINK)
+        # Node 0 (row 0, col 0) connects to node 3 (row 0, col 3) and node 12.
+        assert topology.graph.has_edge(0, 3)
+        assert topology.graph.has_edge(0, 12)
+
+    def test_small_2x2_torus_has_no_duplicate_edges(self):
+        topology = TorusTopology(4, LINK)
+        assert topology.graph.number_of_edges() == 4
+
+
+class TestEffectiveBandwidth:
+    def test_bandwidth_positive_at_every_level(self):
+        topology = TorusTopology(16, LINK)
+        for level in range(4):
+            assert topology.effective_pair_bandwidth(level) > 0
+
+    def test_torus_never_beats_htree_at_any_level(self):
+        """The mismatch with the binary-tree traffic pattern (Section 6.5.1)."""
+        torus = TorusTopology(16, LINK)
+        htree = HTreeTopology(16, LINK)
+        for level in range(4):
+            assert torus.effective_pair_bandwidth(level) <= htree.effective_pair_bandwidth(
+                level
+            ) + 1e-9
+
+    def test_torus_strictly_worse_at_the_top_level(self):
+        torus = TorusTopology(16, LINK)
+        htree = HTreeTopology(16, LINK)
+        assert torus.effective_pair_bandwidth(0) < htree.effective_pair_bandwidth(0)
+
+    def test_deepest_level_uses_the_direct_link(self):
+        topology = TorusTopology(16, LINK)
+        # Adjacent accelerators share exactly one physical link, one hop away.
+        assert topology.effective_pair_bandwidth(3) == pytest.approx(LINK)
+        assert topology.average_hops(3) == pytest.approx(1.0)
+
+
+class TestHops:
+    def test_hops_grow_with_group_distance(self):
+        topology = TorusTopology(16, LINK)
+        assert topology.average_hops(0) > topology.average_hops(3)
+
+    def test_hops_bounded_by_torus_diameter(self):
+        topology = TorusTopology(16, LINK)
+        # A 4x4 torus has diameter 4.
+        for level in range(4):
+            assert topology.average_hops(level) <= 4.0

@@ -1,0 +1,123 @@
+"""Tests for layer specifications (conv, fc, pooling, activation)."""
+
+import pytest
+
+from repro.nn.layers import Activation, ConvLayer, FCLayer, LayerType, PoolSpec
+from repro.nn.shapes import FeatureMapShape, ShapeError
+
+
+class TestPoolSpec:
+    def test_apply_halves_spatial_dims(self):
+        assert PoolSpec(2).apply(FeatureMapShape(8, 8, 16)) == FeatureMapShape(4, 4, 16)
+
+    def test_default_stride_equals_size(self):
+        spec = PoolSpec(3)
+        assert spec.apply(FeatureMapShape(9, 9, 4)) == FeatureMapShape(3, 3, 4)
+
+    def test_explicit_stride(self):
+        spec = PoolSpec(3, stride=2)
+        assert spec.apply(FeatureMapShape(9, 9, 4)) == FeatureMapShape(4, 4, 4)
+
+    def test_avg_kind_accepted(self):
+        assert PoolSpec(2, kind="avg").kind == "avg"
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(ValueError):
+            PoolSpec(2, kind="median")
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ShapeError):
+            PoolSpec(0)
+
+
+class TestConvLayer:
+    def test_layer_type(self):
+        layer = ConvLayer(name="c", out_channels=8)
+        assert layer.layer_type is LayerType.CONV
+
+    def test_output_shape(self):
+        layer = ConvLayer(name="c", out_channels=20, kernel_size=5)
+        out = layer.output_shape(FeatureMapShape(28, 28, 1))
+        assert out == FeatureMapShape(24, 24, 20)
+
+    def test_post_pool_shape_applies_pooling(self):
+        layer = ConvLayer(name="c", out_channels=20, kernel_size=5, pool=PoolSpec(2))
+        out = layer.post_pool_shape(FeatureMapShape(28, 28, 1))
+        assert out == FeatureMapShape(12, 12, 20)
+
+    def test_post_pool_shape_without_pooling_matches_output(self):
+        layer = ConvLayer(name="c", out_channels=20, kernel_size=5)
+        in_shape = FeatureMapShape(28, 28, 1)
+        assert layer.post_pool_shape(in_shape) == layer.output_shape(in_shape)
+
+    def test_weight_elements(self):
+        layer = ConvLayer(name="c", out_channels=50, kernel_size=5)
+        # [5 x 5 x 20] x 50 kernels
+        assert layer.weight_elements(FeatureMapShape(12, 12, 20)) == 5 * 5 * 20 * 50
+
+    def test_macs_per_sample(self):
+        layer = ConvLayer(name="c", out_channels=50, kernel_size=5)
+        in_shape = FeatureMapShape(12, 12, 20)
+        out = layer.output_shape(in_shape)
+        expected = out.elements * 5 * 5 * 20
+        assert layer.macs_per_sample(in_shape) == expected
+
+    def test_paper_example_conv_tensors(self):
+        """The Section 3.4 convolutional example: F_l 12x12x20, W 5x5x20x50, F_{l+1} 8x8x50."""
+        layer = ConvLayer(name="conv", out_channels=50, kernel_size=5)
+        in_shape = FeatureMapShape(12, 12, 20)
+        assert layer.output_shape(in_shape) == FeatureMapShape(8, 8, 50)
+        assert layer.weight_elements(in_shape) == 25_000
+
+    def test_rejects_zero_out_channels(self):
+        with pytest.raises(ShapeError):
+            ConvLayer(name="bad", out_channels=0)
+
+    def test_rejects_invalid_kernel(self):
+        with pytest.raises(ShapeError):
+            ConvLayer(name="bad", out_channels=4, kernel_size=0)
+
+    def test_default_activation_is_relu(self):
+        assert ConvLayer(name="c", out_channels=4).activation is Activation.RELU
+
+
+class TestFCLayer:
+    def test_layer_type(self):
+        assert FCLayer(name="f", out_features=10).layer_type is LayerType.FC
+
+    def test_output_shape_is_vector(self):
+        out = FCLayer(name="f", out_features=100).output_shape(FeatureMapShape(1, 1, 70))
+        assert out == FeatureMapShape(1, 1, 100)
+
+    def test_weight_elements_matrix(self):
+        layer = FCLayer(name="f", out_features=100)
+        assert layer.weight_elements(FeatureMapShape(1, 1, 70)) == 7000
+
+    def test_weight_elements_flattened_spatial_input(self):
+        layer = FCLayer(name="f", out_features=10)
+        assert layer.weight_elements(FeatureMapShape(4, 4, 50)) == 4 * 4 * 50 * 10
+
+    def test_macs_per_sample_equals_weight_count(self):
+        layer = FCLayer(name="f", out_features=100)
+        in_shape = FeatureMapShape(1, 1, 70)
+        assert layer.macs_per_sample(in_shape) == layer.weight_elements(in_shape)
+
+    def test_rejects_zero_out_features(self):
+        with pytest.raises(ShapeError):
+            FCLayer(name="bad", out_features=0)
+
+    def test_paper_example_fc_tensors(self):
+        """The Section 3.1 fully-connected example: 70 -> 100 neurons."""
+        layer = FCLayer(name="fc", out_features=100)
+        in_shape = FeatureMapShape(1, 1, 70)
+        assert layer.weight_elements(in_shape) == 70 * 100
+        assert layer.output_shape(in_shape).elements == 100
+
+
+class TestActivation:
+    def test_all_members_have_distinct_values(self):
+        values = [member.value for member in Activation]
+        assert len(values) == len(set(values))
+
+    def test_str_is_value(self):
+        assert str(Activation.RELU) == "relu"

@@ -1,0 +1,130 @@
+"""Tests for the DNNModel container and shape inference."""
+
+import pytest
+
+from repro.nn.layers import ConvLayer, FCLayer, PoolSpec
+from repro.nn.model import build_model
+from repro.nn.shapes import FeatureMapShape, ShapeError
+
+
+def _small_model():
+    return build_model(
+        "small",
+        (28, 28, 1),
+        [
+            ConvLayer(name="conv1", out_channels=20, kernel_size=5, pool=PoolSpec(2)),
+            ConvLayer(name="conv2", out_channels=50, kernel_size=5, pool=PoolSpec(2)),
+            FCLayer(name="fc1", out_features=500),
+            FCLayer(name="fc2", out_features=10),
+        ],
+    )
+
+
+class TestBuildModel:
+    def test_number_of_weighted_layers(self):
+        assert _small_model().num_weighted_layers == 4
+
+    def test_layer_indices_are_sequential(self):
+        model = _small_model()
+        assert [layer.index for layer in model] == [0, 1, 2, 3]
+
+    def test_shapes_chain_through_layers(self):
+        model = _small_model()
+        # conv1: 28x28x1 -> 24x24x20 -> pool -> 12x12x20
+        assert model[0].output_shape == FeatureMapShape(24, 24, 20)
+        assert model[0].post_pool_shape == FeatureMapShape(12, 12, 20)
+        # conv2 consumes conv1's post-pool shape.
+        assert model[1].input_shape == FeatureMapShape(12, 12, 20)
+        assert model[1].output_shape == FeatureMapShape(8, 8, 50)
+
+    def test_fc_input_is_flattened(self):
+        model = _small_model()
+        assert model[2].input_shape.is_vector
+        assert model[2].input_shape.elements == 4 * 4 * 50
+
+    def test_weight_counts(self):
+        model = _small_model()
+        assert model[0].weight_count == 5 * 5 * 1 * 20
+        assert model[1].weight_count == 5 * 5 * 20 * 50
+        assert model[2].weight_count == 4 * 4 * 50 * 500
+        assert model[3].weight_count == 500 * 10
+
+    def test_total_weights_is_sum_of_layers(self):
+        model = _small_model()
+        assert model.total_weights == sum(layer.weight_count for layer in model)
+
+    def test_input_shape_accepts_tuple(self):
+        model = build_model("t", (8, 8, 3), [FCLayer(name="fc", out_features=4)])
+        assert model.input_shape == FeatureMapShape(8, 8, 3)
+
+    def test_input_shape_accepts_feature_map_shape(self):
+        model = build_model(
+            "t", FeatureMapShape(8, 8, 3), [FCLayer(name="fc", out_features=4)]
+        )
+        assert model.input_shape == FeatureMapShape(8, 8, 3)
+
+    def test_duplicate_layer_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate layer name"):
+            build_model(
+                "dup",
+                (8, 8, 3),
+                [FCLayer(name="fc", out_features=4), FCLayer(name="fc", out_features=2)],
+            )
+
+    def test_empty_model_rejected(self):
+        with pytest.raises(ShapeError):
+            build_model("empty", (8, 8, 3), [])
+
+    def test_invalid_shape_propagates(self):
+        with pytest.raises(ShapeError):
+            build_model(
+                "bad",
+                (4, 4, 3),
+                [ConvLayer(name="conv", out_channels=8, kernel_size=7)],
+            )
+
+
+class TestDNNModelAccessors:
+    def test_len_and_iteration(self):
+        model = _small_model()
+        assert len(model) == 4
+        assert len(list(model)) == 4
+
+    def test_getitem(self):
+        model = _small_model()
+        assert model[0].name == "conv1"
+        assert model[-1].name == "fc2"
+
+    def test_layer_by_name(self):
+        model = _small_model()
+        assert model.layer_by_name("conv2").index == 1
+
+    def test_layer_by_name_missing_raises_keyerror(self):
+        with pytest.raises(KeyError):
+            _small_model().layer_by_name("does-not-exist")
+
+    def test_layer_names(self):
+        assert _small_model().layer_names() == ["conv1", "conv2", "fc1", "fc2"]
+
+    def test_conv_and_fc_counts(self):
+        model = _small_model()
+        assert model.num_conv_layers == 2
+        assert model.num_fc_layers == 2
+
+    def test_is_conv_is_fc_flags(self):
+        model = _small_model()
+        assert model[0].is_conv and not model[0].is_fc
+        assert model[3].is_fc and not model[3].is_conv
+
+    def test_total_macs_scales_with_batch(self):
+        model = _small_model()
+        assert model.total_macs(64) == 2 * model.total_macs(32)
+
+    def test_total_macs_rejects_non_positive_batch(self):
+        with pytest.raises(ValueError):
+            _small_model().total_macs(0)
+
+    def test_summary_mentions_every_layer(self):
+        summary = _small_model().summary()
+        for name in ("conv1", "conv2", "fc1", "fc2"):
+            assert name in summary

@@ -1,0 +1,203 @@
+"""Tests for the ten evaluation networks (Table 3 and Section 6.1)."""
+
+import pytest
+
+from repro.nn.layers import LayerType
+from repro.nn.model_zoo import (
+    MODEL_BUILDERS,
+    alexnet,
+    all_models,
+    cifar_c,
+    get_model,
+    lenet_c,
+    sconv,
+    sfc,
+    vgg_a,
+    vgg_b,
+    vgg_c,
+    vgg_d,
+    vgg_e,
+)
+
+#: Weighted-layer counts stated by (or implied by) the paper: "the number of
+#: weighted layers of these models range from four to nineteen".
+EXPECTED_LAYER_COUNTS = {
+    "SFC": 4,
+    "SCONV": 4,
+    "Lenet-c": 4,
+    "Cifar-c": 5,
+    "AlexNet": 8,
+    "VGG-A": 11,
+    "VGG-B": 13,
+    "VGG-C": 16,
+    "VGG-D": 16,
+    "VGG-E": 19,
+}
+
+
+class TestModelZooContents:
+    def test_ten_models_available(self):
+        assert len(MODEL_BUILDERS) == 10
+
+    def test_all_models_builds_ten(self):
+        assert len(all_models()) == 10
+
+    @pytest.mark.parametrize("name,expected", sorted(EXPECTED_LAYER_COUNTS.items()))
+    def test_weighted_layer_counts(self, name, expected):
+        assert get_model(name).num_weighted_layers == expected
+
+    def test_layer_count_range_matches_paper(self):
+        counts = [model.num_weighted_layers for model in all_models()]
+        assert min(counts) == 4
+        assert max(counts) == 19
+
+    def test_model_names_match_builders(self):
+        for name, builder in MODEL_BUILDERS.items():
+            assert builder().name == name
+
+
+class TestSFC:
+    def test_is_all_fully_connected(self):
+        model = sfc()
+        assert model.num_conv_layers == 0
+        assert model.num_fc_layers == 4
+
+    def test_table3_dimensions(self):
+        """Table 3: 784-8192-8192-8192-10."""
+        model = sfc()
+        assert model.input_shape.elements == 784
+        assert [layer.output_shape.elements for layer in model] == [8192, 8192, 8192, 10]
+
+    def test_weight_counts(self):
+        model = sfc()
+        assert model[0].weight_count == 784 * 8192
+        assert model[1].weight_count == 8192 * 8192
+        assert model[3].weight_count == 8192 * 10
+
+
+class TestSCONV:
+    def test_is_all_convolutional(self):
+        model = sconv()
+        assert model.num_fc_layers == 0
+        assert model.num_conv_layers == 4
+
+    def test_table3_channel_progression(self):
+        """Table 3: 20@5x5, 50@5x5 (pool), 50@5x5, 10@5x5 (pool)."""
+        model = sconv()
+        assert [layer.output_shape.channels for layer in model] == [20, 50, 50, 10]
+
+    def test_final_output_is_ten_classes(self):
+        model = sconv()
+        assert model[-1].post_pool_shape.elements == 10
+
+
+class TestLenetAndCifar:
+    def test_lenet_layer_types(self):
+        model = lenet_c()
+        assert [layer.layer_type for layer in model] == [
+            LayerType.CONV,
+            LayerType.CONV,
+            LayerType.FC,
+            LayerType.FC,
+        ]
+
+    def test_lenet_output_classes(self):
+        assert lenet_c()[-1].output_shape.elements == 10
+
+    def test_cifar_layer_types(self):
+        model = cifar_c()
+        assert model.num_conv_layers == 3
+        assert model.num_fc_layers == 2
+
+    def test_cifar_input_is_cifar10(self):
+        model = cifar_c()
+        assert (model.input_shape.height, model.input_shape.width) == (32, 32)
+        assert model.input_shape.channels == 3
+
+
+class TestAlexNet:
+    def test_layer_structure(self):
+        model = alexnet()
+        assert model.num_conv_layers == 5
+        assert model.num_fc_layers == 3
+
+    def test_known_shapes(self):
+        model = alexnet()
+        assert model[0].output_shape.height == 55  # conv1: 227 -> 55 at stride 4
+        assert model[4].output_shape.channels == 256  # conv5
+        assert model[-1].output_shape.elements == 1000
+
+    def test_total_weights_in_expected_range(self):
+        """AlexNet has roughly 60M parameters (we ignore biases)."""
+        weights = alexnet().total_weights
+        assert 5.0e7 < weights < 7.0e7
+
+
+class TestVGGFamily:
+    @pytest.mark.parametrize(
+        "builder,expected_convs",
+        [(vgg_a, 8), (vgg_b, 10), (vgg_c, 13), (vgg_d, 13), (vgg_e, 16)],
+    )
+    def test_conv_counts(self, builder, expected_convs):
+        model = builder()
+        assert model.num_conv_layers == expected_convs
+        assert model.num_fc_layers == 3
+
+    @pytest.mark.parametrize("builder", [vgg_a, vgg_b, vgg_c, vgg_d, vgg_e])
+    def test_classifier_dimensions(self, builder):
+        model = builder()
+        fc_layers = [layer for layer in model if layer.is_fc]
+        assert [layer.output_shape.elements for layer in fc_layers] == [4096, 4096, 1000]
+
+    @pytest.mark.parametrize("builder", [vgg_a, vgg_b, vgg_c, vgg_d, vgg_e])
+    def test_last_conv_feeds_7x7x512(self, builder):
+        model = builder()
+        last_conv = [layer for layer in model if layer.is_conv][-1]
+        assert last_conv.post_pool_shape.elements == 7 * 7 * 512
+
+    def test_vgg_d_parameter_count(self):
+        """VGG-16 has ~138M parameters."""
+        weights = vgg_d().total_weights
+        assert 1.30e8 < weights < 1.45e8
+
+    def test_vgg_e_is_deepest(self):
+        counts = [builder().num_weighted_layers for builder in (vgg_a, vgg_b, vgg_c, vgg_d, vgg_e)]
+        assert counts == sorted(counts)
+        assert counts[-1] == 19
+
+    def test_vgg_e_conv5_4_shape_matches_trick_analysis(self):
+        """Section 6.5.2: conv5 of VGG-E has a 14x14x512 output and 512->512 3x3 kernels."""
+        model = vgg_e()
+        conv5_4 = model.layer_by_name("conv5_4")
+        assert conv5_4.output_shape == type(conv5_4.output_shape)(14, 14, 512)
+        assert conv5_4.weight_count == 512 * 512 * 9
+
+    def test_vgg_e_fc3_shape_matches_trick_analysis(self):
+        """Section 6.5.2: fc3 is 4096 -> 1000."""
+        fc3 = vgg_e().layer_by_name("fc3")
+        assert fc3.input_shape.elements == 4096
+        assert fc3.output_shape.elements == 1000
+
+
+class TestGetModel:
+    def test_canonical_names(self):
+        for name in MODEL_BUILDERS:
+            assert get_model(name).name == name
+
+    @pytest.mark.parametrize(
+        "alias,expected",
+        [
+            ("alexnet", "AlexNet"),
+            ("vgg16", "VGG-D"),
+            ("vgg19", "VGG-E"),
+            ("lenet", "Lenet-c"),
+            ("VGG_A", "VGG-A"),
+            ("sfc", "SFC"),
+        ],
+    )
+    def test_aliases(self, alias, expected):
+        assert get_model(alias).name == expected
+
+    def test_unknown_name_raises_keyerror(self):
+        with pytest.raises(KeyError, match="unknown model"):
+            get_model("resnet-50")

@@ -1,0 +1,215 @@
+"""Tests for the numpy reference kernels (forward / backward / gradient)."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Activation, ConvLayer, FCLayer, PoolSpec
+from repro.nn.model import build_model
+from repro.nn.reference import (
+    ReferenceNetwork,
+    UnsupportedLayerError,
+    activation_backward,
+    activation_forward,
+    conv2d_backward_input,
+    conv2d_backward_weight,
+    conv2d_forward,
+    fc_backward_input,
+    fc_backward_weight,
+    fc_forward,
+    im2col,
+)
+
+
+def _numerical_gradient(function, array, epsilon=1e-6):
+    """Central-difference numerical gradient of a scalar-valued function."""
+    gradient = np.zeros_like(array)
+    flat = array.reshape(-1)
+    grad_flat = gradient.reshape(-1)
+    for index in range(flat.size):
+        original = flat[index]
+        flat[index] = original + epsilon
+        upper = function()
+        flat[index] = original - epsilon
+        lower = function()
+        flat[index] = original
+        grad_flat[index] = (upper - lower) / (2 * epsilon)
+    return gradient
+
+
+class TestActivations:
+    def test_relu_forward(self):
+        z = np.array([-1.0, 0.0, 2.5])
+        np.testing.assert_allclose(activation_forward(z, Activation.RELU), [0.0, 0.0, 2.5])
+
+    def test_relu_backward_masks_negative_inputs(self):
+        z = np.array([-1.0, 3.0])
+        grad = np.array([5.0, 7.0])
+        np.testing.assert_allclose(
+            activation_backward(z, grad, Activation.RELU), [0.0, 7.0]
+        )
+
+    def test_none_is_identity(self):
+        z = np.array([1.0, -2.0])
+        np.testing.assert_allclose(activation_forward(z, Activation.NONE), z)
+        np.testing.assert_allclose(activation_backward(z, z, Activation.NONE), z)
+
+    def test_unsupported_activation_raises(self):
+        with pytest.raises(UnsupportedLayerError):
+            activation_forward(np.zeros(3), Activation.SIGMOID)
+
+
+class TestFullyConnectedKernels:
+    def test_forward_matches_matmul(self):
+        rng = np.random.default_rng(0)
+        x, w = rng.standard_normal((4, 5)), rng.standard_normal((5, 3))
+        np.testing.assert_allclose(fc_forward(x, w), x @ w)
+
+    def test_weight_gradient_matches_numerical(self):
+        rng = np.random.default_rng(1)
+        x, w = rng.standard_normal((3, 4)), rng.standard_normal((4, 2))
+        grad_out = rng.standard_normal((3, 2))
+        analytic = fc_backward_weight(x, grad_out)
+        numerical = _numerical_gradient(lambda: float((fc_forward(x, w) * grad_out).sum()), w)
+        np.testing.assert_allclose(analytic, numerical, atol=1e-5)
+
+    def test_input_gradient_matches_numerical(self):
+        rng = np.random.default_rng(2)
+        x, w = rng.standard_normal((3, 4)), rng.standard_normal((4, 2))
+        grad_out = rng.standard_normal((3, 2))
+        analytic = fc_backward_input(grad_out, w)
+        numerical = _numerical_gradient(lambda: float((fc_forward(x, w) * grad_out).sum()), x)
+        np.testing.assert_allclose(analytic, numerical, atol=1e-5)
+
+
+class TestConvolutionKernels:
+    def test_im2col_shape(self):
+        x = np.arange(2 * 5 * 5 * 3, dtype=float).reshape(2, 5, 5, 3)
+        columns = im2col(x, kernel=3, stride=1, padding=0)
+        assert columns.shape == (2, 3, 3, 27)
+
+    def test_forward_shape_and_known_value(self):
+        x = np.ones((1, 4, 4, 1))
+        w = np.ones((3, 3, 1, 2))
+        out = conv2d_forward(x, w)
+        assert out.shape == (1, 2, 2, 2)
+        np.testing.assert_allclose(out, 9.0)
+
+    def test_forward_with_padding_preserves_size(self):
+        x = np.random.default_rng(0).standard_normal((2, 6, 6, 3))
+        w = np.random.default_rng(1).standard_normal((3, 3, 3, 4))
+        out = conv2d_forward(x, w, padding=1)
+        assert out.shape == (2, 6, 6, 4)
+
+    def test_forward_with_stride(self):
+        x = np.random.default_rng(0).standard_normal((1, 8, 8, 2))
+        w = np.random.default_rng(1).standard_normal((3, 3, 2, 2))
+        assert conv2d_forward(x, w, stride=2).shape == (1, 3, 3, 2)
+
+    def test_linearity_over_input_channels(self):
+        """Convolving channel slices separately and summing equals the full conv --
+        the property model parallelism relies on."""
+        rng = np.random.default_rng(3)
+        x = rng.standard_normal((2, 6, 6, 4))
+        w = rng.standard_normal((3, 3, 4, 5))
+        full = conv2d_forward(x, w)
+        split = conv2d_forward(x[..., :2], w[:, :, :2, :]) + conv2d_forward(
+            x[..., 2:], w[:, :, 2:, :]
+        )
+        np.testing.assert_allclose(full, split, atol=1e-12)
+
+    def test_weight_gradient_matches_numerical(self):
+        rng = np.random.default_rng(4)
+        x = rng.standard_normal((2, 5, 5, 2))
+        w = rng.standard_normal((3, 3, 2, 3))
+        grad_out = rng.standard_normal((2, 3, 3, 3))
+        analytic = conv2d_backward_weight(x, grad_out, kernel=3)
+        numerical = _numerical_gradient(
+            lambda: float((conv2d_forward(x, w) * grad_out).sum()), w
+        )
+        np.testing.assert_allclose(analytic, numerical, atol=1e-5)
+
+    def test_input_gradient_matches_numerical(self):
+        rng = np.random.default_rng(5)
+        x = rng.standard_normal((1, 5, 5, 2))
+        w = rng.standard_normal((3, 3, 2, 2))
+        grad_out = rng.standard_normal((1, 3, 3, 2))
+        analytic = conv2d_backward_input(grad_out, w, x.shape)
+        numerical = _numerical_gradient(
+            lambda: float((conv2d_forward(x, w) * grad_out).sum()), x
+        )
+        np.testing.assert_allclose(analytic, numerical, atol=1e-5)
+
+    def test_padded_gradients_match_numerical(self):
+        rng = np.random.default_rng(6)
+        x = rng.standard_normal((1, 4, 4, 2))
+        w = rng.standard_normal((3, 3, 2, 2))
+        grad_out = rng.standard_normal((1, 4, 4, 2))
+        analytic_w = conv2d_backward_weight(x, grad_out, kernel=3, padding=1)
+        numerical_w = _numerical_gradient(
+            lambda: float((conv2d_forward(x, w, padding=1) * grad_out).sum()), w
+        )
+        np.testing.assert_allclose(analytic_w, numerical_w, atol=1e-5)
+
+
+class TestReferenceNetwork:
+    def _network(self):
+        model = build_model(
+            "ref",
+            (6, 6, 2),
+            [
+                ConvLayer(name="conv", out_channels=4, kernel_size=3, activation=Activation.RELU),
+                FCLayer(name="fc", out_features=5, activation=Activation.NONE),
+            ],
+        )
+        return ReferenceNetwork(model, seed=7)
+
+    def test_forward_shapes(self):
+        network = self._network()
+        x = network.random_batch(3)
+        states = network.forward(x)
+        assert states[0].output.shape == (3, 4, 4, 4)
+        assert states[1].output.shape == (3, 5)
+
+    def test_training_step_fills_gradients(self):
+        network = self._network()
+        x = network.random_batch(3)
+        grad_output = np.ones((3, 5))
+        states = network.training_step(x, grad_output)
+        for index, state in enumerate(states):
+            assert state.grad_weight is not None
+            assert state.grad_weight.shape == network.weights[index].shape
+            assert state.grad_input is not None
+
+    def test_whole_network_gradient_matches_numerical(self):
+        network = self._network()
+        x = network.random_batch(2, seed=9)
+        grad_output = np.random.default_rng(10).standard_normal((2, 5))
+
+        def loss():
+            states = network.forward(x)
+            return float((states[-1].output * grad_output).sum())
+
+        states = network.training_step(x, grad_output)
+        numerical = _numerical_gradient(loss, network.weights[1])
+        np.testing.assert_allclose(states[1].grad_weight, numerical, atol=1e-5)
+
+    def test_grad_output_shape_checked(self):
+        network = self._network()
+        x = network.random_batch(3)
+        with pytest.raises(ValueError):
+            network.training_step(x, np.ones((3, 4)))
+
+    def test_reproducible_initialisation(self):
+        first = self._network()
+        second = self._network()
+        for a, b in zip(first.weights, second.weights):
+            np.testing.assert_array_equal(a, b)
+
+    def test_pooling_not_supported(self):
+        model = build_model(
+            "pooled",
+            (8, 8, 1),
+            [ConvLayer(name="conv", out_channels=2, kernel_size=3, pool=PoolSpec(2))],
+        )
+        with pytest.raises(UnsupportedLayerError):
+            ReferenceNetwork(model)

@@ -1,0 +1,125 @@
+"""Tests for feature-map shape arithmetic."""
+
+import pytest
+
+from repro.nn.shapes import (
+    FeatureMapShape,
+    ShapeError,
+    conv_output_shape,
+    pool_output_shape,
+)
+
+
+class TestFeatureMapShape:
+    def test_elements(self):
+        assert FeatureMapShape(4, 5, 3).elements == 60
+
+    def test_vector_shape_elements(self):
+        assert FeatureMapShape(1, 1, 784).elements == 784
+
+    def test_is_vector_true_for_flat_shape(self):
+        assert FeatureMapShape(1, 1, 10).is_vector
+
+    def test_is_vector_false_for_spatial_shape(self):
+        assert not FeatureMapShape(3, 3, 10).is_vector
+
+    def test_flattened_preserves_element_count(self):
+        shape = FeatureMapShape(7, 7, 64)
+        assert shape.flattened().elements == shape.elements
+        assert shape.flattened().is_vector
+
+    def test_rejects_zero_dimension(self):
+        with pytest.raises(ShapeError):
+            FeatureMapShape(0, 5, 3)
+
+    def test_rejects_negative_channels(self):
+        with pytest.raises(ShapeError):
+            FeatureMapShape(5, 5, -1)
+
+    def test_rejects_non_integer_dimension(self):
+        with pytest.raises(ShapeError):
+            FeatureMapShape(5.0, 5, 3)
+
+    def test_shapes_are_hashable_and_comparable(self):
+        assert FeatureMapShape(2, 2, 2) == FeatureMapShape(2, 2, 2)
+        assert len({FeatureMapShape(2, 2, 2), FeatureMapShape(2, 2, 2)}) == 1
+
+
+class TestConvOutputShape:
+    def test_basic_valid_convolution(self):
+        out = conv_output_shape(FeatureMapShape(28, 28, 1), kernel_size=5, out_channels=20)
+        assert out == FeatureMapShape(24, 24, 20)
+
+    def test_same_padding_preserves_spatial_size(self):
+        out = conv_output_shape(
+            FeatureMapShape(32, 32, 3), kernel_size=3, out_channels=16, padding=1
+        )
+        assert (out.height, out.width) == (32, 32)
+
+    def test_stride_reduces_spatial_size(self):
+        out = conv_output_shape(
+            FeatureMapShape(227, 227, 3), kernel_size=11, out_channels=96, stride=4
+        )
+        assert (out.height, out.width) == (55, 55)
+
+    def test_one_by_one_convolution(self):
+        out = conv_output_shape(FeatureMapShape(14, 14, 512), kernel_size=1, out_channels=256)
+        assert out == FeatureMapShape(14, 14, 256)
+
+    def test_kernel_larger_than_input_raises(self):
+        with pytest.raises(ShapeError):
+            conv_output_shape(FeatureMapShape(4, 4, 3), kernel_size=5, out_channels=8)
+
+    def test_rejects_non_positive_out_channels(self):
+        with pytest.raises(ShapeError):
+            conv_output_shape(FeatureMapShape(8, 8, 3), kernel_size=3, out_channels=0)
+
+    def test_rejects_negative_padding(self):
+        with pytest.raises(ShapeError):
+            conv_output_shape(
+                FeatureMapShape(8, 8, 3), kernel_size=3, out_channels=8, padding=-1
+            )
+
+    def test_rejects_zero_stride(self):
+        with pytest.raises(ShapeError):
+            conv_output_shape(
+                FeatureMapShape(8, 8, 3), kernel_size=3, out_channels=8, stride=0
+            )
+
+
+class TestPoolOutputShape:
+    def test_non_overlapping_pooling_halves_dimensions(self):
+        out = pool_output_shape(FeatureMapShape(24, 24, 20), pool_size=2)
+        assert out == FeatureMapShape(12, 12, 20)
+
+    def test_pooling_keeps_channel_count(self):
+        out = pool_output_shape(FeatureMapShape(8, 8, 50), pool_size=2)
+        assert out.channels == 50
+
+    def test_overlapping_pooling(self):
+        out = pool_output_shape(FeatureMapShape(55, 55, 96), pool_size=3, stride=2)
+        assert (out.height, out.width) == (27, 27)
+
+    def test_ceil_mode_rounds_up(self):
+        floor = pool_output_shape(FeatureMapShape(32, 32, 32), pool_size=3, stride=2)
+        ceil = pool_output_shape(
+            FeatureMapShape(32, 32, 32), pool_size=3, stride=2, ceil_mode=True
+        )
+        assert floor == FeatureMapShape(15, 15, 32)
+        assert ceil == FeatureMapShape(16, 16, 32)
+
+    def test_pool_covering_whole_map(self):
+        out = pool_output_shape(FeatureMapShape(4, 4, 10), pool_size=4)
+        assert out == FeatureMapShape(1, 1, 10)
+
+    def test_pool_larger_than_input_raises(self):
+        with pytest.raises(ShapeError):
+            pool_output_shape(FeatureMapShape(2, 2, 10), pool_size=4)
+
+    def test_rejects_zero_pool_size(self):
+        with pytest.raises(ShapeError):
+            pool_output_shape(FeatureMapShape(8, 8, 3), pool_size=0)
+
+    def test_rejects_negative_stride(self):
+        with pytest.raises(ShapeError):
+            pool_output_shape(FeatureMapShape(8, 8, 3), pool_size=2, stride=-1)

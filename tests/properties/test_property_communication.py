@@ -1,0 +1,123 @@
+"""Property-based tests for the communication model invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.communication import CommunicationModel
+from repro.core.parallelism import DATA, MODEL, LayerAssignment, Parallelism
+from repro.core.tensors import LayerTensors, TensorScale
+
+parallelisms = st.sampled_from([DATA, MODEL])
+amounts = st.floats(min_value=1.0, max_value=1e9, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def layer_tensor_records(draw, index=0):
+    return LayerTensors(
+        layer_index=index,
+        layer_name=f"layer{index}",
+        is_conv=draw(st.booleans()),
+        feature_in=draw(amounts),
+        feature_out=draw(amounts),
+        weight=draw(amounts),
+        macs=draw(amounts),
+    )
+
+
+@st.composite
+def tensor_chains(draw, min_layers=1, max_layers=8):
+    count = draw(st.integers(min_value=min_layers, max_value=max_layers))
+    return [draw(layer_tensor_records(index)) for index in range(count)]
+
+
+class TestTableInvariants:
+    @given(layer_tensor_records(), parallelisms)
+    def test_intra_layer_amount_non_negative(self, tensors, parallelism):
+        assert CommunicationModel.intra_layer_elements(tensors, parallelism) >= 0
+
+    @given(layer_tensor_records())
+    def test_intra_layer_amounts_match_table1(self, tensors):
+        assert CommunicationModel.intra_layer_elements(tensors, DATA) == tensors.gradient
+        assert CommunicationModel.intra_layer_elements(tensors, MODEL) == tensors.feature_out
+
+    @given(layer_tensor_records(), parallelisms, parallelisms)
+    def test_inter_layer_amount_non_negative_and_bounded(self, boundary, previous, current):
+        amount = CommunicationModel.inter_layer_elements(previous, current, boundary)
+        assert amount >= 0
+        # No transition moves more than half of each boundary tensor.
+        assert amount <= 0.5 * (boundary.feature_out + boundary.error_out) + 1e-9
+
+    @given(layer_tensor_records(), parallelisms, parallelisms)
+    def test_forward_backward_split_is_exact(self, boundary, previous, current):
+        total = CommunicationModel.inter_layer_elements(previous, current, boundary)
+        forward = CommunicationModel.inter_layer_forward_elements(previous, current, boundary)
+        backward = CommunicationModel.inter_layer_backward_elements(previous, current, boundary)
+        assert abs(forward + backward - total) < 1e-6
+
+    @given(layer_tensor_records())
+    def test_dp_dp_transition_is_always_free(self, boundary):
+        assert CommunicationModel.inter_layer_elements(DATA, DATA, boundary) == 0.0
+
+    @given(layer_tensor_records(), parallelisms)
+    def test_transitions_out_of_mp_cost_the_same(self, boundary, current):
+        """mp->dp and mp->mp both move half the error tensor (Table 2)."""
+        assert CommunicationModel.inter_layer_elements(
+            MODEL, DATA, boundary
+        ) == CommunicationModel.inter_layer_elements(MODEL, MODEL, boundary)
+
+
+class TestModelLevelInvariants:
+    @settings(max_examples=60)
+    @given(tensor_chains(), st.data())
+    def test_total_equals_breakdown_sum(self, tensors, data):
+        model = CommunicationModel()
+        assignment = LayerAssignment(
+            tuple(
+                data.draw(parallelisms, label=f"choice{i}") for i in range(len(tensors))
+            )
+        )
+        breakdown = model.layer_breakdown(tensors, assignment)
+        assert abs(
+            model.total_bytes(tensors, assignment)
+            - sum(record.total_bytes for record in breakdown)
+        ) < 1e-6
+
+    @settings(max_examples=60)
+    @given(tensor_chains())
+    def test_all_dp_total_is_scaled_gradient_sum(self, tensors):
+        model = CommunicationModel()
+        assignment = LayerAssignment.uniform(DATA, len(tensors))
+        expected = sum(t.gradient for t in tensors) * model.bytes_per_element * model.pair_factor
+        assert abs(model.total_bytes(tensors, assignment) - expected) < 1e-3
+
+    @settings(max_examples=60)
+    @given(tensor_chains(), st.integers(min_value=1, max_value=8))
+    def test_bytes_scale_linearly_with_pair_factor(self, tensors, factor):
+        base = CommunicationModel(pair_factor=1)
+        scaled = CommunicationModel(pair_factor=factor)
+        assignment = LayerAssignment.uniform(MODEL, len(tensors))
+        assert abs(
+            scaled.total_bytes(tensors, assignment)
+            - factor * base.total_bytes(tensors, assignment)
+        ) < 1e-3
+
+
+class TestScaleProperties:
+    @given(
+        st.sampled_from([DATA, MODEL]),
+        st.floats(min_value=0.01, max_value=1.0),
+        st.floats(min_value=0.01, max_value=1.0),
+    )
+    def test_descend_never_increases_fractions(self, choice, batch, weight):
+        from repro.core.tensors import ScalingMode
+
+        scale = TensorScale(batch, weight)
+        child = scale.descend(choice, ScalingMode.PARALLELISM_AWARE)
+        assert child.batch_fraction <= scale.batch_fraction
+        assert child.weight_fraction <= scale.weight_fraction
+        # Exactly one fraction halves.
+        halved = (
+            child.batch_fraction == scale.batch_fraction / 2,
+            child.weight_fraction == scale.weight_fraction / 2,
+        )
+        assert sum(halved) == 1

@@ -1,0 +1,111 @@
+"""Property-based tests for the discrete-event engine."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import EventDrivenEngine
+
+durations = st.floats(min_value=0.0, max_value=10.0, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def random_task_graphs(draw):
+    """Random DAGs: each task may depend on any subset of earlier tasks and
+    use one of a few shared resources."""
+    num_tasks = draw(st.integers(min_value=1, max_value=15))
+    num_resources = draw(st.integers(min_value=0, max_value=3))
+    graph = []
+    for index in range(num_tasks):
+        deps = sorted(
+            draw(
+                st.sets(
+                    st.integers(min_value=0, max_value=index - 1), max_size=min(index, 3)
+                )
+            )
+        ) if index else []
+        resource = (
+            draw(st.integers(min_value=0, max_value=num_resources - 1))
+            if num_resources
+            else None
+        )
+        graph.append((draw(durations), deps, resource))
+    return graph
+
+
+def _build(engine, graph):
+    tasks = []
+    for index, (duration, deps, resource) in enumerate(graph):
+        resources = (engine.resource(f"r{resource}"),) if resource is not None else ()
+        tasks.append(
+            engine.add_task(
+                f"t{index}",
+                duration,
+                resources=resources,
+                deps=tuple(tasks[d] for d in deps),
+            )
+        )
+    return tasks
+
+
+class TestScheduleInvariants:
+    @settings(max_examples=100, deadline=None)
+    @given(random_task_graphs())
+    def test_all_tasks_scheduled_with_correct_durations(self, graph):
+        engine = EventDrivenEngine()
+        _build(engine, graph)
+        schedule = engine.run()
+        assert len(schedule.tasks) == len(graph)
+        for index, (duration, _, _) in enumerate(graph):
+            task = schedule.task(f"t{index}")
+            assert abs(task.duration - duration) < 1e-9
+            assert task.start >= 0
+
+    @settings(max_examples=100, deadline=None)
+    @given(random_task_graphs())
+    def test_dependencies_respected(self, graph):
+        engine = EventDrivenEngine()
+        _build(engine, graph)
+        schedule = engine.run()
+        for index, (_, deps, _) in enumerate(graph):
+            task = schedule.task(f"t{index}")
+            for dep in deps:
+                assert schedule.task(f"t{dep}").end <= task.start + 1e-9
+
+    @settings(max_examples=100, deadline=None)
+    @given(random_task_graphs())
+    def test_resources_never_double_booked(self, graph):
+        engine = EventDrivenEngine()
+        _build(engine, graph)
+        schedule = engine.run()
+        by_resource = {}
+        for index, (_, _, resource) in enumerate(graph):
+            if resource is None:
+                continue
+            by_resource.setdefault(resource, []).append(schedule.task(f"t{index}"))
+        for tasks in by_resource.values():
+            intervals = sorted((t.start, t.end) for t in tasks)
+            for (s1, e1), (s2, e2) in zip(intervals, intervals[1:]):
+                assert e1 <= s2 + 1e-9
+
+    @settings(max_examples=100, deadline=None)
+    @given(random_task_graphs())
+    def test_makespan_bounds(self, graph):
+        engine = EventDrivenEngine()
+        _build(engine, graph)
+        schedule = engine.run()
+        total = sum(duration for duration, _, _ in graph)
+        longest = max(duration for duration, _, _ in graph)
+        assert longest - 1e-9 <= schedule.makespan <= total + 1e-9
+
+    @settings(max_examples=50, deadline=None)
+    @given(random_task_graphs())
+    def test_serial_resource_busy_time_bounded_by_makespan(self, graph):
+        engine = EventDrivenEngine()
+        _build(engine, graph)
+        schedule = engine.run()
+        busy = {}
+        for index, (duration, _, resource) in enumerate(graph):
+            if resource is not None:
+                busy[resource] = busy.get(resource, 0.0) + duration
+        for total_busy in busy.values():
+            assert total_busy <= schedule.makespan + 1e-9

@@ -1,0 +1,98 @@
+"""Property-based tests for the numerically-validated partitioned execution.
+
+For randomly generated small fully-connected networks and random dp/mp
+assignments, the partitioned two-group step must reproduce the monolithic
+step exactly and must move exactly the traffic the communication model
+predicts.  (Fully-connected stacks keep each hypothesis example cheap; the
+convolutional path is covered by the deterministic tests.)
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.communication import CommunicationModel
+from repro.core.execution import TwoGroupExecutor
+from repro.core.parallelism import LayerAssignment, Parallelism
+from repro.core.tensors import model_tensors
+from repro.nn.layers import Activation, FCLayer
+from repro.nn.model import build_model
+from repro.nn.reference import ReferenceNetwork
+
+parallelisms = st.sampled_from([Parallelism.DATA, Parallelism.MODEL])
+
+
+@st.composite
+def fc_networks(draw):
+    num_layers = draw(st.integers(min_value=1, max_value=4))
+    input_features = draw(st.sampled_from([4, 6, 8]))
+    specs = []
+    for index in range(num_layers):
+        activation = Activation.RELU if index < num_layers - 1 else Activation.NONE
+        specs.append(
+            FCLayer(
+                name=f"fc{index}",
+                out_features=draw(st.sampled_from([2, 4, 6, 10])),
+                activation=activation,
+            )
+        )
+    model = build_model("prop-fc", (1, 1, input_features), specs)
+    seed = draw(st.integers(min_value=0, max_value=1000))
+    return ReferenceNetwork(model, seed=seed)
+
+
+@st.composite
+def cases(draw):
+    network = draw(fc_networks())
+    assignment = LayerAssignment(
+        tuple(draw(parallelisms) for _ in range(len(network.model)))
+    )
+    batch = draw(st.sampled_from([2, 4, 8]))
+    return network, assignment, batch
+
+
+class TestPartitionedExecutionProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(cases())
+    def test_partitioned_step_matches_monolithic_step(self, case):
+        network, assignment, batch = case
+        x = network.random_batch(batch, seed=1)
+        rng = np.random.default_rng(2)
+        grad_output = rng.standard_normal(
+            (batch, network.model[-1].output_shape.elements)
+        )
+        reference = network.training_step(x, grad_output)
+        result = TwoGroupExecutor(network, assignment).run_step(x, grad_output)
+
+        np.testing.assert_allclose(result.output, reference[-1].output, atol=1e-9)
+        np.testing.assert_allclose(result.input_error, reference[0].grad_input, atol=1e-9)
+        for index, state in enumerate(reference):
+            np.testing.assert_allclose(
+                result.gradients[index], state.grad_weight, atol=1e-9
+            )
+
+    @settings(max_examples=50, deadline=None)
+    @given(cases())
+    def test_measured_traffic_equals_model_prediction(self, case):
+        network, assignment, batch = case
+        x = network.random_batch(batch, seed=3)
+        rng = np.random.default_rng(4)
+        grad_output = rng.standard_normal(
+            (batch, network.model[-1].output_shape.elements)
+        )
+        result = TwoGroupExecutor(network, assignment).run_step(x, grad_output)
+
+        comm = CommunicationModel()
+        tensors = model_tensors(network.model, batch)
+        predicted = comm.total_bytes(tensors, assignment)
+        measured = result.total_elements() * comm.bytes_per_element
+        assert abs(measured - predicted) <= 1e-6 * max(1.0, predicted)
+
+    @settings(max_examples=30, deadline=None)
+    @given(fc_networks(), st.sampled_from([2, 4, 8]))
+    def test_all_dp_moves_exactly_the_gradients(self, network, batch):
+        assignment = LayerAssignment.uniform(Parallelism.DATA, len(network.model))
+        x = network.random_batch(batch, seed=5)
+        grad_output = np.ones((batch, network.model[-1].output_shape.elements))
+        result = TwoGroupExecutor(network, assignment).run_step(x, grad_output)
+        assert result.total_elements() == 2 * network.model.total_weights

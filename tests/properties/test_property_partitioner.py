@@ -1,0 +1,142 @@
+"""Property-based tests for the partition search algorithms.
+
+The central property is *optimality*: on any randomly generated tensor
+chain small enough to brute-force, the dynamic program of Algorithm 1 must
+return exactly the cost of the best assignment found by exhaustive
+enumeration, and never return a cost above any specific assignment.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.exhaustive import all_layer_assignments, exhaustive_two_way
+from repro.core.hierarchical import HierarchicalPartitioner
+from repro.core.parallelism import DATA, MODEL, LayerAssignment
+from repro.core.partitioner import TwoWayPartitioner
+from repro.core.tensors import LayerTensors
+
+amounts = st.floats(min_value=1.0, max_value=1e8, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def tensor_chains(draw, min_layers=1, max_layers=7):
+    count = draw(st.integers(min_value=min_layers, max_value=max_layers))
+    chain = []
+    for index in range(count):
+        chain.append(
+            LayerTensors(
+                layer_index=index,
+                layer_name=f"layer{index}",
+                is_conv=draw(st.booleans()),
+                feature_in=draw(amounts),
+                feature_out=draw(amounts),
+                weight=draw(amounts),
+                macs=draw(amounts),
+            )
+        )
+    return chain
+
+
+class TestDynamicProgramOptimality:
+    @settings(max_examples=80, deadline=None)
+    @given(tensor_chains())
+    def test_matches_exhaustive_search(self, tensors):
+        partitioner = TwoWayPartitioner()
+        searched = partitioner.partition_tensors(tensors)
+        brute = exhaustive_two_way(tensors)
+        assert searched.communication_bytes <= brute.communication_bytes + 1e-6
+        assert abs(searched.communication_bytes - brute.communication_bytes) < 1e-6
+
+    @settings(max_examples=60, deadline=None)
+    @given(tensor_chains(max_layers=6))
+    def test_never_worse_than_any_assignment(self, tensors):
+        partitioner = TwoWayPartitioner()
+        best = partitioner.partition_tensors(tensors).communication_bytes
+        for assignment in all_layer_assignments(len(tensors)):
+            cost = partitioner.evaluate(tensors, assignment).communication_bytes
+            assert best <= cost + 1e-6
+
+    @settings(max_examples=60, deadline=None)
+    @given(tensor_chains())
+    def test_reported_cost_matches_reevaluation(self, tensors):
+        """The DP's accumulated cost equals the cost of re-evaluating its own
+        assignment from scratch (no double counting, no missing terms)."""
+        partitioner = TwoWayPartitioner()
+        searched = partitioner.partition_tensors(tensors)
+        recomputed = partitioner.evaluate(tensors, searched.assignment)
+        assert abs(searched.communication_bytes - recomputed.communication_bytes) < 1e-6
+
+    @settings(max_examples=40, deadline=None)
+    @given(tensor_chains())
+    def test_cost_non_negative_and_finite(self, tensors):
+        result = TwoWayPartitioner().partition_tensors(tensors)
+        assert 0 <= result.communication_bytes < float("inf")
+
+
+class TestSingleLayerDecision:
+    @given(layer=st.integers(min_value=0, max_value=0), data=st.data())
+    def test_single_layer_picks_smaller_intra_tensor(self, layer, data):
+        weight = data.draw(amounts, label="weight")
+        feature_out = data.draw(amounts, label="feature_out")
+        tensors = [
+            LayerTensors(
+                layer_index=0,
+                layer_name="only",
+                is_conv=True,
+                feature_in=1.0,
+                feature_out=feature_out,
+                weight=weight,
+                macs=1.0,
+            )
+        ]
+        choice = TwoWayPartitioner().partition_tensors(tensors).assignment[0]
+        if weight < feature_out:
+            assert choice is DATA
+        elif feature_out < weight:
+            assert choice is MODEL
+
+
+class TestHierarchicalProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(st.data())
+    def test_search_never_worse_than_uniform_baselines(self, data):
+        """Algorithm 2's result must beat (or tie) both default strategies on
+        random small models, at every batch size."""
+        from repro.nn.layers import ConvLayer, FCLayer
+        from repro.nn.model import build_model
+
+        num_fc = data.draw(st.integers(min_value=1, max_value=3), label="num_fc")
+        specs = [
+            ConvLayer(name="conv0", out_channels=data.draw(
+                st.integers(min_value=1, max_value=32), label="channels"), kernel_size=3, padding=1)
+        ]
+        specs += [
+            FCLayer(
+                name=f"fc{i}",
+                out_features=data.draw(st.integers(min_value=1, max_value=512), label=f"fc{i}"),
+            )
+            for i in range(num_fc)
+        ]
+        model = build_model("random", (16, 16, 3), specs)
+        batch = data.draw(st.sampled_from([8, 64, 512]), label="batch")
+        partitioner = HierarchicalPartitioner(num_levels=3)
+        searched = partitioner.partition(model, batch).total_communication_bytes
+        for uniform in (DATA, MODEL):
+            baseline = partitioner.evaluate_uniform(model, uniform, batch)
+            assert searched <= baseline.total_communication_bytes + 1e-6
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=1, max_value=5))
+    def test_total_communication_grows_with_levels_for_fixed_model(self, num_levels):
+        """Adding hierarchy levels (more accelerators) never reduces the total
+        traffic of the all-dp baseline: every level adds gradient exchanges."""
+        from repro.nn.model_zoo import lenet_c
+
+        model = lenet_c()
+        totals = []
+        for levels in range(1, num_levels + 1):
+            partitioner = HierarchicalPartitioner(num_levels=levels)
+            totals.append(
+                partitioner.evaluate_uniform(model, DATA, 256).total_communication_bytes
+            )
+        assert totals == sorted(totals)

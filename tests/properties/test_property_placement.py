@@ -1,0 +1,139 @@
+"""Property-based tests for tensor placement and communication traces."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.hierarchical import HierarchicalPartitioner
+from repro.core.parallelism import HierarchicalAssignment, LayerAssignment, Parallelism
+from repro.core.placement import TensorPlacement
+from repro.nn.layers import ConvLayer, FCLayer
+from repro.nn.model import build_model
+from repro.sim.trace import TraceBuilder
+
+parallelisms = st.sampled_from([Parallelism.DATA, Parallelism.MODEL])
+
+
+@st.composite
+def small_models(draw):
+    num_fc = draw(st.integers(min_value=1, max_value=3))
+    specs = [
+        ConvLayer(
+            name="conv0",
+            out_channels=draw(st.integers(min_value=2, max_value=16)),
+            kernel_size=3,
+            padding=1,
+        )
+    ]
+    specs += [
+        FCLayer(
+            name=f"fc{i}",
+            out_features=draw(st.integers(min_value=2, max_value=64)),
+        )
+        for i in range(num_fc)
+    ]
+    return build_model("prop", (8, 8, 2), specs)
+
+
+@st.composite
+def assignments_for(draw, model, max_levels=4):
+    num_levels = draw(st.integers(min_value=1, max_value=max_levels))
+    levels = []
+    for _ in range(num_levels):
+        levels.append(
+            LayerAssignment(
+                tuple(draw(parallelisms) for _ in range(len(model)))
+            )
+        )
+    return HierarchicalAssignment(tuple(levels))
+
+
+class TestPlacementProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(st.data())
+    def test_every_shard_holds_an_equal_share(self, data):
+        model = data.draw(small_models())
+        assignment = data.draw(assignments_for(model))
+        placement = TensorPlacement(model, assignment)
+        expected = 1.0 / assignment.num_accelerators
+        for layer in model:
+            for shard in placement.layer_shards(layer.index):
+                share = shard.batch_interval.length * shard.weight_interval.length
+                assert abs(share - expected) < 1e-12
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.data())
+    def test_replication_factors_follow_choice_counts(self, data):
+        """Kernel replication is 2^(#dp levels) and output replication 2^(#mp levels)."""
+        model = data.draw(small_models())
+        assignment = data.draw(assignments_for(model))
+        placement = TensorPlacement(model, assignment)
+        for layer in model:
+            choices = assignment.layer_choices(layer.index)
+            dp_levels = sum(choice is Parallelism.DATA for choice in choices)
+            mp_levels = len(choices) - dp_levels
+            assert abs(
+                placement.weight_replication_factor(layer.index) - 2**dp_levels
+            ) < 1e-9
+            assert abs(
+                placement.feature_out_replication_factor(layer.index) - 2**mp_levels
+            ) < 1e-9
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.data())
+    def test_validation_always_passes_for_generated_assignments(self, data):
+        model = data.draw(small_models())
+        assignment = data.draw(assignments_for(model))
+        TensorPlacement(model, assignment).validate()
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.data(), st.sampled_from([16, 64, 256]))
+    def test_footprints_are_balanced_and_positive(self, data, batch):
+        model = data.draw(small_models())
+        assignment = data.draw(assignments_for(model))
+        placement = TensorPlacement(model, assignment)
+        footprints = placement.memory_footprint(batch)
+        totals = [footprint.total_bytes for footprint in footprints]
+        assert min(totals) > 0
+        assert abs(max(totals) - min(totals)) < 1e-6 * max(totals)
+
+
+class TestTraceProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(st.data(), st.sampled_from([16, 128]))
+    def test_trace_total_matches_partitioner_objective(self, data, batch):
+        model = data.draw(small_models())
+        assignment = data.draw(assignments_for(model, max_levels=3))
+        partitioner = HierarchicalPartitioner(num_levels=assignment.num_levels)
+        trace = TraceBuilder().build(model, assignment, batch)
+        expected = partitioner.evaluate(model, assignment, batch)
+        assert abs(
+            trace.total_bytes - expected.total_communication_bytes
+        ) <= 1e-6 * max(1.0, expected.total_communication_bytes)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.data())
+    def test_transfers_stay_within_pair_boundaries(self, data):
+        """A transfer at level h connects accelerators whose index prefixes agree."""
+        model = data.draw(small_models())
+        assignment = data.draw(assignments_for(model, max_levels=3))
+        trace = TraceBuilder().build(model, assignment, 32)
+        num_levels = assignment.num_levels
+        for transfer in trace.transfers:
+            # The two endpoints share the top `transfer.level` index bits and
+            # differ in the next one (they sit on opposite sides of the pair).
+            shift = num_levels - transfer.level
+            assert transfer.source >> shift == transfer.destination >> shift
+            assert (transfer.source >> (shift - 1)) != (transfer.destination >> (shift - 1))
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.data())
+    def test_traffic_is_direction_symmetric(self, data):
+        model = data.draw(small_models())
+        assignment = data.draw(assignments_for(model, max_levels=3))
+        trace = TraceBuilder().build(model, assignment, 32)
+        directed: dict = {}
+        for transfer in trace.transfers:
+            key = (transfer.source, transfer.destination)
+            directed[key] = directed.get(key, 0.0) + transfer.num_bytes
+        for (source, destination), volume in directed.items():
+            assert abs(directed[(destination, source)] - volume) < 1e-9

@@ -1,0 +1,122 @@
+"""Property-based tests for shape arithmetic and model construction."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.layers import ConvLayer, FCLayer, PoolSpec
+from repro.nn.model import build_model
+from repro.nn.shapes import FeatureMapShape, conv_output_shape, pool_output_shape
+
+dimensions = st.integers(min_value=1, max_value=64)
+channels = st.integers(min_value=1, max_value=128)
+
+
+@st.composite
+def feature_map_shapes(draw):
+    return FeatureMapShape(draw(dimensions), draw(dimensions), draw(channels))
+
+
+class TestShapeProperties:
+    @given(feature_map_shapes())
+    def test_elements_positive(self, shape):
+        assert shape.elements > 0
+
+    @given(feature_map_shapes())
+    def test_flatten_is_idempotent_and_preserves_elements(self, shape):
+        flat = shape.flattened()
+        assert flat.elements == shape.elements
+        assert flat.flattened() == flat
+
+    @given(
+        in_dim=st.integers(min_value=8, max_value=128),
+        in_channels=channels,
+        kernel=st.integers(min_value=1, max_value=7),
+        out_channels=channels,
+        stride=st.integers(min_value=1, max_value=3),
+        padding=st.integers(min_value=0, max_value=3),
+    )
+    def test_conv_output_never_larger_than_padded_input(
+        self, in_dim, in_channels, kernel, out_channels, stride, padding
+    ):
+        shape = FeatureMapShape(in_dim, in_dim, in_channels)
+        out = conv_output_shape(shape, kernel, out_channels, stride, padding)
+        assert out.height <= in_dim + 2 * padding
+        assert out.width <= in_dim + 2 * padding
+        assert out.channels == out_channels
+
+    @given(
+        in_dim=st.integers(min_value=2, max_value=128),
+        pool=st.integers(min_value=1, max_value=4),
+    )
+    def test_pooling_never_grows_the_map(self, in_dim, pool):
+        if pool > in_dim:
+            return
+        shape = FeatureMapShape(in_dim, in_dim, 8)
+        out = pool_output_shape(shape, pool)
+        assert out.height <= in_dim
+        assert out.channels == shape.channels
+
+    @given(
+        in_dim=st.integers(min_value=4, max_value=64),
+        pool=st.integers(min_value=2, max_value=4),
+    )
+    def test_ceil_mode_never_smaller_than_floor_mode(self, in_dim, pool):
+        shape = FeatureMapShape(in_dim, in_dim, 4)
+        floor = pool_output_shape(shape, pool)
+        ceil = pool_output_shape(shape, pool, ceil_mode=True)
+        assert ceil.height >= floor.height
+        assert ceil.height - floor.height <= 1
+
+
+@st.composite
+def random_models(draw):
+    """Random small conv+fc stacks with consistent shapes."""
+    input_size = draw(st.sampled_from([16, 24, 32]))
+    input_channels = draw(st.integers(min_value=1, max_value=4))
+    num_conv = draw(st.integers(min_value=0, max_value=3))
+    num_fc = draw(st.integers(min_value=1, max_value=3))
+    specs = []
+    for index in range(num_conv):
+        specs.append(
+            ConvLayer(
+                name=f"conv{index}",
+                out_channels=draw(st.integers(min_value=1, max_value=32)),
+                kernel_size=3,
+                padding=1,
+                pool=PoolSpec(2) if draw(st.booleans()) else None,
+            )
+        )
+    for index in range(num_fc):
+        specs.append(
+            FCLayer(name=f"fc{index}", out_features=draw(st.integers(min_value=1, max_value=256)))
+        )
+    return build_model("random", (input_size, input_size, input_channels), specs)
+
+
+class TestModelProperties:
+    @settings(max_examples=50)
+    @given(random_models())
+    def test_layer_count_and_indices(self, model):
+        assert len(model) == model.num_conv_layers + model.num_fc_layers
+        assert [layer.index for layer in model] == list(range(len(model)))
+
+    @settings(max_examples=50)
+    @given(random_models())
+    def test_shapes_chain(self, model):
+        for previous, current in zip(model, list(model)[1:]):
+            if current.is_fc:
+                assert current.input_shape.elements == previous.post_pool_shape.elements
+            else:
+                assert current.input_shape == previous.post_pool_shape
+
+    @settings(max_examples=50)
+    @given(random_models())
+    def test_weights_and_macs_positive(self, model):
+        for layer in model:
+            assert layer.weight_count > 0
+            assert layer.macs_per_sample > 0
+
+    @settings(max_examples=30)
+    @given(random_models(), st.integers(min_value=1, max_value=512))
+    def test_total_macs_linear_in_batch(self, model, batch):
+        assert model.total_macs(batch) == batch * model.total_macs(1)

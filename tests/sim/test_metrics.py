@@ -1,0 +1,77 @@
+"""Tests for the training-step report records."""
+
+import pytest
+
+from repro.sim.metrics import EnergyBreakdown, PhaseBreakdown, TrainingStepReport
+
+
+def _report(step_seconds=2.0, comm_joules=1.0, comm_bytes=4e9, strategy="HyPar"):
+    return TrainingStepReport(
+        model_name="toy",
+        strategy_name=strategy,
+        topology_name="h-tree",
+        num_accelerators=16,
+        batch_size=256,
+        step_seconds=step_seconds,
+        energy=EnergyBreakdown(
+            compute_joules=10.0,
+            sram_joules=5.0,
+            dram_joules=3.0,
+            communication_joules=comm_joules,
+        ),
+        communication_bytes=comm_bytes,
+        phase_seconds={
+            "forward": PhaseBreakdown(compute_seconds=0.5, communication_seconds=0.2),
+            "backward": PhaseBreakdown(compute_seconds=0.5, communication_seconds=0.1),
+            "gradient": PhaseBreakdown(compute_seconds=0.5, communication_seconds=0.2),
+        },
+        level_communication_bytes=(1e9, 1e9, 1e9, 1e9),
+    )
+
+
+class TestEnergyBreakdown:
+    def test_total(self):
+        energy = EnergyBreakdown(1.0, 2.0, 3.0, 4.0)
+        assert energy.total_joules == pytest.approx(10.0)
+
+    def test_parallelism_independent_share(self):
+        energy = EnergyBreakdown(1.0, 2.0, 3.0, 4.0)
+        assert energy.parallelism_independent_joules == pytest.approx(6.0)
+
+
+class TestPhaseBreakdown:
+    def test_total(self):
+        assert PhaseBreakdown(1.0, 0.5).total_seconds == pytest.approx(1.5)
+
+
+class TestTrainingStepReport:
+    def test_energy_total(self):
+        assert _report().energy_joules == pytest.approx(19.0)
+
+    def test_throughput(self):
+        assert _report(step_seconds=2.0).throughput_samples_per_second == pytest.approx(128.0)
+
+    def test_communication_gb(self):
+        assert _report(comm_bytes=4e9).communication_gb == pytest.approx(4.0)
+
+    def test_compute_and_communication_seconds(self):
+        report = _report()
+        assert report.compute_seconds == pytest.approx(1.5)
+        assert report.communication_seconds == pytest.approx(0.5)
+
+    def test_speedup_over(self):
+        fast = _report(step_seconds=1.0)
+        slow = _report(step_seconds=4.0, strategy="Data Parallelism")
+        assert fast.speedup_over(slow) == pytest.approx(4.0)
+        assert slow.speedup_over(fast) == pytest.approx(0.25)
+
+    def test_energy_efficiency_over(self):
+        efficient = _report(comm_joules=1.0)
+        wasteful = _report(comm_joules=19.0, strategy="Model Parallelism")
+        assert efficient.energy_efficiency_over(wasteful) == pytest.approx(37.0 / 19.0)
+
+    def test_summary_mentions_key_fields(self):
+        summary = _report().summary()
+        assert "toy" in summary
+        assert "HyPar" in summary
+        assert "h-tree" in summary

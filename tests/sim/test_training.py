@@ -1,0 +1,194 @@
+"""Tests for the training-step simulator."""
+
+import pytest
+
+from repro.accelerator.array import ArrayConfig
+from repro.core.baselines import data_parallelism, model_parallelism
+from repro.core.hierarchical import HierarchicalPartitioner
+from repro.core.parallelism import DATA, HierarchicalAssignment
+from repro.interconnect import HTreeTopology, TorusTopology
+from repro.sim.training import PHASES, TrainingSimulator, simulate_partitioned
+
+
+@pytest.fixture(scope="module")
+def simulator():
+    return TrainingSimulator(ArrayConfig())
+
+
+@pytest.fixture(scope="module")
+def small_simulator():
+    return TrainingSimulator(ArrayConfig(num_accelerators=4))
+
+
+class TestReportStructure:
+    def test_report_identification(self, simulator, lenet_model):
+        assignment = data_parallelism(lenet_model, 4)
+        report = simulator.simulate(lenet_model, assignment, 256, "Data Parallelism")
+        assert report.model_name == "Lenet-c"
+        assert report.strategy_name == "Data Parallelism"
+        assert report.topology_name == "h-tree"
+        assert report.num_accelerators == 16
+        assert report.batch_size == 256
+
+    def test_positive_time_and_energy(self, simulator, lenet_model):
+        report = simulator.simulate(lenet_model, data_parallelism(lenet_model, 4), 256)
+        assert report.step_seconds > 0
+        assert report.energy_joules > 0
+
+    def test_phase_breakdown_covers_three_phases(self, simulator, lenet_model):
+        report = simulator.simulate(lenet_model, data_parallelism(lenet_model, 4), 256)
+        assert set(report.phase_seconds) == set(PHASES)
+        for phase in PHASES:
+            assert report.phase_seconds[phase].compute_seconds > 0
+
+    def test_level_communication_has_one_entry_per_level(self, simulator, lenet_model):
+        report = simulator.simulate(lenet_model, data_parallelism(lenet_model, 4), 256)
+        assert len(report.level_communication_bytes) == 4
+        assert report.communication_bytes == pytest.approx(
+            sum(report.level_communication_bytes)
+        )
+
+    def test_makespan_at_least_sum_of_compute(self, simulator, lenet_model):
+        report = simulator.simulate(lenet_model, data_parallelism(lenet_model, 4), 256)
+        assert report.step_seconds >= report.compute_seconds
+
+
+class TestCommunicationAccounting:
+    def test_simulated_traffic_matches_partitioner_cost(self, simulator, alexnet_model):
+        """The simulator's byte counter must agree with Algorithm 2's objective."""
+        partitioner = HierarchicalPartitioner(num_levels=4)
+        for assignment in (
+            data_parallelism(alexnet_model, 4),
+            model_parallelism(alexnet_model, 4),
+            partitioner.partition(alexnet_model, 256).assignment,
+        ):
+            report = simulator.simulate(alexnet_model, assignment, 256)
+            expected = partitioner.evaluate(
+                alexnet_model, assignment, 256
+            ).total_communication_bytes
+            assert report.communication_bytes == pytest.approx(expected, rel=1e-9)
+
+    def test_data_parallelism_has_no_forward_communication(self, simulator, sconv_model):
+        report = simulator.simulate(sconv_model, data_parallelism(sconv_model, 4), 256)
+        assert report.phase_seconds["forward"].communication_seconds == pytest.approx(0.0)
+        assert report.phase_seconds["gradient"].communication_seconds > 0
+
+    def test_model_parallelism_has_forward_communication(self, simulator, sconv_model):
+        report = simulator.simulate(sconv_model, model_parallelism(sconv_model, 4), 256)
+        assert report.phase_seconds["forward"].communication_seconds > 0
+
+    def test_energy_communication_component_tracks_traffic(self, simulator, vgg_a_model):
+        dp = simulator.simulate(vgg_a_model, data_parallelism(vgg_a_model, 4), 256)
+        hypar_assignment = HierarchicalPartitioner(num_levels=4).partition(
+            vgg_a_model, 256
+        ).assignment
+        hypar = simulator.simulate(vgg_a_model, hypar_assignment, 256)
+        assert hypar.communication_bytes < dp.communication_bytes
+        assert hypar.energy.communication_joules < dp.energy.communication_joules
+
+    def test_parallelism_independent_energy_is_strategy_invariant(
+        self, simulator, alexnet_model
+    ):
+        dp = simulator.simulate(alexnet_model, data_parallelism(alexnet_model, 4), 256)
+        mp = simulator.simulate(alexnet_model, model_parallelism(alexnet_model, 4), 256)
+        assert dp.energy.parallelism_independent_joules == pytest.approx(
+            mp.energy.parallelism_independent_joules, rel=1e-9
+        )
+
+
+class TestStrategyOrdering:
+    def test_hypar_is_fastest_on_alexnet(self, simulator, alexnet_model):
+        partitioner = HierarchicalPartitioner(num_levels=4)
+        hypar = partitioner.partition(alexnet_model, 256).assignment
+        reports = {
+            "dp": simulator.simulate(alexnet_model, data_parallelism(alexnet_model, 4), 256),
+            "mp": simulator.simulate(alexnet_model, model_parallelism(alexnet_model, 4), 256),
+            "hypar": simulator.simulate(alexnet_model, hypar, 256),
+        }
+        assert reports["hypar"].step_seconds <= reports["dp"].step_seconds
+        assert reports["hypar"].step_seconds <= reports["mp"].step_seconds
+
+    def test_model_parallelism_is_worst_on_conv_networks(self, simulator, sconv_model):
+        dp = simulator.simulate(sconv_model, data_parallelism(sconv_model, 4), 256)
+        mp = simulator.simulate(sconv_model, model_parallelism(sconv_model, 4), 256)
+        assert mp.step_seconds > dp.step_seconds
+
+    def test_data_parallelism_is_worst_on_fc_networks(self, simulator, sfc_model):
+        dp = simulator.simulate(sfc_model, data_parallelism(sfc_model, 4), 256)
+        mp = simulator.simulate(sfc_model, model_parallelism(sfc_model, 4), 256)
+        assert dp.step_seconds > mp.step_seconds
+
+
+class TestArraySizes:
+    def test_single_accelerator_has_no_communication(self, lenet_model):
+        simulator = TrainingSimulator(ArrayConfig(num_accelerators=1))
+        report = simulator.simulate(lenet_model, None, 256)
+        assert report.communication_bytes == 0.0
+        assert report.energy.communication_joules == 0.0
+        assert report.topology_name == "none"
+
+    def test_single_accelerator_rejects_assignment(self, lenet_model):
+        simulator = TrainingSimulator(ArrayConfig(num_accelerators=1))
+        with pytest.raises(ValueError):
+            simulator.simulate(lenet_model, data_parallelism(lenet_model, 1), 256)
+
+    def test_multi_accelerator_requires_assignment(self, simulator, lenet_model):
+        with pytest.raises(ValueError):
+            simulator.simulate(lenet_model, None, 256)
+
+    def test_level_count_mismatch_rejected(self, small_simulator, lenet_model):
+        with pytest.raises(ValueError):
+            small_simulator.simulate(lenet_model, data_parallelism(lenet_model, 4), 256)
+
+    def test_layer_count_mismatch_rejected(self, simulator, lenet_model, alexnet_model):
+        with pytest.raises(ValueError):
+            simulator.simulate(lenet_model, data_parallelism(alexnet_model, 4), 256)
+
+    def test_more_accelerators_speed_up_hypar(self, vgg_a_model):
+        """On a compute-heavy network HyPar keeps getting faster as the array grows."""
+        times = []
+        for size in (2, 4, 16):
+            array = ArrayConfig(num_accelerators=size)
+            simulator = TrainingSimulator(array)
+            partitioner = HierarchicalPartitioner(num_levels=array.num_levels)
+            assignment = partitioner.partition(vgg_a_model, 256).assignment
+            times.append(simulator.simulate(vgg_a_model, assignment, 256).step_seconds)
+        assert times[0] > times[1] > times[2]
+
+
+class TestTopologies:
+    def test_torus_is_not_faster_than_htree_for_hypar(self, alexnet_model):
+        array = ArrayConfig()
+        assignment = HierarchicalPartitioner(num_levels=4).partition(
+            alexnet_model, 256
+        ).assignment
+        htree = TrainingSimulator(
+            array, HTreeTopology(16, array.link_bandwidth_bytes)
+        ).simulate(alexnet_model, assignment, 256)
+        torus = TrainingSimulator(
+            array, TorusTopology(16, array.link_bandwidth_bytes)
+        ).simulate(alexnet_model, assignment, 256)
+        assert torus.step_seconds >= htree.step_seconds
+
+    def test_topology_array_size_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            TrainingSimulator(ArrayConfig(num_accelerators=16), HTreeTopology(8, 200e6))
+
+    def test_single_accelerator_with_topology_rejected(self):
+        with pytest.raises(ValueError):
+            TrainingSimulator(ArrayConfig(num_accelerators=1), HTreeTopology(2, 200e6))
+
+
+class TestSimulatePartitioned:
+    def test_returns_report_and_assignment(self, lenet_model):
+        report, assignment = simulate_partitioned(lenet_model, batch_size=256)
+        assert report.strategy_name == "HyPar"
+        assert assignment.num_levels == 4
+        assert report.communication_bytes > 0
+
+    def test_custom_array_size(self, lenet_model):
+        report, assignment = simulate_partitioned(
+            lenet_model, batch_size=64, array=ArrayConfig(num_accelerators=4)
+        )
+        assert report.num_accelerators == 4
+        assert assignment.num_levels == 2

@@ -1,0 +1,101 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_models_command_parses(self):
+        args = build_parser().parse_args(["models"])
+        assert args.command == "models"
+
+    def test_partition_requires_model(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["partition"])
+
+    def test_common_options(self):
+        args = build_parser().parse_args(
+            ["partition", "AlexNet", "--batch-size", "64", "--accelerators", "4"]
+        )
+        assert args.batch_size == 64
+        assert args.accelerators == 4
+
+    def test_scaling_mode_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["partition", "AlexNet", "--scaling-mode", "bogus"]
+            )
+
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_models_lists_all_networks(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        for name in ("SFC", "SCONV", "Lenet-c", "AlexNet", "VGG-E"):
+            assert name in out
+
+    def test_partition_prints_parallelism_lists(self, capsys):
+        assert main(["partition", "Lenet-c"]) == 0
+        out = capsys.readouterr().out
+        assert "H1" in out and "H4" in out
+        assert "dp" in out and "mp" in out
+
+    def test_partition_respects_accelerator_count(self, capsys):
+        assert main(["partition", "Lenet-c", "--accelerators", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "4 accelerators" in out
+        assert "H3" not in out
+
+    def test_compare_single_model(self, capsys):
+        assert main(["compare", "Lenet-c", "--accelerators", "4", "--batch-size", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 6" in out
+        assert "Figure 7" in out
+        assert "Figure 8" in out
+        assert "Lenet-c" in out
+
+    def test_scalability_command(self, capsys):
+        assert (
+            main(
+                [
+                    "scalability",
+                    "--model",
+                    "Lenet-c",
+                    "--sizes",
+                    "1,2,4",
+                    "--batch-size",
+                    "64",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Figure 11" in out
+
+    def test_topology_command(self, capsys):
+        assert main(["topology", "Lenet-c", "--batch-size", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 12" in out
+        assert "Torus" in out and "H Tree" in out
+
+    def test_placement_command(self, capsys):
+        assert main(["placement", "Lenet-c", "--accelerators", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "replicated" in out
+        assert "footprint" in out
+
+    def test_trace_command(self, capsys):
+        assert main(["trace", "Lenet-c", "--accelerators", "4", "--batch-size", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "transfers" in out
+        assert "by phase" in out
+        assert "H1" in out
+
+    def test_unknown_model_raises_keyerror(self):
+        with pytest.raises(KeyError):
+            main(["partition", "resnet-50"])

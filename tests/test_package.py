@@ -1,0 +1,63 @@
+"""Tests for the top-level package surface."""
+
+import repro
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.{name} missing"
+
+    def test_key_classes_importable_from_top_level(self):
+        assert repro.Parallelism.DATA.short == "dp"
+        assert repro.HierarchicalPartitioner(num_levels=4).num_accelerators == 16
+        assert repro.ArrayConfig().num_accelerators == 16
+
+    def test_subpackages_importable(self):
+        import repro.accelerator
+        import repro.analysis
+        import repro.core
+        import repro.interconnect
+        import repro.nn
+        import repro.sim
+
+        for module in (
+            repro.core,
+            repro.nn,
+            repro.accelerator,
+            repro.interconnect,
+            repro.sim,
+            repro.analysis,
+        ):
+            assert module.__doc__
+
+    def test_subpackage_all_exports_resolve(self):
+        import repro.accelerator
+        import repro.analysis
+        import repro.core
+        import repro.interconnect
+        import repro.nn
+        import repro.sim
+
+        for module in (
+            repro.core,
+            repro.nn,
+            repro.accelerator,
+            repro.interconnect,
+            repro.sim,
+            repro.analysis,
+        ):
+            for name in module.__all__:
+                assert hasattr(module, name), f"{module.__name__}.{name} missing"
+
+    def test_public_functions_have_docstrings(self):
+        """Every public callable exported at the top level carries a docstring."""
+        for name in repro.__all__:
+            if name.startswith("__"):
+                continue
+            member = getattr(repro, name)
+            if callable(member):
+                assert member.__doc__, f"repro.{name} lacks a docstring"
