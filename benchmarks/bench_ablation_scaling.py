@@ -8,7 +8,8 @@ implemented modes on the full model zoo:
 * ``parallelism-aware`` (default) -- dp halves the per-group batch, mp
   halves the per-group kernel/output channels (matches the tensor holdings
   of Figure 1);
-* ``uniform`` -- every amount halves per level regardless of the choice;
+* ``uniform`` -- the batch fraction halves per level regardless of the
+  choice (feature maps, errors and MACs halve; kernels stay whole);
 * ``none`` -- the literal pseudocode: identical amounts at every level.
 
 The headline observation: the qualitative result (HyPar >> Data

@@ -1,0 +1,153 @@
+"""Throughput of the vectorized enumeration / sweep engine.
+
+The acceptance bar for the cost-table engine is a >= 20x speedup of the
+enumeration workloads over the original per-candidate object path:
+
+* ``exhaustive_two_way`` over the 2^20 assignments of a 20-layer synthetic
+  network, and
+* the Figure 9 Lenet-c sweep (256 restricted candidates).
+
+Each bench times the vectorized path with ``pytest-benchmark`` and *also*
+times the in-tree object-based reference path on (a slice of) the same
+workload inside the run, recording both throughputs and their ratio in
+``benchmark.extra_info`` -- so ``BENCH_search.json`` carries the measured
+speedup, not a number transcribed from an old run.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.analysis.exploration import ParallelismExplorer
+from repro.core.exhaustive import (
+    enumerate_restricted,
+    enumerate_restricted_communication,
+    exhaustive_two_way,
+)
+from repro.core.hierarchical import HierarchicalPartitioner
+from repro.core.parallelism import LayerAssignment
+from repro.core.partitioner import TwoWayPartitioner
+from repro.core.tensors import model_tensors
+from repro.nn.layers import ConvLayer
+from repro.nn.model import build_model
+from repro.nn.model_zoo import lenet_c
+
+from conftest import emit
+
+
+def _synthetic_network(depth: int):
+    specs = [
+        ConvLayer(name=f"conv{i}", out_channels=16, kernel_size=3, padding=1)
+        for i in range(depth)
+    ]
+    return build_model(f"synthetic-{depth}", (32, 32, 16), specs)
+
+
+def _figure9_free_positions(model, num_levels: int) -> list[tuple[int, int]]:
+    """All layers at the first and the last hierarchy level (Figure 9)."""
+    free = [(0, layer) for layer in range(len(model))]
+    free += [(num_levels - 1, layer) for layer in range(len(model))]
+    return free
+
+
+def test_exhaustive_two_way_20_layer_throughput(benchmark):
+    """2^20 candidates scored in batched NumPy ops vs the object loop."""
+    tensors = model_tensors(_synthetic_network(20), 32)
+    num_layers = len(tensors)
+    candidates = 1 << num_layers
+
+    result = benchmark(exhaustive_two_way, tensors)
+
+    # Reference throughput, measured like-for-like: the same per-candidate
+    # object-path work (LayerAssignment decode + evaluate) over the same
+    # 20-layer tensors, on a 2^14 slice of the space (the full space takes
+    # ~40 s per round in pure Python).
+    reference_candidates = 1 << 14
+    partitioner = TwoWayPartitioner()
+    start = time.perf_counter()
+    best = np.inf
+    for bits in range(reference_candidates):
+        assignment = LayerAssignment.from_bits(bits, num_layers)
+        cost = partitioner.evaluate(tensors, assignment).communication_bytes
+        if cost < best:
+            best = cost
+    reference_seconds = time.perf_counter() - start
+
+    vectorized_cps = candidates / benchmark.stats.stats.mean
+    reference_cps = reference_candidates / reference_seconds
+    benchmark.extra_info["candidates"] = candidates
+    benchmark.extra_info["candidates_per_second"] = vectorized_cps
+    benchmark.extra_info["reference_candidates_per_second"] = reference_cps
+    benchmark.extra_info["speedup_vs_reference"] = vectorized_cps / reference_cps
+    emit(
+        "Sweep throughput: exhaustive two-way, 20-layer synthetic network",
+        f"vectorized: {vectorized_cps:,.0f} candidates/s\n"
+        f"reference : {reference_cps:,.0f} candidates/s\n"
+        f"speedup   : {vectorized_cps / reference_cps:.1f}x "
+        f"(optimum {result.communication_bytes / 1e6:.3f} MB)",
+    )
+    assert vectorized_cps >= 20 * reference_cps
+
+
+def test_restricted_sweep_communication_throughput(benchmark):
+    """Figure 9's 256 candidates scored against the hierarchical cost table."""
+    model = lenet_c()
+    partitioner = HierarchicalPartitioner(num_levels=4)
+    table = partitioner.compile_table(model, 256)
+    base = partitioner.partition(model, 256, table=table).assignment
+    free = _figure9_free_positions(model, 4)
+    candidates = 1 << len(free)
+
+    totals = benchmark(
+        enumerate_restricted_communication, model, 256, base, free, table=table
+    )
+
+    def reference_objective(assignment):
+        return partitioner.evaluate(
+            model, assignment, 256, table=table
+        ).total_communication_bytes
+
+    start = time.perf_counter()
+    reference = enumerate_restricted(model, 256, base, free, reference_objective)
+    reference_seconds = time.perf_counter() - start
+    assert [cost for _, cost in reference] == list(totals)
+
+    vectorized_cps = candidates / benchmark.stats.stats.mean
+    reference_cps = candidates / reference_seconds
+    benchmark.extra_info["candidates"] = candidates
+    benchmark.extra_info["candidates_per_second"] = vectorized_cps
+    benchmark.extra_info["reference_candidates_per_second"] = reference_cps
+    benchmark.extra_info["speedup_vs_reference"] = vectorized_cps / reference_cps
+    emit(
+        "Sweep throughput: Figure 9 restricted enumeration (communication)",
+        f"vectorized: {vectorized_cps:,.0f} candidates/s\n"
+        f"reference : {reference_cps:,.0f} candidates/s\n"
+        f"speedup   : {vectorized_cps / reference_cps:.1f}x\n"
+        f"best swept point: {np.min(totals) / 1e6:.3f} MB",
+    )
+
+
+def test_figure9_simulated_sweep_throughput(benchmark):
+    """The full simulated Figure 9 sweep (shared cost table + cached hops).
+
+    The seed implementation re-derived the tensor lists and the networkx
+    all-pairs hop counts for every one of the 256 simulated points and ran
+    this sweep in ~2.7 s on the reference machine; the committed baseline
+    (`BENCH_search.json`) pins the improved time so regressions past the
+    20x bar fail the benchmark-regression check.
+    """
+    explorer = ParallelismExplorer()
+
+    result = benchmark(explorer.explore_lenet)
+
+    points = len(result.points)
+    points_per_second = points / benchmark.stats.stats.mean
+    benchmark.extra_info["points"] = points
+    benchmark.extra_info["points_per_second"] = points_per_second
+    emit(
+        "Sweep throughput: Figure 9 simulated sweep (Lenet-c)",
+        f"{points} simulated points, {points_per_second:,.0f} points/s\n"
+        f"HyPar at peak: {result.hypar_is_peak}",
+    )

@@ -1,0 +1,110 @@
+#!/usr/bin/env python
+"""Fail when search/sweep benchmarks regress against the committed baseline.
+
+Usage::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_search_performance.py \
+        benchmarks/bench_sweep_throughput.py --benchmark-only \
+        --benchmark-json=bench_current.json
+    python scripts/check_bench_regression.py BENCH_search.json bench_current.json
+
+Compares the mean latency of every benchmark present in both files and
+exits non-zero when any regresses by more than the threshold (20% by
+default, overridable with ``--threshold``).  Also re-checks the recorded
+``speedup_vs_reference`` extra-info values against the acceptance floor of
+20x, so the vectorized engine cannot silently fall back below its bar even
+if it stays self-consistent between runs.
+
+Absolute latencies are machine-specific: the committed baseline is only
+meaningful on hardware comparable to the machine that produced it.  On a
+different machine, regenerate the baseline once (the pytest command above
+with ``--benchmark-json=BENCH_search.json``) and compare subsequent runs
+against that.  The ``speedup_vs_reference`` floor is self-relative (both
+paths run in the same process) and holds on any machine.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+#: Acceptance floor for the vectorized-vs-object-path speedups recorded by
+#: benchmarks/bench_sweep_throughput.py.
+MIN_SPEEDUP = 20.0
+
+
+def load_benchmarks(path: str) -> dict[str, dict]:
+    with open(path) as handle:
+        payload = json.load(handle)
+    return {bench["fullname"]: bench for bench in payload.get("benchmarks", [])}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="committed baseline JSON (BENCH_search.json)")
+    parser.add_argument("current", help="freshly produced --benchmark-json output")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.20,
+        help="maximum tolerated relative mean-latency regression (default 0.20)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = load_benchmarks(args.baseline)
+    current = load_benchmarks(args.current)
+    shared = sorted(set(baseline) & set(current))
+    if not shared:
+        print("error: the two benchmark files have no benchmarks in common")
+        return 2
+
+    failures: list[str] = []
+    for name in shared:
+        base_mean = baseline[name]["stats"]["mean"]
+        new_mean = current[name]["stats"]["mean"]
+        ratio = new_mean / base_mean if base_mean > 0 else float("inf")
+        status = "ok"
+        if ratio > 1.0 + args.threshold:
+            status = "REGRESSION"
+            failures.append(
+                f"{name}: mean {base_mean * 1e3:.3f} ms -> {new_mean * 1e3:.3f} ms "
+                f"({ratio:.2f}x, limit {1.0 + args.threshold:.2f}x)"
+            )
+        print(f"{status:>10}  {name}: {base_mean * 1e3:.3f} ms -> {new_mean * 1e3:.3f} ms ({ratio:.2f}x)")
+
+        # The baseline defines which benchmarks must carry a measured
+        # speedup: dropping the extra_info in a refactor must not silently
+        # disable the floor check.
+        speedup = current[name].get("extra_info", {}).get("speedup_vs_reference")
+        if baseline[name].get("extra_info", {}).get("speedup_vs_reference") is not None:
+            if speedup is None:
+                failures.append(
+                    f"{name}: baseline records speedup_vs_reference but the "
+                    "current run does not — the floor check was skipped"
+                )
+            elif speedup < MIN_SPEEDUP:
+                failures.append(
+                    f"{name}: speedup over the object-path reference fell to "
+                    f"{speedup:.1f}x (floor {MIN_SPEEDUP:.0f}x)"
+                )
+
+    missing = sorted(set(baseline) - set(current))
+    for name in missing:
+        print(f"   missing  {name}: present in baseline but not in current run")
+        failures.append(
+            f"{name}: present in baseline but missing from the current run "
+            "(run the full benchmark set named in the baseline)"
+        )
+
+    if failures:
+        print("\nbenchmark regression check FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(f"\nbenchmark regression check passed ({len(shared)} benchmarks compared)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

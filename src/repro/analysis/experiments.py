@@ -136,7 +136,9 @@ class ExperimentRunner:
             self.array, topology, scaling_mode=self.scaling_mode
         )
         self.partitioner = HierarchicalPartitioner(
-            num_levels=self.array.num_levels, scaling_mode=self.scaling_mode
+            num_levels=self.array.num_levels,
+            communication_model=self.simulator.communication_model,
+            scaling_mode=self.scaling_mode,
         )
 
     # ------------------------------------------------------------------
@@ -144,8 +146,12 @@ class ExperimentRunner:
     # ------------------------------------------------------------------
 
     def optimized_parallelism(self, model: DNNModel) -> HierarchicalResult:
-        """HyPar's searched assignment for ``model`` (one list per level)."""
-        return self.partitioner.partition(model, self.batch_size)
+        """HyPar's searched assignment for ``model`` (one list per level).
+
+        Search and simulation share the simulator's cached cost table.
+        """
+        table = self.simulator.cost_table(model, self.batch_size)
+        return self.partitioner.partition(model, self.batch_size, table=table)
 
     # ------------------------------------------------------------------
     # Figures 6-8: simulate every strategy.
@@ -165,11 +171,19 @@ class ExperimentRunner:
         return assignments
 
     def compare(self, model: DNNModel) -> ModelComparison:
-        """Simulate every strategy for one network."""
+        """Simulate every strategy for one network.
+
+        Every strategy's simulation gathers from the same compiled cost
+        table (tensor amounts depend on the model and batch, not on the
+        strategy).
+        """
         hypar_result = self.optimized_parallelism(model)
         assignments = self.strategy_assignments(model)
+        table = self.simulator.cost_table(model, self.batch_size)
         reports = {
-            name: self.simulator.simulate(model, assignment, self.batch_size, name)
+            name: self.simulator.simulate(
+                model, assignment, self.batch_size, name, cost_table=table
+            )
             for name, assignment in assignments.items()
         }
         return ModelComparison(

@@ -104,10 +104,18 @@ class ParallelismExplorer:
         hypar_performance = comparison.reports[HYPAR].speedup_over(baseline_report)
 
         simulator = self.runner.simulator
+        # One compiled cost table serves every point of the sweep: the
+        # scale-descent tensor derivation happens once instead of once per
+        # level per candidate.
+        cost_table = simulator.cost_table(model, self.batch_size)
 
         def evaluate(assignment: HierarchicalAssignment) -> float:
             report = simulator.simulate(
-                model, assignment, self.batch_size, strategy_name="sweep"
+                model,
+                assignment,
+                self.batch_size,
+                strategy_name="sweep",
+                cost_table=cost_table,
             )
             return report.speedup_over(baseline_report)
 

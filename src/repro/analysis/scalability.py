@@ -136,11 +136,18 @@ def run_scalability_study(
         partitioner = HierarchicalPartitioner(
             num_levels=array.num_levels, scaling_mode=scaling_mode
         )
-        hypar_assignment = partitioner.partition(model, batch_size).assignment
+        # Share one compiled cost table between the search and both
+        # strategies' simulations at this array size.
+        table = simulator.cost_table(model, batch_size)
+        hypar_assignment = partitioner.partition(model, batch_size, table=table).assignment
         dp_assignment = data_parallelism(model, array.num_levels)
 
-        hypar_report = simulator.simulate(model, hypar_assignment, batch_size, "HyPar")
-        dp_report = simulator.simulate(model, dp_assignment, batch_size, "Data Parallelism")
+        hypar_report = simulator.simulate(
+            model, hypar_assignment, batch_size, "HyPar", cost_table=table
+        )
+        dp_report = simulator.simulate(
+            model, dp_assignment, batch_size, "Data Parallelism", cost_table=table
+        )
         hypar_points.append(ScalabilityPoint(size, "HyPar", hypar_report))
         dp_points.append(ScalabilityPoint(size, "Data Parallelism", dp_report))
 

@@ -93,10 +93,18 @@ def _compare(
     simulator = TrainingSimulator(
         array, communication_model=communication_model, scaling_mode=scaling_mode
     )
-    hypar_assignment = partitioner.partition(model, batch_size).assignment
-    hypar = simulator.simulate(model, hypar_assignment, batch_size, "HyPar")
+    # One compiled cost table serves the search and both simulations.
+    table = simulator.cost_table(model, batch_size)
+    hypar_assignment = partitioner.partition(model, batch_size, table=table).assignment
+    hypar = simulator.simulate(
+        model, hypar_assignment, batch_size, "HyPar", cost_table=table
+    )
     baseline = simulator.simulate(
-        model, data_parallelism(model, array.num_levels), batch_size, "Data Parallelism"
+        model,
+        data_parallelism(model, array.num_levels),
+        batch_size,
+        "Data Parallelism",
+        cost_table=table,
     )
     return SensitivityPoint(
         parameter=float("nan"),

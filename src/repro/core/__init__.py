@@ -14,6 +14,15 @@ The package is organised around three ideas from the paper:
 
 Baselines (default Data/Model Parallelism and "one weird trick"), an
 exhaustive-search validator and the result records round out the package.
+
+The hot paths run on the **vectorized cost-table engine**
+(:mod:`repro.core.costs`): :class:`CostTable` /
+:class:`HierarchicalCostTable` compile the communication model into NumPy
+arrays once per (model, batch, scales) and the searches, brute-force
+validators and restricted sweeps score whole batches of candidate
+bit-patterns against them, materializing breakdown objects lazily for the
+winners only.  The object-based path remains in-tree as the bit-exact
+oracle (``*_reference`` entry points).
 """
 
 from repro.core.baselines import (
@@ -29,6 +38,11 @@ from repro.core.communication import (
     CommunicationModel,
     LayerCommunication,
 )
+from repro.core.costs import (
+    CostTable,
+    HierarchicalCostTable,
+    compile_cost_table,
+)
 from repro.core.execution import (
     CommunicationEvent,
     PartitionedStepResult,
@@ -38,8 +52,12 @@ from repro.core.exhaustive import (
     SearchSpaceTooLarge,
     all_layer_assignments,
     enumerate_restricted,
+    enumerate_restricted_communication,
     exhaustive_hierarchical,
+    exhaustive_hierarchical_reference,
     exhaustive_two_way,
+    exhaustive_two_way_reference,
+    restricted_assignment,
 )
 from repro.core.hierarchical import (
     DEFAULT_BATCH_SIZE,
@@ -107,9 +125,16 @@ __all__ = [
     "STRATEGIES",
     "all_layer_assignments",
     "exhaustive_two_way",
+    "exhaustive_two_way_reference",
     "exhaustive_hierarchical",
+    "exhaustive_hierarchical_reference",
     "enumerate_restricted",
+    "enumerate_restricted_communication",
+    "restricted_assignment",
     "SearchSpaceTooLarge",
+    "CostTable",
+    "HierarchicalCostTable",
+    "compile_cost_table",
     "TensorPlacement",
     "LayerShard",
     "Interval",

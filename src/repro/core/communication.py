@@ -71,6 +71,17 @@ class CommunicationModel:
         self.bytes_per_element = bytes_per_element
         self.pair_factor = pair_factor
 
+    def same_costs(self, other: "CommunicationModel") -> bool:
+        """Whether ``other`` produces identical costs (same parameters).
+
+        Cost tables compiled against one model instance are freely reusable
+        with any parameter-identical instance.
+        """
+        return (
+            self.bytes_per_element == other.bytes_per_element
+            and self.pair_factor == other.pair_factor
+        )
+
     # ------------------------------------------------------------------
     # Element-count primitives (Table 1 and Table 2).
     # ------------------------------------------------------------------
@@ -216,10 +227,29 @@ class CommunicationModel:
         tensors: Sequence[LayerTensors],
         assignment: LayerAssignment,
     ) -> float:
-        """Total traffic (bytes) between the two groups for one training step."""
-        return sum(
-            record.total_bytes for record in self.layer_breakdown(tensors, assignment)
-        )
+        """Total traffic (bytes) between the two groups for one training step.
+
+        Fast path used by the search and sweep loops: sums the same
+        per-layer ``intra + inter`` terms as :meth:`layer_breakdown` in the
+        same order (so the result is bit-identical) without allocating any
+        :class:`LayerCommunication` objects.  Callers that need the
+        per-layer attribution should use :meth:`layer_breakdown`.
+        """
+        if len(tensors) != assignment.num_layers:
+            raise ValueError(
+                f"expected {assignment.num_layers} tensor records, got {len(tensors)}"
+            )
+        total = 0.0
+        previous: Parallelism | None = None
+        for index, (layer, choice) in enumerate(zip(tensors, assignment)):
+            intra = self.intra_layer_bytes(layer, choice)
+            if index == 0:
+                inter = 0.0
+            else:
+                inter = self.inter_layer_bytes(previous, choice, tensors[index - 1])
+            total += intra + inter
+            previous = choice
+        return total
 
 
 @dataclasses.dataclass(frozen=True)

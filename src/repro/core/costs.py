@@ -1,0 +1,727 @@
+"""Vectorized cost-table evaluation engine for the partition search.
+
+The object-based path (:class:`~repro.core.communication.CommunicationModel`
+walking :class:`~repro.core.tensors.LayerTensors` lists) is convenient for
+reporting but far too slow for the enumeration workloads: the restricted
+sweeps of Figures 9/10 and the brute-force validators score up to ``2**22``
+candidate assignments, and rebuilding tensor lists plus a
+:class:`~repro.core.communication.LayerCommunication` breakdown per candidate
+is pure-Python overhead repeated millions of times.
+
+This module compiles the communication model *once* into NumPy arrays and
+then scores whole batches of candidates with array operations:
+
+* :class:`CostTable` -- one hierarchy level.  ``intra[l, p]`` is the
+  intra-layer traffic (bytes) of layer ``l`` under parallelism bit ``p``
+  (0 = dp, 1 = mp); ``inter[l, p, q]`` is the inter-layer traffic of the
+  boundary between layers ``l`` and ``l + 1`` when they use bits ``p`` and
+  ``q``.  The table supports the array dynamic program of Algorithm 1
+  (:meth:`CostTable.dp_partition`) and batched scoring of arbitrary
+  bit-patterns (:meth:`CostTable.score_bits`).
+* :class:`HierarchicalCostTable` -- every hierarchy level at once.  Under
+  :attr:`~repro.core.tensors.ScalingMode.PARALLELISM_AWARE` scaling a
+  layer's tensor amounts at level ``h`` depend only on how many of its
+  previous ``h`` choices were mp, so the table stores one cost slice per
+  ``(level, previous-mp-count)`` state and batched scoring reduces to a
+  gather over cumulative bit counts.  This is also the scale-descent cache
+  used by the sweeps and the training simulator: the per-level
+  :class:`~repro.core.tensors.LayerTensors` are derived once per model
+  instead of once per candidate.
+
+Bit-exactness
+-------------
+The vectorized paths are required (and property-tested) to agree *bit for
+bit* with the object-based reference path, which remains the oracle:
+
+* table entries are produced by the same :class:`CommunicationModel` calls
+  the object path makes, so the stored floats are identical;
+* batched totals accumulate per-layer ``intra + inter`` terms sequentially
+  (layer 0, then layer 1, ...), reproducing the exact floating-point
+  association of ``sum(record.total_bytes for record in breakdown)``;
+* the array DP applies the same recurrence with the same tie rule
+  (ties prefer dp, matching :class:`~repro.core.partitioner.TwoWayPartitioner`),
+  and batched argmins resolve ties to the lowest bit-pattern, matching the
+  enumeration order of the reference brute force.
+
+Breakdown objects are *lazy*: batch scorers return raw totals and only the
+winning candidates are materialized into
+:class:`~repro.core.result.PartitionResult` /
+:class:`~repro.core.communication.LayerCommunication` records, on first
+access of ``result.breakdown``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.core.communication import CommunicationModel
+from repro.core.parallelism import (
+    HierarchicalAssignment,
+    LayerAssignment,
+    Parallelism,
+)
+from repro.core.result import PartitionResult
+from repro.core.tensors import (
+    LayerTensors,
+    ScalingMode,
+    TensorScale,
+    layer_tensors,
+    model_tensors,
+)
+from repro.nn.model import DNNModel
+
+#: Candidates scored per NumPy batch; bounds peak memory of the gathered
+#: (chunk, L) cost matrices to a few MB while keeping the per-chunk Python
+#: overhead negligible.
+DEFAULT_CHUNK_SIZE = 1 << 16
+
+_PARALLELISM_BY_BIT = (Parallelism.DATA, Parallelism.MODEL)
+
+
+def _sequential_row_sum(per_layer: np.ndarray) -> np.ndarray:
+    """Left-to-right sum along axis 1, matching Python's ``sum()`` exactly.
+
+    ``np.sum`` uses pairwise summation whose rounding can differ from the
+    sequential accumulation of the object-based reference path; an explicit
+    column loop (cheap: one vector add per layer) guarantees bit-exact
+    parity.
+    """
+    totals = per_layer[:, 0].copy()
+    for column in range(1, per_layer.shape[1]):
+        totals += per_layer[:, column]
+    return totals
+
+
+@dataclasses.dataclass(frozen=True, eq=False)
+class CostTable:
+    """Compiled per-layer communication costs for one hierarchy level.
+
+    Identity equality (``eq=False``): the ndarray fields make a generated
+    value ``__eq__`` raise, and two independently compiled tables are never
+    meaningfully "the same" object to a cache anyway.
+
+    Attributes
+    ----------
+    intra:
+        ``(L, 2)`` float array; ``intra[l, p]`` is the Table-1 intra-layer
+        traffic (bytes) of layer ``l`` under parallelism bit ``p``.
+    inter:
+        ``(L - 1, 2, 2)`` float array; ``inter[l, p, q]`` is the Table-2
+        inter-layer traffic (bytes) of the boundary between layers ``l``
+        (bit ``p``) and ``l + 1`` (bit ``q``).
+    tensors:
+        The tensor records the table was compiled from, kept so winning
+        candidates can lazily materialize their full breakdown through the
+        object-based reference path.
+    communication_model:
+        The model used to compile the table (and to materialize breakdowns).
+    """
+
+    intra: np.ndarray
+    inter: np.ndarray
+    tensors: tuple[LayerTensors, ...]
+    communication_model: CommunicationModel
+
+    # ------------------------------------------------------------------
+    # Construction.
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_tensors(
+        cls,
+        tensors: Sequence[LayerTensors],
+        communication_model: CommunicationModel | None = None,
+    ) -> "CostTable":
+        """Compile the table from per-layer tensor amounts."""
+        tensors = tuple(tensors)
+        if not tensors:
+            raise ValueError("cannot build a cost table for zero layers")
+        model = communication_model or CommunicationModel()
+        num_layers = len(tensors)
+        intra = np.empty((num_layers, 2), dtype=np.float64)
+        inter = np.zeros((max(num_layers - 1, 0), 2, 2), dtype=np.float64)
+        for index, record in enumerate(tensors):
+            for bit, choice in enumerate(_PARALLELISM_BY_BIT):
+                intra[index, bit] = model.intra_layer_bytes(record, choice)
+        for index in range(num_layers - 1):
+            boundary = tensors[index]
+            for p_bit, previous in enumerate(_PARALLELISM_BY_BIT):
+                for q_bit, current in enumerate(_PARALLELISM_BY_BIT):
+                    inter[index, p_bit, q_bit] = model.inter_layer_bytes(
+                        previous, current, boundary
+                    )
+        return cls(
+            intra=intra,
+            inter=inter,
+            tensors=tensors,
+            communication_model=model,
+        )
+
+    @classmethod
+    def compile(
+        cls,
+        model: DNNModel,
+        batch_size: int,
+        scales: Sequence[TensorScale] | None = None,
+        communication_model: CommunicationModel | None = None,
+    ) -> "CostTable":
+        """Compile the table for ``model`` at ``batch_size`` (and ``scales``)."""
+        return cls.from_tensors(
+            model_tensors(model, batch_size, scales), communication_model
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection.
+    # ------------------------------------------------------------------
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.tensors)
+
+    @property
+    def num_assignments(self) -> int:
+        """Size of the full assignment space for this level (``2**L``)."""
+        return 1 << self.num_layers
+
+    # ------------------------------------------------------------------
+    # Algorithm 1 as an array DP over the table.
+    # ------------------------------------------------------------------
+
+    def dp_partition(self) -> PartitionResult:
+        """Layer-wise dynamic program over the table (Algorithm 1).
+
+        Applies exactly the recurrence of
+        :meth:`~repro.core.partitioner.TwoWayPartitioner.partition_tensors_reference`
+        -- same additions in the same order, ties preferring dp -- so the
+        returned optimum is bit-exact with the object-based oracle.  The
+        per-layer breakdown of the winner is materialized lazily.
+        """
+        num_layers = self.num_layers
+        com = self.intra[0].copy()  # (2,): best accumulated cost ending in dp/mp
+        parents = np.empty((num_layers - 1, 2), dtype=np.int8)
+        state = np.arange(2)
+        for layer in range(1, num_layers):
+            candidates = com[:, None] + self.inter[layer - 1]  # (from, to)
+            # argmin resolves ties to index 0 (dp), matching the reference
+            # ``from_dp <= from_mp`` rule.
+            choice = np.argmin(candidates, axis=0)
+            parents[layer - 1] = choice
+            com = candidates[choice, state] + self.intra[layer]
+
+        last = int(np.argmin(com))  # tie -> dp, the reference's final rule
+        total = float(com[last])
+        bits_per_layer = np.empty(num_layers, dtype=np.int8)
+        bits_per_layer[-1] = last
+        for layer in range(num_layers - 2, -1, -1):
+            bits_per_layer[layer] = parents[layer, bits_per_layer[layer + 1]]
+
+        assignment = LayerAssignment(
+            tuple(_PARALLELISM_BY_BIT[bit] for bit in bits_per_layer)
+        )
+        return self.lazy_result(assignment, total)
+
+    # ------------------------------------------------------------------
+    # Batched scoring of candidate bit-patterns.
+    # ------------------------------------------------------------------
+
+    def score_bits(self, bits: np.ndarray | Sequence[int]) -> np.ndarray:
+        """Total communication bytes for a batch of assignment bit-patterns.
+
+        ``bits`` encodes one candidate per element with the
+        :meth:`~repro.core.parallelism.LayerAssignment.from_bits` convention
+        (LSB = layer 0, 0 = dp, 1 = mp).  Returns a float array of the same
+        length whose entries are bit-exact with
+        ``CommunicationModel.total_bytes`` on the decoded assignments.
+        """
+        bits = np.asarray(bits, dtype=np.int64)
+        if bits.ndim != 1:
+            raise ValueError(f"bits must be one-dimensional, got shape {bits.shape}")
+        totals = np.empty(bits.shape[0], dtype=np.float64)
+        for start in range(0, bits.shape[0], DEFAULT_CHUNK_SIZE):
+            chunk = bits[start : start + DEFAULT_CHUNK_SIZE]
+            totals[start : start + chunk.shape[0]] = self._score_chunk(chunk)
+        return totals
+
+    def _score_chunk(self, bits: np.ndarray) -> np.ndarray:
+        num_layers = self.num_layers
+        shifts = np.arange(num_layers, dtype=np.int64)
+        return self._score_decoded((bits[:, None] >> shifts) & 1)
+
+    def _score_decoded(self, decoded: np.ndarray) -> np.ndarray:
+        """Score candidates given an ``(N, L)`` 0/1 bit matrix.
+
+        Depth-safe core scorer: unlike the packed-integer entry points it
+        has no 64-bit encoding limit, so single assignments of arbitrarily
+        deep models route through it.
+        """
+        num_layers = self.num_layers
+        per_layer = self.intra[np.arange(num_layers), decoded]  # (N, L)
+        if num_layers > 1:
+            boundary = np.arange(num_layers - 1)
+            # One add per layer term keeps the ``intra + inter`` association
+            # of LayerCommunication.total_bytes.
+            per_layer[:, 1:] += self.inter[boundary, decoded[:, :-1], decoded[:, 1:]]
+        return _sequential_row_sum(per_layer)
+
+    def iter_all_bits(self, chunk_size: int = DEFAULT_CHUNK_SIZE) -> Iterator[np.ndarray]:
+        """Chunked enumeration of the full ``2**L`` bit-pattern space."""
+        for start in range(0, self.num_assignments, chunk_size):
+            stop = min(start + chunk_size, self.num_assignments)
+            yield np.arange(start, stop, dtype=np.int64)
+
+    def argmin_assignment(self) -> tuple[int, float]:
+        """Brute-force optimum over all ``2**L`` assignments.
+
+        Returns ``(bits, total_bytes)`` of the first minimum in enumeration
+        order (lowest bit-pattern wins ties), matching the reference
+        strict-``<`` scan of the object-based brute force.
+        """
+        best_bits = -1
+        best_total = np.inf
+        for chunk in self.iter_all_bits():
+            totals = self._score_chunk(chunk)
+            index = int(np.argmin(totals))
+            if totals[index] < best_total:
+                best_total = float(totals[index])
+                best_bits = int(chunk[index])
+        return best_bits, best_total
+
+    # ------------------------------------------------------------------
+    # Lazy materialization of winners.
+    # ------------------------------------------------------------------
+
+    def total_bytes(self, assignment: LayerAssignment) -> float:
+        """Total traffic of one assignment (fast path, no breakdown objects).
+
+        Decodes the assignment directly instead of round-tripping through a
+        packed integer, so models with 64+ weighted layers work too.
+        """
+        self._check_assignment(assignment)
+        decoded = np.array([[choice.bit for choice in assignment]], dtype=np.int64)
+        return float(self._score_decoded(decoded)[0])
+
+    def lazy_result(
+        self, assignment: LayerAssignment, total_bytes: float
+    ) -> PartitionResult:
+        """A :class:`PartitionResult` whose breakdown materializes on access."""
+        tensors = self.tensors
+        model = self.communication_model
+        return PartitionResult(
+            assignment=assignment,
+            communication_bytes=total_bytes,
+            breakdown_factory=lambda: tuple(
+                model.layer_breakdown(tensors, assignment)
+            ),
+        )
+
+    def result_for_bits(self, bits: int) -> PartitionResult:
+        """Materialize the :class:`PartitionResult` of one bit-pattern."""
+        assignment = LayerAssignment.from_bits(bits, self.num_layers)
+        total = float(self.score_bits(np.array([bits], dtype=np.int64))[0])
+        return self.lazy_result(assignment, total)
+
+    def _check_assignment(self, assignment: LayerAssignment) -> None:
+        if assignment.num_layers != self.num_layers:
+            raise ValueError(
+                f"assignment covers {assignment.num_layers} layers, "
+                f"table has {self.num_layers}"
+            )
+
+
+class HierarchicalCostTable:
+    """Per-level cost tables indexed by each layer's scale-descent state.
+
+    Under :attr:`ScalingMode.PARALLELISM_AWARE` a layer's tensor amounts at
+    hierarchy level ``h`` are fully determined by how many of its choices at
+    levels ``0 .. h-1`` were mp (``k`` mp choices halve the weight fraction
+    ``k`` times and the batch fraction ``h - k`` times), so level ``h`` has
+    ``h + 1`` possible states per layer.  ``UNIFORM`` and ``NONE`` scaling
+    are choice-independent and collapse to a single state per level.
+
+    The table therefore caches *every* scale-descent outcome a sweep can
+    reach: batched candidate scoring, `HierarchicalPartitioner` evaluation
+    and the training simulator's per-level tensor derivation all gather from
+    the same compiled arrays instead of rebuilding ``LayerTensors`` lists.
+    """
+
+    def __init__(
+        self,
+        model: DNNModel,
+        batch_size: int,
+        num_levels: int,
+        scaling_mode: ScalingMode | str = ScalingMode.PARALLELISM_AWARE,
+        communication_model: CommunicationModel | None = None,
+    ) -> None:
+        if num_levels <= 0:
+            raise ValueError(f"num_levels must be positive, got {num_levels}")
+        self.model = model
+        self.batch_size = batch_size
+        self.num_levels = num_levels
+        self.num_layers = len(model)
+        self.scaling_mode = ScalingMode.parse(scaling_mode)
+        self.communication_model = communication_model or CommunicationModel()
+        comm = self.communication_model
+
+        # Per level h: tensors[h][k][l], intra[h] (L, K, 2), and the boundary
+        # array (L-1, K, 2, 2) -- K = h + 1 for parallelism-aware scaling,
+        # otherwise 1.  The forward/backward splits of the inter-layer costs
+        # are compiled lazily on first :meth:`level_communication` access:
+        # only the simulator reads them, and ``_to_bytes(fwd + bwd)`` versus
+        # ``_to_bytes(fwd) + _to_bytes(bwd)`` may round differently, so they
+        # cannot be derived from the combined array.
+        self._tensors: list[list[tuple[LayerTensors, ...]]] = []
+        self._intra: list[np.ndarray] = []
+        self._inter: list[np.ndarray] = []
+        self._inter_forward: list[np.ndarray] | None = None
+        self._inter_backward: list[np.ndarray] | None = None
+
+        layers = list(model)
+        num_layers = self.num_layers
+        for level in range(num_levels):
+            num_states = self.num_states(level)
+            level_tensors: list[tuple[LayerTensors, ...]] = []
+            intra = np.empty((num_layers, num_states, 2), dtype=np.float64)
+            inter = np.zeros((max(num_layers - 1, 0), num_states, 2, 2), dtype=np.float64)
+            for state in range(num_states):
+                scale = self._state_scale(level, state)
+                records = tuple(
+                    layer_tensors(layer, batch_size, scale) for layer in layers
+                )
+                level_tensors.append(records)
+                for index, record in enumerate(records):
+                    for bit, choice in enumerate(_PARALLELISM_BY_BIT):
+                        intra[index, state, bit] = comm.intra_layer_bytes(record, choice)
+                for index in range(num_layers - 1):
+                    boundary = records[index]
+                    for p_bit, previous in enumerate(_PARALLELISM_BY_BIT):
+                        for q_bit, current in enumerate(_PARALLELISM_BY_BIT):
+                            inter[index, state, p_bit, q_bit] = comm.inter_layer_bytes(
+                                previous, current, boundary
+                            )
+            self._tensors.append(level_tensors)
+            self._intra.append(intra)
+            self._inter.append(inter)
+
+    def _ensure_direction_split(self) -> None:
+        """Compile the forward/backward inter-layer splits on first use."""
+        if self._inter_forward is not None:
+            return
+        comm = self.communication_model
+        num_layers = self.num_layers
+        forward: list[np.ndarray] = []
+        backward: list[np.ndarray] = []
+        for level in range(self.num_levels):
+            num_states = self.num_states(level)
+            shape = (max(num_layers - 1, 0), num_states, 2, 2)
+            inter_fwd = np.zeros(shape, dtype=np.float64)
+            inter_bwd = np.zeros(shape, dtype=np.float64)
+            for state, records in enumerate(self._tensors[level]):
+                for index in range(num_layers - 1):
+                    boundary = records[index]
+                    for p_bit, previous in enumerate(_PARALLELISM_BY_BIT):
+                        for q_bit, current in enumerate(_PARALLELISM_BY_BIT):
+                            inter_fwd[index, state, p_bit, q_bit] = (
+                                comm.inter_layer_forward_bytes(previous, current, boundary)
+                            )
+                            inter_bwd[index, state, p_bit, q_bit] = (
+                                comm.inter_layer_backward_bytes(previous, current, boundary)
+                            )
+            forward.append(inter_fwd)
+            backward.append(inter_bwd)
+        self._inter_forward = forward
+        self._inter_backward = backward
+
+    # ------------------------------------------------------------------
+    # Scale-descent states.
+    # ------------------------------------------------------------------
+
+    def num_states(self, level: int) -> int:
+        """Number of distinct per-layer scale states at ``level``."""
+        if self.scaling_mode is ScalingMode.PARALLELISM_AWARE:
+            return level + 1
+        return 1
+
+    def _state_scale(self, level: int, state: int) -> TensorScale:
+        """The :class:`TensorScale` of state ``state`` at ``level``.
+
+        Halvings are powers of two, so ``0.5 ** k`` is bit-exact with the
+        reference path's sequential ``descend`` multiplications.
+        """
+        if self.scaling_mode is ScalingMode.PARALLELISM_AWARE:
+            # ``state`` = number of mp choices among the previous ``level``.
+            return TensorScale(
+                batch_fraction=0.5 ** (level - state),
+                weight_fraction=0.5 ** state,
+            )
+        if self.scaling_mode is ScalingMode.UNIFORM:
+            return TensorScale(batch_fraction=0.5 ** level, weight_fraction=1.0)
+        return TensorScale()
+
+    def state_indices(self, assignment: HierarchicalAssignment) -> np.ndarray:
+        """Per-(level, layer) state indices implied by ``assignment``."""
+        self._check_assignment(assignment)
+        states = np.zeros((self.num_levels, self.num_layers), dtype=np.int64)
+        if self.scaling_mode is not ScalingMode.PARALLELISM_AWARE:
+            return states
+        mp_counts = np.zeros(self.num_layers, dtype=np.int64)
+        for level in range(self.num_levels):
+            states[level] = mp_counts
+            for layer, choice in enumerate(assignment[level]):
+                if choice is Parallelism.MODEL:
+                    mp_counts[layer] += 1
+        return states
+
+    def tensors_for_level(
+        self, level: int, states: Sequence[int]
+    ) -> tuple[LayerTensors, ...]:
+        """The per-layer tensor records of one level under given states."""
+        level_tensors = self._tensors[level]
+        return tuple(
+            level_tensors[state][layer] for layer, state in enumerate(states)
+        )
+
+    def level_cost_table(self, level: int, states: Sequence[int]) -> CostTable:
+        """The single-level :class:`CostTable` of one scale-descent outcome.
+
+        ``states[l]`` is layer ``l``'s state index at ``level`` (its mp
+        count over the previous levels under parallelism-aware scaling,
+        always 0 otherwise).  Pure gather -- no tensor or communication
+        re-derivation -- so per-level searches and evaluations inside a
+        sweep are O(L) array slicing.
+        """
+        if not 0 <= level < self.num_levels:
+            raise ValueError(f"level {level} out of range for {self.num_levels} levels")
+        state_array = np.asarray(states, dtype=np.int64)
+        if state_array.shape != (self.num_layers,):
+            raise ValueError(
+                f"expected {self.num_layers} states, got {state_array.shape}"
+            )
+        layer_range = np.arange(self.num_layers)
+        intra = self._intra[level][layer_range, state_array, :]
+        inter = self._inter[level][
+            np.arange(max(self.num_layers - 1, 0)), state_array[:-1], :, :
+        ]
+        return CostTable(
+            intra=intra,
+            inter=inter,
+            tensors=self.tensors_for_level(level, states),
+            communication_model=self.communication_model,
+        )
+
+    # ------------------------------------------------------------------
+    # Batched candidate scoring.
+    # ------------------------------------------------------------------
+
+    @property
+    def total_bits(self) -> int:
+        """Bits needed to encode one full hierarchical assignment."""
+        return self.num_levels * self.num_layers
+
+    def score_bits(self, bits: np.ndarray | Sequence[int]) -> np.ndarray:
+        """Total communication bytes of a batch of hierarchical bit-patterns.
+
+        Encoding: the deepest-varying ``num_layers`` bits (LSBs) are the
+        *last* level's assignment and each level's bits follow the
+        ``LayerAssignment.from_bits`` convention -- exactly the order
+        ``itertools.product(all_layer_assignments(L), repeat=H)`` visits the
+        space, so first-minimum ties match the reference enumeration.
+        Totals are bit-exact with
+        ``HierarchicalPartitioner.evaluate(...).total_communication_bytes``.
+        """
+        bits = np.asarray(bits, dtype=np.int64)
+        if bits.ndim != 1:
+            raise ValueError(f"bits must be one-dimensional, got shape {bits.shape}")
+        totals = np.empty(bits.shape[0], dtype=np.float64)
+        for start in range(0, bits.shape[0], DEFAULT_CHUNK_SIZE):
+            chunk = bits[start : start + DEFAULT_CHUNK_SIZE]
+            totals[start : start + chunk.shape[0]] = self._score_chunk(chunk)
+        return totals
+
+    def decode_level_bits(self, bits: np.ndarray) -> list[np.ndarray]:
+        """Per-level layer-bit matrices ``(N, L)`` for a batch of candidates."""
+        num_layers = self.num_layers
+        shifts = np.arange(num_layers, dtype=np.int64)
+        mask = (1 << num_layers) - 1
+        decoded = []
+        for level in range(self.num_levels):
+            level_bits = (bits >> (num_layers * (self.num_levels - 1 - level))) & mask
+            decoded.append((level_bits[:, None] >> shifts) & 1)
+        return decoded
+
+    def _score_chunk(self, bits: np.ndarray) -> np.ndarray:
+        return self.score_level_bits(self.decode_level_bits(bits))
+
+    def score_level_bits(self, decoded: Sequence[np.ndarray]) -> np.ndarray:
+        """Score candidates given per-level ``(N, L)`` 0/1 bit matrices.
+
+        This is the core batched scorer; it also serves candidate spaces
+        whose *full* encoding would overflow 64 bits (deep models at many
+        levels) as long as the batch itself is enumerable, e.g. the
+        restricted sweeps of Figures 9/10.
+        """
+        if len(decoded) != self.num_levels:
+            raise ValueError(
+                f"expected {self.num_levels} level bit matrices, got {len(decoded)}"
+            )
+        num_layers = self.num_layers
+        num_candidates = decoded[0].shape[0]
+        layer_range = np.arange(num_layers)
+        boundary_range = np.arange(max(num_layers - 1, 0))
+        totals = np.zeros(num_candidates, dtype=np.float64)
+        states = np.zeros((num_candidates, num_layers), dtype=np.int64)
+        track_states = self.scaling_mode is ScalingMode.PARALLELISM_AWARE
+        for level in range(self.num_levels):
+            level_bits = decoded[level]
+            # ``states`` stays all-zero for choice-independent scaling modes.
+            per_layer = self._intra[level][layer_range, states, level_bits]
+            if num_layers > 1:
+                per_layer[:, 1:] += self._inter[level][
+                    boundary_range,
+                    states[:, :-1],
+                    level_bits[:, :-1],
+                    level_bits[:, 1:],
+                ]
+            level_totals = _sequential_row_sum(per_layer)
+            # ``level.total_bytes`` multiplies by the (power-of-two) pair
+            # count before the exact sequential accumulation over levels.
+            totals += level_totals * float(1 << level)
+            if track_states:
+                states = states + level_bits
+        return totals
+
+    def argmin_assignment(self) -> tuple[int, float]:
+        """First minimum over the full ``2**(H*L)`` space, in product order."""
+        if self.total_bits > 62:
+            raise ValueError(
+                f"cannot enumerate a 2**{self.total_bits} space with 64-bit encodings"
+            )
+        best_bits = -1
+        best_total = np.inf
+        space = 1 << self.total_bits
+        for start in range(0, space, DEFAULT_CHUNK_SIZE):
+            chunk = np.arange(start, min(start + DEFAULT_CHUNK_SIZE, space), dtype=np.int64)
+            totals = self._score_chunk(chunk)
+            index = int(np.argmin(totals))
+            if totals[index] < best_total:
+                best_total = float(totals[index])
+                best_bits = int(chunk[index])
+        return best_bits, best_total
+
+    # ------------------------------------------------------------------
+    # Assignment helpers.
+    # ------------------------------------------------------------------
+
+    def assignment_to_bits(self, assignment: HierarchicalAssignment) -> int:
+        """Encode an assignment with the :meth:`score_bits` bit layout."""
+        self._check_assignment(assignment)
+        bits = 0
+        for level in range(self.num_levels):
+            shift = self.num_layers * (self.num_levels - 1 - level)
+            bits |= assignment[level].to_bits() << shift
+        return bits
+
+    def bits_to_assignment(self, bits: int) -> HierarchicalAssignment:
+        """Inverse of :meth:`assignment_to_bits`."""
+        mask = (1 << self.num_layers) - 1
+        levels = []
+        for level in range(self.num_levels):
+            shift = self.num_layers * (self.num_levels - 1 - level)
+            levels.append(LayerAssignment.from_bits((bits >> shift) & mask, self.num_layers))
+        return HierarchicalAssignment(tuple(levels))
+
+    def total_bytes(self, assignment: HierarchicalAssignment) -> float:
+        """Total traffic of one hierarchical assignment (fast path)."""
+        self._check_assignment(assignment)
+        decoded = [
+            np.array([[choice.bit for choice in assignment[level]]], dtype=np.int64)
+            for level in range(self.num_levels)
+        ]
+        return float(self.score_level_bits(decoded)[0])
+
+    def level_communication(
+        self, assignment: HierarchicalAssignment
+    ) -> list[list[tuple[Parallelism, float, float, float]]]:
+        """Per-level, per-layer ``(choice, intra, inter_fwd, inter_bwd)`` bytes.
+
+        This is the gather the training simulator consumes; the floats are
+        identical to the ones the object path derives from fresh
+        ``model_tensors`` lists at every level.
+        """
+        self._ensure_direction_split()
+        states = self.state_indices(assignment)
+        records: list[list[tuple[Parallelism, float, float, float]]] = []
+        for level in range(self.num_levels):
+            level_assignment = assignment[level]
+            level_records = []
+            for layer, choice in enumerate(level_assignment):
+                state = int(states[level, layer])
+                intra = float(self._intra[level][layer, state, choice.bit])
+                if layer == 0:
+                    fwd = bwd = 0.0
+                else:
+                    previous = level_assignment[layer - 1]
+                    boundary_state = int(states[level, layer - 1])
+                    fwd = float(
+                        self._inter_forward[level][
+                            layer - 1, boundary_state, previous.bit, choice.bit
+                        ]
+                    )
+                    bwd = float(
+                        self._inter_backward[level][
+                            layer - 1, boundary_state, previous.bit, choice.bit
+                        ]
+                    )
+                level_records.append((choice, intra, fwd, bwd))
+            records.append(level_records)
+        return records
+
+    def check_compatible(
+        self,
+        model: DNNModel,
+        batch_size: int,
+        num_levels: int,
+        scaling_mode: ScalingMode,
+        communication_model: CommunicationModel,
+    ) -> None:
+        """Raise when this table was compiled for a different configuration.
+
+        Shared by every consumer that accepts an externally supplied table
+        (the hierarchical partitioner, the training simulator) so the
+        compatibility rules cannot drift between them.
+        """
+        if (
+            self.model is not model
+            or self.batch_size != batch_size
+            or self.num_levels != num_levels
+            or self.scaling_mode is not scaling_mode
+            or not self.communication_model.same_costs(communication_model)
+        ):
+            raise ValueError(
+                "cost table was compiled for a different "
+                "(model, batch, levels, scaling, communication-model) configuration"
+            )
+
+    def _check_assignment(self, assignment: HierarchicalAssignment) -> None:
+        if assignment.num_levels != self.num_levels:
+            raise ValueError(
+                f"assignment has {assignment.num_levels} levels, "
+                f"table expects {self.num_levels}"
+            )
+        if assignment.num_layers != self.num_layers:
+            raise ValueError(
+                f"assignment covers {assignment.num_layers} layers, "
+                f"table has {self.num_layers}"
+            )
+
+
+def compile_cost_table(
+    model: DNNModel,
+    batch_size: int,
+    scales: Sequence[TensorScale] | None = None,
+    communication_model: CommunicationModel | None = None,
+) -> CostTable:
+    """Module-level convenience alias for :meth:`CostTable.compile`."""
+    return CostTable.compile(model, batch_size, scales, communication_model)

@@ -10,6 +10,15 @@ the enumeration because
 * the paper's Figures 9 and 10 are restricted enumerations (some layers or
   levels held fixed while others sweep), which
   :func:`enumerate_restricted` reproduces.
+
+The enumerations are *vectorized*: candidates are scored as bit-patterns
+against a compiled :class:`~repro.core.costs.CostTable` /
+:class:`~repro.core.costs.HierarchicalCostTable` in batched NumPy
+operations, and ``PartitionResult`` / breakdown objects are materialized
+only for the winning candidate.  The original per-candidate object loops
+are kept as ``*_reference`` oracles; the vectorized paths agree with them
+bit-exactly (same optimum bytes, same first-minimum tie resolution over the
+enumeration order).
 """
 
 from __future__ import annotations
@@ -17,7 +26,10 @@ from __future__ import annotations
 import itertools
 from typing import Callable, Iterable, Iterator, Sequence
 
+import numpy as np
+
 from repro.core.communication import CommunicationModel
+from repro.core.costs import DEFAULT_CHUNK_SIZE, CostTable, HierarchicalCostTable
 from repro.core.hierarchical import HierarchicalPartitioner
 from repro.core.parallelism import (
     HierarchicalAssignment,
@@ -53,9 +65,31 @@ def exhaustive_two_way(
 ) -> PartitionResult:
     """Brute-force optimum for a single hierarchy level.
 
-    Returns the same kind of :class:`PartitionResult` as the dynamic
-    program, so the two can be compared directly.
+    Scores all ``2^L`` bit-patterns in batched NumPy operations against a
+    compiled :class:`~repro.core.costs.CostTable`; only the winner (the
+    first minimum in bit-pattern order, like the reference scan) is
+    materialized into a :class:`PartitionResult`, whose breakdown stays
+    lazy.  Returns the same kind of result as the dynamic program, so the
+    two can be compared directly.
     """
+    num_layers = len(tensors)
+    if (1 << num_layers) > max_candidates:
+        raise SearchSpaceTooLarge(
+            f"2^{num_layers} assignments exceed the limit of {max_candidates}"
+        )
+    table = CostTable.from_tensors(tensors, communication_model)
+    best_bits, best_total = table.argmin_assignment()
+    return table.lazy_result(
+        LayerAssignment.from_bits(best_bits, num_layers), best_total
+    )
+
+
+def exhaustive_two_way_reference(
+    tensors: Sequence[LayerTensors],
+    communication_model: CommunicationModel | None = None,
+    max_candidates: int = DEFAULT_MAX_CANDIDATES,
+) -> PartitionResult:
+    """Object-based per-candidate scan: the oracle for :func:`exhaustive_two_way`."""
     num_layers = len(tensors)
     if (1 << num_layers) > max_candidates:
         raise SearchSpaceTooLarge(
@@ -81,8 +115,37 @@ def exhaustive_hierarchical(
     """Brute-force optimum over the full ``2^(H*L)`` hierarchical space.
 
     Only feasible for small models / few levels; used to validate the
-    greedy-per-level structure of Algorithm 2 on toy cases.
+    greedy-per-level structure of Algorithm 2 on toy cases.  All candidates
+    are scored as bit-patterns against a
+    :class:`~repro.core.costs.HierarchicalCostTable` (enumerated in the same
+    order as ``itertools.product`` over per-level assignments, so ties pick
+    the same winner as the reference loop); only the winner is materialized
+    into a full :class:`HierarchicalResult`.
     """
+    partitioner = partitioner or HierarchicalPartitioner(num_levels=num_levels)
+    if partitioner.num_levels != num_levels:
+        raise ValueError("partitioner and num_levels disagree")
+    num_layers = len(model)
+    total_bits = num_levels * num_layers
+    if (1 << total_bits) > max_candidates:
+        raise SearchSpaceTooLarge(
+            f"2^{total_bits} hierarchical assignments exceed the limit of {max_candidates}"
+        )
+    table = partitioner.compile_table(model, batch_size)
+    best_bits, _ = table.argmin_assignment()
+    return partitioner.evaluate(
+        model, table.bits_to_assignment(best_bits), batch_size, table=table
+    )
+
+
+def exhaustive_hierarchical_reference(
+    model: DNNModel,
+    batch_size: int,
+    num_levels: int,
+    partitioner: HierarchicalPartitioner | None = None,
+    max_candidates: int = DEFAULT_MAX_CANDIDATES,
+) -> HierarchicalResult:
+    """Object-based scan of the hierarchical space: the vectorized oracle."""
     partitioner = partitioner or HierarchicalPartitioner(num_levels=num_levels)
     if partitioner.num_levels != num_levels:
         raise ValueError("partitioner and num_levels disagree")
@@ -107,6 +170,44 @@ def exhaustive_hierarchical(
     return best
 
 
+def restricted_assignment(
+    base_assignment: HierarchicalAssignment,
+    free_positions: Sequence[tuple[int, int]],
+    bits: int,
+) -> HierarchicalAssignment:
+    """The assignment of one restricted-sweep candidate.
+
+    ``bits`` follows the sweep encoding: bit ``i`` (LSB first) holds the
+    dp/mp choice of ``free_positions[i]``; every other position keeps the
+    base assignment's value.
+    """
+    levels = [list(level.choices) for level in base_assignment]
+    for position, (level, layer) in enumerate(free_positions):
+        levels[level][layer] = Parallelism.from_bit((bits >> position) & 1)
+    return HierarchicalAssignment(
+        tuple(LayerAssignment(tuple(choices)) for choices in levels)
+    )
+
+
+def _check_free_positions(
+    model: DNNModel,
+    base_assignment: HierarchicalAssignment,
+    free: Sequence[tuple[int, int]],
+    max_candidates: int,
+) -> None:
+    if not free:
+        raise ValueError("free_positions must contain at least one position")
+    if (1 << len(free)) > max_candidates:
+        raise SearchSpaceTooLarge(
+            f"2^{len(free)} candidates exceed the limit of {max_candidates}"
+        )
+    for level, layer in free:
+        if not 0 <= level < base_assignment.num_levels:
+            raise ValueError(f"level {level} out of range")
+        if not 0 <= layer < len(model):
+            raise ValueError(f"layer {layer} out of range")
+
+
 def enumerate_restricted(
     model: DNNModel,
     batch_size: int,
@@ -123,29 +224,76 @@ def enumerate_restricted(
     the objective being plotted (communication, simulated time, ...); the
     returned list preserves enumeration order (bit patterns over the free
     positions, least-significant position first).
+
+    For the pure-communication objective use
+    :func:`enumerate_restricted_communication`, which scores every
+    candidate in batched NumPy operations instead of calling back into
+    Python per point.
     """
     free = list(free_positions)
-    if not free:
-        raise ValueError("free_positions must contain at least one position")
-    if (1 << len(free)) > max_candidates:
-        raise SearchSpaceTooLarge(
-            f"2^{len(free)} candidates exceed the limit of {max_candidates}"
-        )
-    for level, layer in free:
-        if not 0 <= level < base_assignment.num_levels:
-            raise ValueError(f"level {level} out of range")
-        if not 0 <= layer < len(model):
-            raise ValueError(f"layer {layer} out of range")
+    _check_free_positions(model, base_assignment, free, max_candidates)
 
     results: list[tuple[HierarchicalAssignment, float]] = []
     for bits in range(1 << len(free)):
-        assignment = base_assignment
-        for position, (level, layer) in enumerate(free):
-            choice = Parallelism.from_bit((bits >> position) & 1)
-            level_assignment = list(assignment[level].choices)
-            level_assignment[layer] = choice
-            assignment = assignment.replace_level(
-                level, LayerAssignment(tuple(level_assignment))
-            )
+        assignment = restricted_assignment(base_assignment, free, bits)
         results.append((assignment, evaluator(assignment)))
     return results
+
+
+def enumerate_restricted_communication(
+    model: DNNModel,
+    batch_size: int,
+    base_assignment: HierarchicalAssignment,
+    free_positions: Iterable[tuple[int, int]],
+    table: HierarchicalCostTable | None = None,
+    partitioner: HierarchicalPartitioner | None = None,
+    max_candidates: int = DEFAULT_MAX_CANDIDATES,
+) -> np.ndarray:
+    """Total communication bytes of every candidate of a restricted sweep.
+
+    Vectorized counterpart of :func:`enumerate_restricted` for the
+    communication objective: entry ``i`` of the returned array is the total
+    traffic (bit-exact with
+    ``HierarchicalPartitioner.evaluate(...).total_communication_bytes``) of
+    the candidate whose free-position bits encode ``i`` (LSB = first free
+    position).  No assignment or breakdown objects are built; materialize
+    interesting points with :func:`restricted_assignment`.
+
+    ``table`` may be passed to reuse a compiled cost table across sweeps;
+    otherwise one is compiled from ``partitioner`` (or the default
+    four-level configuration).
+    """
+    free = list(free_positions)
+    _check_free_positions(model, base_assignment, free, max_candidates)
+    if table is None:
+        partitioner = partitioner or HierarchicalPartitioner(
+            num_levels=base_assignment.num_levels
+        )
+        table = partitioner.compile_table(model, batch_size)
+    else:
+        # A stale table would yield silently wrong totals; validate it like
+        # every other table-accepting consumer.  Without a partitioner the
+        # table's own scaling/communication configuration is authoritative.
+        table.check_compatible(
+            model,
+            batch_size,
+            partitioner.num_levels if partitioner else base_assignment.num_levels,
+            partitioner.scaling_mode if partitioner else table.scaling_mode,
+            partitioner.communication_model if partitioner else table.communication_model,
+        )
+
+    num_candidates = 1 << len(free)
+    base_bits = [
+        np.array([choice.bit for choice in base_assignment[level]], dtype=np.int64)
+        for level in range(base_assignment.num_levels)
+    ]
+    totals = np.empty(num_candidates, dtype=np.float64)
+    for start in range(0, num_candidates, DEFAULT_CHUNK_SIZE):
+        chunk = np.arange(start, min(start + DEFAULT_CHUNK_SIZE, num_candidates), dtype=np.int64)
+        # Start every level from the base assignment's bits, then overwrite
+        # the free positions from the candidate counter.
+        decoded = [np.tile(bits, (chunk.shape[0], 1)) for bits in base_bits]
+        for position, (level, layer) in enumerate(free):
+            decoded[level][:, layer] = (chunk >> position) & 1
+        totals[start : start + chunk.shape[0]] = table.score_level_bits(decoded)
+    return totals

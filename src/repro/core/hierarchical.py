@@ -15,13 +15,23 @@ because the two sibling sub-arrays each repeat the lower-level pattern.
 The tensor amounts seen by deeper levels shrink according to the
 :class:`~repro.core.tensors.ScalingMode`; see that module's docstring and
 the ablation discussion in DESIGN.md.
+
+Searches and evaluations run against a compiled
+:class:`~repro.core.costs.HierarchicalCostTable` (every reachable
+scale-descent state is derived once per model and gathered per level), so
+sweeps that evaluate many assignments of the same model share one table;
+pass it explicitly via the ``table`` parameter or let each call compile its
+own.  The original object-based evaluation is kept as
+:meth:`HierarchicalPartitioner.evaluate_reference`, the oracle the
+vectorized paths are tested against.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Sequence, Union
 
 from repro.core.communication import CommunicationModel
+from repro.core.costs import CostTable, HierarchicalCostTable
 from repro.core.parallelism import (
     HierarchicalAssignment,
     LayerAssignment,
@@ -77,6 +87,50 @@ class HierarchicalPartitioner:
         return 1 << self.num_levels
 
     # ------------------------------------------------------------------
+    # Cost-table compilation.
+    # ------------------------------------------------------------------
+
+    def compile_table(self, model: DNNModel, batch_size: int) -> HierarchicalCostTable:
+        """Compile the reusable cost table for ``model`` at ``batch_size``."""
+        return HierarchicalCostTable(
+            model,
+            batch_size,
+            self.num_levels,
+            scaling_mode=self.scaling_mode,
+            communication_model=self.communication_model,
+        )
+
+    def _check_table(
+        self, table: HierarchicalCostTable, model: DNNModel, batch_size: int
+    ) -> None:
+        table.check_compatible(
+            model,
+            batch_size,
+            self.num_levels,
+            self.scaling_mode,
+            self.communication_model,
+        )
+
+    def _level_tables(
+        self,
+        model: DNNModel,
+        batch_size: int,
+        table: HierarchicalCostTable | None,
+    ) -> "_LevelTableProvider":
+        """Per-level cost tables for one descent through the hierarchy.
+
+        With a compiled table the levels are pure gathers; without one they
+        are derived along the actual scale descent (cheaper than compiling
+        the whole state space for a single search or evaluation).
+        """
+        if table is not None:
+            self._check_table(table, model, batch_size)
+            return _CompiledLevelTables(table)
+        return _DescentLevelTables(
+            model, batch_size, self.communication_model, self.scaling_mode
+        )
+
+    # ------------------------------------------------------------------
     # Search.
     # ------------------------------------------------------------------
 
@@ -84,23 +138,23 @@ class HierarchicalPartitioner:
         self,
         model: DNNModel,
         batch_size: int = DEFAULT_BATCH_SIZE,
+        table: HierarchicalCostTable | None = None,
     ) -> HierarchicalResult:
         """Search the parallelism list for every hierarchy level of ``model``."""
+        provider = self._level_tables(model, batch_size, table)
         levels: list[LevelResult] = []
-        scales = initial_scales(len(model))
         for level in range(self.num_levels):
-            tensors = model_tensors(model, batch_size, scales)
-            result = self._two_way.partition_tensors(tensors)
+            result = provider.level_table(level).dp_partition()
             levels.append(
                 LevelResult(
                     level=level,
                     assignment=result.assignment,
                     communication_bytes=result.communication_bytes,
                     num_pairs=1 << level,
-                    breakdown=result.breakdown,
+                    breakdown_factory=lambda result=result: result.breakdown,
                 )
             )
-            scales = descend_scales(scales, result.assignment, self.scaling_mode)
+            provider.advance(result.assignment)
 
         assignment = HierarchicalAssignment(tuple(lvl.assignment for lvl in levels))
         return HierarchicalResult(
@@ -119,23 +173,54 @@ class HierarchicalPartitioner:
         model: DNNModel,
         assignment: HierarchicalAssignment,
         batch_size: int = DEFAULT_BATCH_SIZE,
+        table: HierarchicalCostTable | None = None,
     ) -> HierarchicalResult:
         """Total communication of a given (possibly sub-optimal) assignment.
 
         The same scale-descent rules used by the search are applied, so the
         costs of searched and hand-specified assignments are directly
-        comparable.
+        comparable.  Per-layer breakdowns materialize lazily on access.
         """
-        if assignment.num_levels != self.num_levels:
-            raise ValueError(
-                f"assignment has {assignment.num_levels} levels, "
-                f"partitioner expects {self.num_levels}"
+        self._check_assignment(model, assignment)
+        provider = self._level_tables(model, batch_size, table)
+        levels: list[LevelResult] = []
+        for level in range(self.num_levels):
+            level_assignment = assignment[level]
+            level_table = provider.level_table(level)
+            levels.append(
+                LevelResult(
+                    level=level,
+                    assignment=level_assignment,
+                    communication_bytes=level_table.total_bytes(level_assignment),
+                    num_pairs=1 << level,
+                    breakdown_factory=lambda t=level_table, a=level_assignment: tuple(
+                        t.communication_model.layer_breakdown(t.tensors, a)
+                    ),
+                )
             )
-        if assignment.num_layers != len(model):
-            raise ValueError(
-                f"assignment covers {assignment.num_layers} layers, "
-                f"model {model.name!r} has {len(model)}"
-            )
+            provider.advance(level_assignment)
+
+        return HierarchicalResult(
+            model_name=model.name,
+            batch_size=batch_size,
+            assignment=assignment,
+            levels=tuple(levels),
+        )
+
+    def evaluate_reference(
+        self,
+        model: DNNModel,
+        assignment: HierarchicalAssignment,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+    ) -> HierarchicalResult:
+        """Object-based evaluation: the oracle for the table-driven path.
+
+        Re-derives the :class:`~repro.core.tensors.LayerTensors` list level
+        by level with :func:`~repro.core.tensors.descend_scales`, exactly as
+        the original implementation did; :meth:`evaluate` must agree with it
+        bit for bit.
+        """
+        self._check_assignment(model, assignment)
         levels: list[LevelResult] = []
         scales: Sequence[TensorScale] = initial_scales(len(model))
         for level in range(self.num_levels):
@@ -160,6 +245,20 @@ class HierarchicalPartitioner:
             levels=tuple(levels),
         )
 
+    def _check_assignment(
+        self, model: DNNModel, assignment: HierarchicalAssignment
+    ) -> None:
+        if assignment.num_levels != self.num_levels:
+            raise ValueError(
+                f"assignment has {assignment.num_levels} levels, "
+                f"partitioner expects {self.num_levels}"
+            )
+        if assignment.num_layers != len(model):
+            raise ValueError(
+                f"assignment covers {assignment.num_layers} layers, "
+                f"model {model.name!r} has {len(model)}"
+            )
+
     # ------------------------------------------------------------------
     # Convenience evaluations of the canonical baselines.
     # ------------------------------------------------------------------
@@ -169,19 +268,68 @@ class HierarchicalPartitioner:
         model: DNNModel,
         parallelism: Parallelism,
         batch_size: int = DEFAULT_BATCH_SIZE,
+        table: HierarchicalCostTable | None = None,
     ) -> HierarchicalResult:
         """Cost of the default Data Parallelism or Model Parallelism."""
         assignment = HierarchicalAssignment.uniform(
             parallelism, self.num_levels, len(model)
         )
-        return self.evaluate(model, assignment, batch_size)
+        return self.evaluate(model, assignment, batch_size, table=table)
 
     def evaluate_per_level(
         self,
         model: DNNModel,
         level_assignment: LayerAssignment,
         batch_size: int = DEFAULT_BATCH_SIZE,
+        table: HierarchicalCostTable | None = None,
     ) -> HierarchicalResult:
         """Cost of repeating the same per-layer list at every hierarchy level."""
         assignment = HierarchicalAssignment(tuple([level_assignment] * self.num_levels))
-        return self.evaluate(model, assignment, batch_size)
+        return self.evaluate(model, assignment, batch_size, table=table)
+
+
+class _CompiledLevelTables:
+    """Level tables gathered from a pre-compiled :class:`HierarchicalCostTable`."""
+
+    def __init__(self, table: HierarchicalCostTable) -> None:
+        self._table = table
+        self._states = [0] * table.num_layers
+
+    def level_table(self, level: int):
+        return self._table.level_cost_table(level, self._states)
+
+    def advance(self, assignment: LayerAssignment) -> None:
+        if self._table.scaling_mode is not ScalingMode.PARALLELISM_AWARE:
+            return
+        self._states = [
+            state + (1 if choice is Parallelism.MODEL else 0)
+            for state, choice in zip(self._states, assignment)
+        ]
+
+
+class _DescentLevelTables:
+    """Level tables derived along the actual scale descent (no full compile).
+
+    A single search or evaluation only visits one ``(level, states)``
+    combination per level, so deriving the tensors on the way down -- the
+    original object-path structure -- is cheaper than compiling every
+    reachable state.  The floats are identical either way.
+    """
+
+    def __init__(self, model, batch_size, communication_model, scaling_mode) -> None:
+        self._model = model
+        self._batch_size = batch_size
+        self._communication_model = communication_model
+        self._scaling_mode = scaling_mode
+        self._scales: Sequence[TensorScale] = initial_scales(len(model))
+
+    def level_table(self, level: int) -> CostTable:
+        tensors = model_tensors(self._model, self._batch_size, self._scales)
+        return CostTable.from_tensors(tensors, self._communication_model)
+
+    def advance(self, assignment: LayerAssignment) -> None:
+        self._scales = descend_scales(self._scales, assignment, self._scaling_mode)
+
+
+#: Either provider satisfies the same two-method protocol.
+_LevelTableProvider = Union[_CompiledLevelTables, _DescentLevelTables]

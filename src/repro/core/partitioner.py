@@ -14,6 +14,16 @@ as in the paper's Algorithm 1:
 
 The answer is ``min(com_dp[L-1], com_mp[L-1])`` with the argmin chain giving
 the parallelism list.
+
+Two implementations of the recurrence exist:
+
+* :meth:`TwoWayPartitioner.partition_tensors` compiles the tensors into a
+  :class:`~repro.core.costs.CostTable` and runs the array DP over it -- the
+  table is the same object the batch scorers reuse, and the winning
+  result's breakdown is materialized lazily;
+* :meth:`TwoWayPartitioner.partition_tensors_reference` is the original
+  object-based scalar DP, kept as the oracle the vectorized path is
+  property-tested against (the two agree bit-exactly).
 """
 
 from __future__ import annotations
@@ -21,6 +31,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.core.communication import CommunicationModel
+from repro.core.costs import CostTable
 from repro.core.parallelism import LayerAssignment, Parallelism
 from repro.core.result import PartitionResult
 from repro.core.tensors import LayerTensors, TensorScale, model_tensors
@@ -44,8 +55,30 @@ class TwoWayPartitioner:
     # Core dynamic program over pre-computed tensor amounts.
     # ------------------------------------------------------------------
 
+    def compile_table(self, tensors: Sequence[LayerTensors]) -> CostTable:
+        """Compile per-layer tensor amounts into a reusable cost table."""
+        return CostTable.from_tensors(tensors, self.communication_model)
+
     def partition_tensors(self, tensors: Sequence[LayerTensors]) -> PartitionResult:
-        """Run the dynamic program over per-layer tensor amounts."""
+        """Run the dynamic program over per-layer tensor amounts.
+
+        Compiles a :class:`~repro.core.costs.CostTable` and runs the array
+        DP over it; bit-exact with :meth:`partition_tensors_reference`.
+        """
+        if not tensors:
+            raise ValueError("cannot partition a model with no weighted layers")
+        return self.compile_table(tensors).dp_partition()
+
+    def partition_tensors_reference(
+        self, tensors: Sequence[LayerTensors]
+    ) -> PartitionResult:
+        """Object-based scalar DP: the oracle for the vectorized path.
+
+        Kept verbatim from the original implementation so the property
+        tests can assert the :class:`~repro.core.costs.CostTable` DP returns
+        the same optimum bytes and the same argmin assignment, including
+        the tie rule (ties favour data parallelism at every step).
+        """
         if not tensors:
             raise ValueError("cannot partition a model with no weighted layers")
         model = self.communication_model
@@ -129,11 +162,17 @@ class TwoWayPartitioner:
         tensors: Sequence[LayerTensors],
         assignment: LayerAssignment,
     ) -> PartitionResult:
-        """Cost of an arbitrary (not necessarily optimal) assignment."""
-        breakdown = self.communication_model.layer_breakdown(tensors, assignment)
-        total = sum(record.total_bytes for record in breakdown)
+        """Cost of an arbitrary (not necessarily optimal) assignment.
+
+        Uses the :meth:`CommunicationModel.total_bytes` fast path, so no
+        per-layer breakdown objects are allocated unless the caller reads
+        ``result.breakdown``.
+        """
+        model = self.communication_model
+        total = model.total_bytes(tensors, assignment)
+        tensors = tuple(tensors)
         return PartitionResult(
             assignment=assignment,
             communication_bytes=total,
-            breakdown=tuple(breakdown),
+            breakdown_factory=lambda: tuple(model.layer_breakdown(tensors, assignment)),
         )

@@ -1,16 +1,52 @@
-"""Result records returned by the partition algorithms."""
+"""Result records returned by the partition algorithms.
+
+``PartitionResult`` and ``LevelResult`` support a *lazy* per-layer
+breakdown: hot paths (the vectorized searches of :mod:`repro.core.costs`,
+the sweep evaluators, ``TwoWayPartitioner.evaluate``) construct results with
+a ``breakdown_factory`` instead of an eager tuple, so the
+:class:`~repro.core.communication.LayerCommunication` objects are only
+allocated for the candidates somebody actually reports on -- typically just
+the winner of a search over millions of assignments.  Accessing
+``.breakdown`` materializes (and caches) the records transparently, so
+reporting callers are unaffected.
+"""
 
 from __future__ import annotations
 
-import dataclasses
-from typing import Sequence
+from typing import Callable, Sequence
 
 from repro.core.communication import LayerCommunication
 from repro.core.parallelism import HierarchicalAssignment, LayerAssignment
 
+BreakdownFactory = Callable[[], tuple[LayerCommunication, ...]]
 
-@dataclasses.dataclass(frozen=True)
-class PartitionResult:
+
+class _LazyBreakdown:
+    """Shared machinery: an eager tuple or a factory invoked on first access."""
+
+    __slots__ = ("_breakdown", "_breakdown_factory")
+
+    def _init_breakdown(
+        self,
+        breakdown: tuple[LayerCommunication, ...] | None,
+        breakdown_factory: BreakdownFactory | None,
+    ) -> None:
+        if breakdown is None and breakdown_factory is None:
+            raise ValueError("either breakdown or breakdown_factory is required")
+        self._breakdown = tuple(breakdown) if breakdown is not None else None
+        self._breakdown_factory = breakdown_factory
+
+    @property
+    def breakdown(self) -> tuple[LayerCommunication, ...]:
+        """Per-layer records, materialized on first access and cached."""
+        if self._breakdown is None:
+            self._breakdown = tuple(self._breakdown_factory())
+            # Release the factory: it pins tensors/tables in its closure.
+            self._breakdown_factory = None
+        return self._breakdown
+
+
+class PartitionResult(_LazyBreakdown):
     """Outcome of Algorithm 1 (partition between two accelerator groups).
 
     Attributes
@@ -22,16 +58,46 @@ class PartitionResult:
         Total traffic (bytes) between the two groups for one training step
         under ``assignment``.
     breakdown:
-        Per-layer intra-/inter-layer traffic under ``assignment``.
+        Per-layer intra-/inter-layer traffic under ``assignment``; lazily
+        materialized when the result was produced by a batch search.
     """
 
-    assignment: LayerAssignment
-    communication_bytes: float
-    breakdown: tuple[LayerCommunication, ...]
+    __slots__ = ("assignment", "communication_bytes")
+
+    def __init__(
+        self,
+        assignment: LayerAssignment,
+        communication_bytes: float,
+        breakdown: tuple[LayerCommunication, ...] | None = None,
+        breakdown_factory: BreakdownFactory | None = None,
+    ) -> None:
+        self.assignment = assignment
+        self.communication_bytes = communication_bytes
+        self._init_breakdown(breakdown, breakdown_factory)
 
     @property
     def num_layers(self) -> int:
         return self.assignment.num_layers
+
+    def __eq__(self, other: object) -> bool:
+        # Value semantics, as the frozen-dataclass predecessor had; comparing
+        # materializes lazy breakdowns, which is fine for the rare compare.
+        if not isinstance(other, PartitionResult):
+            return NotImplemented
+        return (
+            self.assignment == other.assignment
+            and self.communication_bytes == other.communication_bytes
+            and self.breakdown == other.breakdown
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.assignment, self.communication_bytes))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PartitionResult(assignment={self.assignment!r}, "
+            f"communication_bytes={self.communication_bytes!r})"
+        )
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -40,8 +106,7 @@ class PartitionResult:
         )
 
 
-@dataclasses.dataclass(frozen=True)
-class LevelResult:
+class LevelResult(_LazyBreakdown):
     """One hierarchy level of a hierarchical partition.
 
     ``communication_bytes`` is the traffic crossing *one* pair boundary at
@@ -49,30 +114,68 @@ class LevelResult:
     (``2**level``), so the level's total contribution is their product.
     """
 
-    level: int
-    assignment: LayerAssignment
-    communication_bytes: float
-    num_pairs: int
-    breakdown: tuple[LayerCommunication, ...]
+    __slots__ = ("level", "assignment", "communication_bytes", "num_pairs")
+
+    def __init__(
+        self,
+        level: int,
+        assignment: LayerAssignment,
+        communication_bytes: float,
+        num_pairs: int,
+        breakdown: tuple[LayerCommunication, ...] | None = None,
+        breakdown_factory: BreakdownFactory | None = None,
+    ) -> None:
+        self.level = level
+        self.assignment = assignment
+        self.communication_bytes = communication_bytes
+        self.num_pairs = num_pairs
+        self._init_breakdown(breakdown, breakdown_factory)
 
     @property
     def total_bytes(self) -> float:
         """Traffic summed over all pair boundaries at this level."""
         return self.communication_bytes * self.num_pairs
 
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LevelResult):
+            return NotImplemented
+        return (
+            self.level == other.level
+            and self.assignment == other.assignment
+            and self.communication_bytes == other.communication_bytes
+            and self.num_pairs == other.num_pairs
+            and self.breakdown == other.breakdown
+        )
 
-@dataclasses.dataclass(frozen=True)
+    def __hash__(self) -> int:
+        return hash((self.level, self.assignment, self.communication_bytes, self.num_pairs))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"LevelResult(level={self.level!r}, assignment={self.assignment!r}, "
+            f"communication_bytes={self.communication_bytes!r}, "
+            f"num_pairs={self.num_pairs!r})"
+        )
+
+
 class HierarchicalResult:
     """Outcome of Algorithm 2 (hierarchical partition of the whole array)."""
 
-    model_name: str
-    batch_size: int
-    assignment: HierarchicalAssignment
-    levels: tuple[LevelResult, ...]
+    __slots__ = ("model_name", "batch_size", "assignment", "levels")
 
-    def __post_init__(self) -> None:
-        if len(self.levels) != self.assignment.num_levels:
+    def __init__(
+        self,
+        model_name: str,
+        batch_size: int,
+        assignment: HierarchicalAssignment,
+        levels: tuple[LevelResult, ...],
+    ) -> None:
+        if len(levels) != assignment.num_levels:
             raise ValueError("levels and assignment disagree on the number of levels")
+        self.model_name = model_name
+        self.batch_size = batch_size
+        self.assignment = assignment
+        self.levels = tuple(levels)
 
     @property
     def num_levels(self) -> int:
@@ -109,6 +212,25 @@ class HierarchicalResult:
             )
             lines.append(f"  {name:<12s} {choices}")
         return "\n".join(lines)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, HierarchicalResult):
+            return NotImplemented
+        return (
+            self.model_name == other.model_name
+            and self.batch_size == other.batch_size
+            and self.assignment == other.assignment
+            and self.levels == other.levels
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.model_name, self.batch_size, self.assignment))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"HierarchicalResult(model_name={self.model_name!r}, "
+            f"batch_size={self.batch_size!r}, levels={self.num_levels})"
+        )
 
 
 def summarize_levels(levels: Sequence[LevelResult]) -> dict:

@@ -27,9 +27,12 @@ When a parent hierarchy level assigns a layer
   are unchanged.
 
 These rules mirror exactly which tensors each accelerator holds in
-Figure 1 of the paper.  A ``uniform`` mode (everything halves each level)
-and a ``none`` mode (the paper's literal pseudocode, amounts identical at
-every level) are provided for the ablation study described in DESIGN.md.
+Figure 1 of the paper.  A ``uniform`` mode (the batch fraction halves each
+level regardless of the choice, so batch-proportional amounts -- feature
+maps, errors and MACs -- halve while the kernel/gradient amounts stay
+whole) and a ``none`` mode (the paper's literal pseudocode, amounts
+identical at every level) are provided for the ablation study described in
+DESIGN.md.
 """
 
 from __future__ import annotations
@@ -51,7 +54,9 @@ class ScalingMode(enum.Enum):
     #: dp halves feature/error amounts, mp halves kernel/gradient and
     #: output-side amounts (default; matches the tensor holdings of Fig. 1).
     PARALLELISM_AWARE = "parallelism-aware"
-    #: Every amount halves at every level regardless of the choice made.
+    #: The batch fraction halves at every level regardless of the choice
+    #: made, so the batch-proportional amounts (feature maps, errors, MACs)
+    #: halve while the kernel and gradient amounts stay whole.
     UNIFORM = "uniform"
     #: Amounts are identical at every level (the literal Algorithm 2 pseudocode).
     NONE = "none"
@@ -91,9 +96,10 @@ class TensorScale:
         if mode is ScalingMode.NONE:
             return self
         if mode is ScalingMode.UNIFORM:
-            # Halve whichever dimension the choice partitions -- but in
-            # uniform mode both fractions are halved together so that the
-            # total amount per layer halves regardless of the choice.
+            # Choice-independent descent: halve the batch fraction only, so
+            # feature maps, errors and MACs halve at every level while the
+            # kernel (and gradient) stay whole -- every group always holds a
+            # full kernel copy under uniform scaling.
             return TensorScale(self.batch_fraction * 0.5, self.weight_fraction)
         if choice is Parallelism.DATA:
             return TensorScale(self.batch_fraction * 0.5, self.weight_fraction)

@@ -53,7 +53,7 @@ class HTreeTopology(Topology):
             depth += 1
         return graph
 
-    def effective_pair_bandwidth(self, level: int) -> float:
+    def _compute_effective_pair_bandwidth(self, level: int) -> float:
         """Per-boundary bandwidth: doubles for every level above the deepest.
 
         With ``H`` levels, the deepest level (``H-1``) gets the base link
@@ -62,12 +62,10 @@ class HTreeTopology(Topology):
         6.5.1.  Because the tree dedicates those links to that boundary,
         no contention discount is applied.
         """
-        self._check_level(level)
         return self.link_bandwidth_bytes * (2 ** (self.num_levels - 1 - level))
 
-    def average_hops(self, level: int) -> float:
+    def _compute_average_hops(self, level: int) -> float:
         """Average hops: up to the common ancestor at depth ``level`` and back down."""
-        self._check_level(level)
         pairs = hierarchical_groups(self.num_accelerators, level)
         left, right = pairs[0]
         return self._mean_pair_distance(left, right)

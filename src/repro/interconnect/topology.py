@@ -78,6 +78,13 @@ class Topology(abc.ABC):
         self.num_accelerators = num_accelerators
         self.link_bandwidth_bytes = link_bandwidth_bytes
         self._graph: nx.Graph | None = None
+        # The graph is immutable once built, and the simulator asks for the
+        # same per-level quantities for every communication task of every
+        # simulated step -- recomputing all-pairs shortest paths there
+        # dominated whole parallelism-space sweeps before these caches.
+        self._lengths: dict | None = None
+        self._hops_cache: dict[int, float] = {}
+        self._bandwidth_cache: dict[int, float] = {}
 
     # ------------------------------------------------------------------
     # Structure.
@@ -108,13 +115,33 @@ class Topology(abc.ABC):
     # Quantities consumed by the simulator.
     # ------------------------------------------------------------------
 
-    @abc.abstractmethod
     def effective_pair_bandwidth(self, level: int) -> float:
-        """Bandwidth (bytes/s) usable by one pair boundary at ``level``."""
+        """Bandwidth (bytes/s) usable by one pair boundary at ``level``.
+
+        Memoized per level: the value only depends on the (immutable) graph.
+        """
+        self._check_level(level)
+        if level not in self._bandwidth_cache:
+            self._bandwidth_cache[level] = self._compute_effective_pair_bandwidth(level)
+        return self._bandwidth_cache[level]
+
+    def average_hops(self, level: int) -> float:
+        """Average physical link hops for one word exchanged at ``level``.
+
+        Memoized per level: the value only depends on the (immutable) graph.
+        """
+        self._check_level(level)
+        if level not in self._hops_cache:
+            self._hops_cache[level] = self._compute_average_hops(level)
+        return self._hops_cache[level]
 
     @abc.abstractmethod
-    def average_hops(self, level: int) -> float:
-        """Average physical link hops for one word exchanged at ``level``."""
+    def _compute_effective_pair_bandwidth(self, level: int) -> float:
+        """Uncached per-boundary bandwidth (bytes/s) at ``level``."""
+
+    @abc.abstractmethod
+    def _compute_average_hops(self, level: int) -> float:
+        """Uncached average hop count for one word exchanged at ``level``."""
 
     # ------------------------------------------------------------------
     # Shared helpers for graph-derived metrics.
@@ -125,6 +152,12 @@ class Topology(abc.ABC):
             raise ValueError(
                 f"level {level} out of range for {self.num_accelerators} accelerators"
             )
+
+    def _shortest_path_lengths(self) -> dict:
+        """All-pairs shortest-path lengths of the graph, computed once."""
+        if self._lengths is None:
+            self._lengths = dict(nx.all_pairs_shortest_path_length(self.graph))
+        return self._lengths
 
     def _cut_bandwidth(self, left: Sequence[int], right: Sequence[int]) -> float:
         """Aggregate bandwidth of the graph edges crossing a node bipartition.
@@ -143,7 +176,7 @@ class Topology(abc.ABC):
                 side[node] = "right"
         # Assign remaining (switch) nodes by shortest-path distance to the
         # two accelerator groups.
-        lengths = dict(nx.all_pairs_shortest_path_length(graph))
+        lengths = self._shortest_path_lengths()
         for node in graph.nodes:
             if node in side:
                 continue
@@ -174,10 +207,9 @@ class Topology(abc.ABC):
 
     def _mean_pair_distance(self, left: Sequence[int], right: Sequence[int]) -> float:
         """Mean shortest-path hop count between accelerators of the two groups."""
-        graph = self.graph
         total = 0.0
         count = 0
-        lengths = dict(nx.all_pairs_shortest_path_length(graph))
+        lengths = self._shortest_path_lengths()
         for a in left:
             for b in right:
                 total += lengths[a][b]

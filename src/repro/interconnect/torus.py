@@ -61,7 +61,7 @@ class TorusTopology(Topology):
                 graph.add_edge(index, down, bandwidth=self.link_bandwidth_bytes)
         return graph
 
-    def effective_pair_bandwidth(self, level: int) -> float:
+    def _compute_effective_pair_bandwidth(self, level: int) -> float:
         """Bandwidth directly joining the two groups, discounted by path length.
 
         Only the links whose both endpoints belong to the pair are counted
@@ -73,7 +73,6 @@ class TorusTopology(Topology):
         traffic pattern of the hierarchical partition is served by dedicated
         fat-tree links, while on the mesh it zig-zags across shared ones.
         """
-        self._check_level(level)
         pairs = hierarchical_groups(self.num_accelerators, level)
         left, right = pairs[0]
         cut = self._direct_cut_bandwidth(left, right)
@@ -84,9 +83,8 @@ class TorusTopology(Topology):
         hops = max(1.0, self._mean_pair_distance(left, right))
         return cut / hops
 
-    def average_hops(self, level: int) -> float:
+    def _compute_average_hops(self, level: int) -> float:
         """Mean shortest-path hop count between the two groups of a boundary."""
-        self._check_level(level)
         pairs = hierarchical_groups(self.num_accelerators, level)
         left, right = pairs[0]
         return self._mean_pair_distance(left, right)

@@ -22,23 +22,26 @@ class SimulationError(RuntimeError):
     """Raised when the task graph cannot be scheduled (cycles, missing deps)."""
 
 
-@dataclasses.dataclass
 class Resource:
     """A serially reusable resource (a PU, a link, a DRAM channel).
 
     ``available_at`` tracks the simulated time at which the resource becomes
     free; tasks claiming the resource execute back to back in the order the
-    engine starts them.
+    engine starts them.  A plain ``__slots__`` class (identity-hashed, like
+    the registry entries they are): simulations create one task graph per
+    sweep point, so attribute access and allocation are on the hot path.
     """
 
-    name: str
-    available_at: float = 0.0
+    __slots__ = ("name", "available_at")
 
-    def __hash__(self) -> int:  # resources are identity-hashable registry entries
-        return id(self)
+    def __init__(self, name: str, available_at: float = 0.0) -> None:
+        self.name = name
+        self.available_at = available_at
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Resource(name={self.name!r}, available_at={self.available_at!r})"
 
 
-@dataclasses.dataclass
 class Task:
     """One unit of simulated work.
 
@@ -57,16 +60,28 @@ class Task:
         carried through to the schedule for reporting.
     """
 
-    name: str
-    duration: float
-    resources: tuple[Resource, ...] = ()
-    deps: tuple["Task", ...] = ()
-    tags: dict = dataclasses.field(default_factory=dict)
-    start: float | None = None
-    end: float | None = None
+    __slots__ = ("name", "duration", "resources", "deps", "tags", "start", "end")
 
-    def __hash__(self) -> int:
-        return id(self)
+    def __init__(
+        self,
+        name: str,
+        duration: float,
+        resources: tuple[Resource, ...] = (),
+        deps: tuple["Task", ...] = (),
+        tags: dict | None = None,
+        start: float | None = None,
+        end: float | None = None,
+    ) -> None:
+        self.name = name
+        self.duration = duration
+        self.resources = resources
+        self.deps = deps
+        self.tags = {} if tags is None else tags
+        self.start = start
+        self.end = end
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Task(name={self.name!r}, duration={self.duration!r})"
 
 
 @dataclasses.dataclass(frozen=True)
@@ -122,6 +137,7 @@ class EventDrivenEngine:
 
     def __init__(self) -> None:
         self._tasks: List[Task] = []
+        self._task_set: set[Task] = set()
         self._names: set[str] = set()
         self._resources: Dict[str, Resource] = {}
         self._counter = itertools.count()
@@ -157,16 +173,14 @@ class EventDrivenEngine:
             tags=dict(tags or {}),
         )
         for dep in task.deps:
-            if dep not in self._tasks_set():
+            if dep not in self._task_set:
                 raise SimulationError(
                     f"task {name!r} depends on unknown task {dep.name!r}"
                 )
         self._tasks.append(task)
+        self._task_set.add(task)
         self._names.add(name)
         return task
-
-    def _tasks_set(self) -> set:
-        return set(self._tasks)
 
     # ------------------------------------------------------------------
     # Execution.

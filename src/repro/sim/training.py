@@ -22,6 +22,13 @@ Energy is accumulated analytically from the same quantities: arithmetic,
 on-chip buffer and local DRAM energy are identical under every strategy
 (the work is merely partitioned differently), while communication energy
 scales with the bytes and hop counts of the exchanges.
+
+The per-level communication amounts are gathered from a compiled
+:class:`~repro.core.costs.HierarchicalCostTable` (cached per
+``(model, batch size)``, or passed in via ``simulate(..., cost_table=...)``
+by sweeps that pre-compile one), so repeated simulations of the same model
+-- the Figures 9/10 sweeps, the strategy comparisons -- derive the
+scale-descent tensor amounts once instead of once per level per point.
 """
 
 from __future__ import annotations
@@ -30,9 +37,10 @@ from typing import Sequence
 
 from repro.accelerator.array import ArrayConfig
 from repro.core.communication import CommunicationModel
+from repro.core.costs import HierarchicalCostTable
 from repro.core.hierarchical import HierarchicalPartitioner
 from repro.core.parallelism import HierarchicalAssignment, Parallelism
-from repro.core.tensors import ScalingMode, descend_scales, initial_scales, model_tensors
+from repro.core.tensors import ScalingMode
 from repro.interconnect import HTreeTopology, Topology
 from repro.nn.model import DNNModel
 from repro.sim.engine import EventDrivenEngine, Task
@@ -82,6 +90,38 @@ class TrainingSimulator:
                 )
         self.communication_model = communication_model or CommunicationModel()
         self.scaling_mode = ScalingMode.parse(scaling_mode)
+        # Compiled cost tables keyed by (model identity, batch size).  The
+        # table holds a strong reference to its model, so the id cannot be
+        # recycled while the entry lives; sweeps re-simulating one model
+        # hundreds of times (Figures 9/10) hit this cache on every point.
+        self._table_cache: dict[tuple[int, int], HierarchicalCostTable] = {}
+        # Layer-pass executions depend on (layer, work), not on the
+        # assignment, so every point of a sweep issues identical passes.
+        # Keyed by the (frozen, hashable) layer itself plus the work amounts.
+        self._pass_cache: dict = {}
+
+    # ------------------------------------------------------------------
+    # Cost-table management.
+    # ------------------------------------------------------------------
+
+    _TABLE_CACHE_LIMIT = 16
+
+    def cost_table(self, model: DNNModel, batch_size: int) -> HierarchicalCostTable:
+        """The compiled cost table for ``model`` at ``batch_size`` (cached)."""
+        key = (id(model), batch_size)
+        table = self._table_cache.get(key)
+        if table is None:
+            if len(self._table_cache) >= self._TABLE_CACHE_LIMIT:
+                self._table_cache.clear()
+            table = HierarchicalCostTable(
+                model,
+                batch_size,
+                self.array.num_levels,
+                scaling_mode=self.scaling_mode,
+                communication_model=self.communication_model,
+            )
+            self._table_cache[key] = table
+        return table
 
     # ------------------------------------------------------------------
     # Public entry point.
@@ -93,11 +133,16 @@ class TrainingSimulator:
         assignment: HierarchicalAssignment | None,
         batch_size: int,
         strategy_name: str = "custom",
+        cost_table: HierarchicalCostTable | None = None,
     ) -> TrainingStepReport:
         """Simulate one training step and return its report.
 
         ``assignment`` may be ``None`` only for a single-accelerator array,
         in which case there is no inter-accelerator communication at all.
+        ``cost_table`` optionally supplies an already-compiled
+        :class:`~repro.core.costs.HierarchicalCostTable` (it must match this
+        simulator's configuration); otherwise one is compiled and cached per
+        (model, batch size).
         """
         num_levels = self.array.num_levels
         if num_levels == 0:
@@ -117,13 +162,20 @@ class TrainingSimulator:
                     f"assignment covers {assignment.num_layers} layers, "
                     f"model has {len(model)}"
                 )
-            level_comm = self._per_level_communication(model, assignment, batch_size)
+            level_comm = self._per_level_communication(
+                model, assignment, batch_size, cost_table
+            )
 
         engine = EventDrivenEngine()
         pu = engine.resource("array-pu")
         link_resources = [
             engine.resource(f"link-level-{level}") for level in range(num_levels)
         ]
+        # Per-level interconnect quantities, hoisted out of the task loops.
+        level_bandwidth = [
+            self.topology.effective_pair_bandwidth(level) for level in range(num_levels)
+        ]
+        level_hops = [self.topology.average_hops(level) for level in range(num_levels)]
 
         accelerators = self.array.accelerators()
         reference_accelerator = accelerators[0]
@@ -139,15 +191,23 @@ class TrainingSimulator:
         # Helper closures.
         # ------------------------------------------------------------------
 
+        pass_cache = self._pass_cache
+
         def add_compute(
             name: str, layer, macs_total: float, dram_words_total: float, phase: str, deps
         ) -> Task:
             nonlocal compute_energy, sram_energy, dram_energy
-            execution = reference_accelerator.execute_layer_pass(
-                layer,
-                macs_total / num_accelerators,
-                dram_words_total / num_accelerators,
-            )
+            cache_key = (layer, macs_total, dram_words_total, num_accelerators)
+            execution = pass_cache.get(cache_key)
+            if execution is None:
+                if len(pass_cache) >= 4096:
+                    pass_cache.clear()
+                execution = reference_accelerator.execute_layer_pass(
+                    layer,
+                    macs_total / num_accelerators,
+                    dram_words_total / num_accelerators,
+                )
+                pass_cache[cache_key] = execution
             # Energy is accumulated for the *whole* array: every accelerator
             # performs 1/N of the work, so the total equals the unpartitioned
             # amounts.
@@ -169,18 +229,15 @@ class TrainingSimulator:
             nonlocal comm_energy
             last: Task | None = None
             chain_deps = tuple(deps)
-            added_any = False
             for level in reversed(range(num_levels)):
                 per_pair = bytes_per_level[level]
                 if per_pair <= 0:
                     continue
-                added_any = True
                 num_pairs = 1 << level
                 level_comm_bytes[level] += per_pair * num_pairs
-                duration = per_pair / self.topology.effective_pair_bandwidth(level)
-                hops = self.topology.average_hops(level)
+                duration = per_pair / level_bandwidth[level]
                 comm_energy += self.array.energy_model.communication_energy_bytes(
-                    per_pair * num_pairs, hops
+                    per_pair * num_pairs, level_hops[level]
                 )
                 task = engine.add_task(
                     f"{name}/L{level}",
@@ -195,9 +252,13 @@ class TrainingSimulator:
                     },
                 )
                 last = task
-            if not added_any:
-                # Zero-byte exchange: emit a zero-duration marker so callers
-                # can still depend on "the exchange having happened".
+            if last is None:
+                # Zero-byte exchange: nothing to schedule.  When the chain
+                # continues from a single upstream task the caller can depend
+                # on that task directly; otherwise emit a zero-duration
+                # marker so "the exchange happened" stays representable.
+                if len(chain_deps) == 1:
+                    return chain_deps[0]
                 last = engine.add_task(
                     f"{name}/none",
                     0.0,
@@ -296,21 +357,20 @@ class TrainingSimulator:
 
         schedule = engine.run()
 
+        # One pass over the schedule instead of one scan per (phase, kind).
+        phase_durations = {phase: {"compute": 0.0, "communication": 0.0} for phase in PHASES}
+        for task in schedule.tasks:
+            phase = task.tags.get("phase")
+            kind = task.tags.get("kind")
+            bucket = phase_durations.get(phase)
+            if bucket is not None and kind in bucket:
+                bucket[kind] += task.duration
         phase_seconds = {
             phase: PhaseBreakdown(
-                compute_seconds=sum(
-                    task.duration
-                    for task in schedule.tasks
-                    if task.tags.get("phase") == phase and task.tags.get("kind") == "compute"
-                ),
-                communication_seconds=sum(
-                    task.duration
-                    for task in schedule.tasks
-                    if task.tags.get("phase") == phase
-                    and task.tags.get("kind") == "communication"
-                ),
+                compute_seconds=durations["compute"],
+                communication_seconds=durations["communication"],
             )
-            for phase in PHASES
+            for phase, durations in phase_durations.items()
         }
 
         return TrainingStepReport(
@@ -340,39 +400,37 @@ class TrainingSimulator:
         model: DNNModel,
         assignment: HierarchicalAssignment,
         batch_size: int,
+        cost_table: HierarchicalCostTable | None = None,
     ) -> list[list["_LayerLevelComm"]]:
-        """Per-hierarchy-level, per-layer communication records (bytes per pair)."""
-        records: list[list[_LayerLevelComm]] = []
-        scales = initial_scales(len(model))
-        comm = self.communication_model
-        for level in range(assignment.num_levels):
-            tensors = model_tensors(model, batch_size, scales)
-            level_assignment = assignment[level]
-            level_records: list[_LayerLevelComm] = []
-            for index, (layer_tensor, choice) in enumerate(zip(tensors, level_assignment)):
-                intra = comm.intra_layer_bytes(layer_tensor, choice)
-                if index == 0:
-                    inter_fwd = inter_bwd = 0.0
-                else:
-                    previous_choice = level_assignment[index - 1]
-                    boundary = tensors[index - 1]
-                    inter_fwd = comm.inter_layer_forward_bytes(
-                        previous_choice, choice, boundary
-                    )
-                    inter_bwd = comm.inter_layer_backward_bytes(
-                        previous_choice, choice, boundary
-                    )
-                level_records.append(
-                    _LayerLevelComm(
-                        parallelism=choice,
-                        intra_bytes=intra,
-                        inter_forward_bytes=inter_fwd,
-                        inter_backward_bytes=inter_bwd,
-                    )
+        """Per-hierarchy-level, per-layer communication records (bytes per pair).
+
+        Gathered from the compiled cost table: the scale-descent outcomes
+        are derived once per (model, batch) and shared across every
+        simulated assignment instead of rebuilding the tensor lists level by
+        level for each point of a sweep.
+        """
+        if cost_table is None:
+            cost_table = self.cost_table(model, batch_size)
+        else:
+            cost_table.check_compatible(
+                model,
+                batch_size,
+                assignment.num_levels,
+                self.scaling_mode,
+                self.communication_model,
+            )
+        return [
+            [
+                _LayerLevelComm(
+                    parallelism=choice,
+                    intra_bytes=intra,
+                    inter_forward_bytes=inter_fwd,
+                    inter_backward_bytes=inter_bwd,
                 )
-            records.append(level_records)
-            scales = descend_scales(scales, level_assignment, self.scaling_mode)
-        return records
+                for choice, intra, inter_fwd, inter_bwd in level_records
+            ]
+            for level_records in cost_table.level_communication(assignment)
+        ]
 
 
 class _LayerLevelComm:
@@ -411,12 +469,18 @@ def simulate_partitioned(
     """Convenience helper: run HyPar's search, then simulate the result.
 
     Returns the training-step report together with the searched assignment.
+    The search and the simulation share one compiled cost table.
     """
     array = array or ArrayConfig()
-    partitioner = HierarchicalPartitioner(
-        num_levels=array.num_levels, scaling_mode=scaling_mode
-    )
-    result = partitioner.partition(model, batch_size)
     simulator = TrainingSimulator(array, topology, scaling_mode=scaling_mode)
-    report = simulator.simulate(model, result.assignment, batch_size, strategy_name="HyPar")
+    partitioner = HierarchicalPartitioner(
+        num_levels=array.num_levels,
+        communication_model=simulator.communication_model,
+        scaling_mode=scaling_mode,
+    )
+    table = simulator.cost_table(model, batch_size)
+    result = partitioner.partition(model, batch_size, table=table)
+    report = simulator.simulate(
+        model, result.assignment, batch_size, strategy_name="HyPar", cost_table=table
+    )
     return report, result.assignment

@@ -98,6 +98,32 @@ class TestTensorScale:
         assert dp_child == mp_child
         assert dp_child.batch_fraction == 0.5
 
+    def test_descend_uniform_mode_keeps_the_kernel_whole(self):
+        """The documented uniform rule: only the batch fraction halves.
+
+        Feature maps, errors and MACs are batch-proportional and halve at
+        every level; the kernel (and therefore the gradient) stays whole
+        no matter which parallelism was chosen.
+        """
+        scale = TensorScale()
+        for choice in (DATA, MODEL):
+            for level in range(3):
+                child = scale.descend(choice, ScalingMode.UNIFORM)
+                assert child.batch_fraction == scale.batch_fraction * 0.5
+                assert child.weight_fraction == scale.weight_fraction == 1.0
+                scale = child
+            scale = TensorScale()
+
+    def test_uniform_mode_amounts_halve_features_not_weights(self, fc_model):
+        full = layer_tensors(fc_model[0], 32)
+        child_scale = TensorScale().descend(DATA, ScalingMode.UNIFORM)
+        child = layer_tensors(fc_model[0], 32, child_scale)
+        assert child.feature_in == full.feature_in / 2
+        assert child.feature_out == full.feature_out / 2
+        assert child.macs == full.macs / 2
+        assert child.weight == full.weight
+        assert child.gradient == full.gradient
+
     def test_scaled_amounts_affect_features_and_weights(self, fc_model):
         full = layer_tensors(fc_model[0], 32)
         dp_half = layer_tensors(fc_model[0], 32, TensorScale(batch_fraction=0.5))

@@ -1,0 +1,208 @@
+"""Property-based bit-exactness tests for the vectorized cost engine.
+
+The vectorized :class:`~repro.core.costs.CostTable` /
+:class:`~repro.core.costs.HierarchicalCostTable` paths promise *bit-exact*
+agreement with the object-based reference path -- not just approximate
+equality: same optimum bytes, same argmin assignment under the documented
+dp-tie rule, and identical totals for every candidate of an enumeration.
+These tests drive both paths over random models, batch sizes, scales and
+tensor chains and assert exact float equality throughout.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+import numpy as np
+
+from repro.core.communication import CommunicationModel
+from repro.core.costs import CostTable, HierarchicalCostTable
+from repro.core.exhaustive import (
+    exhaustive_two_way,
+    exhaustive_two_way_reference,
+)
+from repro.core.hierarchical import HierarchicalPartitioner
+from repro.core.parallelism import HierarchicalAssignment, LayerAssignment
+from repro.core.partitioner import TwoWayPartitioner
+from repro.core.tensors import (
+    LayerTensors,
+    ScalingMode,
+    TensorScale,
+    model_tensors,
+)
+from repro.nn.layers import ConvLayer, FCLayer
+from repro.nn.model import build_model
+
+amounts = st.floats(min_value=1.0, max_value=1e8, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def tensor_chains(draw, min_layers=1, max_layers=8):
+    count = draw(st.integers(min_value=min_layers, max_value=max_layers))
+    return [
+        LayerTensors(
+            layer_index=index,
+            layer_name=f"layer{index}",
+            is_conv=draw(st.booleans()),
+            feature_in=draw(amounts),
+            feature_out=draw(amounts),
+            weight=draw(amounts),
+            macs=draw(amounts),
+        )
+        for index in range(count)
+    ]
+
+
+@st.composite
+def small_models(draw, max_layers=4):
+    """Random conv/fc stacks (conv layers first, as shapes require)."""
+    num_conv = draw(st.integers(min_value=0, max_value=max_layers - 1))
+    num_fc = draw(st.integers(min_value=1, max_value=max_layers - num_conv))
+    specs = [
+        ConvLayer(
+            name=f"conv{i}",
+            out_channels=draw(st.integers(min_value=1, max_value=24)),
+            kernel_size=3,
+            padding=1,
+        )
+        for i in range(num_conv)
+    ]
+    specs += [
+        FCLayer(name=f"fc{i}", out_features=draw(st.integers(min_value=1, max_value=256)))
+        for i in range(num_fc)
+    ]
+    return build_model("random", (8, 8, 3), specs)
+
+
+@st.composite
+def tensor_scales(draw, num_layers):
+    """Per-layer scales as they occur in real descents (powers of two)."""
+    return [
+        TensorScale(
+            batch_fraction=0.5 ** draw(st.integers(min_value=0, max_value=4)),
+            weight_fraction=0.5 ** draw(st.integers(min_value=0, max_value=4)),
+        )
+        for _ in range(num_layers)
+    ]
+
+
+batch_sizes = st.sampled_from([1, 8, 32, 256, 1024])
+
+
+class TestCostTableMatchesCommunicationModel:
+    @settings(max_examples=60, deadline=None)
+    @given(tensors=tensor_chains(), data=st.data())
+    def test_batch_scorer_is_bit_exact_on_every_candidate(self, tensors, data):
+        """score_bits == CommunicationModel.total_bytes, float for float."""
+        comm = CommunicationModel()
+        table = CostTable.from_tensors(tensors, comm)
+        totals = table.score_bits(np.arange(table.num_assignments))
+        for bits in range(table.num_assignments):
+            assignment = LayerAssignment.from_bits(bits, len(tensors))
+            assert totals[bits] == comm.total_bytes(tensors, assignment)
+
+    @settings(max_examples=60, deadline=None)
+    @given(tensors=tensor_chains())
+    def test_array_dp_matches_reference_dp_exactly(self, tensors):
+        """Same optimum bytes AND same argmin chain (dp-tie rule included)."""
+        partitioner = TwoWayPartitioner()
+        vectorized = partitioner.partition_tensors(tensors)
+        reference = partitioner.partition_tensors_reference(tensors)
+        assert vectorized.communication_bytes == reference.communication_bytes
+        assert vectorized.assignment.choices == reference.assignment.choices
+
+    @settings(max_examples=40, deadline=None)
+    @given(tensors=tensor_chains(max_layers=7))
+    def test_vectorized_brute_force_matches_reference_brute_force(self, tensors):
+        vectorized = exhaustive_two_way(tensors)
+        reference = exhaustive_two_way_reference(tensors)
+        assert vectorized.communication_bytes == reference.communication_bytes
+        assert vectorized.assignment.choices == reference.assignment.choices
+
+    @settings(max_examples=40, deadline=None)
+    @given(data=st.data())
+    def test_real_models_with_scales_are_bit_exact(self, data):
+        """Compiled tables over real layer shapes, batch sizes and scales."""
+        model = data.draw(small_models(), label="model")
+        batch = data.draw(batch_sizes, label="batch")
+        scales = data.draw(tensor_scales(len(model)), label="scales")
+        tensors = model_tensors(model, batch, scales)
+        partitioner = TwoWayPartitioner()
+        vectorized = partitioner.partition_tensors(tensors)
+        reference = partitioner.partition_tensors_reference(tensors)
+        assert vectorized.communication_bytes == reference.communication_bytes
+        assert vectorized.assignment.choices == reference.assignment.choices
+        brute = exhaustive_two_way(tensors)
+        brute_reference = exhaustive_two_way_reference(tensors)
+        assert brute.communication_bytes == brute_reference.communication_bytes
+        assert brute.assignment.choices == brute_reference.assignment.choices
+
+
+class TestHierarchicalTableMatchesObjectPath:
+    @settings(max_examples=30, deadline=None)
+    @given(data=st.data())
+    def test_random_assignments_score_bit_exactly(self, data):
+        model = data.draw(small_models(), label="model")
+        batch = data.draw(batch_sizes, label="batch")
+        num_levels = data.draw(st.integers(min_value=1, max_value=3), label="levels")
+        mode = data.draw(st.sampled_from(list(ScalingMode)), label="mode")
+        partitioner = HierarchicalPartitioner(num_levels=num_levels, scaling_mode=mode)
+        table = partitioner.compile_table(model, batch)
+        assignment = HierarchicalAssignment.of(
+            [
+                [
+                    data.draw(st.integers(min_value=0, max_value=1), label="bit")
+                    for _ in range(len(model))
+                ]
+                for _ in range(num_levels)
+            ]
+        )
+        reference = partitioner.evaluate_reference(model, assignment, batch)
+        assert table.total_bytes(assignment) == reference.total_communication_bytes
+        evaluated = partitioner.evaluate(model, assignment, batch, table=table)
+        assert (
+            evaluated.total_communication_bytes == reference.total_communication_bytes
+        )
+        for fast, slow in zip(evaluated.levels, reference.levels):
+            assert fast.communication_bytes == slow.communication_bytes
+            assert [record.total_bytes for record in fast.breakdown] == [
+                record.total_bytes for record in slow.breakdown
+            ]
+
+    @settings(max_examples=20, deadline=None)
+    @given(data=st.data())
+    def test_search_over_table_matches_object_descent(self, data):
+        """Algorithm 2 driven by the table equals the classic level-by-level
+        descent built from the reference DP and ``descend_scales``."""
+        from repro.core.tensors import descend_scales, initial_scales
+
+        model = data.draw(small_models(), label="model")
+        batch = data.draw(batch_sizes, label="batch")
+        num_levels = data.draw(st.integers(min_value=1, max_value=3), label="levels")
+        mode = data.draw(st.sampled_from(list(ScalingMode)), label="mode")
+        partitioner = HierarchicalPartitioner(num_levels=num_levels, scaling_mode=mode)
+        searched = partitioner.partition(model, batch)
+
+        two_way = TwoWayPartitioner(partitioner.communication_model)
+        scales = initial_scales(len(model))
+        for level in range(num_levels):
+            tensors = model_tensors(model, batch, scales)
+            reference = two_way.partition_tensors_reference(tensors)
+            level_result = searched.levels[level]
+            assert level_result.assignment.choices == reference.assignment.choices
+            assert level_result.communication_bytes == reference.communication_bytes
+            scales = descend_scales(scales, reference.assignment, mode)
+
+    @settings(max_examples=15, deadline=None)
+    @given(data=st.data())
+    def test_hierarchical_batch_scoring_is_bit_exact(self, data):
+        """Every candidate of a small full space scores identically."""
+        model = data.draw(small_models(max_layers=3), label="model")
+        batch = data.draw(batch_sizes, label="batch")
+        num_levels = data.draw(st.integers(min_value=1, max_value=2), label="levels")
+        mode = data.draw(st.sampled_from(list(ScalingMode)), label="mode")
+        partitioner = HierarchicalPartitioner(num_levels=num_levels, scaling_mode=mode)
+        table = partitioner.compile_table(model, batch)
+        totals = table.score_bits(np.arange(1 << table.total_bits))
+        for bits in range(1 << table.total_bits):
+            assignment = table.bits_to_assignment(bits)
+            reference = partitioner.evaluate_reference(model, assignment, batch)
+            assert totals[bits] == reference.total_communication_bytes
