@@ -15,6 +15,11 @@ default, overridable with ``--threshold``).  Also re-checks the recorded
 20x, so the vectorized engine cannot silently fall back below its bar even
 if it stays self-consistent between runs.
 
+Both sides accept either the full ``pytest-benchmark`` JSON format or the
+slim summary baseline written by ``scripts/slim_bench_baseline.py`` (the
+committed ``BENCH_search.json`` is the latter: per-benchmark
+mean/stddev/rounds plus ``extra_info``, without the raw samples).
+
 Absolute latencies are machine-specific: the committed baseline is only
 meaningful on hardware comparable to the machine that produced it.  On a
 different machine, regenerate the baseline once (the pytest command above
@@ -35,9 +40,22 @@ MIN_SPEEDUP = 20.0
 
 
 def load_benchmarks(path: str) -> dict[str, dict]:
+    """Benchmarks keyed by fullname, from either supported format.
+
+    The full pytest-benchmark payload and the slim summary baseline both
+    carry ``benchmarks`` entries with ``fullname``, ``stats.mean`` and
+    ``extra_info``, so a single mapping serves both; the ``format`` marker
+    merely distinguishes them for error messages.
+    """
     with open(path) as handle:
         payload = json.load(handle)
-    return {bench["fullname"]: bench for bench in payload.get("benchmarks", [])}
+    benchmarks = payload.get("benchmarks")
+    if benchmarks is None:
+        raise SystemExit(
+            f"error: {path} is neither a pytest-benchmark JSON nor a "
+            "summary baseline (no 'benchmarks' key)"
+        )
+    return {bench["fullname"]: bench for bench in benchmarks}
 
 
 def main(argv: list[str] | None = None) -> int:

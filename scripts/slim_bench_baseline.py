@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Slim a pytest-benchmark JSON file to the committed summary baseline.
+
+``pytest-benchmark --benchmark-json`` output carries every raw timing
+sample plus the full machine description -- ~12.5k lines for the search
+suite.  The regression guardrail only consumes the per-benchmark mean (and
+the recorded ``extra_info`` speedups), so the committed baseline keeps
+summary statistics only::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_search_performance.py \
+        benchmarks/bench_sweep_throughput.py --benchmark-only \
+        --benchmark-json=bench_full.json
+    python scripts/slim_bench_baseline.py bench_full.json BENCH_search.json
+
+``scripts/check_bench_regression.py`` reads both the full pytest-benchmark
+format and this summary format interchangeably.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+SUMMARY_FORMAT = "hypar-bench-summary/1"
+
+#: The per-benchmark summary statistics kept in the slim baseline.
+SUMMARY_STATS = ("mean", "stddev", "rounds")
+
+
+def slim(payload: dict) -> dict:
+    """The summary document of one full pytest-benchmark payload."""
+    machine = payload.get("machine_info", {})
+    benchmarks = []
+    for bench in payload.get("benchmarks", []):
+        stats = bench.get("stats", {})
+        benchmarks.append(
+            {
+                "fullname": bench["fullname"],
+                "stats": {key: stats.get(key) for key in SUMMARY_STATS},
+                "extra_info": bench.get("extra_info", {}),
+            }
+        )
+    return {
+        "format": SUMMARY_FORMAT,
+        "datetime": payload.get("datetime"),
+        "machine": {
+            "cpu_brand": machine.get("cpu", {}).get("brand_raw"),
+            "python_version": machine.get("python_version"),
+            "system": machine.get("system"),
+        },
+        "benchmarks": benchmarks,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("source", help="full pytest-benchmark JSON file")
+    parser.add_argument("target", help="summary baseline to write")
+    args = parser.parse_args(argv)
+
+    with open(args.source) as handle:
+        payload = json.load(handle)
+    if payload.get("format") == SUMMARY_FORMAT:
+        print(f"error: {args.source} is already a summary baseline")
+        return 2
+    summary = slim(payload)
+    with open(args.target, "w") as handle:
+        json.dump(summary, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(
+        f"wrote {args.target}: {len(summary['benchmarks'])} benchmarks "
+        f"({SUMMARY_FORMAT})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,7 +23,7 @@ from repro.accelerator.array import ArrayConfig
 from repro.analysis.report import format_table, geometric_mean
 from repro.core.baselines import data_parallelism, model_parallelism, one_weird_trick
 from repro.core.hierarchical import DEFAULT_BATCH_SIZE, HierarchicalPartitioner
-from repro.core.parallelism import HierarchicalAssignment
+from repro.core.parallelism import HierarchicalAssignment, StrategySpace
 from repro.core.result import HierarchicalResult
 from repro.core.tensors import ScalingMode
 from repro.interconnect import Topology
@@ -127,18 +127,24 @@ class ExperimentRunner:
         batch_size: int = DEFAULT_BATCH_SIZE,
         scaling_mode: ScalingMode | str = ScalingMode.PARALLELISM_AWARE,
         include_trick: bool = False,
+        strategies: "StrategySpace | str | None" = None,
     ) -> None:
         self.array = array or ArrayConfig()
         self.batch_size = batch_size
         self.scaling_mode = ScalingMode.parse(scaling_mode)
         self.include_trick = include_trick
         self.simulator = TrainingSimulator(
-            self.array, topology, scaling_mode=self.scaling_mode
+            self.array,
+            topology,
+            scaling_mode=self.scaling_mode,
+            strategies=strategies,
         )
+        self.strategies = self.simulator.strategies
         self.partitioner = HierarchicalPartitioner(
             num_levels=self.array.num_levels,
             communication_model=self.simulator.communication_model,
             scaling_mode=self.scaling_mode,
+            strategies=self.strategies,
         )
 
     # ------------------------------------------------------------------

@@ -75,9 +75,13 @@ class ParallelismExplorer:
         array: ArrayConfig | None = None,
         batch_size: int = DEFAULT_BATCH_SIZE,
         scaling_mode: ScalingMode | str = ScalingMode.PARALLELISM_AWARE,
+        strategies=None,
     ) -> None:
         self.runner = ExperimentRunner(
-            array=array, batch_size=batch_size, scaling_mode=scaling_mode
+            array=array,
+            batch_size=batch_size,
+            scaling_mode=scaling_mode,
+            strategies=strategies,
         )
         self.batch_size = batch_size
 
@@ -125,6 +129,7 @@ class ParallelismExplorer:
             base_assignment,
             free_positions,
             evaluate,
+            strategies=self.runner.strategies,
         )
         points = tuple(
             ExplorationPoint(

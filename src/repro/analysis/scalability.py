@@ -105,6 +105,7 @@ def run_scalability_study(
     batch_size: int = DEFAULT_BATCH_SIZE,
     base_array: ArrayConfig | None = None,
     scaling_mode: ScalingMode | str = ScalingMode.PARALLELISM_AWARE,
+    strategies=None,
 ) -> ScalabilityStudy:
     """Sweep the array size for HyPar and Data Parallelism (Figure 11).
 
@@ -125,7 +126,9 @@ def run_scalability_study(
         topology = (
             HTreeTopology(size, array.link_bandwidth_bytes) if size > 1 else None
         )
-        simulator = TrainingSimulator(array, topology, scaling_mode=scaling_mode)
+        simulator = TrainingSimulator(
+            array, topology, scaling_mode=scaling_mode, strategies=strategies
+        )
         if size == 1:
             report = simulator.simulate(model, None, batch_size, strategy_name="single")
             single_seconds = report.step_seconds
@@ -134,7 +137,9 @@ def run_scalability_study(
             continue
 
         partitioner = HierarchicalPartitioner(
-            num_levels=array.num_levels, scaling_mode=scaling_mode
+            num_levels=array.num_levels,
+            scaling_mode=scaling_mode,
+            strategies=simulator.strategies,
         )
         # Share one compiled cost table between the search and both
         # strategies' simulations at this array size.

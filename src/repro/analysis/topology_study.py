@@ -68,6 +68,7 @@ def run_topology_study(
     array: ArrayConfig | None = None,
     batch_size: int = DEFAULT_BATCH_SIZE,
     scaling_mode: ScalingMode | str = ScalingMode.PARALLELISM_AWARE,
+    strategies=None,
 ) -> TopologyStudy:
     """Compare HyPar on the H tree and on the torus (Figure 12)."""
     models = list(models) if models is not None else all_models()
@@ -75,10 +76,16 @@ def run_topology_study(
     htree = HTreeTopology(array.num_accelerators, array.link_bandwidth_bytes)
     torus = TorusTopology(array.num_accelerators, array.link_bandwidth_bytes)
 
-    htree_simulator = TrainingSimulator(array, htree, scaling_mode=scaling_mode)
-    torus_simulator = TrainingSimulator(array, torus, scaling_mode=scaling_mode)
+    htree_simulator = TrainingSimulator(
+        array, htree, scaling_mode=scaling_mode, strategies=strategies
+    )
+    torus_simulator = TrainingSimulator(
+        array, torus, scaling_mode=scaling_mode, strategies=strategies
+    )
     partitioner = HierarchicalPartitioner(
-        num_levels=array.num_levels, scaling_mode=scaling_mode
+        num_levels=array.num_levels,
+        scaling_mode=scaling_mode,
+        strategies=htree_simulator.strategies,
     )
 
     comparisons = []

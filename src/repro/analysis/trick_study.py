@@ -113,6 +113,7 @@ def run_trick_study(
     configs: Sequence[tuple[str, int, int]] = DEFAULT_CONFIGS,
     base_array: ArrayConfig | None = None,
     scaling_mode: ScalingMode | str = ScalingMode.PARALLELISM_AWARE,
+    strategies=None,
 ) -> TrickStudy:
     """Compare HyPar with "one weird trick" over the Figure 13 configurations."""
     base_array = base_array or ArrayConfig()
@@ -126,9 +127,13 @@ def run_trick_study(
         subnetwork = focus_subnetwork(model, FOCUS_LAYERS[focus])
         array = base_array.with_num_accelerators(1 << num_levels)
         topology = HTreeTopology(array.num_accelerators, array.link_bandwidth_bytes)
-        simulator = TrainingSimulator(array, topology, scaling_mode=scaling_mode)
+        simulator = TrainingSimulator(
+            array, topology, scaling_mode=scaling_mode, strategies=strategies
+        )
         partitioner = HierarchicalPartitioner(
-            num_levels=num_levels, scaling_mode=scaling_mode
+            num_levels=num_levels,
+            scaling_mode=scaling_mode,
+            strategies=simulator.strategies,
         )
 
         hypar_assignment = partitioner.partition(subnetwork, batch_size).assignment

@@ -31,6 +31,13 @@ Installed as the ``hypar`` console script (also runnable with
 
 ``hypar models``
     List the available networks.
+
+``hypar strategies``
+    List the registered per-layer parallelism strategies.
+
+Most sub-commands accept ``--strategies dp,mp,pp`` to widen the per-layer
+search axis beyond the paper's binary dp/mp choice (the default, which
+reproduces the paper exactly).
 """
 
 from __future__ import annotations
@@ -46,6 +53,8 @@ from repro.analysis.scalability import run_scalability_study
 from repro.analysis.topology_study import run_topology_study
 from repro.analysis.trick_study import run_trick_study
 from repro.core.hierarchical import DEFAULT_BATCH_SIZE
+from repro.core.parallelism import DEFAULT_SPACE, StrategySpace
+from repro.core.strategies import registered_strategies
 from repro.core.tensors import ScalingMode
 from repro.nn.model_zoo import MODEL_BUILDERS, get_model
 
@@ -71,6 +80,15 @@ def _add_common_options(parser: argparse.ArgumentParser) -> None:
         help="how tensor amounts shrink at deeper hierarchy levels "
         "(default: %(default)s)",
     )
+    parser.add_argument(
+        "--strategies",
+        type=StrategySpace.parse,
+        default=DEFAULT_SPACE,
+        metavar="LIST",
+        help="comma-separated per-layer strategy space searched at every "
+        "level, e.g. dp,mp,pp (default: dp,mp, the paper's axis; see "
+        "'hypar strategies')",
+    )
 
 
 def _build_runner(args: argparse.Namespace, include_trick: bool = False) -> ExperimentRunner:
@@ -80,6 +98,7 @@ def _build_runner(args: argparse.Namespace, include_trick: bool = False) -> Expe
         batch_size=args.batch_size,
         scaling_mode=args.scaling_mode,
         include_trick=include_trick,
+        strategies=getattr(args, "strategies", None),
     )
 
 
@@ -91,6 +110,23 @@ def _cmd_models(_: argparse.Namespace) -> int:
             f"({model.num_conv_layers} conv, {model.num_fc_layers} fc), "
             f"{model.total_weights:,d} weights"
         )
+    return 0
+
+
+def _cmd_strategies(_: argparse.Namespace) -> int:
+    print("registered per-layer parallelism strategies:")
+    for spec in registered_strategies():
+        descent = {
+            "batch": "halves the batch fraction",
+            "weight": "halves the weight fraction",
+            "none": "stage-local (halves neither)",
+        }[spec.halves]
+        print(f"  {spec.short}  {spec.parallelism.name.lower():<9s} {descent}")
+        print(f"      {spec.description}")
+    print(
+        "\npass a comma-separated subset via --strategies (e.g. "
+        "--strategies dp,mp,pp) to widen the search space"
+    )
     return 0
 
 
@@ -118,6 +154,7 @@ def _cmd_scalability(args: argparse.Namespace) -> int:
         array_sizes=sizes,
         batch_size=args.batch_size,
         scaling_mode=args.scaling_mode,
+        strategies=args.strategies,
     )
     rows = study.as_rows()
     print(
@@ -158,6 +195,7 @@ def _cmd_topology(args: argparse.Namespace) -> int:
         array=ArrayConfig(num_accelerators=args.accelerators),
         batch_size=args.batch_size,
         scaling_mode=args.scaling_mode,
+        strategies=args.strategies,
     )
     rows = {
         row["model"]: {"Torus": row["torus"], "H Tree": row["h_tree"]}
@@ -174,7 +212,9 @@ def _cmd_topology(args: argparse.Namespace) -> int:
 
 
 def _cmd_trick(args: argparse.Namespace) -> int:
-    study = run_trick_study(scaling_mode=args.scaling_mode)
+    study = run_trick_study(
+        scaling_mode=args.scaling_mode, strategies=args.strategies
+    )
     rows = {
         row["config"]: {
             "Performance": row["performance"],
@@ -240,6 +280,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     models_parser = subparsers.add_parser("models", help="list the evaluation networks")
     models_parser.set_defaults(handler=_cmd_models)
+
+    strategies_parser = subparsers.add_parser(
+        "strategies", help="list the registered per-layer parallelism strategies"
+    )
+    strategies_parser.set_defaults(handler=_cmd_strategies)
 
     partition_parser = subparsers.add_parser(
         "partition", help="search the hybrid parallelism for one network (Figure 5)"

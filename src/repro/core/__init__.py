@@ -31,6 +31,7 @@ from repro.core.baselines import (
     get_strategy,
     model_parallelism,
     one_weird_trick,
+    pipeline_parallelism,
     random_assignment,
 )
 from repro.core.communication import (
@@ -66,12 +67,22 @@ from repro.core.hierarchical import (
 )
 from repro.core.parallelism import (
     DATA,
+    DEFAULT_SPACE,
+    FULL_SPACE,
     MODEL,
+    PIPELINE,
     HierarchicalAssignment,
     LayerAssignment,
     Parallelism,
+    StrategySpace,
 )
 from repro.core.partitioner import TwoWayPartitioner
+from repro.core.strategies import (
+    StrategySpec,
+    register_strategy,
+    registered_strategies,
+    strategy_spec,
+)
 from repro.core.placement import (
     AcceleratorFootprint,
     Interval,
@@ -96,6 +107,14 @@ __all__ = [
     "Parallelism",
     "DATA",
     "MODEL",
+    "PIPELINE",
+    "StrategySpace",
+    "DEFAULT_SPACE",
+    "FULL_SPACE",
+    "StrategySpec",
+    "register_strategy",
+    "registered_strategies",
+    "strategy_spec",
     "LayerAssignment",
     "HierarchicalAssignment",
     "CommunicationModel",
@@ -120,6 +139,7 @@ __all__ = [
     "data_parallelism",
     "model_parallelism",
     "one_weird_trick",
+    "pipeline_parallelism",
     "random_assignment",
     "get_strategy",
     "STRATEGIES",

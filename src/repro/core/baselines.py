@@ -36,6 +36,16 @@ def model_parallelism(model: DNNModel, num_levels: int) -> HierarchicalAssignmen
     return HierarchicalAssignment.uniform(Parallelism.MODEL, num_levels, len(model))
 
 
+def pipeline_parallelism(model: DNNModel, num_levels: int) -> HierarchicalAssignment:
+    """Pure Pipeline Parallelism: pp for every layer at every level.
+
+    Every layer is stage-local with alternating owners, so the whole
+    network is a chain of pipeline stages and all communication is the
+    micro-batched activation/error streaming at the stage boundaries.
+    """
+    return HierarchicalAssignment.uniform(Parallelism.PIPELINE, num_levels, len(model))
+
+
 def one_weird_trick(model: DNNModel, num_levels: int) -> HierarchicalAssignment:
     """Krizhevsky's "one weird trick": conv layers → dp, fc layers → mp.
 
@@ -76,6 +86,7 @@ def random_assignment(
 STRATEGIES: Dict[str, Callable[[DNNModel, int], HierarchicalAssignment]] = {
     "data-parallelism": data_parallelism,
     "model-parallelism": model_parallelism,
+    "pipeline-parallelism": pipeline_parallelism,
     "one-weird-trick": one_weird_trick,
 }
 
@@ -88,6 +99,8 @@ def get_strategy(name: str) -> Callable[[DNNModel, int], HierarchicalAssignment]
         "data": "data-parallelism",
         "mp": "model-parallelism",
         "model": "model-parallelism",
+        "pp": "pipeline-parallelism",
+        "pipeline": "pipeline-parallelism",
         "trick": "one-weird-trick",
         "owt": "one-weird-trick",
     }

@@ -32,6 +32,14 @@ by the precision (4 bytes) and by a *pair factor* of two because both
 groups perform the remote access (the paper's worked example in Section
 3.4 counts ``56 KB = 2 x 70 x 100 x 4 B`` for the dp gradient exchange of a
 70x100 fully-connected layer).
+
+The tables above are the dp/mp instance of a general contract: every
+registered strategy (:mod:`repro.core.strategies`) contributes its own
+Table-1 column and incoming Table-2 transition block, and this model
+dispatches through the registry.  The dp/mp entries are byte-identical to
+the historical hard-coded implementation; pipeline parallelism adds the
+stage-boundary activation/gradient transfers documented in the registry
+module.
 """
 
 from __future__ import annotations
@@ -40,6 +48,7 @@ import dataclasses
 from typing import Sequence
 
 from repro.core.parallelism import LayerAssignment, Parallelism
+from repro.core.strategies import strategy_spec
 from repro.core.tensors import BYTES_PER_ELEMENT, LayerTensors
 
 #: Both groups of a pair remotely read the other group's partial sums, so
@@ -88,10 +97,13 @@ class CommunicationModel:
 
     @staticmethod
     def intra_layer_elements(tensors: LayerTensors, parallelism: Parallelism) -> float:
-        """Table 1: intra-layer communication amount, in elements."""
-        if parallelism is Parallelism.DATA:
-            return tensors.gradient
-        return tensors.feature_out
+        """Table 1 (generalized): intra-layer communication amount, in elements.
+
+        Dispatches to the strategy registry: dp contributes the gradient
+        reduction, mp the output partial-sum reduction, stage-local
+        strategies contribute nothing.
+        """
+        return strategy_spec(parallelism).intra_elements(tensors)
 
     @staticmethod
     def inter_layer_forward_elements(
@@ -101,13 +113,11 @@ class CommunicationModel:
     ) -> float:
         """Feature-map share of the inter-layer amount (exchanged during forward).
 
-        Only the dp→mp transition re-lays-out the boundary feature map
-        ``F_{l+1}`` (Figure 2 (b)); every other transition either needs no
-        feature-map exchange or already holds the required slice.
+        The incoming transition block belongs to ``current``'s registered
+        strategy; for the binary dp/mp space only the dp→mp transition
+        re-lays-out the boundary feature map ``F_{l+1}`` (Figure 2 (b)).
         """
-        if previous is Parallelism.DATA and current is Parallelism.MODEL:
-            return 0.25 * boundary.feature_out
-        return 0.0
+        return strategy_spec(current).inter_forward_elements(previous, boundary)
 
     @staticmethod
     def inter_layer_backward_elements(
@@ -116,12 +126,7 @@ class CommunicationModel:
         boundary: LayerTensors,
     ) -> float:
         """Error share of the inter-layer amount (exchanged during error backward)."""
-        if previous is Parallelism.DATA and current is Parallelism.DATA:
-            return 0.0
-        if previous is Parallelism.DATA and current is Parallelism.MODEL:
-            return 0.25 * boundary.error_out
-        # mp -> mp and mp -> dp both cost half the boundary error tensor.
-        return 0.5 * boundary.error_out
+        return strategy_spec(current).inter_backward_elements(previous, boundary)
 
     @classmethod
     def inter_layer_elements(

@@ -9,21 +9,25 @@ candidate assignments, and rebuilding tensor lists plus a
 is pure-Python overhead repeated millions of times.
 
 This module compiles the communication model *once* into NumPy arrays and
-then scores whole batches of candidates with array operations:
+then scores whole batches of candidates with array operations.  Tables are
+parameterized by a :class:`~repro.core.parallelism.StrategySpace` (the
+paper's binary dp/mp axis by default):
 
-* :class:`CostTable` -- one hierarchy level.  ``intra[l, p]`` is the
-  intra-layer traffic (bytes) of layer ``l`` under parallelism bit ``p``
-  (0 = dp, 1 = mp); ``inter[l, p, q]`` is the inter-layer traffic of the
-  boundary between layers ``l`` and ``l + 1`` when they use bits ``p`` and
-  ``q``.  The table supports the array dynamic program of Algorithm 1
-  (:meth:`CostTable.dp_partition`) and batched scoring of arbitrary
-  bit-patterns (:meth:`CostTable.score_bits`).
+* :class:`CostTable` -- one hierarchy level.  ``intra[l, c]`` is the
+  intra-layer traffic (bytes) of layer ``l`` under strategy code ``c``
+  (the index into the table's strategy space); ``inter[l, c, d]`` is the
+  inter-layer traffic (bytes) of the boundary between layers ``l`` and
+  ``l + 1`` when they use codes ``c`` and ``d``.  The table supports the
+  K-way array dynamic program of Algorithm 1 (:meth:`CostTable.dp_partition`)
+  and batched scoring of arbitrary base-K digit-patterns
+  (:meth:`CostTable.score_codes`).
 * :class:`HierarchicalCostTable` -- every hierarchy level at once.  Under
   :attr:`~repro.core.tensors.ScalingMode.PARALLELISM_AWARE` scaling a
   layer's tensor amounts at level ``h`` depend only on how many of its
-  previous ``h`` choices were mp, so the table stores one cost slice per
-  ``(level, previous-mp-count)`` state and batched scoring reduces to a
-  gather over cumulative bit counts.  This is also the scale-descent cache
+  previous ``h`` choices halved the batch fraction and how many halved the
+  weight fraction, so the table stores one cost slice per
+  ``(level, halving-state)`` and batched scoring reduces to a gather over
+  cumulative per-effect counts.  This is also the scale-descent cache
   used by the sweeps and the training simulator: the per-level
   :class:`~repro.core.tensors.LayerTensors` are derived once per model
   instead of once per candidate.
@@ -39,9 +43,15 @@ bit* with the object-based reference path, which remains the oracle:
   (layer 0, then layer 1, ...), reproducing the exact floating-point
   association of ``sum(record.total_bytes for record in breakdown)``;
 * the array DP applies the same recurrence with the same tie rule
-  (ties prefer dp, matching :class:`~repro.core.partitioner.TwoWayPartitioner`),
-  and batched argmins resolve ties to the lowest bit-pattern, matching the
-  enumeration order of the reference brute force.
+  (ties prefer the lowest strategy code -- dp first, matching
+  :class:`~repro.core.partitioner.TwoWayPartitioner`), and batched argmins
+  resolve ties to the lowest digit-pattern, matching the enumeration order
+  of the reference brute force.
+
+For the default dp/mp space the base-2 digit encoding *is* the historical
+bit encoding, so ``score_bits`` / ``from_bits`` callers see byte-identical
+results; those entry points are kept as thin deprecated shims over
+``score_codes`` / ``from_codes``.
 
 Breakdown objects are *lazy*: batch scorers return raw totals and only the
 winning candidates are materialized into
@@ -59,11 +69,14 @@ import numpy as np
 
 from repro.core.communication import CommunicationModel
 from repro.core.parallelism import (
+    DEFAULT_SPACE,
     HierarchicalAssignment,
     LayerAssignment,
     Parallelism,
+    StrategySpace,
 )
 from repro.core.result import PartitionResult
+from repro.core.strategies import BATCH, NONE, WEIGHT, strategy_spec
 from repro.core.tensors import (
     LayerTensors,
     ScalingMode,
@@ -78,7 +91,8 @@ from repro.nn.model import DNNModel
 #: overhead negligible.
 DEFAULT_CHUNK_SIZE = 1 << 16
 
-_PARALLELISM_BY_BIT = (Parallelism.DATA, Parallelism.MODEL)
+#: Largest enumerable packed-integer candidate space (int64 encodings).
+_MAX_PACKED_SPACE = 1 << 62
 
 
 def _sequential_row_sum(per_layer: np.ndarray) -> np.ndarray:
@@ -95,6 +109,69 @@ def _sequential_row_sum(per_layer: np.ndarray) -> np.ndarray:
     return totals
 
 
+def _decode_digits(codes: np.ndarray, num_layers: int, base: int) -> np.ndarray:
+    """Base-``base`` digit matrix ``(N, L)`` of packed candidate integers.
+
+    Callers must ensure ``base ** num_layers`` fits the int64 packed
+    encoding (:data:`_MAX_PACKED_SPACE`); the public packed-integer entry
+    points check and direct deeper models to the decoded-matrix scorers.
+    """
+    if base == 2:
+        shifts = np.arange(num_layers, dtype=np.int64)
+        return (codes[:, None] >> shifts) & 1
+    powers = base ** np.arange(num_layers, dtype=np.int64)
+    return (codes[:, None] // powers) % base
+
+
+def _fill_cost_block(
+    records: Sequence[LayerTensors],
+    specs: Sequence,
+    members: Sequence[Parallelism],
+    bytes_per_element: int,
+    pair_factor: int,
+    intra: np.ndarray | None = None,
+    inter: np.ndarray | None = None,
+    inter_forward: np.ndarray | None = None,
+    inter_backward: np.ndarray | None = None,
+) -> None:
+    """Fill ``(L, K)`` intra / ``(L-1, K, K)`` inter cost blocks in place.
+
+    The registry dispatch is hoisted out of the loops (a 512-layer search
+    compiles thousands of entries), and the arithmetic inlines
+    ``CommunicationModel.intra_layer_bytes`` / ``inter_layer_bytes`` /
+    the directional splits exactly -- same additions and multiplications
+    in the same order -- so the stored floats are identical to the object
+    path's.  This is the single copy of that inlined arithmetic; every
+    table compilation routes through it.
+    """
+    if intra is not None:
+        for index, record in enumerate(records):
+            for code, spec in enumerate(specs):
+                intra[index, code] = (
+                    spec.intra_elements(record) * bytes_per_element * pair_factor
+                )
+    for index in range(len(records) - 1):
+        boundary = records[index]
+        for q_code, spec in enumerate(specs):
+            forward = spec.inter_forward_elements
+            backward = spec.inter_backward_elements
+            for p_code, previous in enumerate(members):
+                if inter is not None:
+                    inter[index, p_code, q_code] = (
+                        (forward(previous, boundary) + backward(previous, boundary))
+                        * bytes_per_element
+                        * pair_factor
+                    )
+                if inter_forward is not None:
+                    inter_forward[index, p_code, q_code] = (
+                        forward(previous, boundary) * bytes_per_element * pair_factor
+                    )
+                if inter_backward is not None:
+                    inter_backward[index, p_code, q_code] = (
+                        backward(previous, boundary) * bytes_per_element * pair_factor
+                    )
+
+
 @dataclasses.dataclass(frozen=True, eq=False)
 class CostTable:
     """Compiled per-layer communication costs for one hierarchy level.
@@ -106,24 +183,27 @@ class CostTable:
     Attributes
     ----------
     intra:
-        ``(L, 2)`` float array; ``intra[l, p]`` is the Table-1 intra-layer
-        traffic (bytes) of layer ``l`` under parallelism bit ``p``.
+        ``(L, K)`` float array; ``intra[l, c]`` is the Table-1 intra-layer
+        traffic (bytes) of layer ``l`` under strategy code ``c``.
     inter:
-        ``(L - 1, 2, 2)`` float array; ``inter[l, p, q]`` is the Table-2
+        ``(L - 1, K, K)`` float array; ``inter[l, c, d]`` is the Table-2
         inter-layer traffic (bytes) of the boundary between layers ``l``
-        (bit ``p``) and ``l + 1`` (bit ``q``).
+        (code ``c``) and ``l + 1`` (code ``d``).
     tensors:
         The tensor records the table was compiled from, kept so winning
         candidates can lazily materialize their full breakdown through the
         object-based reference path.
     communication_model:
         The model used to compile the table (and to materialize breakdowns).
+    strategies:
+        The strategy space defining the code axis (dp/mp by default).
     """
 
     intra: np.ndarray
     inter: np.ndarray
     tensors: tuple[LayerTensors, ...]
     communication_model: CommunicationModel
+    strategies: StrategySpace = DEFAULT_SPACE
 
     # ------------------------------------------------------------------
     # Construction.
@@ -134,30 +214,35 @@ class CostTable:
         cls,
         tensors: Sequence[LayerTensors],
         communication_model: CommunicationModel | None = None,
+        strategies: StrategySpace | Sequence[Parallelism] | str | None = None,
     ) -> "CostTable":
         """Compile the table from per-layer tensor amounts."""
         tensors = tuple(tensors)
         if not tensors:
             raise ValueError("cannot build a cost table for zero layers")
+        space = StrategySpace.parse(strategies)
         model = communication_model or CommunicationModel()
         num_layers = len(tensors)
-        intra = np.empty((num_layers, 2), dtype=np.float64)
-        inter = np.zeros((max(num_layers - 1, 0), 2, 2), dtype=np.float64)
-        for index, record in enumerate(tensors):
-            for bit, choice in enumerate(_PARALLELISM_BY_BIT):
-                intra[index, bit] = model.intra_layer_bytes(record, choice)
-        for index in range(num_layers - 1):
-            boundary = tensors[index]
-            for p_bit, previous in enumerate(_PARALLELISM_BY_BIT):
-                for q_bit, current in enumerate(_PARALLELISM_BY_BIT):
-                    inter[index, p_bit, q_bit] = model.inter_layer_bytes(
-                        previous, current, boundary
-                    )
+        num_strategies = space.size
+        intra = np.empty((num_layers, num_strategies), dtype=np.float64)
+        inter = np.zeros(
+            (max(num_layers - 1, 0), num_strategies, num_strategies), dtype=np.float64
+        )
+        _fill_cost_block(
+            tensors,
+            [strategy_spec(member) for member in space],
+            space.members,
+            model.bytes_per_element,
+            model.pair_factor,
+            intra=intra,
+            inter=inter,
+        )
         return cls(
             intra=intra,
             inter=inter,
             tensors=tensors,
             communication_model=model,
+            strategies=space,
         )
 
     @classmethod
@@ -167,10 +252,11 @@ class CostTable:
         batch_size: int,
         scales: Sequence[TensorScale] | None = None,
         communication_model: CommunicationModel | None = None,
+        strategies: StrategySpace | Sequence[Parallelism] | str | None = None,
     ) -> "CostTable":
         """Compile the table for ``model`` at ``batch_size`` (and ``scales``)."""
         return cls.from_tensors(
-            model_tensors(model, batch_size, scales), communication_model
+            model_tensors(model, batch_size, scales), communication_model, strategies
         )
 
     # ------------------------------------------------------------------
@@ -182,12 +268,17 @@ class CostTable:
         return len(self.tensors)
 
     @property
+    def num_strategies(self) -> int:
+        """The base ``K`` of the candidate digit encoding."""
+        return self.strategies.size
+
+    @property
     def num_assignments(self) -> int:
-        """Size of the full assignment space for this level (``2**L``)."""
-        return 1 << self.num_layers
+        """Size of the full assignment space for this level (``K**L``)."""
+        return self.strategies.num_assignments(self.num_layers)
 
     # ------------------------------------------------------------------
-    # Algorithm 1 as an array DP over the table.
+    # Algorithm 1 as a K-way array DP over the table.
     # ------------------------------------------------------------------
 
     def dp_partition(self) -> PartitionResult:
@@ -195,63 +286,82 @@ class CostTable:
 
         Applies exactly the recurrence of
         :meth:`~repro.core.partitioner.TwoWayPartitioner.partition_tensors_reference`
-        -- same additions in the same order, ties preferring dp -- so the
-        returned optimum is bit-exact with the object-based oracle.  The
-        per-layer breakdown of the winner is materialized lazily.
+        -- same additions in the same order, ties preferring the lowest
+        strategy code (dp first) -- so the returned optimum is bit-exact
+        with the object-based oracle.  The per-layer breakdown of the
+        winner is materialized lazily.
         """
         num_layers = self.num_layers
-        com = self.intra[0].copy()  # (2,): best accumulated cost ending in dp/mp
-        parents = np.empty((num_layers - 1, 2), dtype=np.int8)
-        state = np.arange(2)
+        com = self.intra[0].copy()  # (K,): best accumulated cost per end code
+        parents = np.empty((num_layers - 1, self.num_strategies), dtype=np.int8)
+        state = np.arange(self.num_strategies)
         for layer in range(1, num_layers):
             candidates = com[:, None] + self.inter[layer - 1]  # (from, to)
-            # argmin resolves ties to index 0 (dp), matching the reference
-            # ``from_dp <= from_mp`` rule.
+            # argmin resolves ties to the lowest code (dp), matching the
+            # reference earliest-strategy-wins scan.
             choice = np.argmin(candidates, axis=0)
             parents[layer - 1] = choice
             com = candidates[choice, state] + self.intra[layer]
 
-        last = int(np.argmin(com))  # tie -> dp, the reference's final rule
+        last = int(np.argmin(com))  # tie -> lowest code, the reference rule
         total = float(com[last])
-        bits_per_layer = np.empty(num_layers, dtype=np.int8)
-        bits_per_layer[-1] = last
+        codes_per_layer = np.empty(num_layers, dtype=np.int8)
+        codes_per_layer[-1] = last
         for layer in range(num_layers - 2, -1, -1):
-            bits_per_layer[layer] = parents[layer, bits_per_layer[layer + 1]]
+            codes_per_layer[layer] = parents[layer, codes_per_layer[layer + 1]]
 
+        members = self.strategies.members
         assignment = LayerAssignment(
-            tuple(_PARALLELISM_BY_BIT[bit] for bit in bits_per_layer)
+            tuple(members[code] for code in codes_per_layer)
         )
         return self.lazy_result(assignment, total)
 
     # ------------------------------------------------------------------
-    # Batched scoring of candidate bit-patterns.
+    # Batched scoring of candidate digit-patterns.
     # ------------------------------------------------------------------
 
-    def score_bits(self, bits: np.ndarray | Sequence[int]) -> np.ndarray:
-        """Total communication bytes for a batch of assignment bit-patterns.
+    def score_codes(self, codes: np.ndarray | Sequence[int]) -> np.ndarray:
+        """Total communication bytes for a batch of packed digit-patterns.
 
-        ``bits`` encodes one candidate per element with the
-        :meth:`~repro.core.parallelism.LayerAssignment.from_bits` convention
-        (LSB = layer 0, 0 = dp, 1 = mp).  Returns a float array of the same
-        length whose entries are bit-exact with
-        ``CommunicationModel.total_bytes`` on the decoded assignments.
+        ``codes`` encodes one candidate per element with the
+        :meth:`~repro.core.parallelism.LayerAssignment.from_codes`
+        convention (least-significant digit = layer 0, digit value =
+        strategy code).  Returns a float array of the same length whose
+        entries are bit-exact with ``CommunicationModel.total_bytes`` on
+        the decoded assignments.
         """
-        bits = np.asarray(bits, dtype=np.int64)
-        if bits.ndim != 1:
-            raise ValueError(f"bits must be one-dimensional, got shape {bits.shape}")
-        totals = np.empty(bits.shape[0], dtype=np.float64)
-        for start in range(0, bits.shape[0], DEFAULT_CHUNK_SIZE):
-            chunk = bits[start : start + DEFAULT_CHUNK_SIZE]
+        if self.num_assignments > _MAX_PACKED_SPACE:
+            # base ** layer powers would overflow int64 and decode garbage
+            # digits; deep models must score decoded assignments instead.
+            raise ValueError(
+                f"a {self.num_strategies}**{self.num_layers} space overflows "
+                "the 64-bit packed encoding; score assignments via "
+                "total_bytes() instead"
+            )
+        codes = np.asarray(codes, dtype=np.int64)
+        if codes.ndim != 1:
+            raise ValueError(f"codes must be one-dimensional, got shape {codes.shape}")
+        totals = np.empty(codes.shape[0], dtype=np.float64)
+        for start in range(0, codes.shape[0], DEFAULT_CHUNK_SIZE):
+            chunk = codes[start : start + DEFAULT_CHUNK_SIZE]
             totals[start : start + chunk.shape[0]] = self._score_chunk(chunk)
         return totals
 
-    def _score_chunk(self, bits: np.ndarray) -> np.ndarray:
-        num_layers = self.num_layers
-        shifts = np.arange(num_layers, dtype=np.int64)
-        return self._score_decoded((bits[:, None] >> shifts) & 1)
+    def score_bits(self, bits: np.ndarray | Sequence[int]) -> np.ndarray:
+        """Deprecated shim: the historical name of :meth:`score_codes`.
+
+        For the default dp/mp space the base-2 digit encoding is the bit
+        encoding, so the two are interchangeable (and bit-exact).
+        """
+        return self.score_codes(bits)
+
+    def _score_chunk(self, codes: np.ndarray) -> np.ndarray:
+        return self._score_decoded(
+            _decode_digits(codes, self.num_layers, self.num_strategies)
+        )
 
     def _score_decoded(self, decoded: np.ndarray) -> np.ndarray:
-        """Score candidates given an ``(N, L)`` 0/1 bit matrix.
+        """Score candidates given an ``(N, L)`` strategy-code matrix.
 
         Depth-safe core scorer: unlike the packed-integer entry points it
         has no 64-bit encoding limit, so single assignments of arbitrarily
@@ -266,28 +376,36 @@ class CostTable:
             per_layer[:, 1:] += self.inter[boundary, decoded[:, :-1], decoded[:, 1:]]
         return _sequential_row_sum(per_layer)
 
-    def iter_all_bits(self, chunk_size: int = DEFAULT_CHUNK_SIZE) -> Iterator[np.ndarray]:
-        """Chunked enumeration of the full ``2**L`` bit-pattern space."""
+    def iter_all_codes(self, chunk_size: int = DEFAULT_CHUNK_SIZE) -> Iterator[np.ndarray]:
+        """Chunked enumeration of the full ``K**L`` digit-pattern space."""
+        if self.num_assignments > _MAX_PACKED_SPACE:
+            raise ValueError(
+                f"cannot enumerate a {self.num_strategies}**{self.num_layers} "
+                "space with 64-bit packed encodings"
+            )
         for start in range(0, self.num_assignments, chunk_size):
             stop = min(start + chunk_size, self.num_assignments)
             yield np.arange(start, stop, dtype=np.int64)
 
-    def argmin_assignment(self) -> tuple[int, float]:
-        """Brute-force optimum over all ``2**L`` assignments.
+    #: Deprecated alias kept for the historical bit-encoding name.
+    iter_all_bits = iter_all_codes
 
-        Returns ``(bits, total_bytes)`` of the first minimum in enumeration
-        order (lowest bit-pattern wins ties), matching the reference
-        strict-``<`` scan of the object-based brute force.
+    def argmin_assignment(self) -> tuple[int, float]:
+        """Brute-force optimum over all ``K**L`` assignments.
+
+        Returns ``(codes, total_bytes)`` of the first minimum in
+        enumeration order (lowest digit-pattern wins ties), matching the
+        reference strict-``<`` scan of the object-based brute force.
         """
-        best_bits = -1
+        best_codes = -1
         best_total = np.inf
-        for chunk in self.iter_all_bits():
+        for chunk in self.iter_all_codes():
             totals = self._score_chunk(chunk)
             index = int(np.argmin(totals))
             if totals[index] < best_total:
                 best_total = float(totals[index])
-                best_bits = int(chunk[index])
-        return best_bits, best_total
+                best_codes = int(chunk[index])
+        return best_codes, best_total
 
     # ------------------------------------------------------------------
     # Lazy materialization of winners.
@@ -300,7 +418,8 @@ class CostTable:
         packed integer, so models with 64+ weighted layers work too.
         """
         self._check_assignment(assignment)
-        decoded = np.array([[choice.bit for choice in assignment]], dtype=np.int64)
+        code_of = self.strategies.code_of
+        decoded = np.array([[code_of(choice) for choice in assignment]], dtype=np.int64)
         return float(self._score_decoded(decoded)[0])
 
     def lazy_result(
@@ -317,11 +436,16 @@ class CostTable:
             ),
         )
 
-    def result_for_bits(self, bits: int) -> PartitionResult:
-        """Materialize the :class:`PartitionResult` of one bit-pattern."""
-        assignment = LayerAssignment.from_bits(bits, self.num_layers)
-        total = float(self.score_bits(np.array([bits], dtype=np.int64))[0])
+    def result_for_codes(self, codes: int) -> PartitionResult:
+        """Materialize the :class:`PartitionResult` of one digit-pattern."""
+        assignment = LayerAssignment.from_codes(
+            codes, self.num_layers, self.strategies
+        )
+        total = float(self.score_codes(np.array([codes], dtype=np.int64))[0])
         return self.lazy_result(assignment, total)
+
+    #: Deprecated alias kept for the historical bit-encoding name.
+    result_for_bits = result_for_codes
 
     def _check_assignment(self, assignment: LayerAssignment) -> None:
         if assignment.num_layers != self.num_layers:
@@ -335,11 +459,20 @@ class HierarchicalCostTable:
     """Per-level cost tables indexed by each layer's scale-descent state.
 
     Under :attr:`ScalingMode.PARALLELISM_AWARE` a layer's tensor amounts at
-    hierarchy level ``h`` are fully determined by how many of its choices at
-    levels ``0 .. h-1`` were mp (``k`` mp choices halve the weight fraction
-    ``k`` times and the batch fraction ``h - k`` times), so level ``h`` has
-    ``h + 1`` possible states per layer.  ``UNIFORM`` and ``NONE`` scaling
-    are choice-independent and collapse to a single state per level.
+    hierarchy level ``h`` are fully determined by how many of its choices
+    at levels ``0 .. h-1`` halved the batch fraction (``b``, dp choices)
+    and how many halved the weight fraction (``w``, mp choices) -- the
+    scale is ``(0.5**b, 0.5**w)``.  Stage-local strategies (pp) halve
+    neither, so
+
+    * for spaces without a stage-local member ``b + w = h`` and level ``h``
+      has ``h + 1`` states (indexed by ``w``, exactly the historical
+      mp-count states);
+    * for spaces with one, every pair ``b + w <= h`` is reachable and
+      level ``h`` has ``(h + 1)(h + 2) / 2`` states.
+
+    ``UNIFORM`` and ``NONE`` scaling are choice-independent and collapse
+    to a single state per level.
 
     The table therefore caches *every* scale-descent outcome a sweep can
     reach: batched candidate scoring, `HierarchicalPartitioner` evaluation
@@ -354,6 +487,7 @@ class HierarchicalCostTable:
         num_levels: int,
         scaling_mode: ScalingMode | str = ScalingMode.PARALLELISM_AWARE,
         communication_model: CommunicationModel | None = None,
+        strategies: StrategySpace | Sequence[Parallelism] | str | None = None,
     ) -> None:
         if num_levels <= 0:
             raise ValueError(f"num_levels must be positive, got {num_levels}")
@@ -363,15 +497,42 @@ class HierarchicalCostTable:
         self.num_layers = len(model)
         self.scaling_mode = ScalingMode.parse(scaling_mode)
         self.communication_model = communication_model or CommunicationModel()
+        self.strategies = StrategySpace.parse(strategies)
         comm = self.communication_model
+        space = self.strategies
 
-        # Per level h: tensors[h][k][l], intra[h] (L, K, 2), and the boundary
-        # array (L-1, K, 2, 2) -- K = h + 1 for parallelism-aware scaling,
-        # otherwise 1.  The forward/backward splits of the inter-layer costs
-        # are compiled lazily on first :meth:`level_communication` access:
-        # only the simulator reads them, and ``_to_bytes(fwd + bwd)`` versus
+        #: Per strategy code: 1 when one descent under that choice halves
+        #: the batch / weight fraction (dp / mp); stage-local codes are 0
+        #: in both.
+        self._batch_effect = np.array(
+            [1 if strategy_spec(member).halves == BATCH else 0 for member in space],
+            dtype=np.int64,
+        )
+        self._weight_effect = np.array(
+            [1 if strategy_spec(member).halves == WEIGHT else 0 for member in space],
+            dtype=np.int64,
+        )
+        # Strategies that halve neither fraction (stage-local pp) break the
+        # ``b + w = level`` invariant, widening the state space.
+        self._has_stage_local = any(
+            strategy_spec(member).halves == NONE for member in space
+        )
+        # For the default (dp, mp) space the weight effect of code ``c`` is
+        # ``c`` itself, so the batched state tracking can skip a gather.
+        self._weight_effect_is_identity = bool(
+            np.array_equal(self._weight_effect, np.arange(space.size, dtype=np.int64))
+        )
+
+        # Per level h: the reachable (batch-halvings, weight-halvings) state
+        # list, an index LUT for vectorized gathers, tensors[h][s][l],
+        # intra[h] (L, S, K) and the boundary array (L-1, S, K, K).  The
+        # forward/backward splits of the inter-layer costs are compiled
+        # lazily on first :meth:`level_communication` access: only the
+        # simulator reads them, and ``_to_bytes(fwd + bwd)`` versus
         # ``_to_bytes(fwd) + _to_bytes(bwd)`` may round differently, so they
         # cannot be derived from the combined array.
+        self._states: list[list[tuple[int, int]]] = []
+        self._state_lut: list[np.ndarray] = []
         self._tensors: list[list[tuple[LayerTensors, ...]]] = []
         self._intra: list[np.ndarray] = []
         self._inter: list[np.ndarray] = []
@@ -380,27 +541,38 @@ class HierarchicalCostTable:
 
         layers = list(model)
         num_layers = self.num_layers
+        num_strategies = space.size
+        specs = [strategy_spec(member) for member in space]
+        members = space.members
         for level in range(num_levels):
-            num_states = self.num_states(level)
+            level_states = self._level_states(level)
+            self._states.append(level_states)
+            lut = np.zeros((level + 1, level + 1), dtype=np.int64)
+            for index, (b, w) in enumerate(level_states):
+                lut[b, w] = index
+            self._state_lut.append(lut)
+            num_states = len(level_states)
             level_tensors: list[tuple[LayerTensors, ...]] = []
-            intra = np.empty((num_layers, num_states, 2), dtype=np.float64)
-            inter = np.zeros((max(num_layers - 1, 0), num_states, 2, 2), dtype=np.float64)
-            for state in range(num_states):
-                scale = self._state_scale(level, state)
+            intra = np.empty((num_layers, num_states, num_strategies), dtype=np.float64)
+            inter = np.zeros(
+                (max(num_layers - 1, 0), num_states, num_strategies, num_strategies),
+                dtype=np.float64,
+            )
+            for state, (b, w) in enumerate(level_states):
+                scale = self._state_scale(level, b, w)
                 records = tuple(
                     layer_tensors(layer, batch_size, scale) for layer in layers
                 )
                 level_tensors.append(records)
-                for index, record in enumerate(records):
-                    for bit, choice in enumerate(_PARALLELISM_BY_BIT):
-                        intra[index, state, bit] = comm.intra_layer_bytes(record, choice)
-                for index in range(num_layers - 1):
-                    boundary = records[index]
-                    for p_bit, previous in enumerate(_PARALLELISM_BY_BIT):
-                        for q_bit, current in enumerate(_PARALLELISM_BY_BIT):
-                            inter[index, state, p_bit, q_bit] = comm.inter_layer_bytes(
-                                previous, current, boundary
-                            )
+                _fill_cost_block(
+                    records,
+                    specs,
+                    members,
+                    comm.bytes_per_element,
+                    comm.pair_factor,
+                    intra=intra[:, state, :],
+                    inter=inter[:, state, :, :],
+                )
             self._tensors.append(level_tensors)
             self._intra.append(intra)
             self._inter.append(inter)
@@ -410,25 +582,28 @@ class HierarchicalCostTable:
         if self._inter_forward is not None:
             return
         comm = self.communication_model
+        space = self.strategies
         num_layers = self.num_layers
+        num_strategies = space.size
         forward: list[np.ndarray] = []
         backward: list[np.ndarray] = []
+        specs = [strategy_spec(member) for member in space]
+        members = space.members
         for level in range(self.num_levels):
             num_states = self.num_states(level)
-            shape = (max(num_layers - 1, 0), num_states, 2, 2)
+            shape = (max(num_layers - 1, 0), num_states, num_strategies, num_strategies)
             inter_fwd = np.zeros(shape, dtype=np.float64)
             inter_bwd = np.zeros(shape, dtype=np.float64)
             for state, records in enumerate(self._tensors[level]):
-                for index in range(num_layers - 1):
-                    boundary = records[index]
-                    for p_bit, previous in enumerate(_PARALLELISM_BY_BIT):
-                        for q_bit, current in enumerate(_PARALLELISM_BY_BIT):
-                            inter_fwd[index, state, p_bit, q_bit] = (
-                                comm.inter_layer_forward_bytes(previous, current, boundary)
-                            )
-                            inter_bwd[index, state, p_bit, q_bit] = (
-                                comm.inter_layer_backward_bytes(previous, current, boundary)
-                            )
+                _fill_cost_block(
+                    records,
+                    specs,
+                    members,
+                    comm.bytes_per_element,
+                    comm.pair_factor,
+                    inter_forward=inter_fwd[:, state, :, :],
+                    inter_backward=inter_bwd[:, state, :, :],
+                )
             forward.append(inter_fwd)
             backward.append(inter_bwd)
         self._inter_forward = forward
@@ -438,23 +613,45 @@ class HierarchicalCostTable:
     # Scale-descent states.
     # ------------------------------------------------------------------
 
+    def _level_states(self, level: int) -> list[tuple[int, int]]:
+        """Reachable ``(batch_halvings, weight_halvings)`` pairs at ``level``.
+
+        Without a stage-local strategy every choice halves something, so
+        ``b + w = level`` and the list is ordered by ``w`` -- index ``w``
+        is the historical "mp count" state, keeping dp/mp tables laid out
+        exactly as before.  With a stage-local strategy all pairs with
+        ``b + w <= level`` are reachable.
+        """
+        if self.scaling_mode is not ScalingMode.PARALLELISM_AWARE:
+            return [(0, 0)]
+        if not self._has_stage_local:
+            return [(level - w, w) for w in range(level + 1)]
+        return [
+            (b, w)
+            for b in range(level + 1)
+            for w in range(level + 1 - b)
+        ]
+
     def num_states(self, level: int) -> int:
         """Number of distinct per-layer scale states at ``level``."""
-        if self.scaling_mode is ScalingMode.PARALLELISM_AWARE:
-            return level + 1
-        return 1
+        return len(self._states[level])
 
-    def _state_scale(self, level: int, state: int) -> TensorScale:
-        """The :class:`TensorScale` of state ``state`` at ``level``.
+    def state_index(self, level: int, batch_halvings: int, weight_halvings: int) -> int:
+        """The state index of one ``(b, w)`` halving count pair at ``level``."""
+        if self.scaling_mode is not ScalingMode.PARALLELISM_AWARE:
+            return 0
+        return int(self._state_lut[level][batch_halvings, weight_halvings])
+
+    def _state_scale(self, level: int, batch_halvings: int, weight_halvings: int) -> TensorScale:
+        """The :class:`TensorScale` of one halving state at ``level``.
 
         Halvings are powers of two, so ``0.5 ** k`` is bit-exact with the
         reference path's sequential ``descend`` multiplications.
         """
         if self.scaling_mode is ScalingMode.PARALLELISM_AWARE:
-            # ``state`` = number of mp choices among the previous ``level``.
             return TensorScale(
-                batch_fraction=0.5 ** (level - state),
-                weight_fraction=0.5 ** state,
+                batch_fraction=0.5 ** batch_halvings,
+                weight_fraction=0.5 ** weight_halvings,
             )
         if self.scaling_mode is ScalingMode.UNIFORM:
             return TensorScale(batch_fraction=0.5 ** level, weight_fraction=1.0)
@@ -466,18 +663,22 @@ class HierarchicalCostTable:
         states = np.zeros((self.num_levels, self.num_layers), dtype=np.int64)
         if self.scaling_mode is not ScalingMode.PARALLELISM_AWARE:
             return states
-        mp_counts = np.zeros(self.num_layers, dtype=np.int64)
+        batch_counts = np.zeros(self.num_layers, dtype=np.int64)
+        weight_counts = np.zeros(self.num_layers, dtype=np.int64)
         for level in range(self.num_levels):
-            states[level] = mp_counts
+            states[level] = self._state_lut[level][batch_counts, weight_counts]
             for layer, choice in enumerate(assignment[level]):
-                if choice is Parallelism.MODEL:
-                    mp_counts[layer] += 1
+                halves = strategy_spec(choice).halves
+                if halves == BATCH:
+                    batch_counts[layer] += 1
+                elif halves == WEIGHT:
+                    weight_counts[layer] += 1
         return states
 
     def tensors_for_level(
         self, level: int, states: Sequence[int]
     ) -> tuple[LayerTensors, ...]:
-        """The per-layer tensor records of one level under given states."""
+        """The per-layer tensor records of one level under given state indices."""
         level_tensors = self._tensors[level]
         return tuple(
             level_tensors[state][layer] for layer, state in enumerate(states)
@@ -486,11 +687,11 @@ class HierarchicalCostTable:
     def level_cost_table(self, level: int, states: Sequence[int]) -> CostTable:
         """The single-level :class:`CostTable` of one scale-descent outcome.
 
-        ``states[l]`` is layer ``l``'s state index at ``level`` (its mp
-        count over the previous levels under parallelism-aware scaling,
-        always 0 otherwise).  Pure gather -- no tensor or communication
-        re-derivation -- so per-level searches and evaluations inside a
-        sweep are O(L) array slicing.
+        ``states[l]`` is layer ``l``'s state index at ``level`` (see
+        :meth:`state_index`; always 0 outside parallelism-aware scaling).
+        Pure gather -- no tensor or communication re-derivation -- so
+        per-level searches and evaluations inside a sweep are O(L) array
+        slicing.
         """
         if not 0 <= level < self.num_levels:
             raise ValueError(f"level {level} out of range for {self.num_levels} levels")
@@ -509,6 +710,7 @@ class HierarchicalCostTable:
             inter=inter,
             tensors=self.tensors_for_level(level, states),
             communication_model=self.communication_model,
+            strategies=self.strategies,
         )
 
     # ------------------------------------------------------------------
@@ -516,46 +718,85 @@ class HierarchicalCostTable:
     # ------------------------------------------------------------------
 
     @property
-    def total_bits(self) -> int:
-        """Bits needed to encode one full hierarchical assignment."""
+    def num_strategies(self) -> int:
+        return self.strategies.size
+
+    @property
+    def total_digits(self) -> int:
+        """Digits needed to encode one full hierarchical assignment."""
         return self.num_levels * self.num_layers
 
-    def score_bits(self, bits: np.ndarray | Sequence[int]) -> np.ndarray:
-        """Total communication bytes of a batch of hierarchical bit-patterns.
+    @property
+    def total_bits(self) -> int:
+        """Deprecated alias of :attr:`total_digits` (binary-space name)."""
+        return self.total_digits
 
-        Encoding: the deepest-varying ``num_layers`` bits (LSBs) are the
-        *last* level's assignment and each level's bits follow the
-        ``LayerAssignment.from_bits`` convention -- exactly the order
-        ``itertools.product(all_layer_assignments(L), repeat=H)`` visits the
-        space, so first-minimum ties match the reference enumeration.
-        Totals are bit-exact with
+    @property
+    def num_assignments(self) -> int:
+        """Size of the full hierarchical space (``K**(H*L)``)."""
+        return self.strategies.size ** self.total_digits
+
+    def score_codes(self, codes: np.ndarray | Sequence[int]) -> np.ndarray:
+        """Total communication bytes of a batch of hierarchical digit-patterns.
+
+        Encoding: the deepest-varying ``num_layers`` digits (least
+        significant) are the *last* level's assignment and each level's
+        digits follow the ``LayerAssignment.from_codes`` convention --
+        exactly the order ``itertools.product(all_layer_assignments(L),
+        repeat=H)`` visits the space, so first-minimum ties match the
+        reference enumeration.  Totals are bit-exact with
         ``HierarchicalPartitioner.evaluate(...).total_communication_bytes``.
         """
-        bits = np.asarray(bits, dtype=np.int64)
-        if bits.ndim != 1:
-            raise ValueError(f"bits must be one-dimensional, got shape {bits.shape}")
-        totals = np.empty(bits.shape[0], dtype=np.float64)
-        for start in range(0, bits.shape[0], DEFAULT_CHUNK_SIZE):
-            chunk = bits[start : start + DEFAULT_CHUNK_SIZE]
+        if self.num_assignments > _MAX_PACKED_SPACE:
+            # The packed int64 encoding cannot address the space; deep
+            # models route per-level code matrices through
+            # :meth:`score_level_codes` instead.
+            raise ValueError(
+                f"a {self.num_strategies}**{self.total_digits} space overflows "
+                "the 64-bit packed encoding; use score_level_codes with "
+                "per-level code matrices instead"
+            )
+        codes = np.asarray(codes, dtype=np.int64)
+        if codes.ndim != 1:
+            raise ValueError(f"codes must be one-dimensional, got shape {codes.shape}")
+        totals = np.empty(codes.shape[0], dtype=np.float64)
+        for start in range(0, codes.shape[0], DEFAULT_CHUNK_SIZE):
+            chunk = codes[start : start + DEFAULT_CHUNK_SIZE]
             totals[start : start + chunk.shape[0]] = self._score_chunk(chunk)
         return totals
 
-    def decode_level_bits(self, bits: np.ndarray) -> list[np.ndarray]:
-        """Per-level layer-bit matrices ``(N, L)`` for a batch of candidates."""
+    def score_bits(self, bits: np.ndarray | Sequence[int]) -> np.ndarray:
+        """Deprecated shim: the historical name of :meth:`score_codes`."""
+        return self.score_codes(bits)
+
+    def decode_level_codes(self, codes: np.ndarray) -> list[np.ndarray]:
+        """Per-level strategy-code matrices ``(N, L)`` for a batch of candidates."""
         num_layers = self.num_layers
-        shifts = np.arange(num_layers, dtype=np.int64)
-        mask = (1 << num_layers) - 1
+        base = self.num_strategies
         decoded = []
+        if base == 2:
+            shifts = np.arange(num_layers, dtype=np.int64)
+            mask = (1 << num_layers) - 1
+            for level in range(self.num_levels):
+                level_codes = (codes >> (num_layers * (self.num_levels - 1 - level))) & mask
+                decoded.append((level_codes[:, None] >> shifts) & 1)
+            return decoded
+        level_space = base ** num_layers
         for level in range(self.num_levels):
-            level_bits = (bits >> (num_layers * (self.num_levels - 1 - level))) & mask
-            decoded.append((level_bits[:, None] >> shifts) & 1)
+            level_codes = (
+                codes // (level_space ** (self.num_levels - 1 - level))
+            ) % level_space
+            decoded.append(_decode_digits(level_codes, num_layers, base))
         return decoded
 
-    def _score_chunk(self, bits: np.ndarray) -> np.ndarray:
-        return self.score_level_bits(self.decode_level_bits(bits))
+    #: Deprecated alias kept for the historical bit-encoding name.
+    decode_level_bits = decode_level_codes
 
-    def score_level_bits(self, decoded: Sequence[np.ndarray]) -> np.ndarray:
-        """Score candidates given per-level ``(N, L)`` 0/1 bit matrices.
+    def _score_chunk(self, codes: np.ndarray) -> np.ndarray:
+        return self.score_level_codes(self.decode_level_codes(codes))
+
+    def score_level_codes(self, decoded: Sequence[np.ndarray]) -> np.ndarray:
+        """Score candidates given per-level ``(N, L)`` strategy-code matrices.
 
         This is the core batched scorer; it also serves candidate spaces
         whose *full* encoding would overflow 64 bits (deep models at many
@@ -564,82 +805,113 @@ class HierarchicalCostTable:
         """
         if len(decoded) != self.num_levels:
             raise ValueError(
-                f"expected {self.num_levels} level bit matrices, got {len(decoded)}"
+                f"expected {self.num_levels} level code matrices, got {len(decoded)}"
             )
         num_layers = self.num_layers
         num_candidates = decoded[0].shape[0]
         layer_range = np.arange(num_layers)
         boundary_range = np.arange(max(num_layers - 1, 0))
         totals = np.zeros(num_candidates, dtype=np.float64)
-        states = np.zeros((num_candidates, num_layers), dtype=np.int64)
         track_states = self.scaling_mode is ScalingMode.PARALLELISM_AWARE
+        weight_counts = np.zeros((num_candidates, num_layers), dtype=np.int64)
+        batch_counts = (
+            np.zeros((num_candidates, num_layers), dtype=np.int64)
+            if self._has_stage_local
+            else None
+        )
         for level in range(self.num_levels):
-            level_bits = decoded[level]
-            # ``states`` stays all-zero for choice-independent scaling modes.
-            per_layer = self._intra[level][layer_range, states, level_bits]
+            level_codes = decoded[level]
+            if not track_states:
+                states = np.zeros((num_candidates, num_layers), dtype=np.int64)
+            elif batch_counts is None:
+                # Without stage-local strategies the state index is the
+                # weight-halving (mp) count, as in the historical layout.
+                states = weight_counts
+            else:
+                states = self._state_lut[level][batch_counts, weight_counts]
+            per_layer = self._intra[level][layer_range, states, level_codes]
             if num_layers > 1:
                 per_layer[:, 1:] += self._inter[level][
                     boundary_range,
                     states[:, :-1],
-                    level_bits[:, :-1],
-                    level_bits[:, 1:],
+                    level_codes[:, :-1],
+                    level_codes[:, 1:],
                 ]
             level_totals = _sequential_row_sum(per_layer)
             # ``level.total_bytes`` multiplies by the (power-of-two) pair
             # count before the exact sequential accumulation over levels.
             totals += level_totals * float(1 << level)
             if track_states:
-                states = states + level_bits
+                weight_counts = weight_counts + (
+                    level_codes
+                    if self._weight_effect_is_identity
+                    else self._weight_effect[level_codes]
+                )
+                if batch_counts is not None:
+                    batch_counts = batch_counts + self._batch_effect[level_codes]
         return totals
 
+    def score_level_bits(self, decoded: Sequence[np.ndarray]) -> np.ndarray:
+        """Deprecated shim: the historical name of :meth:`score_level_codes`."""
+        return self.score_level_codes(decoded)
+
     def argmin_assignment(self) -> tuple[int, float]:
-        """First minimum over the full ``2**(H*L)`` space, in product order."""
-        if self.total_bits > 62:
+        """First minimum over the full ``K**(H*L)`` space, in product order."""
+        space = self.num_assignments
+        if space > _MAX_PACKED_SPACE:
             raise ValueError(
-                f"cannot enumerate a 2**{self.total_bits} space with 64-bit encodings"
+                f"cannot enumerate a {self.num_strategies}**{self.total_digits} "
+                "space with 64-bit packed encodings"
             )
-        best_bits = -1
+        best_codes = -1
         best_total = np.inf
-        space = 1 << self.total_bits
         for start in range(0, space, DEFAULT_CHUNK_SIZE):
             chunk = np.arange(start, min(start + DEFAULT_CHUNK_SIZE, space), dtype=np.int64)
             totals = self._score_chunk(chunk)
             index = int(np.argmin(totals))
             if totals[index] < best_total:
                 best_total = float(totals[index])
-                best_bits = int(chunk[index])
-        return best_bits, best_total
+                best_codes = int(chunk[index])
+        return best_codes, best_total
 
     # ------------------------------------------------------------------
     # Assignment helpers.
     # ------------------------------------------------------------------
 
-    def assignment_to_bits(self, assignment: HierarchicalAssignment) -> int:
-        """Encode an assignment with the :meth:`score_bits` bit layout."""
+    def assignment_to_codes(self, assignment: HierarchicalAssignment) -> int:
+        """Encode an assignment with the :meth:`score_codes` digit layout."""
         self._check_assignment(assignment)
-        bits = 0
+        level_space = self.num_strategies ** self.num_layers
+        codes = 0
         for level in range(self.num_levels):
-            shift = self.num_layers * (self.num_levels - 1 - level)
-            bits |= assignment[level].to_bits() << shift
-        return bits
+            codes = codes * level_space + assignment[level].to_codes(self.strategies)
+        return codes
 
-    def bits_to_assignment(self, bits: int) -> HierarchicalAssignment:
-        """Inverse of :meth:`assignment_to_bits`."""
-        mask = (1 << self.num_layers) - 1
-        levels = []
-        for level in range(self.num_levels):
-            shift = self.num_layers * (self.num_levels - 1 - level)
-            levels.append(LayerAssignment.from_bits((bits >> shift) & mask, self.num_layers))
+    def codes_to_assignment(self, codes: int) -> HierarchicalAssignment:
+        """Inverse of :meth:`assignment_to_codes`."""
+        level_space = self.num_strategies ** self.num_layers
+        levels: list[LayerAssignment] = []
+        for _ in range(self.num_levels):
+            codes, level_codes = divmod(codes, level_space)
+            levels.append(
+                LayerAssignment.from_codes(level_codes, self.num_layers, self.strategies)
+            )
+        levels.reverse()
         return HierarchicalAssignment(tuple(levels))
+
+    #: Deprecated aliases kept for the historical bit-encoding names.
+    assignment_to_bits = assignment_to_codes
+    bits_to_assignment = codes_to_assignment
 
     def total_bytes(self, assignment: HierarchicalAssignment) -> float:
         """Total traffic of one hierarchical assignment (fast path)."""
         self._check_assignment(assignment)
+        code_of = self.strategies.code_of
         decoded = [
-            np.array([[choice.bit for choice in assignment[level]]], dtype=np.int64)
+            np.array([[code_of(choice) for choice in assignment[level]]], dtype=np.int64)
             for level in range(self.num_levels)
         ]
-        return float(self.score_level_bits(decoded)[0])
+        return float(self.score_level_codes(decoded)[0])
 
     def level_communication(
         self, assignment: HierarchicalAssignment
@@ -652,13 +924,14 @@ class HierarchicalCostTable:
         """
         self._ensure_direction_split()
         states = self.state_indices(assignment)
+        code_of = self.strategies.code_of
         records: list[list[tuple[Parallelism, float, float, float]]] = []
         for level in range(self.num_levels):
             level_assignment = assignment[level]
             level_records = []
             for layer, choice in enumerate(level_assignment):
                 state = int(states[level, layer])
-                intra = float(self._intra[level][layer, state, choice.bit])
+                intra = float(self._intra[level][layer, state, code_of(choice)])
                 if layer == 0:
                     fwd = bwd = 0.0
                 else:
@@ -666,12 +939,12 @@ class HierarchicalCostTable:
                     boundary_state = int(states[level, layer - 1])
                     fwd = float(
                         self._inter_forward[level][
-                            layer - 1, boundary_state, previous.bit, choice.bit
+                            layer - 1, boundary_state, code_of(previous), code_of(choice)
                         ]
                     )
                     bwd = float(
                         self._inter_backward[level][
-                            layer - 1, boundary_state, previous.bit, choice.bit
+                            layer - 1, boundary_state, code_of(previous), code_of(choice)
                         ]
                     )
                 level_records.append((choice, intra, fwd, bwd))
@@ -685,12 +958,16 @@ class HierarchicalCostTable:
         num_levels: int,
         scaling_mode: ScalingMode,
         communication_model: CommunicationModel,
+        strategies: StrategySpace | None = None,
     ) -> None:
         """Raise when this table was compiled for a different configuration.
 
         Shared by every consumer that accepts an externally supplied table
         (the hierarchical partitioner, the training simulator) so the
-        compatibility rules cannot drift between them.
+        compatibility rules cannot drift between them.  ``strategies`` may
+        be omitted by consumers that only *evaluate* assignments (the
+        evaluation is strategy-space-agnostic as long as the assignment's
+        choices are members of the table's space).
         """
         if (
             self.model is not model
@@ -698,10 +975,12 @@ class HierarchicalCostTable:
             or self.num_levels != num_levels
             or self.scaling_mode is not scaling_mode
             or not self.communication_model.same_costs(communication_model)
+            or (strategies is not None and self.strategies != strategies)
         ):
             raise ValueError(
                 "cost table was compiled for a different "
-                "(model, batch, levels, scaling, communication-model) configuration"
+                "(model, batch, levels, scaling, communication-model, "
+                "strategy-space) configuration"
             )
 
     def _check_assignment(self, assignment: HierarchicalAssignment) -> None:
@@ -722,6 +1001,7 @@ def compile_cost_table(
     batch_size: int,
     scales: Sequence[TensorScale] | None = None,
     communication_model: CommunicationModel | None = None,
+    strategies: StrategySpace | Sequence[Parallelism] | str | None = None,
 ) -> CostTable:
     """Module-level convenience alias for :meth:`CostTable.compile`."""
-    return CostTable.compile(model, batch_size, scales, communication_model)
+    return CostTable.compile(model, batch_size, scales, communication_model, strategies)

@@ -13,9 +13,14 @@ tensor slices it would physically hold:
   kernel rows (input features), producing output-feature-map partial sums
   that must be reduced in the forward pass (the mp intra-layer
   communication);
+* a **pipeline** layer is *stage-local*: its owner group (consecutive
+  pipeline layers alternate owners, forming adjacent stages) executes the
+  whole layer -- full batch, full kernel -- and no intra-layer reduction
+  happens; the non-owner group holds nothing of the layer;
 * between layers, whatever slice of the boundary feature map / error a
   group needs but did not produce itself is fetched from the other group
-  (the inter-layer communication of Table 2).
+  (the inter-layer communication of Table 2, generalized by the strategy
+  registry).
 
 The executor records every such exchange with its element count, and its
 stitched results are compared against the monolithic
@@ -130,40 +135,77 @@ class TwoGroupExecutor:
         self.network = network
         self.model: DNNModel = network.model
         self.assignment = assignment
+        # Owner group of every pipeline layer: the k-th pipeline layer (in
+        # layer order) is owned by group k % 2, so consecutive pipeline
+        # layers form adjacent stages on opposite groups -- the alternation
+        # the communication model's pp→pp transition cost assumes.
+        self._pipeline_owner: Dict[int, int] = {}
+        ordinal = 0
+        for index, choice in enumerate(assignment):
+            if choice is Parallelism.PIPELINE:
+                self._pipeline_owner[index] = ordinal % 2
+                ordinal += 1
 
     # ------------------------------------------------------------------
-    # Layout helpers.
+    # Layout helpers.  ``None`` means the group reads/holds nothing of the
+    # tensor (the non-owner side of a stage-local layer).
     # ------------------------------------------------------------------
 
-    def _needed_input_rectangle(self, layer_index: int, group: int) -> Rectangle:
+    def _needed_input_rectangle(self, layer_index: int, group: int) -> Rectangle | None:
         """The slice of the boundary tensor layer ``layer_index`` reads in forward."""
-        if self.assignment[layer_index] is Parallelism.DATA:
+        choice = self.assignment[layer_index]
+        if choice is Parallelism.DATA:
             return Rectangle(HALVES[group], FULL)
-        return Rectangle(FULL, HALVES[group])
+        if choice is Parallelism.MODEL:
+            return Rectangle(FULL, HALVES[group])
+        if group == self._pipeline_owner[layer_index]:
+            return Rectangle(FULL, FULL)
+        return None
 
-    def _needed_error_rectangle(self, layer_index: int, group: int) -> Rectangle:
+    def _needed_error_rectangle(self, layer_index: int, group: int) -> Rectangle | None:
         """The slice of the output error layer ``layer_index`` reads in backward."""
-        if self.assignment[layer_index] is Parallelism.DATA:
+        choice = self.assignment[layer_index]
+        if choice is Parallelism.DATA:
             return Rectangle(HALVES[group], FULL)
-        return Rectangle(FULL, FULL)
+        if choice is Parallelism.MODEL:
+            return Rectangle(FULL, FULL)
+        if group == self._pipeline_owner[layer_index]:
+            return Rectangle(FULL, FULL)
+        return None
 
-    def _produced_output_rectangle(self, layer_index: int, group: int) -> Rectangle:
+    def _produced_output_rectangle(self, layer_index: int, group: int) -> Rectangle | None:
         """The slice of its output feature map a group holds after forward."""
-        if self.assignment[layer_index] is Parallelism.DATA:
+        choice = self.assignment[layer_index]
+        if choice is Parallelism.DATA:
             return Rectangle(HALVES[group], FULL)
-        # Model parallelism: after the partial-sum reduction every group holds
-        # the full output for the full batch.
-        return Rectangle(FULL, FULL)
+        if choice is Parallelism.MODEL:
+            # Model parallelism: after the partial-sum reduction every group
+            # holds the full output for the full batch.
+            return Rectangle(FULL, FULL)
+        if group == self._pipeline_owner[layer_index]:
+            return Rectangle(FULL, FULL)
+        return None
 
-    def _produced_error_rectangle(self, layer_index: int, group: int) -> Rectangle:
+    def _produced_error_rectangle(self, layer_index: int, group: int) -> Rectangle | None:
         """The slice of its *input* error a group produces in backward."""
-        if self.assignment[layer_index] is Parallelism.DATA:
+        choice = self.assignment[layer_index]
+        if choice is Parallelism.DATA:
             return Rectangle(HALVES[group], FULL)
-        return Rectangle(FULL, HALVES[group])
+        if choice is Parallelism.MODEL:
+            return Rectangle(FULL, HALVES[group])
+        if group == self._pipeline_owner[layer_index]:
+            return Rectangle(FULL, FULL)
+        return None
 
     @staticmethod
-    def _missing_elements(needed: Rectangle, produced: Rectangle, total_elements: int) -> float:
+    def _missing_elements(
+        needed: Rectangle | None, produced: Rectangle | None, total_elements: int
+    ) -> float:
         """Elements of ``needed`` that are not already inside ``produced``."""
+        if needed is None:
+            return 0.0
+        if produced is None:
+            return needed.area * total_elements
         return (needed.area - needed.intersection_area(produced)) * total_elements
 
     # ------------------------------------------------------------------
@@ -241,6 +283,12 @@ class TwoGroupExecutor:
                         )
                     )
                 pre_activation = np.concatenate(parts, axis=0)
+            elif choice is Parallelism.PIPELINE:
+                # The stage owner executes the whole layer locally: full
+                # batch, full kernel, no partial-sum exchange.
+                pre_activation = self.network.layer_forward(
+                    index, current, self.network.weights[index]
+                )
             else:
                 partials = []
                 for group in range(2):
@@ -318,6 +366,19 @@ class TwoGroupExecutor:
                 )
                 gradients[index] = weight_partials[0] + weight_partials[1]
                 current_error = np.concatenate(error_parts, axis=0)
+            elif choice is Parallelism.PIPELINE:
+                # Stage-local backward: the owner computes the full gradient
+                # and full input error with its full kernel copy; nothing is
+                # reduced across the pair.
+                local_grad = activation_backward(
+                    full_pre[index], current_error, layer.spec.activation
+                )
+                gradients[index] = self.network.layer_backward_weight(
+                    index, full_inputs[index], local_grad
+                )
+                current_error = self.network.layer_backward_input(
+                    index, local_grad, self.network.weights[index], full_inputs[index]
+                )
             else:
                 local_grad = activation_backward(
                     full_pre[index], current_error, layer.spec.activation

@@ -11,8 +11,10 @@ the enumeration because
   levels held fixed while others sweep), which
   :func:`enumerate_restricted` reproduces.
 
-The enumerations are *vectorized*: candidates are scored as bit-patterns
-against a compiled :class:`~repro.core.costs.CostTable` /
+The enumerations are *vectorized*: candidates are scored as base-``K``
+digit-patterns over a :class:`~repro.core.parallelism.StrategySpace`
+(``K = 2`` dp/mp by default) against a compiled
+:class:`~repro.core.costs.CostTable` /
 :class:`~repro.core.costs.HierarchicalCostTable` in batched NumPy
 operations, and ``PartitionResult`` / breakdown objects are materialized
 only for the winning candidate.  The original per-candidate object loops
@@ -35,6 +37,7 @@ from repro.core.parallelism import (
     HierarchicalAssignment,
     LayerAssignment,
     Parallelism,
+    StrategySpace,
 )
 from repro.core.partitioner import TwoWayPartitioner
 from repro.core.result import HierarchicalResult, PartitionResult
@@ -50,37 +53,43 @@ class SearchSpaceTooLarge(ValueError):
     """Raised when an enumeration would exceed the configured candidate limit."""
 
 
-def all_layer_assignments(num_layers: int) -> Iterator[LayerAssignment]:
-    """Yield every per-layer assignment for one hierarchy level (2^L of them)."""
+def all_layer_assignments(
+    num_layers: int,
+    strategies: StrategySpace | Sequence[Parallelism] | str | None = None,
+) -> Iterator[LayerAssignment]:
+    """Yield every per-layer assignment for one hierarchy level (``K^L``)."""
     if num_layers <= 0:
         raise ValueError(f"num_layers must be positive, got {num_layers}")
-    for bits in range(1 << num_layers):
-        yield LayerAssignment.from_bits(bits, num_layers)
+    space = StrategySpace.parse(strategies)
+    for codes in range(space.num_assignments(num_layers)):
+        yield LayerAssignment.from_codes(codes, num_layers, space)
 
 
 def exhaustive_two_way(
     tensors: Sequence[LayerTensors],
     communication_model: CommunicationModel | None = None,
     max_candidates: int = DEFAULT_MAX_CANDIDATES,
+    strategies: StrategySpace | Sequence[Parallelism] | str | None = None,
 ) -> PartitionResult:
     """Brute-force optimum for a single hierarchy level.
 
-    Scores all ``2^L`` bit-patterns in batched NumPy operations against a
+    Scores all ``K^L`` digit-patterns in batched NumPy operations against a
     compiled :class:`~repro.core.costs.CostTable`; only the winner (the
-    first minimum in bit-pattern order, like the reference scan) is
+    first minimum in digit-pattern order, like the reference scan) is
     materialized into a :class:`PartitionResult`, whose breakdown stays
     lazy.  Returns the same kind of result as the dynamic program, so the
     two can be compared directly.
     """
+    space = StrategySpace.parse(strategies)
     num_layers = len(tensors)
-    if (1 << num_layers) > max_candidates:
+    if space.num_assignments(num_layers) > max_candidates:
         raise SearchSpaceTooLarge(
-            f"2^{num_layers} assignments exceed the limit of {max_candidates}"
+            f"{space.size}^{num_layers} assignments exceed the limit of {max_candidates}"
         )
-    table = CostTable.from_tensors(tensors, communication_model)
-    best_bits, best_total = table.argmin_assignment()
+    table = CostTable.from_tensors(tensors, communication_model, space)
+    best_codes, best_total = table.argmin_assignment()
     return table.lazy_result(
-        LayerAssignment.from_bits(best_bits, num_layers), best_total
+        LayerAssignment.from_codes(best_codes, num_layers, space), best_total
     )
 
 
@@ -88,16 +97,18 @@ def exhaustive_two_way_reference(
     tensors: Sequence[LayerTensors],
     communication_model: CommunicationModel | None = None,
     max_candidates: int = DEFAULT_MAX_CANDIDATES,
+    strategies: StrategySpace | Sequence[Parallelism] | str | None = None,
 ) -> PartitionResult:
     """Object-based per-candidate scan: the oracle for :func:`exhaustive_two_way`."""
+    space = StrategySpace.parse(strategies)
     num_layers = len(tensors)
-    if (1 << num_layers) > max_candidates:
+    if space.num_assignments(num_layers) > max_candidates:
         raise SearchSpaceTooLarge(
-            f"2^{num_layers} assignments exceed the limit of {max_candidates}"
+            f"{space.size}^{num_layers} assignments exceed the limit of {max_candidates}"
         )
-    partitioner = TwoWayPartitioner(communication_model)
+    partitioner = TwoWayPartitioner(communication_model, space)
     best: PartitionResult | None = None
-    for assignment in all_layer_assignments(num_layers):
+    for assignment in all_layer_assignments(num_layers, space):
         candidate = partitioner.evaluate(tensors, assignment)
         if best is None or candidate.communication_bytes < best.communication_bytes:
             best = candidate
@@ -112,29 +123,32 @@ def exhaustive_hierarchical(
     partitioner: HierarchicalPartitioner | None = None,
     max_candidates: int = DEFAULT_MAX_CANDIDATES,
 ) -> HierarchicalResult:
-    """Brute-force optimum over the full ``2^(H*L)`` hierarchical space.
+    """Brute-force optimum over the full ``K^(H*L)`` hierarchical space.
 
     Only feasible for small models / few levels; used to validate the
     greedy-per-level structure of Algorithm 2 on toy cases.  All candidates
-    are scored as bit-patterns against a
+    are scored as digit-patterns against a
     :class:`~repro.core.costs.HierarchicalCostTable` (enumerated in the same
     order as ``itertools.product`` over per-level assignments, so ties pick
     the same winner as the reference loop); only the winner is materialized
-    into a full :class:`HierarchicalResult`.
+    into a full :class:`HierarchicalResult`.  The strategy space is the
+    partitioner's.
     """
     partitioner = partitioner or HierarchicalPartitioner(num_levels=num_levels)
     if partitioner.num_levels != num_levels:
         raise ValueError("partitioner and num_levels disagree")
     num_layers = len(model)
-    total_bits = num_levels * num_layers
-    if (1 << total_bits) > max_candidates:
+    space = partitioner.strategies
+    total_candidates = space.size ** (num_levels * num_layers)
+    if total_candidates > max_candidates:
         raise SearchSpaceTooLarge(
-            f"2^{total_bits} hierarchical assignments exceed the limit of {max_candidates}"
+            f"{space.size}^{num_levels * num_layers} hierarchical assignments "
+            f"exceed the limit of {max_candidates}"
         )
     table = partitioner.compile_table(model, batch_size)
-    best_bits, _ = table.argmin_assignment()
+    best_codes, _ = table.argmin_assignment()
     return partitioner.evaluate(
-        model, table.bits_to_assignment(best_bits), batch_size, table=table
+        model, table.codes_to_assignment(best_codes), batch_size, table=table
     )
 
 
@@ -150,14 +164,16 @@ def exhaustive_hierarchical_reference(
     if partitioner.num_levels != num_levels:
         raise ValueError("partitioner and num_levels disagree")
     num_layers = len(model)
-    total_bits = num_levels * num_layers
-    if (1 << total_bits) > max_candidates:
+    space = partitioner.strategies
+    total_candidates = space.size ** (num_levels * num_layers)
+    if total_candidates > max_candidates:
         raise SearchSpaceTooLarge(
-            f"2^{total_bits} hierarchical assignments exceed the limit of {max_candidates}"
+            f"{space.size}^{num_levels * num_layers} hierarchical assignments "
+            f"exceed the limit of {max_candidates}"
         )
 
     best: HierarchicalResult | None = None
-    level_space = list(all_layer_assignments(num_layers))
+    level_space = list(all_layer_assignments(num_layers, space))
     for combo in itertools.product(level_space, repeat=num_levels):
         assignment = HierarchicalAssignment(tuple(combo))
         candidate = partitioner.evaluate(model, assignment, batch_size)
@@ -173,17 +189,20 @@ def exhaustive_hierarchical_reference(
 def restricted_assignment(
     base_assignment: HierarchicalAssignment,
     free_positions: Sequence[tuple[int, int]],
-    bits: int,
+    codes: int,
+    strategies: StrategySpace | Sequence[Parallelism] | str | None = None,
 ) -> HierarchicalAssignment:
     """The assignment of one restricted-sweep candidate.
 
-    ``bits`` follows the sweep encoding: bit ``i`` (LSB first) holds the
-    dp/mp choice of ``free_positions[i]``; every other position keeps the
-    base assignment's value.
+    ``codes`` follows the sweep encoding: base-``K`` digit ``i`` (least
+    significant first) holds the strategy choice of ``free_positions[i]``;
+    every other position keeps the base assignment's value.
     """
+    space = StrategySpace.parse(strategies)
     levels = [list(level.choices) for level in base_assignment]
     for position, (level, layer) in enumerate(free_positions):
-        levels[level][layer] = Parallelism.from_bit((bits >> position) & 1)
+        digit = (codes // space.size ** position) % space.size
+        levels[level][layer] = space.members[digit]
     return HierarchicalAssignment(
         tuple(LayerAssignment(tuple(choices)) for choices in levels)
     )
@@ -194,12 +213,13 @@ def _check_free_positions(
     base_assignment: HierarchicalAssignment,
     free: Sequence[tuple[int, int]],
     max_candidates: int,
+    space: StrategySpace,
 ) -> None:
     if not free:
         raise ValueError("free_positions must contain at least one position")
-    if (1 << len(free)) > max_candidates:
+    if space.size ** len(free) > max_candidates:
         raise SearchSpaceTooLarge(
-            f"2^{len(free)} candidates exceed the limit of {max_candidates}"
+            f"{space.size}^{len(free)} candidates exceed the limit of {max_candidates}"
         )
     for level, layer in free:
         if not 0 <= level < base_assignment.num_levels:
@@ -215,27 +235,29 @@ def enumerate_restricted(
     free_positions: Iterable[tuple[int, int]],
     evaluator: Callable[[HierarchicalAssignment], float],
     max_candidates: int = DEFAULT_MAX_CANDIDATES,
+    strategies: StrategySpace | Sequence[Parallelism] | str | None = None,
 ) -> list[tuple[HierarchicalAssignment, float]]:
     """Sweep a restricted subset of (level, layer) positions.
 
     This is the machinery behind the paper's Figures 9 and 10: all positions
     of ``base_assignment`` stay fixed except the ``free_positions``, which
-    enumerate every dp/mp combination.  ``evaluator`` maps an assignment to
-    the objective being plotted (communication, simulated time, ...); the
-    returned list preserves enumeration order (bit patterns over the free
-    positions, least-significant position first).
+    enumerate every strategy combination of the space.  ``evaluator`` maps
+    an assignment to the objective being plotted (communication, simulated
+    time, ...); the returned list preserves enumeration order (digit
+    patterns over the free positions, least-significant position first).
 
     For the pure-communication objective use
     :func:`enumerate_restricted_communication`, which scores every
     candidate in batched NumPy operations instead of calling back into
     Python per point.
     """
+    space = StrategySpace.parse(strategies)
     free = list(free_positions)
-    _check_free_positions(model, base_assignment, free, max_candidates)
+    _check_free_positions(model, base_assignment, free, max_candidates, space)
 
     results: list[tuple[HierarchicalAssignment, float]] = []
-    for bits in range(1 << len(free)):
-        assignment = restricted_assignment(base_assignment, free, bits)
+    for codes in range(space.size ** len(free)):
+        assignment = restricted_assignment(base_assignment, free, codes, space)
         results.append((assignment, evaluator(assignment)))
     return results
 
@@ -248,6 +270,7 @@ def enumerate_restricted_communication(
     table: HierarchicalCostTable | None = None,
     partitioner: HierarchicalPartitioner | None = None,
     max_candidates: int = DEFAULT_MAX_CANDIDATES,
+    strategies: StrategySpace | Sequence[Parallelism] | str | None = None,
 ) -> np.ndarray:
     """Total communication bytes of every candidate of a restricted sweep.
 
@@ -255,19 +278,21 @@ def enumerate_restricted_communication(
     communication objective: entry ``i`` of the returned array is the total
     traffic (bit-exact with
     ``HierarchicalPartitioner.evaluate(...).total_communication_bytes``) of
-    the candidate whose free-position bits encode ``i`` (LSB = first free
-    position).  No assignment or breakdown objects are built; materialize
-    interesting points with :func:`restricted_assignment`.
+    the candidate whose free-position digits encode ``i`` (least
+    significant digit = first free position).  No assignment or breakdown
+    objects are built; materialize interesting points with
+    :func:`restricted_assignment`.
 
     ``table`` may be passed to reuse a compiled cost table across sweeps;
     otherwise one is compiled from ``partitioner`` (or the default
-    four-level configuration).
+    four-level configuration).  The sweep's strategy space defaults to the
+    table's / partitioner's space.
     """
     free = list(free_positions)
-    _check_free_positions(model, base_assignment, free, max_candidates)
     if table is None:
         partitioner = partitioner or HierarchicalPartitioner(
-            num_levels=base_assignment.num_levels
+            num_levels=base_assignment.num_levels,
+            strategies=strategies,
         )
         table = partitioner.compile_table(model, batch_size)
     else:
@@ -280,20 +305,32 @@ def enumerate_restricted_communication(
             partitioner.num_levels if partitioner else base_assignment.num_levels,
             partitioner.scaling_mode if partitioner else table.scaling_mode,
             partitioner.communication_model if partitioner else table.communication_model,
+            strategies=partitioner.strategies if partitioner else None,
         )
+    space = StrategySpace.parse(strategies) if strategies is not None else table.strategies
+    if space != table.strategies:
+        raise ValueError(
+            f"sweep strategy space {space.describe()} does not match the "
+            f"table's {table.strategies.describe()}"
+        )
+    _check_free_positions(model, base_assignment, free, max_candidates, space)
 
-    num_candidates = 1 << len(free)
-    base_bits = [
-        np.array([choice.bit for choice in base_assignment[level]], dtype=np.int64)
+    num_candidates = space.size ** len(free)
+    code_of = space.code_of
+    base_codes = [
+        np.array([code_of(choice) for choice in base_assignment[level]], dtype=np.int64)
         for level in range(base_assignment.num_levels)
     ]
     totals = np.empty(num_candidates, dtype=np.float64)
     for start in range(0, num_candidates, DEFAULT_CHUNK_SIZE):
         chunk = np.arange(start, min(start + DEFAULT_CHUNK_SIZE, num_candidates), dtype=np.int64)
-        # Start every level from the base assignment's bits, then overwrite
+        # Start every level from the base assignment's codes, then overwrite
         # the free positions from the candidate counter.
-        decoded = [np.tile(bits, (chunk.shape[0], 1)) for bits in base_bits]
+        decoded = [np.tile(codes, (chunk.shape[0], 1)) for codes in base_codes]
         for position, (level, layer) in enumerate(free):
-            decoded[level][:, layer] = (chunk >> position) & 1
-        totals[start : start + chunk.shape[0]] = table.score_level_bits(decoded)
+            if space.size == 2:
+                decoded[level][:, layer] = (chunk >> position) & 1
+            else:
+                decoded[level][:, layer] = (chunk // space.size ** position) % space.size
+        totals[start : start + chunk.shape[0]] = table.score_level_codes(decoded)
     return totals

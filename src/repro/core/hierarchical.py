@@ -36,8 +36,10 @@ from repro.core.parallelism import (
     HierarchicalAssignment,
     LayerAssignment,
     Parallelism,
+    StrategySpace,
 )
 from repro.core.partitioner import TwoWayPartitioner
+from repro.core.strategies import BATCH, WEIGHT, strategy_spec
 from repro.core.result import HierarchicalResult, LevelResult
 from repro.core.tensors import (
     ScalingMode,
@@ -67,6 +69,10 @@ class HierarchicalPartitioner:
     scaling_mode:
         How tensor amounts shrink for deeper levels (see
         :class:`~repro.core.tensors.ScalingMode`).
+    strategies:
+        The per-layer strategy space searched at every level (the paper's
+        dp/mp axis by default; e.g. ``"dp,mp,pp"`` adds pipeline
+        parallelism).
     """
 
     def __init__(
@@ -74,13 +80,15 @@ class HierarchicalPartitioner:
         num_levels: int = DEFAULT_NUM_LEVELS,
         communication_model: CommunicationModel | None = None,
         scaling_mode: ScalingMode | str = ScalingMode.PARALLELISM_AWARE,
+        strategies: StrategySpace | str | None = None,
     ) -> None:
         if num_levels <= 0:
             raise ValueError(f"num_levels must be positive, got {num_levels}")
         self.num_levels = num_levels
         self.communication_model = communication_model or CommunicationModel()
         self.scaling_mode = ScalingMode.parse(scaling_mode)
-        self._two_way = TwoWayPartitioner(self.communication_model)
+        self.strategies = StrategySpace.parse(strategies)
+        self._two_way = TwoWayPartitioner(self.communication_model, self.strategies)
 
     @property
     def num_accelerators(self) -> int:
@@ -98,6 +106,7 @@ class HierarchicalPartitioner:
             self.num_levels,
             scaling_mode=self.scaling_mode,
             communication_model=self.communication_model,
+            strategies=self.strategies,
         )
 
     def _check_table(
@@ -109,6 +118,7 @@ class HierarchicalPartitioner:
             self.num_levels,
             self.scaling_mode,
             self.communication_model,
+            strategies=self.strategies,
         )
 
     def _level_tables(
@@ -127,7 +137,11 @@ class HierarchicalPartitioner:
             self._check_table(table, model, batch_size)
             return _CompiledLevelTables(table)
         return _DescentLevelTables(
-            model, batch_size, self.communication_model, self.scaling_mode
+            model,
+            batch_size,
+            self.communication_model,
+            self.scaling_mode,
+            self.strategies,
         )
 
     # ------------------------------------------------------------------
@@ -293,18 +307,27 @@ class _CompiledLevelTables:
 
     def __init__(self, table: HierarchicalCostTable) -> None:
         self._table = table
-        self._states = [0] * table.num_layers
+        # Per-layer (batch-halvings, weight-halvings) counts of the descent
+        # so far; the table maps them to its internal state indices.
+        self._batch_counts = [0] * table.num_layers
+        self._weight_counts = [0] * table.num_layers
 
     def level_table(self, level: int):
-        return self._table.level_cost_table(level, self._states)
+        states = [
+            self._table.state_index(level, b, w)
+            for b, w in zip(self._batch_counts, self._weight_counts)
+        ]
+        return self._table.level_cost_table(level, states)
 
     def advance(self, assignment: LayerAssignment) -> None:
         if self._table.scaling_mode is not ScalingMode.PARALLELISM_AWARE:
             return
-        self._states = [
-            state + (1 if choice is Parallelism.MODEL else 0)
-            for state, choice in zip(self._states, assignment)
-        ]
+        for layer, choice in enumerate(assignment):
+            halves = strategy_spec(choice).halves
+            if halves == BATCH:
+                self._batch_counts[layer] += 1
+            elif halves == WEIGHT:
+                self._weight_counts[layer] += 1
 
 
 class _DescentLevelTables:
@@ -316,16 +339,21 @@ class _DescentLevelTables:
     reachable state.  The floats are identical either way.
     """
 
-    def __init__(self, model, batch_size, communication_model, scaling_mode) -> None:
+    def __init__(
+        self, model, batch_size, communication_model, scaling_mode, strategies=None
+    ) -> None:
         self._model = model
         self._batch_size = batch_size
         self._communication_model = communication_model
         self._scaling_mode = scaling_mode
+        self._strategies = StrategySpace.parse(strategies)
         self._scales: Sequence[TensorScale] = initial_scales(len(model))
 
     def level_table(self, level: int) -> CostTable:
         tensors = model_tensors(self._model, self._batch_size, self._scales)
-        return CostTable.from_tensors(tensors, self._communication_model)
+        return CostTable.from_tensors(
+            tensors, self._communication_model, self._strategies
+        )
 
     def advance(self, assignment: LayerAssignment) -> None:
         self._scales = descend_scales(self._scales, assignment, self._scaling_mode)

@@ -1,4 +1,4 @@
-"""Parallelism types and per-layer assignments.
+"""Parallelism types, strategy spaces and per-layer assignments.
 
 Terminology follows Section 3 of the paper:
 
@@ -7,6 +7,19 @@ Terminology follows Section 3 of the paper:
 * uppercase *Data Parallelism* / *Model Parallelism* refer to the degenerate
   whole-network assignments where every layer at every level uses the same
   choice.
+
+Beyond the paper's binary dp/mp axis the reproduction supports an
+extensible per-layer **strategy space**: a :class:`StrategySpace` is an
+ordered subset of :class:`Parallelism` members, candidate assignments are
+encoded as base-``K`` digit patterns over that space
+(:meth:`LayerAssignment.from_codes` / :meth:`LayerAssignment.to_codes`),
+and every search, sweep and cost table is parameterized by the space.  The
+default space is the paper's ``(dp, mp)``, for which the base-2 digit
+encoding coincides bit for bit with the historical ``from_bits``/``to_bits``
+encoding of Figures 9 and 10 (kept as thin deprecated shims).  The first
+strategy beyond the paper is per-layer *pipeline* parallelism
+(``Parallelism.PIPELINE``); the per-strategy cost contributions live in
+:mod:`repro.core.strategies`.
 """
 
 from __future__ import annotations
@@ -30,36 +43,64 @@ class Parallelism(enum.Enum):
         output-neuron) dimension; every accelerator sees the full batch.
         Intra-layer communication happens when output-feature-map partial
         sums are reduced in the forward pass.
+
+    ``PIPELINE``
+        The layer is *stage-local*: one group of the pair holds the whole
+        layer (full kernel, full batch) and executes it for micro-batches
+        streamed across the stage boundary.  There is no intra-layer
+        reduction; all communication happens at the stage boundaries
+        (activations forward, errors backward).  Consecutive pipeline
+        layers alternate owner groups, so they form adjacent pipeline
+        stages.  This strategy is *not* part of the paper; it is only
+        explored when a strategy space containing it is requested.
     """
 
     DATA = "dp"
     MODEL = "mp"
+    PIPELINE = "pp"
 
     @property
     def short(self) -> str:
-        """Two-letter abbreviation used in the paper's figures (``dp``/``mp``)."""
+        """Two-letter abbreviation used in the figures (``dp``/``mp``/``pp``)."""
         return self.value
 
     @property
     def bit(self) -> int:
-        """Bit encoding used by the exploration figures: 0 = dp, 1 = mp."""
+        """Bit encoding used by the exploration figures: 0 = dp, 1 = mp.
+
+        .. deprecated:: PR 2
+            Only meaningful for the binary dp/mp space; use
+            :meth:`StrategySpace.code_of` for general spaces.
+        """
+        if self is Parallelism.PIPELINE:
+            raise ValueError(
+                "Parallelism.PIPELINE has no dp/mp bit encoding; "
+                "use StrategySpace.code_of"
+            )
         return 0 if self is Parallelism.DATA else 1
 
     @classmethod
     def from_bit(cls, bit: int) -> "Parallelism":
-        """Inverse of :attr:`bit` (0 → dp, 1 → mp)."""
+        """Inverse of :attr:`bit` (0 → dp, 1 → mp).
+
+        .. deprecated:: PR 2
+            Only meaningful for the binary dp/mp space; use
+            :meth:`StrategySpace.member` for general spaces.
+        """
         if bit not in (0, 1):
             raise ValueError(f"parallelism bit must be 0 or 1, got {bit!r}")
         return cls.DATA if bit == 0 else cls.MODEL
 
     @classmethod
     def parse(cls, text: str) -> "Parallelism":
-        """Parse ``"dp"``/``"mp"`` (or ``"data"``/``"model"``, any case)."""
+        """Parse ``"dp"``/``"mp"``/``"pp"`` (or long names, any case)."""
         normalized = text.strip().lower()
         if normalized in ("dp", "data", "data_parallelism", "0"):
             return cls.DATA
         if normalized in ("mp", "model", "model_parallelism", "1"):
             return cls.MODEL
+        if normalized in ("pp", "pipe", "pipeline", "pipeline_parallelism", "2"):
+            return cls.PIPELINE
         raise ValueError(f"cannot parse parallelism from {text!r}")
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
@@ -68,6 +109,100 @@ class Parallelism(enum.Enum):
 
 DATA = Parallelism.DATA
 MODEL = Parallelism.MODEL
+PIPELINE = Parallelism.PIPELINE
+
+
+@dataclasses.dataclass(frozen=True)
+class StrategySpace:
+    """An ordered set of per-layer strategies forming one candidate axis.
+
+    The order defines the base-``K`` digit encoding of candidate
+    assignments: digit value ``c`` stands for ``members[c]``.  It also
+    defines tie-breaking -- searches resolve cost ties to the *lowest*
+    digit, so putting ``dp`` first preserves the paper's "ties favour data
+    parallelism" rule.  The default space is the paper's binary
+    ``(dp, mp)``; pipeline parallelism joins only when explicitly
+    requested (e.g. ``StrategySpace.parse("dp,mp,pp")``).
+    """
+
+    members: tuple[Parallelism, ...]
+
+    def __post_init__(self) -> None:
+        if not self.members:
+            raise ValueError("a strategy space needs at least one member")
+        if len(set(self.members)) != len(self.members):
+            raise ValueError(f"duplicate strategies in space: {self.members}")
+
+    @classmethod
+    def parse(cls, value: "StrategySpace | Sequence[Parallelism | str] | str | None") -> "StrategySpace":
+        """Parse a space from ``"dp,mp,pp"``, a member sequence, or ``None``.
+
+        ``None`` yields the default binary dp/mp space.
+        """
+        if value is None:
+            return DEFAULT_SPACE
+        if isinstance(value, StrategySpace):
+            return value
+        if isinstance(value, str):
+            value = [part for part in value.split(",") if part.strip()]
+        members = tuple(
+            member if isinstance(member, Parallelism) else Parallelism.parse(member)
+            for member in value
+        )
+        return cls(members)
+
+    @property
+    def size(self) -> int:
+        """The base ``K`` of the digit encoding."""
+        return len(self.members)
+
+    def __iter__(self) -> Iterator[Parallelism]:
+        return iter(self.members)
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def __contains__(self, member: Parallelism) -> bool:
+        return member in self.members
+
+    def __getitem__(self, code: int) -> Parallelism:
+        return self.members[code]
+
+    def member(self, code: int) -> Parallelism:
+        """The strategy encoded by digit ``code``."""
+        if not 0 <= code < self.size:
+            raise ValueError(
+                f"strategy code {code} out of range for a {self.size}-way space"
+            )
+        return self.members[code]
+
+    def code_of(self, member: Parallelism) -> int:
+        """The digit encoding ``member`` within this space."""
+        try:
+            return self.members.index(member)
+        except ValueError:
+            raise ValueError(
+                f"{member} is not part of the strategy space {self.describe()}"
+            ) from None
+
+    def num_assignments(self, num_layers: int) -> int:
+        """Size of the per-level assignment space (``K**L``)."""
+        return self.size ** num_layers
+
+    def describe(self) -> str:
+        """Human-readable form, e.g. ``"dp,mp,pp"``."""
+        return ",".join(member.short for member in self.members)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.describe()
+
+
+#: The paper's binary dp/mp axis -- the default everywhere.
+DEFAULT_SPACE = StrategySpace((Parallelism.DATA, Parallelism.MODEL))
+#: Every registered strategy, in canonical digit order.
+FULL_SPACE = StrategySpace(
+    (Parallelism.DATA, Parallelism.MODEL, Parallelism.PIPELINE)
+)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -90,7 +225,8 @@ class LayerAssignment:
             elif isinstance(choice, str):
                 parsed.append(Parallelism.parse(choice))
             elif isinstance(choice, int):
-                parsed.append(Parallelism.from_bit(choice))
+                # Canonical integer codes: 0 = dp, 1 = mp, 2 = pp.
+                parsed.append(FULL_SPACE.member(choice))
             else:
                 raise TypeError(f"cannot interpret {choice!r} as a parallelism choice")
         return cls(tuple(parsed))
@@ -103,28 +239,63 @@ class LayerAssignment:
         return cls(tuple([parallelism] * num_layers))
 
     @classmethod
+    def from_codes(
+        cls,
+        codes: int,
+        num_layers: int,
+        strategies: "StrategySpace | Sequence[Parallelism] | str | None" = None,
+    ) -> "LayerAssignment":
+        """Decode a base-``K`` digit pattern (least-significant digit =
+        layer 0) into an assignment over ``strategies``.
+
+        For the default binary dp/mp space this is exactly the historical
+        bit encoding of the Figures 9/10 exploration (``0`` = dp,
+        ``1`` = mp).
+        """
+        space = StrategySpace.parse(strategies)
+        if num_layers <= 0:
+            raise ValueError(f"num_layers must be positive, got {num_layers}")
+        if codes < 0 or codes >= space.num_assignments(num_layers):
+            raise ValueError(
+                f"code pattern {codes} out of range for {num_layers} layers "
+                f"over a {space.size}-way strategy space"
+            )
+        base = space.size
+        choices = []
+        for _ in range(num_layers):
+            codes, digit = divmod(codes, base)
+            choices.append(space.members[digit])
+        return cls(tuple(choices))
+
+    def to_codes(
+        self,
+        strategies: "StrategySpace | Sequence[Parallelism] | str | None" = None,
+    ) -> int:
+        """Inverse of :meth:`from_codes`."""
+        space = StrategySpace.parse(strategies)
+        value = 0
+        for choice in reversed(self.choices):
+            value = value * space.size + space.code_of(choice)
+        return value
+
+    @classmethod
     def from_bits(cls, bits: int, num_layers: int) -> "LayerAssignment":
         """Decode an integer bit-pattern (LSB = layer 0) into an assignment.
 
-        This is the encoding used by the parallelism-space exploration of
-        Figures 9 and 10 (``0`` = dp, ``1`` = mp).
+        .. deprecated:: PR 2
+            Thin shim over :meth:`from_codes` with the default binary
+            dp/mp space; the two are bit-exact for that space.
         """
-        if num_layers <= 0:
-            raise ValueError(f"num_layers must be positive, got {num_layers}")
-        if bits < 0 or bits >= (1 << num_layers):
-            raise ValueError(
-                f"bit pattern {bits} out of range for {num_layers} layers"
-            )
-        return cls(
-            tuple(Parallelism.from_bit((bits >> layer) & 1) for layer in range(num_layers))
-        )
+        return cls.from_codes(bits, num_layers, DEFAULT_SPACE)
 
     def to_bits(self) -> int:
-        """Inverse of :meth:`from_bits`."""
-        value = 0
-        for layer, choice in enumerate(self.choices):
-            value |= choice.bit << layer
-        return value
+        """Inverse of :meth:`from_bits`.
+
+        .. deprecated:: PR 2
+            Thin shim over :meth:`to_codes` with the default binary dp/mp
+            space.
+        """
+        return self.to_codes(DEFAULT_SPACE)
 
     def __iter__(self) -> Iterator[Parallelism]:
         return iter(self.choices)

@@ -1,19 +1,20 @@
 """Algorithm 1: partition between two accelerator (groups).
 
 Given the tensor amounts of every weighted layer, the partitioner chooses
-data or model parallelism per layer so that the total communication between
-the two groups -- intra-layer (Table 1) plus inter-layer (Table 2) -- is
-minimised.  Because the inter-layer cost only couples adjacent layers, the
-optimum is found by a layer-wise dynamic program in ``O(L)`` time, exactly
-as in the paper's Algorithm 1:
+a per-layer strategy (data/model parallelism by default, plus any other
+registered strategy in the requested space) so that the total
+communication between the two groups -- intra-layer (Table 1) plus
+inter-layer (Table 2) -- is minimised.  Because the inter-layer cost only
+couples adjacent layers, the optimum is found by a layer-wise dynamic
+program in ``O(L * K^2)`` time, exactly as in the paper's Algorithm 1 (for
+``K = 2``):
 
 .. code-block:: text
 
-   com_dp[l] = min(com_dp[l-1] + inter_dp_dp, com_mp[l-1] + inter_mp_dp) + intra_dp
-   com_mp[l] = min(com_dp[l-1] + inter_dp_mp, com_mp[l-1] + inter_mp_mp) + intra_mp
+   com[s][l] = min over s' of (com[s'][l-1] + inter[s' -> s]) + intra[s]
 
-The answer is ``min(com_dp[L-1], com_mp[L-1])`` with the argmin chain giving
-the parallelism list.
+The answer is ``min over s of com[s][L-1]`` with the argmin chain giving
+the per-layer strategy list.
 
 Two implementations of the recurrence exist:
 
@@ -22,8 +23,11 @@ Two implementations of the recurrence exist:
   table is the same object the batch scorers reuse, and the winning
   result's breakdown is materialized lazily;
 * :meth:`TwoWayPartitioner.partition_tensors_reference` is the original
-  object-based scalar DP, kept as the oracle the vectorized path is
-  property-tested against (the two agree bit-exactly).
+  object-based scalar DP, generalized from the hard-coded dp/mp pair to a
+  scan over the strategy space, kept as the oracle the vectorized path is
+  property-tested against (the two agree bit-exactly; for the default
+  dp/mp space the scan performs the exact additions and ``<=``
+  comparisons of the historical two-strategy implementation).
 """
 
 from __future__ import annotations
@@ -32,7 +36,11 @@ from typing import Sequence
 
 from repro.core.communication import CommunicationModel
 from repro.core.costs import CostTable
-from repro.core.parallelism import LayerAssignment, Parallelism
+from repro.core.parallelism import (
+    LayerAssignment,
+    Parallelism,
+    StrategySpace,
+)
 from repro.core.result import PartitionResult
 from repro.core.tensors import LayerTensors, TensorScale, model_tensors
 from repro.nn.model import DNNModel
@@ -46,10 +54,19 @@ class TwoWayPartitioner:
     communication_model:
         The cost model used to evaluate intra-/inter-layer traffic; a default
         fp32 model is created when omitted.
+    strategies:
+        The per-layer strategy space searched over (the paper's dp/mp axis
+        by default; pass e.g. ``"dp,mp,pp"`` to include pipeline
+        parallelism).
     """
 
-    def __init__(self, communication_model: CommunicationModel | None = None) -> None:
+    def __init__(
+        self,
+        communication_model: CommunicationModel | None = None,
+        strategies: StrategySpace | Sequence[Parallelism] | str | None = None,
+    ) -> None:
         self.communication_model = communication_model or CommunicationModel()
+        self.strategies = StrategySpace.parse(strategies)
 
     # ------------------------------------------------------------------
     # Core dynamic program over pre-computed tensor amounts.
@@ -57,7 +74,9 @@ class TwoWayPartitioner:
 
     def compile_table(self, tensors: Sequence[LayerTensors]) -> CostTable:
         """Compile per-layer tensor amounts into a reusable cost table."""
-        return CostTable.from_tensors(tensors, self.communication_model)
+        return CostTable.from_tensors(
+            tensors, self.communication_model, self.strategies
+        )
 
     def partition_tensors(self, tensors: Sequence[LayerTensors]) -> PartitionResult:
         """Run the dynamic program over per-layer tensor amounts.
@@ -74,62 +93,55 @@ class TwoWayPartitioner:
     ) -> PartitionResult:
         """Object-based scalar DP: the oracle for the vectorized path.
 
-        Kept verbatim from the original implementation so the property
-        tests can assert the :class:`~repro.core.costs.CostTable` DP returns
-        the same optimum bytes and the same argmin assignment, including
-        the tie rule (ties favour data parallelism at every step).
+        Performs the same additions in the same order as the historical
+        hard-coded dp/mp implementation (a per-target scan over source
+        strategies, earliest strategy winning ties), generalized to any
+        strategy space, so the property tests can assert the
+        :class:`~repro.core.costs.CostTable` DP returns the same optimum
+        bytes and the same argmin assignment, including the tie rule (ties
+        favour the space's first strategy -- data parallelism -- at every
+        step).
         """
         if not tensors:
             raise ValueError("cannot partition a model with no weighted layers")
         model = self.communication_model
+        space = self.strategies
         num_layers = len(tensors)
 
-        # com[p] holds the minimal accumulated communication with layer l
-        # assigned parallelism p; parent[l][p] records the argmin choice of
+        # com[s] holds the minimal accumulated communication with layer l
+        # assigned strategy s; parent[l][s] records the argmin choice of
         # layer l-1 used to reach that state.
-        com_dp = model.intra_layer_bytes(tensors[0], Parallelism.DATA)
-        com_mp = model.intra_layer_bytes(tensors[0], Parallelism.MODEL)
+        com = {
+            choice: model.intra_layer_bytes(tensors[0], choice) for choice in space
+        }
         parents: list[dict[Parallelism, Parallelism]] = []
 
         for layer in range(1, num_layers):
             boundary = tensors[layer - 1]
-            intra_dp = model.intra_layer_bytes(tensors[layer], Parallelism.DATA)
-            intra_mp = model.intra_layer_bytes(tensors[layer], Parallelism.MODEL)
-
-            from_dp_to_dp = com_dp + model.inter_layer_bytes(
-                Parallelism.DATA, Parallelism.DATA, boundary
-            )
-            from_mp_to_dp = com_mp + model.inter_layer_bytes(
-                Parallelism.MODEL, Parallelism.DATA, boundary
-            )
-            from_dp_to_mp = com_dp + model.inter_layer_bytes(
-                Parallelism.DATA, Parallelism.MODEL, boundary
-            )
-            from_mp_to_mp = com_mp + model.inter_layer_bytes(
-                Parallelism.MODEL, Parallelism.MODEL, boundary
-            )
-
+            next_com: dict[Parallelism, float] = {}
             parent: dict[Parallelism, Parallelism] = {}
-            if from_dp_to_dp <= from_mp_to_dp:
-                next_dp = from_dp_to_dp + intra_dp
-                parent[Parallelism.DATA] = Parallelism.DATA
-            else:
-                next_dp = from_mp_to_dp + intra_dp
-                parent[Parallelism.DATA] = Parallelism.MODEL
-            if from_dp_to_mp <= from_mp_to_mp:
-                next_mp = from_dp_to_mp + intra_mp
-                parent[Parallelism.MODEL] = Parallelism.DATA
-            else:
-                next_mp = from_mp_to_mp + intra_mp
-                parent[Parallelism.MODEL] = Parallelism.MODEL
-
+            for current in space:
+                intra = model.intra_layer_bytes(tensors[layer], current)
+                best_source: Parallelism | None = None
+                best_cost = 0.0
+                for previous in space:
+                    cost = com[previous] + model.inter_layer_bytes(
+                        previous, current, boundary
+                    )
+                    # Strict ``<`` keeps the earliest strategy on ties --
+                    # the historical ``from_dp <= from_mp`` dp-tie rule.
+                    if best_source is None or cost < best_cost:
+                        best_source = previous
+                        best_cost = cost
+                parent[current] = best_source
+                next_com[current] = best_cost + intra
             parents.append(parent)
-            com_dp, com_mp = next_dp, next_mp
+            com = next_com
 
-        # Back-track the argmin chain.  Ties favour data parallelism, the
-        # paper's (and practice's) default.
-        last = Parallelism.DATA if com_dp <= com_mp else Parallelism.MODEL
-        total = min(com_dp, com_mp)
+        # Back-track the argmin chain.  Ties favour the first strategy of
+        # the space (data parallelism, the paper's and practice's default).
+        last = min(space, key=lambda choice: (com[choice], space.code_of(choice)))
+        total = com[last]
         choices = [last]
         for parent in reversed(parents):
             choices.append(parent[choices[-1]])

@@ -10,7 +10,11 @@ following the tensor layouts of Figure 1 of the paper:
   dimension (rows of the weight matrix, input channels of a convolution),
   the layer's input feature map and input error are split along the same
   feature dimension, and every accelerator produces partial sums of the
-  *full* output feature map, which it keeps after the partial-sum exchange.
+  *full* output feature map, which it keeps after the partial-sum exchange;
+* under **pipeline parallelism** the layer is *stage-local*: one group of
+  the pair owns the whole layer (full kernel, full batch) and the other
+  group holds nothing of it.  Consecutive pipeline layers alternate owner
+  groups, forming adjacent pipeline stages.
 
 For accelerator ``a`` and layer ``l`` the shard is therefore described by
 two half-open fractional intervals:
@@ -88,6 +92,10 @@ class LayerShard:
     * the output feature map / output error shard is ``batch_interval`` of
       the batch with the full feature dimension (every accelerator ends up
       with the reduced output for its share of the batch).
+
+    ``owned`` reflects stage-local (pipeline) levels: an accelerator that
+    falls outside a pipeline layer's owner group at any level holds nothing
+    of that layer, so every fraction collapses to zero.
     """
 
     accelerator: int
@@ -95,17 +103,24 @@ class LayerShard:
     layer_name: str
     batch_interval: Interval
     weight_interval: Interval
+    owned: bool = True
 
     def weight_fraction(self) -> float:
         """Fraction of the kernel (and gradient) tensor held locally."""
+        if not self.owned:
+            return 0.0
         return self.weight_interval.length
 
     def feature_in_fraction(self) -> float:
         """Fraction of the input feature map (and input error) held locally."""
+        if not self.owned:
+            return 0.0
         return self.batch_interval.length * self.weight_interval.length
 
     def feature_out_fraction(self) -> float:
         """Fraction of the output feature map (and output error) held locally."""
+        if not self.owned:
+            return 0.0
         return self.batch_interval.length
 
 
@@ -158,11 +173,25 @@ class TensorPlacement:
     # ------------------------------------------------------------------
 
     def _build(self) -> dict[tuple[int, int], LayerShard]:
+        # Owner side of every stage-local (pipeline) position: the k-th
+        # pipeline layer of a level (in layer order) lives on the upper
+        # group when ``k`` is odd, so consecutive pipeline layers form
+        # adjacent stages on opposite groups -- the alternation the
+        # communication model's pp→pp transition cost assumes.
+        pipeline_owner_upper: dict[tuple[int, int], bool] = {}
+        for level in range(self.num_levels):
+            ordinal = 0
+            for layer in self.model:
+                if self.assignment.choice(level, layer.index) is Parallelism.PIPELINE:
+                    pipeline_owner_upper[(level, layer.index)] = bool(ordinal % 2)
+                    ordinal += 1
+
         shards: dict[tuple[int, int], LayerShard] = {}
         for accelerator in range(self.num_accelerators):
             for layer in self.model:
                 batch = Interval()
                 weight = Interval()
+                owned = True
                 for level in range(self.num_levels):
                     # Bit ``level`` of the accelerator index (most significant
                     # first) says whether the accelerator falls in the left or
@@ -174,14 +203,20 @@ class TensorPlacement:
                     choice = self.assignment.choice(level, layer.index)
                     if choice is Parallelism.DATA:
                         batch = batch.halve(keep_upper)
-                    else:
+                    elif choice is Parallelism.MODEL:
                         weight = weight.halve(keep_upper)
+                    else:
+                        # Stage-local: the layer stays whole, but only on
+                        # the owner side of this level's halving.
+                        owner_upper = pipeline_owner_upper[(level, layer.index)]
+                        owned = owned and (keep_upper == owner_upper)
                 shards[(accelerator, layer.index)] = LayerShard(
                     accelerator=accelerator,
                     layer_index=layer.index,
                     layer_name=layer.name,
                     batch_interval=batch,
                     weight_interval=weight,
+                    owned=owned,
                 )
         return shards
 
@@ -279,20 +314,26 @@ class TensorPlacement:
     def validate(self) -> None:
         """Structural sanity checks on the placement.
 
-        * all shards of a layer hold the same fraction of work (balance);
+        * all *owning* shards of a layer hold the same fraction of work
+          (balance); accelerators outside a pipeline layer's stage hold
+          nothing of it by construction;
         * the kernel slices of the accelerators tile the kernel exactly
           ``weight_replication_factor`` times;
-        * the (batch x input-feature) rectangles of any two accelerators are
-          either identical or non-overlapping when their kernel slices
-          overlap (no tensor element is stored twice within one replica).
+        * the (batch x input-feature) rectangles of any two owning
+          accelerators are either identical or non-overlapping when their
+          kernel slices overlap (no tensor element is stored twice within
+          one replica).
 
         Raises ``ValueError`` on the first violated property.
         """
         for layer in self.model:
             shards = self.layer_shards(layer.index)
+            owners = [s for s in shards if s.owned]
+            if not owners:
+                raise ValueError(f"layer {layer.name!r} has no owning accelerator")
             fractions = {
                 round(s.batch_interval.length * s.weight_interval.length, 12)
-                for s in shards
+                for s in owners
             }
             if len(fractions) != 1:
                 raise ValueError(
@@ -302,8 +343,8 @@ class TensorPlacement:
             replication = self.weight_replication_factor(layer.index)
             if abs(weight_total - replication) > 1e-9:
                 raise ValueError(f"inconsistent kernel coverage for {layer.name!r}")
-            for a in shards:
-                for b in shards:
+            for a in owners:
+                for b in owners:
                     if a.accelerator >= b.accelerator:
                         continue
                     same_rectangle = (

@@ -92,7 +92,15 @@ class TensorScale:
                 raise ValueError(f"TensorScale.{name} must be in (0, 1], got {value}")
 
     def descend(self, choice: Parallelism, mode: ScalingMode) -> "TensorScale":
-        """Scale for a child group after the parent chose ``choice`` for this layer."""
+        """Scale for a child group after the parent chose ``choice`` for this layer.
+
+        Dispatches to the strategy registry: dp halves the batch fraction,
+        mp the weight fraction, and stage-local strategies (pp) leave both
+        unchanged -- the owning group keeps the whole layer, and the next
+        level repartitions it within that group's sub-array.
+        """
+        from repro.core.strategies import BATCH, WEIGHT, strategy_spec
+
         if mode is ScalingMode.NONE:
             return self
         if mode is ScalingMode.UNIFORM:
@@ -101,9 +109,12 @@ class TensorScale:
             # kernel (and gradient) stay whole -- every group always holds a
             # full kernel copy under uniform scaling.
             return TensorScale(self.batch_fraction * 0.5, self.weight_fraction)
-        if choice is Parallelism.DATA:
+        halves = strategy_spec(choice).halves
+        if halves == BATCH:
             return TensorScale(self.batch_fraction * 0.5, self.weight_fraction)
-        return TensorScale(self.batch_fraction, self.weight_fraction * 0.5)
+        if halves == WEIGHT:
+            return TensorScale(self.batch_fraction, self.weight_fraction * 0.5)
+        return self
 
 
 @dataclasses.dataclass(frozen=True)

@@ -182,6 +182,45 @@ class EventDrivenEngine:
         self._names.add(name)
         return task
 
+    def add_microbatched_task(
+        self,
+        name: str,
+        duration: float,
+        chunks: int,
+        resources: Iterable[Resource] = (),
+        deps: Iterable[Task] = (),
+        tags: dict | None = None,
+    ) -> tuple[Task, Task]:
+        """Split one task into ``chunks`` equal sequential micro-tasks.
+
+        This is the engine-level primitive behind micro-batched pipeline
+        transfers: the chunks chain on each other (and serialise on their
+        resources), so the resource is occupied for the full ``duration``,
+        but a downstream consumer that can proceed after the *first*
+        micro-batch depends on the returned ``first`` task and overlaps
+        the remaining ``chunks - 1`` chunks.  Returns ``(first, last)``;
+        with ``chunks <= 1`` the task is added unsplit and returned as
+        both.
+        """
+        if chunks <= 1:
+            task = self.add_task(name, duration, resources, deps, tags)
+            return task, task
+        resources = tuple(resources)
+        first: Task | None = None
+        last: Task | None = None
+        for index in range(chunks):
+            task = self.add_task(
+                f"{name}/mb{index}",
+                duration / chunks,
+                resources,
+                deps if last is None else (last,),
+                tags,
+            )
+            if first is None:
+                first = task
+            last = task
+        return first, last
+
     # ------------------------------------------------------------------
     # Execution.
     # ------------------------------------------------------------------

@@ -18,7 +18,8 @@ from __future__ import annotations
 import dataclasses
 
 from repro.core.communication import CommunicationModel
-from repro.core.parallelism import HierarchicalAssignment, Parallelism
+from repro.core.parallelism import HierarchicalAssignment
+from repro.core.strategies import strategy_spec
 from repro.core.tensors import ScalingMode, descend_scales, initial_scales, model_tensors
 from repro.interconnect.topology import Topology, hierarchical_groups
 from repro.nn.model import DNNModel
@@ -169,7 +170,7 @@ class TraceBuilder:
             for index, (layer, choice) in enumerate(zip(model, level_assignment)):
                 layer_tensor = tensors[index]
                 intra = comm.intra_layer_bytes(layer_tensor, choice)
-                intra_phase = "forward" if choice is Parallelism.MODEL else "gradient"
+                intra_phase = strategy_spec(choice).intra_phase
                 if index == 0:
                     inter_fwd = inter_bwd = 0.0
                 else:

@@ -39,7 +39,12 @@ from repro.accelerator.array import ArrayConfig
 from repro.core.communication import CommunicationModel
 from repro.core.costs import HierarchicalCostTable
 from repro.core.hierarchical import HierarchicalPartitioner
-from repro.core.parallelism import HierarchicalAssignment, Parallelism
+from repro.core.parallelism import (
+    HierarchicalAssignment,
+    Parallelism,
+    StrategySpace,
+)
+from repro.core.strategies import strategy_spec
 from repro.core.tensors import ScalingMode
 from repro.interconnect import HTreeTopology, Topology
 from repro.nn.model import DNNModel
@@ -48,6 +53,11 @@ from repro.sim.metrics import EnergyBreakdown, PhaseBreakdown, TrainingStepRepor
 
 #: The three layer passes of training (Equations 1-3 of the paper).
 PHASES = ("forward", "backward", "gradient")
+
+#: Micro-batches streamed across pipeline stage boundaries per step.  Only
+#: transfers adjacent to a pipeline (pp) layer are micro-batched; dp/mp-only
+#: assignments build exactly the same task graph as before.
+DEFAULT_NUM_MICROBATCHES = 4
 
 
 class TrainingSimulator:
@@ -65,6 +75,15 @@ class TrainingSimulator:
         How tensor amounts shrink at deeper hierarchy levels; must match the
         mode used when the assignment was searched for the costs to be
         consistent.
+    strategies:
+        The strategy space cost tables are compiled over (dp/mp by
+        default); must cover every choice of the simulated assignments.
+    num_microbatches:
+        How many micro-batches stream across pipeline stage boundaries.
+        Transfers adjacent to a pipeline layer are split into this many
+        chained chunks, and downstream compute resumes after the first
+        chunk (overlapping the rest).  Irrelevant for assignments without
+        pipeline layers, whose task graphs are unchanged.
     """
 
     def __init__(
@@ -73,7 +92,13 @@ class TrainingSimulator:
         topology: Topology | None = None,
         communication_model: CommunicationModel | None = None,
         scaling_mode: ScalingMode | str = ScalingMode.PARALLELISM_AWARE,
+        strategies: StrategySpace | str | None = None,
+        num_microbatches: int = DEFAULT_NUM_MICROBATCHES,
     ) -> None:
+        if num_microbatches <= 0:
+            raise ValueError(
+                f"num_microbatches must be positive, got {num_microbatches}"
+            )
         self.array = array or ArrayConfig()
         if self.array.num_accelerators == 1:
             # A single accelerator has no interconnect at all.
@@ -90,6 +115,8 @@ class TrainingSimulator:
                 )
         self.communication_model = communication_model or CommunicationModel()
         self.scaling_mode = ScalingMode.parse(scaling_mode)
+        self.strategies = StrategySpace.parse(strategies)
+        self.num_microbatches = num_microbatches
         # Compiled cost tables keyed by (model identity, batch size).  The
         # table holds a strong reference to its model, so the id cannot be
         # recycled while the entry lives; sweeps re-simulating one model
@@ -119,6 +146,7 @@ class TrainingSimulator:
                 self.array.num_levels,
                 scaling_mode=self.scaling_mode,
                 communication_model=self.communication_model,
+                strategies=self.strategies,
             )
             self._table_cache[key] = table
         return table
@@ -223,10 +251,23 @@ class TrainingSimulator:
             )
 
         def add_communication(
-            name: str, bytes_per_level: Sequence[float], phase: str, layer_name: str, deps
+            name: str,
+            bytes_per_level: Sequence[float],
+            phase: str,
+            layer_name: str,
+            deps,
+            chunks: int = 1,
         ) -> Task:
-            """Chain one logical exchange across the hierarchy levels (deepest first)."""
+            """Chain one logical exchange across the hierarchy levels (deepest first).
+
+            With ``chunks > 1`` (pipeline stage boundaries) each level's
+            transfer is split into that many chained micro-batch tasks and
+            the *first* chunk of the shallowest level is returned, so the
+            downstream consumer overlaps the remaining micro-batches while
+            the link stays occupied for the full transfer.
+            """
             nonlocal comm_energy
+            gate: Task | None = None
             last: Task | None = None
             chain_deps = tuple(deps)
             for level in reversed(range(num_levels)):
@@ -239,9 +280,10 @@ class TrainingSimulator:
                 comm_energy += self.array.energy_model.communication_energy_bytes(
                     per_pair * num_pairs, level_hops[level]
                 )
-                task = engine.add_task(
+                first, level_last = engine.add_microbatched_task(
                     f"{name}/L{level}",
                     duration,
+                    chunks,
                     resources=(link_resources[level],),
                     deps=chain_deps if last is None else (last,),
                     tags={
@@ -251,7 +293,8 @@ class TrainingSimulator:
                         "level": level,
                     },
                 )
-                last = task
+                gate = first
+                last = level_last
             if last is None:
                 # Zero-byte exchange: nothing to schedule.  When the chain
                 # continues from a single upstream task the caller can depend
@@ -265,14 +308,39 @@ class TrainingSimulator:
                     deps=chain_deps,
                     tags={"phase": phase, "kind": "communication", "layer": layer_name},
                 )
-            return last
+                gate = last
+            # Micro-batched exchanges gate the downstream on the first chunk
+            # of the shallowest level; unsplit exchanges on the final task.
+            return gate if chunks > 1 else last
 
         # ------------------------------------------------------------------
         # Forward pass.
         # ------------------------------------------------------------------
 
         layers = list(model)
-        forward_tail: dict[int, Task] = {}
+        # A boundary adjacent to a pipeline (stage-local) layer at any level
+        # carries micro-batched stage transfers; everything else keeps the
+        # historical unsplit task graph.
+        if num_levels:
+            layer_pipelined = [
+                any(
+                    level_comm[level][index].parallelism is Parallelism.PIPELINE
+                    for level in range(num_levels)
+                )
+                for index in range(len(layers))
+            ]
+        else:
+            layer_pipelined = [False] * len(layers)
+
+        def boundary_chunks(upper_layer_index: int) -> int:
+            """Micro-batch chunks of the boundary into ``upper_layer_index``."""
+            if (
+                layer_pipelined[upper_layer_index]
+                or layer_pipelined[upper_layer_index - 1]
+            ):
+                return self.num_microbatches
+            return 1
+
         previous: Task | None = None
         for layer in layers:
             deps = () if previous is None else (previous,)
@@ -285,9 +353,12 @@ class TrainingSimulator:
             )
             tail: Task = compute
             if num_levels:
-                # Model-parallel layers reduce output-feature partial sums now.
+                # Strategies whose intra exchange happens in forward (mp's
+                # output-feature partial-sum reduction) run it now.
                 intra = [
-                    record.intra_bytes if record.parallelism is Parallelism.MODEL else 0.0
+                    record.intra_bytes
+                    if strategy_spec(record.parallelism).intra_phase == "forward"
+                    else 0.0
                     for record in (level_comm[level][layer.index] for level in range(num_levels))
                 ]
                 tail = add_communication(
@@ -300,9 +371,13 @@ class TrainingSimulator:
                         for level in range(num_levels)
                     ]
                     tail = add_communication(
-                        f"forward-inter/{layer.name}", inter, "forward", layer.name, (tail,)
+                        f"forward-inter/{layer.name}",
+                        inter,
+                        "forward",
+                        layer.name,
+                        (tail,),
+                        chunks=boundary_chunks(layer.index + 1),
                     )
-            forward_tail[layer.index] = tail
             previous = tail
 
         # ------------------------------------------------------------------
@@ -329,7 +404,12 @@ class TrainingSimulator:
                         for level in range(num_levels)
                     ]
                     tail = add_communication(
-                        f"backward-inter/{layer.name}", inter, "backward", layer.name, (backward,)
+                        f"backward-inter/{layer.name}",
+                        inter,
+                        "backward",
+                        layer.name,
+                        (backward,),
+                        chunks=boundary_chunks(layer.index + 1),
                     )
 
             gradient_words = batch_size * (
@@ -345,9 +425,12 @@ class TrainingSimulator:
             )
             tail = gradient
             if num_levels:
-                # Data-parallel layers reduce gradient partial sums before updating.
+                # Strategies whose intra exchange happens at the weight
+                # update (dp's gradient reduction) run it now.
                 intra = [
-                    record.intra_bytes if record.parallelism is Parallelism.DATA else 0.0
+                    record.intra_bytes
+                    if strategy_spec(record.parallelism).intra_phase == "gradient"
+                    else 0.0
                     for record in (level_comm[level][layer.index] for level in range(num_levels))
                 ]
                 tail = add_communication(
@@ -465,6 +548,7 @@ def simulate_partitioned(
     array: ArrayConfig | None = None,
     topology: Topology | None = None,
     scaling_mode: ScalingMode | str = ScalingMode.PARALLELISM_AWARE,
+    strategies: StrategySpace | str | None = None,
 ) -> tuple[TrainingStepReport, HierarchicalAssignment]:
     """Convenience helper: run HyPar's search, then simulate the result.
 
@@ -472,11 +556,14 @@ def simulate_partitioned(
     The search and the simulation share one compiled cost table.
     """
     array = array or ArrayConfig()
-    simulator = TrainingSimulator(array, topology, scaling_mode=scaling_mode)
+    simulator = TrainingSimulator(
+        array, topology, scaling_mode=scaling_mode, strategies=strategies
+    )
     partitioner = HierarchicalPartitioner(
         num_levels=array.num_levels,
         communication_model=simulator.communication_model,
         scaling_mode=scaling_mode,
+        strategies=simulator.strategies,
     )
     table = simulator.cost_table(model, batch_size)
     result = partitioner.partition(model, batch_size, table=table)

@@ -8,6 +8,7 @@ from repro.core.baselines import (
     get_strategy,
     model_parallelism,
     one_weird_trick,
+    pipeline_parallelism,
     random_assignment,
 )
 from repro.core.parallelism import DATA, MODEL
@@ -62,10 +63,11 @@ class TestRandomAssignment:
 
 
 class TestGetStrategy:
-    def test_registry_contains_three_named_strategies(self):
+    def test_registry_contains_four_named_strategies(self):
         assert set(STRATEGIES) == {
             "data-parallelism",
             "model-parallelism",
+            "pipeline-parallelism",
             "one-weird-trick",
         }
 
@@ -77,6 +79,9 @@ class TestGetStrategy:
             ("Data", data_parallelism),
             ("model_parallelism", model_parallelism),
             ("mp", model_parallelism),
+            ("pipeline-parallelism", pipeline_parallelism),
+            ("pp", pipeline_parallelism),
+            ("Pipeline", pipeline_parallelism),
             ("one-weird-trick", one_weird_trick),
             ("trick", one_weird_trick),
             ("OWT", one_weird_trick),
@@ -87,4 +92,4 @@ class TestGetStrategy:
 
     def test_unknown_strategy_raises(self):
         with pytest.raises(KeyError):
-            get_strategy("pipeline-parallelism")
+            get_strategy("tensor-slicing")

@@ -1,27 +1,40 @@
-"""Tests for parallelism types and assignments."""
+"""Tests for parallelism types, strategy spaces and assignments."""
 
 import pytest
 
 from repro.core.parallelism import (
     DATA,
+    DEFAULT_SPACE,
+    FULL_SPACE,
     MODEL,
+    PIPELINE,
     HierarchicalAssignment,
     LayerAssignment,
     Parallelism,
+    StrategySpace,
 )
 
 
 class TestParallelism:
-    def test_two_members(self):
-        assert set(Parallelism) == {Parallelism.DATA, Parallelism.MODEL}
+    def test_three_members(self):
+        assert set(Parallelism) == {
+            Parallelism.DATA,
+            Parallelism.MODEL,
+            Parallelism.PIPELINE,
+        }
 
     def test_short_names(self):
         assert Parallelism.DATA.short == "dp"
         assert Parallelism.MODEL.short == "mp"
+        assert Parallelism.PIPELINE.short == "pp"
 
     def test_bit_encoding_roundtrip(self):
-        for member in Parallelism:
+        for member in (DATA, MODEL):
             assert Parallelism.from_bit(member.bit) is member
+
+    def test_pipeline_has_no_bit(self):
+        with pytest.raises(ValueError):
+            Parallelism.PIPELINE.bit
 
     def test_from_bit_rejects_other_values(self):
         with pytest.raises(ValueError):
@@ -38,6 +51,9 @@ class TestParallelism:
             (" Model_Parallelism ".strip(), MODEL),
             ("0", DATA),
             ("1", MODEL),
+            ("pp", PIPELINE),
+            ("pipeline", PIPELINE),
+            ("2", PIPELINE),
         ],
     )
     def test_parse(self, text, expected):
@@ -45,11 +61,60 @@ class TestParallelism:
 
     def test_parse_rejects_garbage(self):
         with pytest.raises(ValueError):
-            Parallelism.parse("pipeline")
+            Parallelism.parse("tensor-slicing")
 
     def test_module_level_aliases(self):
         assert DATA is Parallelism.DATA
         assert MODEL is Parallelism.MODEL
+        assert PIPELINE is Parallelism.PIPELINE
+
+
+class TestStrategySpace:
+    def test_default_space_is_binary_dp_mp(self):
+        assert DEFAULT_SPACE.members == (DATA, MODEL)
+        assert DEFAULT_SPACE.size == 2
+
+    def test_full_space_contains_pipeline(self):
+        assert FULL_SPACE.members == (DATA, MODEL, PIPELINE)
+
+    def test_parse_from_string(self):
+        space = StrategySpace.parse("dp,mp,pp")
+        assert space.members == (DATA, MODEL, PIPELINE)
+
+    def test_parse_none_yields_default(self):
+        assert StrategySpace.parse(None) == DEFAULT_SPACE
+
+    def test_parse_is_idempotent(self):
+        assert StrategySpace.parse(DEFAULT_SPACE) is DEFAULT_SPACE
+
+    def test_code_roundtrip(self):
+        space = StrategySpace.parse("dp,mp,pp")
+        for code, member in enumerate(space):
+            assert space.code_of(member) == code
+            assert space.member(code) is member
+
+    def test_code_of_rejects_non_members(self):
+        with pytest.raises(ValueError):
+            DEFAULT_SPACE.code_of(PIPELINE)
+
+    def test_member_range_check(self):
+        with pytest.raises(ValueError):
+            DEFAULT_SPACE.member(2)
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError):
+            StrategySpace.parse("dp,dp")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            StrategySpace(())
+
+    def test_num_assignments(self):
+        assert DEFAULT_SPACE.num_assignments(4) == 16
+        assert StrategySpace.parse("dp,mp,pp").num_assignments(3) == 27
+
+    def test_describe(self):
+        assert StrategySpace.parse("dp,mp,pp").describe() == "dp,mp,pp"
 
 
 class TestLayerAssignment:
@@ -87,6 +152,31 @@ class TestLayerAssignment:
     def test_from_bits_range_check(self):
         with pytest.raises(ValueError):
             LayerAssignment.from_bits(16, 4)
+
+    def test_codes_roundtrip_base_three(self):
+        space = StrategySpace.parse("dp,mp,pp")
+        for codes in range(3 ** 3):
+            assignment = LayerAssignment.from_codes(codes, 3, space)
+            assert assignment.to_codes(space) == codes
+
+    def test_from_codes_layout_is_least_significant_digit_first(self):
+        space = StrategySpace.parse("dp,mp,pp")
+        # 5 = 2 + 1*3: layer 0 -> code 2 (pp), layer 1 -> code 1 (mp).
+        assignment = LayerAssignment.from_codes(5, 3, space)
+        assert assignment.choices == (PIPELINE, MODEL, DATA)
+
+    def test_from_codes_range_check(self):
+        with pytest.raises(ValueError):
+            LayerAssignment.from_codes(27, 3, StrategySpace.parse("dp,mp,pp"))
+
+    def test_bit_shims_are_exact_over_the_binary_space(self):
+        """from_bits/to_bits must stay bit-exact shims of from_codes/to_codes."""
+        for num_layers in (1, 3, 6):
+            for bits in range(1 << num_layers):
+                via_bits = LayerAssignment.from_bits(bits, num_layers)
+                via_codes = LayerAssignment.from_codes(bits, num_layers, DEFAULT_SPACE)
+                assert via_bits.choices == via_codes.choices
+                assert via_bits.to_bits() == via_codes.to_codes(DEFAULT_SPACE) == bits
 
     def test_count(self):
         assignment = LayerAssignment.of(["dp", "mp", "dp"])

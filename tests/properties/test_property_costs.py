@@ -20,7 +20,11 @@ from repro.core.exhaustive import (
     exhaustive_two_way_reference,
 )
 from repro.core.hierarchical import HierarchicalPartitioner
-from repro.core.parallelism import HierarchicalAssignment, LayerAssignment
+from repro.core.parallelism import (
+    HierarchicalAssignment,
+    LayerAssignment,
+    StrategySpace,
+)
 from repro.core.partitioner import TwoWayPartitioner
 from repro.core.tensors import (
     LayerTensors,
@@ -134,6 +138,86 @@ class TestCostTableMatchesCommunicationModel:
         brute_reference = exhaustive_two_way_reference(tensors)
         assert brute.communication_bytes == brute_reference.communication_bytes
         assert brute.assignment.choices == brute_reference.assignment.choices
+
+
+PIPELINE_SPACE = StrategySpace.parse("dp,mp,pp")
+
+
+class TestBaseThreeSpaceMatchesObjectPath:
+    """The K-way generalization must stay bit-exact beyond the binary space."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(tensors=tensor_chains(max_layers=6), data=st.data())
+    def test_base_three_batch_scorer_is_bit_exact(self, tensors, data):
+        comm = CommunicationModel()
+        table = CostTable.from_tensors(tensors, comm, PIPELINE_SPACE)
+        totals = table.score_codes(np.arange(table.num_assignments))
+        for codes in range(table.num_assignments):
+            assignment = LayerAssignment.from_codes(codes, len(tensors), PIPELINE_SPACE)
+            assert totals[codes] == comm.total_bytes(tensors, assignment)
+
+    @settings(max_examples=40, deadline=None)
+    @given(tensors=tensor_chains())
+    def test_base_three_array_dp_matches_reference(self, tensors):
+        partitioner = TwoWayPartitioner(strategies=PIPELINE_SPACE)
+        vectorized = partitioner.partition_tensors(tensors)
+        reference = partitioner.partition_tensors_reference(tensors)
+        assert vectorized.communication_bytes == reference.communication_bytes
+        assert vectorized.assignment.choices == reference.assignment.choices
+
+    @settings(max_examples=25, deadline=None)
+    @given(tensors=tensor_chains(max_layers=5))
+    def test_base_three_brute_force_matches_reference(self, tensors):
+        vectorized = exhaustive_two_way(tensors, strategies=PIPELINE_SPACE)
+        reference = exhaustive_two_way_reference(tensors, strategies=PIPELINE_SPACE)
+        assert vectorized.communication_bytes == reference.communication_bytes
+        assert vectorized.assignment.choices == reference.assignment.choices
+
+    @settings(max_examples=20, deadline=None)
+    @given(data=st.data())
+    def test_base_three_hierarchical_evaluation_is_bit_exact(self, data):
+        model = data.draw(small_models(), label="model")
+        batch = data.draw(batch_sizes, label="batch")
+        num_levels = data.draw(st.integers(min_value=1, max_value=3), label="levels")
+        mode = data.draw(st.sampled_from(list(ScalingMode)), label="mode")
+        partitioner = HierarchicalPartitioner(
+            num_levels=num_levels, scaling_mode=mode, strategies=PIPELINE_SPACE
+        )
+        table = partitioner.compile_table(model, batch)
+        assignment = HierarchicalAssignment.of(
+            [
+                [
+                    data.draw(st.integers(min_value=0, max_value=2), label="code")
+                    for _ in range(len(model))
+                ]
+                for _ in range(num_levels)
+            ]
+        )
+        reference = partitioner.evaluate_reference(model, assignment, batch)
+        assert table.total_bytes(assignment) == reference.total_communication_bytes
+        evaluated = partitioner.evaluate(model, assignment, batch, table=table)
+        assert (
+            evaluated.total_communication_bytes == reference.total_communication_bytes
+        )
+        for fast, slow in zip(evaluated.levels, reference.levels):
+            assert fast.communication_bytes == slow.communication_bytes
+
+    @settings(max_examples=10, deadline=None)
+    @given(data=st.data())
+    def test_base_three_hierarchical_batch_scoring_is_bit_exact(self, data):
+        model = data.draw(small_models(max_layers=2), label="model")
+        batch = data.draw(batch_sizes, label="batch")
+        num_levels = data.draw(st.integers(min_value=1, max_value=2), label="levels")
+        mode = data.draw(st.sampled_from(list(ScalingMode)), label="mode")
+        partitioner = HierarchicalPartitioner(
+            num_levels=num_levels, scaling_mode=mode, strategies=PIPELINE_SPACE
+        )
+        table = partitioner.compile_table(model, batch)
+        totals = table.score_codes(np.arange(table.num_assignments))
+        for codes in range(table.num_assignments):
+            assignment = table.codes_to_assignment(codes)
+            reference = partitioner.evaluate_reference(model, assignment, batch)
+            assert totals[codes] == reference.total_communication_bytes
 
 
 class TestHierarchicalTableMatchesObjectPath:

@@ -1,10 +1,13 @@
 """Property-based tests for the numerically-validated partitioned execution.
 
-For randomly generated small fully-connected networks and random dp/mp
-assignments, the partitioned two-group step must reproduce the monolithic
-step exactly and must move exactly the traffic the communication model
-predicts.  (Fully-connected stacks keep each hypothesis example cheap; the
-convolutional path is covered by the deterministic tests.)
+For randomly generated small fully-connected networks and random
+dp/mp/pp assignments, the partitioned two-group step must reproduce the
+monolithic step exactly and must move exactly the traffic the
+communication model predicts -- including the stage-boundary transfers of
+pipeline layers, whose Table-2 entries are thereby pinned to the rectangle
+overlap calculus rather than transcribed numbers.  (Fully-connected stacks
+keep each hypothesis example cheap; the convolutional path is covered by
+the deterministic tests.)
 """
 
 import numpy as np
@@ -19,7 +22,9 @@ from repro.nn.layers import Activation, FCLayer
 from repro.nn.model import build_model
 from repro.nn.reference import ReferenceNetwork
 
-parallelisms = st.sampled_from([Parallelism.DATA, Parallelism.MODEL])
+parallelisms = st.sampled_from(
+    [Parallelism.DATA, Parallelism.MODEL, Parallelism.PIPELINE]
+)
 
 
 @st.composite

@@ -1,0 +1,86 @@
+"""Golden-output tests for the CLI sub-commands.
+
+``hypar models``, ``hypar placement`` and ``hypar trace`` previously had
+no end-to-end coverage; these tests pin their *exact* stdout for fixed
+inputs.  Everything printed is deterministic (model zoo shapes, the
+searched assignment, the analytic byte counts), so any drift -- a changed
+search result, a broken formatter, an accidental cost-model change -- shows
+up as a diff here.  Update the expected blocks deliberately when output
+changes are intended.
+"""
+
+import textwrap
+
+from repro.cli import main
+
+MODELS_GOLDEN = textwrap.dedent(
+    """\
+    SFC          4 weighted layers (0 conv, 4 fc), 140,722,176 weights
+    SCONV        4 weighted layers (4 conv, 0 fc), 100,500 weights
+    Lenet-c      4 weighted layers (2 conv, 2 fc), 430,500 weights
+    Cifar-c      5 weighted layers (3 conv, 2 fc), 145,376 weights
+    AlexNet      8 weighted layers (5 conv, 3 fc), 62,367,776 weights
+    VGG-A       11 weighted layers (8 conv, 3 fc), 132,851,392 weights
+    VGG-B       13 weighted layers (10 conv, 3 fc), 133,035,712 weights
+    VGG-C       16 weighted layers (13 conv, 3 fc), 133,625,536 weights
+    VGG-D       16 weighted layers (13 conv, 3 fc), 138,344,128 weights
+    VGG-E       19 weighted layers (16 conv, 3 fc), 143,652,544 weights
+    """
+)
+
+PLACEMENT_GOLDEN = textwrap.dedent(
+    """\
+    Lenet-c: 4 accelerators, batch 256
+      max per-accelerator footprint: 0.009 GiB (accelerator 0)
+      conv1        kernel replicated  4.0x, output feature map replicated  1.0x
+      conv2        kernel replicated  4.0x, output feature map replicated  1.0x
+      fc1          kernel replicated  2.0x, output feature map replicated  2.0x
+      fc2          kernel replicated  2.0x, output feature map replicated  2.0x
+    """
+)
+
+TRACE_GOLDEN = textwrap.dedent(
+    """\
+    Lenet-c: 56 transfers, 0.003 GB per training step
+    by phase:
+      forward         0.001 GB
+      backward        0.001 GB
+      gradient        0.001 GB
+    by hierarchy level:
+      H1              0.001 GB
+      H2              0.002 GB
+    by layer:
+      conv1           0.000 GB
+      conv2           0.001 GB
+      fc1             0.002 GB
+      fc2             0.000 GB
+    """
+)
+
+
+class TestGoldenOutputs:
+    def test_models_output_is_pinned(self, capsys):
+        assert main(["models"]) == 0
+        assert capsys.readouterr().out == MODELS_GOLDEN
+
+    def test_placement_output_is_pinned(self, capsys):
+        assert main(["placement", "Lenet-c", "--accelerators", "4"]) == 0
+        assert capsys.readouterr().out == PLACEMENT_GOLDEN
+
+    def test_trace_output_is_pinned(self, capsys):
+        assert (
+            main(["trace", "Lenet-c", "--accelerators", "4", "--batch-size", "64"])
+            == 0
+        )
+        assert capsys.readouterr().out == TRACE_GOLDEN
+
+    def test_strategies_listing_mentions_every_member(self, capsys):
+        assert main(["strategies"]) == 0
+        out = capsys.readouterr().out
+        for token in ("dp", "mp", "pp", "stage-local", "--strategies"):
+            assert token in out
+
+    def test_partition_with_pipeline_space_reports_pp(self, capsys):
+        assert main(["partition", "AlexNet", "--strategies", "dp,mp,pp"]) == 0
+        out = capsys.readouterr().out
+        assert "pp" in out and "dp" in out
