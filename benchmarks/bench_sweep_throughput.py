@@ -45,6 +45,31 @@ def _synthetic_network(depth: int):
     return build_model(f"synthetic-{depth}", (32, 32, 16), specs)
 
 
+def _synthetic_residual_network(depth: int):
+    """A residual ladder: every third layer also consumes the output three
+    layers back (an ADD merge), so the layer graph is a genuine DAG and the
+    enumeration exercises the edge-indexed scoring path."""
+    from repro.nn.shapes import MergeOp
+
+    specs = []
+    for i in range(depth):
+        inputs = None
+        merge = MergeOp.ADD
+        if i >= 3 and i % 3 == 0:
+            inputs = (f"conv{i - 3}", f"conv{i - 1}")
+        specs.append(
+            ConvLayer(
+                name=f"conv{i}",
+                out_channels=16,
+                kernel_size=3,
+                padding=1,
+                inputs=inputs,
+                merge=merge,
+            )
+        )
+    return build_model(f"synthetic-residual-{depth}", (32, 32, 16), specs)
+
+
 def _figure9_free_positions(model, num_levels: int) -> list[tuple[int, int]]:
     """All layers at the first and the last hierarchy level (Figure 9)."""
     free = [(0, layer) for layer in range(len(model))]
@@ -127,6 +152,53 @@ def test_restricted_sweep_communication_throughput(benchmark):
         f"speedup   : {vectorized_cps / reference_cps:.1f}x\n"
         f"best swept point: {np.min(totals) / 1e6:.3f} MB",
     )
+
+
+def test_exhaustive_dag_20_layer_throughput(benchmark):
+    """2^20 candidates of a residual (DAG) network scored edge-indexed.
+
+    Same shape as the chain benchmark above, but over a branching model:
+    the vectorized scorer takes the per-edge accumulation path and the
+    winner comes from the cut-vertex DP's brute-force certificate space.
+    The in-process object-path reference (the generalized
+    ``CommunicationModel.total_bytes`` over the model's edge list) anchors
+    the recorded ``speedup_vs_reference``.
+    """
+    model = _synthetic_residual_network(20)
+    tensors = model_tensors(model, 32)
+    num_layers = len(tensors)
+    candidates = 1 << num_layers
+
+    result = benchmark(exhaustive_two_way, tensors, edges=model.edges)
+
+    reference_candidates = 1 << 14
+    partitioner = TwoWayPartitioner()
+    start = time.perf_counter()
+    best = np.inf
+    for bits in range(reference_candidates):
+        assignment = LayerAssignment.from_bits(bits, num_layers)
+        cost = partitioner.evaluate(
+            tensors, assignment, edges=model.edges
+        ).communication_bytes
+        if cost < best:
+            best = cost
+    reference_seconds = time.perf_counter() - start
+
+    vectorized_cps = candidates / benchmark.stats.stats.mean
+    reference_cps = reference_candidates / reference_seconds
+    benchmark.extra_info["candidates"] = candidates
+    benchmark.extra_info["candidates_per_second"] = vectorized_cps
+    benchmark.extra_info["reference_candidates_per_second"] = reference_cps
+    benchmark.extra_info["speedup_vs_reference"] = vectorized_cps / reference_cps
+    emit(
+        "Sweep throughput: exhaustive two-way, 20-layer residual DAG",
+        f"edges     : {len(model.edges)} ({len(model.edges) - (num_layers - 1)} skip)\n"
+        f"vectorized: {vectorized_cps:,.0f} candidates/s\n"
+        f"reference : {reference_cps:,.0f} candidates/s\n"
+        f"speedup   : {vectorized_cps / reference_cps:.1f}x "
+        f"(optimum {result.communication_bytes / 1e6:.3f} MB)",
+    )
+    assert vectorized_cps >= 20 * reference_cps
 
 
 def test_figure9_simulated_sweep_throughput(benchmark):

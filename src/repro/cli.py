@@ -29,8 +29,10 @@ Installed as the ``hypar`` console script (also runnable with
     Summarise the point-to-point communication trace of one training step
     (per phase, per hierarchy level, per layer).
 
-``hypar models``
-    List the available networks.
+``hypar models [<model> ...] [--format table|json]``
+    List the available networks.  With model names given, print the
+    per-layer shape/weight/MACs table plus the layer-graph edge list;
+    ``--format json`` emits the same information as JSON.
 
 ``hypar strategies``
     List the registered per-layer parallelism strategies.
@@ -56,7 +58,7 @@ from repro.core.hierarchical import DEFAULT_BATCH_SIZE
 from repro.core.parallelism import DEFAULT_SPACE, StrategySpace
 from repro.core.strategies import registered_strategies
 from repro.core.tensors import ScalingMode
-from repro.nn.model_zoo import MODEL_BUILDERS, get_model
+from repro.nn.model_zoo import all_model_builders, get_model
 
 
 def _add_common_options(parser: argparse.ArgumentParser) -> None:
@@ -102,13 +104,70 @@ def _build_runner(args: argparse.Namespace, include_trick: bool = False) -> Expe
     )
 
 
-def _cmd_models(_: argparse.Namespace) -> int:
-    for name, builder in MODEL_BUILDERS.items():
-        model = builder()
+def _model_as_dict(model) -> dict:
+    """JSON-ready description of one model: per-layer table plus edge list."""
+    return {
+        "name": model.name,
+        "input_shape": [
+            model.input_shape.height,
+            model.input_shape.width,
+            model.input_shape.channels,
+        ],
+        "is_chain": model.is_chain,
+        "layers": [
+            {
+                "index": layer.index,
+                "name": layer.name,
+                "type": str(layer.layer_type),
+                "input_shape": str(layer.input_shape),
+                "output_shape": str(layer.output_shape),
+                "weights": layer.weight_count,
+                "macs_per_sample": layer.macs_per_sample,
+                "inputs": list(layer.inputs),
+                "merge": str(layer.merge) if layer.is_merge else None,
+            }
+            for layer in model
+        ],
+        "edges": [[source, destination] for source, destination in model.edges],
+        "total_weights": model.total_weights,
+    }
+
+
+def _format_model_edges(model) -> str:
+    if model.is_chain:
+        return "edges: chain"
+    pairs = " ".join(f"{source}->{destination}" for source, destination in model.edges)
+    return f"edges: {pairs}"
+
+
+def _print_model_table(model) -> None:
+    print(model.summary())
+    print(f"  {_format_model_edges(model)}")
+
+
+def _cmd_models(args: argparse.Namespace) -> int:
+    if args.models:
+        models = [get_model(name) for name in args.models]
+    else:
+        models = [builder() for builder in all_model_builders().values()]
+
+    if args.format == "json":
+        import json
+
+        print(json.dumps([_model_as_dict(model) for model in models], indent=2))
+        return 0
+
+    if args.models:
+        # Detailed per-layer shape/weight/MACs table plus the edge list.
+        for model in models:
+            _print_model_table(model)
+        return 0
+    for model in models:
+        graph_note = "" if model.is_chain else f", {model.num_edges} edges (DAG)"
         print(
-            f"{name:<10s} {model.num_weighted_layers:>3d} weighted layers "
+            f"{model.name:<10s} {model.num_weighted_layers:>3d} weighted layers "
             f"({model.num_conv_layers} conv, {model.num_fc_layers} fc), "
-            f"{model.total_weights:,d} weights"
+            f"{model.total_weights:,d} weights{graph_note}"
         )
     return 0
 
@@ -278,7 +337,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    models_parser = subparsers.add_parser("models", help="list the evaluation networks")
+    models_parser = subparsers.add_parser(
+        "models",
+        help="list the evaluation networks (pass names for the per-layer "
+        "shape/weight/MACs table plus the edge list)",
+    )
+    models_parser.add_argument(
+        "models",
+        nargs="*",
+        help="network names; with none given, summarise the whole zoo",
+    )
+    models_parser.add_argument(
+        "--format",
+        choices=("table", "json"),
+        default="table",
+        help="output format (default: %(default)s)",
+    )
     models_parser.set_defaults(handler=_cmd_models)
 
     strategies_parser = subparsers.add_parser(

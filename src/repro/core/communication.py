@@ -191,30 +191,47 @@ class CommunicationModel:
     # Whole-assignment evaluation.
     # ------------------------------------------------------------------
 
+    @staticmethod
+    def _incoming_edges(
+        num_layers: int, edges: Sequence[tuple[int, int]] | None
+    ) -> list[list[int]]:
+        """Per-layer source lists, in canonical edge order (``None`` = chain)."""
+        if edges is None:
+            return [[] if index == 0 else [index - 1] for index in range(num_layers)]
+        incoming: list[list[int]] = [[] for _ in range(num_layers)]
+        for source, destination in edges:
+            incoming[destination].append(source)
+        return incoming
+
     def layer_breakdown(
         self,
         tensors: Sequence[LayerTensors],
         assignment: LayerAssignment,
+        edges: Sequence[tuple[int, int]] | None = None,
     ) -> list["LayerCommunication"]:
         """Per-layer communication for one assignment at one hierarchy level.
 
-        The inter-layer contribution of layer ``l`` covers the transition
-        from layer ``l-1`` to layer ``l`` (the first layer has none: its
-        input comes from the training data, which every group already
-        holds under either parallelism).
+        The inter-layer contribution of layer ``l`` covers the transitions
+        across its *incoming* edges (``edges`` is the model's DAG edge
+        list; ``None`` means the historical chain, where layer ``l``'s only
+        incoming edge is ``(l-1, l)``).  A layer without incoming edges
+        reads the training data, which every group already holds under any
+        parallelism, so its inter-layer term is zero.  For a merge layer
+        the term is the sum of its per-edge re-layouts, accumulated in
+        input order.
         """
         if len(tensors) != assignment.num_layers:
             raise ValueError(
                 f"expected {assignment.num_layers} tensor records, got {len(tensors)}"
             )
+        incoming = self._incoming_edges(assignment.num_layers, edges)
         breakdown: list[LayerCommunication] = []
         for index, (layer, choice) in enumerate(zip(tensors, assignment)):
             intra = self.intra_layer_bytes(layer, choice)
-            if index == 0:
-                inter = 0.0
-            else:
-                inter = self.inter_layer_bytes(
-                    assignment[index - 1], choice, tensors[index - 1]
+            inter = 0.0
+            for source in incoming[index]:
+                inter += self.inter_layer_bytes(
+                    assignment[source], choice, tensors[source]
                 )
             breakdown.append(
                 LayerCommunication(
@@ -231,6 +248,7 @@ class CommunicationModel:
         self,
         tensors: Sequence[LayerTensors],
         assignment: LayerAssignment,
+        edges: Sequence[tuple[int, int]] | None = None,
     ) -> float:
         """Total traffic (bytes) between the two groups for one training step.
 
@@ -238,22 +256,39 @@ class CommunicationModel:
         per-layer ``intra + inter`` terms as :meth:`layer_breakdown` in the
         same order (so the result is bit-identical) without allocating any
         :class:`LayerCommunication` objects.  Callers that need the
-        per-layer attribution should use :meth:`layer_breakdown`.
+        per-layer attribution should use :meth:`layer_breakdown`.  This is
+        the object-based oracle the edge-indexed cost tables are
+        property-tested against, on chains and DAGs alike.
         """
         if len(tensors) != assignment.num_layers:
             raise ValueError(
                 f"expected {assignment.num_layers} tensor records, got {len(tensors)}"
             )
+        if edges is None:
+            # Chain fast path: the single rolling boundary needs no incoming
+            # lists.  ``intra + inter`` matches the general path bit for bit
+            # (its per-layer accumulator starts at 0.0, and x + 0.0 == x).
+            total = 0.0
+            previous: Parallelism | None = None
+            for index, (layer, choice) in enumerate(zip(tensors, assignment)):
+                intra = self.intra_layer_bytes(layer, choice)
+                if index == 0:
+                    inter = 0.0
+                else:
+                    inter = self.inter_layer_bytes(previous, choice, tensors[index - 1])
+                total += intra + inter
+                previous = choice
+            return total
+        incoming = self._incoming_edges(assignment.num_layers, edges)
         total = 0.0
-        previous: Parallelism | None = None
         for index, (layer, choice) in enumerate(zip(tensors, assignment)):
             intra = self.intra_layer_bytes(layer, choice)
-            if index == 0:
-                inter = 0.0
-            else:
-                inter = self.inter_layer_bytes(previous, choice, tensors[index - 1])
+            inter = 0.0
+            for source in incoming[index]:
+                inter += self.inter_layer_bytes(
+                    assignment[source], choice, tensors[source]
+                )
             total += intra + inter
-            previous = choice
         return total
 
 

@@ -15,12 +15,14 @@ paper's binary dp/mp axis by default):
 
 * :class:`CostTable` -- one hierarchy level.  ``intra[l, c]`` is the
   intra-layer traffic (bytes) of layer ``l`` under strategy code ``c``
-  (the index into the table's strategy space); ``inter[l, c, d]`` is the
-  inter-layer traffic (bytes) of the boundary between layers ``l`` and
-  ``l + 1`` when they use codes ``c`` and ``d``.  The table supports the
-  K-way array dynamic program of Algorithm 1 (:meth:`CostTable.dp_partition`)
-  and batched scoring of arbitrary base-K digit-patterns
-  (:meth:`CostTable.score_codes`).
+  (the index into the table's strategy space); ``inter[e, c, d]`` is the
+  inter-layer traffic (bytes) of layer-DAG edge ``e = (src, dst)``
+  (``table.edges``) when its endpoints use codes ``c`` and ``d`` -- for a
+  chain, edge ``e`` is the historical boundary ``(e, e + 1)``.  The table
+  supports the K-way array dynamic program of Algorithm 1 on chains, the
+  cut-vertex dynamic program with batched branch-interior enumeration on
+  DAGs (:meth:`CostTable.dp_partition`), and batched scoring of arbitrary
+  base-K digit-patterns (:meth:`CostTable.score_codes`).
 * :class:`HierarchicalCostTable` -- every hierarchy level at once.  Under
   :attr:`~repro.core.tensors.ScalingMode.PARALLELISM_AWARE` scaling a
   layer's tensor amounts at level ``h`` depend only on how many of its
@@ -63,6 +65,7 @@ access of ``result.breakdown``.
 from __future__ import annotations
 
 import dataclasses
+import functools
 from typing import Iterator, Sequence
 
 import numpy as np
@@ -94,6 +97,13 @@ DEFAULT_CHUNK_SIZE = 1 << 16
 #: Largest enumerable packed-integer candidate space (int64 encodings).
 _MAX_PACKED_SPACE = 1 << 62
 
+#: Largest branch-interior pattern count the DAG dynamic program enumerates
+#: per block (endpoints included).  The enumeration is chunked, so this
+#: bounds *time*, not memory; real branching networks keep interiors to a
+#: handful of layers, and hitting this limit means the model's branch
+#: structure has no small cut decomposition.
+DEFAULT_MAX_BLOCK_PATTERNS = 1 << 28
+
 
 def _sequential_row_sum(per_layer: np.ndarray) -> np.ndarray:
     """Left-to-right sum along axis 1, matching Python's ``sum()`` exactly.
@@ -123,6 +133,20 @@ def _decode_digits(codes: np.ndarray, num_layers: int, base: int) -> np.ndarray:
     return (codes[:, None] // powers) % base
 
 
+def _chain_edges(num_layers: int) -> tuple[tuple[int, int], ...]:
+    """The canonical edge list of a linear chain of ``num_layers`` layers."""
+    return tuple((index, index + 1) for index in range(num_layers - 1))
+
+
+def _normalize_edges(
+    edges: Sequence[tuple[int, int]] | None, num_layers: int
+) -> tuple[tuple[int, int], ...]:
+    """Coerce an edge list to int tuples, defaulting ``None`` to the chain."""
+    if edges is None:
+        return _chain_edges(num_layers)
+    return tuple((int(source), int(destination)) for source, destination in edges)
+
+
 def _fill_cost_block(
     records: Sequence[LayerTensors],
     specs: Sequence,
@@ -133,8 +157,13 @@ def _fill_cost_block(
     inter: np.ndarray | None = None,
     inter_forward: np.ndarray | None = None,
     inter_backward: np.ndarray | None = None,
+    edges: Sequence[tuple[int, int]] | None = None,
 ) -> None:
-    """Fill ``(L, K)`` intra / ``(L-1, K, K)`` inter cost blocks in place.
+    """Fill ``(L, K)`` intra / ``(E, K, K)`` inter cost blocks in place.
+
+    ``edges`` is the canonical edge list the ``inter`` axis is indexed by
+    (``None`` = chain, where edge ``e`` is the boundary ``(e, e + 1)``);
+    the boundary tensor record of an edge is its *source* layer's.
 
     The registry dispatch is hoisted out of the loops (a 512-layer search
     compiles thousands of entries), and the arithmetic inlines
@@ -150,24 +179,26 @@ def _fill_cost_block(
                 intra[index, code] = (
                     spec.intra_elements(record) * bytes_per_element * pair_factor
                 )
-    for index in range(len(records) - 1):
-        boundary = records[index]
+    if edges is None:
+        edges = _chain_edges(len(records))
+    for edge_index, (source, _destination) in enumerate(edges):
+        boundary = records[source]
         for q_code, spec in enumerate(specs):
             forward = spec.inter_forward_elements
             backward = spec.inter_backward_elements
             for p_code, previous in enumerate(members):
                 if inter is not None:
-                    inter[index, p_code, q_code] = (
+                    inter[edge_index, p_code, q_code] = (
                         (forward(previous, boundary) + backward(previous, boundary))
                         * bytes_per_element
                         * pair_factor
                     )
                 if inter_forward is not None:
-                    inter_forward[index, p_code, q_code] = (
+                    inter_forward[edge_index, p_code, q_code] = (
                         forward(previous, boundary) * bytes_per_element * pair_factor
                     )
                 if inter_backward is not None:
-                    inter_backward[index, p_code, q_code] = (
+                    inter_backward[edge_index, p_code, q_code] = (
                         backward(previous, boundary) * bytes_per_element * pair_factor
                     )
 
@@ -186,9 +217,11 @@ class CostTable:
         ``(L, K)`` float array; ``intra[l, c]`` is the Table-1 intra-layer
         traffic (bytes) of layer ``l`` under strategy code ``c``.
     inter:
-        ``(L - 1, K, K)`` float array; ``inter[l, c, d]`` is the Table-2
-        inter-layer traffic (bytes) of the boundary between layers ``l``
-        (code ``c``) and ``l + 1`` (code ``d``).
+        ``(E, K, K)`` float array; ``inter[e, c, d]`` is the Table-2
+        inter-layer traffic (bytes) of edge ``e = (src, dst)`` of the layer
+        DAG when ``src`` uses code ``c`` and ``dst`` uses code ``d``.  For
+        a chain ``E = L - 1`` and edge ``e`` is the historical boundary
+        ``(e, e + 1)``.
     tensors:
         The tensor records the table was compiled from, kept so winning
         candidates can lazily materialize their full breakdown through the
@@ -197,6 +230,10 @@ class CostTable:
         The model used to compile the table (and to materialize breakdowns).
     strategies:
         The strategy space defining the code axis (dp/mp by default).
+    edges:
+        The canonical ``(source, destination)`` edge list the ``inter``
+        axis is indexed by (ordered by destination, then input position);
+        ``None`` normalizes to the chain.
     """
 
     intra: np.ndarray
@@ -204,6 +241,17 @@ class CostTable:
     tensors: tuple[LayerTensors, ...]
     communication_model: CommunicationModel
     strategies: StrategySpace = DEFAULT_SPACE
+    edges: tuple[tuple[int, int], ...] | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "edges", _normalize_edges(self.edges, len(self.tensors))
+        )
+
+    @functools.cached_property
+    def is_chain(self) -> bool:
+        """True when the edge list is the historical linear chain."""
+        return self.edges == _chain_edges(self.num_layers)
 
     # ------------------------------------------------------------------
     # Construction.
@@ -215,18 +263,24 @@ class CostTable:
         tensors: Sequence[LayerTensors],
         communication_model: CommunicationModel | None = None,
         strategies: StrategySpace | Sequence[Parallelism] | str | None = None,
+        edges: Sequence[tuple[int, int]] | None = None,
     ) -> "CostTable":
-        """Compile the table from per-layer tensor amounts."""
+        """Compile the table from per-layer tensor amounts.
+
+        ``edges`` is the layer DAG's canonical edge list; omitted it
+        defaults to the chain, which keeps every historical call site (and
+        its outputs) untouched.
+        """
         tensors = tuple(tensors)
         if not tensors:
             raise ValueError("cannot build a cost table for zero layers")
         space = StrategySpace.parse(strategies)
         model = communication_model or CommunicationModel()
-        num_layers = len(tensors)
+        edge_list = _normalize_edges(edges, len(tensors))
         num_strategies = space.size
-        intra = np.empty((num_layers, num_strategies), dtype=np.float64)
+        intra = np.empty((len(tensors), num_strategies), dtype=np.float64)
         inter = np.zeros(
-            (max(num_layers - 1, 0), num_strategies, num_strategies), dtype=np.float64
+            (len(edge_list), num_strategies, num_strategies), dtype=np.float64
         )
         _fill_cost_block(
             tensors,
@@ -236,6 +290,7 @@ class CostTable:
             model.pair_factor,
             intra=intra,
             inter=inter,
+            edges=edge_list,
         )
         return cls(
             intra=intra,
@@ -243,6 +298,7 @@ class CostTable:
             tensors=tensors,
             communication_model=model,
             strategies=space,
+            edges=edge_list,
         )
 
     @classmethod
@@ -256,7 +312,10 @@ class CostTable:
     ) -> "CostTable":
         """Compile the table for ``model`` at ``batch_size`` (and ``scales``)."""
         return cls.from_tensors(
-            model_tensors(model, batch_size, scales), communication_model, strategies
+            model_tensors(model, batch_size, scales),
+            communication_model,
+            strategies,
+            edges=model.edges,
         )
 
     # ------------------------------------------------------------------
@@ -266,6 +325,10 @@ class CostTable:
     @property
     def num_layers(self) -> int:
         return len(self.tensors)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.edges)
 
     @property
     def num_strategies(self) -> int:
@@ -282,15 +345,23 @@ class CostTable:
     # ------------------------------------------------------------------
 
     def dp_partition(self) -> PartitionResult:
-        """Layer-wise dynamic program over the table (Algorithm 1).
+        """Optimal per-layer assignment over the table (Algorithm 1, generalized).
 
-        Applies exactly the recurrence of
+        For a chain this is exactly the recurrence of
         :meth:`~repro.core.partitioner.TwoWayPartitioner.partition_tensors_reference`
         -- same additions in the same order, ties preferring the lowest
         strategy code (dp first) -- so the returned optimum is bit-exact
-        with the object-based oracle.  The per-layer breakdown of the
-        winner is materialized lazily.
+        with the object-based oracle, byte-identical to the historical
+        array DP.  For a DAG the table runs the same dynamic program over
+        the model's *cut vertices* (layers no edge jumps across), scoring
+        each branch interior by batched enumeration
+        (:meth:`_dp_partition_dag`); the optimum value equals the
+        brute-force minimum of :meth:`score_codes` over the full space,
+        float for float.  The per-layer breakdown of the winner is
+        materialized lazily.
         """
+        if not self.is_chain:
+            return self._dp_partition_dag()
         num_layers = self.num_layers
         com = self.intra[0].copy()  # (K,): best accumulated cost per end code
         parents = np.empty((num_layers - 1, self.num_strategies), dtype=np.int8)
@@ -313,6 +384,121 @@ class CostTable:
         members = self.strategies.members
         assignment = LayerAssignment(
             tuple(members[code] for code in codes_per_layer)
+        )
+        return self.lazy_result(assignment, total)
+
+    def cut_vertices(self) -> list[int]:
+        """Layers no edge jumps across (every source-to-sink path visits them).
+
+        A layer ``v`` is a cut vertex when no edge ``(a, b)`` satisfies
+        ``a < v < b``.  The first and last layers always qualify; on a
+        chain every layer does.  Consecutive cut vertices delimit the
+        *branch interiors* the DAG dynamic program enumerates.
+        """
+        interior = [False] * self.num_layers
+        for source, destination in self.edges:
+            for vertex in range(source + 1, destination):
+                interior[vertex] = True
+        return [vertex for vertex in range(self.num_layers) if not interior[vertex]]
+
+    def _dp_partition_dag(self) -> PartitionResult:
+        """Cut-vertex dynamic program with batched branch-interior enumeration.
+
+        The layer order is a topological linearization, so between two
+        consecutive cut vertices ``u < v`` every edge stays inside the
+        block ``[u, v]``.  The program keeps ``com[c]`` -- the minimal
+        accumulated cost of the prefix through the current cut vertex
+        under code ``c``, built with the exact left-to-right per-layer
+        association of :meth:`score_codes` -- and advances one block at a
+        time by enumerating all ``K**(I + 2)`` code patterns of the block
+        (``I`` interior layers plus both endpoints) in batched,
+        :data:`DEFAULT_CHUNK_SIZE`-chunked NumPy operations (peak memory
+        stays a few MB regardless of the block size).  IEEE addition is
+        monotone, so the per-state minima compose exactly and the final
+        optimum equals the brute-force minimum of :meth:`score_codes`,
+        float for float; ties resolve to the lowest pattern digits
+        (dp-first per layer).
+        """
+        num_strategies = self.num_strategies
+        cuts = self.cut_vertices()
+        com = self.intra[0].copy()  # layer 0 has no incoming edges
+        block_plans: list[tuple[int, int, int, np.ndarray]] = []
+        for block_start, block_end in zip(cuts, cuts[1:]):
+            interior_count = block_end - block_start - 1
+            num_patterns = num_strategies ** (interior_count + 2)
+            if num_patterns > DEFAULT_MAX_BLOCK_PATTERNS:
+                raise ValueError(
+                    f"branch interior between layers {block_start} and "
+                    f"{block_end} spans {interior_count + 2} layers; "
+                    f"{num_strategies}**{interior_count + 2} patterns exceed "
+                    f"the enumeration limit of {DEFAULT_MAX_BLOCK_PATTERNS}"
+                )
+            block_layers = interior_count + 2
+            block_edges = [
+                (edge_index, source - block_start, destination - block_start)
+                for edge_index, (source, destination) in enumerate(self.edges)
+                if block_start < destination <= block_end
+            ]
+            # The block-end code is the most significant digit; patterns
+            # split as ``rest + group_size * end_code``.
+            group_size = num_patterns // num_strategies
+            best = np.full(num_strategies, np.inf)
+            best_rest = np.zeros(num_strategies, dtype=np.int64)
+            for start in range(0, num_patterns, DEFAULT_CHUNK_SIZE):
+                codes = np.arange(
+                    start, min(start + DEFAULT_CHUNK_SIZE, num_patterns), dtype=np.int64
+                )
+                decoded = _decode_digits(codes, block_layers, num_strategies)
+                # Column 0 carries the accumulated prefix cost (the cut
+                # vertex's own term is already inside ``com``); later
+                # columns carry ``intra + (sequential sum of incoming-edge
+                # inters)`` exactly like the batched scorer.
+                per_layer = np.empty((codes.shape[0], block_layers), dtype=np.float64)
+                per_layer[:, 0] = com[decoded[:, 0]]
+                for local in range(1, block_layers):
+                    per_layer[:, local] = self.intra[block_start + local][
+                        decoded[:, local]
+                    ]
+                inter_acc = np.zeros_like(per_layer)
+                for edge_index, local_source, local_destination in block_edges:
+                    inter_acc[:, local_destination] += self.inter[
+                        edge_index,
+                        decoded[:, local_source],
+                        decoded[:, local_destination],
+                    ]
+                per_layer[:, 1:] += inter_acc[:, 1:]
+                totals = _sequential_row_sum(per_layer)
+                end_codes = codes // group_size
+                # Strict ``<`` against the running minima keeps the first
+                # (lowest-pattern) winner across ascending chunks, matching
+                # the unchunked group-argmin tie rule.
+                for end_code in np.unique(end_codes):
+                    mask = end_codes == end_code
+                    subset = totals[mask]
+                    index = int(np.argmin(subset))
+                    if subset[index] < best[end_code]:
+                        best[end_code] = subset[index]
+                        best_rest[end_code] = codes[mask][index] % group_size
+            com = best
+            block_plans.append(
+                (block_start, block_end, interior_count, best_rest)
+            )
+
+        last = int(np.argmin(com))  # tie -> lowest code
+        total = float(com[last])
+        codes_per_layer = np.zeros(self.num_layers, dtype=np.int64)
+        codes_per_layer[cuts[-1]] = last
+        for block_start, block_end, interior_count, argmin_rest in reversed(block_plans):
+            rest = int(argmin_rest[codes_per_layer[block_end]])
+            codes_per_layer[block_start] = rest % num_strategies
+            rest //= num_strategies
+            for offset in range(interior_count):
+                codes_per_layer[block_start + 1 + offset] = rest % num_strategies
+                rest //= num_strategies
+
+        members = self.strategies.members
+        assignment = LayerAssignment(
+            tuple(members[int(code)] for code in codes_per_layer)
         )
         return self.lazy_result(assignment, total)
 
@@ -369,11 +555,23 @@ class CostTable:
         """
         num_layers = self.num_layers
         per_layer = self.intra[np.arange(num_layers), decoded]  # (N, L)
-        if num_layers > 1:
-            boundary = np.arange(num_layers - 1)
-            # One add per layer term keeps the ``intra + inter`` association
-            # of LayerCommunication.total_bytes.
-            per_layer[:, 1:] += self.inter[boundary, decoded[:, :-1], decoded[:, 1:]]
+        if self.is_chain:
+            if num_layers > 1:
+                boundary = np.arange(num_layers - 1)
+                # One add per layer term keeps the ``intra + inter``
+                # association of LayerCommunication.total_bytes.
+                per_layer[:, 1:] += self.inter[boundary, decoded[:, :-1], decoded[:, 1:]]
+        else:
+            # A merge layer has several incoming edges, so its inter terms
+            # are accumulated (in canonical edge order) into a separate
+            # buffer first and added to the intra term once -- the
+            # ``intra + (e1 + e2 + ...)`` association of the object path.
+            inter_acc = np.zeros_like(per_layer)
+            for edge_index, (source, destination) in enumerate(self.edges):
+                inter_acc[:, destination] += self.inter[
+                    edge_index, decoded[:, source], decoded[:, destination]
+                ]
+            per_layer += inter_acc
         return _sequential_row_sum(per_layer)
 
     def iter_all_codes(self, chunk_size: int = DEFAULT_CHUNK_SIZE) -> Iterator[np.ndarray]:
@@ -428,11 +626,12 @@ class CostTable:
         """A :class:`PartitionResult` whose breakdown materializes on access."""
         tensors = self.tensors
         model = self.communication_model
+        edges = self.edges
         return PartitionResult(
             assignment=assignment,
             communication_bytes=total_bytes,
             breakdown_factory=lambda: tuple(
-                model.layer_breakdown(tensors, assignment)
+                model.layer_breakdown(tensors, assignment, edges)
             ),
         )
 
@@ -498,6 +697,19 @@ class HierarchicalCostTable:
         self.scaling_mode = ScalingMode.parse(scaling_mode)
         self.communication_model = communication_model or CommunicationModel()
         self.strategies = StrategySpace.parse(strategies)
+        #: Canonical edge list of the model's layer DAG; the per-level
+        #: ``inter`` arrays are indexed by it (chains keep the historical
+        #: boundary indexing, edge ``e`` == boundary ``(e, e + 1)``).
+        self.edges: tuple[tuple[int, int], ...] = model.edges
+        self._is_chain = model.is_chain
+        self._edge_source = np.array([s for s, _ in self.edges], dtype=np.int64)
+        #: Per destination layer: its incoming ``(edge_index, source)`` pairs
+        #: in canonical (input) order, for per-edge gathers.
+        self._incoming: list[list[tuple[int, int]]] = [
+            [] for _ in range(self.num_layers)
+        ]
+        for edge_index, (source, destination) in enumerate(self.edges):
+            self._incoming[destination].append((edge_index, source))
         comm = self.communication_model
         space = self.strategies
 
@@ -555,7 +767,7 @@ class HierarchicalCostTable:
             level_tensors: list[tuple[LayerTensors, ...]] = []
             intra = np.empty((num_layers, num_states, num_strategies), dtype=np.float64)
             inter = np.zeros(
-                (max(num_layers - 1, 0), num_states, num_strategies, num_strategies),
+                (len(self.edges), num_states, num_strategies, num_strategies),
                 dtype=np.float64,
             )
             for state, (b, w) in enumerate(level_states):
@@ -572,6 +784,7 @@ class HierarchicalCostTable:
                     comm.pair_factor,
                     intra=intra[:, state, :],
                     inter=inter[:, state, :, :],
+                    edges=self.edges,
                 )
             self._tensors.append(level_tensors)
             self._intra.append(intra)
@@ -583,7 +796,6 @@ class HierarchicalCostTable:
             return
         comm = self.communication_model
         space = self.strategies
-        num_layers = self.num_layers
         num_strategies = space.size
         forward: list[np.ndarray] = []
         backward: list[np.ndarray] = []
@@ -591,7 +803,7 @@ class HierarchicalCostTable:
         members = space.members
         for level in range(self.num_levels):
             num_states = self.num_states(level)
-            shape = (max(num_layers - 1, 0), num_states, num_strategies, num_strategies)
+            shape = (len(self.edges), num_states, num_strategies, num_strategies)
             inter_fwd = np.zeros(shape, dtype=np.float64)
             inter_bwd = np.zeros(shape, dtype=np.float64)
             for state, records in enumerate(self._tensors[level]):
@@ -603,6 +815,7 @@ class HierarchicalCostTable:
                     comm.pair_factor,
                     inter_forward=inter_fwd[:, state, :, :],
                     inter_backward=inter_bwd[:, state, :, :],
+                    edges=self.edges,
                 )
             forward.append(inter_fwd)
             backward.append(inter_bwd)
@@ -702,8 +915,10 @@ class HierarchicalCostTable:
             )
         layer_range = np.arange(self.num_layers)
         intra = self._intra[level][layer_range, state_array, :]
+        # An edge's boundary tensors are its *source* layer's, so the edge
+        # axis gathers the source's scale state (``[:-1]`` historically).
         inter = self._inter[level][
-            np.arange(max(self.num_layers - 1, 0)), state_array[:-1], :, :
+            np.arange(len(self.edges)), state_array[self._edge_source], :, :
         ]
         return CostTable(
             intra=intra,
@@ -711,6 +926,7 @@ class HierarchicalCostTable:
             tensors=self.tensors_for_level(level, states),
             communication_model=self.communication_model,
             strategies=self.strategies,
+            edges=self.edges,
         )
 
     # ------------------------------------------------------------------
@@ -830,13 +1046,30 @@ class HierarchicalCostTable:
             else:
                 states = self._state_lut[level][batch_counts, weight_counts]
             per_layer = self._intra[level][layer_range, states, level_codes]
-            if num_layers > 1:
-                per_layer[:, 1:] += self._inter[level][
-                    boundary_range,
-                    states[:, :-1],
-                    level_codes[:, :-1],
-                    level_codes[:, 1:],
-                ]
+            if self._is_chain:
+                if num_layers > 1:
+                    per_layer[:, 1:] += self._inter[level][
+                        boundary_range,
+                        states[:, :-1],
+                        level_codes[:, :-1],
+                        level_codes[:, 1:],
+                    ]
+            else:
+                # Merge layers accumulate their incoming-edge terms (in
+                # canonical edge order) before the single add onto the intra
+                # term, matching the object path's association.
+                inter_acc = np.zeros_like(per_layer)
+                for edge_index, (source, destination) in enumerate(self.edges):
+                    inter_acc[:, destination] += self._inter[level][
+                        edge_index,
+                        states[:, source],
+                        level_codes[:, source],
+                        level_codes[:, destination],
+                    ]
+                # ``per_layer`` is a fresh advanced-indexing copy, so the
+                # in-place add is safe (and allocation-free, like the
+                # single-level scorer's).
+                per_layer += inter_acc
             level_totals = _sequential_row_sum(per_layer)
             # ``level.total_bytes`` multiplies by the (power-of-two) pair
             # count before the exact sequential accumulation over levels.
@@ -915,39 +1148,45 @@ class HierarchicalCostTable:
 
     def level_communication(
         self, assignment: HierarchicalAssignment
-    ) -> list[list[tuple[Parallelism, float, float, float]]]:
-        """Per-level, per-layer ``(choice, intra, inter_fwd, inter_bwd)`` bytes.
+    ) -> list[list[tuple[Parallelism, float, tuple[tuple[int, float, float], ...]]]]:
+        """Per-level, per-layer ``(choice, intra, incoming)`` bytes.
 
-        This is the gather the training simulator consumes; the floats are
-        identical to the ones the object path derives from fresh
-        ``model_tensors`` lists at every level.
+        ``incoming`` lists the layer's incoming-edge re-layouts as
+        ``(source_layer, inter_fwd, inter_bwd)`` tuples in canonical edge
+        (input) order -- one entry per incoming DAG edge, so merge layers
+        carry one record per branch.  This is the gather the training
+        simulator consumes; the floats are identical to the ones the
+        object path derives from fresh ``model_tensors`` lists at every
+        level.
         """
         self._ensure_direction_split()
         states = self.state_indices(assignment)
         code_of = self.strategies.code_of
-        records: list[list[tuple[Parallelism, float, float, float]]] = []
+        records: list[
+            list[tuple[Parallelism, float, tuple[tuple[int, float, float], ...]]]
+        ] = []
         for level in range(self.num_levels):
             level_assignment = assignment[level]
             level_records = []
             for layer, choice in enumerate(level_assignment):
                 state = int(states[level, layer])
                 intra = float(self._intra[level][layer, state, code_of(choice)])
-                if layer == 0:
-                    fwd = bwd = 0.0
-                else:
-                    previous = level_assignment[layer - 1]
-                    boundary_state = int(states[level, layer - 1])
+                incoming = []
+                for edge_index, source in self._incoming[layer]:
+                    previous = level_assignment[source]
+                    boundary_state = int(states[level, source])
                     fwd = float(
                         self._inter_forward[level][
-                            layer - 1, boundary_state, code_of(previous), code_of(choice)
+                            edge_index, boundary_state, code_of(previous), code_of(choice)
                         ]
                     )
                     bwd = float(
                         self._inter_backward[level][
-                            layer - 1, boundary_state, code_of(previous), code_of(choice)
+                            edge_index, boundary_state, code_of(previous), code_of(choice)
                         ]
                     )
-                level_records.append((choice, intra, fwd, bwd))
+                    incoming.append((source, fwd, bwd))
+                level_records.append((choice, intra, tuple(incoming)))
             records.append(level_records)
         return records
 

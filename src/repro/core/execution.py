@@ -3,7 +3,19 @@
 This module executes one training step of a network that has been split
 across **two accelerator groups** (one hierarchy level -- the setting of
 Figure 1 and Section 3.1 of the paper), using the numpy reference kernels
-of :mod:`repro.nn.reference`.  Each group only ever computes with the
+of :mod:`repro.nn.reference`.  The layer graph may branch: a layer's
+input is the merge of its predecessors' outputs (residual ``ADD`` or
+channel ``CONCAT``), inter-layer exchanges are recorded per DAG edge
+against that edge's source-output tensor, and a model-parallel feature
+split of a ``CONCAT`` merge takes its fraction *of each branch* -- the
+layout under which the per-edge Table-2 amounts are exact for every
+dp/mp assignment, on chains and DAGs alike.  Pipeline stage ownership
+alternates along the layer *order*, so a DAG skip edge may connect two
+pipeline layers that share an owner group: the executor then moves
+nothing across that edge while the (pairwise-indexed) cost tables still
+charge the stage handoff -- for assignments containing ``pp`` on a
+branching model the analytic per-edge amounts are an upper bound, exact
+on chains (see DESIGN.md).  Each group only ever computes with the
 tensor slices it would physically hold:
 
 * a **data-parallel** layer processes its half of the batch with a full
@@ -47,6 +59,7 @@ from repro.nn.reference import (
     activation_backward,
     activation_forward,
 )
+from repro.nn.shapes import MergeOp
 
 FULL = Interval(0.0, 1.0)
 HALVES = (Interval(0.0, 0.5), Interval(0.5, 1.0))
@@ -145,6 +158,24 @@ class TwoGroupExecutor:
             if choice is Parallelism.PIPELINE:
                 self._pipeline_owner[index] = ordinal % 2
                 ordinal += 1
+        # Per-branch channel segments of every CONCAT merge layer: a model-
+        # parallel feature split takes its fraction *of each branch* (the
+        # layout the per-edge Table-2 costs assume), so the group's channel
+        # set on the merged axis is the union of per-branch interval slices
+        # rather than one contiguous run.
+        self._concat_segments: Dict[int, List[tuple[int, int]]] = {}
+        for layer in self.model:
+            if layer.is_merge and layer.merge is MergeOp.CONCAT:
+                segments: List[tuple[int, int]] = []
+                offset = 0
+                for source in layer.inputs:
+                    channels = self.model[source].output_shape.channels
+                    segments.append((offset, channels))
+                    offset += channels
+                self._concat_segments[layer.index] = segments
+        # Memoised per-branch index arrays (see _channel_selection).
+        self._selection_cache: Dict[tuple, np.ndarray] = {}
+        self._fc_row_cache: Dict[tuple, np.ndarray] = {}
 
     # ------------------------------------------------------------------
     # Layout helpers.  ``None`` means the group reads/holds nothing of the
@@ -216,20 +247,81 @@ class TwoGroupExecutor:
     def _batch_slice(tensor: np.ndarray, interval: Interval) -> np.ndarray:
         return tensor[interval.slice_of(tensor.shape[0])]
 
+    def _channel_selection(self, layer_index: int, interval: Interval) -> np.ndarray | None:
+        """Merged-axis channel indices of ``interval`` under per-branch splitting.
+
+        ``None`` for single-branch and ``ADD``-merge layers, whose feature
+        splits stay the historical contiguous interval slices.  The index
+        arrays are deterministic per ``(layer, interval)`` and a training
+        step asks for each one several times (forward slice, backward
+        slice, both stitch directions), so they are memoised.
+        """
+        segments = self._concat_segments.get(layer_index)
+        if segments is None:
+            return None
+        key = (layer_index, interval)
+        cached = self._selection_cache.get(key)
+        if cached is None:
+            cached = np.concatenate(
+                [
+                    offset
+                    + np.arange(channels, dtype=np.intp)[interval.slice_of(channels)]
+                    for offset, channels in segments
+                ]
+            )
+            self._selection_cache[key] = cached
+        return cached
+
+    def _fc_row_selection(self, layer_index: int, interval: Interval) -> np.ndarray:
+        """Flattened-input row indices of ``interval`` under per-branch splitting.
+
+        The FC kernel's rows follow the row-major ``(H, W, C)`` flattening
+        of the merged input, so a per-branch channel set selects the same
+        channels at every spatial position.  Memoised per
+        ``(layer, interval)`` like :meth:`_channel_selection`.
+        """
+        key = (layer_index, interval)
+        cached = self._fc_row_cache.get(key)
+        if cached is None:
+            channel_sel = self._channel_selection(layer_index, interval)
+            layer = self.model[layer_index]
+            total_channels = sum(
+                channels for _, channels in self._concat_segments[layer_index]
+            )
+            spatial = layer.input_shape.elements // total_channels
+            cached = (
+                np.arange(spatial, dtype=np.intp)[:, None] * total_channels
+                + channel_sel[None, :]
+            ).reshape(-1)
+            self._fc_row_cache[key] = cached
+        return cached
+
     def _feature_slice(self, layer_index: int, tensor: np.ndarray, interval: Interval) -> np.ndarray:
         """Slice the input-feature dimension of layer ``layer_index``'s input."""
         spec = self.model[layer_index].spec
+        selection = self._channel_selection(layer_index, interval)
         if isinstance(spec, FCLayer):
+            if selection is not None:
+                if tensor.ndim > 2:
+                    return tensor[..., selection].reshape(tensor.shape[0], -1)
+                return tensor[:, self._fc_row_selection(layer_index, interval)]
             flat = tensor.reshape(tensor.shape[0], -1)
             return flat[:, interval.slice_of(flat.shape[1])]
+        if selection is not None:
+            return tensor[..., selection]
         return tensor[..., interval.slice_of(tensor.shape[-1])]
 
     def _weight_slice(self, layer_index: int, interval: Interval) -> np.ndarray:
         """Slice the kernel's input dimension (rows / input channels)."""
         weight = self.network.weights[layer_index]
         spec = self.model[layer_index].spec
+        selection = self._channel_selection(layer_index, interval)
         if isinstance(spec, FCLayer):
+            if selection is not None:
+                return weight[self._fc_row_selection(layer_index, interval), :]
             return weight[interval.slice_of(weight.shape[0]), :]
+        if selection is not None:
+            return weight[:, :, selection, :]
         return weight[:, :, interval.slice_of(weight.shape[2]), :]
 
     # ------------------------------------------------------------------
@@ -243,30 +335,44 @@ class TwoGroupExecutor:
         gradient at the network output; both are logically available to the
         groups according to the first/last layers' layouts (reading training
         data and computing the loss are local operations, as in the paper).
+
+        The layer graph may be a DAG: a layer's input is the merge of its
+        predecessors' activations, inter-layer communication is accounted
+        per incoming edge (against that edge's source-output tensor, the
+        boundary the per-edge Table-2 costs are stated over), and backward
+        errors join across the fan-out before a layer back-propagates.
         """
         events: List[CommunicationEvent] = []
         model = self.model
+        network = self.network
         num_layers = len(model)
 
         # --------------------------- forward ---------------------------
-        # full_inputs[l] is the full logical input of layer l; full_pre[l]
-        # the full pre-activation; full_outputs[l] the full activation.
+        # full_inputs[l] is the full logical (merged) input of layer l;
+        # full_pre[l] the full pre-activation; full_outputs[l] the full
+        # activation.
         full_inputs: List[np.ndarray] = []
         full_pre: List[np.ndarray] = []
         full_outputs: List[np.ndarray] = []
-        current = x
         for index, layer in enumerate(model):
             choice = self.assignment[index]
+            if layer.inputs:
+                current = network.merge_inputs(
+                    index, [full_outputs[source] for source in layer.inputs]
+                )
+            else:
+                current = x
             full_inputs.append(current)
-            total_boundary = current.size
 
             # Inter-layer (forward) communication: what each group must fetch
-            # to assemble the input slice it needs.  Layer 0 reads the
-            # training data, which is local by definition.
-            if index > 0:
+            # across each incoming edge to assemble the input slice it needs.
+            # A layer without predecessors reads the training data, which is
+            # local by definition.
+            for source in layer.inputs:
+                total_boundary = full_outputs[source].size
                 for group in range(2):
                     needed = self._needed_input_rectangle(index, group)
-                    produced = self._produced_output_rectangle(index - 1, group)
+                    produced = self._produced_output_rectangle(source, group)
                     missing = self._missing_elements(needed, produced, total_boundary)
                     if missing:
                         events.append(
@@ -307,36 +413,52 @@ class TwoGroupExecutor:
             output = activation_forward(pre_activation, layer.spec.activation)
             full_pre.append(pre_activation)
             full_outputs.append(output)
-            current = output
 
         # --------------------------- backward --------------------------
         gradients: List[np.ndarray | None] = [None] * num_layers
-        # current_error is the full logical error at the output of the layer
-        # being processed; its produced layout is that of the layer above
-        # (or of the loss, which matches the last layer's own layout).
-        current_error = grad_output
-        input_error: np.ndarray | None = None
+        # input_errors[l] is the full logical error layer l produces at its
+        # (merged) input; consumers' pieces of it feed their predecessors.
+        input_errors: List[np.ndarray | None] = [None] * num_layers
         for index in reversed(range(num_layers)):
             layer = model[index]
             choice = self.assignment[index]
-            total_boundary = current_error.size
+            consumers = model.consumers(index)
 
-            # Inter-layer (backward) communication: the error produced by the
-            # layer above arrives in that layer's layout; this layer needs it
-            # in its own layout.  Like the communication model, the exchange
-            # is attributed to the upper layer of the boundary (the transition
-            # "layer index -> layer index+1").
-            if index + 1 < num_layers:
-                for group in range(2):
-                    needed = self._needed_error_rectangle(index, group)
-                    produced = self._produced_error_rectangle(index + 1, group)
-                    missing = self._missing_elements(needed, produced, total_boundary)
-                    if missing:
-                        events.append(
-                            CommunicationEvent(
-                                model[index + 1].name, "inter-backward", missing
-                            )
+            # Inter-layer (backward) communication: the error pieces
+            # produced by the consumer layers arrive in those layers'
+            # layouts; this layer needs its output error in its own layout.
+            # Like the communication model, each exchange is attributed to
+            # the consumer end of its edge and counted against this layer's
+            # output-error tensor.
+            if not consumers:
+                # The network output: the loss gradient is local, in this
+                # layer's own layout.
+                current_error = grad_output
+            else:
+                pieces = []
+                total_boundary = full_outputs[index].size
+                for destination in consumers:
+                    for group in range(2):
+                        needed = self._needed_error_rectangle(index, group)
+                        produced = self._produced_error_rectangle(destination, group)
+                        missing = self._missing_elements(
+                            needed, produced, total_boundary
                         )
+                        if missing:
+                            events.append(
+                                CommunicationEvent(
+                                    model[destination].name, "inter-backward", missing
+                                )
+                            )
+                    position = model[destination].inputs.index(index)
+                    pieces.append(
+                        network.split_input_error(
+                            destination, input_errors[destination]
+                        )[position]
+                    )
+                current_error = pieces[0]
+                for piece in pieces[1:]:
+                    current_error = current_error + piece
 
             if choice is Parallelism.DATA:
                 grad_parts = []
@@ -404,12 +526,12 @@ class TwoGroupExecutor:
                 gradients[index] = self._stitch_weight(index, weight_slices)
                 current_error = self._stitch_features(index, error_slices, full_inputs[index])
 
-            input_error = current_error
+            input_errors[index] = current_error
 
         return PartitionedStepResult(
             output=full_outputs[-1],
             gradients=[grad for grad in gradients if grad is not None],
-            input_error=input_error,
+            input_error=input_errors[0],
             events=events,
         )
 
@@ -419,6 +541,19 @@ class TwoGroupExecutor:
 
     def _stitch_weight(self, layer_index: int, slices: Sequence[np.ndarray]) -> np.ndarray:
         spec = self.model[layer_index].spec
+        if layer_index in self._concat_segments:
+            # Per-branch feature splits interleave the groups' kernel rows
+            # on the merged axis, so the slices scatter back by index
+            # instead of concatenating contiguously.
+            weight = self.network.weights[layer_index]
+            full = np.zeros_like(weight)
+            for group, piece in enumerate(slices):
+                selection = self._channel_selection(layer_index, HALVES[group])
+                if isinstance(spec, FCLayer):
+                    full[self._fc_row_selection(layer_index, HALVES[group]), :] = piece
+                else:
+                    full[:, :, selection, :] = piece
+            return full
         axis = 0 if isinstance(spec, FCLayer) else 2
         return np.concatenate(slices, axis=axis)
 
@@ -426,6 +561,16 @@ class TwoGroupExecutor:
         self, layer_index: int, slices: Sequence[np.ndarray], reference: np.ndarray
     ) -> np.ndarray:
         spec = self.model[layer_index].spec
+        if layer_index in self._concat_segments:
+            full = np.zeros_like(reference)
+            for group, piece in enumerate(slices):
+                selection = self._channel_selection(layer_index, HALVES[group])
+                if isinstance(spec, FCLayer):
+                    flat = full.reshape(full.shape[0], -1)
+                    flat[:, self._fc_row_selection(layer_index, HALVES[group])] = piece
+                else:
+                    full[..., selection] = piece
+            return full
         if isinstance(spec, FCLayer):
             stitched = np.concatenate(slices, axis=1)
             return stitched.reshape(reference.shape)

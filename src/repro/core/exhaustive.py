@@ -70,6 +70,7 @@ def exhaustive_two_way(
     communication_model: CommunicationModel | None = None,
     max_candidates: int = DEFAULT_MAX_CANDIDATES,
     strategies: StrategySpace | Sequence[Parallelism] | str | None = None,
+    edges: Sequence[tuple[int, int]] | None = None,
 ) -> PartitionResult:
     """Brute-force optimum for a single hierarchy level.
 
@@ -78,7 +79,8 @@ def exhaustive_two_way(
     first minimum in digit-pattern order, like the reference scan) is
     materialized into a :class:`PartitionResult`, whose breakdown stays
     lazy.  Returns the same kind of result as the dynamic program, so the
-    two can be compared directly.
+    two can be compared directly.  ``edges`` carries the layer DAG
+    (``None`` = chain).
     """
     space = StrategySpace.parse(strategies)
     num_layers = len(tensors)
@@ -86,7 +88,7 @@ def exhaustive_two_way(
         raise SearchSpaceTooLarge(
             f"{space.size}^{num_layers} assignments exceed the limit of {max_candidates}"
         )
-    table = CostTable.from_tensors(tensors, communication_model, space)
+    table = CostTable.from_tensors(tensors, communication_model, space, edges=edges)
     best_codes, best_total = table.argmin_assignment()
     return table.lazy_result(
         LayerAssignment.from_codes(best_codes, num_layers, space), best_total
@@ -98,6 +100,7 @@ def exhaustive_two_way_reference(
     communication_model: CommunicationModel | None = None,
     max_candidates: int = DEFAULT_MAX_CANDIDATES,
     strategies: StrategySpace | Sequence[Parallelism] | str | None = None,
+    edges: Sequence[tuple[int, int]] | None = None,
 ) -> PartitionResult:
     """Object-based per-candidate scan: the oracle for :func:`exhaustive_two_way`."""
     space = StrategySpace.parse(strategies)
@@ -109,7 +112,7 @@ def exhaustive_two_way_reference(
     partitioner = TwoWayPartitioner(communication_model, space)
     best: PartitionResult | None = None
     for assignment in all_layer_assignments(num_layers, space):
-        candidate = partitioner.evaluate(tensors, assignment)
+        candidate = partitioner.evaluate(tensors, assignment, edges=edges)
         if best is None or candidate.communication_bytes < best.communication_bytes:
             best = candidate
     assert best is not None  # num_layers >= 1 guarantees at least one candidate

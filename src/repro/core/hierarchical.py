@@ -208,7 +208,7 @@ class HierarchicalPartitioner:
                     communication_bytes=level_table.total_bytes(level_assignment),
                     num_pairs=1 << level,
                     breakdown_factory=lambda t=level_table, a=level_assignment: tuple(
-                        t.communication_model.layer_breakdown(t.tensors, a)
+                        t.communication_model.layer_breakdown(t.tensors, a, t.edges)
                     ),
                 )
             )
@@ -240,7 +240,7 @@ class HierarchicalPartitioner:
         for level in range(self.num_levels):
             tensors = model_tensors(model, batch_size, scales)
             level_assignment = assignment[level]
-            result = self._two_way.evaluate(tensors, level_assignment)
+            result = self._two_way.evaluate(tensors, level_assignment, edges=model.edges)
             levels.append(
                 LevelResult(
                     level=level,
@@ -352,7 +352,10 @@ class _DescentLevelTables:
     def level_table(self, level: int) -> CostTable:
         tensors = model_tensors(self._model, self._batch_size, self._scales)
         return CostTable.from_tensors(
-            tensors, self._communication_model, self._strategies
+            tensors,
+            self._communication_model,
+            self._strategies,
+            edges=self._model.edges,
         )
 
     def advance(self, assignment: LayerAssignment) -> None:

@@ -72,26 +72,45 @@ class TwoWayPartitioner:
     # Core dynamic program over pre-computed tensor amounts.
     # ------------------------------------------------------------------
 
-    def compile_table(self, tensors: Sequence[LayerTensors]) -> CostTable:
-        """Compile per-layer tensor amounts into a reusable cost table."""
+    def compile_table(
+        self,
+        tensors: Sequence[LayerTensors],
+        edges: Sequence[tuple[int, int]] | None = None,
+    ) -> CostTable:
+        """Compile per-layer tensor amounts into a reusable cost table.
+
+        ``edges`` is the layer DAG's canonical edge list (``None`` = the
+        historical chain).
+        """
         return CostTable.from_tensors(
-            tensors, self.communication_model, self.strategies
+            tensors, self.communication_model, self.strategies, edges=edges
         )
 
-    def partition_tensors(self, tensors: Sequence[LayerTensors]) -> PartitionResult:
+    def partition_tensors(
+        self,
+        tensors: Sequence[LayerTensors],
+        edges: Sequence[tuple[int, int]] | None = None,
+    ) -> PartitionResult:
         """Run the dynamic program over per-layer tensor amounts.
 
         Compiles a :class:`~repro.core.costs.CostTable` and runs the array
-        DP over it; bit-exact with :meth:`partition_tensors_reference`.
+        DP over it; on chains bit-exact with
+        :meth:`partition_tensors_reference`, on DAGs (``edges`` given) the
+        cut-vertex program of :meth:`CostTable.dp_partition`.
         """
         if not tensors:
             raise ValueError("cannot partition a model with no weighted layers")
-        return self.compile_table(tensors).dp_partition()
+        return self.compile_table(tensors, edges=edges).dp_partition()
 
     def partition_tensors_reference(
         self, tensors: Sequence[LayerTensors]
     ) -> PartitionResult:
         """Object-based scalar DP: the oracle for the vectorized path.
+
+        Chain-only by construction (Algorithm 1's recurrence couples
+        adjacent layers): DAG models are scored against the generalized
+        :meth:`CommunicationModel.total_bytes` oracle and certified by
+        brute-force enumeration instead.
 
         Performs the same additions in the same order as the historical
         hard-coded dp/mp implementation (a per-target scan over source
@@ -167,24 +186,29 @@ class TwoWayPartitioner:
     ) -> PartitionResult:
         """Partition ``model`` between two groups at the given batch size."""
         tensors = model_tensors(model, batch_size, scales)
-        return self.partition_tensors(tensors)
+        return self.partition_tensors(tensors, edges=model.edges)
 
     def evaluate(
         self,
         tensors: Sequence[LayerTensors],
         assignment: LayerAssignment,
+        edges: Sequence[tuple[int, int]] | None = None,
     ) -> PartitionResult:
         """Cost of an arbitrary (not necessarily optimal) assignment.
 
         Uses the :meth:`CommunicationModel.total_bytes` fast path, so no
         per-layer breakdown objects are allocated unless the caller reads
-        ``result.breakdown``.
+        ``result.breakdown``.  ``edges`` carries the layer DAG (``None`` =
+        chain).
         """
         model = self.communication_model
-        total = model.total_bytes(tensors, assignment)
+        total = model.total_bytes(tensors, assignment, edges)
         tensors = tuple(tensors)
+        edges = None if edges is None else tuple(edges)
         return PartitionResult(
             assignment=assignment,
             communication_bytes=total,
-            breakdown_factory=lambda: tuple(model.layer_breakdown(tensors, assignment)),
+            breakdown_factory=lambda: tuple(
+                model.layer_breakdown(tensors, assignment, edges)
+            ),
         )

@@ -27,7 +27,12 @@ two half-open fractional intervals:
 Descending one hierarchy level halves exactly one of the two intervals,
 depending on the level's parallelism choice for that layer; which half an
 accelerator keeps is determined by the corresponding bit of its index (the
-binary-tree numbering of Figure 3).
+binary-tree numbering of Figure 3).  Placement is purely per-layer, so it
+applies unchanged to branching (DAG) models: a merge layer's input
+interval describes its share of the *merged* input features (taken
+per-branch for CONCAT merges, see :mod:`repro.core.execution`), and
+pipeline stage alternation follows the layer order of the topological
+linearization.
 
 The module also derives per-accelerator memory footprints and replication
 factors (kernels are replicated across data-parallel halvings, output

@@ -37,12 +37,17 @@ from repro.nn.layers import (
 )
 from repro.nn.model import DNNModel, WeightedLayer, build_model
 from repro.nn.model_zoo import (
+    all_model_builders,
+    GRAPH_MODEL_BUILDERS,
     MODEL_BUILDERS,
     alexnet,
+    all_graph_models,
     all_models,
     cifar_c,
     get_model,
+    inception_s,
     lenet_c,
+    resnet_s,
     sconv,
     sfc,
     vgg_a,
@@ -51,7 +56,13 @@ from repro.nn.model_zoo import (
     vgg_d,
     vgg_e,
 )
-from repro.nn.shapes import FeatureMapShape, conv_output_shape, pool_output_shape
+from repro.nn.shapes import (
+    FeatureMapShape,
+    MergeOp,
+    conv_output_shape,
+    merge_shape,
+    pool_output_shape,
+)
 
 __all__ = [
     "Activation",
@@ -64,11 +75,18 @@ __all__ = [
     "WeightedLayer",
     "build_model",
     "FeatureMapShape",
+    "MergeOp",
     "conv_output_shape",
+    "merge_shape",
     "pool_output_shape",
     "MODEL_BUILDERS",
+    "GRAPH_MODEL_BUILDERS",
+    "all_model_builders",
     "get_model",
     "all_models",
+    "all_graph_models",
+    "resnet_s",
+    "inception_s",
     "sfc",
     "sconv",
     "lenet_c",

@@ -17,7 +17,13 @@ from __future__ import annotations
 import dataclasses
 import enum
 
-from repro.nn.shapes import FeatureMapShape, ShapeError, conv_output_shape, pool_output_shape
+from repro.nn.shapes import (
+    FeatureMapShape,
+    MergeOp,
+    ShapeError,
+    conv_output_shape,
+    pool_output_shape,
+)
 
 
 class LayerType(enum.Enum):
@@ -90,11 +96,21 @@ class LayerSpec:
     Sub-classes implement :meth:`output_shape`, :meth:`weight_elements` and
     :meth:`macs_per_sample`, which is everything the communication and
     compute models need.
+
+    ``inputs`` names the predecessor layers this layer consumes.  ``None``
+    (the default) means "the previous layer in the spec list" -- the
+    historical chain behaviour -- so plain sequential networks need not
+    mention it.  Naming more than one predecessor makes the layer a *merge
+    point*: the branch outputs are combined with ``merge`` (element-wise
+    ``ADD`` for residual connections, channel ``CONCAT`` for
+    Inception-style blocks) before entering the layer.
     """
 
     name: str
     activation: Activation = Activation.RELU
     pool: PoolSpec | None = None
+    inputs: tuple[str, ...] | None = None
+    merge: MergeOp = MergeOp.ADD
 
     @property
     def layer_type(self) -> LayerType:

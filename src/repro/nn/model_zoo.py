@@ -1,4 +1,4 @@
-"""The ten evaluation networks of the HyPar paper.
+"""The evaluation networks: the paper's ten chains plus a branching-DAG zoo.
 
 Section 6.1 of the paper evaluates HyPar on ten models spanning three
 datasets:
@@ -14,6 +14,15 @@ datasets:
 
 The number of weighted layers ranges from four (``SFC``, ``SCONV``,
 ``Lenet-c``) to nineteen (``VGG-E``), matching the paper's description.
+
+Beyond the paper, the zoo carries small *branching* networks exercising the
+DAG model IR (:data:`GRAPH_MODEL_BUILDERS`): ``ResNet-S`` (residual ``ADD``
+merges) and ``Inception-S`` (multi-branch ``CONCAT`` merges).  They are
+deliberately pooling-free with ``NONE``-activated classifiers so the whole
+pipeline -- search, placement, numerically-validated partitioned execution
+and simulation -- runs on them end to end.  The paper's reporting helpers
+(:func:`all_models`, :data:`MODEL_BUILDERS`) keep returning exactly the ten
+chains so every figure reproduction stays byte-identical.
 """
 
 from __future__ import annotations
@@ -22,6 +31,7 @@ from typing import Callable, Dict, List
 
 from repro.nn.layers import Activation, ConvLayer, FCLayer, LayerSpec, PoolSpec
 from repro.nn.model import DNNModel, build_model
+from repro.nn.shapes import MergeOp
 
 MNIST_INPUT = (28, 28, 1)
 CIFAR_INPUT = (32, 32, 3)
@@ -302,6 +312,104 @@ def vgg_e() -> DNNModel:
     )
 
 
+def resnet_s() -> DNNModel:
+    """``ResNet-S``: a small residual network exercising ``ADD`` merges.
+
+    CIFAR-style stem plus three basic blocks.  Each block is two 3x3
+    convolutions whose output is summed with the block input by the *next*
+    weighted layer (the merge is attached to the consumer, so the residual
+    sum is materialised exactly where it is consumed); the two downsampling
+    transitions use stride-2 convolutions instead of pooling, which keeps
+    the network executable by the numerical reference executor.  Ten
+    weighted layers, three ``ADD`` merge points, twelve edges (nine chain
+    edges plus three skips).
+    """
+    return build_model(
+        "ResNet-S",
+        CIFAR_INPUT,
+        [
+            ConvLayer(name="stem", out_channels=16, kernel_size=3, padding=1),
+            ConvLayer(name="res1a", out_channels=16, kernel_size=3, padding=1),
+            ConvLayer(name="res1b", out_channels=16, kernel_size=3, padding=1),
+            ConvLayer(
+                name="down1",
+                out_channels=32,
+                kernel_size=3,
+                stride=2,
+                padding=1,
+                inputs=("stem", "res1b"),
+                merge=MergeOp.ADD,
+            ),
+            ConvLayer(name="res2a", out_channels=32, kernel_size=3, padding=1),
+            ConvLayer(name="res2b", out_channels=32, kernel_size=3, padding=1),
+            ConvLayer(
+                name="down2",
+                out_channels=64,
+                kernel_size=3,
+                stride=2,
+                padding=1,
+                inputs=("down1", "res2b"),
+                merge=MergeOp.ADD,
+            ),
+            ConvLayer(name="res3a", out_channels=64, kernel_size=3, padding=1),
+            ConvLayer(name="res3b", out_channels=64, kernel_size=3, padding=1),
+            FCLayer(
+                name="fc",
+                out_features=10,
+                activation=Activation.NONE,
+                inputs=("down2", "res3b"),
+                merge=MergeOp.ADD,
+            ),
+        ],
+    )
+
+
+def inception_s() -> DNNModel:
+    """``Inception-S``: a small multi-branch network exercising ``CONCAT`` merges.
+
+    A stem convolution feeds two Inception-style blocks.  Each block fans
+    out into a 1x1 branch, a 3x3 branch and a 1x1→5x5 branch; the branch
+    outputs are channel-concatenated by the consuming layer (a 1x1
+    reduction after the first block, the classifier after the second).
+    Pooling-free with same-padding branches, so every branch keeps the
+    spatial dimensions and the whole network runs through the reference
+    executor.  Eleven weighted layers, two ``CONCAT`` merge points.
+    """
+    return build_model(
+        "Inception-S",
+        CIFAR_INPUT,
+        [
+            ConvLayer(name="stem", out_channels=16, kernel_size=3, padding=1),
+            ConvLayer(name="a1x1", out_channels=8, kernel_size=1, inputs=("stem",)),
+            ConvLayer(
+                name="a3x3", out_channels=16, kernel_size=3, padding=1, inputs=("stem",)
+            ),
+            ConvLayer(name="a5red", out_channels=8, kernel_size=1, inputs=("stem",)),
+            ConvLayer(name="a5x5", out_channels=16, kernel_size=5, padding=2),
+            ConvLayer(
+                name="reduce",
+                out_channels=32,
+                kernel_size=1,
+                inputs=("a1x1", "a3x3", "a5x5"),
+                merge=MergeOp.CONCAT,
+            ),
+            ConvLayer(name="b1x1", out_channels=16, kernel_size=1, inputs=("reduce",)),
+            ConvLayer(
+                name="b3x3", out_channels=32, kernel_size=3, padding=1, inputs=("reduce",)
+            ),
+            ConvLayer(name="b5red", out_channels=8, kernel_size=1, inputs=("reduce",)),
+            ConvLayer(name="b5x5", out_channels=16, kernel_size=5, padding=2),
+            FCLayer(
+                name="fc",
+                out_features=10,
+                activation=Activation.NONE,
+                inputs=("b1x1", "b3x3", "b5x5"),
+                merge=MergeOp.CONCAT,
+            ),
+        ],
+    )
+
+
 #: Ordered mapping from canonical model name to its builder.  The order
 #: matches the x-axis of Figures 6-8 and 12 of the paper.
 MODEL_BUILDERS: Dict[str, Callable[[], DNNModel]] = {
@@ -317,49 +425,86 @@ MODEL_BUILDERS: Dict[str, Callable[[], DNNModel]] = {
     "VGG-E": vgg_e,
 }
 
+#: The branching (DAG) additions to the zoo.  Kept separate from
+#: :data:`MODEL_BUILDERS` so the paper's figure reproductions (which iterate
+#: the ten chains) stay byte-identical; :func:`get_model` and the CLI model
+#: listing resolve both.
+GRAPH_MODEL_BUILDERS: Dict[str, Callable[[], DNNModel]] = {
+    "ResNet-S": resnet_s,
+    "Inception-S": inception_s,
+}
+
+def all_model_builders() -> Dict[str, Callable[[], DNNModel]]:
+    """Every builder, canonical chains first then the graph zoo.
+
+    Built per call from the live dicts, so downstream registration
+    (``MODEL_BUILDERS["MyNet"] = builder``) is visible to the model
+    listing and to :func:`get_model` alike.
+    """
+    return {**MODEL_BUILDERS, **GRAPH_MODEL_BUILDERS}
+
 #: Aliases accepted by :func:`get_model` in addition to the canonical names.
+#: Lookup normalizes case and strips ``-``/``_`` separators on both sides,
+#: so every spelling variant of an alias (``vgg-a``, ``vgg_a``, ``VGG_A``)
+#: resolves without listing each one.
 _ALIASES: Dict[str, str] = {
-    "sfc": "SFC",
-    "sconv": "SCONV",
     "lenet": "Lenet-c",
-    "lenet-c": "Lenet-c",
-    "lenet_c": "Lenet-c",
     "cifar": "Cifar-c",
-    "cifar-c": "Cifar-c",
-    "cifar_c": "Cifar-c",
-    "alexnet": "AlexNet",
-    "vgg-a": "VGG-A",
-    "vgg_a": "VGG-A",
     "vgg11": "VGG-A",
-    "vgg-b": "VGG-B",
-    "vgg_b": "VGG-B",
     "vgg13": "VGG-B",
-    "vgg-c": "VGG-C",
-    "vgg_c": "VGG-C",
-    "vgg-d": "VGG-D",
-    "vgg_d": "VGG-D",
     "vgg16": "VGG-D",
-    "vgg-e": "VGG-E",
-    "vgg_e": "VGG-E",
     "vgg19": "VGG-E",
+    "resnet": "ResNet-S",
+    "inception": "Inception-S",
 }
 
 
+def _normalize_model_name(name: str) -> str:
+    """Case-fold and strip the ``-``/``_`` separators of a model name."""
+    return name.strip().lower().replace("-", "").replace("_", "")
+
+
+def _normalized_lookup(builders: Dict[str, Callable[[], DNNModel]]) -> Dict[str, str]:
+    # Built per call (cheap: ~20 short-string normalizations) so live
+    # registration stays visible; see :func:`all_model_builders`.
+    lookup: Dict[str, str] = {}
+    for canonical in builders:
+        lookup[_normalize_model_name(canonical)] = canonical
+    for alias, canonical in _ALIASES.items():
+        lookup.setdefault(_normalize_model_name(alias), canonical)
+    return lookup
+
+
 def get_model(name: str) -> DNNModel:
-    """Return one of the ten evaluation networks by (case-insensitive) name.
+    """Return one of the evaluation networks by (case-insensitive) name.
+
+    Lookup is tolerant of ``-`` versus ``_`` separators (``vgg-a``,
+    ``vgg_a`` and ``VGG_A`` all resolve to ``VGG-A``) and accepts the
+    aliases of :data:`_ALIASES` (``lenet``, ``vgg16``, ``resnet``, ...).
 
     Raises
     ------
     KeyError
-        If the name is not one of the known models or aliases.
+        If the name is not one of the known models or aliases; the message
+        lists both the canonical names and the accepted aliases.
     """
-    canonical = name if name in MODEL_BUILDERS else _ALIASES.get(name.lower())
-    if canonical is None or canonical not in MODEL_BUILDERS:
-        known = ", ".join(MODEL_BUILDERS)
-        raise KeyError(f"unknown model {name!r}; known models: {known}")
-    return MODEL_BUILDERS[canonical]()
+    builders = all_model_builders()
+    canonical = _normalized_lookup(builders).get(_normalize_model_name(name))
+    if canonical is None:
+        known = ", ".join(builders)
+        aliases = ", ".join(sorted(_ALIASES))
+        raise KeyError(
+            f"unknown model {name!r}; known models: {known}; "
+            f"aliases (separators '-'/'_' are interchangeable): {aliases}"
+        )
+    return builders[canonical]()
 
 
 def all_models() -> List[DNNModel]:
     """Build all ten evaluation networks, in the paper's reporting order."""
     return [builder() for builder in MODEL_BUILDERS.values()]
+
+
+def all_graph_models() -> List[DNNModel]:
+    """Build the branching-DAG zoo additions (``ResNet-S``, ``Inception-S``)."""
+    return [builder() for builder in GRAPH_MODEL_BUILDERS.values()]

@@ -32,6 +32,7 @@ import numpy as np
 
 from repro.nn.layers import Activation, ConvLayer, FCLayer
 from repro.nn.model import DNNModel, WeightedLayer
+from repro.nn.shapes import MergeOp
 
 
 class UnsupportedLayerError(ValueError):
@@ -215,8 +216,10 @@ class ReferenceNetwork:
 
     Only the features needed for the partitioned-execution validation are
     supported: convolutional layers without pooling, fully-connected layers,
-    and NONE / RELU activations.  Weights are initialised from a seeded RNG
-    so runs are reproducible.
+    and NONE / RELU activations.  The layer graph may be a DAG: layer
+    inputs are the merge of their predecessors' activations (``ADD`` /
+    ``CONCAT``) and backward errors join across the fan-out.  Weights are
+    initialised from a seeded RNG so runs are reproducible.
     """
 
     def __init__(self, model: DNNModel, seed: int = 0, dtype=np.float64) -> None:
@@ -298,14 +301,68 @@ class ReferenceNetwork:
         )
 
     # ------------------------------------------------------------------
+    # DAG plumbing: merging branch outputs and splitting branch errors.
+    # ------------------------------------------------------------------
+
+    def merge_inputs(self, index: int, branch_outputs: Sequence[np.ndarray]) -> np.ndarray:
+        """The merged input tensor of layer ``index`` from its branch outputs.
+
+        ``ADD`` sums the branches (in input order, so partitioned
+        executions reproduce the association exactly); ``CONCAT`` stacks
+        them along the channel (last) axis.  Single-input layers pass
+        through.
+        """
+        if len(branch_outputs) == 1:
+            return branch_outputs[0]
+        layer = self.model[index]
+        if layer.merge is MergeOp.ADD:
+            merged = branch_outputs[0]
+            for branch in branch_outputs[1:]:
+                merged = merged + branch
+            return merged
+        return np.concatenate(list(branch_outputs), axis=-1)
+
+    def split_input_error(
+        self, index: int, grad_input: np.ndarray
+    ) -> List[np.ndarray]:
+        """Per-branch error pieces of layer ``index``'s input gradient.
+
+        The inverse of :meth:`merge_inputs`: an ``ADD`` merge routes the
+        whole gradient to every branch, a ``CONCAT`` merge routes each
+        branch its channel slice.
+        """
+        layer = self.model[index]
+        if len(layer.inputs) == 1:
+            return [grad_input]
+        if layer.merge is MergeOp.ADD:
+            return [grad_input] * len(layer.inputs)
+        pieces: List[np.ndarray] = []
+        offset = 0
+        for source in layer.inputs:
+            channels = self.model[source].output_shape.channels
+            pieces.append(grad_input[..., offset : offset + channels])
+            offset += channels
+        return pieces
+
+    # ------------------------------------------------------------------
     # Whole-step execution.
     # ------------------------------------------------------------------
 
     def forward(self, x: np.ndarray) -> List[LayerState]:
-        """Run the forward pass, returning the cached per-layer state."""
+        """Run the forward pass, returning the cached per-layer state.
+
+        Layers execute in (topological) index order; a layer's input is
+        the merge of its predecessors' activations, or ``x`` for the
+        first layer.
+        """
         states: List[LayerState] = []
-        current = x
         for index, layer in enumerate(self.model):
+            if layer.inputs:
+                current = self.merge_inputs(
+                    index, [states[source].output for source in layer.inputs]
+                )
+            else:
+                current = x
             pre_activation = self.layer_forward(index, current, self.weights[index])
             output = activation_forward(pre_activation, layer.spec.activation)
             states.append(
@@ -316,14 +373,35 @@ class ReferenceNetwork:
                     output=output,
                 )
             )
-            current = output
         return states
 
     def backward(self, states: Sequence[LayerState], grad_output: np.ndarray) -> None:
-        """Run error backward and gradient computation, filling the states in place."""
-        grad = grad_output
-        for index in reversed(range(len(states))):
+        """Run error backward and gradient computation, filling the states in place.
+
+        The error at a layer's output is the sum (ascending consumer
+        order) of the pieces its consumers back-propagate -- the whole
+        input gradient across an ``ADD`` merge, the matching channel slice
+        across a ``CONCAT`` merge.  ``grad_output`` seeds the final layer
+        (the network's single sink).
+        """
+        num_layers = len(states)
+        for index in reversed(range(num_layers)):
             state = states[index]
+            consumers = self.model.consumers(index)
+            if not consumers:
+                grad = grad_output
+            else:
+                pieces = []
+                for destination in consumers:  # ascending; all already done
+                    position = self.model[destination].inputs.index(index)
+                    pieces.append(
+                        self.split_input_error(
+                            destination, states[destination].grad_input
+                        )[position]
+                    )
+                grad = pieces[0]
+                for piece in pieces[1:]:
+                    grad = grad + piece
             grad = activation_backward(
                 state.pre_activation, grad, state.layer.spec.activation
             )
@@ -331,7 +409,6 @@ class ReferenceNetwork:
             state.grad_input = self.layer_backward_input(
                 index, grad, self.weights[index], state.input
             )
-            grad = state.grad_input
 
     def training_step(
         self, x: np.ndarray, grad_output: np.ndarray

@@ -12,11 +12,43 @@ layer by layer.
 from __future__ import annotations
 
 import dataclasses
+import enum
 import math
 
 
 class ShapeError(ValueError):
     """Raised when a layer specification produces an invalid shape."""
+
+
+class MergeOp(enum.Enum):
+    """How a multi-input layer combines its predecessors' outputs.
+
+    ``ADD``
+        Element-wise sum (the residual merge of ResNet-style skip
+        connections).  Every predecessor must produce the same shape, and
+        the merged shape equals it.
+
+    ``CONCAT``
+        Channel concatenation (the multi-branch merge of Inception-style
+        blocks).  Predecessors must agree on the spatial dimensions; the
+        merged channel count is the sum of the branch channel counts.
+    """
+
+    ADD = "add"
+    CONCAT = "concat"
+
+    @classmethod
+    def parse(cls, value: "MergeOp | str") -> "MergeOp":
+        if isinstance(value, MergeOp):
+            return value
+        normalized = value.strip().lower()
+        for op in cls:
+            if op.value == normalized:
+                return op
+        raise ValueError(f"unknown merge op {value!r}")
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
 
 
 @dataclasses.dataclass(frozen=True)
@@ -129,3 +161,43 @@ def pool_output_shape(
         return int(out)
 
     return FeatureMapShape(_dim(in_shape.height), _dim(in_shape.width), in_shape.channels)
+
+
+def add_merge_shape(shapes: "list[FeatureMapShape] | tuple[FeatureMapShape, ...]") -> FeatureMapShape:
+    """Shape of an ``ADD`` (residual) merge: all branch shapes must agree."""
+    if not shapes:
+        raise ShapeError("a merge needs at least one input shape")
+    first = shapes[0]
+    for shape in shapes[1:]:
+        if shape != first:
+            raise ShapeError(
+                f"ADD merge requires identical branch shapes, got {first} and {shape}"
+            )
+    return first
+
+
+def concat_merge_shape(
+    shapes: "list[FeatureMapShape] | tuple[FeatureMapShape, ...]",
+) -> FeatureMapShape:
+    """Shape of a ``CONCAT`` (channel) merge: spatial dims agree, channels sum."""
+    if not shapes:
+        raise ShapeError("a merge needs at least one input shape")
+    first = shapes[0]
+    for shape in shapes[1:]:
+        if (shape.height, shape.width) != (first.height, first.width):
+            raise ShapeError(
+                f"CONCAT merge requires matching spatial dimensions, "
+                f"got {first} and {shape}"
+            )
+    return FeatureMapShape(
+        first.height, first.width, sum(shape.channels for shape in shapes)
+    )
+
+
+def merge_shape(
+    op: MergeOp, shapes: "list[FeatureMapShape] | tuple[FeatureMapShape, ...]"
+) -> FeatureMapShape:
+    """Shape produced by merging ``shapes`` with ``op`` (see :class:`MergeOp`)."""
+    if op is MergeOp.ADD:
+        return add_merge_shape(shapes)
+    return concat_merge_shape(shapes)

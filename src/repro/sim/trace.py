@@ -171,21 +171,31 @@ class TraceBuilder:
                 layer_tensor = tensors[index]
                 intra = comm.intra_layer_bytes(layer_tensor, choice)
                 intra_phase = strategy_spec(choice).intra_phase
-                if index == 0:
-                    inter_fwd = inter_bwd = 0.0
-                else:
-                    previous = level_assignment[index - 1]
-                    boundary = tensors[index - 1]
-                    inter_fwd = comm.inter_layer_forward_bytes(previous, choice, boundary)
-                    inter_bwd = comm.inter_layer_backward_bytes(previous, choice, boundary)
+                # One (forward, backward) re-layout per incoming DAG edge;
+                # a chain layer has the single boundary from its
+                # predecessor, a merge layer one per branch.
+                amounts = [(intra, intra_phase, "intra")]
+                for source in layer.inputs:
+                    previous = level_assignment[source]
+                    boundary = tensors[source]
+                    amounts.append(
+                        (
+                            comm.inter_layer_forward_bytes(previous, choice, boundary),
+                            "forward",
+                            "inter",
+                        )
+                    )
+                    amounts.append(
+                        (
+                            comm.inter_layer_backward_bytes(previous, choice, boundary),
+                            "backward",
+                            "inter",
+                        )
+                    )
 
                 for left, right, in pairs:
                     flows = list(zip(left, right))
-                    for amount, phase, kind in (
-                        (intra, intra_phase, "intra"),
-                        (inter_fwd, "forward", "inter"),
-                        (inter_bwd, "backward", "inter"),
-                    ):
+                    for amount, phase, kind in amounts:
                         if amount <= 0:
                             continue
                         # The pair-boundary amount already counts both

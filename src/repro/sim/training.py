@@ -12,8 +12,10 @@ weighted layer -- and schedules it with the discrete-event engine:
   *communication* tasks on the hierarchy-level link resources: model-parallel
   layers exchange output-feature partial sums during forward, data-parallel
   layers exchange gradients during the weight update, and inter-layer
-  re-layouts are charged at the layer boundaries they belong to
-  (feature-map share in forward, error share in backward);
+  re-layouts are charged per layer-DAG edge (feature-map share in forward,
+  error share in backward) -- the task graph carries the model's fan-out
+  and fan-in, so a merge layer's forward waits on every branch and a
+  branching layer's backward waits on every consumer's chain;
 * communication of the different hierarchy levels of one logical exchange is
   chained (a hierarchical reduction proceeds level by level), with each level
   running at the effective bandwidth its topology gives to a pair boundary.
@@ -318,6 +320,9 @@ class TrainingSimulator:
         # ------------------------------------------------------------------
 
         layers = list(model)
+        is_chain = model.is_chain
+        #: Consumers of every layer, ascending -- chain: [index + 1].
+        layer_consumers = [model.consumers(layer.index) for layer in layers]
         # A boundary adjacent to a pipeline (stage-local) layer at any level
         # carries micro-batched stage transfers; everything else keeps the
         # historical unsplit task graph.
@@ -332,18 +337,33 @@ class TrainingSimulator:
         else:
             layer_pipelined = [False] * len(layers)
 
-        def boundary_chunks(upper_layer_index: int) -> int:
-            """Micro-batch chunks of the boundary into ``upper_layer_index``."""
-            if (
-                layer_pipelined[upper_layer_index]
-                or layer_pipelined[upper_layer_index - 1]
-            ):
+        def edge_chunks(source: int, destination: int) -> int:
+            """Micro-batch chunks of the edge ``source -> destination``."""
+            if layer_pipelined[source] or layer_pipelined[destination]:
                 return self.num_microbatches
             return 1
 
-        previous: Task | None = None
+        def edge_task_name(prefix: str, source_layer, destination: int) -> str:
+            # Chains keep the historical single-name scheme (the source
+            # layer has at most one outgoing boundary); DAG fan-out needs
+            # the destination to keep task names unique.
+            if is_chain:
+                return f"{prefix}/{source_layer.name}"
+            return f"{prefix}/{source_layer.name}->{layers[destination].name}"
+
+        def input_position(destination: int, source: int) -> int:
+            """Position of ``source`` among ``destination``'s declared inputs."""
+            return layers[destination].inputs.index(source)
+
+        # Gate task of every forward edge: what the consumer's compute
+        # depends on (the source's intra tail, or its boundary re-layout
+        # when one is scheduled).
+        forward_edge_gate: dict[tuple[int, int], Task] = {}
+        tail: Task | None = None
         for layer in layers:
-            deps = () if previous is None else (previous,)
+            deps = tuple(
+                forward_edge_gate[(source, layer.index)] for source in layer.inputs
+            )
             macs = batch_size * layer.macs_per_sample
             words = batch_size * (
                 layer.input_shape.elements + layer.output_shape.elements
@@ -351,7 +371,7 @@ class TrainingSimulator:
             compute = add_compute(
                 f"forward/{layer.name}", layer, macs, words, "forward", deps
             )
-            tail: Task = compute
+            tail = compute
             if num_levels:
                 # Strategies whose intra exchange happens in forward (mp's
                 # output-feature partial-sum reduction) run it now.
@@ -364,30 +384,45 @@ class TrainingSimulator:
                 tail = add_communication(
                     f"forward-intra/{layer.name}", intra, "forward", layer.name, (compute,)
                 )
-                # Boundary re-layout of the feature map feeding the *next* layer.
-                if layer.index + 1 < len(layers):
+                # Boundary re-layout of the feature map crossing each
+                # outgoing edge (chain: the single next-layer boundary).
+                for destination in layer_consumers[layer.index]:
+                    position = input_position(destination, layer.index)
                     inter = [
-                        level_comm[level][layer.index + 1].inter_forward_bytes
+                        level_comm[level][destination].incoming[position][1]
                         for level in range(num_levels)
                     ]
-                    tail = add_communication(
-                        f"forward-inter/{layer.name}",
+                    gate = add_communication(
+                        edge_task_name("forward-inter", layer, destination),
                         inter,
                         "forward",
                         layer.name,
                         (tail,),
-                        chunks=boundary_chunks(layer.index + 1),
+                        chunks=edge_chunks(layer.index, destination),
                     )
-            previous = tail
+                    forward_edge_gate[(layer.index, destination)] = gate
+                    if is_chain:
+                        tail = gate
+            else:
+                for destination in layer_consumers[layer.index]:
+                    forward_edge_gate[(layer.index, destination)] = tail
 
         # ------------------------------------------------------------------
         # Backward pass (error backward + gradient computation + update),
-        # proceeding from the last layer towards the first.
+        # proceeding from the last layer towards the first.  A layer's
+        # backward waits for every consumer's backward chain (branch joins
+        # respect the fan-in), and its outgoing-edge error re-layouts are
+        # charged before its gradient computation, as on chains.
         # ------------------------------------------------------------------
 
-        previous_backward: Task | None = previous
+        forward_final: Task | None = tail
+        backward_final: dict[int, Task] = {}
         for layer in reversed(layers):
-            deps = (previous_backward,) if previous_backward is not None else ()
+            consumers = layer_consumers[layer.index]
+            if consumers:
+                deps = tuple(backward_final[destination] for destination in consumers)
+            else:
+                deps = (forward_final,) if forward_final is not None else ()
             macs = batch_size * layer.macs_per_sample
             backward_words = batch_size * (
                 layer.input_shape.elements + layer.output_shape.elements
@@ -397,19 +432,20 @@ class TrainingSimulator:
             )
             tail = backward
             if num_levels:
-                # Error re-layout at the boundary between this layer and the next.
-                if layer.index + 1 < len(layers):
+                # Error re-layout across each outgoing edge.
+                for destination in consumers:
+                    position = input_position(destination, layer.index)
                     inter = [
-                        level_comm[level][layer.index + 1].inter_backward_bytes
+                        level_comm[level][destination].incoming[position][2]
                         for level in range(num_levels)
                     ]
                     tail = add_communication(
-                        f"backward-inter/{layer.name}",
+                        edge_task_name("backward-inter", layer, destination),
                         inter,
                         "backward",
                         layer.name,
-                        (backward,),
-                        chunks=boundary_chunks(layer.index + 1),
+                        (tail,),
+                        chunks=edge_chunks(layer.index, destination),
                     )
 
             gradient_words = batch_size * (
@@ -436,7 +472,7 @@ class TrainingSimulator:
                 tail = add_communication(
                     f"gradient-intra/{layer.name}", intra, "gradient", layer.name, (gradient,)
                 )
-            previous_backward = tail
+            backward_final[layer.index] = tail
 
         schedule = engine.run()
 
@@ -507,31 +543,42 @@ class TrainingSimulator:
                 _LayerLevelComm(
                     parallelism=choice,
                     intra_bytes=intra,
-                    inter_forward_bytes=inter_fwd,
-                    inter_backward_bytes=inter_bwd,
+                    incoming=incoming,
                 )
-                for choice, intra, inter_fwd, inter_bwd in level_records
+                for choice, intra, incoming in level_records
             ]
             for level_records in cost_table.level_communication(assignment)
         ]
 
 
 class _LayerLevelComm:
-    """Communication of one layer at one hierarchy level (bytes per pair)."""
+    """Communication of one layer at one hierarchy level (bytes per pair).
 
-    __slots__ = ("parallelism", "intra_bytes", "inter_forward_bytes", "inter_backward_bytes")
+    ``incoming`` lists the layer's incoming-edge re-layouts as
+    ``(source_layer, forward_bytes, backward_bytes)`` tuples in input
+    order; a chain layer has at most one entry, a merge layer one per
+    branch.
+    """
+
+    __slots__ = ("parallelism", "intra_bytes", "incoming")
 
     def __init__(
         self,
         parallelism: Parallelism,
         intra_bytes: float,
-        inter_forward_bytes: float,
-        inter_backward_bytes: float,
+        incoming: tuple[tuple[int, float, float], ...],
     ) -> None:
         self.parallelism = parallelism
         self.intra_bytes = intra_bytes
-        self.inter_forward_bytes = inter_forward_bytes
-        self.inter_backward_bytes = inter_backward_bytes
+        self.incoming = incoming
+
+    @property
+    def inter_forward_bytes(self) -> float:
+        return sum(record[1] for record in self.incoming)
+
+    @property
+    def inter_backward_bytes(self) -> float:
+        return sum(record[2] for record in self.incoming)
 
     @property
     def inter_bytes(self) -> float:

@@ -340,3 +340,57 @@ class TestLazyBreakdown:
             assert [r.total_bytes for r in fast.breakdown] == [
                 r.total_bytes for r in slow.breakdown
             ]
+
+
+class TestDagBlockDynamicProgram:
+    """Deterministic pins of the cut-vertex DP's block machinery."""
+
+    def _skip_table(self, num_layers, strategies=None):
+        from repro.core.tensors import LayerTensors
+
+        rng = np.random.default_rng(7)
+        tensors = [
+            LayerTensors(
+                layer_index=index,
+                layer_name=f"layer{index}",
+                is_conv=bool(index % 2),
+                feature_in=float(rng.uniform(1, 1e7)),
+                feature_out=float(rng.uniform(1, 1e7)),
+                weight=float(rng.uniform(1, 1e7)),
+                macs=1.0,
+            )
+            for index in range(num_layers)
+        ]
+        # A chain plus one skip spanning the whole model: the only cut
+        # vertices are the endpoints, so the DP enumerates one big block.
+        edges = tuple((i, i + 1) for i in range(num_layers - 1)) + (
+            (0, num_layers - 1),
+        )
+        return CostTable.from_tensors(tensors, strategies=strategies, edges=edges)
+
+    def test_cut_vertices_of_skip_model(self):
+        table = self._skip_table(6)
+        assert table.cut_vertices() == [0, 5]
+        assert not table.is_chain
+
+    def test_single_block_spanning_multiple_chunks_matches_brute_force(self):
+        # 2^18 patterns = four DEFAULT_CHUNK_SIZE chunks through one block.
+        table = self._skip_table(18)
+        searched = table.dp_partition()
+        _, brute_total = table.argmin_assignment()
+        assert searched.communication_bytes == brute_total
+        assert table.total_bytes(searched.assignment) == searched.communication_bytes
+
+    def test_base_three_block_matches_brute_force(self):
+        table = self._skip_table(9, strategies="dp,mp,pp")
+        searched = table.dp_partition()
+        _, brute_total = table.argmin_assignment()
+        assert searched.communication_bytes == brute_total
+
+    def test_oversized_block_raises(self):
+        from repro.core.costs import DEFAULT_MAX_BLOCK_PATTERNS
+
+        table = self._skip_table(30)
+        assert 2 ** 30 > DEFAULT_MAX_BLOCK_PATTERNS
+        with pytest.raises(ValueError, match="branch interior"):
+            table.dp_partition()

@@ -128,3 +128,137 @@ class TestDNNModelAccessors:
         summary = _small_model().summary()
         for name in ("conv1", "conv2", "fc1", "fc2"):
             assert name in summary
+
+
+class TestDagModels:
+    def _residual_model(self):
+        from repro.nn.shapes import MergeOp
+
+        return build_model(
+            "residual",
+            (8, 8, 4),
+            [
+                ConvLayer(name="stem", out_channels=4, kernel_size=3, padding=1),
+                ConvLayer(name="body", out_channels=4, kernel_size=3, padding=1),
+                FCLayer(
+                    name="head",
+                    out_features=10,
+                    inputs=("stem", "body"),
+                    merge=MergeOp.ADD,
+                ),
+            ],
+        )
+
+    def test_chain_models_expose_chain_edges(self):
+        model = _small_model()
+        assert model.is_chain
+        assert model.edges == ((0, 1), (1, 2), (2, 3))
+        assert model.consumers(0) == (1,)
+        assert model.consumers(3) == ()
+        assert model[2].inputs == (1,)
+
+    def test_residual_edges_and_consumers(self):
+        model = self._residual_model()
+        assert not model.is_chain
+        assert model.edges == ((0, 1), (0, 2), (1, 2))
+        assert model.consumers(0) == (1, 2)
+        assert model[2].is_merge
+
+    def test_add_merge_shape_inference(self):
+        model = self._residual_model()
+        # ADD keeps the branch shape; the fc head flattens it.
+        assert model[2].input_shape == FeatureMapShape(1, 1, 8 * 8 * 4)
+        assert model[2].weight_count == 8 * 8 * 4 * 10
+
+    def test_concat_merge_shape_inference(self):
+        from repro.nn.shapes import MergeOp
+
+        model = build_model(
+            "branchy",
+            (8, 8, 4),
+            [
+                ConvLayer(name="stem", out_channels=4, kernel_size=3, padding=1),
+                ConvLayer(name="left", out_channels=6, kernel_size=1, inputs=("stem",)),
+                ConvLayer(name="right", out_channels=2, kernel_size=1, inputs=("stem",)),
+                ConvLayer(
+                    name="join",
+                    out_channels=3,
+                    kernel_size=1,
+                    inputs=("left", "right"),
+                    merge=MergeOp.CONCAT,
+                ),
+            ],
+        )
+        assert model[3].input_shape == FeatureMapShape(8, 8, 8)
+        assert model.edges == ((0, 1), (0, 2), (1, 3), (2, 3))
+
+    def test_unknown_input_name_raises(self):
+        with pytest.raises(ValueError, match="unknown or later layer"):
+            build_model(
+                "bad",
+                (8, 8, 4),
+                [
+                    ConvLayer(name="a", out_channels=4, kernel_size=3, padding=1),
+                    ConvLayer(
+                        name="b",
+                        out_channels=4,
+                        kernel_size=3,
+                        padding=1,
+                        inputs=("missing",),
+                    ),
+                ],
+            )
+
+    def test_mismatched_add_merge_raises(self):
+        from repro.nn.shapes import MergeOp
+
+        with pytest.raises(ShapeError):
+            build_model(
+                "bad-add",
+                (8, 8, 4),
+                [
+                    ConvLayer(name="a", out_channels=4, kernel_size=3, padding=1),
+                    ConvLayer(name="b", out_channels=8, kernel_size=3, padding=1),
+                    ConvLayer(
+                        name="c",
+                        out_channels=4,
+                        kernel_size=1,
+                        inputs=("a", "b"),
+                        merge=MergeOp.ADD,
+                    ),
+                ],
+            )
+
+    def test_dangling_layer_raises(self):
+        with pytest.raises(ShapeError, match="no consumer"):
+            build_model(
+                "dangling",
+                (8, 8, 4),
+                [
+                    ConvLayer(name="a", out_channels=4, kernel_size=3, padding=1),
+                    ConvLayer(name="b", out_channels=4, kernel_size=3, padding=1),
+                    ConvLayer(
+                        name="c",
+                        out_channels=4,
+                        kernel_size=3,
+                        padding=1,
+                        inputs=("a",),
+                    ),
+                ],
+            )
+
+    def test_first_layer_cannot_name_predecessors(self):
+        with pytest.raises(ValueError, match="first layer"):
+            build_model(
+                "bad-first",
+                (8, 8, 4),
+                [
+                    ConvLayer(
+                        name="a",
+                        out_channels=4,
+                        kernel_size=3,
+                        padding=1,
+                        inputs=("a",),
+                    ),
+                ],
+            )

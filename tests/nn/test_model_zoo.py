@@ -201,3 +201,100 @@ class TestGetModel:
     def test_unknown_name_raises_keyerror(self):
         with pytest.raises(KeyError, match="unknown model"):
             get_model("resnet-50")
+
+
+class TestGraphModelZoo:
+    def test_graph_builders_are_separate_from_the_paper_ten(self):
+        from repro.nn.model_zoo import GRAPH_MODEL_BUILDERS, all_model_builders
+
+        assert len(MODEL_BUILDERS) == 10
+        assert set(GRAPH_MODEL_BUILDERS) == {"ResNet-S", "Inception-S"}
+        assert len(all_model_builders()) == 12
+
+    def test_resnet_s_structure(self):
+        from repro.nn.model_zoo import resnet_s
+        from repro.nn.shapes import MergeOp
+
+        model = resnet_s()
+        assert not model.is_chain
+        assert model.num_weighted_layers == 10
+        merges = [layer for layer in model if layer.is_merge]
+        assert len(merges) == 3
+        assert all(layer.merge is MergeOp.ADD for layer in merges)
+        # Residual branches join tensors of identical shape.
+        for layer in merges:
+            shapes = {model[source].post_pool_shape for source in layer.inputs}
+            assert len(shapes) == 1
+
+    def test_inception_s_structure(self):
+        from repro.nn.model_zoo import inception_s
+        from repro.nn.shapes import MergeOp
+
+        model = inception_s()
+        assert not model.is_chain
+        assert model.num_weighted_layers == 11
+        merges = [layer for layer in model if layer.is_merge]
+        assert len(merges) == 2
+        assert all(layer.merge is MergeOp.CONCAT for layer in merges)
+        # Each merge concatenates three branches channel-wise.
+        assert all(len(layer.inputs) == 3 for layer in merges)
+
+    def test_graph_models_execute_in_reference_network(self):
+        """Pooling-free and NONE-classifier by design, so execution works."""
+        from repro.nn.model_zoo import all_graph_models
+        from repro.nn.reference import ReferenceNetwork
+
+        for model in all_graph_models():
+            network = ReferenceNetwork(model, seed=0)
+            states = network.training_step(
+                network.random_batch(2),
+                network.random_batch(2, seed=9).reshape(2, -1)[:, :10] * 0 + 1.0,
+            )
+            assert states[-1].output.shape == (2, 10)
+            assert all(state.grad_weight is not None for state in states)
+
+
+class TestAliasNormalization:
+    @pytest.mark.parametrize(
+        "alias,expected",
+        [
+            ("vgg-a", "VGG-A"),
+            ("vgg_a", "VGG-A"),
+            ("VGG_A", "VGG-A"),
+            ("vgga", "VGG-A"),
+            ("lenet-c", "Lenet-c"),
+            ("lenet_c", "Lenet-c"),
+            ("LENETC", "Lenet-c"),
+            ("resnet_s", "ResNet-S"),
+            ("resnet-s", "ResNet-S"),
+            ("ResNetS", "ResNet-S"),
+            ("resnet", "ResNet-S"),
+            ("inception_s", "Inception-S"),
+            ("inception", "Inception-S"),
+        ],
+    )
+    def test_separator_variants_resolve(self, alias, expected):
+        assert get_model(alias).name == expected
+
+    def test_error_message_lists_models_and_aliases(self):
+        with pytest.raises(KeyError) as excinfo:
+            get_model("resnet-50")
+        message = str(excinfo.value)
+        assert "known models" in message
+        assert "VGG-E" in message and "ResNet-S" in message
+        assert "aliases" in message
+        assert "vgg16" in message and "lenet" in message
+
+
+class TestLiveModelRegistration:
+    def test_registered_builders_resolve_immediately(self):
+        from repro.nn.model_zoo import MODEL_BUILDERS, lenet_c
+
+        MODEL_BUILDERS["TestNet-X"] = lenet_c
+        try:
+            assert get_model("TestNet-X").name == "Lenet-c"
+            assert get_model("testnet_x").name == "Lenet-c"
+        finally:
+            del MODEL_BUILDERS["TestNet-X"]
+        with pytest.raises(KeyError):
+            get_model("TestNet-X")

@@ -123,3 +123,50 @@ class TestPoolOutputShape:
     def test_rejects_negative_stride(self):
         with pytest.raises(ShapeError):
             pool_output_shape(FeatureMapShape(8, 8, 3), pool_size=2, stride=-1)
+
+
+class TestMergeShapes:
+    def test_add_merge_requires_identical_shapes(self):
+        from repro.nn.shapes import MergeOp, add_merge_shape, merge_shape
+
+        shape = FeatureMapShape(8, 8, 16)
+        assert add_merge_shape([shape, shape]) == shape
+        assert merge_shape(MergeOp.ADD, [shape, shape, shape]) == shape
+        with pytest.raises(ShapeError):
+            add_merge_shape([shape, FeatureMapShape(8, 8, 32)])
+
+    def test_concat_merge_sums_channels(self):
+        from repro.nn.shapes import MergeOp, concat_merge_shape, merge_shape
+
+        merged = concat_merge_shape(
+            [FeatureMapShape(8, 8, 16), FeatureMapShape(8, 8, 32)]
+        )
+        assert merged == FeatureMapShape(8, 8, 48)
+        assert merge_shape(
+            MergeOp.CONCAT, [FeatureMapShape(1, 1, 5), FeatureMapShape(1, 1, 7)]
+        ) == FeatureMapShape(1, 1, 12)
+
+    def test_concat_merge_requires_matching_spatial_dims(self):
+        from repro.nn.shapes import concat_merge_shape
+
+        with pytest.raises(ShapeError):
+            concat_merge_shape(
+                [FeatureMapShape(8, 8, 16), FeatureMapShape(4, 4, 16)]
+            )
+
+    def test_empty_merge_raises(self):
+        from repro.nn.shapes import add_merge_shape, concat_merge_shape
+
+        with pytest.raises(ShapeError):
+            add_merge_shape([])
+        with pytest.raises(ShapeError):
+            concat_merge_shape([])
+
+    def test_merge_op_parse(self):
+        from repro.nn.shapes import MergeOp
+
+        assert MergeOp.parse("add") is MergeOp.ADD
+        assert MergeOp.parse("CONCAT") is MergeOp.CONCAT
+        assert MergeOp.parse(MergeOp.ADD) is MergeOp.ADD
+        with pytest.raises(ValueError):
+            MergeOp.parse("stack")

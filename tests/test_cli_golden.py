@@ -9,6 +9,7 @@ up as a diff here.  Update the expected blocks deliberately when output
 changes are intended.
 """
 
+import json
 import textwrap
 
 from repro.cli import main
@@ -25,6 +26,109 @@ MODELS_GOLDEN = textwrap.dedent(
     VGG-C       16 weighted layers (13 conv, 3 fc), 133,625,536 weights
     VGG-D       16 weighted layers (13 conv, 3 fc), 138,344,128 weights
     VGG-E       19 weighted layers (16 conv, 3 fc), 143,652,544 weights
+    ResNet-S    10 weighted layers (9 conv, 1 fc), 161,200 weights, 12 edges (DAG)
+    Inception-S  11 weighted layers (10 conv, 1 fc), 676,016 weights, 14 edges (DAG)
+    """
+)
+
+RESNET_TABLE_GOLDEN = textwrap.dedent(
+    """\
+    Model 'ResNet-S': input [32x32x3]
+      [ 0] stem       conv        [32x32x3] ->       [32x32x16] weights=         432 macs/sample=       442,368
+      [ 1] res1a      conv       [32x32x16] ->       [32x32x16] weights=       2,304 macs/sample=     2,359,296
+      [ 2] res1b      conv       [32x32x16] ->       [32x32x16] weights=       2,304 macs/sample=     2,359,296
+      [ 3] down1      conv       [32x32x16] ->       [16x16x32] weights=       4,608 macs/sample=     1,179,648
+      [ 4] res2a      conv       [16x16x32] ->       [16x16x32] weights=       9,216 macs/sample=     2,359,296
+      [ 5] res2b      conv       [16x16x32] ->       [16x16x32] weights=       9,216 macs/sample=     2,359,296
+      [ 6] down2      conv       [16x16x32] ->         [8x8x64] weights=      18,432 macs/sample=     1,179,648
+      [ 7] res3a      conv         [8x8x64] ->         [8x8x64] weights=      36,864 macs/sample=     2,359,296
+      [ 8] res3b      conv         [8x8x64] ->         [8x8x64] weights=      36,864 macs/sample=     2,359,296
+      [ 9] fc         fc             [4096] ->             [10] weights=      40,960 macs/sample=        40,960
+      total: 10 weighted layers (9 conv, 1 fc), 161,200 weights
+      edges: 0->1 1->2 0->3 2->3 3->4 4->5 3->6 5->6 6->7 7->8 6->9 8->9
+    """
+)
+
+LENET_JSON_GOLDEN = textwrap.dedent(
+    """\
+    [
+      {
+        "name": "Lenet-c",
+        "input_shape": [
+          28,
+          28,
+          1
+        ],
+        "is_chain": true,
+        "layers": [
+          {
+            "index": 0,
+            "name": "conv1",
+            "type": "conv",
+            "input_shape": "[28x28x1]",
+            "output_shape": "[24x24x20]",
+            "weights": 500,
+            "macs_per_sample": 288000,
+            "inputs": [],
+            "merge": null
+          },
+          {
+            "index": 1,
+            "name": "conv2",
+            "type": "conv",
+            "input_shape": "[12x12x20]",
+            "output_shape": "[8x8x50]",
+            "weights": 25000,
+            "macs_per_sample": 1600000,
+            "inputs": [
+              0
+            ],
+            "merge": null
+          },
+          {
+            "index": 2,
+            "name": "fc1",
+            "type": "fc",
+            "input_shape": "[800]",
+            "output_shape": "[500]",
+            "weights": 400000,
+            "macs_per_sample": 400000,
+            "inputs": [
+              1
+            ],
+            "merge": null
+          },
+          {
+            "index": 3,
+            "name": "fc2",
+            "type": "fc",
+            "input_shape": "[500]",
+            "output_shape": "[10]",
+            "weights": 5000,
+            "macs_per_sample": 5000,
+            "inputs": [
+              2
+            ],
+            "merge": null
+          }
+        ],
+        "edges": [
+          [
+            0,
+            1
+          ],
+          [
+            1,
+            2
+          ],
+          [
+            2,
+            3
+          ]
+        ],
+        "total_weights": 430500
+      }
+    ]
     """
 )
 
@@ -62,6 +166,25 @@ class TestGoldenOutputs:
     def test_models_output_is_pinned(self, capsys):
         assert main(["models"]) == 0
         assert capsys.readouterr().out == MODELS_GOLDEN
+
+    def test_models_detail_table_is_pinned(self, capsys):
+        assert main(["models", "resnet_s"]) == 0
+        assert capsys.readouterr().out == RESNET_TABLE_GOLDEN
+
+    def test_models_json_is_pinned(self, capsys):
+        assert main(["models", "Lenet-c", "--format", "json"]) == 0
+        assert capsys.readouterr().out == LENET_JSON_GOLDEN
+
+    def test_models_json_carries_dag_edges(self, capsys):
+        assert main(["models", "inception_s", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        (model,) = payload
+        assert model["name"] == "Inception-S"
+        assert model["is_chain"] is False
+        assert [0, 1] in model["edges"] and [0, 3] in model["edges"]
+        merges = [layer for layer in model["layers"] if layer["merge"]]
+        assert [layer["merge"] for layer in merges] == ["concat", "concat"]
+        assert merges[0]["inputs"] == [1, 2, 4]
 
     def test_placement_output_is_pinned(self, capsys):
         assert main(["placement", "Lenet-c", "--accelerators", "4"]) == 0
