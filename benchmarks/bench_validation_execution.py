@@ -48,7 +48,7 @@ def test_partitioned_execution_validates_communication_model(benchmark):
         worst_comm_error = 0.0
         rows = []
         for bits in range(1 << len(model)):
-            assignment = LayerAssignment.from_bits(bits, len(model))
+            assignment = LayerAssignment.from_codes(bits, len(model))
             result = TwoGroupExecutor(network, assignment).run_step(x, grad_output)
             error = max(
                 float(np.max(np.abs(result.gradients[i] - reference[i].grad_weight)))

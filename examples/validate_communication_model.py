@@ -74,7 +74,7 @@ def main() -> int:
     worst_error = 0.0
     best = None
     for bits in range(1 << len(model)):
-        assignment = LayerAssignment.from_bits(bits, len(model))
+        assignment = LayerAssignment.from_codes(bits, len(model))
         result = TwoGroupExecutor(network, assignment).run_step(x, grad_output)
 
         max_error = max(

@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""Regenerate the golden study outputs pinned by tests/analysis/test_golden_studies.py.
+
+Usage::
+
+    PYTHONPATH=src python scripts/generate_study_goldens.py
+
+Writes ``tests/analysis/golden_studies.json``: the figure-level numbers of
+every `repro.analysis` study (Figures 6-13 plus the sensitivity sweeps) at
+full float precision.  The golden tests compare freshly computed studies
+against this file with exact equality, so any change to the cost model, the
+search, the simulator or the sweep engine that moves a figure output shows
+up as a diff.  Rerun this script only when an output change is intended,
+and say so in the commit message.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+from repro.analysis.experiments import ExperimentRunner  # noqa: E402
+from repro.analysis.exploration import ParallelismExplorer  # noqa: E402
+from repro.analysis.scalability import run_scalability_study  # noqa: E402
+from repro.analysis.sensitivity import (  # noqa: E402
+    batch_size_sensitivity,
+    link_bandwidth_sensitivity,
+    precision_sensitivity,
+)
+from repro.analysis.topology_study import run_topology_study  # noqa: E402
+from repro.analysis.trick_study import run_trick_study  # noqa: E402
+
+GOLDEN_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "tests",
+    "analysis",
+    "golden_studies.json",
+)
+
+
+def _exploration_payload(result) -> dict:
+    return {
+        "model_name": result.model_name,
+        "free_positions": [list(position) for position in result.free_positions],
+        "hypar_performance": result.hypar_performance,
+        "points": [
+            {"bits": point.bits, "normalized_performance": point.normalized_performance}
+            for point in result.points
+        ],
+        "peak_bits": result.peak.bits,
+        "hypar_is_peak": result.hypar_is_peak,
+    }
+
+
+def build_goldens() -> dict:
+    runner = ExperimentRunner()
+    evaluation = runner.run()
+    explorer = ParallelismExplorer()
+    scalability = run_scalability_study()
+    topology = run_topology_study()
+    trick = run_trick_study()
+
+    return {
+        "figures_6_to_8": {
+            "performance": evaluation.performance(),
+            "energy_efficiency": evaluation.energy_efficiency(),
+            "communication_gb": evaluation.communication(),
+            "formatted": evaluation.format(),
+        },
+        "figure_9_lenet": _exploration_payload(explorer.explore_lenet()),
+        "figure_10_vgg_a": _exploration_payload(explorer.explore_vgg_a()),
+        "figure_11_scalability": {
+            "model_name": scalability.model_name,
+            "single_accelerator_seconds": scalability.single_accelerator_seconds,
+            "rows": scalability.as_rows(),
+        },
+        "figure_12_topology": {
+            "rows": topology.as_rows(),
+            "gmean_htree": topology.gmean_htree(),
+            "gmean_torus": topology.gmean_torus(),
+        },
+        "figure_13_trick": {
+            "rows": trick.as_rows(),
+            "gmean_performance": trick.gmean_performance(),
+            "gmean_energy": trick.gmean_energy(),
+        },
+        "sensitivity_batch_size": {"rows": batch_size_sensitivity().as_rows()},
+        "sensitivity_link_bandwidth": {"rows": link_bandwidth_sensitivity().as_rows()},
+        "sensitivity_precision": {"rows": precision_sensitivity().as_rows()},
+    }
+
+
+def main() -> int:
+    goldens = build_goldens()
+    with open(GOLDEN_PATH, "w") as handle:
+        json.dump(goldens, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {GOLDEN_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -31,6 +31,8 @@ from repro.nn.model import DNNModel
 from repro.nn.model_zoo import all_models
 from repro.sim.metrics import TrainingStepReport
 from repro.sim.training import TrainingSimulator
+from repro.sweep.cache import runtime_cached, shared_table_cache
+from repro.sweep.engine import SweepEngine, owned_engine
 
 #: Strategy names as they appear in the paper's figures.
 MODEL_PARALLELISM = "Model Parallelism"
@@ -113,11 +115,59 @@ class EvaluationTable:
         return "\n\n".join(sections)
 
 
+@dataclasses.dataclass(frozen=True)
+class _RunnerConfig:
+    """Picklable recipe for rebuilding an :class:`ExperimentRunner` in a worker."""
+
+    array: ArrayConfig
+    batch_size: int
+    scaling_mode: ScalingMode
+    include_trick: bool
+    strategies: str
+    #: A custom topology object rides along verbatim (``None`` = the
+    #: default H tree); configs carrying one are not runtime-cached
+    #: because topologies hash by identity.
+    topology: Topology | None = None
+
+    def build(self) -> "ExperimentRunner":
+        return ExperimentRunner(
+            array=self.array,
+            topology=self.topology,
+            batch_size=self.batch_size,
+            scaling_mode=self.scaling_mode,
+            include_trick=self.include_trick,
+            strategies=self.strategies,
+        )
+
+
+def _runner_for(config: _RunnerConfig) -> "ExperimentRunner":
+    if config.topology is not None:
+        return config.build()
+    key = (
+        "experiment-runner",
+        config.array,
+        config.batch_size,
+        config.scaling_mode,
+        config.include_trick,
+        config.strategies,
+    )
+    return runtime_cached(key, config.build)
+
+
+def _compare_task(task: tuple[_RunnerConfig, DNNModel]) -> "ModelComparison":
+    """Sweep-engine task: one network's Figures 6-8 comparison."""
+    config, model = task
+    return _runner_for(config).compare(model)
+
+
 class ExperimentRunner:
     """Runs the partition search and the simulator for a set of strategies.
 
     Parameters mirror the paper's setup: a sixteen-accelerator H-tree array
     and a batch size of 256, all overridable for the sensitivity studies.
+    Cost tables compile into the process-shared
+    :func:`~repro.sweep.cache.shared_table_cache`, so every study touching
+    the same configuration reuses them.
     """
 
     def __init__(
@@ -130,6 +180,7 @@ class ExperimentRunner:
         strategies: "StrategySpace | str | None" = None,
     ) -> None:
         self.array = array or ArrayConfig()
+        self.topology = topology
         self.batch_size = batch_size
         self.scaling_mode = ScalingMode.parse(scaling_mode)
         self.include_trick = include_trick
@@ -138,6 +189,7 @@ class ExperimentRunner:
             topology,
             scaling_mode=self.scaling_mode,
             strategies=strategies,
+            table_cache=shared_table_cache(),
         )
         self.strategies = self.simulator.strategies
         self.partitioner = HierarchicalPartitioner(
@@ -145,6 +197,16 @@ class ExperimentRunner:
             communication_model=self.simulator.communication_model,
             scaling_mode=self.scaling_mode,
             strategies=self.strategies,
+        )
+
+    def _task_config(self) -> _RunnerConfig:
+        return _RunnerConfig(
+            array=self.array,
+            batch_size=self.batch_size,
+            scaling_mode=self.scaling_mode,
+            include_trick=self.include_trick,
+            strategies=self.strategies.describe(),
+            topology=self.topology,
         )
 
     # ------------------------------------------------------------------
@@ -196,7 +258,26 @@ class ExperimentRunner:
             model_name=model.name, reports=reports, hypar_result=hypar_result
         )
 
-    def run(self, models: Sequence[DNNModel] | None = None) -> EvaluationTable:
-        """Run the comparison for every network (defaults to the paper's ten)."""
+    def run(
+        self,
+        models: Sequence[DNNModel] | None = None,
+        engine: "SweepEngine | int | None" = None,
+    ) -> EvaluationTable:
+        """Run the comparison for every network (defaults to the paper's ten).
+
+        One sweep task per network: the grid maps through ``engine``
+        (serial by default), so ``engine=SweepEngine(workers=4)`` fans the
+        networks out across processes with byte-identical results.
+        """
         models = list(models) if models is not None else all_models()
-        return EvaluationTable(tuple(self.compare(model) for model in models))
+        with owned_engine(engine) as resolved:
+            if resolved.workers <= 1:
+                # In-process: use this runner directly instead of caching a
+                # duplicate of it in the process-global runtime cache.
+                comparisons = resolved.map(self.compare, models)
+            else:
+                config = self._task_config()
+                comparisons = resolved.map(
+                    _compare_task, [(config, model) for model in models]
+                )
+        return EvaluationTable(tuple(comparisons))

@@ -22,12 +22,20 @@ from typing import Sequence
 
 from repro.accelerator.array import ArrayConfig
 from repro.analysis.experiments import DATA_PARALLELISM, HYPAR, ExperimentRunner
-from repro.core.exhaustive import enumerate_restricted
+from repro.core.exhaustive import (
+    DEFAULT_MAX_CANDIDATES,
+    check_free_positions,
+    restricted_assignment,
+)
 from repro.core.hierarchical import DEFAULT_BATCH_SIZE
 from repro.core.parallelism import HierarchicalAssignment, Parallelism
 from repro.core.tensors import ScalingMode
 from repro.nn.model import DNNModel
 from repro.nn.model_zoo import lenet_c, vgg_a
+from repro.sim.metrics import TrainingStepReport
+from repro.sim.training import TrainingSimulator
+from repro.sweep.cache import runtime_cached, shared_table_cache
+from repro.sweep.engine import SweepEngine, owned_engine
 
 
 @dataclasses.dataclass(frozen=True)
@@ -67,8 +75,75 @@ class ExplorationResult:
         return max(0.0, 1.0 - self.hypar_performance / self.peak.normalized_performance)
 
 
+@dataclasses.dataclass(frozen=True)
+class _SweepContext:
+    """Shared, picklable state of one restricted sweep.
+
+    Every task of the sweep carries a reference to the same context;
+    pickling memoizes it, so a chunk shipped to a worker serializes the
+    model and base assignment once, not once per point.
+    """
+
+    array: ArrayConfig
+    batch_size: int
+    scaling_mode: ScalingMode
+    strategies: str
+    model: DNNModel
+    base_assignment: HierarchicalAssignment
+    free_positions: tuple[tuple[int, int], ...]
+    baseline_report: TrainingStepReport
+
+
+def _sweep_simulator(context: _SweepContext) -> TrainingSimulator:
+    key = (
+        "exploration-simulator",
+        context.array,
+        context.scaling_mode,
+        context.strategies,
+    )
+    return runtime_cached(
+        key,
+        lambda: TrainingSimulator(
+            context.array,
+            scaling_mode=context.scaling_mode,
+            strategies=context.strategies,
+            table_cache=shared_table_cache(),
+        ),
+    )
+
+
+def _sweep_point_task(task: tuple[_SweepContext, int]) -> float:
+    """Sweep-engine task: simulate one restricted-sweep candidate.
+
+    Returns the candidate's performance normalised to the context's Data
+    Parallelism baseline -- the z axis of the Figures 9/10 surfaces.
+    """
+    context, codes = task
+    simulator = _sweep_simulator(context)
+    cost_table = simulator.cost_table(context.model, context.batch_size)
+    assignment = restricted_assignment(
+        context.base_assignment,
+        context.free_positions,
+        codes,
+        simulator.strategies,
+    )
+    report = simulator.simulate(
+        context.model,
+        assignment,
+        context.batch_size,
+        strategy_name="sweep",
+        cost_table=cost_table,
+    )
+    return report.speedup_over(context.baseline_report)
+
+
 class ParallelismExplorer:
-    """Sweeps restricted slices of the hierarchical parallelism space."""
+    """Sweeps restricted slices of the hierarchical parallelism space.
+
+    ``engine`` (a :class:`~repro.sweep.engine.SweepEngine`, a worker count,
+    or ``None`` for serial) controls how the sweep's independent simulation
+    points are mapped; results are byte-identical for every engine.
+    """
 
     def __init__(
         self,
@@ -76,6 +151,7 @@ class ParallelismExplorer:
         batch_size: int = DEFAULT_BATCH_SIZE,
         scaling_mode: ScalingMode | str = ScalingMode.PARALLELISM_AWARE,
         strategies=None,
+        engine: "SweepEngine | int | None" = None,
     ) -> None:
         self.runner = ExperimentRunner(
             array=array,
@@ -84,6 +160,9 @@ class ParallelismExplorer:
             strategies=strategies,
         )
         self.batch_size = batch_size
+        #: Raw engine spec; resolved (and, for worker counts, closed)
+        #: per explore() call by ``owned_engine``.
+        self.engine = engine
 
     # ------------------------------------------------------------------
     # Generic restricted sweep.
@@ -99,6 +178,9 @@ class ParallelismExplorer:
         ``free_positions`` is a list of ``(level, layer)`` indices; every
         other position keeps HyPar's searched choice.  Performance of every
         point is simulated and normalised to the default Data Parallelism.
+        The points map through the sweep engine, one task per candidate;
+        each worker compiles the shared cost table once and gathers the
+        scale-descent tensor amounts from it for all its points.
         """
         hypar_result = self.runner.optimized_parallelism(model)
         base_assignment = hypar_result.assignment
@@ -107,41 +189,35 @@ class ParallelismExplorer:
         baseline_report = comparison.reports[DATA_PARALLELISM]
         hypar_performance = comparison.reports[HYPAR].speedup_over(baseline_report)
 
-        simulator = self.runner.simulator
-        # One compiled cost table serves every point of the sweep: the
-        # scale-descent tensor derivation happens once instead of once per
-        # level per candidate.
-        cost_table = simulator.cost_table(model, self.batch_size)
-
-        def evaluate(assignment: HierarchicalAssignment) -> float:
-            report = simulator.simulate(
-                model,
-                assignment,
-                self.batch_size,
-                strategy_name="sweep",
-                cost_table=cost_table,
-            )
-            return report.speedup_over(baseline_report)
-
-        raw = enumerate_restricted(
-            model,
-            self.batch_size,
-            base_assignment,
-            free_positions,
-            evaluate,
-            strategies=self.runner.strategies,
+        space = self.runner.strategies
+        free = list(free_positions)
+        check_free_positions(model, base_assignment, free, DEFAULT_MAX_CANDIDATES, space)
+        context = _SweepContext(
+            array=self.runner.array,
+            batch_size=self.batch_size,
+            scaling_mode=self.runner.scaling_mode,
+            strategies=space.describe(),
+            model=model,
+            base_assignment=base_assignment,
+            free_positions=tuple(free),
+            baseline_report=baseline_report,
         )
+        num_candidates = space.size ** len(free)
+        with owned_engine(self.engine) as engine:
+            performances = engine.map(
+                _sweep_point_task, [(context, codes) for codes in range(num_candidates)]
+            )
         points = tuple(
             ExplorationPoint(
-                assignment=assignment,
+                assignment=restricted_assignment(base_assignment, free, bits, space),
                 bits=bits,
                 normalized_performance=performance,
             )
-            for bits, (assignment, performance) in enumerate(raw)
+            for bits, performance in enumerate(performances)
         )
         return ExplorationResult(
             model_name=model.name,
-            free_positions=tuple(free_positions),
+            free_positions=tuple(free),
             points=points,
             hypar_assignment=base_assignment,
             hypar_performance=hypar_performance,

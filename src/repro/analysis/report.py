@@ -77,3 +77,25 @@ def format_series(title: str, xs: Sequence, ys: Sequence[float], digits: int = 3
     x_cells = "  ".join(f"{str(x):>10s}" for x in xs)
     y_cells = "  ".join(f"{format_value(y, digits):>10s}" for y in ys)
     return f"{title}\n  x: {x_cells}\n  y: {y_cells}"
+
+
+def write_study_artifacts(
+    name: str, rows: Sequence[Mapping], directory: str
+) -> dict[str, str]:
+    """Persist a study's flat rows as ``<name>.json`` + ``<name>.csv``.
+
+    Thin plumbing over :mod:`repro.sweep.artifacts`, so every study's
+    figure data leaves through the same deterministic writers the grid
+    runner uses (full float precision, stable column order) and the serial
+    and process-parallel runs stay byte-comparable on disk.
+    """
+    import os
+
+    from repro.sweep import artifacts
+
+    rows = list(rows)
+    json_path = os.path.join(directory, f"{name}.json")
+    csv_path = os.path.join(directory, f"{name}.csv")
+    artifacts.write_json(json_path, {"study": name, "rows": rows})
+    artifacts.write_csv(csv_path, rows)
+    return {"json": json_path, "csv": csv_path}

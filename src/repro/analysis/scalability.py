@@ -16,12 +16,15 @@ from typing import Sequence
 from repro.accelerator.array import ArrayConfig
 from repro.core.baselines import data_parallelism
 from repro.core.hierarchical import DEFAULT_BATCH_SIZE, HierarchicalPartitioner
+from repro.core.parallelism import StrategySpace
 from repro.core.tensors import ScalingMode
 from repro.interconnect import HTreeTopology
 from repro.nn.model import DNNModel
 from repro.nn.model_zoo import vgg_a
 from repro.sim.metrics import TrainingStepReport
 from repro.sim.training import TrainingSimulator
+from repro.sweep.cache import runtime_cached, shared_table_cache
+from repro.sweep.engine import SweepEngine, owned_engine
 
 #: The paper sweeps 1, 2, 4, ..., 64 accelerators.
 DEFAULT_ARRAY_SIZES = (1, 2, 4, 8, 16, 32, 64)
@@ -99,6 +102,80 @@ class ScalabilityStudy:
         return rows
 
 
+@dataclasses.dataclass(frozen=True)
+class _ScalabilityContext:
+    """Shared, picklable state of one Figure 11 sweep."""
+
+    base_array: ArrayConfig
+    batch_size: int
+    scaling_mode: ScalingMode
+    strategies: str | None
+    model: DNNModel
+
+
+def _size_simulator(context: _ScalabilityContext, size: int) -> TrainingSimulator:
+    def build() -> TrainingSimulator:
+        array = context.base_array.with_num_accelerators(size)
+        topology = (
+            HTreeTopology(size, array.link_bandwidth_bytes) if size > 1 else None
+        )
+        return TrainingSimulator(
+            array,
+            topology,
+            scaling_mode=context.scaling_mode,
+            strategies=context.strategies,
+            table_cache=shared_table_cache(),
+        )
+
+    key = (
+        "scalability-simulator",
+        context.base_array,
+        size,
+        context.scaling_mode,
+        context.strategies,
+    )
+    return runtime_cached(key, build)
+
+
+def _scalability_task(
+    task: tuple[_ScalabilityContext, int]
+) -> tuple[TrainingStepReport, TrainingStepReport]:
+    """Sweep-engine task: HyPar and Data Parallelism reports at one size."""
+    context, size = task
+    model = context.model
+    simulator = _size_simulator(context, size)
+    if size == 1:
+        report = simulator.simulate(
+            model, None, context.batch_size, strategy_name="single"
+        )
+        return report, report
+
+    array = simulator.array
+    partitioner = runtime_cached(
+        ("scalability-partitioner", size, context.scaling_mode, context.strategies),
+        lambda: HierarchicalPartitioner(
+            num_levels=array.num_levels,
+            scaling_mode=context.scaling_mode,
+            strategies=simulator.strategies,
+        ),
+    )
+    # Share one compiled cost table between the search and both
+    # strategies' simulations at this array size.
+    table = simulator.cost_table(model, context.batch_size)
+    hypar_assignment = partitioner.partition(
+        model, context.batch_size, table=table
+    ).assignment
+    dp_assignment = data_parallelism(model, array.num_levels)
+
+    hypar_report = simulator.simulate(
+        model, hypar_assignment, context.batch_size, "HyPar", cost_table=table
+    )
+    dp_report = simulator.simulate(
+        model, dp_assignment, context.batch_size, "Data Parallelism", cost_table=table
+    )
+    return hypar_report, dp_report
+
+
 def run_scalability_study(
     model: DNNModel | None = None,
     array_sizes: Sequence[int] = DEFAULT_ARRAY_SIZES,
@@ -106,10 +183,13 @@ def run_scalability_study(
     base_array: ArrayConfig | None = None,
     scaling_mode: ScalingMode | str = ScalingMode.PARALLELISM_AWARE,
     strategies=None,
+    engine: "SweepEngine | int | None" = None,
 ) -> ScalabilityStudy:
     """Sweep the array size for HyPar and Data Parallelism (Figure 11).
 
     ``model`` defaults to VGG-A, the network the paper uses for this study.
+    One sweep task per array size maps through ``engine`` (serial by
+    default, byte-identical for any worker count).
     """
     model = model or vgg_a()
     base_array = base_array or ArrayConfig()
@@ -117,42 +197,25 @@ def run_scalability_study(
     if sizes[0] < 1:
         raise ValueError("array sizes must be at least 1")
 
+    context = _ScalabilityContext(
+        base_array=base_array,
+        batch_size=batch_size,
+        scaling_mode=ScalingMode.parse(scaling_mode),
+        strategies=StrategySpace.parse(strategies).describe(),
+        model=model,
+    )
+    with owned_engine(engine) as resolved:
+        reports = resolved.map(_scalability_task, [(context, size) for size in sizes])
+
     hypar_points: list[ScalabilityPoint] = []
     dp_points: list[ScalabilityPoint] = []
     single_seconds: float | None = None
-
-    for size in sizes:
-        array = base_array.with_num_accelerators(size)
-        topology = (
-            HTreeTopology(size, array.link_bandwidth_bytes) if size > 1 else None
-        )
-        simulator = TrainingSimulator(
-            array, topology, scaling_mode=scaling_mode, strategies=strategies
-        )
+    for size, (hypar_report, dp_report) in zip(sizes, reports):
         if size == 1:
-            report = simulator.simulate(model, None, batch_size, strategy_name="single")
-            single_seconds = report.step_seconds
-            hypar_points.append(ScalabilityPoint(size, "HyPar", report))
-            dp_points.append(ScalabilityPoint(size, "Data Parallelism", report))
+            single_seconds = hypar_report.step_seconds
+            hypar_points.append(ScalabilityPoint(size, "HyPar", hypar_report))
+            dp_points.append(ScalabilityPoint(size, "Data Parallelism", dp_report))
             continue
-
-        partitioner = HierarchicalPartitioner(
-            num_levels=array.num_levels,
-            scaling_mode=scaling_mode,
-            strategies=simulator.strategies,
-        )
-        # Share one compiled cost table between the search and both
-        # strategies' simulations at this array size.
-        table = simulator.cost_table(model, batch_size)
-        hypar_assignment = partitioner.partition(model, batch_size, table=table).assignment
-        dp_assignment = data_parallelism(model, array.num_levels)
-
-        hypar_report = simulator.simulate(
-            model, hypar_assignment, batch_size, "HyPar", cost_table=table
-        )
-        dp_report = simulator.simulate(
-            model, dp_assignment, batch_size, "Data Parallelism", cost_table=table
-        )
         hypar_points.append(ScalabilityPoint(size, "HyPar", hypar_report))
         dp_points.append(ScalabilityPoint(size, "Data Parallelism", dp_report))
 

@@ -27,6 +27,8 @@ from repro.core.tensors import ScalingMode
 from repro.nn.model import DNNModel
 from repro.nn.model_zoo import vgg_a
 from repro.sim.training import TrainingSimulator
+from repro.sweep.cache import runtime_cached, shared_table_cache
+from repro.sweep.engine import SweepEngine, owned_engine
 
 #: Batch sizes spanning the "generalisation" (32) to "throughput" (4096)
 #: regimes discussed in Section 6.5.2.
@@ -85,15 +87,27 @@ def _compare(
     scaling_mode: ScalingMode | str,
     communication_model: CommunicationModel | None = None,
 ) -> SensitivityPoint:
-    partitioner = HierarchicalPartitioner(
-        num_levels=array.num_levels,
-        communication_model=communication_model,
-        scaling_mode=scaling_mode,
+    scaling_mode = ScalingMode.parse(scaling_mode)
+    comm_key = (communication_model or CommunicationModel()).cache_key
+    partitioner = runtime_cached(
+        ("sensitivity-partitioner", array.num_levels, scaling_mode, comm_key),
+        lambda: HierarchicalPartitioner(
+            num_levels=array.num_levels,
+            communication_model=communication_model,
+            scaling_mode=scaling_mode,
+        ),
     )
-    simulator = TrainingSimulator(
-        array, communication_model=communication_model, scaling_mode=scaling_mode
+    simulator = runtime_cached(
+        ("sensitivity-simulator", array, scaling_mode, comm_key),
+        lambda: TrainingSimulator(
+            array,
+            communication_model=communication_model,
+            scaling_mode=scaling_mode,
+            table_cache=shared_table_cache(),
+        ),
     )
-    # One compiled cost table serves the search and both simulations.
+    # One compiled cost table serves the search and both simulations (and,
+    # through the shared cache, any other study of the configuration).
     table = simulator.cost_table(model, batch_size)
     hypar_assignment = partitioner.partition(model, batch_size, table=table).assignment
     hypar = simulator.simulate(
@@ -115,22 +129,60 @@ def _compare(
     )
 
 
+@dataclasses.dataclass(frozen=True)
+class _SensitivityTask:
+    """One swept point: the ``_compare`` inputs plus the axis value."""
+
+    parameter: float
+    model: DNNModel
+    batch_size: int
+    array: ArrayConfig
+    scaling_mode: ScalingMode
+    communication_model: CommunicationModel | None = None
+
+
+def _sensitivity_task(task: _SensitivityTask) -> SensitivityPoint:
+    """Sweep-engine task: one HyPar-vs-Data-Parallelism comparison."""
+    point = _compare(
+        task.model,
+        task.batch_size,
+        task.array,
+        task.scaling_mode,
+        communication_model=task.communication_model,
+    )
+    return dataclasses.replace(point, parameter=task.parameter)
+
+
+def _run_sensitivity(
+    name: str,
+    model: DNNModel,
+    tasks: Sequence[_SensitivityTask],
+    engine: "SweepEngine | int | None",
+) -> SensitivityStudy:
+    with owned_engine(engine) as resolved:
+        points = resolved.map(_sensitivity_task, tasks)
+    return SensitivityStudy(name, model.name, tuple(points))
+
+
 def batch_size_sensitivity(
     model: DNNModel | None = None,
     batch_sizes: Sequence[int] = DEFAULT_BATCH_SIZES,
     array: ArrayConfig | None = None,
     scaling_mode: ScalingMode | str = ScalingMode.PARALLELISM_AWARE,
+    engine: "SweepEngine | int | None" = None,
 ) -> SensitivityStudy:
     """HyPar's advantage over Data Parallelism as the batch size varies."""
     model = model or vgg_a()
     array = array or ArrayConfig()
-    points = []
+    scaling_mode = ScalingMode.parse(scaling_mode)
     for batch_size in batch_sizes:
         if batch_size <= 0:
             raise ValueError(f"batch sizes must be positive, got {batch_size}")
-        point = _compare(model, batch_size, array, scaling_mode)
-        points.append(dataclasses.replace(point, parameter=float(batch_size)))
-    return SensitivityStudy("batch-size", model.name, tuple(points))
+    tasks = [
+        _SensitivityTask(float(batch_size), model, batch_size, array, scaling_mode)
+        for batch_size in batch_sizes
+    ]
+    return _run_sensitivity("batch-size", model, tasks, engine)
 
 
 def link_bandwidth_sensitivity(
@@ -138,17 +190,25 @@ def link_bandwidth_sensitivity(
     link_bandwidths_bits: Sequence[float] = DEFAULT_LINK_BANDWIDTHS,
     batch_size: int = 256,
     scaling_mode: ScalingMode | str = ScalingMode.PARALLELISM_AWARE,
+    engine: "SweepEngine | int | None" = None,
 ) -> SensitivityStudy:
     """HyPar's advantage over Data Parallelism as the links get faster."""
     model = model or vgg_a()
-    points = []
+    scaling_mode = ScalingMode.parse(scaling_mode)
     for bandwidth in link_bandwidths_bits:
         if bandwidth <= 0:
             raise ValueError(f"link bandwidths must be positive, got {bandwidth}")
-        array = ArrayConfig(link_bandwidth_bits=bandwidth)
-        point = _compare(model, batch_size, array, scaling_mode)
-        points.append(dataclasses.replace(point, parameter=float(bandwidth)))
-    return SensitivityStudy("link-bandwidth", model.name, tuple(points))
+    tasks = [
+        _SensitivityTask(
+            float(bandwidth),
+            model,
+            batch_size,
+            ArrayConfig(link_bandwidth_bits=bandwidth),
+            scaling_mode,
+        )
+        for bandwidth in link_bandwidths_bits
+    ]
+    return _run_sensitivity("link-bandwidth", model, tasks, engine)
 
 
 def precision_sensitivity(
@@ -157,15 +217,24 @@ def precision_sensitivity(
     batch_size: int = 256,
     array: ArrayConfig | None = None,
     scaling_mode: ScalingMode | str = ScalingMode.PARALLELISM_AWARE,
+    engine: "SweepEngine | int | None" = None,
 ) -> SensitivityStudy:
     """HyPar's advantage as the storage precision of tensors changes."""
     model = model or vgg_a()
     array = array or ArrayConfig()
-    points = []
+    scaling_mode = ScalingMode.parse(scaling_mode)
     for precision in bytes_per_element:
         if precision <= 0:
             raise ValueError(f"precision must be positive, got {precision}")
-        comm = CommunicationModel(bytes_per_element=precision)
-        point = _compare(model, batch_size, array, scaling_mode, communication_model=comm)
-        points.append(dataclasses.replace(point, parameter=float(precision)))
-    return SensitivityStudy("precision", model.name, tuple(points))
+    tasks = [
+        _SensitivityTask(
+            float(precision),
+            model,
+            batch_size,
+            array,
+            scaling_mode,
+            CommunicationModel(bytes_per_element=precision),
+        )
+        for precision in bytes_per_element
+    ]
+    return _run_sensitivity("precision", model, tasks, engine)

@@ -17,11 +17,14 @@ from repro.accelerator.array import ArrayConfig
 from repro.analysis.report import geometric_mean
 from repro.core.baselines import data_parallelism
 from repro.core.hierarchical import DEFAULT_BATCH_SIZE, HierarchicalPartitioner
+from repro.core.parallelism import StrategySpace
 from repro.core.tensors import ScalingMode
 from repro.interconnect import HTreeTopology, TorusTopology
 from repro.nn.model import DNNModel
 from repro.nn.model_zoo import all_models
 from repro.sim.training import TrainingSimulator
+from repro.sweep.cache import runtime_cached, shared_table_cache
+from repro.sweep.engine import SweepEngine, owned_engine
 
 
 @dataclasses.dataclass(frozen=True)
@@ -63,47 +66,100 @@ class TopologyStudy:
         ]
 
 
+@dataclasses.dataclass(frozen=True)
+class _TopologyContext:
+    """Shared, picklable state of one Figure 12 sweep."""
+
+    array: ArrayConfig
+    batch_size: int
+    scaling_mode: ScalingMode
+    strategies: str | None
+
+
+def _topology_simulators(
+    context: _TopologyContext,
+) -> tuple[TrainingSimulator, TrainingSimulator, HierarchicalPartitioner]:
+    array = context.array
+
+    def build() -> tuple:
+        htree = HTreeTopology(array.num_accelerators, array.link_bandwidth_bytes)
+        torus = TorusTopology(array.num_accelerators, array.link_bandwidth_bytes)
+        htree_simulator = TrainingSimulator(
+            array,
+            htree,
+            scaling_mode=context.scaling_mode,
+            strategies=context.strategies,
+            table_cache=shared_table_cache(),
+        )
+        torus_simulator = TrainingSimulator(
+            array,
+            torus,
+            scaling_mode=context.scaling_mode,
+            strategies=context.strategies,
+            table_cache=shared_table_cache(),
+        )
+        partitioner = HierarchicalPartitioner(
+            num_levels=array.num_levels,
+            scaling_mode=context.scaling_mode,
+            strategies=htree_simulator.strategies,
+        )
+        return htree_simulator, torus_simulator, partitioner
+
+    key = ("topology-study", array, context.scaling_mode, context.strategies)
+    return runtime_cached(key, build)
+
+
+def _topology_task(task: tuple[_TopologyContext, DNNModel]) -> TopologyComparison:
+    """Sweep-engine task: one network on both interconnects."""
+    context, model = task
+    htree_simulator, torus_simulator, partitioner = _topology_simulators(context)
+    batch_size = context.batch_size
+
+    # One table serves the search and all three simulations: the compiled
+    # amounts depend on the model and batch, not on the interconnect.
+    table = htree_simulator.cost_table(model, batch_size)
+    hypar_assignment = partitioner.partition(model, batch_size, table=table).assignment
+    dp_assignment = data_parallelism(model, context.array.num_levels)
+
+    baseline = htree_simulator.simulate(
+        model, dp_assignment, batch_size, "Data Parallelism", cost_table=table
+    )
+    on_htree = htree_simulator.simulate(
+        model, hypar_assignment, batch_size, "HyPar", cost_table=table
+    )
+    on_torus = torus_simulator.simulate(
+        model, hypar_assignment, batch_size, "HyPar", cost_table=table
+    )
+
+    return TopologyComparison(
+        model_name=model.name,
+        htree_performance=on_htree.speedup_over(baseline),
+        torus_performance=on_torus.speedup_over(baseline),
+    )
+
+
 def run_topology_study(
     models: Sequence[DNNModel] | None = None,
     array: ArrayConfig | None = None,
     batch_size: int = DEFAULT_BATCH_SIZE,
     scaling_mode: ScalingMode | str = ScalingMode.PARALLELISM_AWARE,
     strategies=None,
+    engine: "SweepEngine | int | None" = None,
 ) -> TopologyStudy:
-    """Compare HyPar on the H tree and on the torus (Figure 12)."""
+    """Compare HyPar on the H tree and on the torus (Figure 12).
+
+    One sweep task per network maps through ``engine`` (serial by default,
+    byte-identical for any worker count).
+    """
     models = list(models) if models is not None else all_models()
-    array = array or ArrayConfig()
-    htree = HTreeTopology(array.num_accelerators, array.link_bandwidth_bytes)
-    torus = TorusTopology(array.num_accelerators, array.link_bandwidth_bytes)
-
-    htree_simulator = TrainingSimulator(
-        array, htree, scaling_mode=scaling_mode, strategies=strategies
+    context = _TopologyContext(
+        array=array or ArrayConfig(),
+        batch_size=batch_size,
+        scaling_mode=ScalingMode.parse(scaling_mode),
+        strategies=StrategySpace.parse(strategies).describe(),
     )
-    torus_simulator = TrainingSimulator(
-        array, torus, scaling_mode=scaling_mode, strategies=strategies
-    )
-    partitioner = HierarchicalPartitioner(
-        num_levels=array.num_levels,
-        scaling_mode=scaling_mode,
-        strategies=htree_simulator.strategies,
-    )
-
-    comparisons = []
-    for model in models:
-        hypar_assignment = partitioner.partition(model, batch_size).assignment
-        dp_assignment = data_parallelism(model, array.num_levels)
-
-        baseline = htree_simulator.simulate(
-            model, dp_assignment, batch_size, "Data Parallelism"
-        )
-        on_htree = htree_simulator.simulate(model, hypar_assignment, batch_size, "HyPar")
-        on_torus = torus_simulator.simulate(model, hypar_assignment, batch_size, "HyPar")
-
-        comparisons.append(
-            TopologyComparison(
-                model_name=model.name,
-                htree_performance=on_htree.speedup_over(baseline),
-                torus_performance=on_torus.speedup_over(baseline),
-            )
+    with owned_engine(engine) as resolved:
+        comparisons = resolved.map(
+            _topology_task, [(context, model) for model in models]
         )
     return TopologyStudy(tuple(comparisons))

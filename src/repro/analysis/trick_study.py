@@ -30,11 +30,14 @@ from repro.accelerator.array import ArrayConfig
 from repro.analysis.report import geometric_mean
 from repro.core.baselines import one_weird_trick
 from repro.core.hierarchical import HierarchicalPartitioner
+from repro.core.parallelism import StrategySpace
 from repro.core.tensors import ScalingMode
 from repro.interconnect import HTreeTopology
 from repro.nn.model import DNNModel, build_model
 from repro.nn.model_zoo import vgg_e
 from repro.sim.training import TrainingSimulator
+from repro.sweep.cache import runtime_cached, shared_table_cache
+from repro.sweep.engine import SweepEngine, owned_engine
 
 #: The six configurations shown in Figure 13.
 DEFAULT_CONFIGS = (
@@ -109,49 +112,87 @@ def focus_subnetwork(model: DNNModel, focus_layer_name: str) -> DNNModel:
     )
 
 
+@dataclasses.dataclass(frozen=True)
+class _TrickContext:
+    """Shared, picklable state of one Figure 13 sweep."""
+
+    base_array: ArrayConfig
+    scaling_mode: ScalingMode
+    strategies: str | None
+    model: DNNModel
+
+
+def _trick_task(task: tuple[_TrickContext, tuple[str, int, int]]) -> TrickComparison:
+    """Sweep-engine task: one ``<focus layer>-b<batch>-h<levels>`` configuration."""
+    context, (focus, batch_size, num_levels) = task
+    subnetwork = focus_subnetwork(context.model, FOCUS_LAYERS[focus])
+    array = context.base_array.with_num_accelerators(1 << num_levels)
+
+    def build() -> tuple[TrainingSimulator, HierarchicalPartitioner]:
+        topology = HTreeTopology(array.num_accelerators, array.link_bandwidth_bytes)
+        simulator = TrainingSimulator(
+            array,
+            topology,
+            scaling_mode=context.scaling_mode,
+            strategies=context.strategies,
+            table_cache=shared_table_cache(),
+        )
+        partitioner = HierarchicalPartitioner(
+            num_levels=num_levels,
+            scaling_mode=context.scaling_mode,
+            strategies=simulator.strategies,
+        )
+        return simulator, partitioner
+
+    simulator, partitioner = runtime_cached(
+        ("trick-study", array, context.scaling_mode, context.strategies), build
+    )
+
+    table = simulator.cost_table(subnetwork, batch_size)
+    hypar_assignment = partitioner.partition(subnetwork, batch_size, table=table).assignment
+    trick_assignment = one_weird_trick(subnetwork, num_levels)
+
+    hypar_report = simulator.simulate(
+        subnetwork, hypar_assignment, batch_size, "HyPar", cost_table=table
+    )
+    trick_report = simulator.simulate(
+        subnetwork, trick_assignment, batch_size, "One Weird Trick", cost_table=table
+    )
+
+    return TrickComparison(
+        label=f"{focus}-b{batch_size}-h{num_levels}",
+        focus_layer=FOCUS_LAYERS[focus],
+        batch_size=batch_size,
+        num_levels=num_levels,
+        performance_ratio=hypar_report.speedup_over(trick_report),
+        energy_ratio=hypar_report.energy_efficiency_over(trick_report),
+    )
+
+
 def run_trick_study(
     configs: Sequence[tuple[str, int, int]] = DEFAULT_CONFIGS,
     base_array: ArrayConfig | None = None,
     scaling_mode: ScalingMode | str = ScalingMode.PARALLELISM_AWARE,
     strategies=None,
+    engine: "SweepEngine | int | None" = None,
 ) -> TrickStudy:
-    """Compare HyPar with "one weird trick" over the Figure 13 configurations."""
-    base_array = base_array or ArrayConfig()
-    model = vgg_e()
+    """Compare HyPar with "one weird trick" over the Figure 13 configurations.
 
-    comparisons = []
-    for focus, batch_size, num_levels in configs:
+    One sweep task per configuration maps through ``engine`` (serial by
+    default, byte-identical for any worker count).
+    """
+    for focus, _, _ in configs:
         if focus not in FOCUS_LAYERS:
             known = ", ".join(sorted(FOCUS_LAYERS))
             raise KeyError(f"unknown focus layer {focus!r}; known: {known}")
-        subnetwork = focus_subnetwork(model, FOCUS_LAYERS[focus])
-        array = base_array.with_num_accelerators(1 << num_levels)
-        topology = HTreeTopology(array.num_accelerators, array.link_bandwidth_bytes)
-        simulator = TrainingSimulator(
-            array, topology, scaling_mode=scaling_mode, strategies=strategies
-        )
-        partitioner = HierarchicalPartitioner(
-            num_levels=num_levels,
-            scaling_mode=scaling_mode,
-            strategies=simulator.strategies,
-        )
-
-        hypar_assignment = partitioner.partition(subnetwork, batch_size).assignment
-        trick_assignment = one_weird_trick(subnetwork, num_levels)
-
-        hypar_report = simulator.simulate(subnetwork, hypar_assignment, batch_size, "HyPar")
-        trick_report = simulator.simulate(
-            subnetwork, trick_assignment, batch_size, "One Weird Trick"
-        )
-
-        comparisons.append(
-            TrickComparison(
-                label=f"{focus}-b{batch_size}-h{num_levels}",
-                focus_layer=FOCUS_LAYERS[focus],
-                batch_size=batch_size,
-                num_levels=num_levels,
-                performance_ratio=hypar_report.speedup_over(trick_report),
-                energy_ratio=hypar_report.energy_efficiency_over(trick_report),
-            )
+    context = _TrickContext(
+        base_array=base_array or ArrayConfig(),
+        scaling_mode=ScalingMode.parse(scaling_mode),
+        strategies=StrategySpace.parse(strategies).describe(),
+        model=vgg_e(),
+    )
+    with owned_engine(engine) as resolved:
+        comparisons = resolved.map(
+            _trick_task, [(context, tuple(config)) for config in configs]
         )
     return TrickStudy(tuple(comparisons))

@@ -37,6 +37,13 @@ Installed as the ``hypar`` console script (also runnable with
 ``hypar strategies``
     List the registered per-layer parallelism strategies.
 
+``hypar sweep <spec.json|preset>``
+    Run a declarative sweep grid (models x strategy spaces x topologies x
+    scaling modes x batch sizes x array sizes) through the shared sweep
+    engine.  ``--workers N`` fans the points out over N worker processes
+    (byte-identical to the serial run); ``--out DIR`` writes the JSON/CSV
+    artifacts.  ``hypar sweep --list`` names the built-in presets.
+
 Most sub-commands accept ``--strategies dp,mp,pp`` to widen the per-layer
 search axis beyond the paper's binary dp/mp choice (the default, which
 reproduces the paper exactly).
@@ -205,6 +212,15 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _write_study_rows(args: argparse.Namespace, name: str, rows) -> None:
+    """Honour a study command's ``--out DIR`` via the shared writers."""
+    if getattr(args, "out", None):
+        from repro.analysis.report import write_study_artifacts
+
+        paths = write_study_artifacts(name, rows, args.out)
+        print(f"artifacts: {paths['json']} {paths['csv']}")
+
+
 def _cmd_scalability(args: argparse.Namespace) -> int:
     model = get_model(args.model)
     sizes = [int(size) for size in args.sizes.split(",")]
@@ -244,6 +260,7 @@ def _cmd_scalability(args: argparse.Namespace) -> int:
             [row["dp_comm_gb"] for row in rows],
         )
     )
+    _write_study_rows(args, "scalability", rows)
     return 0
 
 
@@ -267,6 +284,7 @@ def _cmd_topology(args: argparse.Namespace) -> int:
             ["Torus", "H Tree"],
         )
     )
+    _write_study_rows(args, "topology", study.as_rows())
     return 0
 
 
@@ -288,6 +306,44 @@ def _cmd_trick(args: argparse.Namespace) -> int:
             ["Performance", "Energy Efficiency"],
         )
     )
+    _write_study_rows(args, "trick", study.as_rows())
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.sweep import HYPAR, PRESETS, SweepEngine, load_spec, run_sweep
+
+    if args.list:
+        print("sweep presets:")
+        for name in sorted(PRESETS):
+            print(f"  {name:<8s} {PRESETS[name].describe()}")
+        return 0
+    if not args.spec:
+        print("error: a spec (preset name or .json path) is required", file=sys.stderr)
+        return 2
+
+    spec = load_spec(args.spec)
+    print(spec.describe())
+    with SweepEngine(workers=args.workers) as engine:
+        result = run_sweep(spec, engine=engine)
+
+    header = f"{'point':<52s} {'speedup':>9s} {'energy':>9s} {'comm GB':>9s}"
+    print(header)
+    for record in result.records:
+        if len(record.metrics) > 1:
+            speedup = f"{record.speedup():9.3f}"
+            energy = f"{record.energy_efficiency():9.3f}"
+            comm = f"{record.metrics[HYPAR].communication_gb:9.3f}"
+        else:
+            metrics = next(iter(record.metrics.values()))
+            speedup = f"{'-':>9s}"
+            energy = f"{'-':>9s}"
+            comm = f"{metrics.communication_gb:9.3f}"
+        print(f"{record.point.label():<52s} {speedup} {energy} {comm}")
+
+    if args.out:
+        paths = result.write_artifacts(args.out)
+        print(f"artifacts: {paths['json']} {paths['csv']}")
     return 0
 
 
@@ -388,6 +444,9 @@ def build_parser() -> argparse.ArgumentParser:
     scalability_parser.add_argument(
         "--sizes", default="1,2,4,8,16,32,64", help="comma-separated accelerator counts"
     )
+    scalability_parser.add_argument(
+        "--out", metavar="DIR", help="write the study rows as JSON/CSV artifacts"
+    )
     _add_common_options(scalability_parser)
     scalability_parser.set_defaults(handler=_cmd_scalability)
 
@@ -395,14 +454,47 @@ def build_parser() -> argparse.ArgumentParser:
         "topology", help="compare H-tree and torus interconnects (Figure 12)"
     )
     topology_parser.add_argument("models", nargs="*")
+    topology_parser.add_argument(
+        "--out", metavar="DIR", help="write the study rows as JSON/CSV artifacts"
+    )
     _add_common_options(topology_parser)
     topology_parser.set_defaults(handler=_cmd_topology)
 
     trick_parser = subparsers.add_parser(
         "trick", help='compare HyPar with "one weird trick" (Figure 13)'
     )
+    trick_parser.add_argument(
+        "--out", metavar="DIR", help="write the study rows as JSON/CSV artifacts"
+    )
     _add_common_options(trick_parser)
     trick_parser.set_defaults(handler=_cmd_trick)
+
+    sweep_parser = subparsers.add_parser(
+        "sweep",
+        help="run a declarative sweep grid (spec JSON or preset) through the "
+        "cached, optionally process-parallel engine",
+    )
+    sweep_parser.add_argument(
+        "spec",
+        nargs="?",
+        help="preset name (see --list) or path to a sweep spec .json",
+    )
+    sweep_parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes (default: %(default)s, i.e. serial; results "
+        "are byte-identical for any worker count)",
+    )
+    sweep_parser.add_argument(
+        "--out",
+        metavar="DIR",
+        help="directory to write the <spec>.json / <spec>.csv artifacts to",
+    )
+    sweep_parser.add_argument(
+        "--list", action="store_true", help="list the built-in sweep presets"
+    )
+    sweep_parser.set_defaults(handler=_cmd_sweep)
 
     placement_parser = subparsers.add_parser(
         "placement", help="show per-accelerator tensor shards and memory footprints"

@@ -91,6 +91,16 @@ class CommunicationModel:
             and self.pair_factor == other.pair_factor
         )
 
+    @property
+    def cache_key(self) -> tuple[int, int]:
+        """Hashable identity of this model's cost parameters.
+
+        Two instances with equal keys satisfy :meth:`same_costs`, so cache
+        entries keyed by it are freely shared across instances (and across
+        sweep worker processes).
+        """
+        return (self.bytes_per_element, self.pair_factor)
+
     # ------------------------------------------------------------------
     # Element-count primitives (Table 1 and Table 2).
     # ------------------------------------------------------------------

@@ -66,6 +66,7 @@ from __future__ import annotations
 
 import dataclasses
 import functools
+import warnings
 from typing import Iterator, Sequence
 
 import numpy as np
@@ -103,6 +104,21 @@ _MAX_PACKED_SPACE = 1 << 62
 #: handful of layers, and hitting this limit means the model's branch
 #: structure has no small cut decomposition.
 DEFAULT_MAX_BLOCK_PATTERNS = 1 << 28
+
+
+def _warn_bits_shim(old: str, new: str) -> None:
+    """Deprecation warning shared by the historical K=2 bit-encoding shims.
+
+    ``stacklevel=3`` points the warning at the shim's *caller* (helper →
+    shim → caller), matching the ``stacklevel=2`` a direct ``warnings.warn``
+    inside the shim would use.
+    """
+    warnings.warn(
+        f"{old} is deprecated; use {new} (bit-exact for the default "
+        "dp/mp space)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 def _sequential_row_sum(per_layer: np.ndarray) -> np.ndarray:
@@ -539,6 +555,7 @@ class CostTable:
         For the default dp/mp space the base-2 digit encoding is the bit
         encoding, so the two are interchangeable (and bit-exact).
         """
+        _warn_bits_shim("CostTable.score_bits", "CostTable.score_codes")
         return self.score_codes(bits)
 
     def _score_chunk(self, codes: np.ndarray) -> np.ndarray:
@@ -585,8 +602,10 @@ class CostTable:
             stop = min(start + chunk_size, self.num_assignments)
             yield np.arange(start, stop, dtype=np.int64)
 
-    #: Deprecated alias kept for the historical bit-encoding name.
-    iter_all_bits = iter_all_codes
+    def iter_all_bits(self, chunk_size: int = DEFAULT_CHUNK_SIZE) -> Iterator[np.ndarray]:
+        """Deprecated shim: the historical name of :meth:`iter_all_codes`."""
+        _warn_bits_shim("CostTable.iter_all_bits", "CostTable.iter_all_codes")
+        return self.iter_all_codes(chunk_size)
 
     def argmin_assignment(self) -> tuple[int, float]:
         """Brute-force optimum over all ``K**L`` assignments.
@@ -643,8 +662,10 @@ class CostTable:
         total = float(self.score_codes(np.array([codes], dtype=np.int64))[0])
         return self.lazy_result(assignment, total)
 
-    #: Deprecated alias kept for the historical bit-encoding name.
-    result_for_bits = result_for_codes
+    def result_for_bits(self, codes: int) -> PartitionResult:
+        """Deprecated shim: the historical name of :meth:`result_for_codes`."""
+        _warn_bits_shim("CostTable.result_for_bits", "CostTable.result_for_codes")
+        return self.result_for_codes(codes)
 
     def _check_assignment(self, assignment: LayerAssignment) -> None:
         if assignment.num_layers != self.num_layers:
@@ -983,6 +1004,9 @@ class HierarchicalCostTable:
 
     def score_bits(self, bits: np.ndarray | Sequence[int]) -> np.ndarray:
         """Deprecated shim: the historical name of :meth:`score_codes`."""
+        _warn_bits_shim(
+            "HierarchicalCostTable.score_bits", "HierarchicalCostTable.score_codes"
+        )
         return self.score_codes(bits)
 
     def decode_level_codes(self, codes: np.ndarray) -> list[np.ndarray]:
@@ -1005,8 +1029,13 @@ class HierarchicalCostTable:
             decoded.append(_decode_digits(level_codes, num_layers, base))
         return decoded
 
-    #: Deprecated alias kept for the historical bit-encoding name.
-    decode_level_bits = decode_level_codes
+    def decode_level_bits(self, codes: np.ndarray) -> list[np.ndarray]:
+        """Deprecated shim: the historical name of :meth:`decode_level_codes`."""
+        _warn_bits_shim(
+            "HierarchicalCostTable.decode_level_bits",
+            "HierarchicalCostTable.decode_level_codes",
+        )
+        return self.decode_level_codes(codes)
 
     def _score_chunk(self, codes: np.ndarray) -> np.ndarray:
         return self.score_level_codes(self.decode_level_codes(codes))
@@ -1086,6 +1115,10 @@ class HierarchicalCostTable:
 
     def score_level_bits(self, decoded: Sequence[np.ndarray]) -> np.ndarray:
         """Deprecated shim: the historical name of :meth:`score_level_codes`."""
+        _warn_bits_shim(
+            "HierarchicalCostTable.score_level_bits",
+            "HierarchicalCostTable.score_level_codes",
+        )
         return self.score_level_codes(decoded)
 
     def argmin_assignment(self) -> tuple[int, float]:
@@ -1132,9 +1165,21 @@ class HierarchicalCostTable:
         levels.reverse()
         return HierarchicalAssignment(tuple(levels))
 
-    #: Deprecated aliases kept for the historical bit-encoding names.
-    assignment_to_bits = assignment_to_codes
-    bits_to_assignment = codes_to_assignment
+    def assignment_to_bits(self, assignment: HierarchicalAssignment) -> int:
+        """Deprecated shim: the historical name of :meth:`assignment_to_codes`."""
+        _warn_bits_shim(
+            "HierarchicalCostTable.assignment_to_bits",
+            "HierarchicalCostTable.assignment_to_codes",
+        )
+        return self.assignment_to_codes(assignment)
+
+    def bits_to_assignment(self, codes: int) -> HierarchicalAssignment:
+        """Deprecated shim: the historical name of :meth:`codes_to_assignment`."""
+        _warn_bits_shim(
+            "HierarchicalCostTable.bits_to_assignment",
+            "HierarchicalCostTable.codes_to_assignment",
+        )
+        return self.codes_to_assignment(codes)
 
     def total_bytes(self, assignment: HierarchicalAssignment) -> float:
         """Total traffic of one hierarchical assignment (fast path)."""
@@ -1190,6 +1235,18 @@ class HierarchicalCostTable:
             records.append(level_records)
         return records
 
+    @property
+    def cache_key(self) -> tuple:
+        """The :func:`table_cache_key` this compilation answers to."""
+        return table_cache_key(
+            self.model,
+            self.batch_size,
+            self.num_levels,
+            self.scaling_mode,
+            self.communication_model,
+            self.strategies,
+        )
+
     def check_compatible(
         self,
         model: DNNModel,
@@ -1209,13 +1266,17 @@ class HierarchicalCostTable:
         choices are members of the table's space).
         """
         if (
-            self.model is not model
+            (self.model is not model and self.model != model)
             or self.batch_size != batch_size
             or self.num_levels != num_levels
             or self.scaling_mode is not scaling_mode
             or not self.communication_model.same_costs(communication_model)
             or (strategies is not None and self.strategies != strategies)
         ):
+            # Structural equality (not identity) qualifies a model: the
+            # shared sweep cache hands one compiled table to every caller
+            # holding an equal model, including unpickled copies in worker
+            # processes.
             raise ValueError(
                 "cost table was compiled for a different "
                 "(model, batch, levels, scaling, communication-model, "
@@ -1244,3 +1305,103 @@ def compile_cost_table(
 ) -> CostTable:
     """Module-level convenience alias for :meth:`CostTable.compile`."""
     return CostTable.compile(model, batch_size, scales, communication_model, strategies)
+
+
+# ----------------------------------------------------------------------
+# Shared compiled-table cache.
+# ----------------------------------------------------------------------
+
+
+def table_cache_key(
+    model: DNNModel,
+    batch_size: int,
+    num_levels: int,
+    scaling_mode: ScalingMode | str = ScalingMode.PARALLELISM_AWARE,
+    communication_model: CommunicationModel | None = None,
+    strategies: StrategySpace | Sequence[Parallelism] | str | None = None,
+) -> tuple:
+    """Hashable identity of a :class:`HierarchicalCostTable` compilation.
+
+    Two compilations with equal keys produce float-identical tables: the
+    arrays are pure functions of the model's resolved layers, the batch
+    size, the hierarchy depth, the scaling mode, the communication-model
+    parameters and the strategy space.  ``DNNModel`` is a frozen dataclass,
+    so equal models -- including copies unpickled in sweep worker
+    processes -- hash and compare equal and hit the same cache entry.
+    """
+    communication_model = communication_model or CommunicationModel()
+    return (
+        model,
+        int(batch_size),
+        int(num_levels),
+        ScalingMode.parse(scaling_mode),
+        StrategySpace.parse(strategies),
+        communication_model.cache_key,
+    )
+
+
+class TableCache:
+    """Cache of compiled :class:`HierarchicalCostTable` objects.
+
+    Keyed by :func:`table_cache_key`, i.e. by the *configuration* rather
+    than by object identity, so every study of a sweep that touches the
+    same ``(model, strategy space, scaling mode, batch, num_levels)``
+    point compiles the table once and gathers from it thereafter --
+    including across the serial and process-parallel runners (each worker
+    process holds one instance and warms it as its share of the grid
+    streams through).  Hit/miss counters make the sharing observable.
+    """
+
+    def __init__(self, limit: int = 64) -> None:
+        if limit <= 0:
+            raise ValueError(f"limit must be positive, got {limit}")
+        self._limit = limit
+        self._tables: dict[tuple, HierarchicalCostTable] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    def get_or_compile(
+        self,
+        model: DNNModel,
+        batch_size: int,
+        num_levels: int,
+        scaling_mode: ScalingMode | str = ScalingMode.PARALLELISM_AWARE,
+        communication_model: CommunicationModel | None = None,
+        strategies: StrategySpace | Sequence[Parallelism] | str | None = None,
+    ) -> HierarchicalCostTable:
+        """The compiled table for the configuration, compiling on first use."""
+        key = table_cache_key(
+            model, batch_size, num_levels, scaling_mode, communication_model, strategies
+        )
+        table = self._tables.get(key)
+        if table is not None:
+            self.hits += 1
+            return table
+        self.misses += 1
+        if len(self._tables) >= self._limit:
+            # Simple full flush, like the simulator's historical id-keyed
+            # cache: sweeps revisit configurations in grid order, so an
+            # LRU would only help adversarial access patterns.
+            self._tables.clear()
+        table = HierarchicalCostTable(
+            model,
+            batch_size,
+            num_levels,
+            scaling_mode=scaling_mode,
+            communication_model=communication_model,
+            strategies=strategies,
+        )
+        self._tables[key] = table
+        return table
+
+    def clear(self) -> None:
+        self._tables.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def stats(self) -> dict:
+        """Counters for tests and sweep reports."""
+        return {"hits": self.hits, "misses": self.misses, "size": len(self._tables)}

@@ -211,13 +211,19 @@ def restricted_assignment(
     )
 
 
-def _check_free_positions(
+def check_free_positions(
     model: DNNModel,
     base_assignment: HierarchicalAssignment,
     free: Sequence[tuple[int, int]],
     max_candidates: int,
     space: StrategySpace,
 ) -> None:
+    """Validate the free positions of a restricted sweep.
+
+    Shared by :func:`enumerate_restricted`, its vectorized counterpart and
+    the Figures 9/10 explorer, so the candidate-count limit and the index
+    range checks cannot drift between them.
+    """
     if not free:
         raise ValueError("free_positions must contain at least one position")
     if space.size ** len(free) > max_candidates:
@@ -256,7 +262,7 @@ def enumerate_restricted(
     """
     space = StrategySpace.parse(strategies)
     free = list(free_positions)
-    _check_free_positions(model, base_assignment, free, max_candidates, space)
+    check_free_positions(model, base_assignment, free, max_candidates, space)
 
     results: list[tuple[HierarchicalAssignment, float]] = []
     for codes in range(space.size ** len(free)):
@@ -316,7 +322,7 @@ def enumerate_restricted_communication(
             f"sweep strategy space {space.describe()} does not match the "
             f"table's {table.strategies.describe()}"
         )
-    _check_free_positions(model, base_assignment, free, max_candidates, space)
+    check_free_positions(model, base_assignment, free, max_candidates, space)
 
     num_candidates = space.size ** len(free)
     code_of = space.code_of

@@ -31,7 +31,7 @@ from __future__ import annotations
 from typing import Sequence, Union
 
 from repro.core.communication import CommunicationModel
-from repro.core.costs import CostTable, HierarchicalCostTable
+from repro.core.costs import CostTable, HierarchicalCostTable, TableCache
 from repro.core.parallelism import (
     HierarchicalAssignment,
     LayerAssignment,
@@ -98,8 +98,27 @@ class HierarchicalPartitioner:
     # Cost-table compilation.
     # ------------------------------------------------------------------
 
-    def compile_table(self, model: DNNModel, batch_size: int) -> HierarchicalCostTable:
-        """Compile the reusable cost table for ``model`` at ``batch_size``."""
+    def compile_table(
+        self,
+        model: DNNModel,
+        batch_size: int,
+        table_cache: TableCache | None = None,
+    ) -> HierarchicalCostTable:
+        """Compile the reusable cost table for ``model`` at ``batch_size``.
+
+        ``table_cache`` optionally supplies a shared
+        :class:`~repro.core.costs.TableCache`; the compilation then happens
+        at most once per configuration across every caller of that cache.
+        """
+        if table_cache is not None:
+            return table_cache.get_or_compile(
+                model,
+                batch_size,
+                self.num_levels,
+                scaling_mode=self.scaling_mode,
+                communication_model=self.communication_model,
+                strategies=self.strategies,
+            )
         return HierarchicalCostTable(
             model,
             batch_size,

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import dataclasses
 import enum
+import warnings
 from typing import Iterable, Iterator, Sequence
 
 
@@ -286,6 +287,13 @@ class LayerAssignment:
             Thin shim over :meth:`from_codes` with the default binary
             dp/mp space; the two are bit-exact for that space.
         """
+        warnings.warn(
+            "LayerAssignment.from_bits is deprecated; use "
+            "LayerAssignment.from_codes with the default dp/mp space "
+            "(bit-exact for that space)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return cls.from_codes(bits, num_layers, DEFAULT_SPACE)
 
     def to_bits(self) -> int:
@@ -295,6 +303,13 @@ class LayerAssignment:
             Thin shim over :meth:`to_codes` with the default binary dp/mp
             space.
         """
+        warnings.warn(
+            "LayerAssignment.to_bits is deprecated; use "
+            "LayerAssignment.to_codes with the default dp/mp space "
+            "(bit-exact for that space)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return self.to_codes(DEFAULT_SPACE)
 
     def __iter__(self) -> Iterator[Parallelism]:

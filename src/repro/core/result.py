@@ -45,6 +45,29 @@ class _LazyBreakdown:
             self._breakdown_factory = None
         return self._breakdown
 
+    # ------------------------------------------------------------------
+    # Pickling (results cross process boundaries in parallel sweeps).
+    # ------------------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        """Materialize the breakdown, then pickle the slot values.
+
+        The lazy factory is a closure over tensors/cost tables and cannot
+        cross a process boundary; the materialized records can, so sweep
+        workers return fully usable results.
+        """
+        self.breakdown
+        state = {}
+        for klass in type(self).__mro__:
+            for slot in getattr(klass, "__slots__", ()):
+                if hasattr(self, slot):
+                    state[slot] = getattr(self, slot)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        for slot, value in state.items():
+            setattr(self, slot, value)
+
 
 class PartitionResult(_LazyBreakdown):
     """Outcome of Algorithm 1 (partition between two accelerator groups).

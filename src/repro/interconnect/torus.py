@@ -13,6 +13,7 @@ The paper observes exactly this (gmean speedup 2.23x on the torus versus
 from __future__ import annotations
 
 import math
+from typing import Sequence
 
 import networkx as nx
 
@@ -30,28 +31,48 @@ def _grid_dimensions(num_accelerators: int) -> tuple[int, int]:
 class TorusTopology(Topology):
     """2-D torus with row-major placement of accelerators.
 
-    Accelerator ``i`` sits at grid position ``(i // cols, i % cols)``; the
-    hierarchical groups of the partition therefore correspond to contiguous
-    blocks of rows/columns, the natural placement a system integrator would
-    choose.
+    By default accelerator ``i`` sits at grid position
+    ``(i // cols, i % cols)``; the hierarchical groups of the partition
+    therefore correspond to contiguous blocks of rows/columns, the natural
+    placement a system integrator would choose.  ``placement`` overrides
+    this: ``placement[i]`` is the row-major grid cell accelerator ``i``
+    occupies, so scrambled or legacy floorplans -- where the pair
+    boundaries of one hierarchy level are *not* isomorphic -- can be
+    modelled too.
     """
 
     name = "torus"
 
-    def __init__(self, num_accelerators: int, link_bandwidth_bytes: float) -> None:
+    def __init__(
+        self,
+        num_accelerators: int,
+        link_bandwidth_bytes: float,
+        placement: Sequence[int] | None = None,
+    ) -> None:
         super().__init__(num_accelerators, link_bandwidth_bytes)
         self.rows, self.cols = _grid_dimensions(num_accelerators)
+        if placement is None:
+            self.placement: tuple[int, ...] = tuple(range(num_accelerators))
+        else:
+            self.placement = tuple(int(cell) for cell in placement)
+            if sorted(self.placement) != list(range(num_accelerators)):
+                raise ValueError(
+                    "placement must be a permutation of the grid cells "
+                    f"0..{num_accelerators - 1}, got {placement!r}"
+                )
 
     def _position(self, index: int) -> tuple[int, int]:
-        return index // self.cols, index % self.cols
+        cell = self.placement[index]
+        return cell // self.cols, cell % self.cols
 
     def _build_graph(self) -> nx.Graph:
         graph = nx.Graph()
         graph.add_nodes_from(range(self.num_accelerators), kind="accelerator")
+        occupant = {cell: index for index, cell in enumerate(self.placement)}
         for index in range(self.num_accelerators):
             row, col = self._position(index)
-            right = row * self.cols + (col + 1) % self.cols
-            down = ((row + 1) % self.rows) * self.cols + col
+            right = occupant[row * self.cols + (col + 1) % self.cols]
+            down = occupant[((row + 1) % self.rows) * self.cols + col]
             # A ring of two nodes would create duplicate edges; Graph
             # deduplicates them, which is the correct physical model (a
             # single link, not two).
@@ -61,20 +82,17 @@ class TorusTopology(Topology):
                 graph.add_edge(index, down, bandwidth=self.link_bandwidth_bytes)
         return graph
 
-    def _compute_effective_pair_bandwidth(self, level: int) -> float:
-        """Bandwidth directly joining the two groups, discounted by path length.
+    @staticmethod
+    def _mean_over_boundaries(values: Sequence[float]) -> float:
+        # Under the default row-major placement every boundary of a level is
+        # a torus translate of the first, so the values coincide; returning
+        # the common value directly keeps those metrics bit-identical to the
+        # single-boundary computation (no sum/divide rounding).
+        if all(value == values[0] for value in values):
+            return values[0]
+        return sum(values) / len(values)
 
-        Only the links whose both endpoints belong to the pair are counted
-        (the rest of the mesh is busy carrying the other boundaries' traffic
-        at the same level), and every word exchanged occupies on average
-        ``average_hops(level)`` physical links, so the usable throughput of
-        the boundary is that direct cut capacity divided by the hop count.
-        This is what makes the torus lose to the H tree: the binary-tree
-        traffic pattern of the hierarchical partition is served by dedicated
-        fat-tree links, while on the mesh it zig-zags across shared ones.
-        """
-        pairs = hierarchical_groups(self.num_accelerators, level)
-        left, right = pairs[0]
+    def _boundary_effective_bandwidth(self, left: list[int], right: list[int]) -> float:
         cut = self._direct_cut_bandwidth(left, right)
         if cut <= 0:
             # Degenerate placement with no direct link between the groups:
@@ -83,8 +101,36 @@ class TorusTopology(Topology):
         hops = max(1.0, self._mean_pair_distance(left, right))
         return cut / hops
 
-    def _compute_average_hops(self, level: int) -> float:
-        """Mean shortest-path hop count between the two groups of a boundary."""
+    def _compute_effective_pair_bandwidth(self, level: int) -> float:
+        """Bandwidth joining the two groups of a boundary, discounted by path length.
+
+        For each boundary only the links whose both endpoints belong to the
+        pair are counted (the rest of the mesh is busy carrying the other
+        boundaries' traffic at the same level), and every word exchanged
+        occupies on average that boundary's mean hop count of physical
+        links, so the usable throughput of the boundary is its direct cut
+        capacity divided by the hop count.  The level's figure is the mean
+        over *all* boundaries of the level -- a level's pairs need not be
+        isomorphic (a scrambled placement on a rectangular grid breaks the
+        translate symmetry), so deriving the level metric from the first
+        pair alone would mis-price every other boundary.  This is what
+        makes the torus lose to the H tree: the binary-tree traffic pattern
+        of the hierarchical partition is served by dedicated fat-tree
+        links, while on the mesh it zig-zags across shared ones.
+        """
         pairs = hierarchical_groups(self.num_accelerators, level)
-        left, right = pairs[0]
-        return self._mean_pair_distance(left, right)
+        return self._mean_over_boundaries(
+            [self._boundary_effective_bandwidth(left, right) for left, right in pairs]
+        )
+
+    def _compute_average_hops(self, level: int) -> float:
+        """Mean shortest-path hop count between the groups, over all boundaries.
+
+        Every boundary at a level pairs the same number of accelerators, so
+        the unweighted mean over boundaries equals the mean over all
+        exchanged words.
+        """
+        pairs = hierarchical_groups(self.num_accelerators, level)
+        return self._mean_over_boundaries(
+            [self._mean_pair_distance(left, right) for left, right in pairs]
+        )

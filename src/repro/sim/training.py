@@ -39,7 +39,7 @@ from typing import Sequence
 
 from repro.accelerator.array import ArrayConfig
 from repro.core.communication import CommunicationModel
-from repro.core.costs import HierarchicalCostTable
+from repro.core.costs import HierarchicalCostTable, TableCache
 from repro.core.hierarchical import HierarchicalPartitioner
 from repro.core.parallelism import (
     HierarchicalAssignment,
@@ -86,6 +86,13 @@ class TrainingSimulator:
         chained chunks, and downstream compute resumes after the first
         chunk (overlapping the rest).  Irrelevant for assignments without
         pipeline layers, whose task graphs are unchanged.
+    table_cache:
+        Optional shared :class:`~repro.core.costs.TableCache`.  When given,
+        :meth:`cost_table` compiles into (and gathers from) it, keyed by
+        the full configuration instead of this instance's model-identity
+        cache -- sweep runners hand every simulator of a worker process
+        the same cache so one compilation serves every study touching the
+        configuration.
     """
 
     def __init__(
@@ -96,6 +103,7 @@ class TrainingSimulator:
         scaling_mode: ScalingMode | str = ScalingMode.PARALLELISM_AWARE,
         strategies: StrategySpace | str | None = None,
         num_microbatches: int = DEFAULT_NUM_MICROBATCHES,
+        table_cache: TableCache | None = None,
     ) -> None:
         if num_microbatches <= 0:
             raise ValueError(
@@ -119,6 +127,7 @@ class TrainingSimulator:
         self.scaling_mode = ScalingMode.parse(scaling_mode)
         self.strategies = StrategySpace.parse(strategies)
         self.num_microbatches = num_microbatches
+        self.table_cache = table_cache
         # Compiled cost tables keyed by (model identity, batch size).  The
         # table holds a strong reference to its model, so the id cannot be
         # recycled while the entry lives; sweeps re-simulating one model
@@ -137,6 +146,15 @@ class TrainingSimulator:
 
     def cost_table(self, model: DNNModel, batch_size: int) -> HierarchicalCostTable:
         """The compiled cost table for ``model`` at ``batch_size`` (cached)."""
+        if self.table_cache is not None:
+            return self.table_cache.get_or_compile(
+                model,
+                batch_size,
+                self.array.num_levels,
+                scaling_mode=self.scaling_mode,
+                communication_model=self.communication_model,
+                strategies=self.strategies,
+            )
         key = (id(model), batch_size)
         table = self._table_cache.get(key)
         if table is None:

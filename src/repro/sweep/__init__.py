@@ -1,0 +1,63 @@
+"""Sweep orchestration: one cached, process-parallel runner for every study.
+
+The paper's evaluation (Figures 6-13) is a grid of independent
+search-plus-simulate jobs.  This package factors the machinery every
+`repro.analysis` study shares:
+
+* :class:`~repro.sweep.engine.SweepEngine` -- deterministic, chunked
+  mapping of task functions over task lists, in-process by default and
+  process-parallel on request, with byte-identical results either way;
+* :class:`~repro.sweep.spec.SweepSpec` / presets -- declarative grid
+  descriptions (models x strategy spaces x topologies x scaling modes x
+  batch sizes x array sizes) runnable as ``hypar sweep <spec.json|preset>``;
+* :mod:`~repro.sweep.cache` -- the process-global shared compiled-table
+  cache (`repro.core.costs.TableCache`) and runtime-object memoization the
+  task functions warm;
+* :mod:`~repro.sweep.runner` -- the generic grid runner producing flat
+  figure rows;
+* :mod:`~repro.sweep.artifacts` -- deterministic JSON/CSV writers.
+
+See the "Sweep orchestration engine" section of DESIGN.md for the design
+notes (spec format, cache keys, worker model).
+"""
+
+from repro.sweep.artifacts import rows_to_csv, write_csv, write_json
+from repro.sweep.cache import clear_caches, runtime_cached, shared_table_cache
+from repro.sweep.engine import SweepEngine, chunk_tasks, default_workers, resolve_engine
+from repro.sweep.runner import (
+    DATA_PARALLELISM,
+    HYPAR,
+    MODEL_PARALLELISM,
+    StrategyMetrics,
+    SweepRecord,
+    SweepResult,
+    evaluate_point,
+    run_sweep,
+)
+from repro.sweep.spec import PAPER_MODELS, PRESETS, SweepPoint, SweepSpec, load_spec
+
+__all__ = [
+    "DATA_PARALLELISM",
+    "HYPAR",
+    "MODEL_PARALLELISM",
+    "PAPER_MODELS",
+    "PRESETS",
+    "StrategyMetrics",
+    "SweepEngine",
+    "SweepPoint",
+    "SweepRecord",
+    "SweepResult",
+    "SweepSpec",
+    "chunk_tasks",
+    "clear_caches",
+    "default_workers",
+    "evaluate_point",
+    "load_spec",
+    "resolve_engine",
+    "rows_to_csv",
+    "run_sweep",
+    "runtime_cached",
+    "shared_table_cache",
+    "write_csv",
+    "write_json",
+]

@@ -1,0 +1,62 @@
+"""Process-global caches shared by sweep tasks.
+
+Sweep task functions are module-level (picklable) and receive only their
+point's description, so everything heavy -- compiled
+:class:`~repro.core.costs.HierarchicalCostTable` arrays, simulators with
+their warmed pass caches, partitioners -- lives in per-process caches this
+module owns:
+
+* :func:`shared_table_cache` -- the one
+  :class:`~repro.core.costs.TableCache` of the process, keyed by
+  ``(model, strategy space, scaling mode, batch, num_levels)`` (see
+  :func:`repro.core.costs.table_cache_key`).  Every simulator/partitioner a
+  sweep task builds is wired to it, so
+  ``HierarchicalCostTable`` compilation happens once per configuration per
+  process instead of once per sweep point.
+* :func:`runtime_cached` -- memoizes arbitrary per-configuration runtime
+  objects (simulators, partitioners, zoo models) under hashable keys.
+
+Under the default ``fork`` start method worker processes inherit whatever
+the parent process had already cached; either way each worker warms its own
+copy with the first task of a configuration it sees.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, TypeVar
+
+from repro.core.costs import TableCache
+
+Value = TypeVar("Value")
+
+#: Upper bound on memoized runtime objects; a sweep touches a handful of
+#: (array, topology, scaling, strategies) configurations, so this is only a
+#: leak guard for pathological callers.
+_RUNTIME_LIMIT = 256
+
+_TABLE_CACHE = TableCache()
+_RUNTIME: dict = {}
+
+
+def shared_table_cache() -> TableCache:
+    """The process-wide compiled-table cache."""
+    return _TABLE_CACHE
+
+
+def runtime_cached(key: tuple, factory: Callable[[], Value]) -> Value:
+    """The memoized ``factory()`` result for ``key`` (per process)."""
+    try:
+        return _RUNTIME[key]
+    except KeyError:
+        pass
+    if len(_RUNTIME) >= _RUNTIME_LIMIT:
+        _RUNTIME.clear()
+    value = factory()
+    _RUNTIME[key] = value
+    return value
+
+
+def clear_caches() -> None:
+    """Reset both caches (tests; also a fresh-measurement hook for benches)."""
+    _TABLE_CACHE.clear()
+    _RUNTIME.clear()

@@ -1,0 +1,154 @@
+"""Golden byte-identity tests for every figure study.
+
+``tests/analysis/golden_studies.json`` pins the *exact* floats of all eight
+`repro.analysis` studies (Figures 6-13 plus the sensitivity sweeps) as
+produced by the pre-sweep-engine serial loops.  Each test recomputes one
+study through the shared sweep engine and compares with strict equality --
+any drift in the cost model, the search, the simulator or the sweep
+orchestration fails here.  Regenerate the file deliberately with
+``python scripts/generate_study_goldens.py`` when an output change is
+intended.
+
+The default engine is serial; ``TestParallelEngineMatchesGoldens`` repeats
+two representative studies with a two-worker process pool to pin the
+engine's serial/parallel byte-identity at the figure level as well.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.experiments import ExperimentRunner
+from repro.analysis.exploration import ParallelismExplorer
+from repro.analysis.scalability import run_scalability_study
+from repro.analysis.sensitivity import (
+    batch_size_sensitivity,
+    link_bandwidth_sensitivity,
+    precision_sensitivity,
+)
+from repro.analysis.topology_study import run_topology_study
+from repro.analysis.trick_study import run_trick_study
+from repro.sweep import SweepEngine
+
+GOLDEN_PATH = Path(__file__).resolve().parent / "golden_studies.json"
+
+
+@pytest.fixture(scope="module")
+def golden():
+    with open(GOLDEN_PATH) as handle:
+        return json.load(handle)
+
+
+def _roundtrip(payload):
+    """Normalise tuples/ints the way the golden JSON stores them."""
+    return json.loads(json.dumps(payload))
+
+
+class TestFigures6To8:
+    @pytest.fixture(scope="class")
+    def evaluation(self):
+        return ExperimentRunner().run()
+
+    def test_performance_is_byte_identical(self, evaluation, golden):
+        assert _roundtrip(evaluation.performance()) == golden["figures_6_to_8"]["performance"]
+
+    def test_energy_efficiency_is_byte_identical(self, evaluation, golden):
+        assert (
+            _roundtrip(evaluation.energy_efficiency())
+            == golden["figures_6_to_8"]["energy_efficiency"]
+        )
+
+    def test_communication_is_byte_identical(self, evaluation, golden):
+        assert (
+            _roundtrip(evaluation.communication())
+            == golden["figures_6_to_8"]["communication_gb"]
+        )
+
+    def test_formatted_tables_are_byte_identical(self, evaluation, golden):
+        assert evaluation.format() == golden["figures_6_to_8"]["formatted"]
+
+
+class TestExplorationFigures:
+    @pytest.mark.parametrize(
+        "golden_key,explore",
+        [
+            ("figure_9_lenet", lambda explorer: explorer.explore_lenet()),
+            ("figure_10_vgg_a", lambda explorer: explorer.explore_vgg_a()),
+        ],
+    )
+    def test_sweep_points_are_byte_identical(self, golden, golden_key, explore):
+        expected = golden[golden_key]
+        result = explore(ParallelismExplorer())
+        assert result.model_name == expected["model_name"]
+        assert [list(position) for position in result.free_positions] == expected[
+            "free_positions"
+        ]
+        assert result.hypar_performance == expected["hypar_performance"]
+        assert [point.bits for point in result.points] == [
+            point["bits"] for point in expected["points"]
+        ]
+        assert [point.normalized_performance for point in result.points] == [
+            point["normalized_performance"] for point in expected["points"]
+        ]
+        assert result.peak.bits == expected["peak_bits"]
+        assert result.hypar_is_peak == expected["hypar_is_peak"]
+
+
+class TestScalabilityFigure:
+    def test_rows_are_byte_identical(self, golden):
+        study = run_scalability_study()
+        expected = golden["figure_11_scalability"]
+        assert study.model_name == expected["model_name"]
+        assert study.single_accelerator_seconds == expected["single_accelerator_seconds"]
+        assert _roundtrip(study.as_rows()) == expected["rows"]
+
+
+class TestTopologyFigure:
+    def test_rows_and_gmeans_are_byte_identical(self, golden):
+        study = run_topology_study()
+        expected = golden["figure_12_topology"]
+        assert _roundtrip(study.as_rows()) == expected["rows"]
+        assert study.gmean_htree() == expected["gmean_htree"]
+        assert study.gmean_torus() == expected["gmean_torus"]
+
+
+class TestTrickFigure:
+    def test_rows_and_gmeans_are_byte_identical(self, golden):
+        study = run_trick_study()
+        expected = golden["figure_13_trick"]
+        assert _roundtrip(study.as_rows()) == expected["rows"]
+        assert study.gmean_performance() == expected["gmean_performance"]
+        assert study.gmean_energy() == expected["gmean_energy"]
+
+
+class TestSensitivityStudies:
+    @pytest.mark.parametrize(
+        "golden_key,run",
+        [
+            ("sensitivity_batch_size", batch_size_sensitivity),
+            ("sensitivity_link_bandwidth", link_bandwidth_sensitivity),
+            ("sensitivity_precision", precision_sensitivity),
+        ],
+    )
+    def test_rows_are_byte_identical(self, golden, golden_key, run):
+        assert _roundtrip(run().as_rows()) == golden[golden_key]["rows"]
+
+
+class TestParallelEngineMatchesGoldens:
+    """The process-parallel engine reproduces the serial figures exactly."""
+
+    def test_figures_6_to_8_with_two_workers(self, golden):
+        with SweepEngine(workers=2) as engine:
+            evaluation = ExperimentRunner().run(engine=engine)
+        assert _roundtrip(evaluation.performance()) == golden["figures_6_to_8"]["performance"]
+        assert evaluation.format() == golden["figures_6_to_8"]["formatted"]
+
+    def test_figure_9_with_two_workers(self, golden):
+        expected = golden["figure_9_lenet"]
+        with SweepEngine(workers=2) as engine:
+            result = ParallelismExplorer(engine=engine).explore_lenet()
+        assert result.hypar_performance == expected["hypar_performance"]
+        assert [point.normalized_performance for point in result.points] == [
+            point["normalized_performance"] for point in expected["points"]
+        ]

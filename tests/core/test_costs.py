@@ -62,13 +62,13 @@ class TestCostTableCompilation:
 
 
 class TestCostTableScoring:
-    def test_score_bits_matches_evaluate_exactly(self, lenet_model, two_way_partitioner):
+    def test_score_codes_matches_evaluate_exactly(self, lenet_model, two_way_partitioner):
         tensors = model_tensors(lenet_model, 256)
         table = two_way_partitioner.compile_table(tensors)
         bits = np.arange(table.num_assignments)
-        totals = table.score_bits(bits)
+        totals = table.score_codes(bits)
         for pattern in bits:
-            assignment = LayerAssignment.from_bits(int(pattern), len(tensors))
+            assignment = LayerAssignment.from_codes(int(pattern), len(tensors))
             expected = two_way_partitioner.evaluate(tensors, assignment)
             assert totals[pattern] == expected.communication_bytes
 
@@ -76,7 +76,7 @@ class TestCostTableScoring:
         comm = CommunicationModel()
         tensors = model_tensors(alexnet_model, 64)
         table = CostTable.from_tensors(tensors, comm)
-        assignment = LayerAssignment.from_bits(0b10110101, len(tensors))
+        assignment = LayerAssignment.from_codes(0b10110101, len(tensors))
         assert table.total_bytes(assignment) == comm.total_bytes(tensors, assignment)
 
     def test_rejects_mismatched_assignment(self, lenet_model):
@@ -84,10 +84,10 @@ class TestCostTableScoring:
         with pytest.raises(ValueError):
             table.total_bytes(LayerAssignment.uniform(DATA, len(lenet_model) + 1))
 
-    def test_rejects_non_vector_bits(self, lenet_model):
+    def test_rejects_non_vector_codes(self, lenet_model):
         table = compile_cost_table(lenet_model, 256)
         with pytest.raises(ValueError):
-            table.score_bits(np.zeros((2, 2), dtype=np.int64))
+            table.score_codes(np.zeros((2, 2), dtype=np.int64))
 
 
 class TestArrayDynamicProgram:
@@ -178,20 +178,20 @@ class TestHierarchicalCostTable:
             for fast, slow in zip(evaluated.levels, reference.levels):
                 assert fast.communication_bytes == slow.communication_bytes
 
-    def test_score_bits_product_order(self, tiny_model):
+    def test_score_codes_product_order(self, tiny_model):
         """Candidate index decodes with the last level varying fastest."""
         partitioner = HierarchicalPartitioner(num_levels=2)
         table = partitioner.compile_table(tiny_model, 8)
         layers = len(tiny_model)
         # Candidate 1 flips only layer 0 of the *last* level.
-        assignment = table.bits_to_assignment(1)
+        assignment = table.codes_to_assignment(1)
         assert assignment[1][0] is MODEL
         assert assignment[0].is_uniform(DATA)
-        encoded = table.assignment_to_bits(assignment)
+        encoded = table.assignment_to_codes(assignment)
         assert encoded == 1
-        totals = table.score_bits(np.arange(1 << (2 * layers)))
+        totals = table.score_codes(np.arange(1 << (2 * layers)))
         for bits in (0, 1, 5, (1 << (2 * layers)) - 1):
-            candidate = table.bits_to_assignment(bits)
+            candidate = table.codes_to_assignment(bits)
             assert totals[bits] == table.total_bytes(candidate)
 
     def test_partition_matches_table_free_search(self, alexnet_model):

@@ -80,7 +80,7 @@ class TestNumericalEquivalenceFC:
     def test_all_assignments(self, bits):
         network = _fc_network()
         x, grad_output = _inputs(network)
-        assignment = LayerAssignment.from_bits(bits, 3)
+        assignment = LayerAssignment.from_codes(bits, 3)
         _assert_matches_reference(network, assignment, x, grad_output)
 
 
@@ -111,7 +111,7 @@ class TestCommunicationAccounting:
     def test_fc_network_totals(self, bits):
         network = _fc_network()
         x, grad_output = _inputs(network)
-        assignment = LayerAssignment.from_bits(bits, 3)
+        assignment = LayerAssignment.from_codes(bits, 3)
         result = TwoGroupExecutor(network, assignment).run_step(x, grad_output)
 
         comm = CommunicationModel()
@@ -124,7 +124,7 @@ class TestCommunicationAccounting:
     def test_per_layer_totals(self, bits):
         network = _fc_network()
         x, grad_output = _inputs(network)
-        assignment = LayerAssignment.from_bits(bits, 3)
+        assignment = LayerAssignment.from_codes(bits, 3)
         result = TwoGroupExecutor(network, assignment).run_step(x, grad_output)
 
         comm = CommunicationModel()

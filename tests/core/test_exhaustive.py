@@ -20,7 +20,7 @@ class TestAllLayerAssignments:
 
     def test_assignments_are_unique(self):
         assignments = list(all_layer_assignments(4))
-        assert len({a.to_bits() for a in assignments}) == 16
+        assert len({a.to_codes() for a in assignments}) == 16
 
     def test_rejects_non_positive_layer_count(self):
         with pytest.raises(ValueError):

@@ -142,16 +142,20 @@ class TestLayerAssignment:
 
     def test_bits_roundtrip(self):
         for bits in range(16):
-            assignment = LayerAssignment.from_bits(bits, 4)
-            assert assignment.to_bits() == bits
+            with pytest.warns(DeprecationWarning, match="from_bits is deprecated"):
+                assignment = LayerAssignment.from_bits(bits, 4)
+            with pytest.warns(DeprecationWarning, match="to_bits is deprecated"):
+                assert assignment.to_bits() == bits
 
     def test_from_bits_layout_is_lsb_first(self):
-        assignment = LayerAssignment.from_bits(0b0011, 4)
+        with pytest.warns(DeprecationWarning, match="from_bits is deprecated"):
+            assignment = LayerAssignment.from_bits(0b0011, 4)
         assert assignment.choices == (MODEL, MODEL, DATA, DATA)
 
     def test_from_bits_range_check(self):
-        with pytest.raises(ValueError):
-            LayerAssignment.from_bits(16, 4)
+        with pytest.warns(DeprecationWarning, match="from_bits is deprecated"):
+            with pytest.raises(ValueError):
+                LayerAssignment.from_bits(16, 4)
 
     def test_codes_roundtrip_base_three(self):
         space = StrategySpace.parse("dp,mp,pp")
@@ -170,13 +174,15 @@ class TestLayerAssignment:
             LayerAssignment.from_codes(27, 3, StrategySpace.parse("dp,mp,pp"))
 
     def test_bit_shims_are_exact_over_the_binary_space(self):
-        """from_bits/to_bits must stay bit-exact shims of from_codes/to_codes."""
+        """from_bits/to_bits must warn but stay bit-exact shims of from_codes/to_codes."""
         for num_layers in (1, 3, 6):
             for bits in range(1 << num_layers):
-                via_bits = LayerAssignment.from_bits(bits, num_layers)
+                with pytest.warns(DeprecationWarning, match="from_bits is deprecated"):
+                    via_bits = LayerAssignment.from_bits(bits, num_layers)
                 via_codes = LayerAssignment.from_codes(bits, num_layers, DEFAULT_SPACE)
                 assert via_bits.choices == via_codes.choices
-                assert via_bits.to_bits() == via_codes.to_codes(DEFAULT_SPACE) == bits
+                with pytest.warns(DeprecationWarning, match="to_bits is deprecated"):
+                    assert via_bits.to_bits() == via_codes.to_codes(DEFAULT_SPACE) == bits
 
     def test_count(self):
         assignment = LayerAssignment.of(["dp", "mp", "dp"])

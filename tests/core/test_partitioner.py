@@ -146,7 +146,7 @@ class TestEvaluate:
         tensors = model_tensors(lenet_model, 256)
         best = two_way_partitioner.partition_tensors(tensors).communication_bytes
         for bits in range(1 << len(lenet_model)):
-            assignment = LayerAssignment.from_bits(bits, len(lenet_model))
+            assignment = LayerAssignment.from_codes(bits, len(lenet_model))
             assert best <= two_way_partitioner.evaluate(tensors, assignment).communication_bytes + 1e-9
 
 

@@ -101,17 +101,20 @@ class TestPipelineCostModel:
 
 
 class TestDeprecatedBitShims:
-    """The historical bit-encoding names must stay bit-exact for K=2."""
+    """The historical bit-encoding names must warn but stay bit-exact for K=2."""
 
     def test_cost_table_score_bits_equals_score_codes(self):
         from repro.core.costs import CostTable
-        from repro.core.tensors import model_tensors
 
         model = lenet_c()
         table = CostTable.compile(model, 64)
         codes = np.arange(table.num_assignments)
-        np.testing.assert_array_equal(table.score_bits(codes), table.score_codes(codes))
-        assert table.result_for_bits(3).communication_bytes == (
+        with pytest.warns(DeprecationWarning, match="score_bits is deprecated"):
+            via_bits = table.score_bits(codes)
+        np.testing.assert_array_equal(via_bits, table.score_codes(codes))
+        with pytest.warns(DeprecationWarning, match="result_for_bits is deprecated"):
+            via_bits_result = table.result_for_bits(3)
+        assert via_bits_result.communication_bytes == (
             table.result_for_codes(3).communication_bytes
         )
 
@@ -120,17 +123,20 @@ class TestDeprecatedBitShims:
         partitioner = HierarchicalPartitioner(num_levels=2)
         table = partitioner.compile_table(model, 64)
         codes = np.arange(1 << table.total_bits)
-        np.testing.assert_array_equal(table.score_bits(codes), table.score_codes(codes))
-        assignment = table.bits_to_assignment(37)
-        assert table.assignment_to_bits(assignment) == 37
+        with pytest.warns(DeprecationWarning, match="score_bits is deprecated"):
+            via_bits = table.score_bits(codes)
+        np.testing.assert_array_equal(via_bits, table.score_codes(codes))
+        with pytest.warns(DeprecationWarning, match="bits_to_assignment is deprecated"):
+            assignment = table.bits_to_assignment(37)
+        with pytest.warns(DeprecationWarning, match="assignment_to_bits is deprecated"):
+            assert table.assignment_to_bits(assignment) == 37
         assert table.codes_to_assignment(37) == assignment
 
     def test_layer_assignment_shims_match_codes_for_every_pattern(self):
         for bits in range(1 << 4):
-            assert (
-                LayerAssignment.from_bits(bits, 4).choices
-                == LayerAssignment.from_codes(bits, 4, DEFAULT_SPACE).choices
-            )
+            with pytest.warns(DeprecationWarning, match="from_bits is deprecated"):
+                via_bits = LayerAssignment.from_bits(bits, 4)
+            assert via_bits.choices == LayerAssignment.from_codes(bits, 4, DEFAULT_SPACE).choices
 
 
 class TestPipelineSearch:

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.interconnect.htree import HTreeTopology
+from repro.interconnect.topology import hierarchical_groups
 from repro.interconnect.torus import TorusTopology, _grid_dimensions
 
 LINK = 200e6
@@ -81,3 +82,84 @@ class TestHops:
         # A 4x4 torus has diameter 4.
         for level in range(4):
             assert topology.average_hops(level) <= 4.0
+
+
+def _boundary_mean_metrics(topology: TorusTopology, level: int) -> tuple[float, float]:
+    """Independent recomputation: metrics averaged over every pair boundary."""
+    pairs = hierarchical_groups(topology.num_accelerators, level)
+    bandwidths = []
+    hop_counts = []
+    for left, right in pairs:
+        cut = topology._direct_cut_bandwidth(left, right)
+        if cut <= 0:
+            cut = topology._cut_bandwidth(left, right)
+        hops = topology._mean_pair_distance(left, right)
+        bandwidths.append(cut / max(1.0, hops))
+        hop_counts.append(hops)
+    return sum(bandwidths) / len(bandwidths), sum(hop_counts) / len(hop_counts)
+
+
+class TestBoundaryAveraging:
+    """Level metrics must average over *all* boundaries, not just ``pairs[0]``.
+
+    The historical implementation derived both metrics from the first pair
+    boundary alone, implicitly assuming every boundary at a level is
+    isomorphic.  That holds for the contiguous row-major placement (every
+    boundary is a torus translate of the first) but breaks on rectangular
+    tori with a non-contiguous placement, where different boundaries see
+    different cut capacities and hop counts.
+    """
+
+    #: A fixed scrambled placement of 16 accelerators on the grid:
+    #: hierarchical neighbours land in scattered cells, so the boundaries
+    #: of levels 1-3 differ in both cut capacity and hop count.
+    SCRAMBLED_16 = (3, 14, 7, 9, 13, 11, 4, 5, 12, 8, 1, 0, 15, 6, 2, 10)
+
+    @pytest.mark.parametrize("num_accelerators", [8, 32])
+    def test_rectangular_torus_metrics_average_all_boundaries(self, num_accelerators):
+        """Regression: rectangular (non-square) grids report the boundary mean."""
+        topology = TorusTopology(num_accelerators, LINK)
+        assert topology.rows != topology.cols
+        for level in range(topology.num_levels):
+            expected_bandwidth, expected_hops = _boundary_mean_metrics(topology, level)
+            assert topology.effective_pair_bandwidth(level) == pytest.approx(
+                expected_bandwidth
+            )
+            assert topology.average_hops(level) == pytest.approx(expected_hops)
+
+    def test_scrambled_placement_metrics_average_all_boundaries(self):
+        """With non-isomorphic boundaries the first pair is not representative."""
+        topology = TorusTopology(16, LINK, placement=self.SCRAMBLED_16)
+        saw_asymmetry = False
+        for level in range(topology.num_levels):
+            expected_bandwidth, expected_hops = _boundary_mean_metrics(topology, level)
+            assert topology.effective_pair_bandwidth(level) == pytest.approx(
+                expected_bandwidth
+            )
+            assert topology.average_hops(level) == pytest.approx(expected_hops)
+
+            # The old pairs[0]-only computation must disagree somewhere,
+            # otherwise this test could not catch a regression to it.
+            left, right = hierarchical_groups(16, level)[0]
+            first_pair_hops = topology._mean_pair_distance(left, right)
+            if first_pair_hops != pytest.approx(expected_hops):
+                saw_asymmetry = True
+        assert saw_asymmetry
+
+    def test_default_square_torus_unchanged_by_averaging(self):
+        """Row-major boundaries are translates: the mean equals every pair's value."""
+        topology = TorusTopology(16, LINK)
+        for level in range(topology.num_levels):
+            pairs = hierarchical_groups(16, level)
+            per_pair = [topology._mean_pair_distance(left, right) for left, right in pairs]
+            assert all(hops == per_pair[0] for hops in per_pair)
+            assert topology.average_hops(level) == per_pair[0]
+
+    def test_placement_must_be_a_permutation(self):
+        with pytest.raises(ValueError):
+            TorusTopology(4, LINK, placement=(0, 0, 1, 2))
+
+    def test_identity_placement_builds_the_same_graph(self):
+        default = TorusTopology(16, LINK)
+        explicit = TorusTopology(16, LINK, placement=tuple(range(16)))
+        assert set(default.graph.edges) == set(explicit.graph.edges)

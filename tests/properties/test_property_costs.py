@@ -170,12 +170,12 @@ class TestCostTableMatchesCommunicationModel:
     @settings(max_examples=60, deadline=None)
     @given(tensors=tensor_chains(), data=st.data())
     def test_batch_scorer_is_bit_exact_on_every_candidate(self, tensors, data):
-        """score_bits == CommunicationModel.total_bytes, float for float."""
+        """score_codes == CommunicationModel.total_bytes, float for float."""
         comm = CommunicationModel()
         table = CostTable.from_tensors(tensors, comm)
-        totals = table.score_bits(np.arange(table.num_assignments))
+        totals = table.score_codes(np.arange(table.num_assignments))
         for bits in range(table.num_assignments):
-            assignment = LayerAssignment.from_bits(bits, len(tensors))
+            assignment = LayerAssignment.from_codes(bits, len(tensors))
             assert totals[bits] == comm.total_bytes(tensors, assignment)
 
     @settings(max_examples=60, deadline=None)
@@ -494,8 +494,8 @@ class TestHierarchicalTableMatchesObjectPath:
         mode = data.draw(st.sampled_from(list(ScalingMode)), label="mode")
         partitioner = HierarchicalPartitioner(num_levels=num_levels, scaling_mode=mode)
         table = partitioner.compile_table(model, batch)
-        totals = table.score_bits(np.arange(1 << table.total_bits))
+        totals = table.score_codes(np.arange(1 << table.total_bits))
         for bits in range(1 << table.total_bits):
-            assignment = table.bits_to_assignment(bits)
+            assignment = table.codes_to_assignment(bits)
             reference = partitioner.evaluate_reference(model, assignment, batch)
             assert totals[bits] == reference.total_communication_bytes

@@ -1,0 +1,50 @@
+"""Tests for the deterministic JSON/CSV artifact writers."""
+
+import json
+
+from repro.sweep.artifacts import payload_to_json, rows_to_csv, write_csv, write_json
+
+
+class TestCsv:
+    def test_header_and_rows_in_order(self):
+        rows = [{"a": 1, "b": 2.5}, {"a": 3, "b": 4.5}]
+        assert rows_to_csv(rows) == "a,b\n1,2.5\n3,4.5\n"
+
+    def test_column_union_in_first_appearance_order(self):
+        rows = [{"a": 1}, {"b": 2, "a": 3}]
+        assert rows_to_csv(rows).splitlines()[0] == "a,b"
+
+    def test_missing_cells_are_empty(self):
+        rows = [{"a": 1}, {"b": 2}]
+        assert rows_to_csv(rows) == "a,b\n1,\n,2\n"
+
+    def test_floats_round_trip_exactly(self):
+        value = 0.1 + 0.2  # not exactly 0.3
+        text = rows_to_csv([{"x": value}])
+        assert float(text.splitlines()[1]) == value
+
+    def test_commas_in_cells_are_quoted(self):
+        text = rows_to_csv([{"strategies": "dp,mp", "n": 1}])
+        assert text.splitlines()[1] == '"dp,mp",1'
+
+    def test_write_csv_creates_parents(self, tmp_path):
+        path = tmp_path / "nested" / "out.csv"
+        write_csv(str(path), [{"a": 1}])
+        assert path.read_text() == "a\n1\n"
+
+
+class TestJson:
+    def test_payload_is_key_sorted_and_stable(self):
+        payload = {"b": 1, "a": [1, 2]}
+        text = payload_to_json(payload)
+        assert text == payload_to_json(payload)
+        assert text.index('"a"') < text.index('"b"')
+
+    def test_floats_round_trip_exactly(self):
+        value = 1.0 / 3.0
+        assert json.loads(payload_to_json({"x": value}))["x"] == value
+
+    def test_write_json(self, tmp_path):
+        path = tmp_path / "artifacts" / "out.json"
+        write_json(str(path), {"rows": [1, 2]})
+        assert json.loads(path.read_text()) == {"rows": [1, 2]}

@@ -1,0 +1,119 @@
+"""Tests for the sweep engine: deterministic chunking and serial/parallel parity."""
+
+import os
+
+import pytest
+
+from repro.sweep.engine import (
+    SweepEngine,
+    chunk_tasks,
+    default_workers,
+    owned_engine,
+    resolve_engine,
+)
+
+
+def _square(x: int) -> int:
+    """Module-level task function (picklable for the process pool)."""
+    return x * x
+
+
+def _pid_task(_: int) -> int:
+    return os.getpid()
+
+
+class TestChunking:
+    def test_chunks_cover_every_task_in_order(self):
+        spans = chunk_tasks(10, 3)
+        assert spans == [(0, 3), (3, 6), (6, 9), (9, 10)]
+
+    def test_chunking_is_a_pure_function_of_count_and_size(self):
+        assert chunk_tasks(100, 7) == chunk_tasks(100, 7)
+
+    def test_single_chunk_when_size_covers_everything(self):
+        assert chunk_tasks(4, 100) == [(0, 4)]
+
+    def test_rejects_non_positive_chunk_size(self):
+        with pytest.raises(ValueError):
+            chunk_tasks(10, 0)
+
+
+class TestSerialEngine:
+    def test_map_preserves_task_order(self):
+        engine = SweepEngine.serial()
+        assert engine.map(_square, range(10)) == [x * x for x in range(10)]
+
+    def test_map_accepts_closures_in_process(self):
+        engine = SweepEngine.serial()
+        offset = 7
+        assert engine.map(lambda x: x + offset, [1, 2, 3]) == [8, 9, 10]
+
+    def test_empty_task_list(self):
+        assert SweepEngine.serial().map(_square, []) == []
+
+    def test_rejects_non_positive_workers(self):
+        with pytest.raises(ValueError):
+            SweepEngine(workers=0)
+
+    def test_default_workers_positive(self):
+        assert default_workers() >= 1
+
+
+class TestParallelEngine:
+    def test_parallel_matches_serial_exactly(self):
+        tasks = list(range(23))
+        serial = SweepEngine.serial().map(_square, tasks)
+        with SweepEngine(workers=2) as engine:
+            parallel = engine.map(_square, tasks)
+        assert parallel == serial
+
+    def test_results_in_task_order_whatever_the_chunking(self):
+        tasks = list(range(17))
+        with SweepEngine(workers=2, chunk_size=1) as engine:
+            assert engine.map(_square, tasks) == [x * x for x in tasks]
+
+    def test_pool_reused_across_maps(self):
+        with SweepEngine(workers=2) as engine:
+            first = set(engine.map(_pid_task, range(8)))
+            second = set(engine.map(_pid_task, range(8)))
+        assert first & second, "the worker pool should persist between map calls"
+        assert os.getpid() not in first
+
+    def test_close_is_idempotent(self):
+        engine = SweepEngine(workers=2)
+        engine.map(_square, [1])
+        engine.close()
+        engine.close()
+
+
+class TestResolveEngine:
+    def test_none_is_serial(self):
+        assert resolve_engine(None).workers == 1
+
+    def test_int_is_worker_count(self):
+        engine = resolve_engine(3)
+        assert engine.workers == 3
+        engine.close()
+
+    def test_engine_passes_through(self):
+        engine = SweepEngine.serial()
+        assert resolve_engine(engine) is engine
+
+
+class TestOwnedEngine:
+    def test_closes_pools_it_created_from_a_worker_count(self):
+        with owned_engine(2) as engine:
+            engine.map(_square, range(4))
+            assert engine._executor is not None
+        # The pool created by the normalization must not outlive the block.
+        assert engine._executor is None
+
+    def test_leaves_caller_owned_engines_open(self):
+        external = SweepEngine(workers=2)
+        try:
+            with owned_engine(external) as engine:
+                assert engine is external
+                engine.map(_square, range(4))
+            assert external._executor is not None
+        finally:
+            external.close()

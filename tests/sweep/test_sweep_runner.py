@@ -1,0 +1,107 @@
+"""Tests for the grid runner: parity, caching, artifacts, records."""
+
+import pytest
+
+from repro.sweep import (
+    DATA_PARALLELISM,
+    HYPAR,
+    MODEL_PARALLELISM,
+    SweepEngine,
+    SweepSpec,
+    clear_caches,
+    evaluate_point,
+    load_spec,
+    run_sweep,
+    shared_table_cache,
+)
+
+SMOKE = load_spec("smoke")
+
+
+@pytest.fixture(scope="module")
+def serial_smoke():
+    return run_sweep(SMOKE)
+
+
+class TestRecords:
+    def test_one_record_per_point_in_order(self, serial_smoke):
+        assert len(serial_smoke.records) == SMOKE.num_points
+        assert [record.point.index for record in serial_smoke.records] == list(
+            range(SMOKE.num_points)
+        )
+
+    def test_every_record_carries_all_three_strategies(self, serial_smoke):
+        for record in serial_smoke.records:
+            assert set(record.metrics) == {MODEL_PARALLELISM, DATA_PARALLELISM, HYPAR}
+            assert record.speedup(DATA_PARALLELISM) == 1.0
+            assert record.metrics[HYPAR].step_seconds > 0
+            assert len(record.hypar_levels) == 3  # eight accelerators -> three levels
+
+    def test_hypar_never_loses_to_data_parallelism(self, serial_smoke):
+        for record in serial_smoke.records:
+            assert record.speedup() >= 1.0 - 1e-9
+
+    def test_rows_are_flat_and_complete(self, serial_smoke):
+        rows = serial_smoke.to_rows()
+        assert len(rows) == SMOKE.num_points
+        for row in rows:
+            assert row["strategies"] == "dp,mp"
+            assert isinstance(row["hypar_speedup"], float)
+
+    def test_single_accelerator_point_degenerates(self):
+        spec = SweepSpec(name="one", models=("Lenet-c",), batch_sizes=(64,), array_sizes=(1,))
+        result = run_sweep(spec)
+        (record,) = result.records
+        assert set(record.metrics) == {"single"}
+        assert record.hypar_levels == ()
+        assert record.metrics["single"].communication_gb == 0.0
+
+
+class TestSerialParallelParity:
+    """The acceptance bar: both runners produce identical artifacts."""
+
+    def test_parallel_rows_and_artifacts_identical_to_serial(self, tmp_path, serial_smoke):
+        with SweepEngine(workers=2) as engine:
+            parallel = run_sweep(SMOKE, engine=engine)
+
+        assert parallel.to_rows() == serial_smoke.to_rows()
+
+        serial_paths = serial_smoke.write_artifacts(str(tmp_path / "serial"))
+        parallel_paths = parallel.write_artifacts(str(tmp_path / "parallel"))
+        for kind in ("json", "csv"):
+            serial_bytes = open(serial_paths[kind], "rb").read()
+            parallel_bytes = open(parallel_paths[kind], "rb").read()
+            assert serial_bytes == parallel_bytes, f"{kind} artifact differs"
+
+    def test_chunking_does_not_change_results(self, serial_smoke):
+        with SweepEngine(workers=2, chunk_size=1) as engine:
+            assert run_sweep(SMOKE, engine=engine).to_rows() == serial_smoke.to_rows()
+
+
+class TestSharedTableCache:
+    def test_grid_compiles_once_per_configuration(self):
+        clear_caches()
+        cache = shared_table_cache()
+        run_sweep(SMOKE)
+        # smoke: 2 models x 2 batches at one (levels, scaling, strategies)
+        # configuration = 4 distinct tables; the search plus all three
+        # simulations of each point gather from one compilation.
+        assert cache.misses == SMOKE.num_points
+        first_run_stats = cache.stats()
+
+        # A second pass over the same grid recompiles nothing.
+        run_sweep(SMOKE)
+        assert cache.misses == first_run_stats["misses"]
+        assert cache.hits > first_run_stats["hits"]
+        clear_caches()
+
+    def test_repeated_points_hit_the_cache(self):
+        clear_caches()
+        cache = shared_table_cache()
+        point = SMOKE.points()[0]
+        evaluate_point(point)
+        misses = cache.misses
+        evaluate_point(point)
+        assert cache.misses == misses
+        assert cache.hits >= 1
+        clear_caches()

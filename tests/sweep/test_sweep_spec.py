@@ -1,0 +1,99 @@
+"""Tests for the declarative sweep grid description."""
+
+import json
+
+import pytest
+
+from repro.sweep.spec import PAPER_MODELS, PRESETS, SweepSpec, load_spec
+
+
+class TestSweepSpec:
+    def test_points_expand_the_full_product_deterministically(self):
+        spec = SweepSpec(
+            name="grid",
+            models=("Lenet-c", "AlexNet"),
+            batch_sizes=(64, 256),
+            topologies=("htree", "torus"),
+        )
+        points = spec.points()
+        assert len(points) == spec.num_points == 8
+        assert [point.index for point in points] == list(range(8))
+        # Models vary outermost, the later axes innermost.
+        assert [point.model for point in points[:4]] == ["Lenet-c"] * 4
+        assert [point.topology for point in points[:2]] == ["htree", "torus"]
+        assert points == spec.points()
+
+    def test_point_labels_are_unique(self):
+        spec = PRESETS["fig12"]
+        labels = [point.label() for point in spec.points()]
+        assert len(set(labels)) == len(labels)
+
+    def test_rejects_empty_axes(self):
+        with pytest.raises(ValueError):
+            SweepSpec(name="empty", models=())
+
+    def test_rejects_non_power_of_two_array_sizes(self):
+        with pytest.raises(ValueError):
+            SweepSpec(name="bad", models=("Lenet-c",), array_sizes=(12,))
+
+    def test_rejects_unknown_topology(self):
+        with pytest.raises(ValueError):
+            SweepSpec(name="bad", models=("Lenet-c",), topologies=("ring",))
+
+    def test_rejects_unknown_scaling_mode(self):
+        with pytest.raises(ValueError):
+            SweepSpec(name="bad", models=("Lenet-c",), scaling_modes=("magic",))
+
+    def test_rejects_unknown_strategy(self):
+        with pytest.raises(ValueError):
+            SweepSpec(name="bad", models=("Lenet-c",), strategy_spaces=("dp,zz",))
+
+
+class TestJsonRoundTrip:
+    def test_round_trip(self):
+        spec = PRESETS["smoke"]
+        assert SweepSpec.from_json(spec.to_json()) == spec
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown sweep spec keys"):
+            SweepSpec.from_json({"name": "x", "models": ["Lenet-c"], "surprise": 1})
+
+    def test_bare_string_axis_rejected(self):
+        # tuple("VGG-A") would silently explode into single letters.
+        with pytest.raises(ValueError, match="must be a list"):
+            SweepSpec.from_json({"name": "x", "models": "VGG-A"})
+        with pytest.raises(ValueError, match="must be a list"):
+            SweepSpec.from_json(
+                {"name": "x", "models": ["Lenet-c"], "topologies": "htree"}
+            )
+
+    def test_missing_required_keys_rejected(self):
+        with pytest.raises(ValueError, match="requires at least"):
+            SweepSpec.from_json({"name": "x"})
+
+    def test_from_file(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(PRESETS["smoke"].to_json()))
+        assert SweepSpec.from_file(str(path)) == PRESETS["smoke"]
+
+
+class TestPresets:
+    def test_fig6_is_the_paper_grid(self):
+        spec = PRESETS["fig6"]
+        assert spec.models == PAPER_MODELS
+        assert spec.batch_sizes == (256,)
+        assert spec.array_sizes == (16,)
+        assert spec.topologies == ("htree",)
+
+    def test_every_preset_expands(self):
+        for name, spec in PRESETS.items():
+            assert spec.num_points >= 1, name
+            assert spec.points()
+
+    def test_load_spec_resolves_presets_and_files(self, tmp_path):
+        assert load_spec("smoke") == PRESETS["smoke"]
+        path = tmp_path / "mine.json"
+        path.write_text(json.dumps({"name": "mine", "models": ["Lenet-c"]}))
+        assert load_spec(str(path)).name == "mine"
+        with pytest.raises(ValueError, match="unknown sweep preset"):
+            load_spec("not-a-preset")

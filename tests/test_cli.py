@@ -99,3 +99,78 @@ class TestCommands:
     def test_unknown_model_raises_keyerror(self):
         with pytest.raises(KeyError):
             main(["partition", "resnet-50"])
+
+
+class TestSweepCommand:
+    def test_list_presets(self, capsys):
+        assert main(["sweep", "--list"]) == 0
+        out = capsys.readouterr().out
+        for preset in ("fig6", "fig12", "smoke", "batch"):
+            assert preset in out
+
+    def test_missing_spec_errors(self, capsys):
+        assert main(["sweep"]) == 2
+        assert "required" in capsys.readouterr().err
+
+    def test_smoke_preset_prints_every_point(self, capsys):
+        assert main(["sweep", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "smoke: 4 points" in out
+        assert out.count("Lenet-c/b") == 2
+        assert out.count("Cifar-c/b") == 2
+
+    def test_spec_file_with_artifacts(self, tmp_path, capsys):
+        import json
+
+        spec_path = tmp_path / "mini.json"
+        spec_path.write_text(
+            json.dumps(
+                {
+                    "name": "mini",
+                    "models": ["Lenet-c"],
+                    "batch_sizes": [64],
+                    "array_sizes": [4],
+                }
+            )
+        )
+        out_dir = tmp_path / "artifacts"
+        assert main(["sweep", str(spec_path), "--out", str(out_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "artifacts:" in out
+        payload = json.loads((out_dir / "mini.json").read_text())
+        assert payload["spec"]["name"] == "mini"
+        assert len(payload["rows"]) == 1
+        assert (out_dir / "mini.csv").read_text().startswith("index,model,")
+
+    def test_study_out_flag_writes_artifacts(self, tmp_path, capsys):
+        import json
+
+        out_dir = tmp_path / "study"
+        assert (
+            main(
+                [
+                    "scalability",
+                    "--model",
+                    "Lenet-c",
+                    "--sizes",
+                    "1,4",
+                    "--batch-size",
+                    "64",
+                    "--out",
+                    str(out_dir),
+                ]
+            )
+            == 0
+        )
+        assert "artifacts:" in capsys.readouterr().out
+        payload = json.loads((out_dir / "scalability.json").read_text())
+        assert payload["study"] == "scalability"
+        assert len(payload["rows"]) == 2
+        assert (out_dir / "scalability.csv").read_text().startswith("num_accelerators,")
+
+    def test_workers_flag_matches_serial_output(self, capsys):
+        assert main(["sweep", "smoke"]) == 0
+        serial_out = capsys.readouterr().out
+        assert main(["sweep", "smoke", "--workers", "2"]) == 0
+        parallel_out = capsys.readouterr().out
+        assert parallel_out == serial_out
