@@ -1,0 +1,102 @@
+"""Throughput of the ``hypar serve`` daemon: warm requests vs cold CLI runs.
+
+The service exists so repeated traffic stops paying the one-shot CLI tax
+(interpreter startup, imports, model construction, cost-table
+compilation).  This bench quantifies that: it stands up a real daemon on
+an ephemeral port, primes it with one request, then
+
+* times warm repeated ``POST /partition`` requests over HTTP (the
+  pytest-benchmark stat *and* a manual requests/sec loop), and
+* times the identical workload as cold ``hypar partition`` CLI
+  subprocesses, exactly as a non-daemon caller would pay for it.
+
+Both throughputs and their ratio land in ``benchmark.extra_info`` /
+``BENCH_search.json``.  The acceptance bar (ISSUE 5) is a >= 10x warm
+advantage; in practice the warm path is hundreds of times faster because
+a cache hit is a dictionary lookup plus HTTP framing.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import threading
+import time
+
+from repro.service.client import ServiceClient
+from repro.service.server import build_server
+
+from conftest import emit
+
+#: The workload, identical on both paths: partition Lenet-c on a
+#: four-accelerator array at batch 64.
+_FIELDS = {"model": "Lenet-c", "batch_size": 64, "num_accelerators": 4}
+_CLI_ARGS = ["partition", "Lenet-c", "--batch-size", "64", "--accelerators", "4"]
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: Acceptance floor for the warm-vs-cold advantage.
+MIN_WARM_SPEEDUP = 10.0
+
+
+def _cold_cli_seconds(runs: int = 2) -> float:
+    """Mean wall-clock of a cold ``hypar partition`` CLI invocation."""
+    env = dict(os.environ)
+    src = os.path.join(_REPO_ROOT, "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    total = 0.0
+    for _ in range(runs):
+        start = time.perf_counter()
+        subprocess.run(
+            [sys.executable, "-m", "repro", *_CLI_ARGS],
+            check=True,
+            capture_output=True,
+            cwd=_REPO_ROOT,
+            env=env,
+        )
+        total += time.perf_counter() - start
+    return total / runs
+
+
+def test_service_warm_requests_vs_cold_cli(benchmark):
+    """Warm daemon latency must beat the cold CLI by >= 10x (it's ~100x+)."""
+    server = build_server(port=0)
+    acceptor = threading.Thread(
+        target=server.serve_forever, kwargs={"poll_interval": 0.05}, daemon=True
+    )
+    acceptor.start()
+    try:
+        with ServiceClient("127.0.0.1", server.port) as client:
+            client.wait_until_healthy()
+            client.partition(**_FIELDS)  # prime: compile table, fill cache
+
+            warm_requests = 100
+            start = time.perf_counter()
+            for _ in range(warm_requests):
+                client.partition(**_FIELDS)
+            warm_seconds = (time.perf_counter() - start) / warm_requests
+
+            benchmark(client.partition, **_FIELDS)
+
+            cold_seconds = _cold_cli_seconds()
+            health = client.healthz()
+    finally:
+        server.close()
+        acceptor.join(timeout=5.0)
+
+    warm_rps = 1.0 / warm_seconds
+    cold_rps = 1.0 / cold_seconds
+    speedup = cold_seconds / warm_seconds
+    benchmark.extra_info["warm_requests_per_second"] = warm_rps
+    benchmark.extra_info["cold_cli_requests_per_second"] = cold_rps
+    benchmark.extra_info["warm_vs_cold_speedup"] = speedup
+    benchmark.extra_info["result_cache_hits"] = health["result_cache"]["hits"]
+    emit(
+        "Service throughput: warm POST /partition vs cold `hypar partition`",
+        f"warm    : {warm_rps:,.0f} requests/s ({warm_seconds * 1e3:.3f} ms each)\n"
+        f"cold CLI: {cold_rps:,.2f} requests/s ({cold_seconds:.3f} s each)\n"
+        f"speedup : {speedup:.0f}x (floor {MIN_WARM_SPEEDUP:.0f}x)",
+    )
+    assert health["result_cache"]["hits"] >= warm_requests
+    assert speedup >= MIN_WARM_SPEEDUP

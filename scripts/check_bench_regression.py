@@ -11,8 +11,10 @@ Usage::
 Compares the mean latency of every benchmark present in both files and
 exits non-zero when any regresses by more than the threshold (20% by
 default, overridable with ``--threshold``).  Also re-checks the recorded
-``speedup_vs_reference`` extra-info values against the acceptance floor of
-20x, so the vectorized engine cannot silently fall back below its bar even
+speedup extra-info values against their acceptance floors --
+``speedup_vs_reference`` >= 20x (the vectorized engine over the object
+path) and ``warm_vs_cold_speedup`` >= 10x (the service's warm requests
+over a cold CLI run) -- so neither can silently fall below its bar even
 if it stays self-consistent between runs.
 
 Both sides accept either the full ``pytest-benchmark`` JSON format or the
@@ -34,26 +36,60 @@ import argparse
 import json
 import sys
 
-#: Acceptance floor for the vectorized-vs-object-path speedups recorded by
-#: benchmarks/bench_sweep_throughput.py.
-MIN_SPEEDUP = 20.0
+#: Acceptance floors for speedups recorded in ``benchmark.extra_info``:
+#: the vectorized-vs-object-path ratio of bench_sweep_throughput.py and
+#: the warm-service-vs-cold-CLI ratio of bench_service_throughput.py.
+#: Whenever the committed baseline records one of these keys, the current
+#: run must record it too and clear the floor.
+SPEEDUP_FLOORS = {
+    "speedup_vs_reference": 20.0,
+    "warm_vs_cold_speedup": 10.0,
+}
 
 
-def load_benchmarks(path: str) -> dict[str, dict]:
+def load_benchmarks(path: str, role: str) -> dict[str, dict]:
     """Benchmarks keyed by fullname, from either supported format.
 
     The full pytest-benchmark payload and the slim summary baseline both
     carry ``benchmarks`` entries with ``fullname``, ``stats.mean`` and
     ``extra_info``, so a single mapping serves both; the ``format`` marker
     merely distinguishes them for error messages.
+
+    A missing, empty or unparseable file -- typically the *current*
+    results file when the benchmark run died before ``--benchmark-json``
+    wrote anything -- exits non-zero with a message saying so, instead of
+    a traceback.
     """
-    with open(path) as handle:
-        payload = json.load(handle)
-    benchmarks = payload.get("benchmarks")
+    try:
+        with open(path) as handle:
+            content = handle.read()
+    except OSError as error:
+        raise SystemExit(
+            f"error: cannot read the {role} results file {path!r} ({error}); "
+            "did the benchmark run fail before writing it?"
+        )
+    if not content.strip():
+        raise SystemExit(
+            f"error: the {role} results file {path!r} is empty; the benchmark "
+            "run was interrupted before pytest-benchmark wrote its JSON"
+        )
+    try:
+        payload = json.loads(content)
+    except json.JSONDecodeError as error:
+        raise SystemExit(
+            f"error: the {role} results file {path!r} is not valid JSON "
+            f"({error}); the benchmark run may have been interrupted mid-write"
+        )
+    benchmarks = payload.get("benchmarks") if isinstance(payload, dict) else None
     if benchmarks is None:
         raise SystemExit(
             f"error: {path} is neither a pytest-benchmark JSON nor a "
             "summary baseline (no 'benchmarks' key)"
+        )
+    if not benchmarks:
+        raise SystemExit(
+            f"error: the {role} results file {path!r} contains no benchmarks; "
+            "run the benchmark set named in the baseline"
         )
     return {bench["fullname"]: bench for bench in benchmarks}
 
@@ -70,8 +106,8 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    baseline = load_benchmarks(args.baseline)
-    current = load_benchmarks(args.current)
+    baseline = load_benchmarks(args.baseline, role="baseline")
+    current = load_benchmarks(args.current, role="current")
     shared = sorted(set(baseline) & set(current))
     if not shared:
         print("error: the two benchmark files have no benchmarks in common")
@@ -94,17 +130,19 @@ def main(argv: list[str] | None = None) -> int:
         # The baseline defines which benchmarks must carry a measured
         # speedup: dropping the extra_info in a refactor must not silently
         # disable the floor check.
-        speedup = current[name].get("extra_info", {}).get("speedup_vs_reference")
-        if baseline[name].get("extra_info", {}).get("speedup_vs_reference") is not None:
+        for key, floor in SPEEDUP_FLOORS.items():
+            if baseline[name].get("extra_info", {}).get(key) is None:
+                continue
+            speedup = current[name].get("extra_info", {}).get(key)
             if speedup is None:
                 failures.append(
-                    f"{name}: baseline records speedup_vs_reference but the "
-                    "current run does not — the floor check was skipped"
+                    f"{name}: baseline records {key} but the current run "
+                    "does not — the floor check was skipped"
                 )
-            elif speedup < MIN_SPEEDUP:
+            elif speedup < floor:
                 failures.append(
-                    f"{name}: speedup over the object-path reference fell to "
-                    f"{speedup:.1f}x (floor {MIN_SPEEDUP:.0f}x)"
+                    f"{name}: {key} fell to {speedup:.1f}x "
+                    f"(floor {floor:.0f}x)"
                 )
 
     missing = sorted(set(baseline) - set(current))

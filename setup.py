@@ -28,7 +28,9 @@ setup(
     long_description_content_type="text/markdown",
     author="HyPar Reproduction Authors",
     license="MIT",
-    python_requires=">=3.9",
+    # Matches the CI matrix (3.11/3.12) and the pinned numpy in
+    # requirements-ci.txt; older interpreters are untested.
+    python_requires=">=3.11",
     package_dir={"": "src"},
     packages=find_packages(where="src"),
     install_requires=[

@@ -44,6 +44,16 @@ Installed as the ``hypar`` console script (also runnable with
     (byte-identical to the serial run); ``--out DIR`` writes the JSON/CSV
     artifacts.  ``hypar sweep --list`` names the built-in presets.
 
+``hypar serve [--port P] [--workers N] [--cache-size M]``
+    Run the long-lived partition service: an HTTP daemon answering
+    ``POST /partition``, ``POST /simulate``, ``POST /sweep``,
+    ``GET /models``, ``GET /strategies`` and ``GET /healthz`` from a warm
+    LRU response cache over the shared compiled-table cache, with a
+    persistent ``--workers N`` pool behind ``/sweep``.  The one-shot
+    commands above remain the batch path; the daemon serves repeated
+    traffic at steady-state latencies (see the "Service layer" section of
+    DESIGN.md).  Stops cleanly on SIGTERM/SIGINT.
+
 Most sub-commands accept ``--strategies dp,mp,pp`` to widen the per-layer
 search axis beyond the paper's binary dp/mp choice (the default, which
 reproduces the paper exactly).
@@ -347,6 +357,18 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.server import serve
+
+    return serve(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        cache_size=args.cache_size,
+        log_requests=args.log_requests,
+    )
+
+
 def _cmd_placement(args: argparse.Namespace) -> int:
     from repro.core.placement import TensorPlacement, placement_summary
 
@@ -495,6 +517,44 @@ def build_parser() -> argparse.ArgumentParser:
         "--list", action="store_true", help="list the built-in sweep presets"
     )
     sweep_parser.set_defaults(handler=_cmd_sweep)
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="run the long-lived partition service (HTTP daemon with a warm "
+        "cache; the other commands remain the one-shot batch path)",
+    )
+    # Literal defaults mirror repro.service (asserted equal by the CLI
+    # tests) so the service package only imports when `serve` runs.
+    serve_parser.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address (default: %(default)s, loopback only)",
+    )
+    serve_parser.add_argument(
+        "--port",
+        type=int,
+        default=8100,
+        help="TCP port (default: %(default)s; 0 picks a free port)",
+    )
+    serve_parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="persistent worker processes behind POST /sweep "
+        "(default: %(default)s, i.e. in-process serial)",
+    )
+    serve_parser.add_argument(
+        "--cache-size",
+        type=int,
+        default=256,
+        help="LRU response-cache capacity (default: %(default)s entries)",
+    )
+    serve_parser.add_argument(
+        "--log-requests",
+        action="store_true",
+        help="log every request line to stderr",
+    )
+    serve_parser.set_defaults(handler=_cmd_serve)
 
     placement_parser = subparsers.add_parser(
         "placement", help="show per-accelerator tensor shards and memory footprints"

@@ -1359,6 +1359,7 @@ class TableCache:
         self._tables: dict[tuple, HierarchicalCostTable] = {}
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._tables)
@@ -1385,6 +1386,7 @@ class TableCache:
             # Simple full flush, like the simulator's historical id-keyed
             # cache: sweeps revisit configurations in grid order, so an
             # LRU would only help adversarial access patterns.
+            self.evictions += len(self._tables)
             self._tables.clear()
         table = HierarchicalCostTable(
             model,
@@ -1401,7 +1403,20 @@ class TableCache:
         self._tables.clear()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when untouched)."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
 
     def stats(self) -> dict:
-        """Counters for tests and sweep reports."""
-        return {"hits": self.hits, "misses": self.misses, "size": len(self._tables)}
+        """Counters for tests, sweep reports and the service ``/healthz``."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "size": len(self._tables),
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }

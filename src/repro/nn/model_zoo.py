@@ -475,6 +475,26 @@ def _normalized_lookup(builders: Dict[str, Callable[[], DNNModel]]) -> Dict[str,
     return lookup
 
 
+def canonical_model_name(name: str) -> str:
+    """Resolve ``name`` to the canonical zoo spelling without building it.
+
+    Accepts everything :func:`get_model` accepts (case and ``-``/``_``
+    variants, aliases) and raises the same :class:`KeyError` for unknown
+    names.  The service layer canonicalizes request payloads with this so
+    ``vgg_a`` and ``VGG-A`` hash to the same cache key.
+    """
+    builders = all_model_builders()
+    canonical = _normalized_lookup(builders).get(_normalize_model_name(name))
+    if canonical is None:
+        known = ", ".join(builders)
+        aliases = ", ".join(sorted(_ALIASES))
+        raise KeyError(
+            f"unknown model {name!r}; known models: {known}; "
+            f"aliases (separators '-'/'_' are interchangeable): {aliases}"
+        )
+    return canonical
+
+
 def get_model(name: str) -> DNNModel:
     """Return one of the evaluation networks by (case-insensitive) name.
 
@@ -488,16 +508,7 @@ def get_model(name: str) -> DNNModel:
         If the name is not one of the known models or aliases; the message
         lists both the canonical names and the accepted aliases.
     """
-    builders = all_model_builders()
-    canonical = _normalized_lookup(builders).get(_normalize_model_name(name))
-    if canonical is None:
-        known = ", ".join(builders)
-        aliases = ", ".join(sorted(_ALIASES))
-        raise KeyError(
-            f"unknown model {name!r}; known models: {known}; "
-            f"aliases (separators '-'/'_' are interchangeable): {aliases}"
-        )
-    return builders[canonical]()
+    return all_model_builders()[canonical_model_name(name)]()
 
 
 def all_models() -> List[DNNModel]:

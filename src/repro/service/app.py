@@ -1,0 +1,361 @@
+"""Endpoint logic of the ``hypar serve`` daemon (HTTP-agnostic).
+
+:class:`HyParService` maps ``(method, path, body)`` to
+``(status, response bytes)`` without touching sockets, so the whole
+request surface is unit-testable in-process; the thin HTTP layer lives in
+:mod:`repro.service.server`.
+
+Endpoints
+---------
+``POST /partition``
+    HyPar's hierarchical partition search for one network.
+``POST /simulate``
+    One sweep grid point: search HyPar, simulate it next to the Model/Data
+    Parallelism baselines (via :func:`repro.sweep.runner.evaluate_point`).
+``POST /sweep``
+    A whole grid (``{"preset": ...}`` or ``{"spec": {...}}``) through the
+    service's persistent :class:`~repro.sweep.engine.SweepEngine`.  The
+    response bytes equal the ``<name>.json`` artifact a ``hypar sweep``
+    CLI run of the same canonical spec writes.
+``GET /models`` / ``GET /strategies``
+    The model zoo and the strategy registry.
+``GET /healthz``
+    Liveness plus observability: result-cache and compiled-table-cache
+    counters, request totals, worker-pool state.
+
+POST responses are cached as rendered bytes in a
+:class:`~repro.service.cache.ResultCache` keyed by the canonical request
+hash; misses compile cost tables through the process-wide
+:func:`~repro.sweep.cache.shared_table_cache`, so a warm daemon answers
+repeated traffic without recompiling anything.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import Callable, Mapping
+
+from repro.core.hierarchical import HierarchicalPartitioner
+from repro.core.result import HierarchicalResult
+from repro.core.strategies import registered_strategies
+from repro.nn.model_zoo import all_model_builders, get_model
+from repro.service.cache import DEFAULT_CACHE_SIZE, KeyedLocks, ResultCache
+from repro.service.schemas import (
+    PartitionRequest,
+    SchemaError,
+    ServiceRequest,
+    SimulateRequest,
+    SweepRequest,
+)
+from repro.sweep.artifacts import payload_to_json
+from repro.sweep.cache import runtime_cached, shared_table_cache
+from repro.sweep.engine import SweepEngine
+from repro.sweep.runner import evaluate_point, run_sweep
+from repro.sweep.spec import SweepPoint
+
+#: Method and one-line summary per path, also served on 404s.
+ENDPOINTS: Mapping[str, tuple[str, str]] = {
+    "/partition": ("POST", "hierarchical partition search for one network"),
+    "/simulate": ("POST", "search + simulate one grid point (MP/DP/HyPar)"),
+    "/sweep": ("POST", "run a sweep grid (preset name or inline spec)"),
+    "/models": ("GET", "the evaluation-network zoo"),
+    "/strategies": ("GET", "the registered per-layer parallelism strategies"),
+    "/healthz": ("GET", "liveness and cache/request counters"),
+}
+
+JSON_CONTENT_TYPE = "application/json"
+
+
+class RequestError(Exception):
+    """An error with a definite HTTP status and a user-facing message."""
+
+    def __init__(self, status: int, message: str, **extra) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+        self.extra = dict(extra)
+
+
+def _render(payload) -> bytes:
+    """Deterministic response bytes (the sweep artifact serialization)."""
+    return payload_to_json(payload).encode()
+
+
+class HyParService:
+    """The daemon's endpoint logic and long-lived warm state.
+
+    Parameters
+    ----------
+    workers:
+        Worker processes of the persistent sweep engine ``POST /sweep``
+        fans grid points into (``1`` = in-process serial).
+    cache_size:
+        Capacity of the LRU response cache (``--cache-size``).
+    engine:
+        Optional externally owned engine (tests); by default the service
+        creates one and :meth:`close` shuts it down.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+        engine: SweepEngine | None = None,
+    ) -> None:
+        self.result_cache = ResultCache(cache_size)
+        # Coalesces compiles across *different* requests sharing one cost
+        # table (e.g. /partition + /simulate of the same configuration).
+        self._config_locks = KeyedLocks()
+        self._owns_engine = engine is None
+        self.engine = engine if engine is not None else SweepEngine(workers=workers)
+        self._started = time.monotonic()
+        self._counter_lock = threading.Lock()
+        self.requests_served = 0
+        self.request_errors = 0
+        self._static: dict[str, bytes] = {}
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the worker pool (idempotent; see SweepEngine.close)."""
+        if self._owns_engine:
+            self.engine.close()
+
+    def __enter__(self) -> "HyParService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Dispatch.
+    # ------------------------------------------------------------------
+
+    def handle(self, method: str, path: str, body: bytes | None) -> tuple[int, bytes]:
+        """One request in, ``(status, response bytes)`` out."""
+        try:
+            status, response = self._dispatch(method, path.split("?", 1)[0], body)
+        except RequestError as error:
+            with self._counter_lock:
+                self.request_errors += 1
+            return error.status, _render({"error": error.message, **error.extra})
+        except Exception as error:  # noqa: BLE001 - the daemon must not die
+            with self._counter_lock:
+                self.request_errors += 1
+            return 500, _render(
+                {"error": f"internal error: {type(error).__name__}: {error}"}
+            )
+        with self._counter_lock:
+            self.requests_served += 1
+        return status, response
+
+    def _dispatch(self, method: str, path: str, body: bytes | None) -> tuple[int, bytes]:
+        if path not in ENDPOINTS:
+            raise RequestError(
+                404,
+                f"unknown path {path!r}",
+                endpoints={p: f"{m} - {summary}" for p, (m, summary) in ENDPOINTS.items()},
+            )
+        expected, _ = ENDPOINTS[path]
+        if method != expected:
+            raise RequestError(
+                405, f"{path} expects {expected}, got {method}", allow=expected
+            )
+        if method == "GET":
+            handlers: dict[str, Callable[[], bytes]] = {
+                "/models": self._models_body,
+                "/strategies": self._strategies_body,
+                "/healthz": self._healthz_body,
+            }
+            return 200, handlers[path]()
+        payload = self._parse_body(path, body)
+        request = self._parse_request(path, payload)
+        computes: dict[str, Callable[[ServiceRequest], bytes]] = {
+            "/partition": self._partition_body,
+            "/simulate": self._simulate_body,
+            "/sweep": self._sweep_body,
+        }
+        compute = computes[path]
+
+        def guarded() -> bytes:
+            with self._config_locks.holding(request.coalesce_key()):
+                return compute(request)
+
+        response, _hit = self.result_cache.get_or_compute(
+            request.cache_key(), guarded
+        )
+        return 200, response
+
+    @staticmethod
+    def _parse_body(path: str, body: bytes | None):
+        if not body:
+            raise RequestError(
+                400, f"{path} requires a JSON request body (got an empty body)"
+            )
+        try:
+            return json.loads(body)
+        except json.JSONDecodeError as error:
+            raise RequestError(
+                400, f"request body is not valid JSON: {error}"
+            ) from None
+
+    @staticmethod
+    def _parse_request(path: str, payload) -> ServiceRequest:
+        schemas: dict[str, Callable] = {
+            "/partition": PartitionRequest.from_payload,
+            "/simulate": SimulateRequest.from_payload,
+            "/sweep": SweepRequest.from_payload,
+        }
+        try:
+            return schemas[path](payload)
+        except SchemaError as error:
+            raise RequestError(400, str(error)) from None
+
+    # ------------------------------------------------------------------
+    # POST endpoints (computed once per canonical request, then cached).
+    # ------------------------------------------------------------------
+
+    def _partition_body(self, request: PartitionRequest) -> bytes:
+        model = runtime_cached(("model", request.model), lambda: get_model(request.model))
+        num_levels = request.num_accelerators.bit_length() - 1
+        partitioner = runtime_cached(
+            (
+                "service-partitioner",
+                num_levels,
+                request.scaling_mode,
+                request.strategies,
+            ),
+            lambda: HierarchicalPartitioner(
+                num_levels=num_levels,
+                scaling_mode=request.scaling_mode,
+                strategies=request.strategies,
+            ),
+        )
+        table = shared_table_cache().get_or_compile(
+            model,
+            request.batch_size,
+            num_levels,
+            scaling_mode=request.scaling_mode,
+            strategies=request.strategies,
+        )
+        result = partitioner.partition(model, request.batch_size, table=table)
+        return _render(self._partition_payload(request, model, result))
+
+    @staticmethod
+    def _partition_payload(
+        request: PartitionRequest, model, result: HierarchicalResult
+    ) -> dict:
+        return {
+            "request": request.canonical_payload(),
+            "model": result.model_name,
+            "batch_size": result.batch_size,
+            "num_accelerators": result.num_accelerators,
+            "layers": [layer.name for layer in model],
+            "levels": [
+                {
+                    "level": level.level + 1,
+                    "assignment": [choice.short for choice in level.assignment],
+                    "pair_communication_bytes": level.communication_bytes,
+                    "num_pairs": level.num_pairs,
+                    "total_bytes": level.total_bytes,
+                }
+                for level in result.levels
+            ],
+            "total_communication_bytes": result.total_communication_bytes,
+            "total_communication_gb": result.total_communication_bytes / 1e9,
+        }
+
+    def _simulate_body(self, request: SimulateRequest) -> bytes:
+        point = SweepPoint.single(
+            model=request.model,
+            batch_size=request.batch_size,
+            num_accelerators=request.num_accelerators,
+            topology=request.topology,
+            scaling_mode=request.scaling_mode,
+            strategies=request.strategies,
+        )
+        record = evaluate_point(point)
+        return _render(
+            {
+                "request": request.canonical_payload(),
+                "label": point.label(),
+                "row": record.to_row(),
+            }
+        )
+
+    def _sweep_body(self, request: SweepRequest) -> bytes:
+        result = run_sweep(request.to_spec(), engine=self.engine)
+        # Byte-for-byte the artifact `hypar sweep <spec> --out DIR` writes.
+        return payload_to_json(result.to_payload()).encode()
+
+    # ------------------------------------------------------------------
+    # GET endpoints.
+    # ------------------------------------------------------------------
+
+    def _models_body(self) -> bytes:
+        body = self._static.get("/models")
+        if body is None:
+            models = [builder() for builder in all_model_builders().values()]
+            body = _render(
+                {
+                    "models": [
+                        {
+                            "name": model.name,
+                            "num_weighted_layers": model.num_weighted_layers,
+                            "num_conv_layers": model.num_conv_layers,
+                            "num_fc_layers": model.num_fc_layers,
+                            "total_weights": model.total_weights,
+                            "is_chain": model.is_chain,
+                            "num_edges": model.num_edges,
+                        }
+                        for model in models
+                    ]
+                }
+            )
+            self._static["/models"] = body
+        return body
+
+    def _strategies_body(self) -> bytes:
+        body = self._static.get("/strategies")
+        if body is None:
+            body = _render(
+                {
+                    "strategies": [
+                        {
+                            "short": spec.short,
+                            "parallelism": spec.parallelism.name.lower(),
+                            "halves": spec.halves,
+                            "stage_local": spec.stage_local,
+                            "description": spec.description,
+                        }
+                        for spec in registered_strategies()
+                    ]
+                }
+            )
+            self._static["/strategies"] = body
+        return body
+
+    def _healthz_body(self) -> bytes:
+        with self._counter_lock:
+            served = self.requests_served
+            errors = self.request_errors
+        return _render(
+            {
+                "status": "ok",
+                "service": "hypar-serve",
+                "uptime_seconds": round(time.monotonic() - self._started, 3),
+                "workers": self.engine.workers,
+                "pool_active": self.engine.pool_active,
+                "endpoints": {
+                    path: f"{method} - {summary}"
+                    for path, (method, summary) in ENDPOINTS.items()
+                },
+                "result_cache": self.result_cache.stats(),
+                "table_cache": shared_table_cache().stats(),
+                "requests": {"served": served, "errors": errors},
+            }
+        )

@@ -1,0 +1,170 @@
+"""Thread-safe LRU response cache with single-flight computation.
+
+The daemon caches *rendered response bytes* keyed by the deterministic
+request hash of :mod:`repro.service.schemas`.  Two properties matter for a
+threaded server:
+
+* **LRU bound** -- at most ``limit`` responses are retained; the least
+  recently *used* entry is evicted first (``--cache-size`` on the CLI).
+* **Single flight** -- when several threads miss on the same key at once,
+  exactly one computes while the rest wait for its result, so a burst of
+  identical cold requests compiles the underlying cost table exactly once
+  (waiters count as ``coalesced`` in the stats).
+
+Hit/miss/eviction/coalesced counters surface through ``GET /healthz``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from collections import OrderedDict
+from typing import Callable, Iterator, TypeVar
+
+Value = TypeVar("Value")
+
+#: Default response-cache capacity (``hypar serve --cache-size``).
+DEFAULT_CACHE_SIZE = 256
+
+
+class KeyedLocks:
+    """A bounded registry of per-key locks.
+
+    The response cache single-flights *identical* requests; this
+    coalesces the next tier -- *different* requests sharing expensive
+    intermediate state (e.g. ``/partition`` and ``/simulate`` for the
+    same model/batch configuration both needing one compiled cost table).
+    Holding the key's lock around the computation serializes those
+    compiles, so the second requester finds the table cache warm.
+
+    The locks live only in request threads of the daemon process; sweep
+    worker processes never acquire them, so a ``fork`` mid-hold cannot
+    deadlock a worker (the reason ``TableCache`` itself stays lock-free).
+    """
+
+    def __init__(self, limit: int = 512) -> None:
+        self._lock = threading.Lock()
+        self._locks: dict = {}
+        self._limit = limit
+
+    @contextlib.contextmanager
+    def holding(self, key) -> Iterator[None]:
+        with self._lock:
+            if key not in self._locks and len(self._locks) >= self._limit:
+                # Drop idle locks; anything currently held stays.
+                self._locks = {
+                    k: lock for k, lock in self._locks.items() if lock.locked()
+                }
+            lock = self._locks.setdefault(key, threading.Lock())
+        with lock:
+            yield
+
+
+class _InFlight:
+    """One pending computation other threads can wait on."""
+
+    __slots__ = ("event", "value", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.value = None
+        self.error: BaseException | None = None
+
+
+class ResultCache:
+    """LRU mapping of request-hash -> value, with per-key single flight."""
+
+    def __init__(self, limit: int = DEFAULT_CACHE_SIZE) -> None:
+        if limit <= 0:
+            raise ValueError(f"limit must be positive, got {limit}")
+        self.limit = limit
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, object]" = OrderedDict()
+        self._inflight: dict[str, _InFlight] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.coalesced = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def get_or_compute(
+        self, key: str, compute: Callable[[], Value]
+    ) -> tuple[Value, bool]:
+        """The cached value for ``key``, computing it on first use.
+
+        Returns ``(value, served_from_cache)``.  Concurrent callers with
+        the same key coalesce onto one computation; if that computation
+        raises, every coalesced caller sees the same exception (requests
+        are deterministic, so a retry would fail identically).
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return entry, True  # type: ignore[return-value]
+            flight = self._inflight.get(key)
+            if flight is None:
+                flight = _InFlight()
+                self._inflight[key] = flight
+                owner = True
+            else:
+                owner = False
+                self.coalesced += 1
+
+        if not owner:
+            flight.event.wait()
+            if flight.error is not None:
+                raise flight.error
+            return flight.value, True  # type: ignore[return-value]
+
+        try:
+            value = compute()
+        except BaseException as error:
+            with self._lock:
+                self._inflight.pop(key, None)
+            flight.error = error
+            flight.event.set()
+            raise
+        with self._lock:
+            self.misses += 1
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.limit:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+            self._inflight.pop(key, None)
+        flight.value = value
+        flight.event.set()
+        return value, False
+
+    def clear(self) -> None:
+        """Drop every entry and reset the counters (in-flight keys remain)."""
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
+            self.coalesced = 0
+
+    def stats(self) -> dict:
+        """Counters for ``GET /healthz`` and the tests."""
+        with self._lock:
+            lookups = self.hits + self.misses + self.coalesced
+            served = self.hits + self.coalesced
+            return {
+                "size": len(self._entries),
+                "limit": self.limit,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "coalesced": self.coalesced,
+                "hit_rate": served / lookups if lookups else 0.0,
+            }

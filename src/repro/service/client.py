@@ -1,0 +1,151 @@
+"""A thin stdlib client for the ``hypar serve`` daemon.
+
+Used by the service tests, the throughput benchmark and scripts; it is
+also a reference for talking to the daemon from anywhere else (the README
+shows the equivalent ``curl`` invocations).  One persistent keep-alive
+connection per client, transparently re-opened when the server side closes
+it between requests.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import http.client
+import json
+import socket
+import time
+
+
+class ServiceClientError(RuntimeError):
+    """A non-2xx response, carrying the status and the error body."""
+
+    def __init__(self, status: int, body: bytes) -> None:
+        try:
+            detail = json.loads(body).get("error", body.decode(errors="replace"))
+        except (ValueError, AttributeError):
+            detail = body.decode(errors="replace")
+        super().__init__(f"HTTP {status}: {detail}")
+        self.status = status
+        self.body = body
+
+
+@dataclasses.dataclass(frozen=True)
+class ServiceResponse:
+    """Raw status and body of one exchange (bytes kept for parity tests)."""
+
+    status: int
+    body: bytes
+
+    def json(self):
+        return json.loads(self.body)
+
+
+class ServiceClient:
+    """Talks JSON to a running daemon at ``host:port``."""
+
+    def __init__(self, host: str, port: int, timeout: float = 60.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._connection: http.client.HTTPConnection | None = None
+
+    # ------------------------------------------------------------------
+    # Transport.
+    # ------------------------------------------------------------------
+
+    def _connect(self) -> http.client.HTTPConnection:
+        if self._connection is None:
+            connection = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+            connection.connect()
+            # Mirror the server's TCP_NODELAY: headers and body are
+            # written separately, and Nagle + delayed ACK would otherwise
+            # cost ~40 ms per request on loopback.
+            connection.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            self._connection = connection
+        return self._connection
+
+    def close(self) -> None:
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def request(self, method: str, path: str, payload=None) -> ServiceResponse:
+        """One exchange; returns the raw response, whatever the status."""
+        body = None
+        headers = {}
+        if payload is not None:
+            body = json.dumps(payload).encode()
+            headers["Content-Type"] = "application/json"
+        for attempt in (0, 1):
+            connection = self._connect()
+            try:
+                connection.request(method, path, body=body, headers=headers)
+                response = connection.getresponse()
+                return ServiceResponse(response.status, response.read())
+            except (http.client.HTTPException, ConnectionError, BrokenPipeError):
+                # Stale keep-alive connection: reconnect once.
+                self.close()
+                if attempt:
+                    raise
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _checked(self, method: str, path: str, payload=None) -> dict:
+        response = self.request(method, path, payload)
+        if response.status != 200:
+            raise ServiceClientError(response.status, response.body)
+        return response.json()
+
+    # ------------------------------------------------------------------
+    # Endpoints.
+    # ------------------------------------------------------------------
+
+    def healthz(self) -> dict:
+        return self._checked("GET", "/healthz")
+
+    def models(self) -> dict:
+        return self._checked("GET", "/models")
+
+    def strategies(self) -> dict:
+        return self._checked("GET", "/strategies")
+
+    def partition(self, **fields) -> dict:
+        return self._checked("POST", "/partition", fields)
+
+    def simulate(self, **fields) -> dict:
+        return self._checked("POST", "/simulate", fields)
+
+    def sweep(self, preset: str | None = None, spec: dict | None = None) -> dict:
+        payload = {}
+        if preset is not None:
+            payload["preset"] = preset
+        if spec is not None:
+            payload["spec"] = spec
+        return self._checked("POST", "/sweep", payload)
+
+    # ------------------------------------------------------------------
+    # Readiness.
+    # ------------------------------------------------------------------
+
+    def wait_until_healthy(self, timeout: float = 10.0, interval: float = 0.05) -> dict:
+        """Poll ``/healthz`` until it answers 200 or ``timeout`` elapses."""
+        deadline = time.monotonic() + timeout
+        last_error: Exception | None = None
+        while time.monotonic() < deadline:
+            try:
+                return self.healthz()
+            except (OSError, ServiceClientError, ValueError) as error:
+                last_error = error
+                self.close()
+                time.sleep(interval)
+        raise TimeoutError(
+            f"service at {self.host}:{self.port} not healthy after {timeout}s "
+            f"(last error: {last_error})"
+        )

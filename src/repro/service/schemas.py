@@ -1,0 +1,311 @@
+"""Request schemas and canonicalization for the ``hypar serve`` daemon.
+
+Every POST endpoint validates its JSON body against a small frozen
+dataclass here.  Validation is strict (unknown fields are rejected with a
+message naming the known ones) and canonicalizing: model names resolve to
+their canonical zoo spelling, scaling modes and strategy spaces to their
+canonical short forms, and missing fields fill with the paper's defaults.
+Two payloads describing the same work -- fields reordered, aliases used,
+defaults spelled out or omitted -- therefore canonicalize to *equal*
+requests and hash to the same cache key.
+
+The cache key itself is :meth:`ServiceRequest.cache_key`: the SHA-256 of
+the endpoint kind plus the canonical payload serialized with sorted keys
+and fixed separators, so it is deterministic across processes and
+restarts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Mapping
+
+from repro.core.hierarchical import DEFAULT_BATCH_SIZE
+from repro.core.parallelism import StrategySpace
+from repro.core.tensors import ScalingMode
+from repro.nn.model_zoo import canonical_model_name
+from repro.sweep.spec import PRESETS, TOPOLOGY_NAMES, SweepSpec
+
+#: Default array size (the paper's sixteen-accelerator platform).
+DEFAULT_NUM_ACCELERATORS = 16
+
+
+class SchemaError(ValueError):
+    """A request payload failed validation; the message is user-facing."""
+
+
+def _require_mapping(payload, what: str) -> Mapping:
+    if not isinstance(payload, Mapping):
+        raise SchemaError(
+            f"{what} must be a JSON object, got {type(payload).__name__}"
+        )
+    return payload
+
+
+def _reject_unknown(payload: Mapping, known: tuple[str, ...], what: str) -> None:
+    unknown = sorted(set(payload) - set(known))
+    if unknown:
+        raise SchemaError(
+            f"unknown {what} field(s): {', '.join(unknown)}; "
+            f"known fields: {', '.join(known)}"
+        )
+
+
+def _int_field(payload: Mapping, name: str, default: int) -> int:
+    value = payload.get(name, default)
+    # bool is an int subclass; "batch_size": true must not pass as 1.
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise SchemaError(f"field {name!r} must be an integer, got {value!r}")
+    return value
+
+
+def _str_field(payload: Mapping, name: str, default: str) -> str:
+    value = payload.get(name, default)
+    if not isinstance(value, str):
+        raise SchemaError(f"field {name!r} must be a string, got {value!r}")
+    return value
+
+
+def _canonical_model(payload: Mapping) -> str:
+    if "model" not in payload:
+        raise SchemaError("field 'model' is required (e.g. \"VGG-A\")")
+    name = payload["model"]
+    if not isinstance(name, str):
+        raise SchemaError(f"field 'model' must be a string, got {name!r}")
+    try:
+        return canonical_model_name(name)
+    except KeyError as error:
+        raise SchemaError(str(error.args[0])) from None
+
+
+def _canonical_batch(payload: Mapping) -> int:
+    batch = _int_field(payload, "batch_size", DEFAULT_BATCH_SIZE)
+    if batch <= 0:
+        raise SchemaError(f"field 'batch_size' must be positive, got {batch}")
+    return batch
+
+
+def _canonical_accelerators(payload: Mapping, minimum: int) -> int:
+    count = _int_field(payload, "num_accelerators", DEFAULT_NUM_ACCELERATORS)
+    if count < minimum or count & (count - 1):
+        raise SchemaError(
+            f"field 'num_accelerators' must be a power of two >= {minimum}, "
+            f"got {count}"
+        )
+    return count
+
+
+def _canonical_scaling(payload: Mapping) -> str:
+    text = _str_field(payload, "scaling_mode", ScalingMode.PARALLELISM_AWARE.value)
+    try:
+        return ScalingMode.parse(text).value
+    except ValueError as error:
+        raise SchemaError(str(error)) from None
+
+
+def _canonical_strategies(payload: Mapping) -> str:
+    text = _str_field(payload, "strategies", "dp,mp")
+    try:
+        return StrategySpace.parse(text).describe()
+    except ValueError as error:
+        raise SchemaError(str(error)) from None
+
+
+def _canonical_topology(payload: Mapping) -> str:
+    name = _str_field(payload, "topology", "htree").strip().lower()
+    if name not in TOPOLOGY_NAMES:
+        raise SchemaError(
+            f"unknown topology {name!r}; known: {', '.join(TOPOLOGY_NAMES)}"
+        )
+    return name
+
+
+class ServiceRequest:
+    """Canonical-payload and cache-key behaviour shared by every schema."""
+
+    #: Endpoint kind mixed into the cache key ("partition", ...).
+    kind = ""
+
+    def canonical_payload(self) -> dict:
+        """The canonicalized request as a JSON-ready dict."""
+        return dataclasses.asdict(self)  # type: ignore[call-overload]
+
+    def cache_key(self) -> str:
+        """Deterministic hash identifying this request across processes."""
+        rendered = json.dumps(
+            {"kind": self.kind, **self.canonical_payload()},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(rendered.encode()).hexdigest()
+
+    def coalesce_key(self) -> tuple:
+        """The key *different* requests sharing heavy state serialize on.
+
+        ``/partition`` and ``/simulate`` requests for the same
+        (model, batch, array, scaling, strategies) configuration need the
+        same compiled cost table; computing them concurrently would
+        compile it twice (the response cache only single-flights
+        byte-identical requests).  The default is per-request (no
+        cross-request coalescing).
+        """
+        return (self.kind, self.cache_key())
+
+
+@dataclasses.dataclass(frozen=True)
+class PartitionRequest(ServiceRequest):
+    """``POST /partition``: search HyPar's assignment for one network."""
+
+    model: str
+    batch_size: int = DEFAULT_BATCH_SIZE
+    num_accelerators: int = DEFAULT_NUM_ACCELERATORS
+    scaling_mode: str = ScalingMode.PARALLELISM_AWARE.value
+    strategies: str = "dp,mp"
+
+    kind = "partition"
+    _FIELDS = ("model", "batch_size", "num_accelerators", "scaling_mode", "strategies")
+
+    def coalesce_key(self) -> tuple:
+        # Shared with /simulate: same table-relevant configuration.
+        return (
+            "table",
+            self.model,
+            self.batch_size,
+            self.num_accelerators,
+            self.scaling_mode,
+            self.strategies,
+        )
+
+    @classmethod
+    def from_payload(cls, payload) -> "PartitionRequest":
+        payload = _require_mapping(payload, "a /partition request")
+        _reject_unknown(payload, cls._FIELDS, "/partition")
+        return cls(
+            model=_canonical_model(payload),
+            batch_size=_canonical_batch(payload),
+            num_accelerators=_canonical_accelerators(payload, minimum=2),
+            scaling_mode=_canonical_scaling(payload),
+            strategies=_canonical_strategies(payload),
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class SimulateRequest(ServiceRequest):
+    """``POST /simulate``: search + simulate one grid point (MP/DP/HyPar)."""
+
+    model: str
+    batch_size: int = DEFAULT_BATCH_SIZE
+    num_accelerators: int = DEFAULT_NUM_ACCELERATORS
+    topology: str = "htree"
+    scaling_mode: str = ScalingMode.PARALLELISM_AWARE.value
+    strategies: str = "dp,mp"
+
+    kind = "simulate"
+    _FIELDS = (
+        "model",
+        "batch_size",
+        "num_accelerators",
+        "topology",
+        "scaling_mode",
+        "strategies",
+    )
+
+    def coalesce_key(self) -> tuple:
+        # Topology affects the simulated schedule but not the compiled
+        # table, so it is deliberately absent: a /partition and /simulate
+        # pair (or two /simulate topologies) serialize their compile.
+        return (
+            "table",
+            self.model,
+            self.batch_size,
+            self.num_accelerators,
+            self.scaling_mode,
+            self.strategies,
+        )
+
+    @classmethod
+    def from_payload(cls, payload) -> "SimulateRequest":
+        payload = _require_mapping(payload, "a /simulate request")
+        _reject_unknown(payload, cls._FIELDS, "/simulate")
+        return cls(
+            model=_canonical_model(payload),
+            batch_size=_canonical_batch(payload),
+            # 1 is allowed: the single-accelerator baseline point.
+            num_accelerators=_canonical_accelerators(payload, minimum=1),
+            topology=_canonical_topology(payload),
+            scaling_mode=_canonical_scaling(payload),
+            strategies=_canonical_strategies(payload),
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepRequest(ServiceRequest):
+    """``POST /sweep``: run a whole grid through the warm engine.
+
+    The body carries either ``{"preset": "smoke"}`` or ``{"spec": {...}}``
+    (the :class:`~repro.sweep.spec.SweepSpec` JSON format).  Axis values
+    canonicalize exactly like the single-point endpoints, so a spec naming
+    ``vgg_a`` and one naming ``VGG-A`` share a cache entry -- and the
+    response bytes match a ``hypar sweep`` CLI run of the canonical spec.
+    """
+
+    spec: dict
+
+    kind = "sweep"
+    _FIELDS = ("preset", "spec")
+
+    @classmethod
+    def from_payload(cls, payload) -> "SweepRequest":
+        payload = _require_mapping(payload, "a /sweep request")
+        _reject_unknown(payload, cls._FIELDS, "/sweep")
+        has_preset = "preset" in payload
+        has_spec = "spec" in payload
+        if has_preset == has_spec:
+            raise SchemaError(
+                "a /sweep request needs exactly one of 'preset' "
+                f"(one of: {', '.join(sorted(PRESETS))}) or 'spec' "
+                "(a sweep-spec JSON object)"
+            )
+        if has_preset:
+            name = payload["preset"]
+            if not isinstance(name, str) or name not in PRESETS:
+                raise SchemaError(
+                    f"unknown sweep preset {name!r}; "
+                    f"presets: {', '.join(sorted(PRESETS))}"
+                )
+            spec = PRESETS[name]
+        else:
+            spec_payload = _require_mapping(payload["spec"], "the 'spec' field")
+            try:
+                spec = SweepSpec.from_json(spec_payload)
+            except (ValueError, TypeError) as error:
+                raise SchemaError(f"invalid sweep spec: {error}") from None
+        return cls(spec=_canonical_spec(spec).to_json())
+
+    def to_spec(self) -> SweepSpec:
+        return SweepSpec.from_json(self.spec)
+
+
+def _canonical_spec(spec: SweepSpec) -> SweepSpec:
+    """The spec with every axis value in canonical spelling.
+
+    ``SweepSpec`` validates but preserves the caller's spellings; the
+    service normalizes them so equivalent specs share one cache entry and
+    one deterministic artifact.
+    """
+    try:
+        models = tuple(canonical_model_name(name) for name in spec.models)
+    except KeyError as error:
+        raise SchemaError(str(error.args[0])) from None
+    return dataclasses.replace(
+        spec,
+        models=models,
+        scaling_modes=tuple(
+            ScalingMode.parse(mode).value for mode in spec.scaling_modes
+        ),
+        strategy_spaces=tuple(
+            StrategySpace.parse(space).describe() for space in spec.strategy_spaces
+        ),
+    )

@@ -34,8 +34,14 @@ from __future__ import annotations
 
 import contextlib
 import os
+import threading
 import warnings
-from concurrent.futures import BrokenExecutor, Executor, ProcessPoolExecutor
+from concurrent.futures import (
+    BrokenExecutor,
+    CancelledError,
+    Executor,
+    ProcessPoolExecutor,
+)
 from typing import Callable, Iterator, Sequence, TypeVar
 
 Task = TypeVar("Task")
@@ -102,6 +108,10 @@ class SweepEngine:
         self.chunk_size = chunk_size
         self._executor: Executor | None = None
         self._pool_broken = False
+        self._closed = False
+        # Guards executor creation/teardown: close() may race a map() from
+        # another thread or fire twice (signal handler + finally block).
+        self._lifecycle = threading.Lock()
 
     @classmethod
     def serial(cls) -> "SweepEngine":
@@ -132,14 +142,30 @@ class SweepEngine:
                 payloads = [(fn, chunk) for chunk in chunks]
                 try:
                     grouped = list(executor.map(_run_chunk, payloads))
-                except (OSError, BrokenExecutor) as error:
+                except (OSError, BrokenExecutor, CancelledError) as error:
                     # ProcessPoolExecutor spawns its workers lazily inside
                     # map, so fork/clone failures surface here rather than
                     # at construction; degrade like a construction failure.
+                    # CancelledError means close() cancelled our pending
+                    # chunks from another thread (signal-driven teardown).
                     # (Task results are per-point pure, so the serial rerun
                     # below is identical to what the pool would have done.)
                     warnings.warn(
-                        f"process pool failed ({error}); running the sweep serially",
+                        f"process pool failed ({error!r}); running the sweep serially",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+                    self._pool_broken = True
+                    self.close()
+                except RuntimeError as error:
+                    # "cannot schedule new futures after (interpreter)
+                    # shutdown": the pool was closed under us.  Anything
+                    # else is a genuine task failure and propagates.
+                    if "shutdown" not in str(error):
+                        raise
+                    warnings.warn(
+                        f"process pool closed mid-sweep ({error}); "
+                        "running the sweep serially",
                         RuntimeWarning,
                         stacklevel=2,
                     )
@@ -155,20 +181,21 @@ class SweepEngine:
     # ------------------------------------------------------------------
 
     def _ensure_executor(self) -> Executor | None:
-        if self._executor is not None or self._pool_broken:
+        with self._lifecycle:
+            if self._executor is not None or self._pool_broken or self._closed:
+                return self._executor
+            try:
+                self._executor = ProcessPoolExecutor(max_workers=self.workers)
+            except (OSError, ValueError, NotImplementedError) as error:
+                # No usable multiprocessing primitives (restricted sandboxes):
+                # degrade to the serial path, which produces identical results.
+                warnings.warn(
+                    f"process pool unavailable ({error}); running the sweep serially",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+                self._pool_broken = True
             return self._executor
-        try:
-            self._executor = ProcessPoolExecutor(max_workers=self.workers)
-        except (OSError, ValueError, NotImplementedError) as error:
-            # No usable multiprocessing primitives (restricted sandboxes):
-            # degrade to the serial path, which produces identical results.
-            warnings.warn(
-                f"process pool unavailable ({error}); running the sweep serially",
-                RuntimeWarning,
-                stacklevel=3,
-            )
-            self._pool_broken = True
-        return self._executor
 
     @property
     def pool_active(self) -> bool:
@@ -181,10 +208,33 @@ class SweepEngine:
         return self._executor is not None and not self._pool_broken
 
     def close(self) -> None:
-        """Shut the worker pool down (idempotent)."""
-        if self._executor is not None:
-            self._executor.shutdown()
-            self._executor = None
+        """Shut the worker pool down (idempotent, thread- and signal-safe).
+
+        Safe to call repeatedly, from several threads at once, or from
+        signal-*driven* teardown racing an in-flight :meth:`map` -- the
+        ``hypar serve`` pattern, where the signal handler only sets an
+        event and the main thread calls ``close()`` after the serve loop
+        exits.  (Do not call ``close()`` from *inside* a signal handler:
+        the handler runs on the interrupted thread's stack and would
+        deadlock if that thread holds the lifecycle lock.)  Exactly one
+        caller takes ownership
+        of the executor, pending chunk futures are cancelled so shutdown
+        cannot wait on work nobody will consume, and every other caller
+        returns immediately.  No ``ProcessPoolExecutor`` or worker process
+        outlives the call, and a closed engine never re-spawns one -- any
+        straggler :meth:`map` (a request thread still draining during
+        daemon teardown) runs its tasks serially, with identical results.
+        """
+        with self._lifecycle:
+            executor, self._executor = self._executor, None
+            self._closed = True
+        if executor is not None:
+            try:
+                executor.shutdown(wait=True, cancel_futures=True)
+            except RuntimeError:  # pragma: no cover - interpreter teardown
+                # Late interpreter shutdown can no longer join threads;
+                # the executor's own atexit hook reaps the workers.
+                pass
 
     def __enter__(self) -> "SweepEngine":
         return self

@@ -57,6 +57,35 @@ class SweepPoint:
             f"/{self.topology}/{self.scaling_mode}/{self.strategies}"
         )
 
+    @classmethod
+    def single(
+        cls,
+        model: str,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        num_accelerators: int = 16,
+        topology: str = "htree",
+        scaling_mode: "ScalingMode | str" = ScalingMode.PARALLELISM_AWARE,
+        strategies: "StrategySpace | str | None" = None,
+    ) -> "SweepPoint":
+        """One standalone, fully validated and canonicalized grid point.
+
+        The reusable entry for callers that want exactly one
+        search-plus-simulate job -- the service's ``/simulate`` endpoint,
+        scripts -- with the same axis validation and canonical spellings a
+        one-point :class:`SweepSpec` would produce (``ValueError`` on bad
+        axes, like the spec).
+        """
+        spec = SweepSpec(
+            name="point",
+            models=(model,),
+            batch_sizes=(batch_size,),
+            array_sizes=(num_accelerators,),
+            topologies=(topology,),
+            scaling_modes=(ScalingMode.parse(scaling_mode).value,),
+            strategy_spaces=(StrategySpace.parse(strategies).describe(),),
+        )
+        return spec.points()[0]
+
 
 @dataclasses.dataclass(frozen=True)
 class SweepSpec:

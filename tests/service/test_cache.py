@@ -1,0 +1,154 @@
+"""LRU behaviour and single-flight semantics of the response cache."""
+
+import threading
+
+import pytest
+
+from repro.service.cache import ResultCache
+
+
+class TestLRU:
+    def test_computes_once_then_hits(self):
+        cache = ResultCache(limit=4)
+        calls = []
+        compute = lambda: calls.append(1) or b"value"  # noqa: E731
+        first, hit_first = cache.get_or_compute("k", compute)
+        second, hit_second = cache.get_or_compute("k", compute)
+        assert (first, hit_first) == (b"value", False)
+        assert (second, hit_second) == (b"value", True)
+        assert len(calls) == 1
+
+    def test_evicts_least_recently_used_at_limit(self):
+        cache = ResultCache(limit=2)
+        cache.get_or_compute("a", lambda: b"a")
+        cache.get_or_compute("b", lambda: b"b")
+        cache.get_or_compute("a", lambda: b"a")  # refresh a
+        cache.get_or_compute("c", lambda: b"c")  # evicts b
+        assert "a" in cache and "c" in cache
+        assert "b" not in cache
+        assert cache.evictions == 1
+        assert len(cache) == 2
+
+    def test_eviction_respects_the_configured_size(self):
+        limit = 3
+        cache = ResultCache(limit=limit)
+        for index in range(10):
+            cache.get_or_compute(str(index), lambda index=index: index)
+        assert len(cache) == limit
+        assert cache.evictions == 10 - limit
+        # The survivors are exactly the most recent inserts.
+        assert all(str(index) in cache for index in (7, 8, 9))
+
+    def test_rejects_non_positive_limit(self):
+        with pytest.raises(ValueError):
+            ResultCache(limit=0)
+
+    def test_stats_counters(self):
+        cache = ResultCache(limit=8)
+        cache.get_or_compute("k", lambda: b"v")
+        cache.get_or_compute("k", lambda: b"v")
+        stats = cache.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["size"] == 1
+        assert stats["limit"] == 8
+        assert stats["hit_rate"] == 0.5
+
+    def test_clear_resets(self):
+        cache = ResultCache(limit=2)
+        cache.get_or_compute("k", lambda: b"v")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats()["misses"] == 0
+
+
+class TestSingleFlight:
+    def test_concurrent_identical_requests_compute_exactly_once(self):
+        cache = ResultCache(limit=8)
+        started = threading.Event()
+        release = threading.Event()
+        calls = []
+
+        def compute():
+            calls.append(threading.get_ident())
+            started.set()
+            release.wait(5.0)
+            return b"expensive"
+
+        results = []
+
+        def worker():
+            results.append(cache.get_or_compute("k", compute))
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        threads[0].start()
+        assert started.wait(5.0)
+        for thread in threads[1:]:
+            thread.start()
+        # Give the waiters time to coalesce onto the in-flight computation,
+        # then let it finish.
+        deadline = threading.Event()
+        deadline.wait(0.05)
+        release.set()
+        for thread in threads:
+            thread.join(5.0)
+
+        assert len(calls) == 1
+        assert [value for value, _ in results] == [b"expensive"] * 8
+        stats = cache.stats()
+        assert stats["misses"] == 1
+        assert stats["coalesced"] + stats["hits"] == 7
+
+    def test_failed_compute_propagates_and_leaves_no_entry(self):
+        cache = ResultCache(limit=8)
+
+        def boom():
+            raise RuntimeError("compilation failed")
+
+        with pytest.raises(RuntimeError, match="compilation failed"):
+            cache.get_or_compute("k", boom)
+        assert "k" not in cache
+        # The key is retryable after a failure.
+        value, hit = cache.get_or_compute("k", lambda: b"ok")
+        assert (value, hit) == (b"ok", False)
+
+    def test_waiters_see_the_owners_error(self):
+        cache = ResultCache(limit=8)
+        started = threading.Event()
+        release = threading.Event()
+
+        def boom():
+            started.set()
+            release.wait(5.0)
+            raise RuntimeError("boom")
+
+        errors = []
+
+        def owner():
+            try:
+                cache.get_or_compute("k", boom)
+            except RuntimeError as error:
+                errors.append(error)
+
+        def waiter():
+            try:
+                cache.get_or_compute("k", lambda: b"never")
+            except RuntimeError as error:
+                errors.append(error)
+
+        owner_thread = threading.Thread(target=owner)
+        owner_thread.start()
+        assert started.wait(5.0)
+        waiter_thread = threading.Thread(target=waiter)
+        waiter_thread.start()
+        # Only release the failing owner once the waiter has provably
+        # coalesced onto it; otherwise the waiter would just recompute.
+        for _ in range(500):
+            if cache.stats()["coalesced"] == 1:
+                break
+            threading.Event().wait(0.01)
+        assert cache.stats()["coalesced"] == 1
+        release.set()
+        owner_thread.join(5.0)
+        waiter_thread.join(5.0)
+        assert len(errors) == 2

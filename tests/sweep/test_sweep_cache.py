@@ -43,7 +43,13 @@ class TestTableCache:
         first = cache.get_or_compile(lenet_c(), 64, 2)
         again = cache.get_or_compile(lenet_c(), 64, 2)
         assert first is again
-        assert cache.stats() == {"hits": 1, "misses": 1, "size": 1}
+        assert cache.stats() == {
+            "hits": 1,
+            "misses": 1,
+            "size": 1,
+            "evictions": 0,
+            "hit_rate": 0.5,
+        }
 
     def test_compilation_happens_once_per_configuration_not_per_point(self):
         cache = TableCache()
@@ -56,13 +62,21 @@ class TestTableCache:
         cache = TableCache()
         cache.get_or_compile(lenet_c(), 64, 2)
         cache.get_or_compile(lenet_c(), 128, 2)
-        assert cache.stats() == {"hits": 0, "misses": 2, "size": 2}
+        assert cache.stats() == {
+            "hits": 0,
+            "misses": 2,
+            "size": 2,
+            "evictions": 0,
+            "hit_rate": 0.0,
+        }
 
     def test_limit_flushes(self):
         cache = TableCache(limit=1)
         cache.get_or_compile(lenet_c(), 64, 2)
         cache.get_or_compile(lenet_c(), 128, 2)
         assert len(cache) == 1
+        assert cache.evictions == 1
+        assert cache.stats()["evictions"] == 1
 
     def test_rejects_non_positive_limit(self):
         with pytest.raises(ValueError):
@@ -85,7 +99,13 @@ class TestSharedCacheWiring:
         sim_table = simulator.cost_table(model, 256)
         search_table = partitioner.compile_table(model, 256, table_cache=cache)
         assert sim_table is search_table
-        assert cache.stats() == {"hits": 1, "misses": 1, "size": 1}
+        assert cache.stats() == {
+            "hits": 1,
+            "misses": 1,
+            "size": 1,
+            "evictions": 0,
+            "hit_rate": 0.5,
+        }
 
     def test_simulate_accepts_the_shared_table_for_an_equal_model(self):
         # The cache hands out tables keyed structurally; a caller holding a

@@ -1,6 +1,8 @@
 """Tests for the sweep engine: deterministic chunking and serial/parallel parity."""
 
 import os
+import threading
+import time
 
 import pytest
 
@@ -20,6 +22,12 @@ def _square(x: int) -> int:
 
 def _pid_task(_: int) -> int:
     return os.getpid()
+
+
+def _slow_square(x: int) -> int:
+    """Slow enough that shutdown can race an in-flight map."""
+    time.sleep(0.05)
+    return x * x
 
 
 class TestChunking:
@@ -84,6 +92,71 @@ class TestParallelEngine:
         engine.map(_square, [1])
         engine.close()
         engine.close()
+
+
+class TestShutdownSafety:
+    """Regressions for the signal-safe, idempotent pool teardown.
+
+    A SIGTERM'd ``hypar serve`` (and the CI teardown) closes the engine
+    from a thread other than the one mapping on it, possibly more than
+    once; none of these paths may leak a ``ProcessPoolExecutor``, orphan
+    a worker, or corrupt results.
+    """
+
+    def test_double_close_with_a_live_pool(self):
+        engine = SweepEngine(workers=2)
+        engine.map(_square, range(8))
+        engine.close()
+        assert engine._executor is None
+        engine.close()
+        assert engine._executor is None
+
+    def test_concurrent_closes_from_many_threads(self):
+        engine = SweepEngine(workers=2)
+        engine.map(_square, range(8))
+        threads = [threading.Thread(target=engine.close) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(10.0)
+        assert engine._executor is None
+
+    def test_close_after_degrade_to_serial_is_a_no_op(self):
+        engine = SweepEngine(workers=2)
+        engine._pool_broken = True  # simulate a sandbox without fork
+        assert engine.map(_square, [1, 2, 3]) == [1, 4, 9]
+        engine.close()
+        engine.close()
+        assert engine._executor is None
+
+    def test_closed_engine_never_respawns_a_pool(self):
+        # A request thread still draining during daemon teardown must not
+        # bring the worker pool back from the dead; it finishes serially.
+        engine = SweepEngine(workers=2)
+        engine.map(_square, range(8))
+        engine.close()
+        assert engine.map(_square, range(8)) == [x * x for x in range(8)]
+        assert engine._executor is None
+        assert not engine.pool_active
+
+    def test_close_racing_an_inflight_map_keeps_results_correct(self):
+        engine = SweepEngine(workers=2, chunk_size=1)
+        tasks = list(range(12))
+        results: list[list[int]] = []
+
+        def run():
+            results.append(engine.map(_slow_square, tasks))
+
+        mapper = threading.Thread(target=run)
+        mapper.start()
+        time.sleep(0.1)
+        engine.close()
+        mapper.join(60.0)
+        assert not mapper.is_alive()
+        # Whether the pool finished the map, was cancelled mid-flight
+        # (serial rerun), or never spawned, the results are identical.
+        assert results == [[x * x for x in tasks]]
+        assert engine._executor is None
 
 
 class TestResolveEngine:

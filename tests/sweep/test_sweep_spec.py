@@ -97,3 +97,44 @@ class TestPresets:
         assert load_spec(str(path)).name == "mine"
         with pytest.raises(ValueError, match="unknown sweep preset"):
             load_spec("not-a-preset")
+
+
+class TestSinglePoint:
+    def test_single_builds_a_canonical_validated_point(self):
+        from repro.sweep.spec import SweepPoint
+
+        point = SweepPoint.single(
+            "Lenet-c",
+            batch_size=64,
+            num_accelerators=4,
+            scaling_mode="UNIFORM",
+            strategies="dp,mp,pp",
+        )
+        assert point.index == 0
+        assert point.scaling_mode == "uniform"
+        assert point.strategies == "dp,mp,pp"
+        assert point.label() == "Lenet-c/b64/n4/htree/uniform/dp,mp,pp"
+
+    def test_single_rejects_bad_axes_like_a_spec(self):
+        from repro.sweep.spec import SweepPoint
+
+        with pytest.raises(ValueError, match="powers of two"):
+            SweepPoint.single("Lenet-c", num_accelerators=12)
+        with pytest.raises(ValueError, match="unknown topology"):
+            SweepPoint.single("Lenet-c", topology="mesh")
+
+    def test_single_point_evaluates_like_the_grid(self):
+        from repro.sweep.runner import evaluate_point, run_sweep
+        from repro.sweep.spec import SweepPoint
+
+        spec = SweepSpec(
+            name="one",
+            models=("SFC",),
+            batch_sizes=(64,),
+            array_sizes=(4,),
+        )
+        via_grid = run_sweep(spec).records[0]
+        via_single = evaluate_point(
+            SweepPoint.single("SFC", batch_size=64, num_accelerators=4)
+        )
+        assert via_single == via_grid
