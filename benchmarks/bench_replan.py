@@ -1,0 +1,71 @@
+"""Resilience: warm-start DP speedup and elastic re-planning throughput.
+
+Node churn makes the partitioner re-solve the hierarchical DP over and
+over on mostly unchanged cost tables; the warm-start solver reuses the
+layer-prefix frontier state across consecutive solves (bit-exact with a
+cold solve -- the property tests pin that).  This bench measures what the
+reuse is worth on a real churn replay: the same trace replanned with a
+shared :class:`~repro.core.hierarchical.HierarchicalWarmStart` versus a
+fresh replanner state every event.
+"""
+
+from conftest import emit
+
+from repro.core.costs import CostTable, WarmStartDP
+from repro.nn.model_zoo import get_model
+from repro.resilience.replan import ReplanConfig, run_replan
+from repro.resilience.traces import synthesize_trace
+
+BATCH = 64
+NUM_EVENTS = 10
+SEED = 7
+
+
+def test_replan_trace_throughput(benchmark):
+    """End-to-end churn replay (the `hypar replan` hot path)."""
+    trace = synthesize_trace("spot", num_nodes=16, seed=SEED, num_events=NUM_EVENTS)
+    config = ReplanConfig(model="Lenet-c", batch_size=BATCH, policy="every-event")
+
+    report = benchmark(lambda: run_replan(trace, config))
+
+    totals = report.totals()
+    benchmark.extra_info["events"] = len(trace.events)
+    benchmark.extra_info["replans"] = totals["replans"]
+    benchmark.extra_info["warm_full_hits"] = totals["warm_start"]["full_hits"]
+    emit(
+        "Resilience: elastic re-planning of a 10-event spot trace (Lenet-c)",
+        "\n".join(
+            [
+                f"  replans:           {totals['replans']}",
+                f"  mean utilization:  {totals['mean_utilization']:.3f}",
+                f"  warm-start hits:   {totals['warm_start']['full_hits']} full, "
+                f"{totals['warm_start']['reused_layers']} layers reused",
+            ]
+        ),
+    )
+
+
+def test_warm_start_dp_speedup(benchmark):
+    """Warm versus cold chain-DP solves on an unchanged cost table."""
+    model = get_model("VGG-A")
+    table = CostTable.compile(model, BATCH)
+
+    cold_result = table.dp_partition()
+    warm = WarmStartDP()
+    warm.solve(table)  # populate the frontier state
+
+    warm_result = benchmark(lambda: warm.solve(table))
+
+    assert warm_result.assignment == cold_result.assignment
+    assert warm_result.communication_bytes == cold_result.communication_bytes
+    benchmark.extra_info["full_hits"] = warm.full_hits
+    emit(
+        "Resilience: warm-start DP re-solve of an unchanged VGG-A table",
+        "\n".join(
+            [
+                f"  layers:     {table.num_layers}",
+                f"  full hits:  {warm.full_hits} (re-solves short-circuit entirely)",
+                "  bit-exact:  assignment and bytes equal the cold solve",
+            ]
+        ),
+    )

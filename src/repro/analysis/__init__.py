@@ -7,8 +7,16 @@
 * :mod:`repro.analysis.scalability` -- Figure 11 (1-64 accelerators).
 * :mod:`repro.analysis.topology_study` -- Figure 12 (H tree vs torus).
 * :mod:`repro.analysis.trick_study` -- Figure 13 ("one weird trick").
+* :mod:`repro.analysis.churn_study` -- re-planning policies under node
+  churn (beyond the paper; see the resilience layer).
 * :mod:`repro.analysis.report` -- table/series formatting helpers.
 """
+
+from repro.analysis.churn_study import (
+    ChurnPoint,
+    ChurnStudy,
+    run_churn_study,
+)
 
 from repro.analysis.experiments import (
     DATA_PARALLELISM,
@@ -58,6 +66,9 @@ from repro.analysis.trick_study import (
 )
 
 __all__ = [
+    "ChurnPoint",
+    "ChurnStudy",
+    "run_churn_study",
     "ExperimentRunner",
     "EvaluationTable",
     "ModelComparison",

@@ -1,0 +1,126 @@
+"""Churn study: re-planning policies under synthetic availability traces.
+
+The resilience layer (see DESIGN.md, "Resilience layer") replays node
+churn against the partitioner; this study sweeps the policy question the
+single ``hypar replan`` run cannot answer: across models and churn
+regimes, how much utilization does hysteresis trade for how much saved
+migration traffic, compared to re-planning at every membership event?
+
+One grid point is (model, trace preset, policy); every point replays the
+same seeded trace per preset, so the two policies of a (model, preset)
+pair face identical churn and their rows differ only by policy.  Points
+map through the shared :class:`~repro.sweep.engine.SweepEngine` (serial
+by default, byte-identical for any worker count -- each point is a pure
+function of its own configuration).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+from repro.core.hierarchical import DEFAULT_BATCH_SIZE
+from repro.resilience.replan import POLICIES, ReplanConfig, run_replan
+from repro.resilience.traces import PRESET_NAMES, synthesize_trace
+from repro.sweep.engine import SweepEngine, owned_engine
+
+#: Default model set: the paper's smallest and largest chain networks
+#: bracket the migration-cost range without making the study slow.
+DEFAULT_MODELS = ("Lenet-c", "VGG-A")
+
+
+@dataclasses.dataclass(frozen=True)
+class ChurnPoint:
+    """One picklable grid point of the churn study."""
+
+    model: str
+    preset: str
+    policy: str
+    num_nodes: int = 16
+    seed: int = 7
+    num_events: int = 10
+    batch_size: int = DEFAULT_BATCH_SIZE
+    horizon_steps: int = 500
+
+    def label(self) -> str:
+        return f"{self.model}/{self.preset}/{self.policy}"
+
+
+@dataclasses.dataclass(frozen=True)
+class ChurnStudy:
+    """Flat per-point rows plus the grid that produced them."""
+
+    points: tuple[ChurnPoint, ...]
+    rows: tuple[dict, ...]
+
+    def as_rows(self) -> list[dict]:
+        return [dict(row) for row in self.rows]
+
+
+def _evaluate_churn_point(point: ChurnPoint) -> dict:
+    """Sweep-engine task: replay one (model, preset, policy) point."""
+    trace = synthesize_trace(
+        point.preset,
+        num_nodes=point.num_nodes,
+        seed=point.seed,
+        num_events=point.num_events,
+    )
+    config = ReplanConfig(
+        model=point.model,
+        batch_size=point.batch_size,
+        policy=point.policy,
+        horizon_steps=point.horizon_steps,
+    )
+    report = run_replan(trace, config)
+    totals = report.totals()
+    return {
+        "model": config.model,
+        "preset": point.preset,
+        "policy": point.policy,
+        "num_nodes": point.num_nodes,
+        "seed": point.seed,
+        "num_events": len(trace.events),
+        "batch_size": point.batch_size,
+        "mean_utilization": totals["mean_utilization"],
+        "effective_samples_per_second": totals["effective_samples_per_second"],
+        "replans": totals["replans"],
+        "remaps": totals["remaps"],
+        "deferred": totals["deferred"],
+        "downtime_events": totals["downtime_events"],
+        "migration_total_gb": totals["migration_gb"],
+        "migration_seconds": totals["migration_seconds"],
+        "warm_full_hits": totals["warm_start"]["full_hits"],
+        "warm_solved_layers": totals["warm_start"]["solved_layers"],
+    }
+
+
+def run_churn_study(
+    models: Sequence[str] = DEFAULT_MODELS,
+    presets: Sequence[str] = PRESET_NAMES,
+    policies: Sequence[str] = POLICIES,
+    num_nodes: int = 16,
+    seed: int = 7,
+    num_events: int = 10,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+    horizon_steps: int = 500,
+    engine: "SweepEngine | int | None" = None,
+) -> ChurnStudy:
+    """Sweep (model x trace preset x policy) and tabulate the trade-off."""
+    points = tuple(
+        ChurnPoint(
+            model=model,
+            preset=preset,
+            policy=policy,
+            num_nodes=num_nodes,
+            seed=seed,
+            num_events=num_events,
+            batch_size=batch_size,
+            horizon_steps=horizon_steps,
+        )
+        for model in models
+        for preset in presets
+        for policy in policies
+    )
+    with owned_engine(engine) as resolved:
+        rows = resolved.map(_evaluate_churn_point, points)
+    return ChurnStudy(points=points, rows=tuple(rows))

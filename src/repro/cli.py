@@ -44,15 +44,25 @@ Installed as the ``hypar`` console script (also runnable with
     (byte-identical to the serial run); ``--out DIR`` writes the JSON/CSV
     artifacts.  ``hypar sweep --list`` names the built-in presets.
 
+``hypar replan [<model>] [--trace t.jsonl | --preset spot] [--policy P]``
+    Replay an availability trace (node churn) against the partitioner:
+    at every membership change, re-partition the surviving sub-array
+    (warm-started DP), cost the re-shard migration traffic, and report
+    utilization over time under the chosen re-planning policy
+    (``every-event`` or ``hysteresis``).  See the "Resilience layer"
+    section of DESIGN.md.
+
 ``hypar serve [--port P] [--workers N] [--cache-size M]``
     Run the long-lived partition service: an HTTP daemon answering
     ``POST /partition``, ``POST /simulate``, ``POST /sweep``,
-    ``GET /models``, ``GET /strategies`` and ``GET /healthz`` from a warm
-    LRU response cache over the shared compiled-table cache, with a
-    persistent ``--workers N`` pool behind ``/sweep``.  The one-shot
-    commands above remain the batch path; the daemon serves repeated
-    traffic at steady-state latencies (see the "Service layer" section of
-    DESIGN.md).  Stops cleanly on SIGTERM/SIGINT.
+    ``POST /replan``, ``GET /models``, ``GET /strategies`` and
+    ``GET /healthz`` from a warm LRU response cache over the shared
+    compiled-table cache, with a persistent ``--workers N`` pool behind
+    ``/sweep``.  ``--request-timeout S`` bounds each request server-side
+    (504 on overrun).  The one-shot commands above remain the batch path;
+    the daemon serves repeated traffic at steady-state latencies (see the
+    "Service layer" section of DESIGN.md).  Stops cleanly on
+    SIGTERM/SIGINT.
 
 Most sub-commands accept ``--strategies dp,mp,pp`` to widen the per-layer
 search axis beyond the paper's binary dp/mp choice (the default, which
@@ -360,13 +370,48 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service.server import serve
 
+    fault_plan = None
+    if args.fault_preset:
+        from repro.resilience.faults import FaultPlan
+
+        fault_plan = FaultPlan.preset(args.fault_preset, seed=args.fault_seed)
     return serve(
         host=args.host,
         port=args.port,
         workers=args.workers,
         cache_size=args.cache_size,
         log_requests=args.log_requests,
+        request_timeout=args.request_timeout,
+        fault_plan=fault_plan,
     )
+
+
+def _cmd_replan(args: argparse.Namespace) -> int:
+    from repro.resilience.replan import ReplanConfig, run_replan
+    from repro.resilience.traces import AvailabilityTrace, synthesize_trace
+
+    if args.trace:
+        trace = AvailabilityTrace.load(args.trace, num_nodes=args.nodes)
+    else:
+        trace = synthesize_trace(
+            args.preset, num_nodes=args.nodes, seed=args.seed, num_events=args.events
+        )
+    if args.emit_trace:
+        trace.save(args.emit_trace)
+        print(f"trace: {args.emit_trace}")
+    config = ReplanConfig(
+        model=args.model,
+        batch_size=args.batch_size,
+        policy=args.policy,
+        scaling_mode=args.scaling_mode,
+        horizon_steps=args.horizon_steps,
+    )
+    report = run_replan(trace, config)
+    print(report.describe())
+    if args.out:
+        paths = report.write_artifacts(args.out)
+        print(f"artifacts: {paths['json']} {paths['csv']}")
+    return 0
 
 
 def _cmd_placement(args: argparse.Namespace) -> int:
@@ -554,7 +599,98 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="log every request line to stderr",
     )
+    serve_parser.add_argument(
+        "--request-timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help="per-request server-side deadline in seconds; overruns answer "
+        "504 and close the connection (default: unbounded)",
+    )
+    serve_parser.add_argument(
+        "--fault-preset",
+        choices=("worker-kill", "connection-drop", "connection-delay", "cache-poison", "all"),
+        default=None,
+        help="install a deterministic fault-injection plan (chaos testing; "
+        "see repro.resilience.faults)",
+    )
+    serve_parser.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        help="seed for --fault-preset schedules (default: %(default)s)",
+    )
     serve_parser.set_defaults(handler=_cmd_serve)
+
+    replan_parser = subparsers.add_parser(
+        "replan",
+        help="replay an availability trace: elastic re-partitioning under "
+        "node churn with migration costing (see DESIGN.md)",
+    )
+    replan_parser.add_argument(
+        "model",
+        nargs="?",
+        default="Lenet-c",
+        help="network name (default: %(default)s)",
+    )
+    replan_parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="availability trace JSONL to replay (default: synthesize --preset)",
+    )
+    replan_parser.add_argument(
+        "--preset",
+        choices=("spot", "rack", "diurnal"),
+        default="spot",
+        help="synthetic trace generator when no --trace is given "
+        "(default: %(default)s)",
+    )
+    replan_parser.add_argument(
+        "--seed", type=int, default=7,
+        help="trace generator seed (default: %(default)s)",
+    )
+    replan_parser.add_argument(
+        "--events", type=int, default=10,
+        help="synthesized membership events (default: %(default)s)",
+    )
+    replan_parser.add_argument(
+        "--nodes", type=int, default=16,
+        help="fleet size the trace runs against (default: %(default)s)",
+    )
+    replan_parser.add_argument(
+        "--policy",
+        choices=("every-event", "hysteresis"),
+        default="every-event",
+        help="re-planning policy (default: %(default)s)",
+    )
+    replan_parser.add_argument(
+        "--horizon-steps",
+        type=int,
+        default=500,
+        help="training steps the hysteresis policy amortizes a voluntary "
+        "migration over (default: %(default)s)",
+    )
+    replan_parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=DEFAULT_BATCH_SIZE,
+        help="training batch size (default: %(default)s)",
+    )
+    replan_parser.add_argument(
+        "--scaling-mode",
+        choices=[mode.value for mode in ScalingMode],
+        default=ScalingMode.PARALLELISM_AWARE.value,
+        help="tensor scaling at deeper hierarchy levels (default: %(default)s)",
+    )
+    replan_parser.add_argument(
+        "--out", metavar="DIR", help="write the replan.json / replan.csv artifacts"
+    )
+    replan_parser.add_argument(
+        "--emit-trace",
+        metavar="PATH",
+        help="also save the (synthesized or loaded) trace as JSONL",
+    )
+    replan_parser.set_defaults(handler=_cmd_replan)
 
     placement_parser = subparsers.add_parser(
         "placement", help="show per-accelerator tensor shards and memory footprints"

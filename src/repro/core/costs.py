@@ -675,6 +675,126 @@ class CostTable:
             )
 
 
+class WarmStartDP:
+    """Incremental :meth:`CostTable.dp_partition` across consecutive solves.
+
+    Elastic re-planning under node churn keeps solving near-identical
+    tables: when the array shrinks or regrows, the level tables of the
+    surviving hierarchy share a leading run of layers (often all of them)
+    with the previous solve.  This solver caches the chain DP's per-layer
+    frontier -- the ``com`` vector after each layer -- together with the
+    parent pointers and the previous table's cost columns.  A new table is
+    compared column by column against the cache and the recurrence resumes
+    after the longest unchanged prefix instead of from layer 0.
+
+    Bit-exactness invariant: the resumed recurrence performs the *same
+    floating-point additions in the same order* with the same
+    lowest-code-wins ``argmin`` tie rule as the cold solve, so the result
+    is identical float for float (property-pinned over the whole model
+    zoo by ``tests/resilience/test_warmstart.py``).  Layer ``l``'s
+    frontier depends only on ``intra[0..l]`` and ``inter[0..l-1]``, which
+    is what makes prefix reuse sound.  Non-chain (DAG) tables take the
+    cold :meth:`CostTable._dp_partition_dag` path unchanged and leave the
+    cached chain state untouched.
+    """
+
+    def __init__(self) -> None:
+        self._intra: "np.ndarray | None" = None
+        self._inter: "np.ndarray | None" = None
+        self._frontiers: list = []
+        self._parents: "np.ndarray | None" = None
+        self._result: "PartitionResult | None" = None
+        #: Solve statistics (deterministic given the solve sequence).
+        self.full_hits = 0
+        self.reused_layers = 0
+        self.solved_layers = 0
+        self.cold_solves = 0
+
+    def _matching_prefix(self, table: CostTable) -> int:
+        """Longest leading layer run whose DP state the cache can replay."""
+        cached_intra, cached_inter = self._intra, self._inter
+        if cached_intra is None:
+            return 0
+        if cached_intra.shape[1] != table.num_strategies:
+            return 0
+        limit = min(table.num_layers, cached_intra.shape[0])
+        if table.intra is cached_intra and table.inter is cached_inter:
+            return limit  # identical arrays: skip the column comparison
+        prefix = 0
+        while prefix < limit:
+            if not np.array_equal(table.intra[prefix], cached_intra[prefix]):
+                break
+            if prefix > 0 and not np.array_equal(
+                table.inter[prefix - 1], cached_inter[prefix - 1]
+            ):
+                break
+            prefix += 1
+        return prefix
+
+    def solve(self, table: CostTable) -> PartitionResult:
+        """The ``table.dp_partition()`` optimum, warm-started when possible."""
+        if not table.is_chain:
+            self.cold_solves += 1
+            return table.dp_partition()
+        num_layers = table.num_layers
+        num_strategies = table.num_strategies
+        prefix = self._matching_prefix(table)
+        if (
+            prefix == num_layers
+            and self._result is not None
+            and len(self._frontiers) == num_layers
+        ):
+            self.full_hits += 1
+            return self._result
+        self.reused_layers += prefix
+        self.solved_layers += num_layers - prefix
+
+        parents = np.empty((num_layers - 1, num_strategies), dtype=np.int8)
+        if prefix == 0:
+            frontiers = [table.intra[0].copy()]
+            start = 1
+        else:
+            frontiers = list(self._frontiers[:prefix])
+            parents[: prefix - 1] = self._parents[: prefix - 1]
+            start = prefix
+        state = np.arange(num_strategies)
+        com = frontiers[-1]
+        for layer in range(start, num_layers):
+            candidates = com[:, None] + table.inter[layer - 1]
+            choice = np.argmin(candidates, axis=0)
+            parents[layer - 1] = choice
+            com = candidates[choice, state] + table.intra[layer]
+            frontiers.append(com)
+
+        last = int(np.argmin(com))
+        total = float(com[last])
+        codes_per_layer = np.empty(num_layers, dtype=np.int8)
+        codes_per_layer[-1] = last
+        for layer in range(num_layers - 2, -1, -1):
+            codes_per_layer[layer] = parents[layer, codes_per_layer[layer + 1]]
+        members = table.strategies.members
+        assignment = LayerAssignment(
+            tuple(members[code] for code in codes_per_layer)
+        )
+        result = table.lazy_result(assignment, total)
+
+        self._intra = table.intra
+        self._inter = table.inter
+        self._frontiers = frontiers
+        self._parents = parents
+        self._result = result
+        return result
+
+    def stats(self) -> dict:
+        """Deterministic reuse counters (for reports and tests)."""
+        return {
+            "full_hits": self.full_hits,
+            "reused_layers": self.reused_layers,
+            "solved_layers": self.solved_layers,
+            "cold_solves": self.cold_solves,
+        }
+
+
 class HierarchicalCostTable:
     """Per-level cost tables indexed by each layer's scale-descent state.
 

@@ -31,7 +31,7 @@ from __future__ import annotations
 from typing import Sequence, Union
 
 from repro.core.communication import CommunicationModel
-from repro.core.costs import CostTable, HierarchicalCostTable, TableCache
+from repro.core.costs import CostTable, HierarchicalCostTable, TableCache, WarmStartDP
 from repro.core.parallelism import (
     HierarchicalAssignment,
     LayerAssignment,
@@ -172,12 +172,23 @@ class HierarchicalPartitioner:
         model: DNNModel,
         batch_size: int = DEFAULT_BATCH_SIZE,
         table: HierarchicalCostTable | None = None,
+        warm: "HierarchicalWarmStart | None" = None,
     ) -> HierarchicalResult:
-        """Search the parallelism list for every hierarchy level of ``model``."""
+        """Search the parallelism list for every hierarchy level of ``model``.
+
+        ``warm`` optionally supplies a :class:`HierarchicalWarmStart` whose
+        per-level :class:`~repro.core.costs.WarmStartDP` solvers carry DP
+        state from the caller's previous solves; the result is bit-exact
+        with the cold search either way.
+        """
         provider = self._level_tables(model, batch_size, table)
         levels: list[LevelResult] = []
         for level in range(self.num_levels):
-            result = provider.level_table(level).dp_partition()
+            level_table = provider.level_table(level)
+            if warm is not None:
+                result = warm.level_solver(level).solve(level_table)
+            else:
+                result = level_table.dp_partition()
             levels.append(
                 LevelResult(
                     level=level,
@@ -319,6 +330,38 @@ class HierarchicalPartitioner:
         """Cost of repeating the same per-layer list at every hierarchy level."""
         assignment = HierarchicalAssignment(tuple([level_assignment] * self.num_levels))
         return self.evaluate(model, assignment, batch_size, table=table)
+
+
+class HierarchicalWarmStart:
+    """Per-level warm-start state for consecutive hierarchical solves.
+
+    The greedy level-by-level descent means level ``h``'s table depends
+    only on the choices of levels ``0 .. h-1``: two solves of the same
+    ``(model, batch, scaling, strategies)`` configuration at *different*
+    total depths share identical tables for their common level prefix.
+    Keeping one :class:`~repro.core.costs.WarmStartDP` per level index
+    therefore turns the re-solves of an elastic re-planning timeline (the
+    array regrows from 8 to 16 accelerators and back) into frontier
+    lookups instead of full dynamic programs.
+    """
+
+    def __init__(self) -> None:
+        self._solvers: dict[int, WarmStartDP] = {}
+
+    def level_solver(self, level: int) -> WarmStartDP:
+        solver = self._solvers.get(level)
+        if solver is None:
+            solver = WarmStartDP()
+            self._solvers[level] = solver
+        return solver
+
+    def stats(self) -> dict:
+        """Aggregated reuse counters across every level solver."""
+        totals = {"full_hits": 0, "reused_layers": 0, "solved_layers": 0, "cold_solves": 0}
+        for solver in self._solvers.values():
+            for key, value in solver.stats().items():
+                totals[key] += value
+        return totals
 
 
 class _CompiledLevelTables:

@@ -1,0 +1,52 @@
+"""Resilience layer: availability traces, elastic re-planning, fault injection.
+
+The paper assumes a fixed, fully available ``2**H`` array; this package
+replays node churn against it (:mod:`~repro.resilience.traces`,
+:mod:`~repro.resilience.replan`) and injects deterministic faults into the
+sweep/service stack (:mod:`~repro.resilience.faults`) to exercise the
+degradation paths.  See the "Resilience layer" section of DESIGN.md.
+"""
+
+from repro.resilience.faults import (
+    PRESET_NAMES as FAULT_PRESET_NAMES,
+    FaultInjected,
+    FaultInjector,
+    FaultPlan,
+    faulty_map,
+    faulty_sweep_task,
+)
+from repro.resilience.replan import (
+    POLICIES,
+    ElasticReplanner,
+    MigrationCost,
+    ReplanConfig,
+    ReplanReport,
+    run_replan,
+)
+from repro.resilience.traces import (
+    EVENT_KINDS,
+    PRESET_NAMES as TRACE_PRESET_NAMES,
+    AvailabilityTrace,
+    TraceEvent,
+    synthesize_trace,
+)
+
+__all__ = [
+    "AvailabilityTrace",
+    "ElasticReplanner",
+    "EVENT_KINDS",
+    "FAULT_PRESET_NAMES",
+    "FaultInjected",
+    "FaultInjector",
+    "FaultPlan",
+    "MigrationCost",
+    "POLICIES",
+    "ReplanConfig",
+    "ReplanReport",
+    "TRACE_PRESET_NAMES",
+    "TraceEvent",
+    "faulty_map",
+    "faulty_sweep_task",
+    "run_replan",
+    "synthesize_trace",
+]

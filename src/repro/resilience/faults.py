@@ -1,0 +1,248 @@
+"""Deterministic fault injection for the sweep engine and the service.
+
+A :class:`FaultPlan` is a frozen, seeded description of *which* faults fire
+*when* -- task indices whose pool worker dies mid-map, request ordinals
+whose connection is severed or delayed, cache-store ordinals whose entry
+is corrupted, compute ordinals that stall or raise.  Plans are plain data:
+the same plan against the same workload produces the same fault sequence,
+so chaos tests are as reproducible as the golden tests.
+
+A :class:`FaultInjector` is the stateful (thread-safe) counterpart one
+server or test installs; the service and HTTP layers consult it at their
+seams (see ``repro.service.app`` / ``repro.service.server``) and the
+wrapped sweep task functions below kill their own worker process when
+scheduled to.  The kill only happens inside a *pool worker*
+(``multiprocessing.parent_process() is not None``); when the engine's
+serial fallback reruns the same wrapped function in the parent process it
+completes normally -- which is exactly what makes the degraded results
+byte-identical to a fault-free serial run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+import multiprocessing
+import os
+import signal
+import threading
+from typing import Sequence
+
+#: Named plans ``FaultPlan.preset`` understands (plus ``all`` = union).
+PRESET_NAMES = ("worker-kill", "connection-drop", "connection-delay", "cache-poison", "all")
+
+
+class FaultInjected(RuntimeError):
+    """Raised by an injected compute fault (never by real code paths)."""
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic schedule of faults to inject.
+
+    All schedules are zero-based ordinals counted by the injector:
+    ``kill_tasks`` against sweep task indices, ``drop_requests`` /
+    ``delay_requests`` against HTTP requests in arrival order,
+    ``poison_stores`` against result-cache stores, ``compute_errors`` /
+    ``compute_delays`` against cache-miss computations.
+    """
+
+    seed: int = 0
+    kill_tasks: tuple[int, ...] = ()
+    drop_requests: tuple[int, ...] = ()
+    delay_requests: tuple[int, ...] = ()
+    delay_seconds: float = 0.05
+    poison_stores: tuple[int, ...] = ()
+    compute_errors: tuple[int, ...] = ()
+    compute_delays: tuple[int, ...] = ()
+    compute_delay_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        for field in (
+            "kill_tasks",
+            "drop_requests",
+            "delay_requests",
+            "poison_stores",
+            "compute_errors",
+            "compute_delays",
+        ):
+            values = tuple(getattr(self, field))
+            for value in values:
+                if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+                    raise ValueError(
+                        f"{field} entries must be integers >= 0, got {value!r}"
+                    )
+            object.__setattr__(self, field, tuple(sorted(set(values))))
+        if self.delay_seconds < 0 or self.compute_delay_seconds < 0:
+            raise ValueError("fault delays must be >= 0")
+
+    @classmethod
+    def preset(cls, name: str, seed: int = 0) -> "FaultPlan":
+        """One of the named chaos scenarios (deterministic given ``seed``)."""
+        if name == "worker-kill":
+            return cls(seed=seed, kill_tasks=(seed % 2,))
+        if name == "connection-drop":
+            return cls(seed=seed, drop_requests=(0,))
+        if name == "connection-delay":
+            return cls(seed=seed, delay_requests=(0,), delay_seconds=0.05)
+        if name == "cache-poison":
+            return cls(seed=seed, poison_stores=(0,))
+        if name == "all":
+            return cls(
+                seed=seed,
+                kill_tasks=(seed % 2,),
+                drop_requests=(0,),
+                delay_requests=(1,),
+                delay_seconds=0.05,
+                poison_stores=(0,),
+            )
+        raise ValueError(
+            f"unknown fault preset {name!r}; known: {', '.join(PRESET_NAMES)}"
+        )
+
+    def describe(self) -> str:
+        parts = []
+        if self.kill_tasks:
+            parts.append(f"kill tasks {list(self.kill_tasks)}")
+        if self.drop_requests:
+            parts.append(f"drop requests {list(self.drop_requests)}")
+        if self.delay_requests:
+            parts.append(
+                f"delay requests {list(self.delay_requests)} by {self.delay_seconds}s"
+            )
+        if self.poison_stores:
+            parts.append(f"poison stores {list(self.poison_stores)}")
+        if self.compute_errors:
+            parts.append(f"fail computes {list(self.compute_errors)}")
+        if self.compute_delays:
+            parts.append(
+                f"stall computes {list(self.compute_delays)} by {self.compute_delay_seconds}s"
+            )
+        return "; ".join(parts) if parts else "no faults"
+
+
+class FaultInjector:
+    """Thread-safe runtime counterpart of a :class:`FaultPlan`.
+
+    The service and server consult it at their fault seams; it keeps both
+    the ordinal counters and the tally of faults actually fired (surfaced
+    under ``/healthz`` as ``faults``).
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._lock = threading.Lock()
+        self._requests = 0
+        self._computes = 0
+        self._stores = 0
+        self.dropped = 0
+        self.delayed = 0
+        self.poisoned = 0
+        self.compute_errors = 0
+        self.compute_delays = 0
+
+    # -- HTTP connection seam ------------------------------------------
+
+    def connection_action(self) -> str | None:
+        """``"drop"``, ``"delay"`` or ``None`` for the next request."""
+        with self._lock:
+            ordinal = self._requests
+            self._requests += 1
+            if ordinal in self.plan.drop_requests:
+                self.dropped += 1
+                return "drop"
+            if ordinal in self.plan.delay_requests:
+                self.delayed += 1
+                return "delay"
+        return None
+
+    # -- compute seam (service cache misses) ---------------------------
+
+    def on_compute(self) -> float:
+        """Delay (seconds) to apply; raises :class:`FaultInjected` when scheduled.
+
+        Called by the service at the start of every cache-miss computation.
+        """
+        with self._lock:
+            ordinal = self._computes
+            self._computes += 1
+            delay = 0.0
+            if ordinal in self.plan.compute_delays:
+                self.compute_delays += 1
+                delay = self.plan.compute_delay_seconds
+            if ordinal in self.plan.compute_errors:
+                self.compute_errors += 1
+                raise FaultInjected(
+                    f"injected compute failure (ordinal {ordinal})"
+                )
+        return delay
+
+    # -- cache seam -----------------------------------------------------
+
+    def note_store(self, cache, key: str) -> None:
+        """Corrupt the freshly stored entry when the schedule says so."""
+        with self._lock:
+            ordinal = self._stores
+            self._stores += 1
+            scheduled = ordinal in self.plan.poison_stores
+        if scheduled and cache.poison(key):
+            with self._lock:
+                self.poisoned += 1
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "plan": self.plan.describe(),
+                "dropped": self.dropped,
+                "delayed": self.delayed,
+                "poisoned": self.poisoned,
+                "compute_errors": self.compute_errors,
+                "compute_delays": self.compute_delays,
+            }
+
+
+# ----------------------------------------------------------------------
+# Worker-kill wrappers for the sweep engine.
+# ----------------------------------------------------------------------
+
+
+def _kill_current_worker() -> None:
+    # SIGKILL, not an exception: the point is an abrupt worker death the
+    # executor can only observe as a broken pool.
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def _faulty_task(item, fn, kill: frozenset):
+    """Enumerated task wrapper: dies in a pool worker when scheduled."""
+    index, task = item
+    if index in kill and multiprocessing.parent_process() is not None:
+        _kill_current_worker()
+    return fn(task)
+
+
+def faulty_map(engine, fn, tasks: Sequence, plan: FaultPlan) -> list:
+    """``engine.map(fn, tasks)`` with the plan's worker kills injected.
+
+    Scheduled task indices SIGKILL their pool worker; the engine's serial
+    fallback then reruns every task in the parent process (where the
+    wrapper never kills), so the returned results are byte-identical to a
+    fault-free serial map.
+    """
+    wrapped = functools.partial(_faulty_task, fn=fn, kill=frozenset(plan.kill_tasks))
+    return engine.map(wrapped, list(enumerate(tasks)))
+
+
+def _faulty_evaluate_point(point, kill: frozenset):
+    """Sweep task wrapper keyed by the point's own grid index."""
+    if point.index in kill and multiprocessing.parent_process() is not None:
+        _kill_current_worker()
+    from repro.sweep.runner import evaluate_point
+
+    return evaluate_point(point)
+
+
+def faulty_sweep_task(plan: FaultPlan):
+    """A drop-in replacement for ``evaluate_point`` honoring ``plan``."""
+    return functools.partial(
+        _faulty_evaluate_point, kill=frozenset(plan.kill_tasks)
+    )

@@ -26,6 +26,7 @@ from repro.service.cache import DEFAULT_CACHE_SIZE, ResultCache
 from repro.service.client import ServiceClient, ServiceClientError, ServiceResponse
 from repro.service.schemas import (
     PartitionRequest,
+    ReplanRequest,
     SchemaError,
     SimulateRequest,
     SweepRequest,
@@ -45,6 +46,7 @@ __all__ = [
     "ENDPOINTS",
     "HyParService",
     "PartitionRequest",
+    "ReplanRequest",
     "RequestError",
     "ResultCache",
     "SchemaError",

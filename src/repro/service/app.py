@@ -17,6 +17,10 @@ Endpoints
     service's persistent :class:`~repro.sweep.engine.SweepEngine`.  The
     response bytes equal the ``<name>.json`` artifact a ``hypar sweep``
     CLI run of the same canonical spec writes.
+``POST /replan``
+    Elastic re-planning over an availability trace (inline events or a
+    named preset; see :mod:`repro.resilience`).  The response bytes equal
+    the ``replan.json`` artifact of the matching ``hypar replan`` run.
 ``GET /models`` / ``GET /strategies``
     The model zoo and the strategy registry.
 ``GET /healthz``
@@ -41,9 +45,11 @@ from repro.core.hierarchical import HierarchicalPartitioner
 from repro.core.result import HierarchicalResult
 from repro.core.strategies import registered_strategies
 from repro.nn.model_zoo import all_model_builders, get_model
+from repro.resilience.replan import run_replan
 from repro.service.cache import DEFAULT_CACHE_SIZE, KeyedLocks, ResultCache
 from repro.service.schemas import (
     PartitionRequest,
+    ReplanRequest,
     SchemaError,
     ServiceRequest,
     SimulateRequest,
@@ -60,6 +66,7 @@ ENDPOINTS: Mapping[str, tuple[str, str]] = {
     "/partition": ("POST", "hierarchical partition search for one network"),
     "/simulate": ("POST", "search + simulate one grid point (MP/DP/HyPar)"),
     "/sweep": ("POST", "run a sweep grid (preset name or inline spec)"),
+    "/replan": ("POST", "elastic re-planning over an availability trace"),
     "/models": ("GET", "the evaluation-network zoo"),
     "/strategies": ("GET", "the registered per-layer parallelism strategies"),
     "/healthz": ("GET", "liveness and cache/request counters"),
@@ -96,6 +103,10 @@ class HyParService:
     engine:
         Optional externally owned engine (tests); by default the service
         creates one and :meth:`close` shuts it down.
+    fault_injector:
+        Optional :class:`~repro.resilience.faults.FaultInjector` whose
+        compute/store faults fire inside the request path (chaos tests
+        and ``hypar serve --fault-preset``); ``None`` disables the seams.
     """
 
     def __init__(
@@ -103,6 +114,7 @@ class HyParService:
         workers: int = 1,
         cache_size: int = DEFAULT_CACHE_SIZE,
         engine: SweepEngine | None = None,
+        fault_injector=None,
     ) -> None:
         self.result_cache = ResultCache(cache_size)
         # Coalesces compiles across *different* requests sharing one cost
@@ -110,11 +122,19 @@ class HyParService:
         self._config_locks = KeyedLocks()
         self._owns_engine = engine is None
         self.engine = engine if engine is not None else SweepEngine(workers=workers)
+        self.fault_injector = fault_injector
         self._started = time.monotonic()
         self._counter_lock = threading.Lock()
         self.requests_served = 0
         self.request_errors = 0
+        self.timeouts = 0
+        self.stale_served = 0
         self._static: dict[str, bytes] = {}
+
+    def note_timeout(self) -> None:
+        """Called by the HTTP layer when a request overran its deadline."""
+        with self._counter_lock:
+            self.timeouts += 1
 
     # ------------------------------------------------------------------
     # Lifecycle.
@@ -178,16 +198,38 @@ class HyParService:
             "/partition": self._partition_body,
             "/simulate": self._simulate_body,
             "/sweep": self._sweep_body,
+            "/replan": self._replan_body,
         }
         compute = computes[path]
+        injector = self.fault_injector
 
         def guarded() -> bytes:
+            if injector is not None:
+                # May raise FaultInjected (scheduled compute failure) --
+                # which then exercises the stale-serving path below.
+                delay = injector.on_compute()
+                if delay:
+                    time.sleep(delay)
             with self._config_locks.holding(request.coalesce_key()):
                 return compute(request)
 
-        response, _hit = self.result_cache.get_or_compute(
-            request.cache_key(), guarded
-        )
+        key = request.cache_key()
+        try:
+            response, hit = self.result_cache.get_or_compute(key, guarded)
+        except RequestError:
+            raise
+        except Exception:
+            # Graceful degradation: prefer a previously served (possibly
+            # since-evicted) response for this exact canonical request
+            # over a 500 while the stack is unhealthy.
+            stale = self.result_cache.get_stale(key)
+            if stale is None:
+                raise
+            with self._counter_lock:
+                self.stale_served += 1
+            return 200, stale
+        if not hit and injector is not None:
+            injector.note_store(self.result_cache, key)
         return 200, response
 
     @staticmethod
@@ -209,6 +251,7 @@ class HyParService:
             "/partition": PartitionRequest.from_payload,
             "/simulate": SimulateRequest.from_payload,
             "/sweep": SweepRequest.from_payload,
+            "/replan": ReplanRequest.from_payload,
         }
         try:
             return schemas[path](payload)
@@ -292,6 +335,12 @@ class HyParService:
         # Byte-for-byte the artifact `hypar sweep <spec> --out DIR` writes.
         return payload_to_json(result.to_payload()).encode()
 
+    def _replan_body(self, request: ReplanRequest) -> bytes:
+        report = run_replan(request.to_trace(), request.to_config())
+        # Byte-for-byte the `replan.json` artifact `hypar replan` writes
+        # for the same canonical trace and configuration.
+        return payload_to_json(report.to_payload()).encode()
+
     # ------------------------------------------------------------------
     # GET endpoints.
     # ------------------------------------------------------------------
@@ -343,19 +392,30 @@ class HyParService:
         with self._counter_lock:
             served = self.requests_served
             errors = self.request_errors
-        return _render(
-            {
-                "status": "ok",
-                "service": "hypar-serve",
-                "uptime_seconds": round(time.monotonic() - self._started, 3),
-                "workers": self.engine.workers,
-                "pool_active": self.engine.pool_active,
-                "endpoints": {
-                    path: f"{method} - {summary}"
-                    for path, (method, summary) in ENDPOINTS.items()
-                },
-                "result_cache": self.result_cache.stats(),
-                "table_cache": shared_table_cache().stats(),
-                "requests": {"served": served, "errors": errors},
-            }
-        )
+            timeouts = self.timeouts
+            stale_served = self.stale_served
+        payload = {
+            "status": "ok",
+            "service": "hypar-serve",
+            "uptime_seconds": round(time.monotonic() - self._started, 3),
+            "workers": self.engine.workers,
+            "pool_active": self.engine.pool_active,
+            # True once the sweep engine fell back to serial (pool lost
+            # or never came up); results stay correct, throughput drops.
+            "degraded": self.engine.pool_degraded,
+            "endpoints": {
+                path: f"{method} - {summary}"
+                for path, (method, summary) in ENDPOINTS.items()
+            },
+            "result_cache": self.result_cache.stats(),
+            "table_cache": shared_table_cache().stats(),
+            "requests": {
+                "served": served,
+                "errors": errors,
+                "timeouts": timeouts,
+                "stale_served": stale_served,
+            },
+        }
+        if self.fault_injector is not None:
+            payload["faults"] = self.fault_injector.stats()
+        return _render(payload)

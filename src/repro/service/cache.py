@@ -11,12 +11,26 @@ threaded server:
   identical cold requests compiles the underlying cost table exactly once
   (waiters count as ``coalesced`` in the stats).
 
-Hit/miss/eviction/coalesced counters surface through ``GET /healthz``.
+Two resilience features ride on top (see DESIGN.md "Resilience layer"):
+
+* **Integrity digests** -- ``bytes`` values are stored with their SHA-256;
+  a hit whose bytes no longer match (a poisoned entry) is dropped and
+  recomputed instead of served, counted as ``poisoned``.  The
+  :meth:`ResultCache.poison` hook corrupts an entry in place for the
+  fault-injection tests.
+* **Stale store** -- a bounded side copy of every stored response that
+  eviction does *not* clear; :meth:`ResultCache.get_stale` lets the
+  service answer from it when a fresh computation fails (engine pool
+  lost mid-request).
+
+Hit/miss/eviction/coalesced/poisoned counters surface through
+``GET /healthz``.
 """
 
 from __future__ import annotations
 
 import contextlib
+import hashlib
 import threading
 from collections import OrderedDict
 from typing import Callable, Iterator, TypeVar
@@ -81,10 +95,17 @@ class ResultCache:
         self._lock = threading.Lock()
         self._entries: "OrderedDict[str, object]" = OrderedDict()
         self._inflight: dict[str, _InFlight] = {}
+        self._digests: dict[str, str] = {}
+        self._stale: "OrderedDict[str, bytes]" = OrderedDict()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
         self.coalesced = 0
+        self.poisoned = 0
+
+    @staticmethod
+    def _digest(value: bytes) -> str:
+        return hashlib.sha256(value).hexdigest()
 
     def __len__(self) -> int:
         with self._lock:
@@ -107,9 +128,19 @@ class ResultCache:
         with self._lock:
             entry = self._entries.get(key)
             if entry is not None:
-                self._entries.move_to_end(key)
-                self.hits += 1
-                return entry, True  # type: ignore[return-value]
+                digest = self._digests.get(key)
+                if digest is not None and self._digest(entry) != digest:
+                    # Integrity failure: the stored bytes were corrupted
+                    # after the digest was taken.  Drop the entry and fall
+                    # through to a recompute (requests are deterministic,
+                    # so the replacement is the original response).
+                    del self._entries[key]
+                    self._digests.pop(key, None)
+                    self.poisoned += 1
+                else:
+                    self._entries.move_to_end(key)
+                    self.hits += 1
+                    return entry, True  # type: ignore[return-value]
             flight = self._inflight.get(key)
             if flight is None:
                 flight = _InFlight()
@@ -137,22 +168,56 @@ class ResultCache:
             self.misses += 1
             self._entries[key] = value
             self._entries.move_to_end(key)
+            if isinstance(value, bytes):
+                self._digests[key] = self._digest(value)
+                self._stale[key] = value
+                self._stale.move_to_end(key)
+                while len(self._stale) > self.limit:
+                    self._stale.popitem(last=False)
             while len(self._entries) > self.limit:
-                self._entries.popitem(last=False)
+                evicted_key, _ = self._entries.popitem(last=False)
+                self._digests.pop(evicted_key, None)
                 self.evictions += 1
             self._inflight.pop(key, None)
         flight.value = value
         flight.event.set()
         return value, False
 
+    def get_stale(self, key: str) -> bytes | None:
+        """A previously stored (possibly since-evicted) response, if any.
+
+        The stale store survives LRU eviction; the service falls back to
+        it when a fresh computation fails, preferring an old-but-valid
+        answer over a 500 while the stack is degraded.
+        """
+        with self._lock:
+            return self._stale.get(key)
+
+    def poison(self, key: str) -> bool:
+        """Corrupt the stored bytes of ``key`` in place (fault injection).
+
+        The digest is deliberately left untouched, so the next hit fails
+        the integrity check and recomputes.  Returns whether an entry was
+        corrupted.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if not isinstance(entry, bytes):
+                return False
+            self._entries[key] = b"\x00poisoned\x00" + entry[::-1]
+            return True
+
     def clear(self) -> None:
         """Drop every entry and reset the counters (in-flight keys remain)."""
         with self._lock:
             self._entries.clear()
+            self._digests.clear()
+            self._stale.clear()
             self.hits = 0
             self.misses = 0
             self.evictions = 0
             self.coalesced = 0
+            self.poisoned = 0
 
     def stats(self) -> dict:
         """Counters for ``GET /healthz`` and the tests."""
@@ -166,5 +231,7 @@ class ResultCache:
                 "misses": self.misses,
                 "evictions": self.evictions,
                 "coalesced": self.coalesced,
+                "poisoned": self.poisoned,
+                "stale_size": len(self._stale),
                 "hit_rate": served / lookups if lookups else 0.0,
             }

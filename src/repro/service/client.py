@@ -5,6 +5,17 @@ also a reference for talking to the daemon from anywhere else (the README
 shows the equivalent ``curl`` invocations).  One persistent keep-alive
 connection per client, transparently re-opened when the server side closes
 it between requests.
+
+Transient transport failures (connection refused/reset, socket timeouts,
+a keep-alive connection the server dropped) are retried with exponential
+backoff plus jitter, up to ``retries`` attempts.  Two things are *never*
+retried:
+
+* any response actually received -- a 4xx/5xx is an answer, not a
+  transport failure (retrying a 400 would just repeat it);
+* a request marked ``idempotent=False`` once bytes may have reached the
+  wire -- the daemon's endpoints are all deterministic reads, so the
+  default is idempotent, but the flag exists for callers that are not.
 """
 
 from __future__ import annotations
@@ -12,6 +23,7 @@ from __future__ import annotations
 import dataclasses
 import http.client
 import json
+import random
 import socket
 import time
 
@@ -41,12 +53,47 @@ class ServiceResponse:
 
 
 class ServiceClient:
-    """Talks JSON to a running daemon at ``host:port``."""
+    """Talks JSON to a running daemon at ``host:port``.
 
-    def __init__(self, host: str, port: int, timeout: float = 60.0) -> None:
+    Parameters
+    ----------
+    retries:
+        Total attempts per request (default 3); ``1`` disables retrying.
+    backoff, max_backoff:
+        Exponential backoff base and cap in seconds: attempt ``n`` sleeps
+        ``min(max_backoff, backoff * 2**(n-1))`` before retrying.
+    jitter:
+        Fractional jitter added on top of the backoff (``0.25`` means up
+        to +25%), decorrelating retry storms from many clients.
+    rng:
+        Jitter randomness source; seeded by default so tests are
+        deterministic (jitter only shapes sleep times, never payloads).
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 60.0,
+        retries: int = 3,
+        backoff: float = 0.05,
+        max_backoff: float = 2.0,
+        jitter: float = 0.25,
+        rng: random.Random | None = None,
+    ) -> None:
+        if retries < 1:
+            raise ValueError(f"retries must be >= 1, got {retries}")
+        if backoff < 0 or max_backoff < 0 or jitter < 0:
+            raise ValueError("backoff, max_backoff and jitter must be >= 0")
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.max_backoff = max_backoff
+        self.jitter = jitter
+        self._rng = rng if rng is not None else random.Random(0)
+        self.retried = 0
         self._connection: http.client.HTTPConnection | None = None
 
     # ------------------------------------------------------------------
@@ -77,25 +124,54 @@ class ServiceClient:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
-    def request(self, method: str, path: str, payload=None) -> ServiceResponse:
-        """One exchange; returns the raw response, whatever the status."""
+    def _sleep_backoff(self, attempt: int) -> None:
+        delay = min(self.max_backoff, self.backoff * (2 ** (attempt - 1)))
+        delay *= 1.0 + self.jitter * self._rng.random()
+        if delay > 0:
+            time.sleep(delay)
+
+    def request(
+        self, method: str, path: str, payload=None, idempotent: bool = True
+    ) -> ServiceResponse:
+        """One exchange; returns the raw response, whatever the status.
+
+        Transport failures retry up to ``self.retries`` attempts with
+        exponential backoff.  A received response is returned as-is (a
+        4xx is never retried), and with ``idempotent=False`` a failure
+        after bytes may have been sent propagates instead of retrying.
+        """
         body = None
         headers = {}
         if payload is not None:
             body = json.dumps(payload).encode()
             headers["Content-Type"] = "application/json"
-        for attempt in (0, 1):
-            connection = self._connect()
+        last_error: Exception | None = None
+        for attempt in range(self.retries):
+            if attempt:
+                self.retried += 1
+                self._sleep_backoff(attempt)
+            try:
+                connection = self._connect()
+            except OSError as error:
+                # Connect failures (refused/reset/timeout): nothing was
+                # sent, so retrying is always safe.
+                self.close()
+                last_error = error
+                continue
             try:
                 connection.request(method, path, body=body, headers=headers)
                 response = connection.getresponse()
                 return ServiceResponse(response.status, response.read())
-            except (http.client.HTTPException, ConnectionError, BrokenPipeError):
-                # Stale keep-alive connection: reconnect once.
+            except (http.client.HTTPException, OSError) as error:
+                # Dropped mid-exchange (stale keep-alive, injected drop,
+                # server restart).  Bytes may have reached the wire, so
+                # only idempotent requests retry from here.
                 self.close()
-                if attempt:
+                last_error = error
+                if not idempotent:
                     raise
-        raise AssertionError("unreachable")  # pragma: no cover
+        assert last_error is not None
+        raise last_error
 
     def _checked(self, method: str, path: str, payload=None) -> dict:
         response = self.request(method, path, payload)
@@ -129,6 +205,9 @@ class ServiceClient:
         if spec is not None:
             payload["spec"] = spec
         return self._checked("POST", "/sweep", payload)
+
+    def replan(self, **fields) -> dict:
+        return self._checked("POST", "/replan", fields)
 
     # ------------------------------------------------------------------
     # Readiness.

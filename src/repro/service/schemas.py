@@ -288,6 +288,177 @@ class SweepRequest(ServiceRequest):
         return SweepSpec.from_json(self.spec)
 
 
+@dataclasses.dataclass(frozen=True)
+class ReplanRequest(ServiceRequest):
+    """``POST /replan``: elastic re-planning over an availability trace.
+
+    The body names a model/policy configuration plus the trace to replay,
+    either inline (``"trace": [{"t": ..., "event": ..., "nodes": [...]}]``)
+    or as a named generator (``"preset": "spot"`` with optional ``seed`` /
+    ``num_events``).  Presets are synthesized *server-side during
+    canonicalization* and the canonical payload stores only the
+    materialized events -- a preset request and the equivalent inline
+    trace therefore hash to the same cache key, and the trace's
+    provenance metadata (preset name, seed) never leaks into the
+    deterministic response bytes.
+    """
+
+    model: str
+    trace: tuple
+    num_nodes: int
+    horizon: float | None
+    batch_size: int = DEFAULT_BATCH_SIZE
+    policy: str = "every-event"
+    topology: str = "htree"
+    scaling_mode: str = ScalingMode.PARALLELISM_AWARE.value
+    strategies: str = "dp,mp"
+    horizon_steps: int = 500
+
+    kind = "replan"
+    _FIELDS = (
+        "model",
+        "batch_size",
+        "num_nodes",
+        "policy",
+        "topology",
+        "scaling_mode",
+        "strategies",
+        "horizon_steps",
+        "horizon",
+        "trace",
+        "preset",
+        "seed",
+        "num_events",
+    )
+
+    @classmethod
+    def from_payload(cls, payload) -> "ReplanRequest":
+        from repro.resilience.replan import POLICIES
+        from repro.resilience.traces import (
+            PRESET_NAMES,
+            AvailabilityTrace,
+            TraceEvent,
+            synthesize_trace,
+        )
+
+        payload = _require_mapping(payload, "a /replan request")
+        _reject_unknown(payload, cls._FIELDS, "/replan")
+        has_trace = "trace" in payload
+        has_preset = "preset" in payload
+        if has_trace == has_preset:
+            raise SchemaError(
+                "a /replan request needs exactly one of 'trace' (a list of "
+                "availability events) or 'preset' "
+                f"(one of: {', '.join(PRESET_NAMES)})"
+            )
+        if has_trace:
+            for field in ("seed", "num_events"):
+                if field in payload:
+                    raise SchemaError(
+                        f"field {field!r} only applies to preset traces; "
+                        "drop it when providing 'trace' inline"
+                    )
+
+        num_nodes = _int_field(payload, "num_nodes", DEFAULT_NUM_ACCELERATORS)
+        if num_nodes < 2:
+            raise SchemaError(
+                f"field 'num_nodes' must be >= 2, got {num_nodes}"
+            )
+        policy = _str_field(payload, "policy", "every-event")
+        if policy not in POLICIES:
+            raise SchemaError(
+                f"unknown policy {policy!r}; known: {', '.join(POLICIES)}"
+            )
+        horizon_steps = _int_field(payload, "horizon_steps", 500)
+        if horizon_steps <= 0:
+            raise SchemaError(
+                f"field 'horizon_steps' must be positive, got {horizon_steps}"
+            )
+        horizon = payload.get("horizon")
+        if horizon is not None:
+            if isinstance(horizon, bool) or not isinstance(horizon, (int, float)):
+                raise SchemaError(
+                    f"field 'horizon' must be a number, got {horizon!r}"
+                )
+            horizon = float(horizon)
+
+        if has_preset:
+            preset = payload["preset"]
+            if not isinstance(preset, str) or preset not in PRESET_NAMES:
+                raise SchemaError(
+                    f"unknown trace preset {preset!r}; "
+                    f"presets: {', '.join(PRESET_NAMES)}"
+                )
+            seed = _int_field(payload, "seed", 0)
+            num_events = _int_field(payload, "num_events", 12)
+            try:
+                trace = synthesize_trace(
+                    preset,
+                    num_nodes=num_nodes,
+                    seed=seed,
+                    num_events=num_events,
+                    horizon=horizon,
+                )
+            except ValueError as error:
+                raise SchemaError(str(error)) from None
+        else:
+            entries = payload["trace"]
+            if not isinstance(entries, (list, tuple)):
+                raise SchemaError(
+                    f"field 'trace' must be a list of events, got {entries!r}"
+                )
+            try:
+                events = tuple(TraceEvent.from_json(entry) for entry in entries)
+                trace = AvailabilityTrace(
+                    num_nodes=num_nodes, events=events, horizon=horizon
+                )
+            except (ValueError, TypeError) as error:
+                raise SchemaError(str(error)) from None
+
+        return cls(
+            model=_canonical_model(payload),
+            trace=tuple(
+                (event.t, event.event, tuple(event.nodes))
+                for event in trace.events
+            ),
+            num_nodes=num_nodes,
+            horizon=trace.horizon,
+            batch_size=_canonical_batch(payload),
+            policy=policy,
+            topology=_canonical_topology(payload),
+            scaling_mode=_canonical_scaling(payload),
+            strategies=_canonical_strategies(payload),
+            horizon_steps=horizon_steps,
+        )
+
+    def to_trace(self):
+        """The canonical :class:`~repro.resilience.traces.AvailabilityTrace`."""
+        from repro.resilience.traces import AvailabilityTrace, TraceEvent
+
+        return AvailabilityTrace(
+            num_nodes=self.num_nodes,
+            events=tuple(
+                TraceEvent(t=t, event=kind, nodes=tuple(nodes))
+                for t, kind, nodes in self.trace
+            ),
+            horizon=self.horizon,
+        )
+
+    def to_config(self):
+        """The matching :class:`~repro.resilience.replan.ReplanConfig`."""
+        from repro.resilience.replan import ReplanConfig
+
+        return ReplanConfig(
+            model=self.model,
+            batch_size=self.batch_size,
+            policy=self.policy,
+            topology=self.topology,
+            scaling_mode=self.scaling_mode,
+            strategies=self.strategies,
+            horizon_steps=self.horizon_steps,
+        )
+
+
 def _canonical_spec(spec: SweepSpec) -> SweepSpec:
     """The spec with every axis value in canonical spelling.
 

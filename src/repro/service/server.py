@@ -23,8 +23,10 @@ engine's idempotent, signal-safe ``close``), exit code 0.
 from __future__ import annotations
 
 import signal
+import socket
 import sys
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.service.app import JSON_CONTENT_TYPE, HyParService, _render
@@ -66,6 +68,21 @@ class _Handler(BaseHTTPRequestHandler):
         self._respond("POST")
 
     def _respond(self, method: str) -> None:
+        injector = getattr(self.server, "fault_injector", None)
+        if injector is not None:
+            action = injector.connection_action()
+            if action == "drop":
+                # Sever the connection without any response bytes: the
+                # client observes a reset/empty reply mid-exchange, the
+                # retryable failure class its backoff loop handles.
+                self.close_connection = True
+                try:
+                    self.connection.shutdown(socket.SHUT_RDWR)
+                except OSError:  # pragma: no cover - already dead
+                    pass
+                return
+            if action == "delay":
+                time.sleep(injector.plan.delay_seconds)
         try:
             body = self._read_body()
         except _BodyError as error:
@@ -75,8 +92,46 @@ class _Handler(BaseHTTPRequestHandler):
             self.close_connection = True
             self._send(error.status, _render({"error": error.message}))
             return
-        status, response = self.server.service.handle(method, self.path, body)
+        status, response = self._handle_with_deadline(method, body)
         self._send(status, response)
+
+    def _handle_with_deadline(self, method: str, body: bytes | None) -> tuple[int, bytes]:
+        """``service.handle`` bounded by the server's per-request deadline.
+
+        The handler thread cannot abort a stuck computation, so the work
+        runs on a helper daemon thread; on deadline the request answers
+        504 and closes the connection while the abandoned computation
+        finishes (or dies) harmlessly in the background -- its result
+        still lands in the single-flight response cache, and the engine
+        pool/caches are untouched by the timeout itself.
+        """
+        service = self.server.service
+        timeout = getattr(self.server, "request_timeout", None)
+        if timeout is None:
+            return service.handle(method, self.path, body)
+        done = threading.Event()
+        outcome: dict = {}
+
+        def _work() -> None:
+            try:
+                outcome["result"] = service.handle(method, self.path, body)
+            finally:
+                done.set()
+
+        threading.Thread(
+            target=_work, name="hypar-serve-compute", daemon=True
+        ).start()
+        if not done.wait(timeout):
+            service.note_timeout()
+            # The reply stream is now out of step with the still-running
+            # computation; drop the keep-alive connection after the 504.
+            self.close_connection = True
+            return 504, _render(
+                {"error": f"request exceeded the {timeout}s deadline"}
+            )
+        return outcome.get(
+            "result", (500, _render({"error": "internal error: request worker died"}))
+        )
 
     def _read_body(self) -> bytes | None:
         raw = self.headers.get("Content-Length")
@@ -125,10 +180,18 @@ class ServiceHTTPServer(ThreadingHTTPServer):
         address: tuple[str, int],
         service: HyParService,
         log_requests: bool = False,
+        request_timeout: float | None = None,
+        fault_injector=None,
     ) -> None:
         super().__init__(address, _Handler)
         self.service = service
         self.log_requests = log_requests
+        if request_timeout is not None and request_timeout <= 0:
+            raise ValueError(
+                f"request_timeout must be positive, got {request_timeout}"
+            )
+        self.request_timeout = request_timeout
+        self.fault_injector = fault_injector
 
     @property
     def port(self) -> int:
@@ -148,15 +211,35 @@ def build_server(
     workers: int = 1,
     cache_size: int = DEFAULT_CACHE_SIZE,
     log_requests: bool = False,
+    request_timeout: float | None = None,
+    fault_plan=None,
 ) -> ServiceHTTPServer:
     """A bound (not yet serving) server; ``port=0`` picks a free port.
 
     Callers (tests, benchmarks) run ``serve_forever`` on their own thread
     and tear down with :meth:`ServiceHTTPServer.close`.
+
+    ``request_timeout`` bounds each request server-side (504 +
+    ``Connection: close`` on overrun); ``fault_plan`` installs a
+    :class:`~repro.resilience.faults.FaultInjector` for that plan across
+    both the HTTP connection seam and the service compute/store seams.
     """
-    service = HyParService(workers=workers, cache_size=cache_size)
+    injector = None
+    if fault_plan is not None:
+        from repro.resilience.faults import FaultInjector
+
+        injector = FaultInjector(fault_plan)
+    service = HyParService(
+        workers=workers, cache_size=cache_size, fault_injector=injector
+    )
     try:
-        return ServiceHTTPServer((host, port), service, log_requests=log_requests)
+        return ServiceHTTPServer(
+            (host, port),
+            service,
+            log_requests=log_requests,
+            request_timeout=request_timeout,
+            fault_injector=injector,
+        )
     except BaseException:
         service.close()
         raise
@@ -168,6 +251,8 @@ def serve(
     workers: int = 1,
     cache_size: int = DEFAULT_CACHE_SIZE,
     log_requests: bool = False,
+    request_timeout: float | None = None,
+    fault_plan=None,
     ready: "threading.Event | None" = None,
     stop: "threading.Event | None" = None,
     install_signal_handlers: bool = True,
@@ -181,7 +266,8 @@ def serve(
     stop = stop or threading.Event()
     server = build_server(
         host=host, port=port, workers=workers, cache_size=cache_size,
-        log_requests=log_requests,
+        log_requests=log_requests, request_timeout=request_timeout,
+        fault_plan=fault_plan,
     )
 
     previous: dict[int, object] = {}

@@ -207,6 +207,17 @@ class SweepEngine:
         """
         return self._executor is not None and not self._pool_broken
 
+    @property
+    def pool_degraded(self) -> bool:
+        """Whether the engine has fallen back (or will fall back) to serial.
+
+        Set when a pool could not be created or broke mid-map (worker
+        killed, sandbox without ``fork``); results remain identical via
+        the serial path.  Surfaced by the service's ``/healthz`` as the
+        ``degraded`` flag so orchestrators can react.
+        """
+        return self._pool_broken
+
     def close(self) -> None:
         """Shut the worker pool down (idempotent, thread- and signal-safe).
 

@@ -1,0 +1,183 @@
+"""Fault plans, the injector's ordinal counters, and cache resilience."""
+
+import warnings
+
+import pytest
+
+from repro.resilience.faults import (
+    PRESET_NAMES,
+    FaultInjected,
+    FaultInjector,
+    FaultPlan,
+    faulty_map,
+)
+from repro.service.cache import ResultCache
+from repro.sweep.engine import SweepEngine
+
+
+class TestFaultPlan:
+    def test_defaults_are_fault_free(self):
+        plan = FaultPlan()
+        assert plan.describe() == "no faults"
+
+    def test_schedules_are_sorted_and_deduplicated(self):
+        plan = FaultPlan(kill_tasks=(3, 1, 3), drop_requests=(2, 2, 0))
+        assert plan.kill_tasks == (1, 3)
+        assert plan.drop_requests == (0, 2)
+
+    @pytest.mark.parametrize("bad", [(-1,), (True,), (1.5,)])
+    def test_bad_ordinals_rejected(self, bad):
+        with pytest.raises(ValueError, match="integers >= 0"):
+            FaultPlan(poison_stores=bad)
+
+    def test_negative_delays_rejected(self):
+        with pytest.raises(ValueError, match="delays"):
+            FaultPlan(delay_seconds=-0.1)
+        with pytest.raises(ValueError, match="delays"):
+            FaultPlan(compute_delay_seconds=-1.0)
+
+    @pytest.mark.parametrize("name", PRESET_NAMES)
+    def test_presets_resolve(self, name):
+        plan = FaultPlan.preset(name, seed=1)
+        assert plan.describe() != "no faults"
+        # Presets are deterministic given the seed.
+        assert plan == FaultPlan.preset(name, seed=1)
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault preset"):
+            FaultPlan.preset("meteor")
+
+    def test_describe_names_every_schedule(self):
+        plan = FaultPlan(
+            kill_tasks=(1,),
+            drop_requests=(0,),
+            delay_requests=(2,),
+            poison_stores=(0,),
+            compute_errors=(3,),
+            compute_delays=(4,),
+            compute_delay_seconds=0.5,
+        )
+        text = plan.describe()
+        for fragment in ("kill", "drop", "delay", "poison", "fail", "stall"):
+            assert fragment in text
+
+
+class TestFaultInjector:
+    def test_connection_actions_follow_the_ordinals(self):
+        injector = FaultInjector(FaultPlan(drop_requests=(0, 2), delay_requests=(1,)))
+        actions = [injector.connection_action() for _ in range(4)]
+        assert actions == ["drop", "delay", "drop", None]
+        stats = injector.stats()
+        assert stats["dropped"] == 2
+        assert stats["delayed"] == 1
+
+    def test_on_compute_raises_and_delays_on_schedule(self):
+        injector = FaultInjector(
+            FaultPlan(
+                compute_errors=(1,),
+                compute_delays=(0,),
+                compute_delay_seconds=0.25,
+            )
+        )
+        assert injector.on_compute() == 0.25
+        with pytest.raises(FaultInjected, match="ordinal 1"):
+            injector.on_compute()
+        assert injector.on_compute() == 0.0
+        stats = injector.stats()
+        assert stats["compute_errors"] == 1
+        assert stats["compute_delays"] == 1
+
+    def test_note_store_poisons_the_scheduled_store(self):
+        cache = ResultCache(limit=4)
+        injector = FaultInjector(FaultPlan(poison_stores=(0,)))
+        value, hit = cache.get_or_compute("key", lambda: b"payload")
+        assert (value, hit) == (b"payload", False)
+        injector.note_store(cache, "key")
+        assert injector.stats()["poisoned"] == 1
+        # The next lookup fails the integrity check and recomputes the
+        # original bytes instead of serving the corrupted entry.
+        value, hit = cache.get_or_compute("key", lambda: b"payload")
+        assert (value, hit) == (b"payload", False)
+        assert cache.stats()["poisoned"] == 1
+        # A later store is past the schedule and survives untouched.
+        cache.get_or_compute("other", lambda: b"other")
+        injector.note_store(cache, "other")
+        assert cache.get_or_compute("other", lambda: b"?") == (b"other", True)
+
+    def test_note_store_ignores_non_bytes_entries(self):
+        cache = ResultCache(limit=4)
+        injector = FaultInjector(FaultPlan(poison_stores=(0,)))
+        cache.get_or_compute("key", lambda: {"not": "bytes"})
+        injector.note_store(cache, "key")
+        assert injector.stats()["poisoned"] == 0
+        assert cache.get_or_compute("key", lambda: None) == ({"not": "bytes"}, True)
+
+
+class TestCacheResilience:
+    def test_stale_store_survives_eviction(self):
+        cache = ResultCache(limit=2)
+        cache.get_or_compute("a", lambda: b"A")
+        cache.get_or_compute("b", lambda: b"B")
+        cache.get_or_compute("a", lambda: b"?")  # hit: "b" is now LRU
+        cache.get_or_compute("c", lambda: b"C")  # evicts "b"
+        assert "b" not in cache
+        assert cache.get_stale("b") == b"B"
+        assert cache.get_stale("c") == b"C"
+        assert cache.get_stale("missing") is None
+
+    def test_stale_store_is_bounded_by_the_limit(self):
+        cache = ResultCache(limit=2)
+        for index in range(5):
+            cache.get_or_compute(f"k{index}", lambda index=index: b"%d" % index)
+        assert cache.stats()["stale_size"] == 2
+        assert cache.get_stale("k4") == b"4"
+        assert cache.get_stale("k0") is None
+
+    def test_poison_only_corrupts_bytes(self):
+        cache = ResultCache(limit=4)
+        cache.get_or_compute("obj", lambda: {"a": 1})
+        assert cache.poison("obj") is False
+        assert cache.poison("missing") is False
+        cache.get_or_compute("raw", lambda: b"raw")
+        assert cache.poison("raw") is True
+
+    def test_clear_resets_the_resilience_state(self):
+        cache = ResultCache(limit=4)
+        cache.get_or_compute("a", lambda: b"A")
+        cache.poison("a")
+        cache.get_or_compute("a", lambda: b"A")  # counts the poisoning
+        cache.clear()
+        stats = cache.stats()
+        assert stats["poisoned"] == 0
+        assert stats["stale_size"] == 0
+        assert cache.get_stale("a") is None
+
+
+def _double(x: int) -> int:
+    """Module-level so the process pool can pickle it."""
+    return 2 * x
+
+
+class TestFaultyMap:
+    def test_kills_never_fire_in_the_parent_process(self):
+        plan = FaultPlan(kill_tasks=(0, 2))
+        engine = SweepEngine.serial()
+        assert faulty_map(engine, _double, list(range(6)), plan) == [
+            2 * x for x in range(6)
+        ]
+        assert engine.pool_degraded is False
+
+    def test_worker_kill_degrades_to_an_identical_serial_run(self):
+        plan = FaultPlan.preset("worker-kill", seed=1)
+        tasks = list(range(8))
+        expected = faulty_map(SweepEngine.serial(), _double, tasks, plan)
+        with SweepEngine(workers=2) as engine:
+            with pytest.warns(RuntimeWarning, match="process pool failed"):
+                results = faulty_map(engine, _double, tasks, plan)
+            assert results == expected
+            assert engine.pool_active is False
+            assert engine.pool_degraded is True
+            # Later maps stay on the (correct) serial path, silently.
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")
+                assert engine.map(_double, tasks) == expected

@@ -1,0 +1,211 @@
+"""Elastic re-planning: golden pinning, policy semantics, migration costs."""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.resilience.replan import (
+    ACTIONS,
+    POLICIES,
+    ElasticReplanner,
+    ReplanConfig,
+    run_replan,
+)
+from repro.resilience.traces import AvailabilityTrace, TraceEvent, synthesize_trace
+from repro.sweep.artifacts import payload_to_json
+
+GOLDEN_PATH = pathlib.Path(__file__).parent / "golden_replan.json"
+
+#: The pinned scenario: also the CI chaos-smoke `hypar replan` golden.
+GOLDEN_TRACE = dict(preset="spot", num_nodes=16, seed=7, num_events=8)
+GOLDEN_CONFIG = dict(model="Lenet-c", batch_size=64, policy="every-event")
+
+
+def _golden_report():
+    trace = synthesize_trace(
+        GOLDEN_TRACE["preset"],
+        num_nodes=GOLDEN_TRACE["num_nodes"],
+        seed=GOLDEN_TRACE["seed"],
+        num_events=GOLDEN_TRACE["num_events"],
+    )
+    return run_replan(trace, ReplanConfig(**GOLDEN_CONFIG))
+
+
+class TestGolden:
+    def test_report_matches_the_pinned_golden_byte_for_byte(self):
+        rendered = payload_to_json(_golden_report().to_payload())
+        assert rendered == GOLDEN_PATH.read_text()
+
+    def test_two_runs_are_byte_identical(self):
+        first = payload_to_json(_golden_report().to_payload())
+        second = payload_to_json(_golden_report().to_payload())
+        assert first == second
+
+    def test_write_artifacts_round_trip(self, tmp_path):
+        report = _golden_report()
+        paths = report.write_artifacts(str(tmp_path))
+        assert pathlib.Path(paths["json"]).read_text() == payload_to_json(
+            report.to_payload()
+        )
+        csv_text = pathlib.Path(paths["csv"]).read_text()
+        assert csv_text.splitlines()[0].startswith("model,")
+        assert len(csv_text.splitlines()) == len(report.segments) + 1
+
+
+class TestTimeline:
+    def test_segments_tile_the_horizon(self):
+        trace = synthesize_trace("diurnal", num_nodes=8, seed=3, num_events=6)
+        report = run_replan(trace, ReplanConfig(model="Lenet-c", batch_size=64))
+        segments = report.segments
+        assert segments[0]["t_start"] == 0.0
+        assert segments[-1]["t_end"] == trace.end_time
+        for before, after in zip(segments, segments[1:]):
+            assert before["t_end"] == after["t_start"]
+        for segment in segments:
+            assert 0.0 <= segment["utilization"] <= 1.0
+
+    def test_payload_is_json_round_trippable(self):
+        payload = _golden_report().to_payload()
+        assert json.loads(payload_to_json(payload)) == payload
+        assert payload["trace"]["preset"] == "spot"
+        assert payload["trace"]["seed"] == 7
+        for event in payload["events"]:
+            assert event["action"] in ACTIONS
+
+
+class TestPolicies:
+    def test_hysteresis_defers_voluntary_replans(self):
+        trace = synthesize_trace(**{**GOLDEN_TRACE, "preset": "spot"})
+        reports = {
+            policy: run_replan(
+                trace, ReplanConfig(**{**GOLDEN_CONFIG, "policy": policy})
+            )
+            for policy in POLICIES
+        }
+        eager = reports["every-event"].totals()
+        lazy = reports["hysteresis"].totals()
+        assert eager["replans"] == len(trace.events)
+        assert eager["deferred"] == 0
+        assert lazy["replans"] < eager["replans"]
+        assert lazy["deferred"] + lazy["remaps"] > 0
+        assert lazy["migration_gb"] <= eager["migration_gb"]
+
+    def test_hysteresis_remaps_when_capacity_is_unchanged(self):
+        # 4-node fleet: losing node 3 forces a shrink to 2 nodes; losing
+        # node 0 afterwards leaves capacity at 2 so hysteresis just
+        # refills the hole from the spare pool.
+        trace = AvailabilityTrace(
+            num_nodes=4,
+            events=(
+                TraceEvent(10.0, "leave", (3,)),
+                TraceEvent(20.0, "leave", (0,)),
+            ),
+            horizon=30.0,
+        )
+        config = ReplanConfig(model="Lenet-c", batch_size=64, policy="hysteresis")
+        report = run_replan(trace, config)
+        actions = [event["action"] for event in report.events]
+        assert actions == ["replan", "remap"]
+        remap = report.events[1]
+        # The refilled slot restores its shard over the wire.
+        assert remap["migration_weight_gb"] + remap["migration_feature_gb"] > 0
+        assert remap["used"] == 2
+        # every-event re-plans instead of remapping on the same trace.
+        eager = run_replan(
+            trace, ReplanConfig(model="Lenet-c", batch_size=64, policy="every-event")
+        )
+        assert [event["action"] for event in eager.events] == ["replan", "replan"]
+
+    def test_spare_node_churn_is_free_under_hysteresis(self):
+        # Nodes 4..7 never make it into the 4-node plan after the first
+        # shrink, so their churn must not trigger migration.
+        trace = AvailabilityTrace(
+            num_nodes=8,
+            events=(
+                TraceEvent(10.0, "leave", (6, 7)),
+                TraceEvent(20.0, "leave", (5,)),
+                TraceEvent(30.0, "join", (7,)),
+            ),
+            horizon=40.0,
+        )
+        config = ReplanConfig(model="Lenet-c", batch_size=64, policy="hysteresis")
+        report = run_replan(trace, config)
+        spare_events = report.events[1:]
+        for event in spare_events:
+            assert event["action"] == "none"
+            assert event["migration_weight_gb"] == 0.0
+            assert event["migration_feature_gb"] == 0.0
+            assert event["migration_seconds"] == 0.0
+
+    def test_fleet_down_and_recovery(self):
+        trace = AvailabilityTrace(
+            num_nodes=2,
+            events=(
+                TraceEvent(10.0, "leave", (0, 1)),
+                TraceEvent(20.0, "join", (0,)),
+            ),
+            horizon=30.0,
+        )
+        report = run_replan(
+            trace, ReplanConfig(model="Lenet-c", batch_size=64, policy="every-event")
+        )
+        down, recovery = report.events
+        assert down["action"] == "down"
+        assert down["used"] == 0
+        assert down["num_levels"] is None
+        assert recovery["action"] == "replan"
+        assert recovery["used"] == 1
+        # The downtime segment contributes zero utilization and throughput.
+        down_segment = report.segments[1]
+        assert down_segment["utilization"] == 0.0
+        assert down_segment["step_seconds"] is None
+        totals = report.totals()
+        assert totals["downtime_events"] == 1
+        assert 0.0 < totals["mean_utilization"] < 1.0
+
+    def test_growing_back_costs_migration(self):
+        trace = AvailabilityTrace(
+            num_nodes=4,
+            events=(
+                TraceEvent(10.0, "leave", (2, 3)),
+                TraceEvent(20.0, "join", (2, 3)),
+            ),
+            horizon=30.0,
+        )
+        report = run_replan(
+            trace, ReplanConfig(model="Lenet-c", batch_size=64, policy="every-event")
+        )
+        grow = report.events[1]
+        assert grow["action"] == "replan"
+        assert grow["used"] == 4
+        assert grow["migration_weight_gb"] + grow["migration_feature_gb"] > 0
+        assert grow["projected_gain_seconds"] is not None
+
+
+class TestConfig:
+    def test_model_name_is_canonicalized(self):
+        assert ReplanConfig(model="lenet_c").model == "Lenet-c"
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="policy"):
+            ReplanConfig(policy="sometimes")
+        with pytest.raises(ValueError, match="batch_size"):
+            ReplanConfig(batch_size=0)
+        with pytest.raises(ValueError, match="horizon_steps"):
+            ReplanConfig(horizon_steps=0)
+        with pytest.raises(ValueError, match="topology"):
+            ReplanConfig(topology="ring")
+
+    def test_warm_start_is_shared_across_the_run(self):
+        report = _golden_report()
+        warm = report.totals()["warm_start"]
+        assert warm["full_hits"] > 0
+        assert warm["cold_solves"] == 0
+
+    def test_replanner_is_reusable(self):
+        trace = synthesize_trace("spot", num_nodes=4, seed=1, num_events=3)
+        replanner = ElasticReplanner(ReplanConfig(model="Lenet-c", batch_size=64))
+        first = payload_to_json(replanner.run(trace).to_payload())
+        second = payload_to_json(replanner.run(trace).to_payload())
+        assert first == second

@@ -1,0 +1,194 @@
+"""Availability traces: validation, JSONL round trip, synthetic presets."""
+
+import json
+
+import pytest
+
+from repro.resilience.traces import (
+    EVENT_KINDS,
+    PRESET_NAMES,
+    AvailabilityTrace,
+    TraceEvent,
+    synthesize_trace,
+)
+
+
+class TestTraceEvent:
+    def test_normalizes_time_and_sorts_nodes(self):
+        event = TraceEvent(t=5, event="leave", nodes=(7, 3, 1))
+        assert event.t == 5.0
+        assert isinstance(event.t, float)
+        assert event.nodes == (1, 3, 7)
+
+    @pytest.mark.parametrize("kind", EVENT_KINDS)
+    def test_known_kinds_accepted(self, kind):
+        assert TraceEvent(t=0.0, event=kind, nodes=(0,)).event == kind
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown trace event"):
+            TraceEvent(t=0.0, event="crash", nodes=(0,))
+
+    @pytest.mark.parametrize("t", [True, "10", float("nan"), float("inf"), -1.0])
+    def test_bad_times_rejected(self, t):
+        with pytest.raises(ValueError):
+            TraceEvent(t=t, event="leave", nodes=(0,))
+
+    @pytest.mark.parametrize("nodes", [(), (0, 0), (-1,), (True,), (1.5,)])
+    def test_bad_node_sets_rejected(self, nodes):
+        with pytest.raises(ValueError):
+            TraceEvent(t=0.0, event="leave", nodes=nodes)
+
+    def test_json_round_trip(self):
+        event = TraceEvent(t=12.5, event="join", nodes=(4, 2))
+        assert TraceEvent.from_json(event.to_json()) == event
+
+    def test_from_json_rejects_unknown_and_missing_keys(self):
+        with pytest.raises(ValueError, match="unknown trace event keys"):
+            TraceEvent.from_json({"t": 0.0, "event": "leave", "nodes": [0], "x": 1})
+        with pytest.raises(ValueError, match="missing keys"):
+            TraceEvent.from_json({"t": 0.0, "event": "leave"})
+
+    def test_from_json_rejects_string_nodes(self):
+        with pytest.raises(ValueError, match="must be a list"):
+            TraceEvent.from_json({"t": 0.0, "event": "leave", "nodes": "03"})
+
+
+class TestAvailabilityTrace:
+    def _trace(self, *events, num_nodes=4, **kwargs):
+        return AvailabilityTrace(num_nodes=num_nodes, events=tuple(events), **kwargs)
+
+    def test_replay_tracks_membership(self):
+        trace = self._trace(
+            TraceEvent(1.0, "leave", (0, 2)),
+            TraceEvent(2.0, "join", (2,)),
+        )
+        replayed = list(trace.replay())
+        assert replayed[0][1] == (1, 3)
+        assert replayed[1][1] == (1, 2, 3)
+
+    def test_all_nodes_may_leave(self):
+        trace = self._trace(TraceEvent(1.0, "leave", (0, 1, 2, 3)))
+        (_, alive), = trace.replay()
+        assert alive == ()
+
+    def test_times_must_be_non_decreasing(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            self._trace(
+                TraceEvent(2.0, "leave", (0,)),
+                TraceEvent(1.0, "leave", (1,)),
+            )
+
+    def test_nodes_must_be_inside_the_fleet(self):
+        with pytest.raises(ValueError, match="outside"):
+            self._trace(TraceEvent(1.0, "leave", (9,)))
+
+    def test_only_live_nodes_leave(self):
+        with pytest.raises(ValueError, match="not alive"):
+            self._trace(
+                TraceEvent(1.0, "leave", (0,)),
+                TraceEvent(2.0, "leave", (0,)),
+            )
+
+    def test_only_dead_nodes_join(self):
+        with pytest.raises(ValueError, match="already alive"):
+            self._trace(TraceEvent(1.0, "join", (0,)))
+
+    def test_horizon_must_cover_the_last_event(self):
+        with pytest.raises(ValueError, match="precedes the last event"):
+            self._trace(TraceEvent(10.0, "leave", (0,)), horizon=5.0)
+
+    @pytest.mark.parametrize("num_nodes", [0, -1, 1.5])
+    def test_bad_fleet_sizes_rejected(self, num_nodes):
+        with pytest.raises(ValueError, match="num_nodes"):
+            AvailabilityTrace(num_nodes=num_nodes, events=())
+
+    def test_end_time_prefers_horizon(self):
+        event = TraceEvent(10.0, "leave", (0,))
+        assert self._trace(event, horizon=99.0).end_time == 99.0
+        assert self._trace(event).end_time == 10.0
+        assert self._trace().end_time == 0.0
+
+
+class TestJsonl:
+    def test_round_trip_with_header(self):
+        trace = AvailabilityTrace(
+            num_nodes=8,
+            events=(
+                TraceEvent(1.0, "leave", (3,)),
+                TraceEvent(2.0, "join", (3,)),
+            ),
+            horizon=60.0,
+            preset="spot",
+            seed=7,
+        )
+        assert AvailabilityTrace.from_jsonl(trace.to_jsonl()) == trace
+
+    def test_header_omits_absent_metadata(self):
+        trace = AvailabilityTrace(num_nodes=4, events=(TraceEvent(1.0, "leave", (0,)),))
+        header = json.loads(trace.to_jsonl().splitlines()[0])
+        assert header == {"num_nodes": 4}
+
+    def test_headerless_text_needs_num_nodes(self):
+        text = '{"t": 1.0, "event": "leave", "nodes": [0]}\n'
+        trace = AvailabilityTrace.from_jsonl(text, num_nodes=4)
+        assert trace.num_nodes == 4
+        with pytest.raises(ValueError, match="num_nodes"):
+            AvailabilityTrace.from_jsonl(text)
+
+    def test_header_must_come_first(self):
+        text = (
+            '{"t": 1.0, "event": "leave", "nodes": [0]}\n'
+            '{"num_nodes": 4}\n'
+        )
+        with pytest.raises(ValueError, match="first line"):
+            AvailabilityTrace.from_jsonl(text)
+
+    def test_malformed_lines_rejected(self):
+        with pytest.raises(ValueError, match="not JSON"):
+            AvailabilityTrace.from_jsonl("not json\n", num_nodes=4)
+        with pytest.raises(ValueError, match="JSON object"):
+            AvailabilityTrace.from_jsonl("[1, 2]\n", num_nodes=4)
+        with pytest.raises(ValueError, match="unknown trace header keys"):
+            AvailabilityTrace.from_jsonl('{"num_nodes": 4, "bogus": 1}\n')
+
+    def test_save_load_round_trip(self, tmp_path):
+        trace = synthesize_trace("rack", num_nodes=8, seed=3, num_events=6)
+        path = tmp_path / "trace.jsonl"
+        trace.save(str(path))
+        assert AvailabilityTrace.load(str(path)) == trace
+
+
+class TestSynthesize:
+    @pytest.mark.parametrize("preset", PRESET_NAMES)
+    def test_presets_are_valid_and_deterministic(self, preset):
+        first = synthesize_trace(preset, num_nodes=16, seed=11, num_events=12)
+        second = synthesize_trace(preset, num_nodes=16, seed=11, num_events=12)
+        assert first == second
+        assert first.to_jsonl() == second.to_jsonl()
+        assert len(first.events) == 12
+        assert first.preset == preset
+        assert first.seed == 11
+        # Replay exercises the membership validation end to end.
+        for _, alive in first.replay():
+            assert all(0 <= node < 16 for node in alive)
+
+    def test_seeds_diverge(self):
+        assert synthesize_trace("spot", seed=1) != synthesize_trace("spot", seed=2)
+
+    def test_horizon_defaults_past_the_last_event(self):
+        trace = synthesize_trace("spot", num_nodes=8, seed=0, num_events=4)
+        assert trace.horizon == round(trace.events[-1].t + 300.0, 3)
+
+    def test_argument_validation(self):
+        with pytest.raises(ValueError, match="unknown trace preset"):
+            synthesize_trace("chaos")
+        with pytest.raises(ValueError, match="at least 2 nodes"):
+            synthesize_trace("spot", num_nodes=1)
+        with pytest.raises(ValueError, match="num_events"):
+            synthesize_trace("spot", num_events=0)
+
+    def test_describe_mentions_provenance(self):
+        trace = synthesize_trace("diurnal", num_nodes=8, seed=5, num_events=4)
+        text = trace.describe()
+        assert "8 nodes" in text
+        assert "[diurnal seed=5]" in text

@@ -53,8 +53,12 @@ class TestGetEndpoints:
         assert health["status"] == "ok"
         assert health["workers"] == 1
         assert set(health["endpoints"]) == {
-            "/partition", "/simulate", "/sweep", "/models", "/strategies", "/healthz",
+            "/partition", "/simulate", "/sweep", "/replan",
+            "/models", "/strategies", "/healthz",
         }
+        assert health["degraded"] is False
+        assert health["requests"]["timeouts"] == 0
+        assert health["requests"]["stale_served"] == 0
         assert {"hits", "misses", "evictions", "hit_rate"} <= set(
             health["result_cache"]
         )

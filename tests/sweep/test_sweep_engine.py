@@ -159,6 +159,44 @@ class TestShutdownSafety:
         assert engine._executor is None
 
 
+class TestFaultHarness:
+    """Worker-kill chaos against the engine's serial-fallback guarantee."""
+
+    def test_killed_worker_degrades_to_a_byte_identical_serial_run(self):
+        from repro.resilience.faults import FaultPlan, faulty_map
+
+        plan = FaultPlan(kill_tasks=(3,))
+        tasks = list(range(10))
+        expected = faulty_map(SweepEngine.serial(), _square, tasks, plan)
+        assert expected == [x * x for x in tasks]
+        with SweepEngine(workers=2) as engine:
+            with pytest.warns(RuntimeWarning, match="process pool failed"):
+                degraded = faulty_map(engine, _square, tasks, plan)
+            assert degraded == expected
+            assert engine.pool_active is False
+            assert engine.pool_degraded is True
+
+    def test_closed_engine_survives_fault_load_without_respawning(self):
+        from repro.resilience.faults import FaultPlan, faulty_map
+
+        plan = FaultPlan(kill_tasks=(0,))
+        engine = SweepEngine(workers=2)
+        engine.map(_square, range(4))
+        engine.close()
+        # Post-close maps run in the parent process, where the kill
+        # wrapper never fires: correct results, no resurrected pool.
+        results = faulty_map(engine, _square, list(range(6)), plan)
+        assert results == [x * x for x in range(6)]
+        assert engine._executor is None
+        assert not engine.pool_active
+
+    def test_degraded_flag_stays_clear_on_healthy_runs(self):
+        with SweepEngine(workers=2) as engine:
+            engine.map(_square, range(4))
+            assert engine.pool_degraded is False
+            assert engine.pool_active is True
+
+
 class TestResolveEngine:
     def test_none_is_serial(self):
         assert resolve_engine(None).workers == 1

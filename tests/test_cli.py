@@ -174,3 +174,91 @@ class TestSweepCommand:
         assert main(["sweep", "smoke", "--workers", "2"]) == 0
         parallel_out = capsys.readouterr().out
         assert parallel_out == serial_out
+
+
+class TestReplanCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["replan"])
+        assert args.model == "Lenet-c"
+        assert args.trace is None
+        assert args.preset == "spot"
+        assert args.seed == 7
+        assert args.events == 10
+        assert args.nodes == 16
+        assert args.policy == "every-event"
+        assert args.horizon_steps == 500
+        assert args.out is None
+        assert args.emit_trace is None
+
+    def test_policy_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["replan", "--policy", "sometimes"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["replan", "--preset", "blizzard"])
+
+    def test_replan_prints_the_timeline(self, capsys):
+        assert main(["replan", "--events", "4", "--batch-size", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "every-event policy over 4 events on 16 nodes" in out
+        assert "mean utilization" in out
+        assert "warm-start DP" in out
+
+    def test_artifacts_are_run_to_run_identical(self, tmp_path, capsys):
+        command = [
+            "replan", "--events", "4", "--batch-size", "64", "--seed", "3",
+        ]
+        first_dir = tmp_path / "first"
+        second_dir = tmp_path / "second"
+        assert main(command + ["--out", str(first_dir)]) == 0
+        assert main(command + ["--out", str(second_dir)]) == 0
+        capsys.readouterr()
+        first = (first_dir / "replan.json").read_bytes()
+        assert first == (second_dir / "replan.json").read_bytes()
+        assert (first_dir / "replan.csv").read_bytes() == (
+            second_dir / "replan.csv"
+        ).read_bytes()
+        import json
+
+        payload = json.loads(first)
+        assert payload["config"]["model"] == "Lenet-c"
+        assert payload["trace"]["num_events"] == 4
+
+    def test_emit_trace_round_trips_through_the_trace_flag(self, tmp_path, capsys):
+        trace_path = tmp_path / "churn.jsonl"
+        assert (
+            main(
+                [
+                    "replan", "--events", "3", "--batch-size", "64",
+                    "--emit-trace", str(trace_path),
+                ]
+            )
+            == 0
+        )
+        synthesized_out = capsys.readouterr().out
+        assert trace_path.exists()
+        assert (
+            main(["replan", "--trace", str(trace_path), "--batch-size", "64"]) == 0
+        )
+        replayed_out = capsys.readouterr().out
+        # The saved trace replays to the same timeline the synthesis ran.
+        assert replayed_out == synthesized_out.replace(
+            f"trace: {trace_path}\n", ""
+        )
+
+
+class TestServeParser:
+    def test_resilience_flags_default_off(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.request_timeout is None
+        assert args.fault_preset is None
+        assert args.fault_seed == 0
+
+    def test_request_timeout_parses_as_seconds(self):
+        args = build_parser().parse_args(["serve", "--request-timeout", "2.5"])
+        assert args.request_timeout == 2.5
+
+    def test_fault_preset_choices_enforced(self):
+        args = build_parser().parse_args(["serve", "--fault-preset", "cache-poison"])
+        assert args.fault_preset == "cache-poison"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--fault-preset", "meteor"])
