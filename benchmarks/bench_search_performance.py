@@ -7,14 +7,19 @@ networks of growing depth, so the linearity is visible in the benchmark
 table itself.
 """
 
+import time
+
 import pytest
 
+from repro.core.costs import CostTable
 from repro.core.hierarchical import HierarchicalPartitioner
 from repro.core.partitioner import TwoWayPartitioner
 from repro.core.tensors import model_tensors
 from repro.nn.layers import ConvLayer
 from repro.nn.model import build_model
-from repro.nn.model_zoo import lenet_c, vgg_e
+from repro.nn.model_zoo import gpt_s, lenet_c, vgg_e
+
+from conftest import emit
 
 
 def _synthetic_network(depth: int):
@@ -54,3 +59,54 @@ def test_two_way_search_scales_linearly(benchmark, depth):
     partitioner = TwoWayPartitioner()
     benchmark(partitioner.partition_tensors, tensors)
     benchmark.extra_info["layers"] = depth
+
+
+@pytest.mark.parametrize("blocks", [128, 512, 1024])
+def test_deep_transformer_dp_memoized(benchmark, blocks):
+    """Chain DP over ``gpt_s`` transformer depths, memoized vs cold.
+
+    The parameterized transformer chains are exactly periodic in their
+    interior, so the block-repetition memoizer converges after a handful of
+    blocks and replays the rest by translation.  The cold NumPy layer loop
+    runs like-for-like inside the bench (best round on both sides, as in
+    the gated sweep ratios) and the measured speedup lands in
+    ``extra_info``; at 1024 blocks it is recorded as ``deep_dp_speedup``,
+    whose >= 10x acceptance floor ``scripts/check_bench_regression.py``
+    enforces against the committed baseline.  Bit-exact agreement between
+    the two paths is asserted on every run.
+    """
+    tensors = model_tensors(gpt_s(blocks), 256)
+    table = CostTable.from_tensors(tensors)
+
+    result = benchmark(table.dp_partition)
+
+    cold_rounds = []
+    for _ in range(3):
+        start = time.perf_counter()
+        cold = table.dp_partition(memoize=False)
+        cold_rounds.append(time.perf_counter() - start)
+    assert cold.communication_bytes == result.communication_bytes
+    assert cold.assignment.choices == result.assignment.choices
+
+    cold_seconds = min(cold_rounds)
+    memoized_seconds = benchmark.stats.stats.min
+    speedup = cold_seconds / memoized_seconds
+    benchmark.extra_info["layers"] = len(tensors)
+    benchmark.extra_info["blocks"] = blocks
+    benchmark.extra_info["cold_seconds"] = cold_seconds
+    benchmark.extra_info["memoized_seconds"] = memoized_seconds
+    # Only the deepest case is gated: the floor protects the regime the
+    # acceptance bar names (1024 blocks), while the shallower depths keep
+    # an informational measurement in the baseline history.
+    key = "deep_dp_speedup" if blocks == 1024 else "memoized_speedup"
+    benchmark.extra_info[key] = speedup
+    emit(
+        f"Deep-chain DP: gpt_s --layers {blocks} ({len(tensors)} layers)",
+        f"cold    : {cold_seconds * 1e3:.2f} ms\n"
+        f"memoized: {memoized_seconds * 1e3:.2f} ms\n"
+        f"speedup : {speedup:.1f}x",
+    )
+    if blocks == 1024:
+        assert speedup >= 10.0, (
+            f"memoized deep-chain DP must be >= 10x the cold path, got {speedup:.1f}x"
+        )

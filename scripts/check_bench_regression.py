@@ -13,9 +13,11 @@ exits non-zero when any regresses by more than the threshold (20% by
 default, overridable with ``--threshold``).  Also re-checks the recorded
 speedup extra-info values against their acceptance floors --
 ``speedup_vs_reference`` >= 20x (the vectorized engine over the object
-path) and ``warm_vs_cold_speedup`` >= 10x (the service's warm requests
-over a cold CLI run) -- so neither can silently fall below its bar even
-if it stays self-consistent between runs.
+path), ``warm_vs_cold_speedup`` >= 10x (the service's warm requests over
+a cold CLI run) and ``deep_dp_speedup`` >= 10x (the memoized chain DP
+over the cold layer loop on the 1024-block transformer) -- so none can
+silently fall below its bar even if it stays self-consistent between
+runs.
 
 Both sides accept either the full ``pytest-benchmark`` JSON format or the
 slim summary baseline written by ``scripts/slim_bench_baseline.py`` (the
@@ -44,6 +46,10 @@ import sys
 SPEEDUP_FLOORS = {
     "speedup_vs_reference": 20.0,
     "warm_vs_cold_speedup": 10.0,
+    # Block-repetition memoized chain DP over the gpt_s --layers 1024
+    # deep transformer vs the cold NumPy layer loop
+    # (bench_search_performance.py::test_deep_transformer_dp_memoized).
+    "deep_dp_speedup": 10.0,
 }
 
 

@@ -81,6 +81,7 @@ from repro.analysis.report import format_series, format_table
 from repro.analysis.scalability import run_scalability_study
 from repro.analysis.topology_study import run_topology_study
 from repro.analysis.trick_study import run_trick_study
+from repro.core import kernels
 from repro.core.hierarchical import DEFAULT_BATCH_SIZE
 from repro.core.parallelism import DEFAULT_SPACE, StrategySpace
 from repro.core.strategies import registered_strategies
@@ -117,6 +118,18 @@ def _add_common_options(parser: argparse.ArgumentParser) -> None:
         help="comma-separated per-layer strategy space searched at every "
         "level, e.g. dp,mp,pp (default: dp,mp, the paper's axis; see "
         "'hypar strategies')",
+    )
+    _add_backend_option(parser)
+
+
+def _add_backend_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend",
+        choices=kernels.VALID_BACKENDS,
+        default=None,
+        help="cost-table kernel backend; 'compiled' uses the optional numba "
+        "kernels when installed and silently falls back to the bit-identical "
+        "NumPy path otherwise (default: the process default, numpy)",
     )
 
 
@@ -173,8 +186,20 @@ def _print_model_table(model) -> None:
 
 
 def _cmd_models(args: argparse.Namespace) -> int:
+    if args.layers is not None and not args.models:
+        print(
+            "error: --layers requires model names (e.g. hypar models gpt_s --layers 96)",
+            file=sys.stderr,
+        )
+        return 2
     if args.models:
-        models = [get_model(name) for name in args.models]
+        try:
+            models = [get_model(name, layers=args.layers) for name in args.models]
+        except (KeyError, ValueError) as error:
+            # KeyError reprs with quotes around the message; unwrap it.
+            message = error.args[0] if error.args else str(error)
+            print(f"error: {message}", file=sys.stderr)
+            return 2
     else:
         models = [builder() for builder in all_model_builders().values()]
 
@@ -476,6 +501,14 @@ def build_parser() -> argparse.ArgumentParser:
         default="table",
         help="output format (default: %(default)s)",
     )
+    models_parser.add_argument(
+        "--layers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="block depth for parameterized models (gpt_s, bert_s); "
+        "e.g. 'hypar models gpt_s --layers 96'",
+    )
     models_parser.set_defaults(handler=_cmd_models)
 
     strategies_parser = subparsers.add_parser(
@@ -561,6 +594,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument(
         "--list", action="store_true", help="list the built-in sweep presets"
     )
+    _add_backend_option(sweep_parser)
     sweep_parser.set_defaults(handler=_cmd_sweep)
 
     serve_parser = subparsers.add_parser(
@@ -620,6 +654,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="seed for --fault-preset schedules (default: %(default)s)",
     )
+    _add_backend_option(serve_parser)
     serve_parser.set_defaults(handler=_cmd_serve)
 
     replan_parser = subparsers.add_parser(
@@ -713,6 +748,11 @@ def main(argv: Sequence[str] | None = None) -> int:
     """Entry point for the ``hypar`` console script."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if getattr(args, "backend", None) is not None:
+        # The process-wide default: every table compiled without an
+        # explicit backend= (including by fork-started sweep workers)
+        # follows it.  Explicit per-request backends still win.
+        kernels.set_default_backend(args.backend)
     return args.handler(args)
 
 

@@ -71,6 +71,7 @@ from typing import Iterator, Sequence
 
 import numpy as np
 
+from repro.core import kernels
 from repro.core.communication import CommunicationModel
 from repro.core.parallelism import (
     DEFAULT_SPACE,
@@ -104,6 +105,263 @@ _MAX_PACKED_SPACE = 1 << 62
 #: handful of layers, and hitting this limit means the model's branch
 #: structure has no small cut decomposition.
 DEFAULT_MAX_BLOCK_PATTERNS = 1 << 28
+
+#: Chains shorter than this skip the repetition detector: the plain layer
+#: loop finishes before the detection would pay for itself, and keeping
+#: every historical (paper-zoo-sized) solve on the unmodified code path
+#: makes the memoization a strict no-op for them.
+_MEMOIZE_MIN_LAYERS = 32
+
+#: Largest block period the repetition detector probes.  Transformer zoo
+#: blocks repeat with period 4 (qkv / proj / up / down); the bound only
+#: caps the (vectorized) detection work on aperiodic chains.
+_MAX_MEMO_PERIOD = 64
+
+#: Relative slack applied to dominance-pruning lower bounds before they
+#: may discard a candidate chunk.  A bound assembled from per-term minima
+#: uses a different float association than the exact sequential scorer, so
+#: it can exceed a candidate's float total by a few ULPs; shrinking the
+#: bound by far more than the worst accumulated rounding error (yet far
+#: less than any real cost gap) keeps pruning bit-exact: no chunk holding
+#: a first-minimum candidate is ever skipped.
+_PRUNE_MARGIN = 1e-9
+
+
+def _resolve_chunk_size(chunk_size: int | None) -> int:
+    """Normalize a public ``chunk_size=`` argument (``None`` = default)."""
+    if chunk_size is None:
+        return DEFAULT_CHUNK_SIZE
+    if chunk_size <= 0:
+        raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+    return int(chunk_size)
+
+
+# ----------------------------------------------------------------------
+# Chain-DP inner loop: NumPy / compiled advancement plus block-repetition
+# memoization.  Shared by CostTable.dp_partition and WarmStartDP.solve.
+# ----------------------------------------------------------------------
+
+
+def _advance_chain_numpy(
+    intra: np.ndarray,
+    inter: np.ndarray,
+    parents: np.ndarray,
+    frontiers: np.ndarray,
+    start: int,
+    stop: int,
+) -> None:
+    """Advance the Algorithm 1 recurrence over layers ``[start, stop)``.
+
+    Reads the frontier (``com``) of layer ``start - 1`` from ``frontiers``
+    and writes one parent row and one frontier row per advanced layer --
+    the historical ``dp_partition`` loop body, verbatim, with the frontier
+    matrix standing in for the rolling ``com`` vector.
+    """
+    state = np.arange(intra.shape[1])
+    com = frontiers[start - 1]
+    for layer in range(start, stop):
+        candidates = com[:, None] + inter[layer - 1]  # (from, to)
+        # argmin resolves ties to the lowest code (dp), matching the
+        # reference earliest-strategy-wins scan.
+        choice = np.argmin(candidates, axis=0)
+        parents[layer - 1] = choice
+        com = candidates[choice, state] + intra[layer]
+        frontiers[layer] = com
+
+
+def _chain_advancer(backend: str):
+    """The layer-advancement routine for a resolved backend name."""
+    if backend == "compiled" and kernels.NUMBA_AVAILABLE:
+        return kernels.chain_dp_compiled
+    return _advance_chain_numpy
+
+
+def _detect_periodic_region(
+    intra: np.ndarray, inter: np.ndarray
+) -> tuple[int, int, int] | None:
+    """Smallest ``(period, first, stop)`` with transitions ``first:stop`` periodic.
+
+    Transition ``j`` (into layer ``j + 1``) is the cost pair
+    ``(inter[j], intra[j + 1])``; two transitions are equivalent when
+    their entries are numerically equal, making the DP treat them
+    identically.  Periods are probed in ascending order with one
+    vectorized shifted comparison each, and the longest run of shift-equal
+    transitions wins (an embedding stem before and a classifier head after
+    the repeated blocks are the norm, so the periodic region rarely
+    reaches either end of the chain).  Requires at least four full periods
+    so the stabilization check (step two blocks, jump the rest) has room
+    to pay off.  Returns ``None`` on aperiodic chains.
+    """
+    num_layers = intra.shape[0]
+    num_transitions = num_layers - 1
+    for period in range(1, min(_MAX_MEMO_PERIOD, num_transitions // 4) + 1):
+        # equal[j]: transition j matches transition j + period.
+        equal = np.all(inter[period:] == inter[:-period], axis=(1, 2)) & np.all(
+            intra[1 + period :] == intra[1 : num_layers - period], axis=1
+        )
+        # Longest run of consecutive shift-equal transitions.
+        padded = np.concatenate(([False], equal, [False]))
+        changes = np.flatnonzero(padded[1:] != padded[:-1])
+        if changes.size == 0:
+            continue
+        run_starts = changes[::2]
+        run_lengths = changes[1::2] - run_starts
+        longest = int(np.argmax(run_lengths))
+        first = int(run_starts[longest])
+        length = int(run_lengths[longest])
+        # ``equal[j]`` ties transition ``j`` to ``j + period``, so the
+        # periodic region covers ``length + period`` transitions.
+        if (length + period) // period >= 4:
+            return period, first, first + length + period
+    return None
+
+
+def _exactness_shift(arrays: Sequence[np.ndarray], magnitude: float) -> int | None:
+    """Power-of-two shift making every entry an exact scaled integer.
+
+    When all values are dyadic rationals at scale ``2**shift`` and every
+    intermediate magnitude stays below ``2**53 / 2**shift``, IEEE double
+    addition of these values is *exact* -- the precondition for replaying
+    a converged DP block by translation instead of recomputation.  Returns
+    ``None`` when no such shift exists (jump declined, stepping continues).
+    """
+    for array in arrays:
+        if not np.all(np.isfinite(array)):
+            return None
+    for shift in range(53):
+        scale = float(1 << shift)
+        if magnitude * scale >= 2.0**53:
+            return None
+        if all(np.all(array * scale == np.round(array * scale)) for array in arrays):
+            return shift
+    return None
+
+
+def _try_periodic_jump(
+    intra: np.ndarray,
+    inter: np.ndarray,
+    parents: np.ndarray,
+    frontiers: np.ndarray,
+    cursor: int,
+    period: int,
+    count: int,
+) -> bool:
+    """Replay ``count`` converged blocks after boundary layer ``cursor``.
+
+    ``cursor`` is the first layer *after* two fully stepped period blocks.
+    The jump fires only when the DP has provably entered its steady state:
+
+    * the last two blocks chose identical parent rows, and the frontier
+      advanced by a *uniform* per-period increment ``delta`` (max-plus
+      theory: the power iteration of a periodic transition matrix
+      converges to uniform growth);
+    * an exactness certificate holds (:func:`_exactness_shift`): every
+      participating value is a bounded dyadic rational, so the float adds
+      the skipped stepping *would* perform are exact and therefore equal
+      ``previous block + delta`` bit for bit -- including every argmin
+      tie, which is decided by exact comparisons of translated values.
+
+    On success the jumped frontier rows are broadcast translations of the
+    last stepped block and the parent rows are tiled copies; the caller's
+    result is byte-identical to cold stepping.  Returns ``False`` (caller
+    keeps stepping) when any certificate fails.
+    """
+    num_strategies = frontiers.shape[1]
+    boundary = frontiers[cursor - 1]
+    previous_boundary = frontiers[cursor - period - 1]
+    delta = boundary - previous_boundary
+    if not np.all(delta == delta[0]):
+        return False
+    if not np.array_equal(
+        parents[cursor - period - 1 : cursor - 1],
+        parents[cursor - 2 * period - 1 : cursor - period - 1],
+    ):
+        return False
+    step = float(delta[0])
+    intra_block = intra[cursor - period : cursor]
+    inter_block = inter[cursor - period - 1 : cursor - 1]
+    block_max = max(
+        float(np.abs(intra_block).max()), float(np.abs(inter_block).max()), 1.0
+    )
+    magnitude = (
+        float(np.abs(boundary).max())
+        + (count + 2) * (abs(step) + block_max * (period + 2))
+    )
+    shift = _exactness_shift(
+        [boundary, np.array([step]), intra_block, inter_block], magnitude
+    )
+    if shift is None:
+        return False
+    base_frontiers = frontiers[cursor - period : cursor]  # (period, K)
+    base_parents = parents[cursor - period - 1 : cursor - 1]
+    offsets = np.arange(1, count + 1, dtype=np.float64) * step
+    frontiers[cursor : cursor + count * period] = (
+        base_frontiers[None, :, :] + offsets[:, None, None]
+    ).reshape(count * period, num_strategies)
+    parents[cursor - 1 : cursor - 1 + count * period] = np.tile(
+        base_parents, (count, 1)
+    )
+    return True
+
+
+def _chain_dp_run(
+    intra: np.ndarray,
+    inter: np.ndarray,
+    start: int,
+    parents: np.ndarray,
+    frontiers: np.ndarray,
+    *,
+    backend: str,
+    memoize: bool = True,
+) -> tuple[np.ndarray, int]:
+    """Fill ``parents`` / ``frontiers`` for layers ``[start, L)``.
+
+    The single chain-DP driver behind :meth:`CostTable.dp_partition` and
+    :class:`WarmStartDP`: advances the recurrence with the selected
+    backend and, when ``memoize`` is on and the chain's transitions repeat
+    (transformer blocks), replays converged period blocks by translation
+    (:func:`_try_periodic_jump`) instead of stepping them.  Returns the
+    final frontier and the number of layers filled by jumps; every filled
+    row is bit-exact with cold stepping.
+    """
+    num_layers = intra.shape[0]
+    advance = _chain_advancer(backend)
+    if not memoize or num_layers - start < _MEMOIZE_MIN_LAYERS:
+        advance(intra, inter, parents, frontiers, start, num_layers)
+        return frontiers[num_layers - 1], 0
+    detected = _detect_periodic_region(intra, inter)
+    if detected is None:
+        advance(intra, inter, parents, frontiers, start, num_layers)
+        return frontiers[num_layers - 1], 0
+    period, first_transition, stop_transition = detected
+    # Transition ``j`` feeds layer ``j + 1``: the periodic layers are
+    # ``[first_transition + 1, stop_transition + 1)``.
+    region_first = first_transition + 1
+    region_stop = stop_transition + 1
+    anchor = max(start, region_first, 1)
+    blocks_behind = -(-(anchor - region_first) // period)  # ceil division
+    cursor = region_first + blocks_behind * period  # first block boundary >= anchor
+    last_boundary = region_first + ((region_stop - region_first) // period) * period
+    if cursor + 2 * period > last_boundary:
+        advance(intra, inter, parents, frontiers, start, num_layers)
+        return frontiers[num_layers - 1], 0
+    advance(intra, inter, parents, frontiers, start, cursor)
+    stepped_blocks = 0
+    jumped_layers = 0
+    while cursor + period <= last_boundary:
+        advance(intra, inter, parents, frontiers, cursor, cursor + period)
+        stepped_blocks += 1
+        cursor += period
+        remaining = (last_boundary - cursor) // period
+        if stepped_blocks >= 2 and remaining >= 1:
+            if _try_periodic_jump(
+                intra, inter, parents, frontiers, cursor, period, remaining
+            ):
+                jumped_layers = remaining * period
+                cursor += jumped_layers
+                break
+    advance(intra, inter, parents, frontiers, cursor, num_layers)
+    return frontiers[num_layers - 1], jumped_layers
 
 
 def _warn_bits_shim(old: str, new: str) -> None:
@@ -250,6 +508,13 @@ class CostTable:
         The canonical ``(source, destination)`` edge list the ``inter``
         axis is indexed by (ordered by destination, then input position);
         ``None`` normalizes to the chain.
+    backend:
+        Kernel backend for the chain hot paths: ``"numpy"`` (the
+        vectorized loops), ``"compiled"`` (numba ``@njit`` kernels,
+        silently falling back to NumPy when numba is absent), or ``None``
+        to follow the process default
+        (:func:`repro.core.kernels.get_default_backend`), resolved at
+        each use.  Backends are bit-exact with each other.
     """
 
     intra: np.ndarray
@@ -258,11 +523,13 @@ class CostTable:
     communication_model: CommunicationModel
     strategies: StrategySpace = DEFAULT_SPACE
     edges: tuple[tuple[int, int], ...] | None = None
+    backend: str | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(
             self, "edges", _normalize_edges(self.edges, len(self.tensors))
         )
+        kernels.validate_backend(self.backend)
 
     @functools.cached_property
     def is_chain(self) -> bool:
@@ -280,6 +547,7 @@ class CostTable:
         communication_model: CommunicationModel | None = None,
         strategies: StrategySpace | Sequence[Parallelism] | str | None = None,
         edges: Sequence[tuple[int, int]] | None = None,
+        backend: str | None = None,
     ) -> "CostTable":
         """Compile the table from per-layer tensor amounts.
 
@@ -315,6 +583,7 @@ class CostTable:
             communication_model=model,
             strategies=space,
             edges=edge_list,
+            backend=backend,
         )
 
     @classmethod
@@ -325,6 +594,7 @@ class CostTable:
         scales: Sequence[TensorScale] | None = None,
         communication_model: CommunicationModel | None = None,
         strategies: StrategySpace | Sequence[Parallelism] | str | None = None,
+        backend: str | None = None,
     ) -> "CostTable":
         """Compile the table for ``model`` at ``batch_size`` (and ``scales``)."""
         return cls.from_tensors(
@@ -332,6 +602,7 @@ class CostTable:
             communication_model,
             strategies,
             edges=model.edges,
+            backend=backend,
         )
 
     # ------------------------------------------------------------------
@@ -360,7 +631,7 @@ class CostTable:
     # Algorithm 1 as a K-way array DP over the table.
     # ------------------------------------------------------------------
 
-    def dp_partition(self) -> PartitionResult:
+    def dp_partition(self, *, memoize: bool = True) -> PartitionResult:
         """Optimal per-layer assignment over the table (Algorithm 1, generalized).
 
         For a chain this is exactly the recurrence of
@@ -368,34 +639,45 @@ class CostTable:
         -- same additions in the same order, ties preferring the lowest
         strategy code (dp first) -- so the returned optimum is bit-exact
         with the object-based oracle, byte-identical to the historical
-        array DP.  For a DAG the table runs the same dynamic program over
-        the model's *cut vertices* (layers no edge jumps across), scoring
-        each branch interior by batched enumeration
-        (:meth:`_dp_partition_dag`); the optimum value equals the
-        brute-force minimum of :meth:`score_codes` over the full space,
-        float for float.  The per-layer breakdown of the winner is
-        materialized lazily.
+        array DP.  The chain recurrence runs on the table's
+        :attr:`backend` and, with ``memoize`` on (the default), replays
+        converged repeated-block transitions by translation instead of
+        stepping them (:func:`_chain_dp_run`) -- both bit-exact with the
+        cold NumPy loop, which ``memoize=False`` forces for oracle runs.
+        For a DAG the table runs the same dynamic program over the model's
+        *cut vertices* (layers no edge jumps across), scoring each branch
+        interior by batched enumeration (:meth:`_dp_partition_dag`); the
+        optimum value equals the brute-force minimum of
+        :meth:`score_codes` over the full space, float for float.  The
+        per-layer breakdown of the winner is materialized lazily.
         """
         if not self.is_chain:
             return self._dp_partition_dag()
         num_layers = self.num_layers
-        com = self.intra[0].copy()  # (K,): best accumulated cost per end code
         parents = np.empty((num_layers - 1, self.num_strategies), dtype=np.int8)
-        state = np.arange(self.num_strategies)
-        for layer in range(1, num_layers):
-            candidates = com[:, None] + self.inter[layer - 1]  # (from, to)
-            # argmin resolves ties to the lowest code (dp), matching the
-            # reference earliest-strategy-wins scan.
-            choice = np.argmin(candidates, axis=0)
-            parents[layer - 1] = choice
-            com = candidates[choice, state] + self.intra[layer]
+        frontiers = np.empty((num_layers, self.num_strategies), dtype=np.float64)
+        frontiers[0] = self.intra[0]  # layer 0 pays only its intra term
+        com, _ = _chain_dp_run(
+            self.intra,
+            self.inter,
+            1,
+            parents,
+            frontiers,
+            backend=kernels.resolve_backend(self.backend),
+            memoize=memoize,
+        )
 
         last = int(np.argmin(com))  # tie -> lowest code, the reference rule
         total = float(com[last])
-        codes_per_layer = np.empty(num_layers, dtype=np.int8)
-        codes_per_layer[-1] = last
+        # Backtrack over plain Python lists: scalar ndarray indexing costs
+        # ~4x more per step, and at transformer depth the backtrack would
+        # otherwise dominate the memoized solve.  The codes are exact
+        # integers either way.
+        parent_rows = parents.tolist()
+        codes_per_layer = [0] * num_layers
+        code = codes_per_layer[-1] = last
         for layer in range(num_layers - 2, -1, -1):
-            codes_per_layer[layer] = parents[layer, codes_per_layer[layer + 1]]
+            code = codes_per_layer[layer] = parent_rows[layer][code]
 
         members = self.strategies.members
         assignment = LayerAssignment(
@@ -460,9 +742,81 @@ class CostTable:
             group_size = num_patterns // num_strategies
             best = np.full(num_strategies, np.inf)
             best_rest = np.zeros(num_strategies, dtype=np.int64)
-            for start in range(0, num_patterns, DEFAULT_CHUNK_SIZE):
+            # Digit-aligned chunking (largest K**free <= DEFAULT_CHUNK_SIZE)
+            # keeps every chunk's high digits constant, enabling dominance
+            # pruning.  Chunk boundaries never affect the result: the
+            # strict-< running minima scan codes in ascending order, so
+            # any partition of that order yields the identical winner.
+            free_digits = 0
+            chunk_span = 1
+            while (
+                free_digits < block_layers
+                and chunk_span * num_strategies <= DEFAULT_CHUNK_SIZE
+            ):
+                chunk_span *= num_strategies
+                free_digits += 1
+            # Lower-bound scaffolding over the free (low) digits: the
+            # cheapest prefix state, each free layer's cheapest intra
+            # entry, each free-internal edge's cheapest inter entry
+            # (costs are nonnegative byte counts, so per-term minima
+            # bound any completion from below).
+            free_floor = float(com.min())
+            for local in range(1, free_digits):
+                free_floor += float(self.intra[block_start + local].min())
+            fixed_edges = []
+            cross_into_fixed = []
+            cross_into_free = []
+            for edge_index, local_source, local_destination in block_edges:
+                if local_source < free_digits and local_destination < free_digits:
+                    free_floor += float(self.inter[edge_index].min())
+                elif local_source >= free_digits:
+                    fixed_edges.append((edge_index, local_source, local_destination))
+                elif local_destination >= free_digits:
+                    cross_into_fixed.append((edge_index, local_destination))
+                else:  # pragma: no cover - edges run forward (source < dest)
+                    cross_into_free.append((edge_index, local_source))
+            for start in range(0, num_patterns, chunk_span):
+                if free_digits < block_layers:
+                    fixed = _decode_digits(
+                        np.array([start // chunk_span], dtype=np.int64),
+                        block_layers - free_digits,
+                        num_strategies,
+                    )[0]
+                    bound = free_floor
+                    for local in range(free_digits, block_layers):
+                        bound += float(
+                            self.intra[block_start + local, fixed[local - free_digits]]
+                        )
+                    for edge_index, local_source, local_destination in fixed_edges:
+                        bound += float(
+                            self.inter[
+                                edge_index,
+                                fixed[local_source - free_digits],
+                                fixed[local_destination - free_digits],
+                            ]
+                        )
+                    for edge_index, local_destination in cross_into_fixed:
+                        bound += float(
+                            self.inter[
+                                edge_index, :, fixed[local_destination - free_digits]
+                            ].min()
+                        )
+                    for edge_index, local_source in cross_into_free:  # pragma: no cover
+                        bound += float(
+                            self.inter[
+                                edge_index, fixed[local_source - free_digits], :
+                            ].min()
+                        )
+                    incumbent = float(best.max())
+                    # Strictly-worse chunks cannot improve (or first-tie)
+                    # any end code's running minimum; the margin absorbs
+                    # the bound's different float association, keeping
+                    # the scan's output byte-identical to the unpruned
+                    # enumeration.
+                    if bound * (1.0 - _PRUNE_MARGIN) > incumbent:
+                        continue
                 codes = np.arange(
-                    start, min(start + DEFAULT_CHUNK_SIZE, num_patterns), dtype=np.int64
+                    start, min(start + chunk_span, num_patterns), dtype=np.int64
                 )
                 decoded = _decode_digits(codes, block_layers, num_strategies)
                 # Column 0 carries the accumulated prefix cost (the cut
@@ -522,7 +876,9 @@ class CostTable:
     # Batched scoring of candidate digit-patterns.
     # ------------------------------------------------------------------
 
-    def score_codes(self, codes: np.ndarray | Sequence[int]) -> np.ndarray:
+    def score_codes(
+        self, codes: np.ndarray | Sequence[int], chunk_size: int | None = None
+    ) -> np.ndarray:
         """Total communication bytes for a batch of packed digit-patterns.
 
         ``codes`` encodes one candidate per element with the
@@ -531,6 +887,11 @@ class CostTable:
         strategy code).  Returns a float array of the same length whose
         entries are bit-exact with ``CommunicationModel.total_bytes`` on
         the decoded assignments.
+
+        ``chunk_size`` bounds the peak memory of the gathered ``(chunk,
+        L)`` cost matrices (``None`` = :data:`DEFAULT_CHUNK_SIZE`); each
+        candidate is scored independently, so every chunk size returns
+        byte-identical totals.
         """
         if self.num_assignments > _MAX_PACKED_SPACE:
             # base ** layer powers would overflow int64 and decode garbage
@@ -540,12 +901,13 @@ class CostTable:
                 "the 64-bit packed encoding; score assignments via "
                 "total_bytes() instead"
             )
+        step = _resolve_chunk_size(chunk_size)
         codes = np.asarray(codes, dtype=np.int64)
         if codes.ndim != 1:
             raise ValueError(f"codes must be one-dimensional, got shape {codes.shape}")
         totals = np.empty(codes.shape[0], dtype=np.float64)
-        for start in range(0, codes.shape[0], DEFAULT_CHUNK_SIZE):
-            chunk = codes[start : start + DEFAULT_CHUNK_SIZE]
+        for start in range(0, codes.shape[0], step):
+            chunk = codes[start : start + step]
             totals[start : start + chunk.shape[0]] = self._score_chunk(chunk)
         return totals
 
@@ -568,9 +930,20 @@ class CostTable:
 
         Depth-safe core scorer: unlike the packed-integer entry points it
         has no 64-bit encoding limit, so single assignments of arbitrarily
-        deep models route through it.
+        deep models route through it.  Chain tables on the ``"compiled"``
+        backend dispatch to the numba scorer kernel (bit-exact; see
+        :mod:`repro.core.kernels`); DAG tables always take the NumPy path.
         """
         num_layers = self.num_layers
+        if self.is_chain and kernels.compiled_active(self.backend):
+            totals = np.empty(decoded.shape[0], dtype=np.float64)
+            kernels.score_decoded_chain_compiled(
+                np.ascontiguousarray(self.intra),
+                np.ascontiguousarray(self.inter),
+                np.ascontiguousarray(decoded, dtype=np.int64),
+                totals,
+            )
+            return totals
         per_layer = self.intra[np.arange(num_layers), decoded]  # (N, L)
         if self.is_chain:
             if num_layers > 1:
@@ -607,16 +980,111 @@ class CostTable:
         _warn_bits_shim("CostTable.iter_all_bits", "CostTable.iter_all_codes")
         return self.iter_all_codes(chunk_size)
 
-    def argmin_assignment(self) -> tuple[int, float]:
+    def argmin_assignment(
+        self,
+        *,
+        chunk_size: int | None = None,
+        prune: bool = False,
+        upper_bound: float | None = None,
+    ) -> tuple[int, float]:
         """Brute-force optimum over all ``K**L`` assignments.
 
         Returns ``(codes, total_bytes)`` of the first minimum in
         enumeration order (lowest digit-pattern wins ties), matching the
         reference strict-``<`` scan of the object-based brute force.
+
+        With ``prune`` on, the scan becomes a branch-and-bound: chunks are
+        aligned to digit boundaries, a per-chunk lower bound (exact fixed
+        high-digit cost plus per-term minima over the free digits; every
+        cost is a nonnegative byte count) is compared against the running
+        incumbent -- seeded from ``upper_bound`` when given, e.g. by a
+        preceding :meth:`dp_partition` -- and strictly-dominated chunks
+        are skipped without scoring.  The margined strict comparison
+        (:data:`_PRUNE_MARGIN`) guarantees no chunk containing a first
+        minimum is ever discarded, so the returned pair is byte-identical
+        to the unpruned scan.  ``chunk_size`` bounds peak memory either
+        way.
         """
+        step = _resolve_chunk_size(chunk_size)
+        if prune:
+            return self._argmin_pruned(step, upper_bound)
         best_codes = -1
         best_total = np.inf
-        for chunk in self.iter_all_codes():
+        for chunk in self.iter_all_codes(step):
+            totals = self._score_chunk(chunk)
+            index = int(np.argmin(totals))
+            if totals[index] < best_total:
+                best_total = float(totals[index])
+                best_codes = int(chunk[index])
+        return best_codes, best_total
+
+    def _argmin_pruned(
+        self, chunk_size: int, upper_bound: float | None
+    ) -> tuple[int, float]:
+        """Branch-and-bound enumeration behind :meth:`argmin_assignment`."""
+        if self.num_assignments > _MAX_PACKED_SPACE:
+            raise ValueError(
+                f"cannot enumerate a {self.num_strategies}**{self.num_layers} "
+                "space with 64-bit packed encodings"
+            )
+        num_layers = self.num_layers
+        base = self.num_strategies
+        # Digit-aligned chunks: the largest base**free <= chunk_size low
+        # digits enumerate inside a chunk, the remaining high digits are
+        # fixed per chunk and priced exactly in the bound.
+        free_digits = 0
+        span = 1
+        while free_digits < num_layers and span * base <= chunk_size:
+            span *= base
+            free_digits += 1
+        incumbent = np.inf if upper_bound is None else float(upper_bound)
+        best_codes = -1
+        best_total = np.inf
+        if free_digits == num_layers:
+            # One chunk covers the space; nothing to prune against.
+            return self.argmin_assignment(chunk_size=chunk_size)
+        free_floor = 0.0
+        for layer in range(free_digits):
+            free_floor += float(self.intra[layer].min())
+        fixed_edges = []
+        cross_edges = []
+        for edge_index, (source, destination) in enumerate(self.edges):
+            if destination < free_digits:
+                free_floor += float(self.inter[edge_index].min())
+            elif source >= free_digits:
+                fixed_edges.append((edge_index, source, destination))
+            else:
+                cross_edges.append((edge_index, destination))
+        fixed_layers = np.arange(free_digits, num_layers)
+        for start in range(0, self.num_assignments, span):
+            fixed = _decode_digits(
+                np.array([start // span], dtype=np.int64),
+                num_layers - free_digits,
+                base,
+            )[0]
+            bound = free_floor + float(
+                self.intra[fixed_layers, fixed].sum()
+            )
+            for edge_index, source, destination in fixed_edges:
+                bound += float(
+                    self.inter[
+                        edge_index,
+                        fixed[source - free_digits],
+                        fixed[destination - free_digits],
+                    ]
+                )
+            for edge_index, destination in cross_edges:
+                bound += float(
+                    self.inter[edge_index, :, fixed[destination - free_digits]].min()
+                )
+            # Strict, margined dominance: skipped chunks hold only totals
+            # strictly above the incumbent, so neither the minimum value
+            # nor the first-minimum tie winner can live there.
+            if bound * (1.0 - _PRUNE_MARGIN) > min(incumbent, best_total):
+                continue
+            chunk = np.arange(
+                start, min(start + span, self.num_assignments), dtype=np.int64
+            )
             totals = self._score_chunk(chunk)
             index = int(np.argmin(totals))
             if totals[index] < best_total:
@@ -701,7 +1169,7 @@ class WarmStartDP:
     def __init__(self) -> None:
         self._intra: "np.ndarray | None" = None
         self._inter: "np.ndarray | None" = None
-        self._frontiers: list = []
+        self._frontiers: "np.ndarray | None" = None
         self._parents: "np.ndarray | None" = None
         self._result: "PartitionResult | None" = None
         #: Solve statistics (deterministic given the solve sequence).
@@ -709,6 +1177,10 @@ class WarmStartDP:
         self.reused_layers = 0
         self.solved_layers = 0
         self.cold_solves = 0
+        #: Layers filled by block-repetition jumps instead of stepping
+        #: (a subset of ``solved_layers``; purely informational, so the
+        #: :meth:`stats` dict -- pinned by replan goldens -- is unchanged).
+        self.memoized_layers = 0
 
     def _matching_prefix(self, table: CostTable) -> int:
         """Longest leading layer run whose DP state the cache can replay."""
@@ -731,8 +1203,15 @@ class WarmStartDP:
             prefix += 1
         return prefix
 
-    def solve(self, table: CostTable) -> PartitionResult:
-        """The ``table.dp_partition()`` optimum, warm-started when possible."""
+    def solve(self, table: CostTable, *, memoize: bool = True) -> PartitionResult:
+        """The ``table.dp_partition()`` optimum, warm-started when possible.
+
+        The resumed recurrence runs through the shared
+        :func:`_chain_dp_run` driver, so it inherits the table's backend
+        and the block-repetition memoization (``memoize=False`` forces
+        cold stepping for oracle comparisons); both are bit-exact with the
+        historical layer loop.
+        """
         if not table.is_chain:
             self.cold_solves += 1
             return table.dp_partition()
@@ -742,7 +1221,8 @@ class WarmStartDP:
         if (
             prefix == num_layers
             and self._result is not None
-            and len(self._frontiers) == num_layers
+            and self._frontiers is not None
+            and self._frontiers.shape[0] == num_layers
         ):
             self.full_hits += 1
             return self._result
@@ -750,28 +1230,32 @@ class WarmStartDP:
         self.solved_layers += num_layers - prefix
 
         parents = np.empty((num_layers - 1, num_strategies), dtype=np.int8)
+        frontiers = np.empty((num_layers, num_strategies), dtype=np.float64)
         if prefix == 0:
-            frontiers = [table.intra[0].copy()]
+            frontiers[0] = table.intra[0]
             start = 1
         else:
-            frontiers = list(self._frontiers[:prefix])
+            frontiers[:prefix] = self._frontiers[:prefix]
             parents[: prefix - 1] = self._parents[: prefix - 1]
             start = prefix
-        state = np.arange(num_strategies)
-        com = frontiers[-1]
-        for layer in range(start, num_layers):
-            candidates = com[:, None] + table.inter[layer - 1]
-            choice = np.argmin(candidates, axis=0)
-            parents[layer - 1] = choice
-            com = candidates[choice, state] + table.intra[layer]
-            frontiers.append(com)
+        com, jumped = _chain_dp_run(
+            table.intra,
+            table.inter,
+            start,
+            parents,
+            frontiers,
+            backend=kernels.resolve_backend(table.backend),
+            memoize=memoize,
+        )
+        self.memoized_layers += jumped
 
         last = int(np.argmin(com))
         total = float(com[last])
-        codes_per_layer = np.empty(num_layers, dtype=np.int8)
-        codes_per_layer[-1] = last
+        parent_rows = parents.tolist()
+        codes_per_layer = [0] * num_layers
+        code = codes_per_layer[-1] = last
         for layer in range(num_layers - 2, -1, -1):
-            codes_per_layer[layer] = parents[layer, codes_per_layer[layer + 1]]
+            code = codes_per_layer[layer] = parent_rows[layer][code]
         members = table.strategies.members
         assignment = LayerAssignment(
             tuple(members[code] for code in codes_per_layer)
@@ -828,6 +1312,7 @@ class HierarchicalCostTable:
         scaling_mode: ScalingMode | str = ScalingMode.PARALLELISM_AWARE,
         communication_model: CommunicationModel | None = None,
         strategies: StrategySpace | Sequence[Parallelism] | str | None = None,
+        backend: str | None = None,
     ) -> None:
         if num_levels <= 0:
             raise ValueError(f"num_levels must be positive, got {num_levels}")
@@ -838,6 +1323,9 @@ class HierarchicalCostTable:
         self.scaling_mode = ScalingMode.parse(scaling_mode)
         self.communication_model = communication_model or CommunicationModel()
         self.strategies = StrategySpace.parse(strategies)
+        #: Kernel backend handed to every gathered per-level
+        #: :class:`CostTable` (``None`` = follow the process default).
+        self.backend = kernels.validate_backend(backend)
         #: Canonical edge list of the model's layer DAG; the per-level
         #: ``inter`` arrays are indexed by it (chains keep the historical
         #: boundary indexing, edge ``e`` == boundary ``(e, e + 1)``).
@@ -1068,6 +1556,7 @@ class HierarchicalCostTable:
             communication_model=self.communication_model,
             strategies=self.strategies,
             edges=self.edges,
+            backend=self.backend,
         )
 
     # ------------------------------------------------------------------
@@ -1093,7 +1582,9 @@ class HierarchicalCostTable:
         """Size of the full hierarchical space (``K**(H*L)``)."""
         return self.strategies.size ** self.total_digits
 
-    def score_codes(self, codes: np.ndarray | Sequence[int]) -> np.ndarray:
+    def score_codes(
+        self, codes: np.ndarray | Sequence[int], chunk_size: int | None = None
+    ) -> np.ndarray:
         """Total communication bytes of a batch of hierarchical digit-patterns.
 
         Encoding: the deepest-varying ``num_layers`` digits (least
@@ -1103,6 +1594,9 @@ class HierarchicalCostTable:
         repeat=H)`` visits the space, so first-minimum ties match the
         reference enumeration.  Totals are bit-exact with
         ``HierarchicalPartitioner.evaluate(...).total_communication_bytes``.
+        ``chunk_size`` bounds peak memory (``None`` =
+        :data:`DEFAULT_CHUNK_SIZE`) without affecting a single byte of
+        the output.
         """
         if self.num_assignments > _MAX_PACKED_SPACE:
             # The packed int64 encoding cannot address the space; deep
@@ -1113,12 +1607,13 @@ class HierarchicalCostTable:
                 "the 64-bit packed encoding; use score_level_codes with "
                 "per-level code matrices instead"
             )
+        step = _resolve_chunk_size(chunk_size)
         codes = np.asarray(codes, dtype=np.int64)
         if codes.ndim != 1:
             raise ValueError(f"codes must be one-dimensional, got shape {codes.shape}")
         totals = np.empty(codes.shape[0], dtype=np.float64)
-        for start in range(0, codes.shape[0], DEFAULT_CHUNK_SIZE):
-            chunk = codes[start : start + DEFAULT_CHUNK_SIZE]
+        for start in range(0, codes.shape[0], step):
+            chunk = codes[start : start + step]
             totals[start : start + chunk.shape[0]] = self._score_chunk(chunk)
         return totals
 
@@ -1241,7 +1736,7 @@ class HierarchicalCostTable:
         )
         return self.score_level_codes(decoded)
 
-    def argmin_assignment(self) -> tuple[int, float]:
+    def argmin_assignment(self, *, chunk_size: int | None = None) -> tuple[int, float]:
         """First minimum over the full ``K**(H*L)`` space, in product order."""
         space = self.num_assignments
         if space > _MAX_PACKED_SPACE:
@@ -1249,10 +1744,11 @@ class HierarchicalCostTable:
                 f"cannot enumerate a {self.num_strategies}**{self.total_digits} "
                 "space with 64-bit packed encodings"
             )
+        step = _resolve_chunk_size(chunk_size)
         best_codes = -1
         best_total = np.inf
-        for start in range(0, space, DEFAULT_CHUNK_SIZE):
-            chunk = np.arange(start, min(start + DEFAULT_CHUNK_SIZE, space), dtype=np.int64)
+        for start in range(0, space, step):
+            chunk = np.arange(start, min(start + step, space), dtype=np.int64)
             totals = self._score_chunk(chunk)
             index = int(np.argmin(totals))
             if totals[index] < best_total:
@@ -1365,6 +1861,7 @@ class HierarchicalCostTable:
             self.scaling_mode,
             self.communication_model,
             self.strategies,
+            self.backend,
         )
 
     def check_compatible(
@@ -1422,9 +1919,12 @@ def compile_cost_table(
     scales: Sequence[TensorScale] | None = None,
     communication_model: CommunicationModel | None = None,
     strategies: StrategySpace | Sequence[Parallelism] | str | None = None,
+    backend: str | None = None,
 ) -> CostTable:
     """Module-level convenience alias for :meth:`CostTable.compile`."""
-    return CostTable.compile(model, batch_size, scales, communication_model, strategies)
+    return CostTable.compile(
+        model, batch_size, scales, communication_model, strategies, backend
+    )
 
 
 # ----------------------------------------------------------------------
@@ -1439,6 +1939,7 @@ def table_cache_key(
     scaling_mode: ScalingMode | str = ScalingMode.PARALLELISM_AWARE,
     communication_model: CommunicationModel | None = None,
     strategies: StrategySpace | Sequence[Parallelism] | str | None = None,
+    backend: str | None = None,
 ) -> tuple:
     """Hashable identity of a :class:`HierarchicalCostTable` compilation.
 
@@ -1448,6 +1949,12 @@ def table_cache_key(
     parameters and the strategy space.  ``DNNModel`` is a frozen dataclass,
     so equal models -- including copies unpickled in sweep worker
     processes -- hash and compare equal and hit the same cache entry.
+
+    ``backend`` is resolved (``None`` -> the process default *at key
+    time*) before entering the key: the stored floats are
+    backend-independent, but the gathered per-level tables inherit the
+    backend, so a cache hit must hand back tables that dispatch the way
+    the caller asked.
     """
     communication_model = communication_model or CommunicationModel()
     return (
@@ -1457,6 +1964,7 @@ def table_cache_key(
         ScalingMode.parse(scaling_mode),
         StrategySpace.parse(strategies),
         communication_model.cache_key,
+        kernels.resolve_backend(backend),
     )
 
 
@@ -1492,10 +2000,18 @@ class TableCache:
         scaling_mode: ScalingMode | str = ScalingMode.PARALLELISM_AWARE,
         communication_model: CommunicationModel | None = None,
         strategies: StrategySpace | Sequence[Parallelism] | str | None = None,
+        backend: str | None = None,
     ) -> HierarchicalCostTable:
         """The compiled table for the configuration, compiling on first use."""
+        resolved_backend = kernels.resolve_backend(backend)
         key = table_cache_key(
-            model, batch_size, num_levels, scaling_mode, communication_model, strategies
+            model,
+            batch_size,
+            num_levels,
+            scaling_mode,
+            communication_model,
+            strategies,
+            resolved_backend,
         )
         table = self._tables.get(key)
         if table is not None:
@@ -1515,6 +2031,7 @@ class TableCache:
             scaling_mode=scaling_mode,
             communication_model=communication_model,
             strategies=strategies,
+            backend=resolved_backend,
         )
         self._tables[key] = table
         return table

@@ -31,7 +31,7 @@ from typing import Callable, Iterable, Iterator, Sequence
 import numpy as np
 
 from repro.core.communication import CommunicationModel
-from repro.core.costs import DEFAULT_CHUNK_SIZE, CostTable, HierarchicalCostTable
+from repro.core.costs import CostTable, HierarchicalCostTable, _resolve_chunk_size
 from repro.core.hierarchical import HierarchicalPartitioner
 from repro.core.parallelism import (
     HierarchicalAssignment,
@@ -71,6 +71,9 @@ def exhaustive_two_way(
     max_candidates: int = DEFAULT_MAX_CANDIDATES,
     strategies: StrategySpace | Sequence[Parallelism] | str | None = None,
     edges: Sequence[tuple[int, int]] | None = None,
+    chunk_size: int | None = None,
+    prune: bool = False,
+    backend: str | None = None,
 ) -> PartitionResult:
     """Brute-force optimum for a single hierarchy level.
 
@@ -81,6 +84,14 @@ def exhaustive_two_way(
     lazy.  Returns the same kind of result as the dynamic program, so the
     two can be compared directly.  ``edges`` carries the layer DAG
     (``None`` = chain).
+
+    ``chunk_size`` bounds the per-batch peak memory of the scorer;
+    ``prune=True`` turns the scan into branch-and-bound: on chain tables
+    the dynamic program's optimum seeds the incumbent (it *is* the
+    optimum, so almost every chunk's dominance bound prunes), and chunks
+    whose lower bound cannot beat the incumbent are skipped entirely.  The
+    returned winner is identical either way -- pruning only skips
+    provably-losing work.  ``backend`` selects the table's kernel backend.
     """
     space = StrategySpace.parse(strategies)
     num_layers = len(tensors)
@@ -88,8 +99,20 @@ def exhaustive_two_way(
         raise SearchSpaceTooLarge(
             f"{space.size}^{num_layers} assignments exceed the limit of {max_candidates}"
         )
-    table = CostTable.from_tensors(tensors, communication_model, space, edges=edges)
-    best_codes, best_total = table.argmin_assignment()
+    table = CostTable.from_tensors(
+        tensors, communication_model, space, edges=edges, backend=backend
+    )
+    upper_bound = None
+    if prune:
+        # Algorithm 1 / the cut-vertex program already yields the true
+        # optimum total; as a branch-and-bound incumbent it lets the
+        # dominance bound discard every chunk that cannot tie it.  The
+        # safety margin inside the pruned scan keeps first-minimum tie
+        # resolution identical to the plain scan.
+        upper_bound = table.dp_partition().communication_bytes
+    best_codes, best_total = table.argmin_assignment(
+        chunk_size=chunk_size, prune=prune, upper_bound=upper_bound
+    )
     return table.lazy_result(
         LayerAssignment.from_codes(best_codes, num_layers, space), best_total
     )
@@ -280,6 +303,7 @@ def enumerate_restricted_communication(
     partitioner: HierarchicalPartitioner | None = None,
     max_candidates: int = DEFAULT_MAX_CANDIDATES,
     strategies: StrategySpace | Sequence[Parallelism] | str | None = None,
+    chunk_size: int | None = None,
 ) -> np.ndarray:
     """Total communication bytes of every candidate of a restricted sweep.
 
@@ -295,7 +319,9 @@ def enumerate_restricted_communication(
     ``table`` may be passed to reuse a compiled cost table across sweeps;
     otherwise one is compiled from ``partitioner`` (or the default
     four-level configuration).  The sweep's strategy space defaults to the
-    table's / partitioner's space.
+    table's / partitioner's space.  ``chunk_size`` bounds the candidates
+    scored per batch (peak memory); the totals are byte-identical for any
+    chunk size.
     """
     free = list(free_positions)
     if table is None:
@@ -325,14 +351,15 @@ def enumerate_restricted_communication(
     check_free_positions(model, base_assignment, free, max_candidates, space)
 
     num_candidates = space.size ** len(free)
+    chunk_span = _resolve_chunk_size(chunk_size)
     code_of = space.code_of
     base_codes = [
         np.array([code_of(choice) for choice in base_assignment[level]], dtype=np.int64)
         for level in range(base_assignment.num_levels)
     ]
     totals = np.empty(num_candidates, dtype=np.float64)
-    for start in range(0, num_candidates, DEFAULT_CHUNK_SIZE):
-        chunk = np.arange(start, min(start + DEFAULT_CHUNK_SIZE, num_candidates), dtype=np.int64)
+    for start in range(0, num_candidates, chunk_span):
+        chunk = np.arange(start, min(start + chunk_span, num_candidates), dtype=np.int64)
         # Start every level from the base assignment's codes, then overwrite
         # the free positions from the candidate counter.
         decoded = [np.tile(codes, (chunk.shape[0], 1)) for codes in base_codes]

@@ -1,0 +1,150 @@
+"""Optional compiled (numba) kernels behind the chain search hot paths.
+
+The vectorized NumPy engine in :mod:`repro.core.costs` is fast enough for
+the paper's ten networks, but transformer-depth chains (``gpt_s-1024`` is
+4098 weighted layers) spend their time in two inner loops: the layer-wise
+recurrence of Algorithm 1 (:meth:`CostTable.dp_partition`) and the batched
+candidate scorer (:meth:`CostTable._score_decoded`).  This module provides
+``@njit``-compiled versions of exactly those two loops plus the tiny
+backend registry that selects between them.
+
+Design rules
+------------
+* **Graceful fallback.**  numba is an *optional* dependency: when it is
+  absent, :data:`NUMBA_AVAILABLE` is ``False`` and every caller silently
+  runs the NumPy path.  Requesting ``backend="compiled"`` without numba is
+  not an error -- results are identical either way, only the speed
+  differs -- so configuration files and service requests stay portable
+  across environments.
+* **Bit-exactness.**  Each kernel performs the *same floating-point
+  additions in the same order* as its NumPy counterpart, with the same
+  strict-``<`` lowest-index argmin tie rule, so compiled results are
+  byte-identical to the NumPy path (property-pinned by
+  ``tests/properties/test_property_fastpaths.py``).
+* **Scalar loops only.**  The kernels take preallocated output arrays and
+  touch nothing but their arguments; all orchestration (chunking,
+  memoization, result materialization) stays in :mod:`repro.core.costs`.
+
+The module-level *default* backend is what tables compiled without an
+explicit ``backend=`` argument use.  ``hypar --backend compiled`` flips
+the default for the process; sweep workers started with ``fork`` inherit
+it from the parent, which is how the backend reaches the process-parallel
+sweep engine without widening its task protocol.
+"""
+
+from __future__ import annotations
+
+try:  # pragma: no cover - exercised only in the numba CI leg
+    from numba import njit
+
+    NUMBA_AVAILABLE = True
+except ImportError:  # numba is optional; the NumPy paths are the fallback
+    njit = None
+    NUMBA_AVAILABLE = False
+
+#: The recognized ``CostTable`` backends.
+VALID_BACKENDS = ("numpy", "compiled")
+
+_default_backend = "numpy"
+
+
+def validate_backend(backend: str | None) -> str | None:
+    """Pass ``backend`` through, raising on unrecognized names.
+
+    ``None`` (meaning "use the process default, resolved at use time") is
+    always valid.
+    """
+    if backend is not None and backend not in VALID_BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; expected one of {', '.join(VALID_BACKENDS)}"
+        )
+    return backend
+
+
+def get_default_backend() -> str:
+    """The backend used by tables compiled without an explicit choice."""
+    return _default_backend
+
+
+def set_default_backend(backend: str) -> str:
+    """Set the process-wide default backend; returns the previous default."""
+    global _default_backend
+    if validate_backend(backend) is None:
+        raise ValueError("the default backend cannot be None")
+    previous = _default_backend
+    _default_backend = backend
+    return previous
+
+
+def resolve_backend(backend: str | None) -> str:
+    """Resolve a table's ``backend`` field to a concrete backend name."""
+    validate_backend(backend)
+    return backend if backend is not None else _default_backend
+
+
+def compiled_active(backend: str | None) -> bool:
+    """Whether the resolved backend actually dispatches to numba kernels.
+
+    ``False`` either because the backend is ``"numpy"`` or because numba
+    is absent (the graceful-fallback rule).
+    """
+    return resolve_backend(backend) == "compiled" and NUMBA_AVAILABLE
+
+
+if NUMBA_AVAILABLE:  # pragma: no cover - exercised only in the numba CI leg
+
+    @njit(cache=False)
+    def _chain_dp_jit(intra, inter, parents, frontiers, start, stop):
+        """Advance the Algorithm 1 recurrence over layers ``[start, stop)``.
+
+        Reads the frontier of layer ``start - 1`` from ``frontiers`` and
+        writes one parent row and one frontier row per layer.  The adds
+        (``com[s] + inter`` first, ``+ intra`` second) and the
+        strict-``<`` first-minimum scan replicate the NumPy loop exactly.
+        """
+        num_strategies = intra.shape[1]
+        for layer in range(start, stop):
+            for target in range(num_strategies):
+                best = frontiers[layer - 1, 0] + inter[layer - 1, 0, target]
+                best_source = 0
+                for source in range(1, num_strategies):
+                    candidate = (
+                        frontiers[layer - 1, source] + inter[layer - 1, source, target]
+                    )
+                    if candidate < best:
+                        best = candidate
+                        best_source = source
+                parents[layer - 1, target] = best_source
+                frontiers[layer, target] = best + intra[layer, target]
+
+    @njit(cache=False)
+    def _score_decoded_chain_jit(intra, inter, decoded, totals):
+        """Chain totals of an ``(N, L)`` strategy-code matrix.
+
+        Accumulates ``intra + inter`` per layer left to right -- the exact
+        association of the NumPy scorer (and of the object-path
+        ``sum(record.total_bytes ...)``).
+        """
+        num_candidates, num_layers = decoded.shape
+        for row in range(num_candidates):
+            code = decoded[row, 0]
+            total = intra[0, code]
+            for layer in range(1, num_layers):
+                previous = decoded[row, layer - 1]
+                code = decoded[row, layer]
+                total += intra[layer, code] + inter[layer - 1, previous, code]
+            totals[row] = total
+
+else:
+    _chain_dp_jit = None
+    _score_decoded_chain_jit = None
+
+
+def chain_dp_compiled(intra, inter, parents, frontiers, start, stop) -> None:
+    """Dispatch the compiled chain-DP kernel (numba must be available)."""
+    _chain_dp_jit(intra, inter, parents, frontiers, start, stop)
+
+
+def score_decoded_chain_compiled(intra, inter, decoded, totals) -> None:
+    """Dispatch the compiled chain scorer kernel (numba must be available)."""
+    _score_decoded_chain_jit(intra, inter, decoded, totals)

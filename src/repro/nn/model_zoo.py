@@ -27,7 +27,8 @@ chains so every figure reproduction stays byte-identical.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+import re
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.nn.layers import Activation, ConvLayer, FCLayer, LayerSpec, PoolSpec
 from repro.nn.model import DNNModel, build_model
@@ -410,6 +411,69 @@ def inception_s() -> DNNModel:
     )
 
 
+#: Default transformer depth (in attention+MLP blocks) used when a
+#: parameterized builder is invoked without an explicit ``layers=``.
+DEFAULT_TRANSFORMER_LAYERS = 12
+
+
+def _transformer_chain(
+    name: str, hidden: int, input_shape: Tuple[int, int, int], vocab: int, blocks: int
+) -> DNNModel:
+    """A GPT/BERT-style chain: embed stem, repeated blocks, softmax head.
+
+    Each block is the four weighted projections of one transformer layer
+    (``qkv`` fused 3h, attention output ``proj`` h, MLP ``up`` 4h, MLP
+    ``down`` h), so a depth-``N`` model is a chain of ``4N + 2`` weighted
+    layers.  Per-token shapes (``1x1`` spatial, ``hidden`` channels) keep
+    the chain IR -- and therefore every existing search engine -- working
+    unchanged; the interior repetition is exactly what the DP memoization
+    of :meth:`repro.core.costs.CostTable.dp_partition` exploits.
+    """
+    if blocks < 1:
+        raise ValueError(f"layers must be a positive block count, got {blocks}")
+    specs: List[LayerSpec] = [FCLayer(name="embed", out_features=hidden)]
+    for i in range(blocks):
+        specs += [
+            FCLayer(name=f"b{i}_qkv", out_features=3 * hidden),
+            FCLayer(name=f"b{i}_proj", out_features=hidden),
+            FCLayer(name=f"b{i}_up", out_features=4 * hidden),
+            FCLayer(name=f"b{i}_down", out_features=hidden),
+        ]
+    specs.append(FCLayer(name="head", out_features=vocab, activation=Activation.SOFTMAX))
+    return build_model(name, input_shape, specs)
+
+
+def gpt_s(layers: int = DEFAULT_TRANSFORMER_LAYERS) -> DNNModel:
+    """``gpt_s``: a small-GPT-proportioned transformer chain, depth ``layers``.
+
+    Hidden width 192 (so the fused QKV is 576 and the MLP expands to 768),
+    vocabulary 1000.  ``layers`` counts attention+MLP blocks; the built
+    model is named ``gpt_s-{layers}`` and has ``4 * layers + 2`` weighted
+    layers.
+    """
+    return _transformer_chain(f"gpt_s-{layers}", 192, (1, 1, 64), 1000, layers)
+
+
+def bert_s(layers: int = DEFAULT_TRANSFORMER_LAYERS) -> DNNModel:
+    """``bert_s``: a small-BERT-proportioned transformer chain, depth ``layers``.
+
+    Wider than :func:`gpt_s` (hidden 256, vocabulary 2000, 128-channel
+    token input) so the two families exercise different cost tables at the
+    same depth.  Named ``bert_s-{layers}``, ``4 * layers + 2`` weighted
+    layers.
+    """
+    return _transformer_chain(f"bert_s-{layers}", 256, (1, 1, 128), 2000, layers)
+
+
+#: Parameterized (depth-``N``) builders.  Unlike :data:`MODEL_BUILDERS`
+#: entries these accept a ``layers=`` block count; name resolution accepts
+#: both the bare family name (``gpt_s`` -> default depth) and the
+#: depth-suffixed spelling (``gpt_s-96``, ``bert_s-24``).
+PARAMETERIZED_MODEL_BUILDERS: Dict[str, Callable[..., DNNModel]] = {
+    "gpt_s": gpt_s,
+    "bert_s": bert_s,
+}
+
 #: Ordered mapping from canonical model name to its builder.  The order
 #: matches the x-axis of Figures 6-8 and 12 of the paper.
 MODEL_BUILDERS: Dict[str, Callable[[], DNNModel]] = {
@@ -435,13 +499,15 @@ GRAPH_MODEL_BUILDERS: Dict[str, Callable[[], DNNModel]] = {
 }
 
 def all_model_builders() -> Dict[str, Callable[[], DNNModel]]:
-    """Every builder, canonical chains first then the graph zoo.
+    """Every builder: canonical chains, the graph zoo, then parameterized.
 
     Built per call from the live dicts, so downstream registration
     (``MODEL_BUILDERS["MyNet"] = builder``) is visible to the model
-    listing and to :func:`get_model` alike.
+    listing and to :func:`get_model` alike.  Parameterized entries appear
+    under their bare family names and build the default depth when called
+    with no arguments.
     """
-    return {**MODEL_BUILDERS, **GRAPH_MODEL_BUILDERS}
+    return {**MODEL_BUILDERS, **GRAPH_MODEL_BUILDERS, **PARAMETERIZED_MODEL_BUILDERS}
 
 #: Aliases accepted by :func:`get_model` in addition to the canonical names.
 #: Lookup normalizes case and strips ``-``/``_`` separators on both sides,
@@ -475,40 +541,111 @@ def _normalized_lookup(builders: Dict[str, Callable[[], DNNModel]]) -> Dict[str,
     return lookup
 
 
+def _split_parameterized(canonical: str) -> Tuple[Optional[str], Optional[int]]:
+    """``(family, depth)`` of a canonical parameterized name, else ``(None, None)``.
+
+    ``"gpt_s"`` -> ``("gpt_s", None)`` (default depth), ``"gpt_s-96"`` ->
+    ``("gpt_s", 96)``, ``"VGG-A"`` -> ``(None, None)``.
+    """
+    if canonical in PARAMETERIZED_MODEL_BUILDERS:
+        return canonical, None
+    family, separator, suffix = canonical.rpartition("-")
+    if separator and family in PARAMETERIZED_MODEL_BUILDERS and suffix.isdigit():
+        return family, int(suffix)
+    return None, None
+
+
+def _parse_depth_suffix(normalized: str) -> Optional[str]:
+    """Resolve a normalized depth-suffixed spelling to its canonical name.
+
+    ``"gpts96"`` (any of ``gpt_s-96``/``gpt-s-96``/``GPT_S_96``/``gpts96``
+    before normalization) -> ``"gpt_s-96"``.  Returns ``None`` when the
+    name is not ``<family><digits>`` for a parameterized family.
+    """
+    match = re.fullmatch(r"([a-z]+?)0*(\d+)", normalized)
+    if match is None:
+        return None
+    family_lookup = {
+        _normalize_model_name(family): family for family in PARAMETERIZED_MODEL_BUILDERS
+    }
+    family = family_lookup.get(match.group(1))
+    if family is None:
+        return None
+    return f"{family}-{int(match.group(2))}"
+
+
 def canonical_model_name(name: str) -> str:
     """Resolve ``name`` to the canonical zoo spelling without building it.
 
     Accepts everything :func:`get_model` accepts (case and ``-``/``_``
-    variants, aliases) and raises the same :class:`KeyError` for unknown
-    names.  The service layer canonicalizes request payloads with this so
-    ``vgg_a`` and ``VGG-A`` hash to the same cache key.
+    variants, aliases, depth-suffixed parameterized spellings such as
+    ``gpt_s-96``) and raises the same :class:`KeyError` for unknown names.
+    The service layer canonicalizes request payloads with this so
+    ``vgg_a`` and ``VGG-A`` hash to the same cache key (and ``gpts96`` /
+    ``GPT_S-96`` to ``gpt_s-96``).
     """
     builders = all_model_builders()
-    canonical = _normalized_lookup(builders).get(_normalize_model_name(name))
-    if canonical is None:
-        known = ", ".join(builders)
-        aliases = ", ".join(sorted(_ALIASES))
-        raise KeyError(
-            f"unknown model {name!r}; known models: {known}; "
-            f"aliases (separators '-'/'_' are interchangeable): {aliases}"
-        )
-    return canonical
+    normalized = _normalize_model_name(name)
+    canonical = _normalized_lookup(builders).get(normalized)
+    if canonical is not None:
+        return canonical
+    # Depth-suffixed parameterized spellings resolve after the exact table
+    # so digit-bearing aliases ("vgg16") and registered names keep winning.
+    parameterized = _parse_depth_suffix(normalized)
+    if parameterized is not None:
+        return parameterized
+    known = ", ".join(builders)
+    aliases = ", ".join(sorted(_ALIASES))
+    parameterized_names = ", ".join(
+        f"{family}-<N>" for family in PARAMETERIZED_MODEL_BUILDERS
+    )
+    raise KeyError(
+        f"unknown model {name!r}; known models: {known}; "
+        f"aliases (separators '-'/'_' are interchangeable): {aliases}; "
+        f"parameterized (depth-N transformer chains): {parameterized_names}"
+    )
 
 
-def get_model(name: str) -> DNNModel:
+def get_model(name: str, layers: Optional[int] = None) -> DNNModel:
     """Return one of the evaluation networks by (case-insensitive) name.
 
     Lookup is tolerant of ``-`` versus ``_`` separators (``vgg-a``,
     ``vgg_a`` and ``VGG_A`` all resolve to ``VGG-A``) and accepts the
     aliases of :data:`_ALIASES` (``lenet``, ``vgg16``, ``resnet``, ...).
+    Parameterized transformer chains resolve from the bare family name
+    (``gpt_s`` builds the default depth), a depth-suffixed spelling
+    (``gpt_s-96``), or the family name plus ``layers=``.
 
     Raises
     ------
     KeyError
         If the name is not one of the known models or aliases; the message
-        lists both the canonical names and the accepted aliases.
+        lists the canonical names, the accepted aliases, and the
+        parameterized families.
+    ValueError
+        If ``layers`` is passed for a non-parameterized model, or
+        contradicts a depth-suffixed spelling (``get_model("gpt_s-96",
+        layers=12)``).
     """
-    return all_model_builders()[canonical_model_name(name)]()
+    canonical = canonical_model_name(name)
+    family, depth = _split_parameterized(canonical)
+    if family is not None:
+        if layers is not None:
+            if depth is not None and depth != layers:
+                raise ValueError(
+                    f"conflicting depths for {name!r}: name says {depth} "
+                    f"blocks but layers={layers}"
+                )
+            depth = layers
+        builder = PARAMETERIZED_MODEL_BUILDERS[family]
+        return builder(depth) if depth is not None else builder()
+    if layers is not None:
+        parameterized_names = ", ".join(PARAMETERIZED_MODEL_BUILDERS)
+        raise ValueError(
+            f"layers= only applies to the parameterized models "
+            f"({parameterized_names}); {canonical!r} has a fixed depth"
+        )
+    return all_model_builders()[canonical]()
 
 
 def all_models() -> List[DNNModel]:

@@ -41,6 +41,7 @@ import threading
 import time
 from typing import Callable, Mapping
 
+from repro.core import kernels
 from repro.core.hierarchical import HierarchicalPartitioner
 from repro.core.result import HierarchicalResult
 from repro.core.strategies import registered_strategies
@@ -271,11 +272,13 @@ class HyParService:
                 num_levels,
                 request.scaling_mode,
                 request.strategies,
+                request.backend,
             ),
             lambda: HierarchicalPartitioner(
                 num_levels=num_levels,
                 scaling_mode=request.scaling_mode,
                 strategies=request.strategies,
+                backend=request.backend,
             ),
         )
         table = shared_table_cache().get_or_compile(
@@ -284,6 +287,7 @@ class HyParService:
             num_levels,
             scaling_mode=request.scaling_mode,
             strategies=request.strategies,
+            backend=request.backend,
         )
         result = partitioner.partition(model, request.batch_size, table=table)
         return _render(self._partition_payload(request, model, result))
@@ -409,6 +413,12 @@ class HyParService:
             },
             "result_cache": self.result_cache.stats(),
             "table_cache": shared_table_cache().stats(),
+            # Which kernel backends actually compile here: "compiled"
+            # requests silently run the NumPy path when numba is absent.
+            "backends": {
+                "default": kernels.get_default_backend(),
+                "numba_available": kernels.NUMBA_AVAILABLE,
+            },
             "requests": {
                 "served": served,
                 "errors": errors,

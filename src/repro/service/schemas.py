@@ -22,6 +22,7 @@ import hashlib
 import json
 from typing import Mapping
 
+from repro.core import kernels
 from repro.core.hierarchical import DEFAULT_BATCH_SIZE
 from repro.core.parallelism import StrategySpace
 from repro.core.tensors import ScalingMode
@@ -113,6 +114,17 @@ def _canonical_strategies(payload: Mapping) -> str:
         raise SchemaError(str(error)) from None
 
 
+def _canonical_backend(payload: Mapping) -> str:
+    # The daemon's canonical default is the concrete "numpy", not the
+    # process default, so request hashes cannot drift with server flags.
+    text = _str_field(payload, "backend", "numpy")
+    try:
+        kernels.validate_backend(text)
+    except ValueError as error:
+        raise SchemaError(str(error)) from None
+    return text
+
+
 def _canonical_topology(payload: Mapping) -> str:
     name = _str_field(payload, "topology", "htree").strip().lower()
     if name not in TOPOLOGY_NAMES:
@@ -163,12 +175,21 @@ class PartitionRequest(ServiceRequest):
     num_accelerators: int = DEFAULT_NUM_ACCELERATORS
     scaling_mode: str = ScalingMode.PARALLELISM_AWARE.value
     strategies: str = "dp,mp"
+    backend: str = "numpy"
 
     kind = "partition"
-    _FIELDS = ("model", "batch_size", "num_accelerators", "scaling_mode", "strategies")
+    _FIELDS = (
+        "model",
+        "batch_size",
+        "num_accelerators",
+        "scaling_mode",
+        "strategies",
+        "backend",
+    )
 
     def coalesce_key(self) -> tuple:
-        # Shared with /simulate: same table-relevant configuration.
+        # Shared with /simulate: same table-relevant configuration.  The
+        # backend is part of the table cache key, so it serializes too.
         return (
             "table",
             self.model,
@@ -176,6 +197,7 @@ class PartitionRequest(ServiceRequest):
             self.num_accelerators,
             self.scaling_mode,
             self.strategies,
+            self.backend,
         )
 
     @classmethod
@@ -188,6 +210,7 @@ class PartitionRequest(ServiceRequest):
             num_accelerators=_canonical_accelerators(payload, minimum=2),
             scaling_mode=_canonical_scaling(payload),
             strategies=_canonical_strategies(payload),
+            backend=_canonical_backend(payload),
         )
 
 

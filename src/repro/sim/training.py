@@ -38,6 +38,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.accelerator.array import ArrayConfig
+from repro.core import kernels
 from repro.core.communication import CommunicationModel
 from repro.core.costs import HierarchicalCostTable, TableCache
 from repro.core.hierarchical import HierarchicalPartitioner
@@ -93,6 +94,11 @@ class TrainingSimulator:
         cache -- sweep runners hand every simulator of a worker process
         the same cache so one compilation serves every study touching the
         configuration.
+    backend:
+        Kernel backend for the compiled cost tables (``"numpy"`` /
+        ``"compiled"``; ``None`` follows the process default, see
+        :mod:`repro.core.kernels`).  Simulated costs are
+        backend-independent.
     """
 
     def __init__(
@@ -104,6 +110,7 @@ class TrainingSimulator:
         strategies: StrategySpace | str | None = None,
         num_microbatches: int = DEFAULT_NUM_MICROBATCHES,
         table_cache: TableCache | None = None,
+        backend: str | None = None,
     ) -> None:
         if num_microbatches <= 0:
             raise ValueError(
@@ -128,6 +135,7 @@ class TrainingSimulator:
         self.strategies = StrategySpace.parse(strategies)
         self.num_microbatches = num_microbatches
         self.table_cache = table_cache
+        self.backend = kernels.validate_backend(backend)
         # Compiled cost tables keyed by (model identity, batch size).  The
         # table holds a strong reference to its model, so the id cannot be
         # recycled while the entry lives; sweeps re-simulating one model
@@ -154,6 +162,7 @@ class TrainingSimulator:
                 scaling_mode=self.scaling_mode,
                 communication_model=self.communication_model,
                 strategies=self.strategies,
+                backend=self.backend,
             )
         key = (id(model), batch_size)
         table = self._table_cache.get(key)
@@ -167,6 +176,7 @@ class TrainingSimulator:
                 scaling_mode=self.scaling_mode,
                 communication_model=self.communication_model,
                 strategies=self.strategies,
+                backend=self.backend,
             )
             self._table_cache[key] = table
         return table

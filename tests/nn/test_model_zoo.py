@@ -209,7 +209,7 @@ class TestGraphModelZoo:
 
         assert len(MODEL_BUILDERS) == 10
         assert set(GRAPH_MODEL_BUILDERS) == {"ResNet-S", "Inception-S"}
-        assert len(all_model_builders()) == 12
+        assert len(all_model_builders()) == 14
 
     def test_resnet_s_structure(self):
         from repro.nn.model_zoo import resnet_s
@@ -298,3 +298,103 @@ class TestLiveModelRegistration:
             del MODEL_BUILDERS["TestNet-X"]
         with pytest.raises(KeyError):
             get_model("TestNet-X")
+
+
+class TestParameterizedTransformers:
+    def test_families_registered(self):
+        from repro.nn.model_zoo import (
+            PARAMETERIZED_MODEL_BUILDERS,
+            all_model_builders,
+        )
+
+        assert set(PARAMETERIZED_MODEL_BUILDERS) == {"gpt_s", "bert_s"}
+        builders = all_model_builders()
+        assert "gpt_s" in builders and "bert_s" in builders
+
+    def test_default_depth(self):
+        from repro.nn.model_zoo import DEFAULT_TRANSFORMER_LAYERS, bert_s, gpt_s
+
+        model = gpt_s()
+        assert model.name == f"gpt_s-{DEFAULT_TRANSFORMER_LAYERS}"
+        assert len(model) == 4 * DEFAULT_TRANSFORMER_LAYERS + 2
+        assert bert_s().name == f"bert_s-{DEFAULT_TRANSFORMER_LAYERS}"
+
+    @pytest.mark.parametrize("blocks", [1, 2, 7, 96])
+    def test_depth_controls_layer_count(self, blocks):
+        from repro.nn.model_zoo import gpt_s
+
+        model = gpt_s(blocks)
+        assert model.is_chain
+        assert len(model) == 4 * blocks + 2
+        assert model[0].name == "embed"
+        assert model[-1].name == "head"
+
+    def test_blocks_are_identical_in_shape(self):
+        from repro.nn.model_zoo import gpt_s
+
+        model = gpt_s(5)
+        # Per-block layer quads repeat exactly: same weight counts, same
+        # output shapes block to block (the repetition the DP memoizes).
+        blocks = [model.layers[1 + 4 * i : 1 + 4 * (i + 1)] for i in range(5)]
+        signature = [(layer.weight_count, str(layer.output_shape)) for layer in blocks[0]]
+        for block in blocks[1:]:
+            assert [
+                (layer.weight_count, str(layer.output_shape)) for layer in block
+            ] == signature
+
+    def test_invalid_depth_raises(self):
+        from repro.nn.model_zoo import bert_s, gpt_s
+
+        with pytest.raises(ValueError, match="positive block count"):
+            gpt_s(0)
+        with pytest.raises(ValueError, match="positive block count"):
+            bert_s(-3)
+
+    @pytest.mark.parametrize(
+        "spelling,expected",
+        [
+            ("gpt_s", "gpt_s"),
+            ("GPT-S", "gpt_s"),
+            ("gpt_s-96", "gpt_s-96"),
+            ("GPT_S_96", "gpt_s-96"),
+            ("gpts96", "gpt_s-96"),
+            ("bert-s-24", "bert_s-24"),
+            ("BERTS8", "bert_s-8"),
+        ],
+    )
+    def test_canonical_spellings(self, spelling, expected):
+        from repro.nn.model_zoo import canonical_model_name
+
+        assert canonical_model_name(spelling) == expected
+
+    def test_get_model_depth_forms_agree(self):
+        from repro.nn.model_zoo import get_model
+
+        by_suffix = get_model("gpt_s-6")
+        by_kwarg = get_model("gpt_s", layers=6)
+        assert by_suffix.name == by_kwarg.name == "gpt_s-6"
+        assert len(by_suffix) == len(by_kwarg)
+
+    def test_get_model_conflicting_depths_raise(self):
+        with pytest.raises(ValueError, match="conflicting depths"):
+            get_model("gpt_s-96", layers=12)
+
+    def test_get_model_layers_on_fixed_model_raises(self):
+        with pytest.raises(ValueError, match="fixed depth"):
+            get_model("AlexNet", layers=4)
+
+    def test_digit_bearing_aliases_still_win(self):
+        # "vgg16" must keep resolving through the alias table, not the
+        # depth-suffix parser.
+        assert get_model("vgg16").name == "VGG-D"
+
+    def test_keyerror_lists_parameterized_families(self):
+        with pytest.raises(KeyError) as excinfo:
+            get_model("transformer-xl")
+        message = str(excinfo.value)
+        assert "gpt_s-<N>" in message and "bert_s-<N>" in message
+
+    def test_families_differ_in_width(self):
+        from repro.nn.model_zoo import bert_s, gpt_s
+
+        assert bert_s(2).total_weights > gpt_s(2).total_weights

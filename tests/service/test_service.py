@@ -70,7 +70,9 @@ class TestGetEndpoints:
     def test_models_lists_the_zoo(self, client):
         names = [model["name"] for model in client.models()["models"]]
         assert "VGG-A" in names and "ResNet-S" in names
-        assert len(names) == 12
+        # Parameterized families list at their default depths.
+        assert "gpt_s-12" in names and "bert_s-12" in names
+        assert len(names) == 14
 
     def test_strategies_lists_the_registry(self, client):
         shorts = [spec["short"] for spec in client.strategies()["strategies"]]

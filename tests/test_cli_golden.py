@@ -28,6 +28,26 @@ MODELS_GOLDEN = textwrap.dedent(
     VGG-E       19 weighted layers (16 conv, 3 fc), 143,652,544 weights
     ResNet-S    10 weighted layers (9 conv, 1 fc), 161,200 weights, 12 edges (DAG)
     Inception-S  11 weighted layers (10 conv, 1 fc), 676,016 weights, 14 edges (DAG)
+    gpt_s-12    50 weighted layers (0 conv, 50 fc), 6,397,440 weights
+    bert_s-12   50 weighted layers (0 conv, 50 fc), 11,554,816 weights
+    """
+)
+
+GPT_S_TABLE_GOLDEN = textwrap.dedent(
+    """\
+    Model 'gpt_s-2': input [64]
+      [ 0] embed      fc               [64] ->            [192] weights=      12,288 macs/sample=        12,288
+      [ 1] b0_qkv     fc              [192] ->            [576] weights=     110,592 macs/sample=       110,592
+      [ 2] b0_proj    fc              [576] ->            [192] weights=     110,592 macs/sample=       110,592
+      [ 3] b0_up      fc              [192] ->            [768] weights=     147,456 macs/sample=       147,456
+      [ 4] b0_down    fc              [768] ->            [192] weights=     147,456 macs/sample=       147,456
+      [ 5] b1_qkv     fc              [192] ->            [576] weights=     110,592 macs/sample=       110,592
+      [ 6] b1_proj    fc              [576] ->            [192] weights=     110,592 macs/sample=       110,592
+      [ 7] b1_up      fc              [192] ->            [768] weights=     147,456 macs/sample=       147,456
+      [ 8] b1_down    fc              [768] ->            [192] weights=     147,456 macs/sample=       147,456
+      [ 9] head       fc              [192] ->           [1000] weights=     192,000 macs/sample=       192,000
+      total: 10 weighted layers (0 conv, 10 fc), 1,236,480 weights
+      edges: chain
     """
 )
 
@@ -170,6 +190,33 @@ class TestGoldenOutputs:
     def test_models_detail_table_is_pinned(self, capsys):
         assert main(["models", "resnet_s"]) == 0
         assert capsys.readouterr().out == RESNET_TABLE_GOLDEN
+
+    def test_models_parameterized_table_is_pinned(self, capsys):
+        assert main(["models", "gpt_s", "--layers", "2"]) == 0
+        assert capsys.readouterr().out == GPT_S_TABLE_GOLDEN
+
+    def test_models_parameterized_json_matches_table_shapes(self, capsys):
+        assert main(["models", "bert_s-3", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        (model,) = payload
+        assert model["name"] == "bert_s-3"
+        assert model["is_chain"] is True
+        assert len(model["layers"]) == 4 * 3 + 2
+        assert model["layers"][0]["name"] == "embed"
+        assert model["layers"][-1]["name"] == "head"
+
+    def test_models_layers_requires_model_names(self, capsys):
+        assert main(["models", "--layers", "4"]) == 2
+        assert "--layers requires model names" in capsys.readouterr().err
+
+    def test_models_layers_on_fixed_depth_model_fails(self, capsys):
+        assert main(["models", "vgg16", "--layers", "4"]) == 2
+        assert "fixed depth" in capsys.readouterr().err
+
+    def test_models_unknown_name_lists_parameterized_families(self, capsys):
+        assert main(["models", "nope"]) == 2
+        err = capsys.readouterr().err
+        assert "gpt_s-<N>" in err and "bert_s-<N>" in err
 
     def test_models_json_is_pinned(self, capsys):
         assert main(["models", "Lenet-c", "--format", "json"]) == 0
