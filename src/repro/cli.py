@@ -128,8 +128,11 @@ def _add_backend_option(parser: argparse.ArgumentParser) -> None:
         choices=kernels.VALID_BACKENDS,
         default=None,
         help="cost-table kernel backend; 'compiled' uses the optional numba "
-        "kernels when installed and silently falls back to the bit-identical "
-        "NumPy path otherwise (default: the process default, numpy)",
+        "kernels (chain DP, DAG cut-vertex DP and batched scorers) when "
+        "installed and silently falls back to the bit-identical NumPy path "
+        "otherwise; 'compiled-parallel' additionally scores candidates "
+        "across threads with numba prange (default: the process default, "
+        "numpy)",
     )
 
 
@@ -369,7 +372,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
     spec = load_spec(args.spec)
     print(spec.describe())
-    with SweepEngine(workers=args.workers) as engine:
+    # The backend is passed explicitly (not just set as the process
+    # default) so spawn-started workers adopt it too.
+    with SweepEngine(workers=args.workers, backend=args.backend) as engine:
         result = run_sweep(spec, engine=engine)
 
     header = f"{'point':<52s} {'speedup':>9s} {'energy':>9s} {'comm GB':>9s}"
@@ -750,8 +755,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if getattr(args, "backend", None) is not None:
         # The process-wide default: every table compiled without an
-        # explicit backend= (including by fork-started sweep workers)
-        # follows it.  Explicit per-request backends still win.
+        # explicit backend= follows it, and SweepEngine ships it to its
+        # workers through the pool initializer (so spawn-started workers
+        # match fork-started ones).  Explicit per-request backends win.
         kernels.set_default_backend(args.backend)
     return args.handler(args)
 

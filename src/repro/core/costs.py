@@ -126,6 +126,24 @@ _MAX_MEMO_PERIOD = 64
 #: a first-minimum candidate is ever skipped.
 _PRUNE_MARGIN = 1e-9
 
+#: DAGs with fewer cut segments than this skip the block-repetition
+#: detector, mirroring :data:`_MEMOIZE_MIN_LAYERS` for the cut-vertex
+#: program: every paper-zoo branching network stays on the unmodified
+#: path, and only deep residual stacks (``gpt_r``) pay for detection.
+_MEMOIZE_MIN_BLOCKS = 16
+
+#: Largest block-space period the DAG repetition detector probes.  A
+#: residual transformer's cut segments alternate between the skip-free
+#: connector and the skip-spanning interior (period 2); small bound, the
+#: per-probe comparisons are tiny slices.
+_MAX_BLOCK_PERIOD = 8
+
+#: Test hook: cumulative DAG periodic-block-jump statistics for the
+#: process.  ``jumps`` counts successful jumps, ``jumped_blocks`` /
+#: ``jumped_layers`` the cut segments / layers they replayed by
+#: translation instead of enumeration.
+DAG_JUMP_STATS = {"jumps": 0, "jumped_blocks": 0, "jumped_layers": 0}
+
 
 def _resolve_chunk_size(chunk_size: int | None) -> int:
     """Normalize a public ``chunk_size=`` argument (``None`` = default)."""
@@ -170,8 +188,13 @@ def _advance_chain_numpy(
 
 
 def _chain_advancer(backend: str):
-    """The layer-advancement routine for a resolved backend name."""
-    if backend == "compiled" and kernels.NUMBA_AVAILABLE:
+    """The layer-advancement routine for a resolved backend name.
+
+    Both compiled variants share the serial chain kernel: the recurrence
+    is sequential in the layer axis, so there is nothing for the
+    ``prange`` leg to parallelize.
+    """
+    if backend in kernels.COMPILED_BACKENDS and kernels.NUMBA_AVAILABLE:
         return kernels.chain_dp_compiled
     return _advance_chain_numpy
 
@@ -509,10 +532,12 @@ class CostTable:
         axis is indexed by (ordered by destination, then input position);
         ``None`` normalizes to the chain.
     backend:
-        Kernel backend for the chain hot paths: ``"numpy"`` (the
-        vectorized loops), ``"compiled"`` (numba ``@njit`` kernels,
-        silently falling back to NumPy when numba is absent), or ``None``
-        to follow the process default
+        Kernel backend for the search hot paths: ``"numpy"`` (the
+        vectorized loops), ``"compiled"`` (numba ``@njit`` kernels for
+        the chain DP, the DAG cut-vertex DP and the batched scorers,
+        silently falling back to NumPy when numba is absent),
+        ``"compiled-parallel"`` (the same kernels with ``prange``
+        candidate scoring), or ``None`` to follow the process default
         (:func:`repro.core.kernels.get_default_backend`), resolved at
         each use.  Backends are bit-exact with each other.
     """
@@ -530,11 +555,31 @@ class CostTable:
             self, "edges", _normalize_edges(self.edges, len(self.tensors))
         )
         kernels.validate_backend(self.backend)
+        kernels.warn_numba_fallback(self.backend)
 
     @functools.cached_property
     def is_chain(self) -> bool:
         """True when the edge list is the historical linear chain."""
         return self.edges == _chain_edges(self.num_layers)
+
+    @functools.cached_property
+    def _kernel_edges(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(edge_index, source, destination)`` arrays for the DAG kernels.
+
+        Grouped by destination with a *stable* sort, so each merge
+        layer's incoming edges keep their canonical relative order and
+        the kernels' per-destination accumulation is bit-exact with the
+        NumPy edge loop.
+        """
+        order = sorted(range(len(self.edges)), key=lambda e: self.edges[e][1])
+        edge_index = np.array(order, dtype=np.int64)
+        edge_source = np.array(
+            [self.edges[e][0] for e in order], dtype=np.int64
+        )
+        edge_destination = np.array(
+            [self.edges[e][1] for e in order], dtype=np.int64
+        )
+        return edge_index, edge_source, edge_destination
 
     # ------------------------------------------------------------------
     # Construction.
@@ -648,11 +693,14 @@ class CostTable:
         *cut vertices* (layers no edge jumps across), scoring each branch
         interior by batched enumeration (:meth:`_dp_partition_dag`); the
         optimum value equals the brute-force minimum of
-        :meth:`score_codes` over the full space, float for float.  The
-        per-layer breakdown of the winner is materialized lazily.
+        :meth:`score_codes` over the full space, float for float.
+        ``memoize`` applies there too: repeated cut segments (residual
+        transformer blocks, ``gpt_r``) are replayed by translation under
+        the same exactness certificate as the chain jump.  The per-layer
+        breakdown of the winner is materialized lazily.
         """
         if not self.is_chain:
-            return self._dp_partition_dag()
+            return self._dp_partition_dag(memoize=memoize)
         num_layers = self.num_layers
         parents = np.empty((num_layers - 1, self.num_strategies), dtype=np.int8)
         frontiers = np.empty((num_layers, self.num_strategies), dtype=np.float64)
@@ -699,7 +747,7 @@ class CostTable:
                 interior[vertex] = True
         return [vertex for vertex in range(self.num_layers) if not interior[vertex]]
 
-    def _dp_partition_dag(self) -> PartitionResult:
+    def _dp_partition_dag(self, *, memoize: bool = True) -> PartitionResult:
         """Cut-vertex dynamic program with batched branch-interior enumeration.
 
         The layer order is a topological linearization, so between two
@@ -708,116 +756,385 @@ class CostTable:
         accumulated cost of the prefix through the current cut vertex
         under code ``c``, built with the exact left-to-right per-layer
         association of :meth:`score_codes` -- and advances one block at a
-        time by enumerating all ``K**(I + 2)`` code patterns of the block
-        (``I`` interior layers plus both endpoints) in batched,
-        :data:`DEFAULT_CHUNK_SIZE`-chunked NumPy operations (peak memory
-        stays a few MB regardless of the block size).  IEEE addition is
+        time (:meth:`_advance_dag_block`) by enumerating all
+        ``K**(I + 2)`` code patterns of the block (``I`` interior layers
+        plus both endpoints) in batched,
+        :data:`DEFAULT_CHUNK_SIZE`-chunked operations (peak memory stays
+        a few MB regardless of the block size).  IEEE addition is
         monotone, so the per-state minima compose exactly and the final
         optimum equals the brute-force minimum of :meth:`score_codes`,
         float for float; ties resolve to the lowest pattern digits
         (dp-first per layer).
+
+        With ``memoize`` on, repeated cut segments -- the residual
+        transformer stacks of ``gpt_r``, where every block's costs and
+        local edge shape recur with a small period -- are detected up
+        front (:meth:`_detect_periodic_blocks`) and, once the block map
+        provably reaches its steady state (uniform ``com`` growth per
+        period, identical block argmins, and the dyadic exactness
+        certificate of :func:`_exactness_shift`), the remaining periods
+        are replayed by translation instead of enumeration: ``com``
+        advances by ``count * step`` and the stepped period's argmin
+        arrays are reused verbatim.  This is the cut-vertex analogue of
+        the chain-DP jump in :func:`_chain_dp_run`, byte-identical to
+        cold stepping for the same reasons; ``memoize=False`` forces the
+        full enumeration for oracle runs.
         """
         num_strategies = self.num_strategies
         cuts = self.cut_vertices()
+        blocks = list(zip(cuts, cuts[1:]))
         com = self.intra[0].copy()  # layer 0 has no incoming edges
         block_plans: list[tuple[int, int, int, np.ndarray]] = []
-        for block_start, block_end in zip(cuts, cuts[1:]):
-            interior_count = block_end - block_start - 1
-            num_patterns = num_strategies ** (interior_count + 2)
-            if num_patterns > DEFAULT_MAX_BLOCK_PATTERNS:
-                raise ValueError(
-                    f"branch interior between layers {block_start} and "
-                    f"{block_end} spans {interior_count + 2} layers; "
-                    f"{num_strategies}**{interior_count + 2} patterns exceed "
-                    f"the enumeration limit of {DEFAULT_MAX_BLOCK_PATTERNS}"
-                )
-            block_layers = interior_count + 2
-            block_edges = [
-                (edge_index, source - block_start, destination - block_start)
-                for edge_index, (source, destination) in enumerate(self.edges)
-                if block_start < destination <= block_end
-            ]
-            # The block-end code is the most significant digit; patterns
-            # split as ``rest + group_size * end_code``.
-            group_size = num_patterns // num_strategies
-            best = np.full(num_strategies, np.inf)
-            best_rest = np.zeros(num_strategies, dtype=np.int64)
-            # Digit-aligned chunking (largest K**free <= DEFAULT_CHUNK_SIZE)
-            # keeps every chunk's high digits constant, enabling dominance
-            # pruning.  Chunk boundaries never affect the result: the
-            # strict-< running minima scan codes in ascending order, so
-            # any partition of that order yields the identical winner.
-            free_digits = 0
-            chunk_span = 1
-            while (
-                free_digits < block_layers
-                and chunk_span * num_strategies <= DEFAULT_CHUNK_SIZE
-            ):
-                chunk_span *= num_strategies
-                free_digits += 1
-            # Lower-bound scaffolding over the free (low) digits: the
-            # cheapest prefix state, each free layer's cheapest intra
-            # entry, each free-internal edge's cheapest inter entry
-            # (costs are nonnegative byte counts, so per-term minima
-            # bound any completion from below).
-            free_floor = float(com.min())
-            for local in range(1, free_digits):
-                free_floor += float(self.intra[block_start + local].min())
-            fixed_edges = []
-            cross_into_fixed = []
-            cross_into_free = []
-            for edge_index, local_source, local_destination in block_edges:
-                if local_source < free_digits and local_destination < free_digits:
-                    free_floor += float(self.inter[edge_index].min())
-                elif local_source >= free_digits:
-                    fixed_edges.append((edge_index, local_source, local_destination))
-                elif local_destination >= free_digits:
-                    cross_into_fixed.append((edge_index, local_destination))
-                else:  # pragma: no cover - edges run forward (source < dest)
-                    cross_into_free.append((edge_index, local_source))
-            for start in range(0, num_patterns, chunk_span):
-                if free_digits < block_layers:
-                    fixed = _decode_digits(
-                        np.array([start // chunk_span], dtype=np.int64),
-                        block_layers - free_digits,
-                        num_strategies,
-                    )[0]
-                    bound = free_floor
-                    for local in range(free_digits, block_layers):
-                        bound += float(
-                            self.intra[block_start + local, fixed[local - free_digits]]
-                        )
-                    for edge_index, local_source, local_destination in fixed_edges:
-                        bound += float(
-                            self.inter[
-                                edge_index,
-                                fixed[local_source - free_digits],
-                                fixed[local_destination - free_digits],
-                            ]
-                        )
-                    for edge_index, local_destination in cross_into_fixed:
-                        bound += float(
-                            self.inter[
-                                edge_index, :, fixed[local_destination - free_digits]
-                            ].min()
-                        )
-                    for edge_index, local_source in cross_into_free:  # pragma: no cover
-                        bound += float(
-                            self.inter[
-                                edge_index, fixed[local_source - free_digits], :
-                            ].min()
-                        )
-                    incumbent = float(best.max())
-                    # Strictly-worse chunks cannot improve (or first-tie)
-                    # any end code's running minimum; the margin absorbs
-                    # the bound's different float association, keeping
-                    # the scan's output byte-identical to the unpruned
-                    # enumeration.
-                    if bound * (1.0 - _PRUNE_MARGIN) > incumbent:
+        detected = None
+        if memoize and len(blocks) >= _MEMOIZE_MIN_BLOCKS:
+            detected = self._detect_periodic_blocks(blocks)
+        # com entering block ``b`` (filled as stepping reaches ``b``);
+        # the jump certificate compares boundaries one period apart.
+        boundary_coms: list[np.ndarray | None] = [None] * (len(blocks) + 1)
+        index = 0
+        while index < len(blocks):
+            boundary_coms[index] = com
+            if detected is not None:
+                period, first, stop = detected
+                aligned = index >= first + 2 * period and (index - first) % period == 0
+                remaining = (stop - index) // period if aligned else 0
+                if remaining >= 1:
+                    jumped_com = self._try_periodic_block_jump(
+                        blocks,
+                        block_plans,
+                        boundary_coms,
+                        index,
+                        period,
+                        remaining,
+                    )
+                    if jumped_com is not None:
+                        com = jumped_com
+                        index += remaining * period
+                        # One region per table; later blocks step normally.
+                        detected = None
                         continue
-                codes = np.arange(
-                    start, min(start + chunk_span, num_patterns), dtype=np.int64
+            block_start, block_end = blocks[index]
+            best, best_rest = self._advance_dag_block(com, block_start, block_end)
+            com = best
+            block_plans.append(
+                (block_start, block_end, block_end - block_start - 1, best_rest)
+            )
+            index += 1
+
+        last = int(np.argmin(com))  # tie -> lowest code
+        total = float(com[last])
+        codes_per_layer = np.zeros(self.num_layers, dtype=np.int64)
+        codes_per_layer[cuts[-1]] = last
+        for block_start, block_end, interior_count, argmin_rest in reversed(block_plans):
+            rest = int(argmin_rest[codes_per_layer[block_end]])
+            codes_per_layer[block_start] = rest % num_strategies
+            rest //= num_strategies
+            for offset in range(interior_count):
+                codes_per_layer[block_start + 1 + offset] = rest % num_strategies
+                rest //= num_strategies
+
+        members = self.strategies.members
+        assignment = LayerAssignment(
+            tuple(members[int(code)] for code in codes_per_layer)
+        )
+        return self.lazy_result(assignment, total)
+
+    def _block_local_edges(
+        self, block_start: int, block_end: int
+    ) -> list[tuple[int, int, int]]:
+        """``(edge_index, local_source, local_destination)`` of one cut segment.
+
+        Local coordinates are relative to ``block_start``; an edge belongs
+        to the block that contains its destination (the entering cut
+        vertex's own incoming edges were settled by the previous block).
+        """
+        return [
+            (edge_index, source - block_start, destination - block_start)
+            for edge_index, (source, destination) in enumerate(self.edges)
+            if block_start < destination <= block_end
+        ]
+
+    def _detect_periodic_blocks(
+        self, blocks: list[tuple[int, int]]
+    ) -> tuple[int, int, int] | None:
+        """Smallest ``(period, first, stop)`` with blocks ``first:stop`` periodic.
+
+        Block ``b`` matches block ``b + period`` when the two cut
+        segments have the same local shape (layer span and local edge
+        endpoints) and numerically equal cost entries: the intra rows
+        past the entering cut vertex and, pairing the blocks' local edge
+        lists positionally, each edge's inter table.  Equal costs make
+        the block maps identical functions of ``com``, the precondition
+        for the steady-state jump.  As in :func:`_detect_periodic_region`
+        the longest run wins and at least four full periods are required;
+        returns ``None`` otherwise.
+        """
+        num_blocks = len(blocks)
+        shapes: list[tuple[int, tuple[tuple[int, int], ...]]] = []
+        edge_lists: list[list[int]] = []
+        for block_start, block_end in blocks:
+            local_edges = self._block_local_edges(block_start, block_end)
+            shapes.append(
+                (
+                    block_end - block_start,
+                    tuple((source, destination) for _, source, destination in local_edges),
                 )
+            )
+            edge_lists.append([edge_index for edge_index, _, _ in local_edges])
+
+        def matches(left: int, right: int) -> bool:
+            if shapes[left] != shapes[right]:
+                return False
+            left_start, left_end = blocks[left]
+            right_start, right_end = blocks[right]
+            if not np.array_equal(
+                self.intra[left_start + 1 : left_end + 1],
+                self.intra[right_start + 1 : right_end + 1],
+            ):
+                return False
+            for left_edge, right_edge in zip(edge_lists[left], edge_lists[right]):
+                if not np.array_equal(self.inter[left_edge], self.inter[right_edge]):
+                    return False
+            return True
+
+        for period in range(1, min(_MAX_BLOCK_PERIOD, num_blocks // 4) + 1):
+            best_first = best_length = 0
+            run_start = run_length = 0
+            for position in range(num_blocks - period):
+                if matches(position, position + period):
+                    if run_length == 0:
+                        run_start = position
+                    run_length += 1
+                    if run_length > best_length:
+                        best_first, best_length = run_start, run_length
+                else:
+                    run_length = 0
+            if best_length and (best_length + period) // period >= 4:
+                return period, best_first, best_first + best_length + period
+        return None
+
+    def _try_periodic_block_jump(
+        self,
+        blocks: list[tuple[int, int]],
+        block_plans: list[tuple[int, int, int, np.ndarray]],
+        boundary_coms: list[np.ndarray | None],
+        index: int,
+        period: int,
+        count: int,
+    ) -> np.ndarray | None:
+        """Replay ``count`` converged periods of cut segments by translation.
+
+        ``index`` is the next block to process, with at least two full
+        periods stepped immediately before it.  Mirrors
+        :func:`_try_periodic_jump` at block granularity:
+
+        * the entering ``com`` advanced by a *uniform* increment ``step``
+          over the last period, and the last two periods produced
+          identical per-block argmin (``best_rest``) arrays -- the block
+          map has reached its max-plus steady state;
+        * the exactness certificate of :func:`_exactness_shift` holds for
+          every participating value (boundary ``com``, ``step``, and one
+          period's intra rows and inter tables), so the float adds the
+          skipped enumeration *would* perform are exact and equal
+          ``previous period + step`` bit for bit, including every
+          strict-``<`` tie.
+
+        On success appends the replayed block plans (reusing the stepped
+        period's ``best_rest`` arrays) and returns the translated ``com``;
+        returns ``None`` (caller keeps stepping) when any check fails.
+        """
+        com = boundary_coms[index]
+        previous = boundary_coms[index - period]
+        delta = com - previous
+        if not np.all(delta == delta[0]):
+            return None
+        for offset in range(period):
+            if not np.array_equal(
+                block_plans[index - period + offset][3],
+                block_plans[index - 2 * period + offset][3],
+            ):
+                return None
+        step = float(delta[0])
+        period_start = blocks[index - period][0]
+        period_end = blocks[index - 1][1]
+        intra_period = self.intra[period_start + 1 : period_end + 1]
+        edge_indices = [
+            edge_index
+            for edge_index, (_, destination) in enumerate(self.edges)
+            if period_start < destination <= period_end
+        ]
+        inter_period = self.inter[edge_indices]
+        block_max = max(
+            float(np.abs(intra_period).max()),
+            float(np.abs(inter_period).max()) if edge_indices else 0.0,
+            1.0,
+        )
+        period_terms = (period_end - period_start) + len(edge_indices)
+        magnitude = float(np.abs(com).max()) + (count + 2) * (
+            abs(step) + block_max * (period_terms + 2)
+        )
+        shift = _exactness_shift(
+            [com, np.array([step]), intra_period, inter_period], magnitude
+        )
+        if shift is None:
+            return None
+        for jumped in range(count * period):
+            source_plan = block_plans[index - period + (jumped % period)]
+            block_start, block_end = blocks[index + jumped]
+            block_plans.append(
+                (block_start, block_end, block_end - block_start - 1, source_plan[3])
+            )
+        DAG_JUMP_STATS["jumps"] += 1
+        DAG_JUMP_STATS["jumped_blocks"] += count * period
+        DAG_JUMP_STATS["jumped_layers"] += (
+            blocks[index + count * period - 1][1] - blocks[index][0]
+        )
+        return com + float(count) * step
+
+    def _advance_dag_block(
+        self, com: np.ndarray, block_start: int, block_end: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Advance the cut-vertex DP across one block ``[block_start, block_end]``.
+
+        ``com`` is the accumulated prefix cost through the entering cut
+        vertex; returns ``(best, best_rest)`` -- the new frontier indexed
+        by the closing cut vertex's code, and each frontier entry's
+        winning low-digit pattern.  On a compiled backend the per-chunk
+        candidate totals come from the numba block scorer
+        (:func:`repro.core.kernels.dag_block_totals_compiled`, bit-exact
+        with the NumPy body); chunking, dominance pruning and the
+        strict-``<`` end-code scan stay in shared NumPy code, so every
+        backend walks the identical sequence of comparisons.
+        """
+        num_strategies = self.num_strategies
+        interior_count = block_end - block_start - 1
+        num_patterns = num_strategies ** (interior_count + 2)
+        if num_patterns > DEFAULT_MAX_BLOCK_PATTERNS:
+            raise ValueError(
+                f"branch interior between layers {block_start} and "
+                f"{block_end} spans {interior_count + 2} layers; "
+                f"{num_strategies}**{interior_count + 2} patterns exceed "
+                f"the enumeration limit of {DEFAULT_MAX_BLOCK_PATTERNS}"
+            )
+        block_layers = interior_count + 2
+        block_edges = self._block_local_edges(block_start, block_end)
+        use_kernel = kernels.compiled_active(self.backend)
+        if use_kernel:
+            # Group the block's edges by local destination (stably) for
+            # the kernel's single-pass walk; arrays are materialized once
+            # per block, not per chunk.
+            order = sorted(range(len(block_edges)), key=lambda e: block_edges[e][2])
+            kernel_edge_index = np.array(
+                [block_edges[e][0] for e in order], dtype=np.int64
+            )
+            kernel_edge_source = np.array(
+                [block_edges[e][1] for e in order], dtype=np.int64
+            )
+            kernel_edge_destination = np.array(
+                [block_edges[e][2] for e in order], dtype=np.int64
+            )
+            kernel_intra = np.ascontiguousarray(self.intra)
+            kernel_inter = np.ascontiguousarray(self.inter)
+            kernel_com = np.ascontiguousarray(com)
+            parallel = kernels.parallel_active(self.backend)
+        # The block-end code is the most significant digit; patterns
+        # split as ``rest + group_size * end_code``.
+        group_size = num_patterns // num_strategies
+        best = np.full(num_strategies, np.inf)
+        best_rest = np.zeros(num_strategies, dtype=np.int64)
+        # Digit-aligned chunking (largest K**free <= DEFAULT_CHUNK_SIZE)
+        # keeps every chunk's high digits constant, enabling dominance
+        # pruning.  Chunk boundaries never affect the result: the
+        # strict-< running minima scan codes in ascending order, so
+        # any partition of that order yields the identical winner.
+        free_digits = 0
+        chunk_span = 1
+        while (
+            free_digits < block_layers
+            and chunk_span * num_strategies <= DEFAULT_CHUNK_SIZE
+        ):
+            chunk_span *= num_strategies
+            free_digits += 1
+        # Lower-bound scaffolding over the free (low) digits: the
+        # cheapest prefix state, each free layer's cheapest intra
+        # entry, each free-internal edge's cheapest inter entry
+        # (costs are nonnegative byte counts, so per-term minima
+        # bound any completion from below).
+        free_floor = float(com.min())
+        for local in range(1, free_digits):
+            free_floor += float(self.intra[block_start + local].min())
+        fixed_edges = []
+        cross_into_fixed = []
+        cross_into_free = []
+        for edge_index, local_source, local_destination in block_edges:
+            if local_source < free_digits and local_destination < free_digits:
+                free_floor += float(self.inter[edge_index].min())
+            elif local_source >= free_digits:
+                fixed_edges.append((edge_index, local_source, local_destination))
+            elif local_destination >= free_digits:
+                cross_into_fixed.append((edge_index, local_destination))
+            else:  # pragma: no cover - edges run forward (source < dest)
+                cross_into_free.append((edge_index, local_source))
+        for start in range(0, num_patterns, chunk_span):
+            if free_digits < block_layers:
+                fixed = _decode_digits(
+                    np.array([start // chunk_span], dtype=np.int64),
+                    block_layers - free_digits,
+                    num_strategies,
+                )[0]
+                bound = free_floor
+                for local in range(free_digits, block_layers):
+                    bound += float(
+                        self.intra[block_start + local, fixed[local - free_digits]]
+                    )
+                for edge_index, local_source, local_destination in fixed_edges:
+                    bound += float(
+                        self.inter[
+                            edge_index,
+                            fixed[local_source - free_digits],
+                            fixed[local_destination - free_digits],
+                        ]
+                    )
+                for edge_index, local_destination in cross_into_fixed:
+                    bound += float(
+                        self.inter[
+                            edge_index, :, fixed[local_destination - free_digits]
+                        ].min()
+                    )
+                for edge_index, local_source in cross_into_free:  # pragma: no cover
+                    bound += float(
+                        self.inter[
+                            edge_index, fixed[local_source - free_digits], :
+                        ].min()
+                    )
+                incumbent = float(best.max())
+                # Strictly-worse chunks cannot improve (or first-tie)
+                # any end code's running minimum; the margin absorbs
+                # the bound's different float association, keeping
+                # the scan's output byte-identical to the unpruned
+                # enumeration.
+                if bound * (1.0 - _PRUNE_MARGIN) > incumbent:
+                    continue
+            codes = np.arange(
+                start, min(start + chunk_span, num_patterns), dtype=np.int64
+            )
+            if use_kernel:
+                totals = np.empty(codes.shape[0], dtype=np.float64)
+                kernels.dag_block_totals_compiled(
+                    kernel_com,
+                    kernel_intra,
+                    kernel_inter,
+                    kernel_edge_index,
+                    kernel_edge_source,
+                    kernel_edge_destination,
+                    block_start,
+                    block_layers,
+                    num_strategies,
+                    start,
+                    totals,
+                    parallel=parallel,
+                )
+            else:
                 decoded = _decode_digits(codes, block_layers, num_strategies)
                 # Column 0 carries the accumulated prefix cost (the cut
                 # vertex's own term is already inside ``com``); later
@@ -838,39 +1155,18 @@ class CostTable:
                     ]
                 per_layer[:, 1:] += inter_acc[:, 1:]
                 totals = _sequential_row_sum(per_layer)
-                end_codes = codes // group_size
-                # Strict ``<`` against the running minima keeps the first
-                # (lowest-pattern) winner across ascending chunks, matching
-                # the unchunked group-argmin tie rule.
-                for end_code in np.unique(end_codes):
-                    mask = end_codes == end_code
-                    subset = totals[mask]
-                    index = int(np.argmin(subset))
-                    if subset[index] < best[end_code]:
-                        best[end_code] = subset[index]
-                        best_rest[end_code] = codes[mask][index] % group_size
-            com = best
-            block_plans.append(
-                (block_start, block_end, interior_count, best_rest)
-            )
-
-        last = int(np.argmin(com))  # tie -> lowest code
-        total = float(com[last])
-        codes_per_layer = np.zeros(self.num_layers, dtype=np.int64)
-        codes_per_layer[cuts[-1]] = last
-        for block_start, block_end, interior_count, argmin_rest in reversed(block_plans):
-            rest = int(argmin_rest[codes_per_layer[block_end]])
-            codes_per_layer[block_start] = rest % num_strategies
-            rest //= num_strategies
-            for offset in range(interior_count):
-                codes_per_layer[block_start + 1 + offset] = rest % num_strategies
-                rest //= num_strategies
-
-        members = self.strategies.members
-        assignment = LayerAssignment(
-            tuple(members[int(code)] for code in codes_per_layer)
-        )
-        return self.lazy_result(assignment, total)
+            end_codes = codes // group_size
+            # Strict ``<`` against the running minima keeps the first
+            # (lowest-pattern) winner across ascending chunks, matching
+            # the unchunked group-argmin tie rule.
+            for end_code in np.unique(end_codes):
+                mask = end_codes == end_code
+                subset = totals[mask]
+                index = int(np.argmin(subset))
+                if subset[index] < best[end_code]:
+                    best[end_code] = subset[index]
+                    best_rest[end_code] = codes[mask][index] % group_size
+        return best, best_rest
 
     # ------------------------------------------------------------------
     # Batched scoring of candidate digit-patterns.
@@ -930,19 +1226,36 @@ class CostTable:
 
         Depth-safe core scorer: unlike the packed-integer entry points it
         has no 64-bit encoding limit, so single assignments of arbitrarily
-        deep models route through it.  Chain tables on the ``"compiled"``
-        backend dispatch to the numba scorer kernel (bit-exact; see
-        :mod:`repro.core.kernels`); DAG tables always take the NumPy path.
+        deep models route through it.  On the compiled backends both chain
+        and DAG tables dispatch to the numba scorer kernels (bit-exact;
+        see :mod:`repro.core.kernels`), with ``"compiled-parallel"``
+        selecting the ``prange`` variants.
         """
         num_layers = self.num_layers
-        if self.is_chain and kernels.compiled_active(self.backend):
+        if kernels.compiled_active(self.backend):
             totals = np.empty(decoded.shape[0], dtype=np.float64)
-            kernels.score_decoded_chain_compiled(
-                np.ascontiguousarray(self.intra),
-                np.ascontiguousarray(self.inter),
-                np.ascontiguousarray(decoded, dtype=np.int64),
-                totals,
-            )
+            parallel = kernels.parallel_active(self.backend)
+            decoded_codes = np.ascontiguousarray(decoded, dtype=np.int64)
+            if self.is_chain:
+                kernels.score_decoded_chain_compiled(
+                    np.ascontiguousarray(self.intra),
+                    np.ascontiguousarray(self.inter),
+                    decoded_codes,
+                    totals,
+                    parallel=parallel,
+                )
+            else:
+                edge_index, edge_source, edge_destination = self._kernel_edges
+                kernels.score_decoded_dag_compiled(
+                    np.ascontiguousarray(self.intra),
+                    np.ascontiguousarray(self.inter),
+                    edge_index,
+                    edge_source,
+                    edge_destination,
+                    decoded_codes,
+                    totals,
+                    parallel=parallel,
+                )
             return totals
         per_layer = self.intra[np.arange(num_layers), decoded]  # (N, L)
         if self.is_chain:
@@ -1326,12 +1639,23 @@ class HierarchicalCostTable:
         #: Kernel backend handed to every gathered per-level
         #: :class:`CostTable` (``None`` = follow the process default).
         self.backend = kernels.validate_backend(backend)
+        kernels.warn_numba_fallback(backend)
         #: Canonical edge list of the model's layer DAG; the per-level
         #: ``inter`` arrays are indexed by it (chains keep the historical
         #: boundary indexing, edge ``e`` == boundary ``(e, e + 1)``).
         self.edges: tuple[tuple[int, int], ...] = model.edges
         self._is_chain = model.is_chain
         self._edge_source = np.array([s for s, _ in self.edges], dtype=np.int64)
+        # Destination-grouped (stable) edge arrays for the compiled level
+        # scorers, mirroring CostTable._kernel_edges.
+        kernel_order = sorted(range(len(self.edges)), key=lambda e: self.edges[e][1])
+        self._kernel_edge_index = np.array(kernel_order, dtype=np.int64)
+        self._kernel_edge_source = np.array(
+            [self.edges[e][0] for e in kernel_order], dtype=np.int64
+        )
+        self._kernel_edge_destination = np.array(
+            [self.edges[e][1] for e in kernel_order], dtype=np.int64
+        )
         #: Per destination layer: its incoming ``(edge_index, source)`` pairs
         #: in canonical (input) order, for per-edge gathers.
         self._incoming: list[list[tuple[int, int]]] = [
@@ -1661,7 +1985,12 @@ class HierarchicalCostTable:
         This is the core batched scorer; it also serves candidate spaces
         whose *full* encoding would overflow 64 bits (deep models at many
         levels) as long as the batch itself is enumerable, e.g. the
-        restricted sweeps of Figures 9/10.
+        restricted sweeps of Figures 9/10.  On the compiled backends each
+        level's gather-and-accumulate runs in a numba kernel
+        (:func:`repro.core.kernels.hier_level_score_compiled`, bit-exact
+        with the NumPy body; ``"compiled-parallel"`` scores candidates
+        under ``prange``), while the cross-level scale-state tracking
+        stays in shared NumPy code.
         """
         if len(decoded) != self.num_levels:
             raise ValueError(
@@ -1672,6 +2001,8 @@ class HierarchicalCostTable:
         layer_range = np.arange(num_layers)
         boundary_range = np.arange(max(num_layers - 1, 0))
         totals = np.zeros(num_candidates, dtype=np.float64)
+        use_kernel = kernels.compiled_active(self.backend)
+        parallel = kernels.parallel_active(self.backend)
         track_states = self.scaling_mode is ScalingMode.PARALLELISM_AWARE
         weight_counts = np.zeros((num_candidates, num_layers), dtype=np.int64)
         batch_counts = (
@@ -1689,35 +2020,53 @@ class HierarchicalCostTable:
                 states = weight_counts
             else:
                 states = self._state_lut[level][batch_counts, weight_counts]
-            per_layer = self._intra[level][layer_range, states, level_codes]
-            if self._is_chain:
-                if num_layers > 1:
-                    per_layer[:, 1:] += self._inter[level][
-                        boundary_range,
-                        states[:, :-1],
-                        level_codes[:, :-1],
-                        level_codes[:, 1:],
-                    ]
+            if use_kernel:
+                # The kernel folds gather, edge accumulation, sequential
+                # row sum and the ``* (1 << level)`` pair scaling into one
+                # pass, accumulating straight into ``totals``.
+                kernels.hier_level_score_compiled(
+                    self._intra[level],
+                    self._inter[level],
+                    np.ascontiguousarray(states, dtype=np.int64),
+                    np.ascontiguousarray(level_codes, dtype=np.int64),
+                    float(1 << level),
+                    totals,
+                    is_chain=self._is_chain,
+                    edge_index=self._kernel_edge_index,
+                    edge_source=self._kernel_edge_source,
+                    edge_destination=self._kernel_edge_destination,
+                    parallel=parallel,
+                )
             else:
-                # Merge layers accumulate their incoming-edge terms (in
-                # canonical edge order) before the single add onto the intra
-                # term, matching the object path's association.
-                inter_acc = np.zeros_like(per_layer)
-                for edge_index, (source, destination) in enumerate(self.edges):
-                    inter_acc[:, destination] += self._inter[level][
-                        edge_index,
-                        states[:, source],
-                        level_codes[:, source],
-                        level_codes[:, destination],
-                    ]
-                # ``per_layer`` is a fresh advanced-indexing copy, so the
-                # in-place add is safe (and allocation-free, like the
-                # single-level scorer's).
-                per_layer += inter_acc
-            level_totals = _sequential_row_sum(per_layer)
-            # ``level.total_bytes`` multiplies by the (power-of-two) pair
-            # count before the exact sequential accumulation over levels.
-            totals += level_totals * float(1 << level)
+                per_layer = self._intra[level][layer_range, states, level_codes]
+                if self._is_chain:
+                    if num_layers > 1:
+                        per_layer[:, 1:] += self._inter[level][
+                            boundary_range,
+                            states[:, :-1],
+                            level_codes[:, :-1],
+                            level_codes[:, 1:],
+                        ]
+                else:
+                    # Merge layers accumulate their incoming-edge terms (in
+                    # canonical edge order) before the single add onto the intra
+                    # term, matching the object path's association.
+                    inter_acc = np.zeros_like(per_layer)
+                    for edge_index, (source, destination) in enumerate(self.edges):
+                        inter_acc[:, destination] += self._inter[level][
+                            edge_index,
+                            states[:, source],
+                            level_codes[:, source],
+                            level_codes[:, destination],
+                        ]
+                    # ``per_layer`` is a fresh advanced-indexing copy, so the
+                    # in-place add is safe (and allocation-free, like the
+                    # single-level scorer's).
+                    per_layer += inter_acc
+                level_totals = _sequential_row_sum(per_layer)
+                # ``level.total_bytes`` multiplies by the (power-of-two) pair
+                # count before the exact sequential accumulation over levels.
+                totals += level_totals * float(1 << level)
             if track_states:
                 weight_counts = weight_counts + (
                     level_codes

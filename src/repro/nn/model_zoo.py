@@ -465,13 +465,65 @@ def bert_s(layers: int = DEFAULT_TRANSFORMER_LAYERS) -> DNNModel:
     return _transformer_chain(f"bert_s-{layers}", 256, (1, 1, 128), 2000, layers)
 
 
+def _transformer_dag(
+    name: str, hidden: int, input_shape: Tuple[int, int, int], vocab: int, blocks: int
+) -> DNNModel:
+    """A residual transformer *DAG*: chain blocks plus ``ADD`` skips.
+
+    Same four weighted projections per block as
+    :func:`_transformer_chain`, but every block past the first merges its
+    ``qkv`` input from the previous block's ``down`` output *and* a
+    residual skip from the previous block's ``proj`` output (both width
+    ``hidden``, so the ``ADD`` shapes agree).  The skips span the
+    previous block's MLP, so ``up``/``down`` become branch interiors and
+    the cut-vertex DP alternates between a trivial connector segment and
+    a two-interior enumeration segment -- a block-space period of two
+    that the DAG repetition memoizer detects and jumps.
+    """
+    if blocks < 1:
+        raise ValueError(f"layers must be a positive block count, got {blocks}")
+    specs: List[LayerSpec] = [FCLayer(name="embed", out_features=hidden)]
+    for i in range(blocks):
+        if i == 0:
+            qkv = FCLayer(name=f"b{i}_qkv", out_features=3 * hidden)
+        else:
+            qkv = FCLayer(
+                name=f"b{i}_qkv",
+                out_features=3 * hidden,
+                inputs=(f"b{i - 1}_down", f"b{i - 1}_proj"),
+                merge=MergeOp.ADD,
+            )
+        specs += [
+            qkv,
+            FCLayer(name=f"b{i}_proj", out_features=hidden),
+            FCLayer(name=f"b{i}_up", out_features=4 * hidden),
+            FCLayer(name=f"b{i}_down", out_features=hidden),
+        ]
+    specs.append(FCLayer(name="head", out_features=vocab, activation=Activation.SOFTMAX))
+    return build_model(name, input_shape, specs)
+
+
+def gpt_r(layers: int = DEFAULT_TRANSFORMER_LAYERS) -> DNNModel:
+    """``gpt_r``: :func:`gpt_s` proportions with residual ``ADD`` skips.
+
+    The residual variant of the small-GPT chain: identical widths (hidden
+    192, vocabulary 1000) and the same ``4 * layers + 2`` weighted
+    layers, but each block's fused QKV adds the previous block's
+    attention output to its MLP output, making the model a branching DAG
+    routed through the cut-vertex dynamic program.  Named
+    ``gpt_r-{layers}``.
+    """
+    return _transformer_dag(f"gpt_r-{layers}", 192, (1, 1, 64), 1000, layers)
+
+
 #: Parameterized (depth-``N``) builders.  Unlike :data:`MODEL_BUILDERS`
 #: entries these accept a ``layers=`` block count; name resolution accepts
 #: both the bare family name (``gpt_s`` -> default depth) and the
-#: depth-suffixed spelling (``gpt_s-96``, ``bert_s-24``).
+#: depth-suffixed spelling (``gpt_s-96``, ``bert_s-24``, ``gpt_r-48``).
 PARAMETERIZED_MODEL_BUILDERS: Dict[str, Callable[..., DNNModel]] = {
     "gpt_s": gpt_s,
     "bert_s": bert_s,
+    "gpt_r": gpt_r,
 }
 
 #: Ordered mapping from canonical model name to its builder.  The order

@@ -418,6 +418,7 @@ class HyParService:
             "backends": {
                 "default": kernels.get_default_backend(),
                 "numba_available": kernels.NUMBA_AVAILABLE,
+                "valid": list(kernels.VALID_BACKENDS),
             },
             "requests": {
                 "served": served,

@@ -27,7 +27,11 @@ Worker processes warm their own process-global caches (see
 :mod:`repro.sweep.cache`): the first task of a configuration compiles the
 shared cost table, subsequent tasks gather from it.  With the default
 ``fork`` start method workers also inherit whatever the parent had already
-compiled.
+compiled.  The parent's kernel backend, by contrast, is propagated
+*explicitly*: the pool initializer re-applies it in every worker
+(:func:`_worker_init`), so ``--backend compiled`` survives the ``spawn``
+and ``forkserver`` start methods too, where a fresh interpreter would
+otherwise silently reset to the ``"numpy"`` default.
 """
 
 from __future__ import annotations
@@ -43,6 +47,8 @@ from concurrent.futures import (
     ProcessPoolExecutor,
 )
 from typing import Callable, Iterator, Sequence, TypeVar
+
+from repro.core import kernels
 
 Task = TypeVar("Task")
 Result = TypeVar("Result")
@@ -78,6 +84,19 @@ def _run_chunk(payload: tuple[Callable, list]) -> list:
     return [fn(task) for task in chunk]
 
 
+def _worker_init(backend: str) -> None:
+    """Pool initializer: adopt the parent's kernel backend in this worker.
+
+    Under ``spawn``/``forkserver`` a worker imports :mod:`repro` from
+    scratch, so without this it would run the module-default ``"numpy"``
+    backend no matter what the parent selected; under ``fork`` it is a
+    harmless re-set of the inherited value.  Results are bit-identical
+    across backends either way -- this preserves the *speed* the user
+    asked for, not correctness.
+    """
+    kernels.set_default_backend(backend)
+
+
 class SweepEngine:
     """Maps task functions over task lists, serially or process-parallel.
 
@@ -91,13 +110,24 @@ class SweepEngine:
     chunk_size:
         Tasks per chunk; defaults to an even split into
         ``workers * 4`` chunks.  Chunking is deterministic either way.
+    backend:
+        Kernel backend the worker processes adopt as their process
+        default (see :mod:`repro.core.kernels`).  ``None`` (default)
+        captures the parent's default backend at pool creation, so a CLI
+        ``--backend compiled`` flows into the workers under every
+        multiprocessing start method.
 
     The engine keeps its pool alive across :meth:`map` calls (sweeps issue
     one map per study), so worker-side caches stay warm; use the context
     manager form or :meth:`close` to release the processes.
     """
 
-    def __init__(self, workers: int | None = 1, chunk_size: int | None = None) -> None:
+    def __init__(
+        self,
+        workers: int | None = 1,
+        chunk_size: int | None = None,
+        backend: str | None = None,
+    ) -> None:
         if workers is None:
             workers = default_workers()
         if workers <= 0:
@@ -106,6 +136,7 @@ class SweepEngine:
             raise ValueError(f"chunk_size must be positive, got {chunk_size}")
         self.workers = workers
         self.chunk_size = chunk_size
+        self.backend = kernels.validate_backend(backend)
         self._executor: Executor | None = None
         self._pool_broken = False
         self._closed = False
@@ -185,7 +216,15 @@ class SweepEngine:
             if self._executor is not None or self._pool_broken or self._closed:
                 return self._executor
             try:
-                self._executor = ProcessPoolExecutor(max_workers=self.workers)
+                # Resolve the backend at pool creation (not __init__), so
+                # an engine built before `--backend` was applied still
+                # ships the final choice to its workers.
+                backend = self.backend or kernels.get_default_backend()
+                self._executor = ProcessPoolExecutor(
+                    max_workers=self.workers,
+                    initializer=_worker_init,
+                    initargs=(backend,),
+                )
             except (OSError, ValueError, NotImplementedError) as error:
                 # No usable multiprocessing primitives (restricted sandboxes):
                 # degrade to the serial path, which produces identical results.

@@ -1,0 +1,135 @@
+"""The kernel backend registry: validation, fallback warning, counters.
+
+The numerical behaviour of the kernels themselves is pinned by the
+property suites (``tests/properties/test_property_fastpaths.py`` and
+``test_property_compiled_dag.py``); this module covers the plumbing
+around them -- backend name validation and its error message, the
+once-per-process numba-fallback warning, the active/parallel predicates
+and the dispatch counters the acceptance tests rely on.
+"""
+
+import warnings
+
+import pytest
+
+from repro.core import kernels
+from repro.core.costs import CostTable
+from repro.nn.model_zoo import lenet_c
+
+
+@pytest.fixture(autouse=True)
+def _restore_backend_state():
+    """Leave the process-global backend registry the way we found it."""
+    default = kernels.get_default_backend()
+    warned = kernels._fallback_warned
+    yield
+    kernels.set_default_backend(default)
+    kernels._fallback_warned = warned
+
+
+class TestValidateBackend:
+    def test_known_backends_round_trip(self):
+        for backend in kernels.VALID_BACKENDS:
+            assert kernels.validate_backend(backend) == backend
+
+    def test_none_is_passed_through(self):
+        assert kernels.validate_backend(None) is None
+
+    def test_unknown_backend_names_the_valid_set_and_active_default(self):
+        kernels.set_default_backend("numpy")
+        with pytest.raises(ValueError) as excinfo:
+            kernels.validate_backend("cuda")
+        message = str(excinfo.value)
+        assert "'cuda'" in message
+        assert "'numpy'" in message  # the active default
+        for backend in kernels.VALID_BACKENDS:
+            assert backend in message
+
+    def test_error_reports_a_non_default_active_backend(self):
+        kernels.set_default_backend("compiled-parallel")
+        with pytest.raises(ValueError, match="compiled-parallel"):
+            kernels.validate_backend("fast")
+
+
+class TestDefaultBackend:
+    def test_set_and_resolve_round_trip(self):
+        for backend in kernels.VALID_BACKENDS:
+            kernels.set_default_backend(backend)
+            assert kernels.get_default_backend() == backend
+            assert kernels.resolve_backend(None) == backend
+            assert kernels.resolve_backend("numpy") == "numpy"
+
+    def test_set_default_rejects_unknown_names(self):
+        with pytest.raises(ValueError):
+            kernels.set_default_backend("gpu")
+
+
+class TestActivePredicates:
+    def test_numpy_backend_never_activates_kernels(self):
+        assert not kernels.compiled_active("numpy")
+        assert not kernels.parallel_active("numpy")
+
+    def test_compiled_backends_follow_numba_availability(self):
+        for backend in kernels.COMPILED_BACKENDS:
+            assert kernels.compiled_active(backend) == kernels.NUMBA_AVAILABLE
+        assert kernels.parallel_active("compiled") is False
+        assert (
+            kernels.parallel_active("compiled-parallel") == kernels.NUMBA_AVAILABLE
+        )
+
+    def test_predicates_resolve_the_process_default(self):
+        kernels.set_default_backend("compiled")
+        assert kernels.compiled_active(None) == kernels.NUMBA_AVAILABLE
+
+
+class TestFallbackWarning:
+    def test_warns_exactly_once_per_process(self, monkeypatch):
+        monkeypatch.setattr(kernels, "NUMBA_AVAILABLE", False)
+        monkeypatch.setattr(kernels, "_fallback_warned", False)
+        with pytest.warns(RuntimeWarning, match="numba is not installed"):
+            kernels.warn_numba_fallback("compiled")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            kernels.warn_numba_fallback("compiled")
+            kernels.warn_numba_fallback("compiled-parallel")
+
+    def test_numpy_backend_never_warns(self, monkeypatch):
+        monkeypatch.setattr(kernels, "NUMBA_AVAILABLE", False)
+        monkeypatch.setattr(kernels, "_fallback_warned", False)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            kernels.warn_numba_fallback("numpy")
+
+    def test_no_warning_when_numba_is_present(self, monkeypatch):
+        monkeypatch.setattr(kernels, "NUMBA_AVAILABLE", True)
+        monkeypatch.setattr(kernels, "_fallback_warned", False)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            kernels.warn_numba_fallback("compiled")
+
+    def test_compiled_cost_table_triggers_the_warning_path(self, monkeypatch):
+        """CostTable construction routes through warn_numba_fallback."""
+        monkeypatch.setattr(kernels, "NUMBA_AVAILABLE", False)
+        monkeypatch.setattr(kernels, "_fallback_warned", False)
+        with pytest.warns(RuntimeWarning, match="NumPy path"):
+            CostTable.compile(lenet_c(), 64, backend="compiled")
+
+
+class TestDispatchCounters:
+    def test_reset_zeroes_every_counter(self):
+        kernels.reset_dispatch_counts()
+        counts = kernels.dispatch_counts()
+        assert set(counts) == {
+            "chain_dp",
+            "chain_score",
+            "dag_block",
+            "dag_score",
+            "hier_level",
+        }
+        assert all(value == 0 for value in counts.values())
+
+    def test_counts_are_a_snapshot_not_a_live_view(self):
+        kernels.reset_dispatch_counts()
+        snapshot = kernels.dispatch_counts()
+        snapshot["chain_dp"] = 99
+        assert kernels.dispatch_counts()["chain_dp"] == 0

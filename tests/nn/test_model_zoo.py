@@ -209,7 +209,7 @@ class TestGraphModelZoo:
 
         assert len(MODEL_BUILDERS) == 10
         assert set(GRAPH_MODEL_BUILDERS) == {"ResNet-S", "Inception-S"}
-        assert len(all_model_builders()) == 14
+        assert len(all_model_builders()) == 15
 
     def test_resnet_s_structure(self):
         from repro.nn.model_zoo import resnet_s
@@ -307,9 +307,10 @@ class TestParameterizedTransformers:
             all_model_builders,
         )
 
-        assert set(PARAMETERIZED_MODEL_BUILDERS) == {"gpt_s", "bert_s"}
+        assert set(PARAMETERIZED_MODEL_BUILDERS) == {"gpt_s", "bert_s", "gpt_r"}
         builders = all_model_builders()
         assert "gpt_s" in builders and "bert_s" in builders
+        assert "gpt_r" in builders
 
     def test_default_depth(self):
         from repro.nn.model_zoo import DEFAULT_TRANSFORMER_LAYERS, bert_s, gpt_s
@@ -398,3 +399,62 @@ class TestParameterizedTransformers:
         from repro.nn.model_zoo import bert_s, gpt_s
 
         assert bert_s(2).total_weights > gpt_s(2).total_weights
+
+
+class TestResidualTransformer:
+    """``gpt_r``: the DAG-shaped transformer with residual ADD skips."""
+
+    def test_structure(self):
+        from repro.nn.model_zoo import gpt_r
+        from repro.nn.shapes import MergeOp
+
+        model = gpt_r(4)
+        assert model.name == "gpt_r-4"
+        assert not model.is_chain
+        assert len(model) == 4 * 4 + 2
+        assert model[0].name == "embed"
+        assert model[-1].name == "head"
+        merges = [layer for layer in model if layer.is_merge]
+        # Every block after the first starts with a residual join.
+        assert len(merges) == 3
+        assert all(layer.merge is MergeOp.ADD for layer in merges)
+        for layer in merges:
+            shapes = {model[source].output_shape for source in layer.inputs}
+            assert len(shapes) == 1
+
+    def test_skip_edges_span_two_layers(self):
+        from repro.nn.model_zoo import gpt_r
+
+        model = gpt_r(6)
+        chain = {(index, index + 1) for index in range(len(model) - 1)}
+        skips = sorted(set(model.edges) - chain)
+        # proj of block i-1 feeds qkv of block i, skipping up/down.
+        assert skips == [(4 * i + 2, 4 * i + 5) for i in range(5)]
+
+    def test_blocks_repeat_identically(self):
+        from repro.nn.model_zoo import gpt_r
+
+        model = gpt_r(5)
+        blocks = [model.layers[1 + 4 * i : 1 + 4 * (i + 1)] for i in range(5)]
+        signature = [
+            (layer.weight_count, str(layer.output_shape)) for layer in blocks[0]
+        ]
+        for block in blocks[1:]:
+            assert [
+                (layer.weight_count, str(layer.output_shape)) for layer in block
+            ] == signature
+
+    def test_name_resolution_and_depth_forms(self):
+        from repro.nn.model_zoo import canonical_model_name, get_model
+
+        assert canonical_model_name("GPT-R-48") == "gpt_r-48"
+        assert canonical_model_name("gptr12") == "gpt_r-12"
+        by_suffix = get_model("gpt_r-3")
+        by_kwarg = get_model("gpt_r", layers=3)
+        assert by_suffix.name == by_kwarg.name == "gpt_r-3"
+
+    def test_invalid_depth_raises(self):
+        from repro.nn.model_zoo import gpt_r
+
+        with pytest.raises(ValueError, match="positive block count"):
+            gpt_r(0)

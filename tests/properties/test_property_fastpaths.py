@@ -206,10 +206,13 @@ class TestChunkSizeByteIdentity:
 
 class TestCompiledBackendEquivalence:
     @settings(max_examples=30, deadline=None)
-    @given(tensors=repeated_block_chains(max_repeats=12))
-    def test_compiled_dp_matches_numpy_dp(self, tensors):
+    @given(
+        tensors=repeated_block_chains(max_repeats=12),
+        backend=st.sampled_from(["compiled", "compiled-parallel"]),
+    )
+    def test_compiled_dp_matches_numpy_dp(self, tensors, backend):
         numpy_table = CostTable.from_tensors(tensors, backend="numpy")
-        compiled_table = CostTable.from_tensors(tensors, backend="compiled")
+        compiled_table = CostTable.from_tensors(tensors, backend=backend)
         a = numpy_table.dp_partition()
         b = compiled_table.dp_partition()
         assert a.communication_bytes == b.communication_bytes
@@ -221,10 +224,13 @@ class TestCompiledBackendEquivalence:
         assert a.assignment.choices == b.assignment.choices
 
     @settings(max_examples=30, deadline=None)
-    @given(tensors=short_chains())
-    def test_compiled_scorer_matches_numpy_scorer(self, tensors):
+    @given(
+        tensors=short_chains(),
+        backend=st.sampled_from(["compiled", "compiled-parallel"]),
+    )
+    def test_compiled_scorer_matches_numpy_scorer(self, tensors, backend):
         numpy_table = CostTable.from_tensors(tensors, backend="numpy")
-        compiled_table = CostTable.from_tensors(tensors, backend="compiled")
+        compiled_table = CostTable.from_tensors(tensors, backend=backend)
         codes = np.arange(numpy_table.num_assignments, dtype=np.int64)
         assert np.array_equal(
             compiled_table.score_codes(codes), numpy_table.score_codes(codes)

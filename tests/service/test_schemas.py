@@ -76,6 +76,26 @@ class TestPartitionRequest:
         with pytest.raises(SchemaError, match="JSON object"):
             PartitionRequest.from_payload(["VGG-A"])
 
+    def test_every_kernel_backend_is_accepted(self):
+        from repro.core.kernels import VALID_BACKENDS
+
+        for backend in VALID_BACKENDS:
+            request = PartitionRequest.from_payload(
+                {"model": "VGG-A", "backend": backend}
+            )
+            assert request.backend == backend
+
+    def test_backend_is_part_of_the_cache_key(self):
+        numpy_key = PartitionRequest.from_payload({"model": "VGG-A"}).cache_key()
+        parallel_key = PartitionRequest.from_payload(
+            {"model": "VGG-A", "backend": "compiled-parallel"}
+        ).cache_key()
+        assert numpy_key != parallel_key
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SchemaError, match="cuda"):
+            PartitionRequest.from_payload({"model": "VGG-A", "backend": "cuda"})
+
     @pytest.mark.parametrize(
         "payload, match",
         [

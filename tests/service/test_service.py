@@ -72,7 +72,7 @@ class TestGetEndpoints:
         assert "VGG-A" in names and "ResNet-S" in names
         # Parameterized families list at their default depths.
         assert "gpt_s-12" in names and "bert_s-12" in names
-        assert len(names) == 14
+        assert len(names) == 15
 
     def test_strategies_lists_the_registry(self, client):
         shorts = [spec["short"] for spec in client.strategies()["strategies"]]

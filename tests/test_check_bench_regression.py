@@ -127,3 +127,31 @@ class TestComparison:
         current = _write(tmp_path / "current.json", [_bench("svc", 1.0)])
         assert script.main([baseline, current]) == 1
         assert "floor check was skipped" in capsys.readouterr().out
+
+    def test_current_only_benchmark_floor_enforced(self, script, tmp_path, capsys):
+        """A bench absent from the baseline still has its floor checked.
+
+        The compiled-kernel benches skip without numba, so a baseline
+        regenerated on a numba-less machine omits them entirely; their
+        self-relative speedup floors must bind wherever the bench does
+        run (the numba CI leg).
+        """
+        baseline = _write(tmp_path / "baseline.json", [_bench("a", 1.0)])
+        current = _write(
+            tmp_path / "current.json",
+            [_bench("a", 1.0), _bench("dag", 1.0, dag_compiled_speedup=1.2)],
+        )
+        assert script.main([baseline, current]) == 1
+        assert "dag_compiled_speedup fell to 1.2x" in capsys.readouterr().out
+
+    def test_current_only_benchmark_clearing_its_floor_passes(self, script, tmp_path):
+        baseline = _write(tmp_path / "baseline.json", [_bench("a", 1.0)])
+        current = _write(
+            tmp_path / "current.json",
+            [
+                _bench("a", 1.0),
+                _bench("dag", 1.0, dag_compiled_speedup=5.5),
+                _bench("hier", 1.0, hier_compiled_speedup=3.0, hier_parallel_speedup=4.0),
+            ],
+        )
+        assert script.main([baseline, current]) == 0

@@ -30,6 +30,7 @@ MODELS_GOLDEN = textwrap.dedent(
     Inception-S  11 weighted layers (10 conv, 1 fc), 676,016 weights, 14 edges (DAG)
     gpt_s-12    50 weighted layers (0 conv, 50 fc), 6,397,440 weights
     bert_s-12   50 weighted layers (0 conv, 50 fc), 11,554,816 weights
+    gpt_r-12    50 weighted layers (0 conv, 50 fc), 6,397,440 weights, 60 edges (DAG)
     """
 )
 
