@@ -13,6 +13,7 @@ import numpy as np
 import pytest
 
 from repro.core import kernels
+from repro.core.costmodel import resolve_cost_model
 from repro.core.costs import CostTable, HierarchicalCostTable
 from repro.core.hierarchical import HierarchicalPartitioner
 from repro.core.partitioner import TwoWayPartitioner
@@ -112,6 +113,49 @@ def test_deep_transformer_dp_memoized(benchmark, blocks):
         assert speedup >= 10.0, (
             f"memoized deep-chain DP must be >= 10x the cold path, got {speedup:.1f}x"
         )
+
+
+def test_profiled_table_compile_overhead(benchmark):
+    """Profiled-provider table compilation vs the inlined analytic path.
+
+    The calibrated provider fills the vectorized tables by dispatching
+    per entry through the same byte-level methods the object oracle
+    calls, instead of the analytic path's inlined NumPy expressions --
+    the price of the bit-exactness contract.  This bench compiles the
+    ``vgg_e`` hierarchical table (the largest eval network, 4 levels)
+    under ``profiled:slow-interconnect`` and runs the analytic compile
+    like-for-like in-process; the ratio lands in ``extra_info`` as
+    ``profiled_compile_overhead`` (informational, no acceptance floor --
+    the compile is a once-per-configuration cost the TableCache
+    amortizes across every point that shares the configuration).
+    """
+    model = vgg_e()
+    calibrated = resolve_cost_model("profiled:slow-interconnect").communication_model()
+
+    result = benchmark(
+        HierarchicalCostTable, model, 256, 4, communication_model=calibrated
+    )
+
+    analytic_rounds = []
+    for _ in range(3):
+        start = time.perf_counter()
+        HierarchicalCostTable(model, 256, 4)
+        analytic_rounds.append(time.perf_counter() - start)
+
+    analytic_seconds = min(analytic_rounds)
+    profiled_seconds = benchmark.stats.stats.min
+    overhead = profiled_seconds / analytic_seconds
+    benchmark.extra_info["layers"] = len(result.model)
+    benchmark.extra_info["levels"] = result.num_levels
+    benchmark.extra_info["analytic_seconds"] = analytic_seconds
+    benchmark.extra_info["profiled_seconds"] = profiled_seconds
+    benchmark.extra_info["profiled_compile_overhead"] = overhead
+    emit(
+        "Profiled table compile: vgg_e, 4 levels, slow-interconnect pack",
+        f"analytic: {analytic_seconds * 1e3:.2f} ms\n"
+        f"profiled: {profiled_seconds * 1e3:.2f} ms\n"
+        f"overhead: {overhead:.2f}x",
+    )
 
 
 @pytest.mark.skipif(not kernels.NUMBA_AVAILABLE, reason="numba not installed")

@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Validate hypar-profile/v1 JSON packs before they reach the cost model.
+
+Usage::
+
+    python scripts/validate_profile.py src/repro/core/profiles/*.json
+
+Each argument is checked against the ``hypar-profile/v1`` schema that
+:mod:`repro.core.costmodel` enforces at load time (same validator, so a
+pack this script accepts is a pack ``--cost-model profiled:<path>``
+accepts).  On success the fitted summary is printed -- the intra/inter
+bandwidth scales, the latency-equivalent bytes and any per-layer scales
+-- which is usually enough to eyeball whether a hand-edited pack says
+what its author meant.
+
+Exit codes:
+
+* 0 -- every file is valid;
+* 1 -- at least one file parsed as JSON but failed schema validation
+  (every violation is listed, one per line);
+* 2 -- at least one file could not be read or is not JSON at all.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+
+def _import_costmodel():
+    """Import repro.core.costmodel, adding src/ to the path if needed."""
+    try:
+        from repro.core import costmodel
+    except ImportError:
+        src = os.path.join(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"
+        )
+        sys.path.insert(0, src)
+        from repro.core import costmodel
+    return costmodel
+
+
+def _check_file(path: str, costmodel) -> int:
+    """Validate one pack; returns its exit-code contribution (0, 1 or 2)."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except OSError as error:
+        print(f"{path}: cannot read: {error}", file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as error:
+        print(f"{path}: not valid JSON: {error}", file=sys.stderr)
+        return 2
+    errors = costmodel.validate_profile_payload(payload)
+    if errors:
+        for message in errors:
+            print(f"{path}: {message}", file=sys.stderr)
+        return 1
+    model = costmodel.ProfiledCostModel(payload, source=path)
+    report = model.fit_report()
+    layer_scales = report["layer_scales"]
+    layers = (
+        ", ".join(f"{name}={scale:g}" for name, scale in sorted(layer_scales.items()))
+        if layer_scales
+        else "none"
+    )
+    print(
+        f"{path}: ok ({report['name']}: intra x{report['intra_scale']:g}, "
+        f"inter x{report['inter_scale']:g}, "
+        f"latency {report['inter_latency_bytes']:g} B, layers: {layers})"
+    )
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Validate hypar-profile/v1 cost-model profile packs."
+    )
+    parser.add_argument("profiles", nargs="+", metavar="FILE", help="profile JSON files")
+    args = parser.parse_args(argv)
+    costmodel = _import_costmodel()
+    # The worst failure class wins the exit code: unreadable (2) over
+    # schema-invalid (1) over valid (0), so automation can distinguish
+    # "fix the JSON" from "fix the numbers".
+    worst = 0
+    for path in args.profiles:
+        worst = max(worst, _check_file(path, costmodel))
+    return worst
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -33,6 +33,10 @@ setup(
     python_requires=">=3.11",
     package_dir={"": "src"},
     packages=find_packages(where="src"),
+    # The shipped cost-model profile packs (repro/core/profiles/*.json)
+    # must travel with the package for `--cost-model profiled:<pack>`.
+    package_data={"repro.core": ["profiles/*.json"]},
+    include_package_data=True,
     install_requires=[
         "numpy",
         "networkx",

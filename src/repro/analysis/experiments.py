@@ -22,6 +22,7 @@ from typing import Mapping, Sequence
 from repro.accelerator.array import ArrayConfig
 from repro.analysis.report import format_table, geometric_mean
 from repro.core.baselines import data_parallelism, model_parallelism, one_weird_trick
+from repro.core.costmodel import ANALYTIC_SPEC, canonical_cost_model, resolve_cost_model
 from repro.core.hierarchical import DEFAULT_BATCH_SIZE, HierarchicalPartitioner
 from repro.core.parallelism import HierarchicalAssignment, StrategySpace
 from repro.core.result import HierarchicalResult
@@ -128,6 +129,9 @@ class _RunnerConfig:
     #: default H tree); configs carrying one are not runtime-cached
     #: because topologies hash by identity.
     topology: Topology | None = None
+    #: Cost-model spec string -- strings pickle cleanly into workers, and
+    #: the worker re-resolves (and re-fits, once per process) on build.
+    cost_model: str = ANALYTIC_SPEC
 
     def build(self) -> "ExperimentRunner":
         return ExperimentRunner(
@@ -137,6 +141,7 @@ class _RunnerConfig:
             scaling_mode=self.scaling_mode,
             include_trick=self.include_trick,
             strategies=self.strategies,
+            cost_model=self.cost_model,
         )
 
 
@@ -150,6 +155,7 @@ def _runner_for(config: _RunnerConfig) -> "ExperimentRunner":
         config.scaling_mode,
         config.include_trick,
         config.strategies,
+        config.cost_model,
     )
     return runtime_cached(key, config.build)
 
@@ -178,15 +184,18 @@ class ExperimentRunner:
         scaling_mode: ScalingMode | str = ScalingMode.PARALLELISM_AWARE,
         include_trick: bool = False,
         strategies: "StrategySpace | str | None" = None,
+        cost_model: str = ANALYTIC_SPEC,
     ) -> None:
         self.array = array or ArrayConfig()
         self.topology = topology
         self.batch_size = batch_size
         self.scaling_mode = ScalingMode.parse(scaling_mode)
         self.include_trick = include_trick
+        self.cost_model = canonical_cost_model(cost_model)
         self.simulator = TrainingSimulator(
             self.array,
             topology,
+            communication_model=resolve_cost_model(self.cost_model).communication_model(),
             scaling_mode=self.scaling_mode,
             strategies=strategies,
             table_cache=shared_table_cache(),
@@ -207,6 +216,7 @@ class ExperimentRunner:
             include_trick=self.include_trick,
             strategies=self.strategies.describe(),
             topology=self.topology,
+            cost_model=self.cost_model,
         )
 
     # ------------------------------------------------------------------

@@ -120,6 +120,19 @@ def _add_common_options(parser: argparse.ArgumentParser) -> None:
         "'hypar strategies')",
     )
     _add_backend_option(parser)
+    _add_cost_model_option(parser)
+
+
+def _add_cost_model_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cost-model",
+        default="analytic",
+        metavar="SPEC",
+        help="where the Table-1/2 cost numbers come from: 'analytic' (the "
+        "paper's formulas) or 'profiled:<pack>' with a shipped profile "
+        "pack name or a path to a hypar-profile/v1 JSON (see "
+        "repro.core.costmodel; default: %(default)s)",
+    )
 
 
 def _add_backend_option(parser: argparse.ArgumentParser) -> None:
@@ -144,6 +157,7 @@ def _build_runner(args: argparse.Namespace, include_trick: bool = False) -> Expe
         scaling_mode=args.scaling_mode,
         include_trick=include_trick,
         strategies=getattr(args, "strategies", None),
+        cost_model=getattr(args, "cost_model", "analytic"),
     )
 
 
@@ -371,6 +385,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         return 2
 
     spec = load_spec(args.spec)
+    if args.cost_model != "analytic":
+        # The flag overrides the spec's cost-model axis wholesale: the
+        # whole grid runs under the named provider.
+        import dataclasses
+
+        spec = dataclasses.replace(spec, cost_models=(args.cost_model,))
     print(spec.describe())
     # The backend is passed explicitly (not just set as the process
     # default) so spawn-started workers adopt it too.
@@ -413,6 +433,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         log_requests=args.log_requests,
         request_timeout=args.request_timeout,
         fault_plan=fault_plan,
+        cost_model=args.cost_model,
     )
 
 
@@ -435,6 +456,7 @@ def _cmd_replan(args: argparse.Namespace) -> int:
         policy=args.policy,
         scaling_mode=args.scaling_mode,
         horizon_steps=args.horizon_steps,
+        cost_model=args.cost_model,
     )
     report = run_replan(trace, config)
     print(report.describe())
@@ -600,6 +622,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--list", action="store_true", help="list the built-in sweep presets"
     )
     _add_backend_option(sweep_parser)
+    _add_cost_model_option(sweep_parser)
     sweep_parser.set_defaults(handler=_cmd_sweep)
 
     serve_parser = subparsers.add_parser(
@@ -660,6 +683,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="seed for --fault-preset schedules (default: %(default)s)",
     )
     _add_backend_option(serve_parser)
+    _add_cost_model_option(serve_parser)
     serve_parser.set_defaults(handler=_cmd_serve)
 
     replan_parser = subparsers.add_parser(
@@ -722,6 +746,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=ScalingMode.PARALLELISM_AWARE.value,
         help="tensor scaling at deeper hierarchy levels (default: %(default)s)",
     )
+    _add_cost_model_option(replan_parser)
     replan_parser.add_argument(
         "--out", metavar="DIR", help="write the replan.json / replan.csv artifacts"
     )

@@ -45,7 +45,7 @@ module.
 from __future__ import annotations
 
 import dataclasses
-from typing import Sequence
+from typing import Mapping, Sequence
 
 from repro.core.parallelism import LayerAssignment, Parallelism
 from repro.core.strategies import strategy_spec
@@ -68,6 +68,12 @@ class CommunicationModel:
         the two groups of a hierarchy level (2 in the paper's examples).
     """
 
+    #: True for models whose byte conversion carries more state than the
+    #: two link constants (profiled calibration); the vectorized table
+    #: compiler dispatches per-entry through the byte-level methods for
+    #: those instead of inlining ``elements * bytes * pair``.
+    is_calibrated = False
+
     def __init__(
         self,
         bytes_per_element: int = BYTES_PER_ELEMENT,
@@ -81,25 +87,27 @@ class CommunicationModel:
         self.pair_factor = pair_factor
 
     def same_costs(self, other: "CommunicationModel") -> bool:
-        """Whether ``other`` produces identical costs (same parameters).
+        """Whether ``other`` produces identical costs.
 
         Cost tables compiled against one model instance are freely reusable
-        with any parameter-identical instance.
+        with any cost-identical instance.  Compares the full
+        :attr:`cache_key` -- not just the link constants -- so a calibrated
+        model can never silently share a compiled table with the analytic
+        one (or with a differently calibrated sibling).
         """
-        return (
-            self.bytes_per_element == other.bytes_per_element
-            and self.pair_factor == other.pair_factor
-        )
+        return self.cache_key == other.cache_key
 
     @property
-    def cache_key(self) -> tuple[int, int]:
-        """Hashable identity of this model's cost parameters.
+    def cache_key(self) -> tuple:
+        """Hashable identity of this model's *complete* cost-affecting state.
 
         Two instances with equal keys satisfy :meth:`same_costs`, so cache
         entries keyed by it are freely shared across instances (and across
-        sweep worker processes).
+        sweep worker processes).  The key is tagged with the provider kind
+        (``"analytic"`` here; subclasses tag their own) so two providers
+        that happen to share parameter values still key apart.
         """
-        return (self.bytes_per_element, self.pair_factor)
+        return ("analytic", self.bytes_per_element, self.pair_factor)
 
     # ------------------------------------------------------------------
     # Element-count primitives (Table 1 and Table 2).
@@ -300,6 +308,139 @@ class CommunicationModel:
                 )
             total += intra + inter
         return total
+
+
+class CalibratedCommunicationModel(CommunicationModel):
+    """A :class:`CommunicationModel` with profile-fitted corrections.
+
+    Produced by :class:`repro.core.costmodel.ProfiledCostModel` from
+    measured samples; the analytic Table-1/2 element counts stay the
+    source of truth, but the element-to-byte conversion carries the
+    fitted deviations of real hardware from the idealized link model:
+
+    * ``intra_scale`` -- intra-layer (collective) traffic cost relative to
+      the reference link the analytic model assumes;
+    * ``inter_scale`` -- inter-layer (re-layout) traffic cost relative to
+      the same reference, so slow interconnects weight Table 2 against
+      Table 1;
+    * ``inter_latency_bytes`` -- per-transfer startup cost in equivalent
+      bytes, added once per *non-zero* directional Table-2 transfer (the
+      table's structural zeros -- dp→dp -- stay exactly zero);
+    * ``layer_scales`` -- per-layer multipliers on the intra-layer term
+      (heterogeneous accelerators), matched by ``LayerTensors.layer_name``
+      with absent layers defaulting to 1.0;
+    * ``bytes_per_element`` -- the measured precision (2 for fp16).
+
+    Every byte-level method overridden here is exactly what both the
+    object-based oracle *and* the vectorized table compiler
+    (``costs._fill_cost_block``) evaluate, so tables and breakdowns agree
+    bit for bit under calibration just as they do analytically.
+    """
+
+    is_calibrated = True
+
+    def __init__(
+        self,
+        profile_name: str,
+        *,
+        bytes_per_element: int = BYTES_PER_ELEMENT,
+        pair_factor: int = PAIR_FACTOR,
+        intra_scale: float = 1.0,
+        inter_scale: float = 1.0,
+        inter_latency_bytes: float = 0.0,
+        layer_scales: "Mapping[str, float] | None" = None,
+    ) -> None:
+        super().__init__(bytes_per_element, pair_factor)
+        if not profile_name:
+            raise ValueError("a calibrated model needs a non-empty profile name")
+        if intra_scale <= 0 or inter_scale <= 0:
+            raise ValueError(
+                f"calibration scales must be positive, got intra={intra_scale} "
+                f"inter={inter_scale}"
+            )
+        if inter_latency_bytes < 0:
+            raise ValueError(
+                f"inter_latency_bytes must be >= 0, got {inter_latency_bytes}"
+            )
+        self.profile_name = str(profile_name)
+        self.intra_scale = float(intra_scale)
+        self.inter_scale = float(inter_scale)
+        self.inter_latency_bytes = float(inter_latency_bytes)
+        self.layer_scales = {
+            str(name): float(scale) for name, scale in (layer_scales or {}).items()
+        }
+        for name, scale in self.layer_scales.items():
+            if scale <= 0:
+                raise ValueError(
+                    f"layer scale for {name!r} must be positive, got {scale}"
+                )
+
+    @property
+    def cache_key(self) -> tuple:
+        return (
+            "profiled",
+            self.profile_name,
+            self.bytes_per_element,
+            self.pair_factor,
+            self.intra_scale,
+            self.inter_scale,
+            self.inter_latency_bytes,
+            tuple(sorted(self.layer_scales.items())),
+        )
+
+    def _layer_scale(self, layer_name: str) -> float:
+        return self.layer_scales.get(layer_name, 1.0)
+
+    def intra_layer_bytes(self, tensors: LayerTensors, parallelism: Parallelism) -> float:
+        return (
+            self._to_bytes(self.intra_layer_elements(tensors, parallelism))
+            * self.intra_scale
+            * self._layer_scale(tensors.layer_name)
+        )
+
+    def _calibrated_transfer_bytes(self, elements: float) -> float:
+        """One directional Table-2 transfer: scaled bytes plus startup cost.
+
+        Structural zeros stay zero: a transition that moves nothing (dp→dp)
+        pays no latency either, preserving the table's sparsity pattern.
+        """
+        if elements <= 0.0:
+            return 0.0
+        return self._to_bytes(elements) * self.inter_scale + self.inter_latency_bytes
+
+    def inter_layer_forward_bytes(
+        self,
+        previous: Parallelism,
+        current: Parallelism,
+        boundary: LayerTensors,
+    ) -> float:
+        return self._calibrated_transfer_bytes(
+            self.inter_layer_forward_elements(previous, current, boundary)
+        )
+
+    def inter_layer_backward_bytes(
+        self,
+        previous: Parallelism,
+        current: Parallelism,
+        boundary: LayerTensors,
+    ) -> float:
+        return self._calibrated_transfer_bytes(
+            self.inter_layer_backward_elements(previous, current, boundary)
+        )
+
+    def inter_layer_bytes(
+        self,
+        previous: Parallelism,
+        current: Parallelism,
+        boundary: LayerTensors,
+    ) -> float:
+        # The combined amount is the sum of the *calibrated* directional
+        # transfers (each pays its own latency), not the calibration of the
+        # summed element count -- keeping it equal to what the simulator's
+        # forward/backward split tables add up to.
+        return self.inter_layer_forward_bytes(
+            previous, current, boundary
+        ) + self.inter_layer_backward_bytes(previous, current, boundary)
 
 
 @dataclasses.dataclass(frozen=True)

@@ -448,8 +448,7 @@ def _fill_cost_block(
     records: Sequence[LayerTensors],
     specs: Sequence,
     members: Sequence[Parallelism],
-    bytes_per_element: int,
-    pair_factor: int,
+    communication_model: CommunicationModel,
     intra: np.ndarray | None = None,
     inter: np.ndarray | None = None,
     inter_forward: np.ndarray | None = None,
@@ -462,7 +461,12 @@ def _fill_cost_block(
     (``None`` = chain, where edge ``e`` is the boundary ``(e, e + 1)``);
     the boundary tensor record of an edge is its *source* layer's.
 
-    The registry dispatch is hoisted out of the loops (a 512-layer search
+    This is the cost-model seam of the table compiler: a *calibrated*
+    model (profiled cost packs, ``is_calibrated``) owns per-entry scaling
+    and latency terms, so every entry is produced by the same byte-level
+    methods the object-based oracle evaluates -- tables and breakdowns
+    agree bit for bit by construction.  For the plain analytic model the
+    registry dispatch is hoisted out of the loops (a 512-layer search
     compiles thousands of entries), and the arithmetic inlines
     ``CommunicationModel.intra_layer_bytes`` / ``inter_layer_bytes`` /
     the directional splits exactly -- same additions and multiplications
@@ -470,14 +474,39 @@ def _fill_cost_block(
     path's.  This is the single copy of that inlined arithmetic; every
     table compilation routes through it.
     """
+    if edges is None:
+        edges = _chain_edges(len(records))
+    model = communication_model
+    if model.is_calibrated:
+        if intra is not None:
+            for index, record in enumerate(records):
+                for code, member in enumerate(members):
+                    intra[index, code] = model.intra_layer_bytes(record, member)
+        for edge_index, (source, _destination) in enumerate(edges):
+            boundary = records[source]
+            for q_code, current in enumerate(members):
+                for p_code, previous in enumerate(members):
+                    if inter is not None:
+                        inter[edge_index, p_code, q_code] = model.inter_layer_bytes(
+                            previous, current, boundary
+                        )
+                    if inter_forward is not None:
+                        inter_forward[edge_index, p_code, q_code] = (
+                            model.inter_layer_forward_bytes(previous, current, boundary)
+                        )
+                    if inter_backward is not None:
+                        inter_backward[edge_index, p_code, q_code] = (
+                            model.inter_layer_backward_bytes(previous, current, boundary)
+                        )
+        return
+    bytes_per_element = model.bytes_per_element
+    pair_factor = model.pair_factor
     if intra is not None:
         for index, record in enumerate(records):
             for code, spec in enumerate(specs):
                 intra[index, code] = (
                     spec.intra_elements(record) * bytes_per_element * pair_factor
                 )
-    if edges is None:
-        edges = _chain_edges(len(records))
     for edge_index, (source, _destination) in enumerate(edges):
         boundary = records[source]
         for q_code, spec in enumerate(specs):
@@ -615,8 +644,7 @@ class CostTable:
             tensors,
             [strategy_spec(member) for member in space],
             space.members,
-            model.bytes_per_element,
-            model.pair_factor,
+            model,
             intra=intra,
             inter=inter,
             edges=edge_list,
@@ -1733,8 +1761,7 @@ class HierarchicalCostTable:
                     records,
                     specs,
                     members,
-                    comm.bytes_per_element,
-                    comm.pair_factor,
+                    comm,
                     intra=intra[:, state, :],
                     inter=inter[:, state, :, :],
                     edges=self.edges,
@@ -1764,8 +1791,7 @@ class HierarchicalCostTable:
                     records,
                     specs,
                     members,
-                    comm.bytes_per_element,
-                    comm.pair_factor,
+                    comm,
                     inter_forward=inter_fwd[:, state, :, :],
                     inter_backward=inter_bwd[:, state, :, :],
                     edges=self.edges,

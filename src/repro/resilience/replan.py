@@ -45,6 +45,7 @@ from repro.core.hierarchical import (
 from repro.core.placement import Interval, TensorPlacement
 from repro.core.tensors import ScalingMode
 from repro.core.parallelism import StrategySpace
+from repro.core.costmodel import ANALYTIC_SPEC, canonical_cost_model
 from repro.nn.model_zoo import canonical_model_name
 from repro.sweep import artifacts
 from repro.sweep.cache import runtime_cached, shared_table_cache
@@ -70,6 +71,9 @@ class ReplanConfig:
     strategies: str = "dp,mp"
     #: Steps the hysteresis policy amortizes a migration stall over.
     horizon_steps: int = 500
+    #: Cost-model spec (``"analytic"`` / ``"profiled:<pack>"``) every
+    #: per-depth solve and migration pricing evaluates under.
+    cost_model: str = ANALYTIC_SPEC
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "model", canonical_model_name(self.model))
@@ -91,9 +95,16 @@ class ReplanConfig:
         )
         if self.horizon_steps < 1:
             raise ValueError(f"horizon_steps must be >= 1, got {self.horizon_steps}")
+        object.__setattr__(self, "cost_model", canonical_cost_model(self.cost_model))
 
     def to_payload(self) -> dict:
-        return dataclasses.asdict(self)
+        payload = dataclasses.asdict(self)
+        # The analytic default serializes exactly as it always has (the
+        # replan golden pins the historical seven-key config payload);
+        # only calibrated scenarios carry the extra field.
+        if payload["cost_model"] == ANALYTIC_SPEC:
+            del payload["cost_model"]
+        return payload
 
 
 @dataclasses.dataclass(frozen=True)
@@ -181,6 +192,7 @@ class ElasticReplanner:
             topology=self.config.topology,
             scaling_mode=self.config.scaling_mode,
             strategies=self.config.strategies,
+            cost_model=self.config.cost_model,
         )
 
     def _solve(self, num_levels: int) -> tuple[tuple[str, ...], float, float, "TensorPlacement | None"]:
@@ -201,7 +213,13 @@ class ElasticReplanner:
             point = self._point(num_levels)
             simulator = _simulator_for(point)
             partitioner = runtime_cached(
-                ("replan-partitioner", point.num_accelerators, point.scaling_mode, point.strategies),
+                (
+                    "replan-partitioner",
+                    point.num_accelerators,
+                    point.scaling_mode,
+                    point.strategies,
+                    point.cost_model,
+                ),
                 lambda: HierarchicalPartitioner(
                     num_levels=num_levels,
                     communication_model=simulator.communication_model,

@@ -42,6 +42,7 @@ import time
 from typing import Callable, Mapping
 
 from repro.core import kernels
+from repro.core.costmodel import ANALYTIC_SPEC, resolve_cost_model, shipped_profiles
 from repro.core.hierarchical import HierarchicalPartitioner
 from repro.core.result import HierarchicalResult
 from repro.core.strategies import registered_strategies
@@ -55,6 +56,7 @@ from repro.service.schemas import (
     ServiceRequest,
     SimulateRequest,
     SweepRequest,
+    _canonical_cost_model_spec,
 )
 from repro.sweep.artifacts import payload_to_json
 from repro.sweep.cache import runtime_cached, shared_table_cache
@@ -108,6 +110,12 @@ class HyParService:
         Optional :class:`~repro.resilience.faults.FaultInjector` whose
         compute/store faults fire inside the request path (chaos tests
         and ``hypar serve --fault-preset``); ``None`` disables the seams.
+    default_cost_model:
+        Cost-model spec applied to ``/partition``, ``/simulate`` and
+        ``/replan`` requests that omit the ``cost_model`` field
+        (``hypar serve --cost-model``).  Must be ``"analytic"`` or a
+        shipped profile pack; the effective default is surfaced in
+        ``/healthz``.  Requests naming their own provider are untouched.
     """
 
     def __init__(
@@ -116,7 +124,11 @@ class HyParService:
         cache_size: int = DEFAULT_CACHE_SIZE,
         engine: SweepEngine | None = None,
         fault_injector=None,
+        default_cost_model: str = ANALYTIC_SPEC,
     ) -> None:
+        # Canonicalize (and reject unknown packs) at startup, not per
+        # request; raises the same SchemaError a bad request field would.
+        self.default_cost_model = _canonical_cost_model_spec(default_cost_model)
         self.result_cache = ResultCache(cache_size)
         # Coalesces compiles across *different* requests sharing one cost
         # table (e.g. /partition + /simulate of the same configuration).
@@ -246,14 +258,23 @@ class HyParService:
                 400, f"request body is not valid JSON: {error}"
             ) from None
 
-    @staticmethod
-    def _parse_request(path: str, payload) -> ServiceRequest:
+    def _parse_request(self, path: str, payload) -> ServiceRequest:
         schemas: dict[str, Callable] = {
             "/partition": PartitionRequest.from_payload,
             "/simulate": SimulateRequest.from_payload,
             "/sweep": SweepRequest.from_payload,
             "/replan": ReplanRequest.from_payload,
         }
+        if (
+            self.default_cost_model != ANALYTIC_SPEC
+            and path in ("/partition", "/simulate", "/replan")
+            and isinstance(payload, Mapping)
+            and "cost_model" not in payload
+        ):
+            # The server-wide default fills the omitted field *before*
+            # canonicalization, so the cache hash reflects the provider
+            # actually used and can never cross-serve an analytic result.
+            payload = {**payload, "cost_model": self.default_cost_model}
         try:
             return schemas[path](payload)
         except SchemaError as error:
@@ -266,6 +287,9 @@ class HyParService:
     def _partition_body(self, request: PartitionRequest) -> bytes:
         model = runtime_cached(("model", request.model), lambda: get_model(request.model))
         num_levels = request.num_accelerators.bit_length() - 1
+        communication_model = resolve_cost_model(
+            request.cost_model
+        ).communication_model()
         partitioner = runtime_cached(
             (
                 "service-partitioner",
@@ -273,9 +297,11 @@ class HyParService:
                 request.scaling_mode,
                 request.strategies,
                 request.backend,
+                request.cost_model,
             ),
             lambda: HierarchicalPartitioner(
                 num_levels=num_levels,
+                communication_model=communication_model,
                 scaling_mode=request.scaling_mode,
                 strategies=request.strategies,
                 backend=request.backend,
@@ -286,6 +312,7 @@ class HyParService:
             request.batch_size,
             num_levels,
             scaling_mode=request.scaling_mode,
+            communication_model=communication_model,
             strategies=request.strategies,
             backend=request.backend,
         )
@@ -324,6 +351,7 @@ class HyParService:
             topology=request.topology,
             scaling_mode=request.scaling_mode,
             strategies=request.strategies,
+            cost_model=request.cost_model,
         )
         record = evaluate_point(point)
         return _render(
@@ -419,6 +447,12 @@ class HyParService:
                 "default": kernels.get_default_backend(),
                 "numba_available": kernels.NUMBA_AVAILABLE,
                 "valid": list(kernels.VALID_BACKENDS),
+            },
+            # Cost-model providers a request's "cost_model" field may name
+            # (the server's default plus every shipped profile pack).
+            "cost_models": {
+                "default": self.default_cost_model,
+                "profiles": sorted(shipped_profiles()),
             },
             "requests": {
                 "served": served,

@@ -23,6 +23,7 @@ import json
 from typing import Mapping
 
 from repro.core import kernels
+from repro.core.costmodel import ANALYTIC_SPEC, canonical_cost_model, shipped_profiles
 from repro.core.hierarchical import DEFAULT_BATCH_SIZE
 from repro.core.parallelism import StrategySpace
 from repro.core.tensors import ScalingMode
@@ -125,6 +126,34 @@ def _canonical_backend(payload: Mapping) -> str:
     return text
 
 
+def _canonical_cost_model_spec(text: str) -> str:
+    """Canonicalize one cost-model spec string, shipped packs only.
+
+    The daemon never opens caller-named files: a profiled spec must name a
+    pack shipped under ``repro/core/profiles`` (the CLI may pass paths,
+    the service may not).
+    """
+    try:
+        spec = canonical_cost_model(text)
+    except ValueError as error:
+        raise SchemaError(str(error)) from None
+    if spec != ANALYTIC_SPEC:
+        pack = spec.split(":", 1)[1]
+        shipped = shipped_profiles()
+        if pack not in shipped:
+            raise SchemaError(
+                f"unknown profile pack {pack!r}; shipped packs: "
+                f"{', '.join(sorted(shipped))}"
+            )
+    return spec
+
+
+def _canonical_cost_model(payload: Mapping) -> str:
+    return _canonical_cost_model_spec(
+        _str_field(payload, "cost_model", ANALYTIC_SPEC)
+    )
+
+
 def _canonical_topology(payload: Mapping) -> str:
     name = _str_field(payload, "topology", "htree").strip().lower()
     if name not in TOPOLOGY_NAMES:
@@ -176,6 +205,7 @@ class PartitionRequest(ServiceRequest):
     scaling_mode: str = ScalingMode.PARALLELISM_AWARE.value
     strategies: str = "dp,mp"
     backend: str = "numpy"
+    cost_model: str = ANALYTIC_SPEC
 
     kind = "partition"
     _FIELDS = (
@@ -185,6 +215,7 @@ class PartitionRequest(ServiceRequest):
         "scaling_mode",
         "strategies",
         "backend",
+        "cost_model",
     )
 
     def coalesce_key(self) -> tuple:
@@ -198,6 +229,7 @@ class PartitionRequest(ServiceRequest):
             self.scaling_mode,
             self.strategies,
             self.backend,
+            self.cost_model,
         )
 
     @classmethod
@@ -211,6 +243,7 @@ class PartitionRequest(ServiceRequest):
             scaling_mode=_canonical_scaling(payload),
             strategies=_canonical_strategies(payload),
             backend=_canonical_backend(payload),
+            cost_model=_canonical_cost_model(payload),
         )
 
 
@@ -224,6 +257,7 @@ class SimulateRequest(ServiceRequest):
     topology: str = "htree"
     scaling_mode: str = ScalingMode.PARALLELISM_AWARE.value
     strategies: str = "dp,mp"
+    cost_model: str = ANALYTIC_SPEC
 
     kind = "simulate"
     _FIELDS = (
@@ -233,6 +267,7 @@ class SimulateRequest(ServiceRequest):
         "topology",
         "scaling_mode",
         "strategies",
+        "cost_model",
     )
 
     def coalesce_key(self) -> tuple:
@@ -246,6 +281,7 @@ class SimulateRequest(ServiceRequest):
             self.num_accelerators,
             self.scaling_mode,
             self.strategies,
+            self.cost_model,
         )
 
     @classmethod
@@ -260,6 +296,7 @@ class SimulateRequest(ServiceRequest):
             topology=_canonical_topology(payload),
             scaling_mode=_canonical_scaling(payload),
             strategies=_canonical_strategies(payload),
+            cost_model=_canonical_cost_model(payload),
         )
 
 
@@ -336,6 +373,7 @@ class ReplanRequest(ServiceRequest):
     scaling_mode: str = ScalingMode.PARALLELISM_AWARE.value
     strategies: str = "dp,mp"
     horizon_steps: int = 500
+    cost_model: str = ANALYTIC_SPEC
 
     kind = "replan"
     _FIELDS = (
@@ -352,6 +390,7 @@ class ReplanRequest(ServiceRequest):
         "preset",
         "seed",
         "num_events",
+        "cost_model",
     )
 
     @classmethod
@@ -452,6 +491,7 @@ class ReplanRequest(ServiceRequest):
             scaling_mode=_canonical_scaling(payload),
             strategies=_canonical_strategies(payload),
             horizon_steps=horizon_steps,
+            cost_model=_canonical_cost_model(payload),
         )
 
     def to_trace(self):
@@ -479,6 +519,7 @@ class ReplanRequest(ServiceRequest):
             scaling_mode=self.scaling_mode,
             strategies=self.strategies,
             horizon_steps=self.horizon_steps,
+            cost_model=self.cost_model,
         )
 
 
@@ -501,5 +542,8 @@ def _canonical_spec(spec: SweepSpec) -> SweepSpec:
         ),
         strategy_spaces=tuple(
             StrategySpace.parse(space).describe() for space in spec.strategy_spaces
+        ),
+        cost_models=tuple(
+            _canonical_cost_model_spec(model) for model in spec.cost_models
         ),
     )

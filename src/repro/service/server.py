@@ -213,6 +213,7 @@ def build_server(
     log_requests: bool = False,
     request_timeout: float | None = None,
     fault_plan=None,
+    cost_model: str = "analytic",
 ) -> ServiceHTTPServer:
     """A bound (not yet serving) server; ``port=0`` picks a free port.
 
@@ -222,7 +223,9 @@ def build_server(
     ``request_timeout`` bounds each request server-side (504 +
     ``Connection: close`` on overrun); ``fault_plan`` installs a
     :class:`~repro.resilience.faults.FaultInjector` for that plan across
-    both the HTTP connection seam and the service compute/store seams.
+    both the HTTP connection seam and the service compute/store seams;
+    ``cost_model`` sets the provider applied to requests that omit the
+    ``cost_model`` field (``"analytic"`` or ``"profiled:<pack>"``).
     """
     injector = None
     if fault_plan is not None:
@@ -230,7 +233,10 @@ def build_server(
 
         injector = FaultInjector(fault_plan)
     service = HyParService(
-        workers=workers, cache_size=cache_size, fault_injector=injector
+        workers=workers,
+        cache_size=cache_size,
+        fault_injector=injector,
+        default_cost_model=cost_model,
     )
     try:
         return ServiceHTTPServer(
@@ -253,6 +259,7 @@ def serve(
     log_requests: bool = False,
     request_timeout: float | None = None,
     fault_plan=None,
+    cost_model: str = "analytic",
     ready: "threading.Event | None" = None,
     stop: "threading.Event | None" = None,
     install_signal_handlers: bool = True,
@@ -267,7 +274,7 @@ def serve(
     server = build_server(
         host=host, port=port, workers=workers, cache_size=cache_size,
         log_requests=log_requests, request_timeout=request_timeout,
-        fault_plan=fault_plan,
+        fault_plan=fault_plan, cost_model=cost_model,
     )
 
     previous: dict[int, object] = {}

@@ -19,6 +19,7 @@ from typing import Mapping, Sequence
 
 from repro.accelerator.array import ArrayConfig
 from repro.core.baselines import data_parallelism, model_parallelism
+from repro.core.costmodel import resolve_cost_model
 from repro.core.hierarchical import HierarchicalPartitioner
 from repro.interconnect import HTreeTopology, Topology, TorusTopology
 from repro.nn.model_zoo import get_model
@@ -53,6 +54,7 @@ def _simulator_for(point: SweepPoint) -> TrainingSimulator:
         return TrainingSimulator(
             array,
             topology,
+            communication_model=resolve_cost_model(point.cost_model).communication_model(),
             scaling_mode=point.scaling_mode,
             strategies=point.strategies,
             table_cache=shared_table_cache(),
@@ -64,12 +66,19 @@ def _simulator_for(point: SweepPoint) -> TrainingSimulator:
         point.topology,
         point.scaling_mode,
         point.strategies,
+        point.cost_model,
     )
     return runtime_cached(key, build)
 
 
 def _partitioner_for(point: SweepPoint, simulator: TrainingSimulator) -> HierarchicalPartitioner:
-    key = ("partitioner", point.num_accelerators, point.scaling_mode, point.strategies)
+    key = (
+        "partitioner",
+        point.num_accelerators,
+        point.scaling_mode,
+        point.strategies,
+        point.cost_model,
+    )
     return runtime_cached(
         key,
         lambda: HierarchicalPartitioner(
@@ -124,6 +133,7 @@ class SweepRecord:
             "topology": self.point.topology,
             "scaling_mode": self.point.scaling_mode,
             "strategies": self.point.strategies,
+            "cost_model": self.point.cost_model,
         }
         for name, metrics in self.metrics.items():
             slug = name.lower().replace(" ", "_")

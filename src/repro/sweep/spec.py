@@ -16,6 +16,7 @@ import itertools
 import json
 from typing import Mapping
 
+from repro.core.costmodel import ANALYTIC_SPEC, canonical_cost_model
 from repro.core.hierarchical import DEFAULT_BATCH_SIZE
 from repro.core.parallelism import StrategySpace
 from repro.core.tensors import ScalingMode
@@ -49,13 +50,19 @@ class SweepPoint:
     topology: str
     scaling_mode: str
     strategies: str
+    cost_model: str = ANALYTIC_SPEC
 
     def label(self) -> str:
         """Compact human-readable point id used in logs and artifacts."""
-        return (
+        base = (
             f"{self.model}/b{self.batch_size}/n{self.num_accelerators}"
             f"/{self.topology}/{self.scaling_mode}/{self.strategies}"
         )
+        # The analytic default stays label-identical to the historical
+        # format; only calibrated points grow the extra segment.
+        if self.cost_model != ANALYTIC_SPEC:
+            return f"{base}/{self.cost_model}"
+        return base
 
     @classmethod
     def single(
@@ -66,6 +73,7 @@ class SweepPoint:
         topology: str = "htree",
         scaling_mode: "ScalingMode | str" = ScalingMode.PARALLELISM_AWARE,
         strategies: "StrategySpace | str | None" = None,
+        cost_model: str = ANALYTIC_SPEC,
     ) -> "SweepPoint":
         """One standalone, fully validated and canonicalized grid point.
 
@@ -83,6 +91,7 @@ class SweepPoint:
             topologies=(topology,),
             scaling_modes=(ScalingMode.parse(scaling_mode).value,),
             strategy_spaces=(StrategySpace.parse(strategies).describe(),),
+            cost_models=(canonical_cost_model(cost_model),),
         )
         return spec.points()[0]
 
@@ -103,6 +112,7 @@ class SweepSpec:
     topologies: tuple[str, ...] = ("htree",)
     scaling_modes: tuple[str, ...] = (ScalingMode.PARALLELISM_AWARE.value,)
     strategy_spaces: tuple[str, ...] = ("dp,mp",)
+    cost_models: tuple[str, ...] = (ANALYTIC_SPEC,)
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -114,6 +124,7 @@ class SweepSpec:
             "topologies",
             "scaling_modes",
             "strategy_spaces",
+            "cost_models",
         ):
             values = getattr(self, axis)
             object.__setattr__(self, axis, tuple(values))
@@ -136,6 +147,11 @@ class SweepSpec:
             ScalingMode.parse(mode)  # raises on unknown modes
         for space in self.strategy_spaces:
             StrategySpace.parse(space)  # raises on unknown strategies
+        object.__setattr__(
+            self,
+            "cost_models",
+            tuple(canonical_cost_model(spec) for spec in self.cost_models),
+        )
 
     # ------------------------------------------------------------------
     # Expansion.
@@ -150,6 +166,7 @@ class SweepSpec:
             * len(self.topologies)
             * len(self.scaling_modes)
             * len(self.strategy_spaces)
+            * len(self.cost_models)
         )
 
     def points(self) -> tuple[SweepPoint, ...]:
@@ -163,6 +180,7 @@ class SweepSpec:
                 topology=topology,
                 scaling_mode=ScalingMode.parse(scaling_mode).value,
                 strategies=StrategySpace.parse(strategies).describe(),
+                cost_model=cost_model,
             )
             for index, (
                 model,
@@ -171,6 +189,7 @@ class SweepSpec:
                 topology,
                 scaling_mode,
                 strategies,
+                cost_model,
             ) in enumerate(
                 itertools.product(
                     self.models,
@@ -179,6 +198,7 @@ class SweepSpec:
                     self.topologies,
                     self.scaling_modes,
                     self.strategy_spaces,
+                    self.cost_models,
                 )
             )
         )
@@ -196,6 +216,7 @@ class SweepSpec:
             "topologies": list(self.topologies),
             "scaling_modes": list(self.scaling_modes),
             "strategy_spaces": list(self.strategy_spaces),
+            "cost_models": list(self.cost_models),
         }
 
     @classmethod
@@ -217,6 +238,7 @@ class SweepSpec:
             "topologies",
             "scaling_modes",
             "strategy_spaces",
+            "cost_models",
         ):
             if axis in kwargs:
                 if isinstance(kwargs[axis], str):
@@ -239,7 +261,8 @@ class SweepSpec:
             f"({len(self.models)} models x {len(self.batch_sizes)} batches x "
             f"{len(self.array_sizes)} array sizes x {len(self.topologies)} "
             f"topologies x {len(self.scaling_modes)} scaling modes x "
-            f"{len(self.strategy_spaces)} strategy spaces)"
+            f"{len(self.strategy_spaces)} strategy spaces x "
+            f"{len(self.cost_models)} cost models)"
         )
 
 

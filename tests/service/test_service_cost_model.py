@@ -1,0 +1,158 @@
+"""Cost-model separation at the service boundary.
+
+Profiled and analytic requests must never share a cached response: the
+``cost_model`` field is part of the canonical payload, so it lands in the
+SHA-256 cache key and in the cross-request coalesce key.  The daemon also
+refuses caller-named profile *paths* -- only shipped pack names -- so a
+client cannot make the server read arbitrary files.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.service.app import HyParService
+from repro.service.schemas import PartitionRequest, SchemaError, SimulateRequest
+
+PROFILED = "profiled:slow-interconnect"
+
+
+def _post(service: HyParService, path: str, payload) -> tuple[int, dict]:
+    status, body = service.handle("POST", path, json.dumps(payload).encode())
+    return status, json.loads(body)
+
+
+def _healthz(service: HyParService) -> dict:
+    _status, body = service.handle("GET", "/healthz", None)
+    return json.loads(body)
+
+
+class TestSchemaSeparation:
+    def test_same_body_different_cost_model_different_hash(self):
+        base = PartitionRequest.from_payload({"model": "Lenet-c"})
+        profiled = PartitionRequest.from_payload(
+            {"model": "Lenet-c", "cost_model": PROFILED}
+        )
+        assert base.cache_key() != profiled.cache_key()
+        assert base.coalesce_key() != profiled.coalesce_key()
+
+    def test_simulate_requests_separate_too(self):
+        base = SimulateRequest.from_payload({"model": "Lenet-c"})
+        profiled = SimulateRequest.from_payload(
+            {"model": "Lenet-c", "cost_model": PROFILED}
+        )
+        assert base.cache_key() != profiled.cache_key()
+
+    def test_analytic_is_the_omitted_default(self):
+        explicit = PartitionRequest.from_payload(
+            {"model": "Lenet-c", "cost_model": "analytic"}
+        )
+        omitted = PartitionRequest.from_payload({"model": "Lenet-c"})
+        assert explicit.cache_key() == omitted.cache_key()
+
+    def test_unknown_pack_is_a_schema_error_naming_the_shipped_packs(self):
+        with pytest.raises(SchemaError, match="slow-interconnect"):
+            PartitionRequest.from_payload(
+                {"model": "Lenet-c", "cost_model": "profiled:nope"}
+            )
+
+    def test_file_paths_are_rejected_by_the_daemon(self, tmp_path):
+        # The CLI accepts profiled:<path>; the service must not -- a
+        # remote caller would be naming files on the server's disk.
+        path = tmp_path / "pack.json"
+        path.write_text("{}")
+        with pytest.raises(SchemaError, match="unknown profile pack"):
+            PartitionRequest.from_payload(
+                {"model": "Lenet-c", "cost_model": f"profiled:{path}"}
+            )
+
+
+class TestServedSeparation:
+    def test_no_cross_served_bytes_between_providers(self):
+        body = {"model": "Lenet-c", "batch_size": 64, "num_accelerators": 4}
+        with HyParService(cache_size=8) as service:
+            _status, analytic = _post(service, "/partition", body)
+            _status, profiled = _post(
+                service, "/partition", {**body, "cost_model": PROFILED}
+            )
+            # Both were compulsory misses: the profiled request did not
+            # get served the analytic bytes (or vice versa).
+            stats = _healthz(service)["result_cache"]
+            assert stats["misses"] == 2
+            assert stats["hits"] == 0
+        assert analytic["request"]["cost_model"] == "analytic"
+        assert profiled["request"]["cost_model"] == PROFILED
+        # And the answers genuinely differ: this is the flip scenario.
+        assert [level["assignment"] for level in analytic["levels"]] == [
+            ["dp", "dp", "mp", "mp"], ["dp", "dp", "mp", "mp"],
+        ]
+        assert [level["assignment"] for level in profiled["levels"]] == [
+            ["dp", "dp", "dp", "dp"], ["dp", "dp", "dp", "dp"],
+        ]
+
+    def test_repeated_profiled_requests_hit_their_own_entry(self):
+        body = {
+            "model": "Lenet-c", "batch_size": 64, "num_accelerators": 4,
+            "cost_model": PROFILED,
+        }
+        with HyParService(cache_size=8) as service:
+            _status, first = _post(service, "/partition", body)
+            _status, again = _post(service, "/partition", body)
+            assert _healthz(service)["result_cache"]["hits"] == 1
+        assert first == again
+
+    def test_simulate_carries_the_provider_into_the_point_row(self):
+        with HyParService(cache_size=8) as service:
+            _status, body = _post(
+                service,
+                "/simulate",
+                {
+                    "model": "Lenet-c", "batch_size": 64,
+                    "num_accelerators": 4, "cost_model": PROFILED,
+                },
+            )
+        assert body["request"]["cost_model"] == PROFILED
+        assert body["row"]["cost_model"] == PROFILED
+
+
+class TestServerDefaultCostModel:
+    def test_healthz_reports_default_and_shipped_packs(self):
+        with HyParService(cache_size=2) as service:
+            health = _healthz(service)
+        assert health["cost_models"]["default"] == "analytic"
+        assert "slow-interconnect" in health["cost_models"]["profiles"]
+
+    def test_default_applies_to_requests_that_omit_the_field(self):
+        body = {"model": "Lenet-c", "batch_size": 64, "num_accelerators": 4}
+        with HyParService(cache_size=8, default_cost_model=PROFILED) as service:
+            assert _healthz(service)["cost_models"]["default"] == PROFILED
+            _status, served = _post(service, "/partition", body)
+            # The injected default is part of the canonical request, so an
+            # explicit spelling shares the same cache entry.
+            _status, explicit = _post(
+                service, "/partition", {**body, "cost_model": PROFILED}
+            )
+            assert _healthz(service)["result_cache"]["hits"] == 1
+        assert served["request"]["cost_model"] == PROFILED
+        assert served == explicit
+        assert [level["assignment"] for level in served["levels"]] == [
+            ["dp", "dp", "dp", "dp"], ["dp", "dp", "dp", "dp"],
+        ]
+
+    def test_explicit_analytic_overrides_a_profiled_default(self):
+        body = {
+            "model": "Lenet-c", "batch_size": 64, "num_accelerators": 4,
+            "cost_model": "analytic",
+        }
+        with HyParService(cache_size=8, default_cost_model=PROFILED) as service:
+            _status, served = _post(service, "/partition", body)
+        assert served["request"]["cost_model"] == "analytic"
+        assert [level["assignment"] for level in served["levels"]] == [
+            ["dp", "dp", "mp", "mp"], ["dp", "dp", "mp", "mp"],
+        ]
+
+    def test_bad_default_is_rejected_at_startup(self):
+        with pytest.raises(SchemaError, match="unknown profile pack"):
+            HyParService(default_cost_model="profiled:nope")

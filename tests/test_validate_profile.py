@@ -1,0 +1,96 @@
+"""The profile-pack validation script's exit codes and messages.
+
+Same loading idiom as ``test_check_bench_regression.py``: the script is
+imported by path so these tests exercise exactly what CI runs.  The exit
+contract is the interesting part -- 0 all-valid, 1 schema violations
+(every one listed), 2 unreadable/non-JSON -- because CI gates the shipped
+packs on it.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import os
+
+import pytest
+
+from repro.core.costmodel import PROFILE_SCHEMA, shipped_profiles
+
+_SCRIPT = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "scripts",
+    "validate_profile.py",
+)
+
+
+def _load_script():
+    spec = importlib.util.spec_from_file_location("validate_profile", _SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def script():
+    return _load_script()
+
+
+def _valid_payload() -> dict:
+    return {
+        "schema": PROFILE_SCHEMA,
+        "name": "scripted",
+        "description": "synthetic",
+        "precision_bytes": 4,
+        "reference_bandwidth": 1.0e9,
+        "links": {
+            "intra": {"bandwidth": [1e9, 1e9, 1e9], "latency": [0.0, 0.0, 0.0]},
+            "inter": {"bandwidth": [5e8, 5e8, 5e8], "latency": [1e-6, 1e-6, 1e-6]},
+        },
+        "layers": {},
+    }
+
+
+class TestExitCodes:
+    def test_valid_pack_exits_zero_and_prints_the_fit(self, script, tmp_path, capsys):
+        path = tmp_path / "pack.json"
+        path.write_text(json.dumps(_valid_payload()))
+        assert script.main([str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "ok" in out
+        assert "inter x2" in out  # 1e9 reference over 5e8 fitted
+
+    def test_all_shipped_packs_exit_zero(self, script):
+        assert script.main(sorted(shipped_profiles().values())) == 0
+
+    def test_schema_violation_exits_one_listing_every_error(
+        self, script, tmp_path, capsys
+    ):
+        payload = _valid_payload()
+        payload["name"] = ""
+        payload["precision_bytes"] = 0
+        path = tmp_path / "broken.json"
+        path.write_text(json.dumps(payload))
+        assert script.main([str(path)]) == 1
+        err = capsys.readouterr().err
+        assert "name must be" in err
+        assert "precision_bytes" in err
+
+    def test_missing_file_exits_two(self, script, tmp_path, capsys):
+        assert script.main([str(tmp_path / "absent.json")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_non_json_file_exits_two(self, script, tmp_path, capsys):
+        path = tmp_path / "garbage.json"
+        path.write_text("{not json")
+        assert script.main([str(path)]) == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_worst_failure_wins_across_multiple_files(self, script, tmp_path, capsys):
+        good = tmp_path / "good.json"
+        good.write_text(json.dumps(_valid_payload()))
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"schema": "nope"}))
+        assert script.main([str(good), str(bad)]) == 1
+        assert script.main([str(good), str(tmp_path / "gone.json"), str(bad)]) == 2
+        capsys.readouterr()
