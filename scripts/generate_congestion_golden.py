@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Regenerate the golden congestion-study output.
+
+Usage::
+
+    PYTHONPATH=src python scripts/generate_congestion_golden.py
+
+Writes ``tests/analysis/golden_congestion.json``: the exact floats and
+strategy rankings of :func:`repro.analysis.congestion_study.run_congestion_study`
+on its default grid, which the golden test compares with strict equality.
+The study's point is the pinned ranking flip (the analytic engine and the
+contention-aware network engine prefer different strategy orders on the
+torus), so rerun this script only when an engine or cost-model change is
+intended, and say so in the commit message.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+from repro.analysis.congestion_study import run_congestion_study  # noqa: E402
+
+GOLDEN_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "tests",
+    "analysis",
+    "golden_congestion.json",
+)
+
+
+def main() -> int:
+    study = run_congestion_study()
+    payload = {"num_flips": study.num_flips, "rows": study.as_rows()}
+    with open(GOLDEN_PATH, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(study.describe())
+    print(f"wrote {GOLDEN_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

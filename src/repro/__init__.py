@@ -37,7 +37,13 @@ from repro.core import (
 )
 from repro.interconnect import HTreeTopology, TorusTopology, build_topology
 from repro.nn import DNNModel, build_model, get_model
-from repro.sim import TrainingSimulator, simulate_partitioned
+from repro.sim import (
+    SimulationResult,
+    SimulationSpec,
+    TrainingSimulator,
+    simulate,
+    simulate_partitioned,
+)
 
 __version__ = "1.0.0"
 
@@ -59,6 +65,9 @@ __all__ = [
     "TorusTopology",
     "build_topology",
     "TrainingSimulator",
+    "SimulationSpec",
+    "SimulationResult",
+    "simulate",
     "simulate_partitioned",
     "ExperimentRunner",
 ]

@@ -9,6 +9,9 @@
 * :mod:`repro.analysis.trick_study` -- Figure 13 ("one weird trick").
 * :mod:`repro.analysis.churn_study` -- re-planning policies under node
   churn (beyond the paper; see the resilience layer).
+* :mod:`repro.analysis.congestion_study` -- analytic vs network-engine
+  strategy rankings under link contention (beyond the paper; see the
+  network simulator).
 * :mod:`repro.analysis.report` -- table/series formatting helpers.
 """
 
@@ -16,6 +19,12 @@ from repro.analysis.churn_study import (
     ChurnPoint,
     ChurnStudy,
     run_churn_study,
+)
+from repro.analysis.congestion_study import (
+    CongestionComparison,
+    CongestionConfig,
+    CongestionStudy,
+    run_congestion_study,
 )
 
 from repro.analysis.experiments import (
@@ -69,6 +78,10 @@ __all__ = [
     "ChurnPoint",
     "ChurnStudy",
     "run_churn_study",
+    "CongestionComparison",
+    "CongestionConfig",
+    "CongestionStudy",
+    "run_congestion_study",
     "ExperimentRunner",
     "EvaluationTable",
     "ModelComparison",

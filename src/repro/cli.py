@@ -29,6 +29,15 @@ Installed as the ``hypar`` console script (also runnable with
     Summarise the point-to-point communication trace of one training step
     (per phase, per hierarchy level, per layer).
 
+``hypar simulate <model> [--sim-engine analytic|network]``
+    Simulate one training step through the unified ``repro.sim.simulate``
+    entry point: search HyPar's assignment (or simulate a uniform
+    baseline via ``--strategy``), then report the step time, energy and
+    per-phase breakdown.  ``--sim-engine network`` routes the step
+    through the contention-aware discrete-event network simulator
+    (per-physical-link occupancy and queueing) instead of the analytic
+    engine (see the "Network simulator" section of DESIGN.md).
+
 ``hypar models [<model> ...] [--format table|json]``
     List the available networks.  With model names given, print the
     per-layer shape/weight/MACs table plus the layer-graph edge list;
@@ -39,10 +48,12 @@ Installed as the ``hypar`` console script (also runnable with
 
 ``hypar sweep <spec.json|preset>``
     Run a declarative sweep grid (models x strategy spaces x topologies x
-    scaling modes x batch sizes x array sizes) through the shared sweep
-    engine.  ``--workers N`` fans the points out over N worker processes
-    (byte-identical to the serial run); ``--out DIR`` writes the JSON/CSV
-    artifacts.  ``hypar sweep --list`` names the built-in presets.
+    scaling modes x batch sizes x array sizes x sim engines) through the
+    shared sweep engine.  ``--workers N`` fans the points out over N
+    worker processes (byte-identical to the serial run); ``--out DIR``
+    writes the JSON/CSV artifacts; ``--sim-engine network`` runs the
+    whole grid under the network simulator.  ``hypar sweep --list`` names
+    the built-in presets.
 
 ``hypar replan [<model>] [--trace t.jsonl | --preset spot] [--policy P]``
     Replay an availability trace (node churn) against the partitioner:
@@ -87,9 +98,10 @@ from repro.core.parallelism import DEFAULT_SPACE, StrategySpace
 from repro.core.strategies import registered_strategies
 from repro.core.tensors import ScalingMode
 from repro.nn.model_zoo import all_model_builders, get_model
+from repro.sim.backend import DEFAULT_SIM_ENGINE, SIM_ENGINES
 
 
-def _add_common_options(parser: argparse.ArgumentParser) -> None:
+def _add_platform_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--batch-size",
         type=int,
@@ -119,6 +131,10 @@ def _add_common_options(parser: argparse.ArgumentParser) -> None:
         "level, e.g. dp,mp,pp (default: dp,mp, the paper's axis; see "
         "'hypar strategies')",
     )
+
+
+def _add_common_options(parser: argparse.ArgumentParser) -> None:
+    _add_platform_options(parser)
     _add_backend_option(parser)
     _add_cost_model_option(parser)
 
@@ -132,6 +148,18 @@ def _add_cost_model_option(parser: argparse.ArgumentParser) -> None:
         "paper's formulas) or 'profiled:<pack>' with a shipped profile "
         "pack name or a path to a hypar-profile/v1 JSON (see "
         "repro.core.costmodel; default: %(default)s)",
+    )
+
+
+def _add_sim_engine_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--sim-engine",
+        choices=SIM_ENGINES,
+        default=DEFAULT_SIM_ENGINE,
+        help="step-time engine: 'analytic' (the paper's closed-form link "
+        "model) or 'network' (contention-aware discrete-event simulation "
+        "of the physical links; see repro.sim.network; "
+        "default: %(default)s)",
     )
 
 
@@ -391,6 +419,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         import dataclasses
 
         spec = dataclasses.replace(spec, cost_models=(args.cost_model,))
+    if args.sim_engine != "analytic":
+        # Likewise for the engine axis: the whole grid runs through the
+        # network simulator.
+        import dataclasses
+
+        spec = dataclasses.replace(spec, sim_engines=(args.sim_engine,))
     print(spec.describe())
     # The backend is passed explicitly (not just set as the process
     # default) so spawn-started workers adopt it too.
@@ -500,6 +534,59 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     print("by layer:")
     for layer, volume in trace.bytes_by_layer().items():
         print(f"  {layer:<10s} {volume / 1e9:10.3f} GB")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.core.baselines import data_parallelism, model_parallelism
+    from repro.interconnect import HTreeTopology, TorusTopology
+    from repro.sim.api import SimulationSpec
+    from repro.sim.api import simulate as run_simulation
+    from repro.sim.training import PHASES
+
+    model = get_model(args.model)
+    array = ArrayConfig(num_accelerators=args.accelerators)
+    topology = None
+    if args.accelerators > 1:
+        topology_type = {"htree": HTreeTopology, "torus": TorusTopology}[args.topology]
+        topology = topology_type(args.accelerators, array.link_bandwidth_bytes)
+
+    assignment = None
+    strategy_name = None
+    if args.strategy == "dp":
+        assignment = data_parallelism(model, array.num_levels)
+        strategy_name = "Data Parallelism"
+    elif args.strategy == "mp":
+        assignment = model_parallelism(model, array.num_levels)
+        strategy_name = "Model Parallelism"
+
+    spec = SimulationSpec(
+        batch_size=args.batch_size,
+        array=array,
+        topology=topology,
+        scaling_mode=args.scaling_mode,
+        strategies=args.strategies,
+        sim_engine=args.sim_engine,
+    )
+    result = run_simulation(model, assignment, spec, strategy_name=strategy_name)
+    report = result.report
+    print(
+        f"{report.model_name} / {report.strategy_name} on {report.topology_name} "
+        f"({report.num_accelerators} accelerators, batch {report.batch_size}, "
+        f"{result.sim_engine} engine)"
+    )
+    if result.assignment is not None:
+        levels = " | ".join(str(level) for level in result.assignment.levels)
+        print(f"  levels:        {levels}")
+    print(f"  step time:     {report.step_seconds * 1e3:.3f} ms")
+    print(f"  energy:        {report.energy_joules:.3f} J")
+    print(f"  communication: {report.communication_gb:.3f} GB")
+    for phase in PHASES:
+        breakdown = report.phase_seconds[phase]
+        print(
+            f"  {phase + ':':<10s}     compute {breakdown.compute_seconds * 1e3:.3f} ms, "
+            f"link busy {breakdown.communication_seconds * 1e3:.3f} ms"
+        )
     return 0
 
 
@@ -623,6 +710,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_backend_option(sweep_parser)
     _add_cost_model_option(sweep_parser)
+    _add_sim_engine_option(sweep_parser)
     sweep_parser.set_defaults(handler=_cmd_sweep)
 
     serve_parser = subparsers.add_parser(
@@ -770,6 +858,31 @@ def build_parser() -> argparse.ArgumentParser:
     trace_parser.add_argument("model", help="network name, e.g. AlexNet or VGG-A")
     _add_common_options(trace_parser)
     trace_parser.set_defaults(handler=_cmd_trace)
+
+    simulate_parser = subparsers.add_parser(
+        "simulate",
+        help="simulate one training step through the unified entry point "
+        "(--sim-engine network runs the contention-aware discrete-event "
+        "simulator)",
+    )
+    simulate_parser.add_argument("model", help="network name, e.g. AlexNet or VGG-A")
+    simulate_parser.add_argument(
+        "--strategy",
+        choices=("hypar", "dp", "mp"),
+        default="hypar",
+        help="what to simulate: HyPar's searched assignment or a uniform "
+        "baseline (default: %(default)s)",
+    )
+    simulate_parser.add_argument(
+        "--topology",
+        choices=("htree", "torus"),
+        default="htree",
+        help="interconnect joining the accelerators (default: %(default)s)",
+    )
+    _add_platform_options(simulate_parser)
+    _add_sim_engine_option(simulate_parser)
+    _add_backend_option(simulate_parser)
+    simulate_parser.set_defaults(handler=_cmd_simulate)
 
     return parser
 

@@ -49,6 +49,7 @@ from repro.core.strategies import registered_strategies
 from repro.nn.model_zoo import all_model_builders, get_model
 from repro.resilience.replan import run_replan
 from repro.service.cache import DEFAULT_CACHE_SIZE, KeyedLocks, ResultCache
+from repro.sim.backend import DEFAULT_SIM_ENGINE, SIM_ENGINES
 from repro.service.schemas import (
     PartitionRequest,
     ReplanRequest,
@@ -352,6 +353,7 @@ class HyParService:
             scaling_mode=request.scaling_mode,
             strategies=request.strategies,
             cost_model=request.cost_model,
+            sim_engine=request.sim_engine,
         )
         record = evaluate_point(point)
         return _render(
@@ -453,6 +455,11 @@ class HyParService:
             "cost_models": {
                 "default": self.default_cost_model,
                 "profiles": sorted(shipped_profiles()),
+            },
+            # Simulation engines a request's "sim_engine" field may name.
+            "sim_engines": {
+                "default": DEFAULT_SIM_ENGINE,
+                "valid": list(SIM_ENGINES),
             },
             "requests": {
                 "served": served,

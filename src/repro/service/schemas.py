@@ -28,6 +28,7 @@ from repro.core.hierarchical import DEFAULT_BATCH_SIZE
 from repro.core.parallelism import StrategySpace
 from repro.core.tensors import ScalingMode
 from repro.nn.model_zoo import canonical_model_name
+from repro.sim.backend import DEFAULT_SIM_ENGINE, validate_sim_engine
 from repro.sweep.spec import PRESETS, TOPOLOGY_NAMES, SweepSpec
 
 #: Default array size (the paper's sixteen-accelerator platform).
@@ -154,6 +155,14 @@ def _canonical_cost_model(payload: Mapping) -> str:
     )
 
 
+def _canonical_sim_engine(payload: Mapping) -> str:
+    text = _str_field(payload, "sim_engine", DEFAULT_SIM_ENGINE)
+    try:
+        return validate_sim_engine(text.strip().lower())
+    except ValueError as error:
+        raise SchemaError(str(error)) from None
+
+
 def _canonical_topology(payload: Mapping) -> str:
     name = _str_field(payload, "topology", "htree").strip().lower()
     if name not in TOPOLOGY_NAMES:
@@ -258,6 +267,7 @@ class SimulateRequest(ServiceRequest):
     scaling_mode: str = ScalingMode.PARALLELISM_AWARE.value
     strategies: str = "dp,mp"
     cost_model: str = ANALYTIC_SPEC
+    sim_engine: str = DEFAULT_SIM_ENGINE
 
     kind = "simulate"
     _FIELDS = (
@@ -268,7 +278,17 @@ class SimulateRequest(ServiceRequest):
         "scaling_mode",
         "strategies",
         "cost_model",
+        "sim_engine",
     )
+
+    def canonical_payload(self) -> dict:
+        # The canonical "analytic" default is *omitted* so every request
+        # hash minted before the field existed stays valid; only network
+        # requests carry (and hash) the engine.
+        payload = dataclasses.asdict(self)
+        if payload["sim_engine"] == DEFAULT_SIM_ENGINE:
+            del payload["sim_engine"]
+        return payload
 
     def coalesce_key(self) -> tuple:
         # Topology affects the simulated schedule but not the compiled
@@ -297,6 +317,7 @@ class SimulateRequest(ServiceRequest):
             scaling_mode=_canonical_scaling(payload),
             strategies=_canonical_strategies(payload),
             cost_model=_canonical_cost_model(payload),
+            sim_engine=_canonical_sim_engine(payload),
         )
 
 

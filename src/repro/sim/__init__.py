@@ -2,14 +2,27 @@
 
 * :mod:`repro.sim.engine` -- a generic discrete-event scheduling engine
   (resources, dependent tasks, event queue).
+* :mod:`repro.sim.api` -- the unified entry point: :func:`simulate` over a
+  :class:`SimulationSpec`, with keyword-only engine selection.
+* :mod:`repro.sim.backend` -- the ``SimulatorBackend`` seam and engine
+  registry (``"analytic"`` / ``"network"``).
 * :mod:`repro.sim.training` -- builds the task graph of one training step
   (forward, error backward, gradient computation, weight update, and every
   tensor exchange dictated by the communication model) and runs it.
+* :mod:`repro.sim.network` -- the contention-aware discrete-event engine:
+  per-device PUs and per-physical-link resources with real queueing.
 * :mod:`repro.sim.metrics` -- the report records (time, energy, traffic).
 * :mod:`repro.sim.trace` -- explicit point-to-point transfer lists derived
   from a partitioned network (for link-load studies and export).
 """
 
+from repro.sim.api import SimulationResult, SimulationSpec, simulate
+from repro.sim.backend import (
+    SIM_ENGINES,
+    SimulatorBackend,
+    get_backend,
+    validate_sim_engine,
+)
 from repro.sim.engine import (
     EventDrivenEngine,
     Resource,
@@ -33,6 +46,13 @@ __all__ = [
     "ScheduledTask",
     "SimulationError",
     "TrainingSimulator",
+    "SimulationSpec",
+    "SimulationResult",
+    "simulate",
+    "SIM_ENGINES",
+    "SimulatorBackend",
+    "get_backend",
+    "validate_sim_engine",
     "simulate_partitioned",
     "PHASES",
     "TrainingStepReport",

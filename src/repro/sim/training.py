@@ -35,13 +35,13 @@ scale-descent tensor amounts once instead of once per level per point.
 
 from __future__ import annotations
 
+import warnings
 from typing import Sequence
 
 from repro.accelerator.array import ArrayConfig
 from repro.core import kernels
 from repro.core.communication import CommunicationModel
 from repro.core.costs import HierarchicalCostTable, TableCache
-from repro.core.hierarchical import HierarchicalPartitioner
 from repro.core.parallelism import (
     HierarchicalAssignment,
     Parallelism,
@@ -51,7 +51,8 @@ from repro.core.strategies import strategy_spec
 from repro.core.tensors import ScalingMode
 from repro.interconnect import HTreeTopology, Topology
 from repro.nn.model import DNNModel
-from repro.sim.engine import EventDrivenEngine, Task
+from repro.sim.backend import get_backend, validate_sim_engine
+from repro.sim.engine import EventDrivenEngine, Schedule, Task
 from repro.sim.metrics import EnergyBreakdown, PhaseBreakdown, TrainingStepReport
 
 #: The three layer passes of training (Equations 1-3 of the paper).
@@ -99,6 +100,10 @@ class TrainingSimulator:
         ``"compiled"``; ``None`` follows the process default, see
         :mod:`repro.core.kernels`).  Simulated costs are
         backend-independent.
+    sim_engine:
+        Default simulation engine (``"analytic"`` or ``"network"``, see
+        :mod:`repro.sim.backend`); individual :meth:`simulate` calls may
+        override it with their keyword-only ``sim_engine``.
     """
 
     def __init__(
@@ -111,6 +116,7 @@ class TrainingSimulator:
         num_microbatches: int = DEFAULT_NUM_MICROBATCHES,
         table_cache: TableCache | None = None,
         backend: str | None = None,
+        sim_engine: str | None = None,
     ) -> None:
         if num_microbatches <= 0:
             raise ValueError(
@@ -136,6 +142,11 @@ class TrainingSimulator:
         self.num_microbatches = num_microbatches
         self.table_cache = table_cache
         self.backend = kernels.validate_backend(backend)
+        self.sim_engine = validate_sim_engine(sim_engine)
+        #: The raw :class:`~repro.sim.engine.Schedule` of the most recent
+        #: :meth:`simulate` call (tag/occupancy inspection; ``None`` before
+        #: the first call).
+        self.last_schedule: Schedule | None = None
         # Compiled cost tables keyed by (model identity, batch size).  The
         # table holds a strong reference to its model, so the id cannot be
         # recycled while the entry lives; sweeps re-simulating one model
@@ -192,6 +203,8 @@ class TrainingSimulator:
         batch_size: int,
         strategy_name: str = "custom",
         cost_table: HierarchicalCostTable | None = None,
+        *,
+        sim_engine: str | None = None,
     ) -> TrainingStepReport:
         """Simulate one training step and return its report.
 
@@ -200,30 +213,65 @@ class TrainingSimulator:
         ``cost_table`` optionally supplies an already-compiled
         :class:`~repro.core.costs.HierarchicalCostTable` (it must match this
         simulator's configuration); otherwise one is compiled and cached per
-        (model, batch size).
+        (model, batch size).  The keyword-only ``sim_engine`` overrides the
+        simulator's default engine for this call (``"analytic"`` or
+        ``"network"``); both engines share the compiled communication
+        records, and the run's raw schedule lands in :attr:`last_schedule`.
+        """
+        engine_name = validate_sim_engine(
+            self.sim_engine if sim_engine is None else sim_engine
+        )
+        level_comm = self._validated_level_comm(
+            model, assignment, batch_size, cost_table
+        )
+        backend = get_backend(engine_name)
+        report, schedule = backend.run_step(
+            self, model, batch_size, strategy_name, level_comm
+        )
+        self.last_schedule = schedule
+        return report
+
+    def _validated_level_comm(
+        self,
+        model: DNNModel,
+        assignment: HierarchicalAssignment | None,
+        batch_size: int,
+        cost_table: HierarchicalCostTable | None = None,
+    ) -> list[list["_LayerLevelComm"]]:
+        """Validate the (model, assignment) pair and gather its records.
+
+        The engine-independent compilation step both backends share.
         """
         num_levels = self.array.num_levels
         if num_levels == 0:
             if assignment is not None:
                 raise ValueError("a single-accelerator array takes no assignment")
-            level_comm: list[list] = []
-        else:
-            if assignment is None:
-                raise ValueError("an assignment is required for a multi-accelerator array")
-            if assignment.num_levels != num_levels:
-                raise ValueError(
-                    f"assignment has {assignment.num_levels} levels, "
-                    f"array expects {num_levels}"
-                )
-            if assignment.num_layers != len(model):
-                raise ValueError(
-                    f"assignment covers {assignment.num_layers} layers, "
-                    f"model has {len(model)}"
-                )
-            level_comm = self._per_level_communication(
-                model, assignment, batch_size, cost_table
+            return []
+        if assignment is None:
+            raise ValueError("an assignment is required for a multi-accelerator array")
+        if assignment.num_levels != num_levels:
+            raise ValueError(
+                f"assignment has {assignment.num_levels} levels, "
+                f"array expects {num_levels}"
             )
+        if assignment.num_layers != len(model):
+            raise ValueError(
+                f"assignment covers {assignment.num_layers} layers, "
+                f"model has {len(model)}"
+            )
+        return self._per_level_communication(
+            model, assignment, batch_size, cost_table
+        )
 
+    def _run_analytic_step(
+        self,
+        model: DNNModel,
+        batch_size: int,
+        strategy_name: str,
+        level_comm: list[list["_LayerLevelComm"]],
+    ) -> tuple[TrainingStepReport, Schedule]:
+        """Build and run the analytic (aggregate-resource) task graph."""
+        num_levels = self.array.num_levels
         engine = EventDrivenEngine()
         pu = engine.resource("array-pu")
         link_resources = [
@@ -326,12 +374,11 @@ class TrainingSimulator:
                 gate = first
                 last = level_last
             if last is None:
-                # Zero-byte exchange: nothing to schedule.  When the chain
-                # continues from a single upstream task the caller can depend
-                # on that task directly; otherwise emit a zero-duration
-                # marker so "the exchange happened" stays representable.
-                if len(chain_deps) == 1:
-                    return chain_deps[0]
+                # Zero-byte exchange: nothing occupies a link, but the
+                # exchange must still be represented by a *communication*
+                # marker -- returning the upstream task directly would hand
+                # consumers a compute task standing in for a communication
+                # gate, mislabeling every tag-based trace of the schedule.
                 last = engine.add_task(
                     f"{name}/none",
                     0.0,
@@ -520,7 +567,7 @@ class TrainingSimulator:
             for phase, durations in phase_durations.items()
         }
 
-        return TrainingStepReport(
+        report = TrainingStepReport(
             model_name=model.name,
             strategy_name=strategy_name,
             topology_name=self.topology.name if self.topology is not None else "none",
@@ -537,6 +584,7 @@ class TrainingSimulator:
             phase_seconds=phase_seconds,
             level_communication_bytes=tuple(level_comm_bytes),
         )
+        return report, schedule
 
     # ------------------------------------------------------------------
     # Per-level communication pre-computation.
@@ -617,6 +665,24 @@ class _LayerLevelComm:
         return self.intra_bytes + self.inter_bytes
 
 
+class AnalyticBackend:
+    """:class:`~repro.sim.backend.SimulatorBackend` for the analytic engine."""
+
+    name = "analytic"
+
+    def run_step(
+        self,
+        simulator: "TrainingSimulator",
+        model: DNNModel,
+        batch_size: int,
+        strategy_name: str,
+        level_comm: list,
+    ) -> tuple[TrainingStepReport, Schedule]:
+        return simulator._run_analytic_step(
+            model, batch_size, strategy_name, level_comm
+        )
+
+
 def simulate_partitioned(
     model: DNNModel,
     batch_size: int = 256,
@@ -625,24 +691,29 @@ def simulate_partitioned(
     scaling_mode: ScalingMode | str = ScalingMode.PARALLELISM_AWARE,
     strategies: StrategySpace | str | None = None,
 ) -> tuple[TrainingStepReport, HierarchicalAssignment]:
-    """Convenience helper: run HyPar's search, then simulate the result.
+    """Deprecated convenience helper: search HyPar's assignment, then simulate.
 
-    Returns the training-step report together with the searched assignment.
-    The search and the simulation share one compiled cost table.
+    .. deprecated::
+        Kept as a bit-exact shim over :func:`repro.sim.api.simulate`; the
+        replacement takes a :class:`~repro.sim.api.SimulationSpec` and also
+        selects the simulation engine (``sim_engine="network"``).
     """
-    array = array or ArrayConfig()
-    simulator = TrainingSimulator(
-        array, topology, scaling_mode=scaling_mode, strategies=strategies
+    warnings.warn(
+        "simulate_partitioned is deprecated. use repro.sim.simulate with a "
+        "SimulationSpec instead",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    partitioner = HierarchicalPartitioner(
-        num_levels=array.num_levels,
-        communication_model=simulator.communication_model,
-        scaling_mode=scaling_mode,
-        strategies=simulator.strategies,
+    from repro.sim.api import SimulationSpec, simulate
+
+    result = simulate(
+        model,
+        spec=SimulationSpec(
+            batch_size=batch_size,
+            array=array,
+            topology=topology,
+            scaling_mode=scaling_mode,
+            strategies=strategies,
+        ),
     )
-    table = simulator.cost_table(model, batch_size)
-    result = partitioner.partition(model, batch_size, table=table)
-    report = simulator.simulate(
-        model, result.assignment, batch_size, strategy_name="HyPar", cost_table=table
-    )
-    return report, result.assignment
+    return result.report, result.assignment

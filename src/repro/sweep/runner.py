@@ -58,6 +58,7 @@ def _simulator_for(point: SweepPoint) -> TrainingSimulator:
             scaling_mode=point.scaling_mode,
             strategies=point.strategies,
             table_cache=shared_table_cache(),
+            sim_engine=point.sim_engine,
         )
 
     key = (
@@ -67,6 +68,7 @@ def _simulator_for(point: SweepPoint) -> TrainingSimulator:
         point.scaling_mode,
         point.strategies,
         point.cost_model,
+        point.sim_engine,
     )
     return runtime_cached(key, build)
 
@@ -135,6 +137,11 @@ class SweepRecord:
             "strategies": self.point.strategies,
             "cost_model": self.point.cost_model,
         }
+        # Analytic rows keep the historical column set byte-for-byte; only
+        # network-engine rows grow the extra column (the CSV writer unions
+        # keys, so mixed grids render it with empty analytic cells).
+        if self.point.sim_engine != "analytic":
+            row["sim_engine"] = self.point.sim_engine
         for name, metrics in self.metrics.items():
             slug = name.lower().replace(" ", "_")
             row[f"{slug}_step_seconds"] = metrics.step_seconds

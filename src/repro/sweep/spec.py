@@ -20,6 +20,7 @@ from repro.core.costmodel import ANALYTIC_SPEC, canonical_cost_model
 from repro.core.hierarchical import DEFAULT_BATCH_SIZE
 from repro.core.parallelism import StrategySpace
 from repro.core.tensors import ScalingMode
+from repro.sim.backend import DEFAULT_SIM_ENGINE, validate_sim_engine
 
 #: Topology names the runner can instantiate (see ``runner.TOPOLOGIES``).
 TOPOLOGY_NAMES = ("htree", "torus")
@@ -51,6 +52,7 @@ class SweepPoint:
     scaling_mode: str
     strategies: str
     cost_model: str = ANALYTIC_SPEC
+    sim_engine: str = DEFAULT_SIM_ENGINE
 
     def label(self) -> str:
         """Compact human-readable point id used in logs and artifacts."""
@@ -58,10 +60,12 @@ class SweepPoint:
             f"{self.model}/b{self.batch_size}/n{self.num_accelerators}"
             f"/{self.topology}/{self.scaling_mode}/{self.strategies}"
         )
-        # The analytic default stays label-identical to the historical
-        # format; only calibrated points grow the extra segment.
+        # The analytic defaults stay label-identical to the historical
+        # format; only calibrated/network points grow the extra segments.
         if self.cost_model != ANALYTIC_SPEC:
-            return f"{base}/{self.cost_model}"
+            base = f"{base}/{self.cost_model}"
+        if self.sim_engine != DEFAULT_SIM_ENGINE:
+            base = f"{base}/{self.sim_engine}"
         return base
 
     @classmethod
@@ -74,6 +78,7 @@ class SweepPoint:
         scaling_mode: "ScalingMode | str" = ScalingMode.PARALLELISM_AWARE,
         strategies: "StrategySpace | str | None" = None,
         cost_model: str = ANALYTIC_SPEC,
+        sim_engine: str = DEFAULT_SIM_ENGINE,
     ) -> "SweepPoint":
         """One standalone, fully validated and canonicalized grid point.
 
@@ -92,6 +97,7 @@ class SweepPoint:
             scaling_modes=(ScalingMode.parse(scaling_mode).value,),
             strategy_spaces=(StrategySpace.parse(strategies).describe(),),
             cost_models=(canonical_cost_model(cost_model),),
+            sim_engines=(validate_sim_engine(sim_engine),),
         )
         return spec.points()[0]
 
@@ -113,6 +119,7 @@ class SweepSpec:
     scaling_modes: tuple[str, ...] = (ScalingMode.PARALLELISM_AWARE.value,)
     strategy_spaces: tuple[str, ...] = ("dp,mp",)
     cost_models: tuple[str, ...] = (ANALYTIC_SPEC,)
+    sim_engines: tuple[str, ...] = (DEFAULT_SIM_ENGINE,)
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -125,6 +132,7 @@ class SweepSpec:
             "scaling_modes",
             "strategy_spaces",
             "cost_models",
+            "sim_engines",
         ):
             values = getattr(self, axis)
             object.__setattr__(self, axis, tuple(values))
@@ -152,6 +160,11 @@ class SweepSpec:
             "cost_models",
             tuple(canonical_cost_model(spec) for spec in self.cost_models),
         )
+        object.__setattr__(
+            self,
+            "sim_engines",
+            tuple(validate_sim_engine(engine) for engine in self.sim_engines),
+        )
 
     # ------------------------------------------------------------------
     # Expansion.
@@ -167,6 +180,7 @@ class SweepSpec:
             * len(self.scaling_modes)
             * len(self.strategy_spaces)
             * len(self.cost_models)
+            * len(self.sim_engines)
         )
 
     def points(self) -> tuple[SweepPoint, ...]:
@@ -181,6 +195,7 @@ class SweepSpec:
                 scaling_mode=ScalingMode.parse(scaling_mode).value,
                 strategies=StrategySpace.parse(strategies).describe(),
                 cost_model=cost_model,
+                sim_engine=sim_engine,
             )
             for index, (
                 model,
@@ -190,6 +205,7 @@ class SweepSpec:
                 scaling_mode,
                 strategies,
                 cost_model,
+                sim_engine,
             ) in enumerate(
                 itertools.product(
                     self.models,
@@ -199,6 +215,7 @@ class SweepSpec:
                     self.scaling_modes,
                     self.strategy_spaces,
                     self.cost_models,
+                    self.sim_engines,
                 )
             )
         )
@@ -217,6 +234,7 @@ class SweepSpec:
             "scaling_modes": list(self.scaling_modes),
             "strategy_spaces": list(self.strategy_spaces),
             "cost_models": list(self.cost_models),
+            "sim_engines": list(self.sim_engines),
         }
 
     @classmethod
@@ -239,6 +257,7 @@ class SweepSpec:
             "scaling_modes",
             "strategy_spaces",
             "cost_models",
+            "sim_engines",
         ):
             if axis in kwargs:
                 if isinstance(kwargs[axis], str):
@@ -262,7 +281,8 @@ class SweepSpec:
             f"{len(self.array_sizes)} array sizes x {len(self.topologies)} "
             f"topologies x {len(self.scaling_modes)} scaling modes x "
             f"{len(self.strategy_spaces)} strategy spaces x "
-            f"{len(self.cost_models)} cost models)"
+            f"{len(self.cost_models)} cost models x "
+            f"{len(self.sim_engines)} sim engines)"
         )
 
 

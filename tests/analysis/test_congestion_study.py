@@ -1,0 +1,95 @@
+"""Golden tests for the congestion study (analytic vs network engine).
+
+``tests/analysis/golden_congestion.json`` pins the exact floats and the
+strategy rankings of the default grid.  The load-bearing assertion is the
+**ranking flip**: on the torus the analytic engine prefers Model
+Parallelism over Data Parallelism for ``gpt_s-4`` while the
+contention-aware network simulation reverses them.  If the flip ever
+disappears, the network engine has stopped modelling the contention it
+exists to model.  Regenerate the file deliberately with
+``python scripts/generate_congestion_golden.py``.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.congestion_study import (
+    DEFAULT_CONFIGS,
+    CongestionConfig,
+    run_congestion_study,
+)
+from repro.sweep import SweepEngine
+
+GOLDEN_PATH = Path(__file__).resolve().parent / "golden_congestion.json"
+
+
+@pytest.fixture(scope="module")
+def golden():
+    with open(GOLDEN_PATH) as handle:
+        return json.load(handle)
+
+
+@pytest.fixture(scope="module")
+def study():
+    return run_congestion_study()
+
+
+def _roundtrip(payload):
+    return json.loads(json.dumps(payload))
+
+
+class TestGoldenRows:
+    def test_rows_are_byte_identical(self, study, golden):
+        assert _roundtrip(study.as_rows()) == golden["rows"]
+
+    def test_at_least_one_ranking_flip(self, study, golden):
+        assert study.num_flips == golden["num_flips"]
+        assert study.num_flips >= 1
+
+    def test_the_flip_is_the_torus_gpt_point(self, study):
+        flipped = [c for c in study.comparisons if c.flipped]
+        assert [c.config.label() for c in flipped] == ["gpt_s-4/n4/torus/b256"]
+        (comparison,) = flipped
+        # Analytic prefers MP over DP; routed contention reverses them.
+        analytic = comparison.ranking("analytic")
+        network = comparison.ranking("network")
+        assert analytic.index("Model Parallelism") < analytic.index("Data Parallelism")
+        assert network.index("Data Parallelism") < network.index("Model Parallelism")
+
+    def test_htree_controls_do_not_flip(self, study):
+        for comparison in study.comparisons:
+            if comparison.config.topology == "htree":
+                assert not comparison.flipped
+
+    def test_uncongested_htree_model_parallelism_is_bit_identical(self, study):
+        """All-mp on the H tree has no contention and no overlap window, so
+        the network engine must reproduce the analytic floats exactly."""
+        for comparison in study.comparisons:
+            if comparison.config.topology != "htree":
+                continue
+            assert (
+                comparison.network_seconds["Model Parallelism"]
+                == comparison.analytic_seconds["Model Parallelism"]
+            )
+
+
+class TestEngineIndependence:
+    def test_parallel_engine_matches_serial_rows(self, study):
+        with SweepEngine(workers=2) as engine:
+            parallel = run_congestion_study(engine=engine)
+        assert parallel.as_rows() == study.as_rows()
+
+    def test_custom_config_subset(self):
+        study = run_congestion_study([CongestionConfig("Lenet-c", 4, "htree", 64)])
+        assert len(study.comparisons) == 1
+        assert study.num_flips == 0
+
+    def test_default_grid_is_the_pinned_one(self):
+        assert [config.label() for config in DEFAULT_CONFIGS] == [
+            "Lenet-c/n4/htree/b64",
+            "gpt_s-4/n4/htree/b256",
+            "gpt_s-4/n4/torus/b256",
+            "AlexNet/n16/torus/b256",
+        ]

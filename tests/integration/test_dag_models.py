@@ -26,7 +26,8 @@ from repro.core.placement import TensorPlacement
 from repro.core.tensors import model_tensors
 from repro.nn.model_zoo import all_graph_models, all_models, inception_s, resnet_s
 from repro.nn.reference import ReferenceNetwork
-from repro.sim.training import TrainingSimulator, simulate_partitioned
+from repro.sim.api import SimulationSpec, simulate
+from repro.sim.training import TrainingSimulator
 
 STRATEGY_SPACES = ["dp,mp", "dp,mp,pp"]
 
@@ -119,9 +120,10 @@ class TestGraphModelsEndToEnd:
             np.testing.assert_allclose(gradient, state.grad_weight, atol=1e-9)
 
         # --- simulation ---------------------------------------------------
-        report, assignment = simulate_partitioned(
-            model, batch_size, strategies=strategies
+        result = simulate(
+            model, spec=SimulationSpec(batch_size=batch_size, strategies=strategies)
         )
+        report, assignment = result.report, result.assignment
         assert report.step_seconds > 0
         assert report.communication_bytes >= 0
         evaluated = HierarchicalPartitioner(

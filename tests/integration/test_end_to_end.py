@@ -6,10 +6,11 @@ from repro import (
     ArrayConfig,
     ExperimentRunner,
     HierarchicalPartitioner,
+    SimulationSpec,
     TrainingSimulator,
     build_topology,
     get_model,
-    simulate_partitioned,
+    simulate,
 )
 from repro.core.baselines import data_parallelism, one_weird_trick
 
@@ -29,10 +30,11 @@ class TestPublicApiWorkflow:
         baseline = simulator.simulate(model, data_parallelism(model, 4), 256, "DP")
         assert report.speedup_over(baseline) > 1.0
 
-    def test_simulate_partitioned_helper(self):
-        report, assignment = simulate_partitioned(get_model("Lenet-c"), batch_size=128)
-        assert report.strategy_name == "HyPar"
-        assert assignment.num_layers == 4
+    def test_simulate_searches_when_no_assignment_given(self):
+        result = simulate(get_model("Lenet-c"), spec=SimulationSpec(batch_size=128))
+        assert result.report.strategy_name == "HyPar"
+        assert result.assignment.num_layers == 4
+        assert result.sim_engine == "analytic"
 
     def test_topology_factory_integrates_with_simulator(self):
         model = get_model("Cifar-c")

@@ -126,6 +126,38 @@ class TestSimulateRequest:
         request = SimulateRequest.from_payload({"model": "SFC", "num_accelerators": 1})
         assert request.num_accelerators == 1
 
+    def test_explicit_analytic_engine_shares_the_legacy_cache_key(self):
+        """"analytic" is canonicalized *out* of the payload, so hashes
+        minted before the field existed stay valid."""
+        legacy = SimulateRequest.from_payload({"model": "SFC"})
+        explicit = SimulateRequest.from_payload(
+            {"model": "SFC", "sim_engine": "analytic"}
+        )
+        assert explicit.cache_key() == legacy.cache_key()
+        assert "sim_engine" not in legacy.canonical_payload()
+
+    def test_network_engine_is_part_of_the_cache_key(self):
+        analytic = SimulateRequest.from_payload({"model": "SFC"})
+        network = SimulateRequest.from_payload(
+            {"model": "SFC", "sim_engine": "Network"}
+        )
+        assert network.sim_engine == "network"
+        assert network.cache_key() != analytic.cache_key()
+        assert network.canonical_payload()["sim_engine"] == "network"
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(SchemaError, match="analytic, network"):
+            SimulateRequest.from_payload({"model": "SFC", "sim_engine": "psychic"})
+
+    def test_engine_does_not_fragment_table_coalescing(self):
+        """Both engines price the same compiled cost table, so concurrent
+        analytic/network requests for one platform share the compile."""
+        analytic = SimulateRequest.from_payload({"model": "SFC"})
+        network = SimulateRequest.from_payload(
+            {"model": "SFC", "sim_engine": "network"}
+        )
+        assert network.coalesce_key() == analytic.coalesce_key()
+
 
 class TestSweepRequest:
     def test_preset_expands_to_its_spec(self):

@@ -58,6 +58,10 @@ class TestGetEndpoints:
         }
         assert health["degraded"] is False
         assert health["requests"]["timeouts"] == 0
+        assert health["sim_engines"] == {
+            "default": "analytic",
+            "valid": ["analytic", "network"],
+        }
         assert health["requests"]["stale_served"] == 0
         assert {"hits", "misses", "evictions", "hit_rate"} <= set(
             health["result_cache"]
@@ -125,6 +129,24 @@ class TestSimulateEndpoint:
         row = client.simulate(model="SFC", batch_size=64, num_accelerators=1)["row"]
         assert row["single_step_seconds"] > 0
         assert "hypar_speedup" not in row
+
+    def test_network_engine_point_is_labelled_and_differs(self, client):
+        analytic = client.simulate(
+            model="Lenet-c", batch_size=64, num_accelerators=4
+        )
+        network = client.simulate(
+            model="Lenet-c", batch_size=64, num_accelerators=4,
+            sim_engine="network",
+        )
+        assert network["label"] == analytic["label"] + "/network"
+        assert network["request"]["sim_engine"] == "network"
+        assert "sim_engine" not in analytic["request"]
+        assert network["row"]["sim_engine"] == "network"
+        assert "sim_engine" not in analytic["row"]
+        assert (
+            network["row"]["data_parallelism_step_seconds"]
+            < analytic["row"]["data_parallelism_step_seconds"]
+        )
 
 
 class TestSweepEndpoint:

@@ -1,0 +1,194 @@
+"""Directed tests for the contention-aware network engine.
+
+The bit-tight agreement with the analytic engine on uncongested cases is
+property-tested in ``tests/properties/test_property_network_sim.py``; here
+the *differences* are pinned directly: routed bottleneck links, queueing of
+exchanges that share a physical link, the gradient/backward overlap
+relaxation, and the zero-byte communication marker regression.
+"""
+
+import pytest
+
+from repro.accelerator.array import ArrayConfig
+from repro.core.baselines import data_parallelism, model_parallelism
+from repro.interconnect import HTreeTopology, TorusTopology
+from repro.sim.network import flow_plans, link_name
+from repro.sim.training import TrainingSimulator
+
+
+def _platform(num_accelerators, topology_type=HTreeTopology):
+    array = ArrayConfig(num_accelerators=num_accelerators)
+    topology = topology_type(num_accelerators, array.link_bandwidth_bytes)
+    return array, topology
+
+
+def _simulator(num_accelerators, sim_engine, topology_type=HTreeTopology):
+    array, topology = _platform(num_accelerators, topology_type)
+    return TrainingSimulator(array, topology, sim_engine=sim_engine)
+
+
+class TestFlowPlans:
+    def test_level_and_pair_structure(self):
+        _, topology = _platform(4)
+        plans = flow_plans(topology)
+        assert len(plans) == topology.num_levels == 2
+        assert len(plans[0]) == 1  # H1: one boundary across the root
+        assert len(plans[1]) == 2  # H2: one boundary per leaf pair
+        assert plans[0][0].num_flows == 2
+        assert all(plan.num_flows == 1 for plan in plans[1])
+
+    def test_plans_are_cached_on_the_topology(self):
+        _, topology = _platform(4)
+        assert flow_plans(topology) is flow_plans(topology)
+
+    def test_htree_bottleneck_equals_the_analytic_closed_form(self):
+        """On the H tree every boundary's routed bottleneck reproduces
+        ``bytes / effective_pair_bandwidth`` exactly -- the lemma behind the
+        bit-tight uncongested agreement."""
+        _, topology = _platform(16)
+        plans = flow_plans(topology)
+        for level in range(topology.num_levels):
+            expected_bandwidth = topology.effective_pair_bandwidth(level)
+            for plan in plans[level]:
+                assert plan.duration(1.7e6) == 1.7e6 / expected_bandwidth
+
+    def test_torus_routes_congest_shared_mesh_links(self):
+        """On the 4x4 torus the top-level boundary funnels multiple flows
+        over single physical links (count > 1): routed contention the
+        analytic per-level aggregate cannot express."""
+        _, torus = _platform(16, TorusTopology)
+        plans = flow_plans(torus)
+        top = plans[0][0]
+        assert top.num_flows == 8
+        assert max(count for _, _, count in top.link_loads) > 1
+
+    def test_link_names_are_direction_free(self):
+        assert link_name(3, "sw0") == link_name("sw0", 3)
+
+
+class TestLinkQueueing:
+    def test_exchanges_sharing_a_link_serialize(self, lenet_model):
+        """Under dp every layer's gradient all-reduce crosses the same
+        physical links; the independent all-reduces must queue, never
+        overlap, on each link."""
+        simulator = _simulator(4, "network")
+        report = simulator.simulate(
+            lenet_model, data_parallelism(lenet_model, 2), 64, "dp"
+        )
+        assert report.step_seconds > 0
+        schedule = simulator.last_schedule
+        by_boundary = {}
+        for task in schedule.tasks:
+            if task.tags.get("kind") != "communication" or task.duration == 0:
+                continue
+            key = (task.tags["level"], task.tags["pair"])
+            by_boundary.setdefault(key, []).append(task)
+        assert by_boundary, "expected busy communication boundaries"
+        for tasks in by_boundary.values():
+            tasks.sort(key=lambda task: task.start)
+            for earlier, later in zip(tasks, tasks[1:]):
+                assert later.start >= earlier.end
+
+    def test_makespan_extends_with_the_queued_tail(self, lenet_model):
+        """The last-drained all-reduce bounds the dp step from below."""
+        simulator = _simulator(4, "network")
+        report = simulator.simulate(
+            lenet_model, data_parallelism(lenet_model, 2), 64, "dp"
+        )
+        schedule = simulator.last_schedule
+        gradient_busy = sum(
+            task.duration
+            for task in schedule.tasks
+            if task.name.startswith("gradient-intra/")
+            and task.tags.get("pair") == 0
+        )
+        assert report.step_seconds >= gradient_busy
+
+
+class TestOverlapRelaxation:
+    def test_dp_network_step_is_strictly_faster_than_analytic(self, lenet_model):
+        assignment = data_parallelism(lenet_model, 2)
+        analytic = _simulator(4, "analytic").simulate(
+            lenet_model, assignment, 64, "dp"
+        )
+        network = _simulator(4, "network").simulate(
+            lenet_model, assignment, 64, "dp"
+        )
+        assert network.step_seconds < analytic.step_seconds
+
+    def test_gradient_allreduce_overlaps_backward_compute(self, lenet_model):
+        simulator = _simulator(4, "network")
+        simulator.simulate(lenet_model, data_parallelism(lenet_model, 2), 64, "dp")
+        schedule = simulator.last_schedule
+        allreduces = [
+            task
+            for task in schedule.tasks
+            if task.name.startswith("gradient-intra/") and task.duration > 0
+        ]
+        backwards = [
+            task for task in schedule.tasks if task.name.startswith("backward/")
+        ]
+        assert any(
+            allreduce.start < backward.end and backward.start < allreduce.end
+            for allreduce in allreduces
+            for backward in backwards
+        ), "no gradient all-reduce overlapped any backward compute"
+
+    def test_network_never_slower_on_the_htree(self, lenet_model, alexnet_model):
+        """Every scheduling difference is a relaxation: on contention-free
+        H-tree routes the network step is never above the analytic one."""
+        for model in (lenet_model, alexnet_model):
+            for assignment in (
+                data_parallelism(model, 4),
+                model_parallelism(model, 4),
+            ):
+                analytic = _simulator(16, "analytic").simulate(
+                    model, assignment, 256
+                )
+                network = _simulator(16, "network").simulate(
+                    model, assignment, 256
+                )
+                assert network.step_seconds <= analytic.step_seconds
+
+
+class TestZeroByteMarkers:
+    """Regression: the zero-byte path used to return the *compute* chain
+    dependency as its gate, so tag consumers saw a compute task standing in
+    for a communication marker."""
+
+    @pytest.mark.parametrize("sim_engine", ["analytic", "network"])
+    def test_markers_carry_communication_tags(self, lenet_model, sim_engine):
+        simulator = _simulator(4, sim_engine)
+        simulator.simulate(lenet_model, data_parallelism(lenet_model, 2), 64, "dp")
+        schedule = simulator.last_schedule
+        # dp has no forward exchange: every forward intra/inter task is a
+        # zero-duration marker, tagged as communication, never compute.
+        markers = [
+            task
+            for task in schedule.tasks
+            if task.name.endswith("/none")
+            and task.tags.get("phase") == "forward"
+        ]
+        assert markers
+        for task in markers:
+            assert task.tags["kind"] == "communication"
+            assert task.duration == 0.0
+        marker_names = {task.name for task in markers}
+        assert "forward-intra/conv1/none" in marker_names
+
+    @pytest.mark.parametrize("sim_engine", ["analytic", "network"])
+    def test_tag_totals_separate_compute_from_communication(
+        self, lenet_model, sim_engine
+    ):
+        simulator = _simulator(4, sim_engine)
+        report = simulator.simulate(
+            lenet_model, data_parallelism(lenet_model, 2), 64, "dp"
+        )
+        schedule = simulator.last_schedule
+        forward_comm = sum(
+            task.duration
+            for task in schedule.by_tag("kind", "communication")
+            if task.tags.get("phase") == "forward"
+        )
+        assert forward_comm == report.phase_seconds["forward"].communication_seconds
+        assert forward_comm == 0.0

@@ -181,14 +181,16 @@ class TestTopologies:
 
 class TestSimulatePartitioned:
     def test_returns_report_and_assignment(self, lenet_model):
-        report, assignment = simulate_partitioned(lenet_model, batch_size=256)
+        with pytest.warns(DeprecationWarning, match="simulate_partitioned is deprecated"):
+            report, assignment = simulate_partitioned(lenet_model, batch_size=256)
         assert report.strategy_name == "HyPar"
         assert assignment.num_levels == 4
         assert report.communication_bytes > 0
 
     def test_custom_array_size(self, lenet_model):
-        report, assignment = simulate_partitioned(
-            lenet_model, batch_size=64, array=ArrayConfig(num_accelerators=4)
-        )
+        with pytest.warns(DeprecationWarning, match="simulate_partitioned is deprecated"):
+            report, assignment = simulate_partitioned(
+                lenet_model, batch_size=64, array=ArrayConfig(num_accelerators=4)
+            )
         assert report.num_accelerators == 4
         assert assignment.num_levels == 2

@@ -138,3 +138,75 @@ class TestSinglePoint:
             SweepPoint.single("SFC", batch_size=64, num_accelerators=4)
         )
         assert via_single == via_grid
+
+
+class TestSimEngineAxis:
+    def test_default_grid_is_unchanged_by_the_new_axis(self):
+        """One implicit "analytic" engine: same point count, same labels,
+        same order as before the axis existed."""
+        spec = PRESETS["smoke"]
+        assert spec.sim_engines == ("analytic",)
+        points = spec.points()
+        assert all(point.sim_engine == "analytic" for point in points)
+        assert all("/analytic" not in point.label() for point in points)
+        assert "sim_engines" in spec.to_json()
+
+    def test_engine_axis_expands_innermost(self):
+        spec = SweepSpec(
+            name="engines",
+            models=("Lenet-c",),
+            batch_sizes=(64,),
+            array_sizes=(4,),
+            sim_engines=("analytic", "network"),
+        )
+        points = spec.points()
+        assert spec.num_points == len(points) == 2
+        # The engine is the innermost axis: adjacent points differ only
+        # in the engine, so warm cost tables are reused back to back.
+        assert [point.sim_engine for point in points] == ["analytic", "network"]
+        assert points[1].label() == points[0].label() + "/network"
+
+    def test_json_round_trip_carries_the_axis(self):
+        spec = SweepSpec(
+            name="engines",
+            models=("Lenet-c",),
+            sim_engines=("network",),
+        )
+        payload = spec.to_json()
+        assert payload["sim_engines"] == ["network"]
+        assert SweepSpec.from_json(payload) == spec
+
+    def test_rejects_unknown_engine(self):
+        with pytest.raises(ValueError, match="unknown sim engine"):
+            SweepSpec(name="bad", models=("Lenet-c",), sim_engines=("psychic",))
+
+    def test_single_point_validates_and_labels_the_engine(self):
+        from repro.sweep.spec import SweepPoint
+
+        point = SweepPoint.single(
+            "Lenet-c", batch_size=64, num_accelerators=4, sim_engine="network"
+        )
+        assert point.sim_engine == "network"
+        assert point.label() == "Lenet-c/b64/n4/htree/parallelism-aware/dp,mp/network"
+        with pytest.raises(ValueError, match="unknown sim engine"):
+            SweepPoint.single("Lenet-c", sim_engine="psychic")
+
+    def test_rows_carry_the_engine_only_when_it_is_not_the_default(self):
+        from repro.sweep.runner import evaluate_point
+        from repro.sweep.spec import SweepPoint
+
+        base = dict(batch_size=64, num_accelerators=4)
+        analytic = evaluate_point(SweepPoint.single("SFC", **base))
+        network = evaluate_point(
+            SweepPoint.single("SFC", sim_engine="network", **base)
+        )
+        assert "sim_engine" not in analytic.to_row()
+        assert network.to_row()["sim_engine"] == "network"
+
+    def test_describe_counts_the_engines(self):
+        spec = SweepSpec(
+            name="engines",
+            models=("Lenet-c",),
+            sim_engines=("analytic", "network"),
+        )
+        assert "2 sim engines" in spec.describe()

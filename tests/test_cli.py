@@ -176,6 +176,48 @@ class TestSweepCommand:
         assert parallel_out == serial_out
 
 
+class TestSimulateCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["simulate", "Lenet-c"])
+        assert args.strategy == "hypar"
+        assert args.topology == "htree"
+        assert args.sim_engine == "analytic"
+
+    def test_engine_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["simulate", "Lenet-c", "--sim-engine", "psychic"]
+            )
+
+    def test_dp_baseline_on_torus(self, capsys):
+        assert (
+            main(
+                [
+                    "simulate", "Lenet-c", "--accelerators", "4",
+                    "--batch-size", "64", "--strategy", "dp",
+                    "--topology", "torus", "--sim-engine", "network",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Data Parallelism on torus" in out
+        assert "network engine" in out
+        assert "dp-dp-dp-dp" in out
+
+    def test_sweep_engine_override_runs_the_grid_through_the_network(self, capsys):
+        assert main(["sweep", "smoke", "--sim-engine", "network"]) == 0
+        out = capsys.readouterr().out
+        # Every point label carries the non-default engine segment.
+        assert out.count("/network") == 4
+
+    def test_sweep_default_labels_stay_engine_free(self, capsys):
+        assert main(["sweep", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "/network" not in out
+        assert "/analytic" not in out
+
+
 class TestReplanCommand:
     def test_parser_defaults(self):
         args = build_parser().parse_args(["replan"])

@@ -164,6 +164,32 @@ PLACEMENT_GOLDEN = textwrap.dedent(
     """
 )
 
+SIMULATE_ANALYTIC_GOLDEN = textwrap.dedent(
+    """\
+    Lenet-c / HyPar on h-tree (4 accelerators, batch 64, analytic engine)
+      levels:        dp-dp-mp-mp | dp-dp-mp-mp
+      step time:     8.342 ms
+      energy:        0.011 J
+      communication: 0.003 GB
+      forward:       compute 0.257 ms, link busy 3.354 ms
+      backward:      compute 0.257 ms, link busy 2.688 ms
+      gradient:      compute 0.257 ms, link busy 1.530 ms
+    """
+)
+
+SIMULATE_NETWORK_GOLDEN = textwrap.dedent(
+    """\
+    Lenet-c / HyPar on h-tree (4 accelerators, batch 64, network engine)
+      levels:        dp-dp-mp-mp | dp-dp-mp-mp
+      step time:     8.288 ms
+      energy:        0.011 J
+      communication: 0.003 GB
+      forward:       compute 0.257 ms, link busy 5.030 ms
+      backward:      compute 0.257 ms, link busy 4.032 ms
+      gradient:      compute 0.257 ms, link busy 2.550 ms
+    """
+)
+
 TRACE_GOLDEN = textwrap.dedent(
     """\
     Lenet-c: 56 transfers, 0.003 GB per training step
@@ -244,6 +270,39 @@ class TestGoldenOutputs:
             == 0
         )
         assert capsys.readouterr().out == TRACE_GOLDEN
+
+    def test_simulate_analytic_output_is_pinned(self, capsys):
+        assert (
+            main(["simulate", "Lenet-c", "--accelerators", "4", "--batch-size", "64"])
+            == 0
+        )
+        assert capsys.readouterr().out == SIMULATE_ANALYTIC_GOLDEN
+
+    def test_simulate_network_output_is_pinned(self, capsys):
+        """The network engine overlaps gradient all-reduce with backprop,
+        so the same searched assignment finishes (slightly) sooner while
+        the per-link busy time it reports is higher than the analytic
+        serialized-occupancy figure."""
+        assert (
+            main(
+                [
+                    "simulate", "Lenet-c", "--accelerators", "4",
+                    "--batch-size", "64", "--sim-engine", "network",
+                ]
+            )
+            == 0
+        )
+        assert capsys.readouterr().out == SIMULATE_NETWORK_GOLDEN
+
+    def test_simulate_help_documents_the_engines(self, capsys):
+        import pytest
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["simulate", "--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert "--sim-engine {analytic,network}" in out
+        assert "contention-aware" in out
 
     def test_strategies_listing_mentions_every_member(self, capsys):
         assert main(["strategies"]) == 0
